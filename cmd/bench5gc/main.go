@@ -1,0 +1,58 @@
+// Command bench5gc regenerates the paper's evaluation: every table and
+// figure of §5 (and Appendix C) has an experiment that reproduces its
+// workload on this repository's implementations and prints the same rows
+// the paper reports.
+//
+// Usage:
+//
+//	bench5gc -exp fig6          # one experiment
+//	bench5gc -exp all           # the whole evaluation
+//	bench5gc -list              # catalogue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"l25gc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID (or 'all')")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+		return
+	}
+	var toRun []bench.Experiment
+	if *exp == "all" {
+		toRun = bench.Experiments()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		toRun = []bench.Experiment{e}
+	}
+	for _, e := range toRun {
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

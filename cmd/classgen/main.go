@@ -1,0 +1,57 @@
+// Command classgen generates synthetic PDR rule sets (the ClassBench
+// substitute of §5.3) and prints them as flow descriptions, or reports the
+// tuple-space structure a set induces.
+//
+// Usage:
+//
+//	classgen -n 100 -mode realistic
+//	classgen -n 1000 -mode tss-worst -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"l25gc/internal/classifier"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of PDRs")
+	mode := flag.String("mode", "realistic", "realistic | tss-best | tss-worst")
+	seed := flag.Int64("seed", 1, "generator seed")
+	stats := flag.Bool("stats", false, "print classifier structure statistics instead of rules")
+	flag.Parse()
+
+	var gm classifier.GenMode
+	switch *mode {
+	case "realistic":
+		gm = classifier.GenRealistic
+	case "tss-best":
+		gm = classifier.GenTSSBest
+	case "tss-worst":
+		gm = classifier.GenTSSWorst
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	ruleSet := classifier.NewGenerator(gm, *seed).Generate(*n)
+	if *stats {
+		tss := classifier.NewTSS()
+		ps := classifier.NewPartitionSort()
+		for _, p := range ruleSet {
+			tss.Insert(p)
+			ps.Insert(p)
+		}
+		fmt.Printf("rules:            %d\n", len(ruleSet))
+		fmt.Printf("TSS sub-tables:   %d\n", tss.NumTables())
+		fmt.Printf("PS partitions:    %d\n", ps.NumPartitions())
+		return
+	}
+	for _, p := range ruleSet {
+		f := p.PDI.SDF
+		fmt.Printf("pdr id=%d prec=%d qfi=%d app=%s sdf=%q src=%s dst=%s sport=%d-%d dport=%d-%d proto=%d\n",
+			p.ID, p.Precedence, p.PDI.QFI, p.PDI.ApplicationID, f.FlowDesc,
+			f.Src, f.Dst, f.SrcPorts.Lo, f.SrcPorts.Hi, f.DstPorts.Lo, f.DstPorts.Hi, f.Protocol)
+	}
+}

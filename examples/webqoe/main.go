@@ -1,0 +1,49 @@
+// Webqoe: the §5.4.1 page-load-time experiment on the discrete-event
+// simulator. A page with several large images loads over six parallel TCP
+// connections through a 30 Mbit/s, 20 ms-RTT path while handovers occur;
+// free5GC's 463 ms interruptions exceed TCP's 200 ms minimum RTO and cause
+// spurious timeouts, while L²5GC's 96 ms interruptions do not.
+//
+//	go run ./examples/webqoe
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"l25gc/internal/netsim"
+)
+
+func main() {
+	cfg := netsim.PathConfig{
+		BottleneckBps: 30e6,
+		RTT:           20 * time.Millisecond,
+		QueueCap:      200,
+		CoreBufCap:    5000,
+	}
+	page := []int64{15 << 20, 15 << 20, 15 << 20, 10 << 20, 8 << 20, 7 << 20}
+	handovers := []time.Duration{4 * time.Second, 12 * time.Second, 20 * time.Second}
+
+	fmt.Println("loading a 70 MB page over 6 TCP connections, 3 handovers during the load")
+	for _, sys := range []struct {
+		name string
+		ho   time.Duration
+	}{
+		{"L25GC  (96ms handover)", 96 * time.Millisecond},
+		{"free5GC (463ms handover)", 463 * time.Millisecond},
+	} {
+		plt, paths := netsim.PageLoad(cfg, page, handovers, sys.ho)
+		rtx, timeouts := 0, 0
+		var maxRTT float64
+		for _, p := range paths {
+			rtx += p.Sender.Retransmits
+			timeouts += p.Sender.Timeouts
+			if m := p.Sender.RTT.MaxV(); m > maxRTT {
+				maxRTT = m
+			}
+		}
+		fmt.Printf("%-26s PLT %8.2fs   worst RTT %4.0fms   rtx %5d   spurious timeouts %d\n",
+			sys.name, plt.Seconds(), maxRTT, rtx, timeouts)
+	}
+	fmt.Println("\n(the paper reports 28s vs 32s — a 12.5% QoE improvement from the faster core)")
+}

@@ -1,0 +1,3 @@
+module l25gc
+
+go 1.22

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"l25gc/internal/core"
+)
+
+func TestCatalogueIntegrity(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 15 {
+		t.Fatalf("catalogue has %d experiments, want 15 (every table+figure)", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, ok := ByID(e.ID)
+		if !ok || got.Title != e.Title {
+			t.Fatalf("ByID(%q) mismatch", e.ID)
+		}
+	}
+	for _, want := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"pdrupdate", "fig12", "table1", "table2", "smartbuf", "fig15", "fig16", "fig17", "ablation"} {
+		if !seen[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID should not resolve")
+	}
+	if len(IDs()) != 15 {
+		t.Fatal("IDs() incomplete")
+	}
+}
+
+// TestFastExperimentsProduceTables runs the quick experiments end to end
+// and sanity-checks their output structure (the slow live sweeps are
+// exercised by cmd/bench5gc and the repository benchmarks).
+func TestFastExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment generators are not short")
+	}
+	for _, id := range []string{"fig6", "fig7", "pdrupdate", "smartbuf", "fig16", "ablation"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id || res.Table == nil {
+				t.Fatalf("result %+v", res)
+			}
+			out := res.Table.String()
+			if !strings.Contains(out, "---") || len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("table too small:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestSmartBufMatchesPaperNumbers(t *testing.T) {
+	res, err := SmartBuf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.String()
+	// Eq. 1: 800 drops; Eq. 2: 20 ms hairpin penalty — exact quantities.
+	if !strings.Contains(out, "800") || !strings.Contains(out, "20ms") {
+		t.Fatalf("smartbuf table lost the paper's quantities:\n%s", out)
+	}
+}
+
+func TestFig8OrderingHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cores are not short")
+	}
+	// One run per mode: L²5GC must beat free5GC on the SBI-heavy events.
+	free, err := eventTimes(core.ModeFree5GC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l25, err := eventTimes(core.ModeL25GC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l25.Registration >= free.Registration {
+		t.Errorf("registration: L25GC %v !< free5GC %v", l25.Registration, free.Registration)
+	}
+	if l25.Session >= free.Session {
+		t.Errorf("session: L25GC %v !< free5GC %v", l25.Session, free.Session)
+	}
+}

@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"l25gc/internal/core"
+	"l25gc/internal/lb"
+	"l25gc/internal/metrics"
+	"l25gc/internal/netsim"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/pktbuf"
+	"l25gc/internal/ranue"
+	"l25gc/internal/resilience"
+	"l25gc/internal/rules"
+	"l25gc/internal/upf"
+)
+
+// upfUnit adapts a UPF (state + fast path) to the LB's Backend interface:
+// control messages are PFCP session management, data messages are GTP
+// frames run through the fast path.
+type upfUnit struct {
+	state *upf.State
+	upfc  *upf.UPFC
+	upfu  *upf.UPFU
+	pool  *pktbuf.Pool
+
+	forwarded atomic.Uint64
+}
+
+func newUPFUnit(n3 pkt.Addr) *upfUnit {
+	st := upf.NewState("ps", 0)
+	c := upf.NewUPFC(st, n3, nil)
+	u := upf.NewUPFU(st, c)
+	return &upfUnit{state: st, upfc: c, upfu: u, pool: pktbuf.NewPool(4096, "unit")}
+}
+
+// Deliver implements lb.Backend.
+func (u *upfUnit) Deliver(class resilience.Class, counter uint64, data []byte) error {
+	switch class {
+	case resilience.ULControl, resilience.DLControl:
+		_, msg, err := pfcp.Parse(data)
+		if err != nil {
+			return err
+		}
+		var seid uint64
+		switch m := msg.(type) {
+		case *pfcp.SessionEstablishmentRequest:
+			seid = m.CPSEID
+		default:
+			// Modification/deletion carry the SEID in the header.
+			hdr, _, _ := pfcp.Parse(data)
+			seid = hdr.SEID
+		}
+		_, err = u.upfc.Handle(seid, msg)
+		return err
+	default:
+		buf, err := u.pool.Get()
+		if err != nil {
+			return err
+		}
+		if err := buf.SetData(data); err != nil {
+			buf.Release()
+			return err
+		}
+		buf.Meta.Uplink = class == resilience.ULData
+		var scratch pkt.Parsed
+		if u.upfu.Process(buf, &scratch) {
+			if buf.Meta.Action == pktbuf.ActionToPort {
+				u.forwarded.Add(1)
+			}
+			buf.Release()
+		}
+		return nil
+	}
+}
+
+// failoverScenario runs the §5.5.1 control-plane experiment: a failure
+// strikes mid-handover; the standby resumes from checkpoint + replay.
+func failoverScenario() (detect, failover time.Duration, replayed int, err error) {
+	n3 := pkt.AddrFrom(10, 100, 0, 2)
+	ueIP := pkt.AddrFrom(10, 60, 0, 1)
+	gnbIP := pkt.AddrFrom(10, 100, 0, 10)
+	primary := newUPFUnit(n3)
+	standby := newUPFUnit(n3)
+	balancer := lb.New(primary, standby, 0)
+
+	// 1. Session establishment through the LB (logged, counter-stamped).
+	est := &pfcp.SessionEstablishmentRequest{
+		NodeID: "smf", CPSEID: 77, UEIP: ueIP,
+		CreatePDRs: []*rules.PDR{
+			{ID: 1, Precedence: 32,
+				PDI:                rules.PDI{SourceInterface: rules.IfAccess, HasTEID: true, TEID: 0x9001, TEIDAddr: n3, UEIP: ueIP, HasUEIP: true},
+				OuterHeaderRemoval: true, FARID: 1},
+			{ID: 2, Precedence: 32,
+				PDI:   rules.PDI{SourceInterface: rules.IfCore, UEIP: ueIP, HasUEIP: true},
+				FARID: 2},
+		},
+		CreateFARs: []*rules.FAR{
+			{ID: 1, Action: rules.FARForward, DestInterface: rules.IfCore},
+			{ID: 2, Action: rules.FARForward, DestInterface: rules.IfAccess,
+				HasOuterHeader: true, OuterTEID: 0x5001, OuterAddr: gnbIP},
+		},
+	}
+	if err := balancer.Ingress(resilience.ULControl, pfcp.Marshal(est, 77, true, 1)); err != nil {
+		return 0, 0, 0, err
+	}
+
+	// 2. Periodic delta checkpoint: primary state -> remote replica.
+	snap := resilience.UPFSnapshotter{State: primary.state, UPFC: primary.upfc}
+	remote := resilience.NewRemoteReplica(&resilience.UPFSnapshotter{State: standby.state, UPFC: standby.upfc})
+	remote.OnAck = balancer.AckCheckpoint
+	stateBytes, err := snap.Snapshot()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cp := resilience.Checkpoint{Counter: balancer.Logger.Counter(), State: stateBytes}
+	if err := remote.Apply(cp.Encode()); err != nil {
+		return 0, 0, 0, err
+	}
+
+	// 3. Half the handover executes after the checkpoint: the buffering
+	// FAR update is logged at the LB but NOT yet checkpointed.
+	mod := &pfcp.SessionModificationRequest{
+		UpdateFARs: []*rules.FAR{{ID: 2, Action: rules.FARBuffer, DestInterface: rules.IfAccess}},
+	}
+	if err := balancer.Ingress(resilience.ULControl, pfcp.Marshal(mod, 77, true, 2)); err != nil {
+		return 0, 0, 0, err
+	}
+	// Data packets in flight are logged too.
+	dl := make([]byte, 128)
+	n, _ := pkt.BuildUDPv4(dl, benchDN, ueIP, 9000, 40000, 0, make([]byte, 32))
+	for i := 0; i < 20; i++ {
+		if err := balancer.Ingress(resilience.DLData, dl[:n]); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	// 4. The primary dies; the probe agent detects it.
+	var alive atomic.Bool
+	alive.Store(true)
+	detected := make(chan time.Duration, 1)
+	det := &resilience.Detector{
+		Probe:     func() bool { return alive.Load() },
+		Interval:  100 * time.Microsecond,
+		Misses:    3,
+		OnFailure: func(dt time.Duration) { detected <- dt },
+	}
+	det.Start()
+	time.Sleep(time.Millisecond)
+	alive.Store(false)
+	select {
+	case detect = <-detected:
+	case <-time.After(2 * time.Second):
+		return 0, 0, 0, fmt.Errorf("failure never detected")
+	}
+
+	// 5. Unfreeze the remote replica (restores the checkpoint) and replay
+	// everything newer through the LB — control first by counter order.
+	start := time.Now()
+	replayAfter, err := remote.Unfreeze()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	replayed, err = balancer.Failover(replayAfter)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	failover = time.Since(start)
+
+	// Verify: the standby holds the session *with the mid-handover FAR
+	// update applied* (buffered, not forwarded).
+	ctx, ok := standby.state.Session(77)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("standby lost the session")
+	}
+	if far := ctx.Sess.FAR(2); far == nil || far.Action&rules.FARBuffer == 0 {
+		return 0, 0, 0, fmt.Errorf("replayed handover state missing")
+	}
+	if st := ctx.Stats(); st.Buffered == 0 {
+		return 0, 0, 0, fmt.Errorf("replayed data packets were not buffered (stats %+v)", st)
+	}
+	return detect, failover, replayed, nil
+}
+
+// reattachTime measures the 3GPP baseline: after a failure the UE must
+// re-register and re-establish its session on a fresh core (free5GC
+// flavour), measured live.
+func reattachTime() (time.Duration, error) {
+	c, err := core.New(core.Config{Mode: core.ModeFree5GC, Subscribers: benchSubscribers(1)})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Stop()
+	g, err := ranue.NewGNB(1, pkt.AddrFrom(10, 100, 0, 10), c.N2Addr(), c)
+	if err != nil {
+		return 0, err
+	}
+	defer g.Close()
+	ue := ranue.NewUE("imsi-208930000000001", []byte("0123456789abcdef"), []byte("fedcba9876543210"))
+	start := time.Now()
+	if _, err := ue.Register(g); err != nil {
+		return 0, err
+	}
+	if _, err := ue.EstablishSession(5, "internet"); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// Fig15 regenerates the failover comparison: live control-plane recovery
+// (detection, replica unfreeze + replay) vs live 3GPP reattach, plus the
+// simulated data-plane impact on an ongoing TCP stream.
+func Fig15() (*Result, error) {
+	detect, failover, replayed, err := failoverScenario()
+	if err != nil {
+		return nil, err
+	}
+	reattach, err := reattachTime()
+	if err != nil {
+		return nil, err
+	}
+	tab := metrics.NewTable("metric", "L25GC failover", "3GPP reattach")
+	tab.Row("failure detection", detect, detect)
+	tab.Row("recovery (restore+replay)", failover, reattach)
+	tab.Row("messages replayed", replayed, "n/a (all lost)")
+
+	// Data-plane impact (simulated TCP stream, Fig. 15a/b).
+	sim := func(blackout bool, dur time.Duration) (int, int, int64) {
+		s := netsim.NewSim()
+		cfg := netsim.PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
+		p := netsim.NewTCPPath(s, 0, cfg, 0)
+		if blackout {
+			p.BlackoutAt(2*time.Second, dur)
+		} else {
+			p.HandoverAt(2*time.Second, dur)
+		}
+		p.Sender.Start()
+		s.Run(6 * time.Second)
+		return p.Core.Dropped, p.Sender.Timeouts, p.Receiver.BytesDelivered
+	}
+	failDur := detect + failover
+	if failDur < time.Millisecond {
+		failDur = time.Millisecond
+	}
+	d1, t1, b1 := sim(false, failDur)
+	d2, t2, b2 := sim(true, reattach)
+	tab.Row("pkts dropped during failure", d1, d2)
+	tab.Row("TCP timeouts", t1, t2)
+	tab.Row("bytes delivered (6s run)", b1, b2)
+	return &Result{
+		ID:    "fig15",
+		Title: "5GC failover: control plane recovery and TCP data plane continuity",
+		Table: tab,
+		Notes: []string{
+			"paper: detection <0.5ms; handover completes in 134ms vs 130ms without failure,",
+			"vs 401ms with 3GPP reattach; reattach drops ~121 in-flight packets and collapses",
+			"TCP goodput, while L25GC's replay keeps throughput flat.",
+		},
+	}, nil
+}
+
+// Fig16 regenerates the failure-during-handover experiment: the data
+// stream sees the handover buffering episode, and for 3GPP the failure
+// turns it into a blackout mid-way.
+func Fig16() (*Result, error) {
+	const hoStart = 4500 * time.Millisecond // failure at 4.5s into the run
+	run := func(reattach bool) (int, int, int64) {
+		s := netsim.NewSim()
+		cfg := netsim.PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
+		p := netsim.NewTCPPath(s, 0, cfg, 0)
+		if reattach {
+			// Half the handover executes (65ms of buffering), then the
+			// core dies: buffered packets are lost and the blackout lasts
+			// until reattach completes (~401ms).
+			p.HandoverAt(hoStart, 65*time.Millisecond)
+			p.BlackoutAt(hoStart+65*time.Millisecond, 401*time.Millisecond)
+		} else {
+			// L25GC: the failover adds a few ms to the 130ms handover.
+			p.HandoverAt(hoStart, 134*time.Millisecond)
+		}
+		p.Sender.Start()
+		s.Run(10 * time.Second)
+		return p.Core.Dropped, p.Sender.Timeouts, p.Receiver.BytesDelivered
+	}
+	dL, tL, bL := run(false)
+	dF, tF, bF := run(true)
+	tab := metrics.NewTable("system", "pkts dropped", "TCP timeouts", "bytes delivered (10s)")
+	tab.Row("L25GC (HO+failover 134ms)", dL, tL, bL)
+	tab.Row("3GPP reattach (HO interrupted)", dF, tF, bF)
+	return &Result{
+		ID:    "fig16",
+		Title: "Failure during an ongoing handover + TCP transfer",
+		Table: tab,
+		Notes: []string{
+			"paper: L25GC replays the interrupted handover's control packets and the buffered",
+			"data; the reattach baseline loses all buffered packets and degrades goodput.",
+		},
+	}, nil
+}

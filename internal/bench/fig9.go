@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/metrics"
+	"l25gc/internal/sbi"
+)
+
+// fig9Ops are the "selected control plane messages" of Fig. 9, chosen for
+// importance and frequency.
+func fig9Ops() []struct {
+	op  sbi.OpID
+	req func() codec.Message
+} {
+	return []struct {
+		op  sbi.OpID
+		req func() codec.Message
+	}{
+		{sbi.OpUEAuthenticationsPost, func() codec.Message {
+			return &sbi.AuthenticationRequest{SuciOrSupi: "imsi-208930000000001", ServingNetworkName: "5G:mnc093.mcc208"}
+		}},
+		{sbi.OpGenerateAuthData, func() codec.Message {
+			return &sbi.AuthInfoRequest{SuciOrSupi: "imsi-208930000000001", ServingNetworkName: "5G:mnc093.mcc208"}
+		}},
+		{sbi.OpGetSMSubscriptionData, func() codec.Message {
+			return &sbi.SubscriptionDataRequest{Supi: "imsi-208930000000001", Dnn: "internet"}
+		}},
+		{sbi.OpPostSmContexts, func() codec.Message { return fig6Message() }},
+		{sbi.OpUpdateSmContext, func() codec.Message {
+			return &sbi.SmContextUpdateRequest{SmContextRef: "smctx-1", HoState: "PREPARING", DataForwarding: true}
+		}},
+		{sbi.OpSMPolicyCreate, func() codec.Message {
+			return &sbi.SMPolicyCreateRequest{Supi: "imsi-208930000000001", PduSessionID: 5, Dnn: "internet", Sst: 1}
+		}},
+	}
+}
+
+// fig9Handler answers every selected op with its response model.
+func fig9Handler(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	resp := op.NewResponse()
+	if resp == nil {
+		return nil, fmt.Errorf("no response model for %s", op.Name())
+	}
+	return resp, nil
+}
+
+// Fig9 measures per-message round-trip latency over HTTP/JSON (the
+// free5GC SBI) and shared memory, reporting the speedup.
+func Fig9() (*Result, error) {
+	const iters = 200
+	httpSrv, err := sbi.NewHTTPServer("127.0.0.1:0", codec.JSON{}, fig9Handler)
+	if err != nil {
+		return nil, err
+	}
+	defer httpSrv.Close()
+	httpConn := sbi.NewHTTPConn(httpSrv.Addr(), codec.JSON{})
+	defer httpConn.Close()
+
+	shmConn, shmSrv := sbi.NewShmPair(512, fig9Handler)
+	defer shmSrv.Close()
+	defer shmConn.Close()
+
+	tab := metrics.NewTable("message", "HTTP/JSON", "shm (L25GC)", "speedup")
+	var logSum float64
+	n := 0
+	for _, f := range fig9Ops() {
+		f := f
+		// Warm up both transports (connection establishment etc.).
+		if _, err := httpConn.Invoke(f.op, f.req()); err != nil {
+			return nil, fmt.Errorf("%s over HTTP: %w", f.op.Name(), err)
+		}
+		if _, err := shmConn.Invoke(f.op, f.req()); err != nil {
+			return nil, fmt.Errorf("%s over shm: %w", f.op.Name(), err)
+		}
+		req := f.req()
+		h := measure(iters, func() { httpConn.Invoke(f.op, req) })
+		s := measure(iters, func() { shmConn.Invoke(f.op, req) })
+		speedup := float64(h) / float64(s)
+		logSum += math.Log(speedup)
+		n++
+		tab.Row(f.op.Name(), h, s, fmt.Sprintf("%.1fx", speedup))
+	}
+	geo := math.Exp(logSum / float64(n))
+	return &Result{
+		ID:    "fig9",
+		Title: "Communication speedup of shared memory over the HTTP SBI",
+		Table: tab,
+		Notes: []string{
+			fmt.Sprintf("geometric-mean speedup: %.1fx (paper reports ~13x average)", geo),
+		},
+	}, nil
+}

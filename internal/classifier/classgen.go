@@ -1,0 +1,188 @@
+package classifier
+
+import (
+	"fmt"
+	"math/rand"
+
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+)
+
+// GenMode selects the tuple-space structure of generated rule sets, mirroring
+// how the paper drives the TSS best/worst cases with ClassBench-derived rules.
+type GenMode int
+
+// Generator modes.
+const (
+	// GenRealistic mixes exact flows, prefix rules and port ranges the way
+	// ClassBench ACL seeds do.
+	GenRealistic GenMode = iota
+	// GenTSSBest puts every rule in the same mask tuple, collapsing TSS to
+	// a single sub-table (one hash probe).
+	GenTSSBest
+	// GenTSSWorst gives every rule a distinct mask tuple, forcing TSS to
+	// probe one sub-table per rule.
+	GenTSSWorst
+)
+
+// Generator produces deterministic synthetic PDR sets with fully-populated
+// PDI IEs (the paper's 20-IE configuration).
+type Generator struct {
+	rng  *rand.Rand
+	mode GenMode
+}
+
+// NewGenerator returns a generator seeded for reproducibility.
+func NewGenerator(mode GenMode, seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), mode: mode}
+}
+
+// Generate returns n downlink-style PDRs (source interface N6/core) with
+// precedence equal to their index, so rule i is the i-th best.
+func (g *Generator) Generate(n int) []*rules.PDR {
+	out := make([]*rules.PDR, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.rule(i, n)
+	}
+	return out
+}
+
+func (g *Generator) rule(i, n int) *rules.PDR {
+	var f rules.SDFFilter
+	f.ID = uint32(i + 1)
+	switch g.mode {
+	case GenTSSBest:
+		// Identical tuple: /24 src, /16 dst, exact dst port, exact proto.
+		f.Src = rules.Prefix{Addr: pkt.AddrFrom(10, byte(i>>8), byte(i), 0), Bits: 24}
+		f.Dst = rules.Prefix{Addr: pkt.AddrFrom(192, byte(i>>8), 0, 0), Bits: 16}
+		f.SrcPorts = rules.AnyPort
+		f.DstPorts = rules.PortRange{Lo: uint16(1024 + i), Hi: uint16(1024 + i)}
+		f.Protocol = pkt.ProtoUDP
+	case GenTSSWorst:
+		// A distinct (srcBits, dstBits) pair per rule: walk the 32x32 grid.
+		sb := uint8(i%32) + 1
+		db := uint8((i/32)%32) + 1
+		f.Src = rules.Prefix{Addr: pkt.AddrFromUint32(uint32(i) << 7), Bits: sb}
+		f.Src.Addr = pkt.AddrFromUint32(f.Src.Addr.Uint32() & rules.Prefix{Bits: sb}.Mask())
+		f.Dst = rules.Prefix{Addr: pkt.AddrFromUint32(uint32(n-i) << 9), Bits: db}
+		f.Dst.Addr = pkt.AddrFromUint32(f.Dst.Addr.Uint32() & rules.Prefix{Bits: db}.Mask())
+		// Alternate exactness of ports/proto to multiply tuple shapes
+		// beyond the 1024 grid points when n is large.
+		if i/1024%2 == 0 {
+			f.SrcPorts = rules.AnyPort
+		} else {
+			f.SrcPorts = rules.PortRange{Lo: uint16(i), Hi: uint16(i)}
+		}
+		f.DstPorts = rules.AnyPort
+		f.ProtoAny = true
+	default: // GenRealistic
+		switch g.rng.Intn(4) {
+		case 0: // exact flow pin (firewall allow rule)
+			src := g.randAddr()
+			dst := g.randAddr()
+			f.Src = rules.Prefix{Addr: src, Bits: 32}
+			f.Dst = rules.Prefix{Addr: dst, Bits: 32}
+			sp := uint16(g.rng.Intn(60000) + 1024)
+			dp := wellKnownPort(g.rng)
+			f.SrcPorts = rules.PortRange{Lo: sp, Hi: sp}
+			f.DstPorts = rules.PortRange{Lo: dp, Hi: dp}
+			f.Protocol = pickProto(g.rng)
+		case 1: // subnet-to-any service rule
+			f.Src = rules.Prefix{Addr: g.randSubnet(16), Bits: 16}
+			f.Dst = rules.AnyPrefix
+			f.SrcPorts = rules.AnyPort
+			dp := wellKnownPort(g.rng)
+			f.DstPorts = rules.PortRange{Lo: dp, Hi: dp}
+			f.Protocol = pkt.ProtoTCP
+		case 2: // port-range QoS rule
+			f.Src = rules.AnyPrefix
+			f.Dst = rules.Prefix{Addr: g.randSubnet(24), Bits: 24}
+			f.SrcPorts = rules.AnyPort
+			lo := uint16(g.rng.Intn(32000))
+			f.DstPorts = rules.PortRange{Lo: lo, Hi: lo + uint16(g.rng.Intn(2000))}
+			f.Protocol = pkt.ProtoUDP
+		default: // prefix pair rule
+			f.Src = rules.Prefix{Addr: g.randSubnet(8 + uint8(g.rng.Intn(17))), Bits: 8 + uint8(g.rng.Intn(17))}
+			f.Src.Addr = pkt.AddrFromUint32(f.Src.Addr.Uint32() & f.Src.Mask())
+			f.Dst = rules.Prefix{Addr: g.randSubnet(8 + uint8(g.rng.Intn(17))), Bits: 8 + uint8(g.rng.Intn(17))}
+			f.Dst.Addr = pkt.AddrFromUint32(f.Dst.Addr.Uint32() & f.Dst.Mask())
+			f.SrcPorts = rules.AnyPort
+			f.DstPorts = rules.AnyPort
+			f.ProtoAny = true
+		}
+		if g.rng.Intn(8) == 0 {
+			f.TOS = 0xb8
+			f.TOSMask = 0xfc
+		}
+	}
+	f.FlowDesc = fmt.Sprintf("permit out from %s to %s", f.Src, f.Dst)
+	return &rules.PDR{
+		ID:         uint32(i + 1),
+		Precedence: uint32(i),
+		PDI: rules.PDI{
+			SourceInterface: rules.IfCore,
+			NetworkInstance: "internet",
+			ApplicationID:   fmt.Sprintf("app-%d", i%7),
+			QFI:             uint8(1 + i%63),
+			HasQFI:          true,
+			SDF:             f,
+			HasSDF:          true,
+		},
+		FARID: 1,
+	}
+}
+
+func (g *Generator) randAddr() pkt.Addr {
+	return pkt.AddrFromUint32(g.rng.Uint32())
+}
+
+func (g *Generator) randSubnet(bits uint8) pkt.Addr {
+	m := rules.Prefix{Bits: bits}.Mask()
+	return pkt.AddrFromUint32(g.rng.Uint32() & m)
+}
+
+func wellKnownPort(r *rand.Rand) uint16 {
+	ports := []uint16{80, 443, 53, 22, 25, 123, 5060, 8080}
+	return ports[r.Intn(len(ports))]
+}
+
+func pickProto(r *rand.Rand) uint8 {
+	if r.Intn(3) == 0 {
+		return pkt.ProtoUDP
+	}
+	return pkt.ProtoTCP
+}
+
+// KeyFor constructs a packet key guaranteed to match rule p (used by the
+// benchmarks to target "a rule in the second half of the list" as §5.3
+// specifies for PDR-LL).
+func KeyFor(p *rules.PDR) Key {
+	var k Key
+	k.FromAccess = p.PDI.SourceInterface == rules.IfAccess
+	k.TEID = p.PDI.TEID
+	f := &p.PDI.SDF
+	k.Tuple.Src = midAddr(f.Src)
+	k.Tuple.Dst = midAddr(f.Dst)
+	k.Tuple.SrcPort = f.SrcPorts.Lo
+	k.Tuple.DstPort = f.DstPorts.Lo
+	if f.ProtoAny || f.Protocol == 0 {
+		k.Tuple.Protocol = pkt.ProtoUDP
+	} else {
+		k.Tuple.Protocol = f.Protocol
+	}
+	if f.TOSMask != 0 {
+		k.TOS = f.TOS
+	}
+	if p.PDI.HasUEIP {
+		if k.FromAccess {
+			k.Tuple.Src = p.PDI.UEIP
+		} else {
+			k.Tuple.Dst = p.PDI.UEIP
+		}
+	}
+	return k
+}
+
+func midAddr(p rules.Prefix) pkt.Addr {
+	return pkt.AddrFromUint32(p.Addr.Uint32() & p.Mask())
+}

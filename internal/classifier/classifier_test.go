@@ -1,0 +1,383 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+)
+
+func all() []Classifier {
+	return []Classifier{NewLinear(), NewTSS(), NewPartitionSort()}
+}
+
+func TestNewByName(t *testing.T) {
+	for name, want := range map[string]string{"ll": "ll", "tss": "tss", "ps": "ps", "other": "ll"} {
+		if got := New(name).Name(); got != want {
+			t.Errorf("New(%q).Name() = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func simpleRule(id, prec uint32, srcBits uint8, dstPort uint16, proto uint8) *rules.PDR {
+	return &rules.PDR{
+		ID: id, Precedence: prec,
+		PDI: rules.PDI{
+			SourceInterface: rules.IfCore,
+			SDF: rules.SDFFilter{
+				Src:      rules.Prefix{Addr: pkt.AddrFrom(10, 0, 0, 0), Bits: srcBits},
+				Dst:      rules.AnyPrefix,
+				SrcPorts: rules.AnyPort,
+				DstPorts: rules.PortRange{Lo: dstPort, Hi: dstPort},
+				Protocol: proto,
+			},
+			HasSDF: true,
+		},
+		FARID: 1,
+	}
+}
+
+func TestBasicMatchAllClassifiers(t *testing.T) {
+	for _, c := range all() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Insert(simpleRule(1, 10, 8, 80, pkt.ProtoTCP))
+			c.Insert(simpleRule(2, 5, 8, 443, pkt.ProtoTCP))
+			if c.Len() != 2 {
+				t.Fatalf("Len = %d", c.Len())
+			}
+			k := &Key{Tuple: pkt.FiveTuple{
+				Src: pkt.AddrFrom(10, 1, 2, 3), Dst: pkt.AddrFrom(8, 8, 8, 8),
+				SrcPort: 5000, DstPort: 80, Protocol: pkt.ProtoTCP,
+			}}
+			got := c.Lookup(k)
+			if got == nil || got.ID != 1 {
+				t.Fatalf("Lookup(:80) = %+v, want rule 1", got)
+			}
+			k.Tuple.DstPort = 443
+			got = c.Lookup(k)
+			if got == nil || got.ID != 2 {
+				t.Fatalf("Lookup(:443) = %+v, want rule 2", got)
+			}
+			k.Tuple.DstPort = 22
+			if got = c.Lookup(k); got != nil {
+				t.Fatalf("Lookup(:22) = %+v, want nil", got)
+			}
+			// Non-matching source prefix.
+			k.Tuple.DstPort = 80
+			k.Tuple.Src = pkt.AddrFrom(11, 0, 0, 1)
+			if got = c.Lookup(k); got != nil {
+				t.Fatalf("src out of prefix matched: %+v", got)
+			}
+		})
+	}
+}
+
+func TestPrecedenceWinsAllClassifiers(t *testing.T) {
+	// Two overlapping rules: the lower precedence value must win in every
+	// classifier regardless of insert order.
+	for _, c := range all() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			wide := simpleRule(1, 100, 8, 80, pkt.ProtoTCP)
+			narrow := simpleRule(2, 1, 24, 80, pkt.ProtoTCP)
+			c.Insert(wide)
+			c.Insert(narrow)
+			k := &Key{Tuple: pkt.FiveTuple{
+				Src: pkt.AddrFrom(10, 0, 0, 9), DstPort: 80, Protocol: pkt.ProtoTCP,
+			}}
+			if got := c.Lookup(k); got == nil || got.ID != 2 {
+				t.Fatalf("got %+v, want narrow rule 2", got)
+			}
+		})
+	}
+}
+
+func TestInsertReplacesByID(t *testing.T) {
+	for _, c := range all() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Insert(simpleRule(1, 10, 8, 80, pkt.ProtoTCP))
+			c.Insert(simpleRule(1, 10, 8, 8080, pkt.ProtoTCP)) // same ID, new match
+			if c.Len() != 1 {
+				t.Fatalf("Len = %d, want 1 after replace", c.Len())
+			}
+			k := &Key{Tuple: pkt.FiveTuple{Src: pkt.AddrFrom(10, 0, 0, 1), DstPort: 8080, Protocol: pkt.ProtoTCP}}
+			if got := c.Lookup(k); got == nil {
+				t.Fatal("replaced rule should match new port")
+			}
+			k.Tuple.DstPort = 80
+			if got := c.Lookup(k); got != nil {
+				t.Fatal("old rule body should be gone")
+			}
+		})
+	}
+}
+
+func TestRemoveAllClassifiers(t *testing.T) {
+	for _, c := range all() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Insert(simpleRule(1, 10, 8, 80, pkt.ProtoTCP))
+			c.Insert(simpleRule(2, 20, 16, 443, pkt.ProtoUDP))
+			if !c.Remove(1) {
+				t.Fatal("Remove(1) failed")
+			}
+			if c.Remove(1) {
+				t.Fatal("double remove should fail")
+			}
+			if c.Len() != 1 {
+				t.Fatalf("Len = %d", c.Len())
+			}
+			k := &Key{Tuple: pkt.FiveTuple{Src: pkt.AddrFrom(10, 0, 0, 1), DstPort: 80, Protocol: pkt.ProtoTCP}}
+			if c.Lookup(k) != nil {
+				t.Fatal("removed rule still matches")
+			}
+		})
+	}
+}
+
+func TestTSSSubTableStructure(t *testing.T) {
+	// GenTSSBest: all rules share one tuple -> exactly 1 sub-table.
+	best := NewTSS()
+	for _, p := range NewGenerator(GenTSSBest, 1).Generate(100) {
+		best.Insert(p)
+	}
+	if best.NumTables() != 1 {
+		t.Fatalf("TSS best case: %d sub-tables, want 1", best.NumTables())
+	}
+	// GenTSSWorst: distinct tuples -> one sub-table per rule.
+	worst := NewTSS()
+	for _, p := range NewGenerator(GenTSSWorst, 1).Generate(100) {
+		worst.Insert(p)
+	}
+	if worst.NumTables() != 100 {
+		t.Fatalf("TSS worst case: %d sub-tables, want 100", worst.NumTables())
+	}
+}
+
+func TestPSPartitionCountBounded(t *testing.T) {
+	// The whole point of PartitionSort: even adversarial tuple structure
+	// yields few partitions relative to rules.
+	ps := NewPartitionSort()
+	ruleSet := NewGenerator(GenRealistic, 7).Generate(1000)
+	for _, p := range ruleSet {
+		ps.Insert(p)
+	}
+	if ps.Len() != 1000 {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+	if n := ps.NumPartitions(); n > 100 {
+		t.Fatalf("PS produced %d partitions for 1000 realistic rules; expected far fewer", n)
+	}
+	t.Logf("PS partitions for 1000 realistic rules: %d", ps.NumPartitions())
+}
+
+func TestGeneratedKeysMatchTheirRules(t *testing.T) {
+	for _, mode := range []GenMode{GenRealistic, GenTSSBest, GenTSSWorst} {
+		ruleSet := NewGenerator(mode, 3).Generate(200)
+		ll := NewLinear()
+		for _, p := range ruleSet {
+			ll.Insert(p)
+		}
+		for i, p := range ruleSet {
+			k := KeyFor(p)
+			got := ll.Lookup(&k)
+			if got == nil {
+				t.Fatalf("mode %d rule %d: KeyFor produced a non-matching key", mode, i)
+			}
+			// A higher-priority rule may legitimately shadow p; but the
+			// returned precedence can never be worse.
+			if got.Precedence > p.Precedence {
+				t.Fatalf("mode %d rule %d: got worse precedence %d > %d", mode, i, got.Precedence, p.Precedence)
+			}
+		}
+	}
+}
+
+// TestDifferential is the core correctness test: on identical rule sets,
+// all three classifiers must agree for every probed key.
+func TestDifferential(t *testing.T) {
+	for _, mode := range []GenMode{GenRealistic, GenTSSBest, GenTSSWorst} {
+		ruleSet := NewGenerator(mode, 42).Generate(300)
+		cs := all()
+		for _, c := range cs {
+			for _, p := range ruleSet {
+				c.Insert(p)
+			}
+		}
+		rng := rand.New(rand.NewSource(99))
+		// Probe keys derived from rules plus fully random keys.
+		var keys []Key
+		for _, p := range ruleSet {
+			keys = append(keys, KeyFor(p))
+		}
+		for i := 0; i < 300; i++ {
+			keys = append(keys, Key{Tuple: pkt.FiveTuple{
+				Src:      pkt.AddrFromUint32(rng.Uint32()),
+				Dst:      pkt.AddrFromUint32(rng.Uint32()),
+				SrcPort:  uint16(rng.Intn(65536)),
+				DstPort:  uint16(rng.Intn(65536)),
+				Protocol: uint8(rng.Intn(3) * 6),
+			}})
+		}
+		for ki := range keys {
+			ref := cs[0].Lookup(&keys[ki])
+			for _, c := range cs[1:] {
+				got := c.Lookup(&keys[ki])
+				if (ref == nil) != (got == nil) {
+					t.Fatalf("mode %d key %d: %s=%v, %s=%v", mode, ki, cs[0].Name(), ref, c.Name(), got)
+				}
+				if ref != nil && got.ID != ref.ID {
+					t.Fatalf("mode %d key %d: %s chose rule %d, %s chose rule %d",
+						mode, ki, cs[0].Name(), ref.ID, c.Name(), got.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialWithChurn interleaves inserts, removals and lookups.
+func TestDifferentialWithChurn(t *testing.T) {
+	ruleSet := NewGenerator(GenRealistic, 5).Generate(200)
+	cs := all()
+	rng := rand.New(rand.NewSource(17))
+	installed := map[uint32]*rules.PDR{}
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			p := ruleSet[rng.Intn(len(ruleSet))]
+			for _, c := range cs {
+				c.Insert(p)
+			}
+			installed[p.ID] = p
+		case 1: // remove
+			if len(installed) > 0 {
+				var id uint32
+				for id = range installed {
+					break
+				}
+				delete(installed, id)
+				for _, c := range cs {
+					c.Remove(id)
+				}
+			}
+		default: // lookup
+			p := ruleSet[rng.Intn(len(ruleSet))]
+			k := KeyFor(p)
+			ref := cs[0].Lookup(&k)
+			for _, c := range cs[1:] {
+				got := c.Lookup(&k)
+				refID, gotID := uint32(0), uint32(0)
+				if ref != nil {
+					refID = ref.ID
+				}
+				if got != nil {
+					gotID = got.ID
+				}
+				if refID != gotID {
+					t.Fatalf("step %d: %s=%d %s=%d", step, cs[0].Name(), refID, c.Name(), gotID)
+				}
+			}
+		}
+		for _, c := range cs {
+			if c.Len() != len(installed) {
+				t.Fatalf("step %d: %s Len=%d want %d", step, c.Name(), c.Len(), len(installed))
+			}
+		}
+	}
+}
+
+func TestEmptyClassifiers(t *testing.T) {
+	k := &Key{}
+	for _, c := range all() {
+		if c.Lookup(k) != nil {
+			t.Fatalf("%s: lookup on empty should be nil", c.Name())
+		}
+		if c.Remove(1) {
+			t.Fatalf("%s: remove on empty should fail", c.Name())
+		}
+		if c.Len() != 0 {
+			t.Fatalf("%s: Len on empty = %d", c.Name(), c.Len())
+		}
+	}
+}
+
+func TestUplinkTEIDRules(t *testing.T) {
+	// UL rules match on TEID + direction, the UPF's primary fast path.
+	ul := &rules.PDR{
+		ID: 1, Precedence: 1,
+		PDI: rules.PDI{
+			SourceInterface: rules.IfAccess,
+			TEID:            0x100, HasTEID: true,
+			UEIP: pkt.AddrFrom(10, 60, 0, 1), HasUEIP: true,
+		},
+		OuterHeaderRemoval: true, FARID: 1,
+	}
+	for _, c := range all() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			c.Insert(ul)
+			k := &Key{
+				Tuple:      pkt.FiveTuple{Src: pkt.AddrFrom(10, 60, 0, 1), Dst: pkt.AddrFrom(8, 8, 8, 8)},
+				TEID:       0x100,
+				FromAccess: true,
+			}
+			if got := c.Lookup(k); got == nil || got.ID != 1 {
+				t.Fatalf("UL lookup failed: %+v", got)
+			}
+			k.TEID = 0x999
+			if c.Lookup(k) != nil {
+				t.Fatal("wrong TEID must not match")
+			}
+			k.TEID = 0x100
+			k.FromAccess = false
+			if c.Lookup(k) != nil {
+				t.Fatal("DL direction must not match UL rule")
+			}
+		})
+	}
+}
+
+func benchLookup(b *testing.B, c Classifier, n int) {
+	ruleSet := NewGenerator(GenRealistic, 1).Generate(n)
+	for _, p := range ruleSet {
+		c.Insert(p)
+	}
+	// Per §5.3: the probe targets a rule in the second half of the list.
+	k := KeyFor(ruleSet[n/2+n/4])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(&k) == nil {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+func BenchmarkLookupLL100(b *testing.B)   { benchLookup(b, NewLinear(), 100) }
+func BenchmarkLookupTSS100(b *testing.B)  { benchLookup(b, NewTSS(), 100) }
+func BenchmarkLookupPS100(b *testing.B)   { benchLookup(b, NewPartitionSort(), 100) }
+func BenchmarkLookupLL1000(b *testing.B)  { benchLookup(b, NewLinear(), 1000) }
+func BenchmarkLookupTSS1000(b *testing.B) { benchLookup(b, NewTSS(), 1000) }
+func BenchmarkLookupPS1000(b *testing.B)  { benchLookup(b, NewPartitionSort(), 1000) }
+
+func benchUpdate(b *testing.B, c Classifier) {
+	ruleSet := NewGenerator(GenRealistic, 1).Generate(1000)
+	for _, p := range ruleSet {
+		c.Insert(p)
+	}
+	extra := NewGenerator(GenRealistic, 2).Generate(1)[0]
+	extra.ID = 100000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(extra)
+		c.Remove(extra.ID)
+	}
+}
+
+func BenchmarkUpdateLL(b *testing.B)  { benchUpdate(b, NewLinear()) }
+func BenchmarkUpdateTSS(b *testing.B) { benchUpdate(b, NewTSS()) }
+func BenchmarkUpdatePS(b *testing.B)  { benchUpdate(b, NewPartitionSort()) }

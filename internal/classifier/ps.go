@@ -1,0 +1,274 @@
+package classifier
+
+import (
+	"sort"
+
+	"l25gc/internal/rules"
+)
+
+// PDR-PS: PartitionSort. Rules are partitioned online into *sortable*
+// rulesets: within a partition, the rule intervals along each dimension (in
+// a fixed field order) are pairwise either identical or disjoint. That
+// property makes a multi-dimensional binary search correct: at each level,
+// at most one interval can contain the packet's field value, so the search
+// descends one path of interval nodes per dimension. Lookup cost is
+// O(P · d · log n) with a small number of partitions P, and — unlike TSS —
+// involves no hashing, which removes both the hashing cost and the
+// tuple-space-explosion DoS vector (§3.4).
+
+// psDims is the dimension order used for sorting and search.
+const psDims = 5
+
+// interval is a closed range [lo, hi] in one dimension.
+type interval struct {
+	lo, hi uint32
+}
+
+// ruleIntervals projects a PDR onto the five classifier dimensions:
+// src addr, dst addr, src port, dst port, protocol.
+func ruleIntervals(p *rules.PDR) [psDims]interval {
+	var iv [psDims]interval
+	// Defaults: full wildcard.
+	iv[0] = interval{0, ^uint32(0)}
+	iv[1] = interval{0, ^uint32(0)}
+	iv[2] = interval{0, 0xffff}
+	iv[3] = interval{0, 0xffff}
+	iv[4] = interval{0, 255}
+	if !p.PDI.HasSDF {
+		return iv
+	}
+	f := &p.PDI.SDF
+	iv[0] = prefixInterval(f.Src)
+	iv[1] = prefixInterval(f.Dst)
+	iv[2] = interval{uint32(f.SrcPorts.Lo), uint32(f.SrcPorts.Hi)}
+	iv[3] = interval{uint32(f.DstPorts.Lo), uint32(f.DstPorts.Hi)}
+	if !f.ProtoAny && f.Protocol != 0 {
+		iv[4] = interval{uint32(f.Protocol), uint32(f.Protocol)}
+	}
+	return iv
+}
+
+func prefixInterval(p rules.Prefix) interval {
+	m := p.Mask()
+	base := p.Addr.Uint32() & m
+	return interval{base, base | ^m}
+}
+
+// keyPoint projects a packet onto the five dimensions.
+func keyPoint(k *Key) [psDims]uint32 {
+	return [psDims]uint32{
+		k.Tuple.Src.Uint32(),
+		k.Tuple.Dst.Uint32(),
+		uint32(k.Tuple.SrcPort),
+		uint32(k.Tuple.DstPort),
+		uint32(k.Tuple.Protocol),
+	}
+}
+
+// psNode is one level of the multi-dimensional search tree: a sorted slice
+// of disjoint intervals, each leading to the next dimension (or to leaf
+// rules at the last dimension).
+type psNode struct {
+	ivs      []interval
+	children []*psNode      // level < psDims-1
+	leaves   [][]*rules.PDR // level == psDims-1
+	level    int
+}
+
+func newPSNode(level int) *psNode { return &psNode{level: level} }
+
+// find returns the index of the interval equal to iv, or -1; compatible
+// reports whether iv can be inserted (equal to an existing interval or
+// disjoint from all).
+func (n *psNode) find(iv interval) (idx int, compatible bool) {
+	i := sort.Search(len(n.ivs), func(i int) bool { return n.ivs[i].lo >= iv.lo })
+	if i < len(n.ivs) && n.ivs[i] == iv {
+		return i, true
+	}
+	// Check overlap with neighbours.
+	if i < len(n.ivs) && n.ivs[i].lo <= iv.hi {
+		return -1, false
+	}
+	if i > 0 && n.ivs[i-1].hi >= iv.lo {
+		return -1, false
+	}
+	return -1, true
+}
+
+// canInsert reports whether the rule's intervals fit this subtree.
+func (n *psNode) canInsert(ivs *[psDims]interval) bool {
+	idx, ok := n.find(ivs[n.level])
+	if !ok {
+		return false
+	}
+	if idx == -1 || n.level == psDims-1 {
+		return true // new disjoint interval (fresh subtree) or leaf level
+	}
+	return n.children[idx].canInsert(ivs)
+}
+
+// insert adds the rule; canInsert must have returned true.
+func (n *psNode) insert(p *rules.PDR, ivs *[psDims]interval) {
+	iv := ivs[n.level]
+	idx, _ := n.find(iv)
+	if idx == -1 {
+		// Insert the interval keeping the slice sorted.
+		pos := sort.Search(len(n.ivs), func(i int) bool { return n.ivs[i].lo >= iv.lo })
+		n.ivs = append(n.ivs, interval{})
+		copy(n.ivs[pos+1:], n.ivs[pos:])
+		n.ivs[pos] = iv
+		if n.level == psDims-1 {
+			n.leaves = append(n.leaves, nil)
+			copy(n.leaves[pos+1:], n.leaves[pos:])
+			n.leaves[pos] = nil
+			idx = pos
+		} else {
+			n.children = append(n.children, nil)
+			copy(n.children[pos+1:], n.children[pos:])
+			n.children[pos] = newPSNode(n.level + 1)
+			idx = pos
+		}
+	}
+	if n.level == psDims-1 {
+		n.leaves[idx] = append(n.leaves[idx], p)
+		return
+	}
+	n.children[idx].insert(p, ivs)
+}
+
+// remove deletes the rule, pruning empty structures; reports success.
+func (n *psNode) remove(id uint32, ivs *[psDims]interval) bool {
+	iv := ivs[n.level]
+	idx, _ := n.find(iv)
+	if idx == -1 {
+		return false
+	}
+	if n.level == psDims-1 {
+		bucket := n.leaves[idx]
+		for i, q := range bucket {
+			if q.ID == id {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				if len(bucket) == 0 {
+					n.ivs = append(n.ivs[:idx], n.ivs[idx+1:]...)
+					n.leaves = append(n.leaves[:idx], n.leaves[idx+1:]...)
+				} else {
+					n.leaves[idx] = bucket
+				}
+				return true
+			}
+		}
+		return false
+	}
+	child := n.children[idx]
+	if !child.remove(id, ivs) {
+		return false
+	}
+	if len(child.ivs) == 0 {
+		n.ivs = append(n.ivs[:idx], n.ivs[idx+1:]...)
+		n.children = append(n.children[:idx], n.children[idx+1:]...)
+	}
+	return true
+}
+
+// lookup descends the tree by binary search; at most one interval per level
+// contains the point because intervals are disjoint.
+func (n *psNode) lookup(pt *[psDims]uint32, k *Key, best **rules.PDR) {
+	v := pt[n.level]
+	i := sort.Search(len(n.ivs), func(i int) bool { return n.ivs[i].hi >= v })
+	if i >= len(n.ivs) || n.ivs[i].lo > v {
+		return
+	}
+	if n.level == psDims-1 {
+		for _, p := range n.leaves[i] {
+			if (*best == nil || p.Precedence < (*best).Precedence) && matches(p, k) {
+				*best = p
+			}
+		}
+		return
+	}
+	n.children[i].lookup(pt, k, best)
+}
+
+// partition is one sortable ruleset with its search tree.
+type partition struct {
+	root    *psNode
+	count   int
+	minPrec uint32
+}
+
+// PartitionSort is PDR-PS.
+type PartitionSort struct {
+	parts []*partition
+	byID  map[uint32]*rules.PDR
+}
+
+// NewPartitionSort returns an empty PDR-PS classifier.
+func NewPartitionSort() *PartitionSort {
+	return &PartitionSort{byID: make(map[uint32]*rules.PDR)}
+}
+
+// Name implements Classifier.
+func (ps *PartitionSort) Name() string { return "ps" }
+
+// Len implements Classifier.
+func (ps *PartitionSort) Len() int { return len(ps.byID) }
+
+// NumPartitions reports how many sortable rulesets the online partitioner
+// produced — the paper's argument for PS is that this stays small.
+func (ps *PartitionSort) NumPartitions() int { return len(ps.parts) }
+
+// Insert implements Classifier.
+func (ps *PartitionSort) Insert(p *rules.PDR) {
+	ps.Remove(p.ID)
+	ivs := ruleIntervals(p)
+	for _, part := range ps.parts {
+		if part.root.canInsert(&ivs) {
+			part.root.insert(p, &ivs)
+			part.count++
+			if p.Precedence < part.minPrec {
+				part.minPrec = p.Precedence
+			}
+			ps.byID[p.ID] = p
+			return
+		}
+	}
+	part := &partition{root: newPSNode(0), minPrec: p.Precedence, count: 1}
+	part.root.insert(p, &ivs)
+	ps.parts = append(ps.parts, part)
+	ps.byID[p.ID] = p
+}
+
+// Remove implements Classifier.
+func (ps *PartitionSort) Remove(id uint32) bool {
+	p, ok := ps.byID[id]
+	if !ok {
+		return false
+	}
+	delete(ps.byID, id)
+	ivs := ruleIntervals(p)
+	for i, part := range ps.parts {
+		if part.root.remove(id, &ivs) {
+			part.count--
+			if part.count == 0 {
+				ps.parts = append(ps.parts[:i], ps.parts[i+1:]...)
+			}
+			return true
+		}
+	}
+	return true
+}
+
+// Lookup implements Classifier.
+func (ps *PartitionSort) Lookup(k *Key) *rules.PDR {
+	pt := keyPoint(k)
+	var best *rules.PDR
+	for _, part := range ps.parts {
+		if best != nil && part.minPrec >= best.Precedence {
+			continue
+		}
+		part.root.lookup(&pt, k, &best)
+	}
+	return best
+}
+
+var _ Classifier = (*PartitionSort)(nil)

@@ -1,0 +1,205 @@
+package classifier
+
+import (
+	"l25gc/internal/rules"
+)
+
+// tupleID identifies a TSS sub-table: the mask shape shared by all rules in
+// it. Prefix lengths are exact; ports and protocol are either exact-match
+// (hashed) or wildcard/range (verified after the probe).
+type tupleID struct {
+	srcBits    uint8
+	dstBits    uint8
+	srcPExact  bool
+	dstPExact  bool
+	protoExact bool
+}
+
+// hashKey is the masked header fields probed in a sub-table.
+type hashKey struct {
+	src, dst uint32
+	sp, dp   uint16
+	proto    uint8
+}
+
+// subTable is one tuple's hash table. Multiple rules may share a hash key
+// (they differ in the verified residual fields), so buckets are slices.
+type subTable struct {
+	id      tupleID
+	entries map[hashKey][]*rules.PDR
+	count   int
+	// minPrec is the lowest precedence value present, letting Lookup skip
+	// sub-tables that cannot improve on the current best — the classic TSS
+	// pruning optimisation.
+	minPrec uint32
+}
+
+// TSS is PDR-TSS: a set of per-tuple hash tables probed in sequence.
+type TSS struct {
+	tables []*subTable
+	byID   map[uint32]*rules.PDR
+}
+
+// NewTSS returns an empty PDR-TSS classifier.
+func NewTSS() *TSS {
+	return &TSS{byID: make(map[uint32]*rules.PDR)}
+}
+
+// Name implements Classifier.
+func (t *TSS) Name() string { return "tss" }
+
+// Len implements Classifier.
+func (t *TSS) Len() int { return len(t.byID) }
+
+// NumTables reports the number of sub-tables (tuples) — the quantity whose
+// growth causes the TSS worst case in Fig. 11.
+func (t *TSS) NumTables() int { return len(t.tables) }
+
+func ruleTuple(p *rules.PDR) tupleID {
+	var id tupleID
+	if p.PDI.HasSDF {
+		f := &p.PDI.SDF
+		id.srcBits = f.Src.Bits
+		id.dstBits = f.Dst.Bits
+		id.srcPExact = f.SrcPorts.Lo == f.SrcPorts.Hi
+		id.dstPExact = f.DstPorts.Lo == f.DstPorts.Hi
+		id.protoExact = !f.ProtoAny && f.Protocol != 0
+	}
+	return id
+}
+
+func ruleHashKey(p *rules.PDR, id tupleID) hashKey {
+	var k hashKey
+	if !p.PDI.HasSDF {
+		return k
+	}
+	f := &p.PDI.SDF
+	k.src = f.Src.Addr.Uint32() & f.Src.Mask()
+	k.dst = f.Dst.Addr.Uint32() & f.Dst.Mask()
+	if id.srcPExact {
+		k.sp = f.SrcPorts.Lo
+	}
+	if id.dstPExact {
+		k.dp = f.DstPorts.Lo
+	}
+	if id.protoExact {
+		k.proto = f.Protocol
+	}
+	return k
+}
+
+func maskBits(bits uint8) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+func probeKey(k *Key, id tupleID) hashKey {
+	var h hashKey
+	h.src = k.Tuple.Src.Uint32() & maskBits(id.srcBits)
+	h.dst = k.Tuple.Dst.Uint32() & maskBits(id.dstBits)
+	if id.srcPExact {
+		h.sp = k.Tuple.SrcPort
+	}
+	if id.dstPExact {
+		h.dp = k.Tuple.DstPort
+	}
+	if id.protoExact {
+		h.proto = k.Tuple.Protocol
+	}
+	return h
+}
+
+// Insert implements Classifier.
+func (t *TSS) Insert(p *rules.PDR) {
+	t.Remove(p.ID)
+	id := ruleTuple(p)
+	var st *subTable
+	for _, cand := range t.tables {
+		if cand.id == id {
+			st = cand
+			break
+		}
+	}
+	if st == nil {
+		st = &subTable{id: id, entries: make(map[hashKey][]*rules.PDR), minPrec: ^uint32(0)}
+		t.tables = append(t.tables, st)
+	}
+	hk := ruleHashKey(p, id)
+	st.entries[hk] = append(st.entries[hk], p)
+	st.count++
+	if p.Precedence < st.minPrec {
+		st.minPrec = p.Precedence
+	}
+	t.byID[p.ID] = p
+}
+
+// Remove implements Classifier.
+func (t *TSS) Remove(id uint32) bool {
+	p, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	delete(t.byID, id)
+	tid := ruleTuple(p)
+	for ti, st := range t.tables {
+		if st.id != tid {
+			continue
+		}
+		hk := ruleHashKey(p, tid)
+		bucket := st.entries[hk]
+		for i, q := range bucket {
+			if q.ID == id {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(st.entries, hk)
+		} else {
+			st.entries[hk] = bucket
+		}
+		st.count--
+		if st.count == 0 {
+			t.tables = append(t.tables[:ti], t.tables[ti+1:]...)
+		} else {
+			st.minPrec = ^uint32(0)
+			for _, b := range st.entries {
+				for _, q := range b {
+					if q.Precedence < st.minPrec {
+						st.minPrec = q.Precedence
+					}
+				}
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// Lookup implements Classifier.
+func (t *TSS) Lookup(k *Key) *rules.PDR {
+	var best *rules.PDR
+	for _, st := range t.tables {
+		if best != nil && st.minPrec >= best.Precedence {
+			continue
+		}
+		hk := probeKey(k, st.id)
+		for _, p := range st.entries[hk] {
+			if best != nil && p.Precedence >= best.Precedence {
+				continue
+			}
+			if matches(p, k) {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// Compile-time interface checks.
+var (
+	_ Classifier = (*Linear)(nil)
+	_ Classifier = (*TSS)(nil)
+)

@@ -1,0 +1,205 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// testMsg exercises every field kind.
+type testMsg struct {
+	A uint32  `json:"a"`
+	B uint64  `json:"b"`
+	C string  `json:"c"`
+	D []byte  `json:"d"`
+	E bool    `json:"e"`
+	F float64 `json:"f"`
+}
+
+func (m *testMsg) Schema() []Field {
+	return []Field{
+		{Tag: 1, Kind: KindUint32, Ptr: &m.A},
+		{Tag: 2, Kind: KindUint64, Ptr: &m.B},
+		{Tag: 3, Kind: KindString, Ptr: &m.C},
+		{Tag: 4, Kind: KindBytes, Ptr: &m.D},
+		{Tag: 5, Kind: KindBool, Ptr: &m.E},
+		{Tag: 6, Kind: KindFloat64, Ptr: &m.F},
+	}
+}
+
+func sample() *testMsg {
+	return &testMsg{
+		A: 42, B: 1 << 40, C: "imsi-208930000000001",
+		D: []byte{0xde, 0xad, 0xbe, 0xef}, E: true, F: 3.25,
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	for _, c := range All() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			in := sample()
+			b, err := c.Marshal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := &testMsg{}
+			if err := c.Unmarshal(b, out); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip:\n got %+v\nwant %+v", out, in)
+			}
+		})
+	}
+}
+
+func TestEmptyMessageAllCodecs(t *testing.T) {
+	for _, c := range All() {
+		in := &testMsg{}
+		b, err := c.Marshal(in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		out := &testMsg{A: 99, C: "stale"} // ensure zero values overwrite
+		if err := c.Unmarshal(b, out); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if out.A != 0 || out.C != "" {
+			t.Fatalf("%s: zero values not restored: %+v", c.Name(), out)
+		}
+	}
+}
+
+func TestProtoSkipsUnknownFields(t *testing.T) {
+	// Encode with full schema, decode into a message whose schema lacks
+	// some tags: the decoder must skip gracefully (forward compatibility).
+	in := sample()
+	b, err := Proto{}.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := &partialMsg{}
+	if err := (Proto{}).Unmarshal(b, partial); err != nil {
+		t.Fatal(err)
+	}
+	if partial.C != in.C {
+		t.Fatalf("C = %q, want %q", partial.C, in.C)
+	}
+}
+
+type partialMsg struct {
+	C string
+}
+
+func (m *partialMsg) Schema() []Field {
+	return []Field{{Tag: 3, Kind: KindString, Ptr: &m.C}}
+}
+
+func TestFlatTruncated(t *testing.T) {
+	in := sample()
+	b, _ := Flat{}.Marshal(in)
+	out := &testMsg{}
+	if err := (Flat{}).Unmarshal(b[:8], out); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// Corrupt a string offset to point beyond the buffer.
+	bad := append([]byte(nil), b...)
+	bad[2*8] = 0xff
+	bad[2*8+1] = 0xff
+	if err := (Flat{}).Unmarshal(bad, out); err != ErrTruncated {
+		t.Fatalf("bad offset err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestProtoTruncated(t *testing.T) {
+	in := sample()
+	b, _ := Proto{}.Marshal(in)
+	out := &testMsg{}
+	if err := (Proto{}).Unmarshal(b[:len(b)-2], out); err == nil {
+		t.Fatal("truncated proto should fail")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"json", "proto", "flat"} {
+		c, err := ByName(name)
+		if err != nil || c.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := ByName("xml"); err == nil {
+		t.Fatal("unknown codec should error")
+	}
+}
+
+// Property: all codecs round-trip arbitrary field values identically.
+func TestRoundTripProperty(t *testing.T) {
+	for _, c := range All() {
+		c := c
+		f := func(a uint32, b uint64, s string, d []byte, e bool, fl float64) bool {
+			in := &testMsg{A: a, B: b, C: s, D: d, E: e, F: fl}
+			if in.D == nil {
+				in.D = []byte{}
+			}
+			raw, err := c.Marshal(in)
+			if err != nil {
+				return false
+			}
+			out := &testMsg{}
+			if err := c.Unmarshal(raw, out); err != nil {
+				return false
+			}
+			if out.D == nil {
+				out.D = []byte{}
+			}
+			return reflect.DeepEqual(in, out)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// The Fig. 6 ranking on serialized size: flat/proto are binary and compact
+// relative to JSON for this message shape.
+func TestBinaryCodecsSmallerThanJSON(t *testing.T) {
+	in := sample()
+	jb, _ := JSON{}.Marshal(in)
+	pb, _ := Proto{}.Marshal(in)
+	if len(pb) >= len(jb) {
+		t.Fatalf("proto (%d bytes) should be smaller than JSON (%d bytes)", len(pb), len(jb))
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	in := sample()
+	for _, c := range All() {
+		c := c
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Marshal(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	in := sample()
+	for _, c := range All() {
+		c := c
+		raw, _ := c.Marshal(in)
+		b.Run(c.Name(), func(b *testing.B) {
+			out := &testMsg{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.Unmarshal(raw, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

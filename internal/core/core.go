@@ -1,0 +1,455 @@
+// Package core assembles a complete 5GC unit in one of three deployment
+// modes, matching the systems compared in the paper's evaluation:
+//
+//   - ModeFree5GC — the baseline: HTTP/JSON SBI over kernel TCP sockets,
+//     PFCP over kernel UDP sockets, kernel-socket UPF with linear-list PDR
+//     lookup (Appendix B).
+//   - ModeONVMUPF — the intermediate point of Fig. 8: the original REST
+//     control plane, but the N4 interface and the UPF run on the
+//     shared-memory platform.
+//   - ModeL25GC — the paper's system: SBI and N4 over shared memory, the
+//     data plane on the ONVM-style platform with PartitionSort lookup.
+//
+// A Core exposes a transport-independent surface to the RAN side
+// (internal/ranue): AttachGNB for DL delivery, SendUL for N3 ingress,
+// InjectDL / SetN6Sink for the data-network side.
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/kernelpath"
+	"l25gc/internal/nf/amf"
+	"l25gc/internal/nf/ausf"
+	"l25gc/internal/nf/nrf"
+	"l25gc/internal/nf/pcf"
+	"l25gc/internal/nf/smf"
+	"l25gc/internal/nf/udm"
+	"l25gc/internal/nf/udr"
+	"l25gc/internal/onvm"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/pktbuf"
+	"l25gc/internal/sbi"
+	"l25gc/internal/upf"
+)
+
+// Mode selects the deployment flavour.
+type Mode int
+
+// Deployment modes.
+const (
+	ModeL25GC Mode = iota
+	ModeFree5GC
+	ModeONVMUPF
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeL25GC:
+		return "l25gc"
+	case ModeFree5GC:
+		return "free5gc"
+	case ModeONVMUPF:
+		return "onvm-upf"
+	default:
+		return "unknown"
+	}
+}
+
+// UPF N3 address inside the core.
+var upfN3IP = pkt.AddrFrom(10, 100, 0, 2)
+
+// Config parameterizes a 5GC unit.
+type Config struct {
+	Mode        Mode
+	ClsAlgo     string // "ll", "tss", "ps"; defaults: free5GC="ll", others="ps"
+	BufferPkts  uint16 // UPF per-session DL buffer (default 3000)
+	Subscribers []udr.Subscriber
+	PoolPrefix  string // shared-memory security domain (default "l25gc")
+}
+
+// Core is one running 5GC unit.
+type Core struct {
+	cfg Config
+
+	NRF  *nrf.NRF
+	UDR  *udr.UDR
+	UDM  *udm.UDM
+	AUSF *ausf.AUSF
+	PCF  *pcf.PCF
+	SMF  *smf.SMF
+	AMF  *amf.AMF
+
+	UPFState *upf.State
+	UPFC     *upf.UPFC
+	UPFU     *upf.UPFU // nil in free5GC mode
+
+	mgr  *onvm.Manager         // shared-memory modes
+	kupf *kernelpath.KernelUPF // kernel mode
+
+	mu       sync.Mutex
+	gnbSinks map[pkt.Addr]func(frame []byte)
+	n6Sink   func(ipPkt []byte)
+
+	// free5GC-mode sockets on the RAN/DN side.
+	gnbSocks map[pkt.Addr]*net.UDPConn
+	dnSock   *net.UDPConn
+
+	closers []func()
+}
+
+// upfServiceID is the UPF-U's service ID on the platform.
+const upfServiceID onvm.ServiceID = 7
+
+// New builds and starts a 5GC unit.
+func New(cfg Config) (*Core, error) {
+	if cfg.ClsAlgo == "" {
+		if cfg.Mode == ModeFree5GC {
+			cfg.ClsAlgo = "ll"
+		} else {
+			cfg.ClsAlgo = "ps"
+		}
+	}
+	if cfg.PoolPrefix == "" {
+		cfg.PoolPrefix = "l25gc"
+	}
+	c := &Core{
+		cfg:      cfg,
+		gnbSinks: make(map[pkt.Addr]func([]byte)),
+		gnbSocks: make(map[pkt.Addr]*net.UDPConn),
+	}
+	if err := c.start(); err != nil {
+		c.Stop()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Core) start() error {
+	cfg := c.cfg
+
+	// --- repositories and registry ---
+	c.NRF = nrf.New()
+	c.UDR = udr.New()
+	for _, s := range cfg.Subscribers {
+		c.UDR.Provision(s)
+	}
+
+	// --- N4 + data plane ---
+	var smfN4 pfcp.Endpoint
+	switch cfg.Mode {
+	case ModeFree5GC:
+		c.UPFState = upf.NewState(cfg.ClsAlgo, int(cfg.BufferPkts))
+		upfEP, err := pfcp.NewUDPEndpoint("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, func() { upfEP.Close() })
+		c.UPFC = upf.NewUPFC(c.UPFState, upfN3IP, upfEP)
+		k, err := kernelpath.New(c.UPFState, c.UPFC)
+		if err != nil {
+			return err
+		}
+		c.kupf = k
+		c.closers = append(c.closers, func() { k.Close() })
+		smfEP, err := pfcp.NewUDPEndpoint("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, func() { smfEP.Close() })
+		if err := smfEP.Connect(upfEP.Addr()); err != nil {
+			return err
+		}
+		if err := upfEP.Connect(smfEP.Addr()); err != nil {
+			return err
+		}
+		smfN4 = smfEP
+	default: // shared-memory data plane
+		c.UPFState = upf.NewState(cfg.ClsAlgo, int(cfg.BufferPkts))
+		smfEP, upfEP := pfcp.NewMemPair(1024)
+		c.closers = append(c.closers, func() { smfEP.Close(); upfEP.Close() })
+		c.UPFC = upf.NewUPFC(c.UPFState, upfN3IP, upfEP)
+		c.UPFU = upf.NewUPFU(c.UPFState, c.UPFC)
+		c.mgr = onvm.NewManager(onvm.Config{PoolSize: 8192, RingSize: 2048, PoolPrefix: cfg.PoolPrefix})
+		c.closers = append(c.closers, c.mgr.Stop)
+		if _, err := c.UPFU.AttachONVM(c.mgr, upfServiceID); err != nil {
+			return err
+		}
+		c.mgr.BindPortNF(uint16(upf.PortN3), upfServiceID)
+		c.mgr.BindPortNF(uint16(upf.PortN6), upfServiceID)
+		c.mgr.RegisterPort(uint16(upf.PortN3), c.n3Egress)
+		c.mgr.RegisterPort(uint16(upf.PortN6), c.n6Egress)
+		smfN4 = smfEP
+	}
+
+	// --- control-plane NF mesh ---
+	// connTo builds a consumer connection to a producer handler according
+	// to the mode's SBI transport, registering the producer with the NRF.
+	httpSBI := cfg.Mode == ModeFree5GC || cfg.Mode == ModeONVMUPF
+	connTo := func(nfType string, h sbi.Handler) (sbi.Conn, error) {
+		if httpSBI {
+			srv, err := sbi.NewHTTPServer("127.0.0.1:0", codec.JSON{}, h)
+			if err != nil {
+				return nil, err
+			}
+			c.closers = append(c.closers, func() { srv.Close() })
+			c.NRF.Handle(sbi.OpNFRegister, &sbi.NFRegisterRequest{
+				NfInstanceID: nfType + "-1", NfType: nfType, Addr: srv.Addr(),
+			})
+			conn := sbi.NewHTTPConn(srv.Addr(), codec.JSON{})
+			c.closers = append(c.closers, func() { conn.Close() })
+			return conn, nil
+		}
+		conn, srv := sbi.NewShmPair(1024, h)
+		c.closers = append(c.closers, func() { srv.Close(); conn.Close() })
+		c.NRF.Handle(sbi.OpNFRegister, &sbi.NFRegisterRequest{
+			NfInstanceID: nfType + "-1", NfType: nfType, Addr: "shm:" + nfType,
+		})
+		return conn, nil
+	}
+
+	udrConn, err := connTo("UDR", c.UDR.Handle)
+	if err != nil {
+		return err
+	}
+	c.UDM = udm.New(udrConn)
+	udmConnAusf, err := connTo("UDM", c.UDM.Handle)
+	if err != nil {
+		return err
+	}
+	udmConnAmf, err := connTo("UDM", c.UDM.Handle)
+	if err != nil {
+		return err
+	}
+	udmConnSmf, err := connTo("UDM", c.UDM.Handle)
+	if err != nil {
+		return err
+	}
+	c.AUSF = ausf.New(udmConnAusf)
+	ausfConn, err := connTo("AUSF", c.AUSF.Handle)
+	if err != nil {
+		return err
+	}
+	c.PCF = pcf.New(pcf.Policy{})
+	pcfConnAmf, err := connTo("PCF", c.PCF.Handle)
+	if err != nil {
+		return err
+	}
+	pcfConnSmf, err := connTo("PCF", c.PCF.Handle)
+	if err != nil {
+		return err
+	}
+
+	// SMF's AMF connection is resolved lazily (the AMF is built after the
+	// SMF because the AMF needs the SMF conn).
+	var amfConnForSmf sbi.Conn
+	var amfConnMu sync.Mutex
+	c.SMF = smf.New(smf.Config{
+		NodeID: "smf.l25gc", UPFN3IP: upfN3IP,
+		UEPoolBase: pkt.AddrFrom(10, 60, 0, 1),
+		BufferPkts: cfg.BufferPkts,
+	}, udmConnSmf, pcfConnSmf, smfN4, func() sbi.Conn {
+		amfConnMu.Lock()
+		defer amfConnMu.Unlock()
+		return amfConnForSmf
+	})
+	smfConn, err := connTo("SMF", c.SMF.Handle)
+	if err != nil {
+		return err
+	}
+
+	c.AMF, err = amf.New(amf.Config{
+		Name: "amf.l25gc", Guami: "5G:mnc093.mcc208", Addr: "127.0.0.1:0",
+	}, ausfConn, udmConnAmf, pcfConnAmf, smfConn)
+	if err != nil {
+		return err
+	}
+	c.closers = append(c.closers, func() { c.AMF.Close() })
+
+	amfConn, err := connTo("AMF", c.AMF.Handle)
+	if err != nil {
+		return err
+	}
+	amfConnMu.Lock()
+	amfConnForSmf = amfConn
+	amfConnMu.Unlock()
+
+	// free5GC mode: a DN-side socket feeding/receiving the kernel UPF.
+	if cfg.Mode == ModeFree5GC {
+		dn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return err
+		}
+		dn.SetReadBuffer(4 << 20)
+		dn.SetWriteBuffer(4 << 20)
+		c.dnSock = dn
+		c.closers = append(c.closers, func() { dn.Close() })
+		if err := c.kupf.SetDN(dn.LocalAddr().String()); err != nil {
+			return err
+		}
+		go c.dnReadLoop(dn)
+	}
+	return nil
+}
+
+// --- RAN-side surface ---
+
+// N2Addr returns the AMF's NGAP listen address.
+func (c *Core) N2Addr() string { return c.AMF.N2Addr() }
+
+// AttachGNB registers a gNB's DL frame sink under its N3 address.
+func (c *Core) AttachGNB(addr pkt.Addr, sink func(frame []byte)) error {
+	c.mu.Lock()
+	c.gnbSinks[addr] = sink
+	c.mu.Unlock()
+	if c.cfg.Mode != ModeFree5GC {
+		return nil
+	}
+	// Kernel mode: the gNB side is a real UDP socket.
+	sock, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return err
+	}
+	sock.SetReadBuffer(4 << 20)
+	sock.SetWriteBuffer(4 << 20)
+	c.mu.Lock()
+	c.gnbSocks[addr] = sock
+	c.mu.Unlock()
+	c.closers = append(c.closers, func() { sock.Close() })
+	if err := c.kupf.RegisterGNB(addr, sock.LocalAddr().String()); err != nil {
+		return err
+	}
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, _, err := sock.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			frame := append([]byte(nil), buf[:n]...)
+			sink(frame)
+		}
+	}()
+	return nil
+}
+
+// SendUL injects a GTP-U frame from a gNB into the core's N3 interface.
+func (c *Core) SendUL(frame []byte) error {
+	if c.cfg.Mode == ModeFree5GC {
+		ua, err := net.ResolveUDPAddr("udp", c.kupf.N3Addr())
+		if err != nil {
+			return err
+		}
+		// Any gNB socket will do as the source; use the first.
+		c.mu.Lock()
+		var sock *net.UDPConn
+		for _, s := range c.gnbSocks {
+			sock = s
+			break
+		}
+		c.mu.Unlock()
+		if sock == nil {
+			return fmt.Errorf("core: no gNB attached")
+		}
+		_, err = sock.WriteToUDP(frame, ua)
+		return err
+	}
+	return c.mgr.Inject(uint16(upf.PortN3), frame, pktbuf.Meta{Uplink: true})
+}
+
+// --- DN-side surface ---
+
+// InjectDL delivers a plain IP packet from the data network into N6.
+func (c *Core) InjectDL(ipPkt []byte) error {
+	if c.cfg.Mode == ModeFree5GC {
+		ua, err := net.ResolveUDPAddr("udp", c.kupf.N6Addr())
+		if err != nil {
+			return err
+		}
+		_, err = c.dnSock.WriteToUDP(ipPkt, ua)
+		return err
+	}
+	return c.mgr.Inject(uint16(upf.PortN6), ipPkt, pktbuf.Meta{Uplink: false})
+}
+
+// SetN6Sink installs the receiver for uplink packets leaving toward the
+// data network.
+func (c *Core) SetN6Sink(fn func(ipPkt []byte)) {
+	c.mu.Lock()
+	c.n6Sink = fn
+	c.mu.Unlock()
+}
+
+// n3Egress routes DL frames leaving the platform to the right gNB sink.
+func (c *Core) n3Egress(frame []byte, meta pktbuf.Meta) {
+	c.mu.Lock()
+	sink := c.gnbSinks[pkt.Addr(meta.OuterIP)]
+	c.mu.Unlock()
+	if sink != nil {
+		cp := append([]byte(nil), frame...)
+		sink(cp)
+	}
+}
+
+// n6Egress delivers UL packets to the DN sink.
+func (c *Core) n6Egress(frame []byte, meta pktbuf.Meta) {
+	c.mu.Lock()
+	sink := c.n6Sink
+	c.mu.Unlock()
+	if sink != nil {
+		cp := append([]byte(nil), frame...)
+		sink(cp)
+	}
+}
+
+// dnReadLoop (free5GC mode) forwards UL packets from the kernel UPF's N6
+// socket to the DN sink.
+func (c *Core) dnReadLoop(dn *net.UDPConn) {
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := dn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		sink := c.n6Sink
+		c.mu.Unlock()
+		if sink != nil {
+			cp := append([]byte(nil), buf[:n]...)
+			sink(cp)
+		}
+	}
+}
+
+// DeployUPFCanary starts a second UPF-U instance on the platform (the
+// canary of a rolling upgrade, §4) and steers the given percentage of
+// flows to it. Shared-memory modes only.
+func (c *Core) DeployUPFCanary(percent int) (*onvm.Instance, error) {
+	if c.mgr == nil {
+		return nil, fmt.Errorf("core: canary rollout needs the shared-memory platform")
+	}
+	inst, err := c.UPFU.AttachONVM(c.mgr, upfServiceID)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.mgr.SetCanary(upfServiceID, percent); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Mode reports the deployment mode.
+func (c *Core) Mode() Mode { return c.cfg.Mode }
+
+// Stop shuts the unit down.
+func (c *Core) Stop() {
+	for i := len(c.closers) - 1; i >= 0; i-- {
+		c.closers[i]()
+	}
+	c.closers = nil
+}

@@ -1,0 +1,220 @@
+// Package gtp implements the GTP-U (GPRS Tunnelling Protocol, user plane)
+// encapsulation used on the N3 interface between gNB and UPF, including the
+// PDU Session Container extension header carrying the QoS Flow Identifier.
+//
+// The encoding follows 3GPP TS 29.281. Only the G-PDU message (type 255) and
+// Echo Request/Response (1/2) are needed by the 5GC data path.
+package gtp
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// UDPPort is the registered GTP-U port.
+const UDPPort = 2152
+
+// Message types (TS 29.281 §6).
+const (
+	MsgEchoRequest  uint8 = 1
+	MsgEchoResponse uint8 = 2
+	MsgErrorInd     uint8 = 26
+	MsgEndMarker    uint8 = 254
+	MsgGPDU         uint8 = 255
+)
+
+// Extension header types.
+const (
+	ExtNone       uint8 = 0
+	ExtPDUSession uint8 = 0x85
+)
+
+// HeaderLen is the mandatory GTP-U header length.
+const HeaderLen = 8
+
+// pduSessExtLen is the fixed length of the PDU Session Container extension
+// as we encode it (4 bytes: len, info, next-ext) per TS 38.415 short form.
+const pduSessExtLen = 4
+
+// Errors returned by decoding.
+var (
+	ErrTruncated   = errors.New("gtp: truncated header")
+	ErrBadVersion  = errors.New("gtp: unsupported version")
+	ErrBadProtType = errors.New("gtp: not GTP prime-0 protocol")
+	ErrBadExt      = errors.New("gtp: malformed extension header")
+)
+
+// Header is a decoded GTP-U header.
+type Header struct {
+	MsgType  uint8
+	Length   uint16 // length of payload + optional fields
+	TEID     uint32
+	Seq      uint16 // valid if HasSeq
+	HasSeq   bool
+	QFI      uint8 // valid if HasQFI (PDU Session Container)
+	HasQFI   bool
+	PDUType  uint8 // 0 = DL PDU Session Information, 1 = UL
+	totalLen int   // bytes consumed by header + extensions
+}
+
+// HeaderSize returns the on-wire size of the header h would encode to.
+func (h *Header) HeaderSize() int {
+	n := HeaderLen
+	if h.HasSeq || h.HasQFI {
+		n += 4 // seq(2) + npdu(1) + next-ext(1)
+	}
+	if h.HasQFI {
+		n += pduSessExtLen
+	}
+	return n
+}
+
+// Decode parses a GTP-U header from b and returns the inner payload.
+func (h *Header) Decode(b []byte) ([]byte, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	flags := b[0]
+	if flags>>5 != 1 {
+		return nil, ErrBadVersion
+	}
+	if flags&0x10 == 0 {
+		return nil, ErrBadProtType
+	}
+	hasExt := flags&0x04 != 0
+	hasSeq := flags&0x02 != 0
+	hasNPDU := flags&0x01 != 0
+	h.MsgType = b[1]
+	h.Length = binary.BigEndian.Uint16(b[2:4])
+	h.TEID = binary.BigEndian.Uint32(b[4:8])
+	h.HasSeq = hasSeq
+	h.HasQFI = false
+	off := HeaderLen
+	if hasExt || hasSeq || hasNPDU {
+		if len(b) < off+4 {
+			return nil, ErrTruncated
+		}
+		if hasSeq {
+			h.Seq = binary.BigEndian.Uint16(b[off : off+2])
+		}
+		next := b[off+3]
+		off += 4
+		for next != ExtNone {
+			if len(b) < off+1 {
+				return nil, ErrBadExt
+			}
+			extLen := int(b[off]) * 4
+			if extLen == 0 || len(b) < off+extLen {
+				return nil, ErrBadExt
+			}
+			switch next {
+			case ExtPDUSession:
+				if extLen < 4 {
+					return nil, ErrBadExt
+				}
+				h.PDUType = b[off+1] >> 4
+				h.QFI = b[off+2] & 0x3f
+				h.HasQFI = true
+			}
+			next = b[off+extLen-1]
+			off += extLen
+		}
+	}
+	h.totalLen = off
+	end := HeaderLen + int(h.Length)
+	if end > len(b) || end < off {
+		end = len(b)
+	}
+	return b[off:end], nil
+}
+
+// Encode writes the header for a payload of payloadLen bytes into b, which
+// must be at least HeaderSize() bytes. It returns the bytes written.
+func (h *Header) Encode(b []byte, payloadLen int) (int, error) {
+	size := h.HeaderSize()
+	if len(b) < size {
+		return 0, ErrTruncated
+	}
+	flags := uint8(1<<5 | 0x10)
+	optLen := 0
+	if h.HasSeq || h.HasQFI {
+		optLen = 4
+		if h.HasSeq {
+			flags |= 0x02
+		}
+		if h.HasQFI {
+			flags |= 0x04
+			optLen += pduSessExtLen
+		}
+	}
+	b[0] = flags
+	b[1] = h.MsgType
+	h.Length = uint16(payloadLen + optLen)
+	binary.BigEndian.PutUint16(b[2:4], h.Length)
+	binary.BigEndian.PutUint32(b[4:8], h.TEID)
+	off := HeaderLen
+	if optLen > 0 {
+		if h.HasSeq {
+			binary.BigEndian.PutUint16(b[off:off+2], h.Seq)
+		} else {
+			b[off], b[off+1] = 0, 0
+		}
+		b[off+2] = 0 // N-PDU number
+		if h.HasQFI {
+			b[off+3] = ExtPDUSession
+		} else {
+			b[off+3] = ExtNone
+		}
+		off += 4
+		if h.HasQFI {
+			b[off] = pduSessExtLen / 4
+			b[off+1] = h.PDUType << 4
+			b[off+2] = h.QFI & 0x3f
+			b[off+3] = ExtNone
+			off += pduSessExtLen
+		}
+	}
+	return off, nil
+}
+
+// Encap prepends a G-PDU header for teid/qfi onto an inner packet already
+// placed in a buffer with Prepend-capable headroom. It is the zero-copy
+// encapsulation used by the UPF fast path.
+type Prepender interface {
+	Prepend(n int) ([]byte, error)
+	Len() int
+}
+
+// Encap writes a G-PDU header in front of the buffer's current contents.
+func Encap(b Prepender, teid uint32, qfi uint8, downlink bool) error {
+	h := Header{MsgType: MsgGPDU, TEID: teid, HasQFI: true, QFI: qfi}
+	if !downlink {
+		h.PDUType = 1
+	}
+	innerLen := b.Len()
+	hdr, err := b.Prepend(h.HeaderSize())
+	if err != nil {
+		return err
+	}
+	_, err = h.Encode(hdr, innerLen)
+	return err
+}
+
+// Trimmer is the buffer surface needed for decapsulation.
+type Trimmer interface {
+	Bytes() []byte
+	Trim(n int) error
+}
+
+// Decap parses and strips the GTP-U header from the front of the buffer,
+// returning the decoded header.
+func Decap(b Trimmer) (Header, error) {
+	var h Header
+	if _, err := h.Decode(b.Bytes()); err != nil {
+		return h, err
+	}
+	if err := b.Trim(h.totalLen); err != nil {
+		return h, err
+	}
+	return h, nil
+}

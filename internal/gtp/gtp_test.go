@@ -1,0 +1,193 @@
+package gtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"l25gc/internal/pktbuf"
+)
+
+func TestHeaderRoundTripPlain(t *testing.T) {
+	h := Header{MsgType: MsgGPDU, TEID: 0xdeadbeef}
+	b := make([]byte, 64)
+	n, err := h.Encode(b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderLen {
+		t.Fatalf("encoded %d bytes, want %d", n, HeaderLen)
+	}
+	payload := []byte("0123456789")
+	copy(b[n:], payload)
+	var got Header
+	pl, err := got.Decode(b[:n+10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TEID != h.TEID || got.MsgType != MsgGPDU || got.HasQFI || got.HasSeq {
+		t.Fatalf("got %+v", got)
+	}
+	if !bytes.Equal(pl, payload) {
+		t.Fatalf("payload %q", pl)
+	}
+}
+
+func TestHeaderRoundTripQFI(t *testing.T) {
+	h := Header{MsgType: MsgGPDU, TEID: 7, HasQFI: true, QFI: 9, PDUType: 0}
+	b := make([]byte, 64)
+	n, err := h.Encode(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderLen+4+4 {
+		t.Fatalf("header size = %d", n)
+	}
+	copy(b[n:], "abcd")
+	var got Header
+	pl, err := got.Decode(b[:n+4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasQFI || got.QFI != 9 || got.TEID != 7 {
+		t.Fatalf("got %+v", got)
+	}
+	if string(pl) != "abcd" {
+		t.Fatalf("payload %q", pl)
+	}
+}
+
+func TestHeaderRoundTripSeq(t *testing.T) {
+	h := Header{MsgType: MsgEchoRequest, TEID: 0, HasSeq: true, Seq: 4242}
+	b := make([]byte, 64)
+	n, err := h.Encode(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	if _, err := got.Decode(b[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasSeq || got.Seq != 4242 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var h Header
+	if _, err := h.Decode(make([]byte, 4)); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	b := make([]byte, 8)
+	b[0] = 2 << 5 // version 2
+	if _, err := h.Decode(b); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	b[0] = 1 << 5 // GTP' protocol bit clear
+	if _, err := h.Decode(b); err != ErrBadProtType {
+		t.Fatalf("prot: %v", err)
+	}
+	// Extension flag set but no extension bytes.
+	b[0] = 1<<5 | 0x10 | 0x04
+	if _, err := h.Decode(b); err != ErrTruncated {
+		t.Fatalf("ext truncated: %v", err)
+	}
+	// Extension header with zero length.
+	b2 := make([]byte, 16)
+	b2[0] = 1<<5 | 0x10 | 0x04
+	b2[11] = ExtPDUSession
+	b2[12] = 0 // ext len 0 -> malformed
+	if _, err := h.Decode(b2); err != ErrBadExt {
+		t.Fatalf("bad ext: %v", err)
+	}
+}
+
+func TestEncapDecapOnBuf(t *testing.T) {
+	pool := pktbuf.NewPool(1, "t")
+	b, _ := pool.Get()
+	defer b.Release()
+	inner := []byte("ip packet bytes here")
+	b.SetData(inner)
+	if err := Encap(b, 0x55aa, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != len(inner)+HeaderLen+8 {
+		t.Fatalf("encap len = %d", b.Len())
+	}
+	h, err := Decap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TEID != 0x55aa || h.QFI != 5 || !h.HasQFI || h.PDUType != 0 {
+		t.Fatalf("decap header %+v", h)
+	}
+	if !bytes.Equal(b.Bytes(), inner) {
+		t.Fatalf("inner = %q", b.Bytes())
+	}
+}
+
+func TestEncapUplinkPDUType(t *testing.T) {
+	pool := pktbuf.NewPool(1, "t")
+	b, _ := pool.Get()
+	defer b.Release()
+	b.SetData([]byte("x"))
+	if err := Encap(b, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Decap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.PDUType != 1 {
+		t.Fatalf("PDUType = %d, want 1 (UL)", h.PDUType)
+	}
+}
+
+// Property: Encode then Decode recovers TEID, QFI, Seq and payload length
+// for all flag combinations.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(teid uint32, qfi, plen uint8, seq uint16, hasSeq, hasQFI bool) bool {
+		h := Header{MsgType: MsgGPDU, TEID: teid,
+			HasSeq: hasSeq, Seq: seq, HasQFI: hasQFI, QFI: qfi & 0x3f}
+		b := make([]byte, 64+int(plen))
+		n, err := h.Encode(b, int(plen))
+		if err != nil {
+			return false
+		}
+		var got Header
+		pl, err := got.Decode(b[:n+int(plen)])
+		if err != nil {
+			return false
+		}
+		if got.TEID != teid || got.HasQFI != hasQFI || got.HasSeq != hasSeq {
+			return false
+		}
+		if hasQFI && got.QFI != qfi&0x3f {
+			return false
+		}
+		if hasSeq && got.Seq != seq {
+			return false
+		}
+		return len(pl) == int(plen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncapDecap(b *testing.B) {
+	pool := pktbuf.NewPool(1, "bench")
+	buf, _ := pool.Get()
+	defer buf.Release()
+	inner := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.SetData(inner)
+		if err := Encap(buf, 42, 9, true); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decap(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

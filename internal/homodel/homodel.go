@@ -1,0 +1,98 @@
+// Package homodel implements the paper's analytic smart-buffering model:
+// Eq. 1 (packet drops during handover as a function of buffer placement
+// and size) and Eq. 2 (one-way delay for L²5GC's direct forwarding vs.
+// 3GPP's hairpin through the source gNB). It regenerates the "Estimating
+// Smart Buffering benefit" analysis of §5.4.2.
+package homodel
+
+import "time"
+
+// Params are the model inputs.
+type Params struct {
+	DLRatePps   float64       // downlink rate (packets/second)
+	THandover   time.Duration // handover completion time t_HO
+	QlenUPF     int           // buffer available at the UPF (L²5GC)
+	QlenGNB     int           // buffer available at the source gNB (3GPP)
+	TPropUPFGNB time.Duration // propagation delay UPF <-> any gNB
+}
+
+// Scheme selects whose buffering is modelled.
+type Scheme int
+
+// Buffering schemes.
+const (
+	SchemeL25GC Scheme = iota // buffer at UPF, direct forwarding
+	Scheme3GPP                // buffer at source gNB, hairpin forwarding
+)
+
+// Drops evaluates Eq. 1: N_drop = DL_rate × t_HO − Q_length, clamped at 0.
+func Drops(p Params, s Scheme) int {
+	inFlight := p.DLRatePps * p.THandover.Seconds()
+	q := p.QlenUPF
+	if s == Scheme3GPP {
+		q = p.QlenGNB
+	}
+	d := int(inFlight) - q
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// OneWayDelay evaluates Eq. 2 for the first packet released after the
+// handover: L²5GC pays t_HO plus one UPF->target-gNB hop; 3GPP pays t_HO
+// plus the hairpin (UPF->source gNB->UPF->target gNB).
+func OneWayDelay(p Params, s Scheme) time.Duration {
+	switch s {
+	case Scheme3GPP:
+		return p.THandover + 3*p.TPropUPFGNB
+	default:
+		return p.THandover + p.TPropUFGNBSafe()
+	}
+}
+
+// TPropUFGNBSafe returns the propagation delay (guarding zero params).
+func (p Params) TPropUFGNBSafe() time.Duration { return p.TPropUPFGNB }
+
+// HairpinPenalty is the extra delay 3GPP forwarding pays over L²5GC's
+// direct path: two additional UPF<->gNB traversals.
+func HairpinPenalty(p Params) time.Duration {
+	return OneWayDelay(p, Scheme3GPP) - OneWayDelay(p, SchemeL25GC)
+}
+
+// Case describes one row of the §5.4.2 packet-drop analysis.
+type Case struct {
+	Name       string
+	Params     Params
+	DropsL25GC int
+	Drops3GPP  int
+	OWDL25GC   time.Duration
+	OWD3GPP    time.Duration
+}
+
+// PaperCases reproduces the two cases the paper evaluates: (i) equal
+// 500-packet buffers, (ii) 1500 packets at the UPF vs 500 at the gNB,
+// with t_HO = 130 ms and 10 Kpps DL.
+func PaperCases() []Case {
+	base := Params{
+		DLRatePps:   10000,
+		THandover:   130 * time.Millisecond,
+		TPropUPFGNB: 10 * time.Millisecond,
+	}
+	ci := base
+	ci.QlenUPF, ci.QlenGNB = 500, 500
+	cii := base
+	cii.QlenUPF, cii.QlenGNB = 1500, 500
+	out := []Case{
+		{Name: "case (i): equal 500-pkt buffers", Params: ci},
+		{Name: "case (ii): UPF 1500 / gNB 500", Params: cii},
+	}
+	for i := range out {
+		p := out[i].Params
+		out[i].DropsL25GC = Drops(p, SchemeL25GC)
+		out[i].Drops3GPP = Drops(p, Scheme3GPP)
+		out[i].OWDL25GC = OneWayDelay(p, SchemeL25GC)
+		out[i].OWD3GPP = OneWayDelay(p, Scheme3GPP)
+	}
+	return out
+}

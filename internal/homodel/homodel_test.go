@@ -1,0 +1,80 @@
+package homodel
+
+import (
+	"testing"
+	"time"
+)
+
+func params(upfQ, gnbQ int) Params {
+	return Params{
+		DLRatePps:   10000,
+		THandover:   130 * time.Millisecond,
+		QlenUPF:     upfQ,
+		QlenGNB:     gnbQ,
+		TPropUPFGNB: 10 * time.Millisecond,
+	}
+}
+
+// §5.4.2 case (i): equal 500-packet buffers — both schemes lose ~800
+// packets (10 Kpps × 130 ms = 1300 in flight, minus 500 buffered).
+func TestDropsEqualBuffers(t *testing.T) {
+	p := params(500, 500)
+	if d := Drops(p, SchemeL25GC); d != 800 {
+		t.Fatalf("L25GC drops = %d, want 800", d)
+	}
+	if d := Drops(p, Scheme3GPP); d != 800 {
+		t.Fatalf("3GPP drops = %d, want 800", d)
+	}
+}
+
+// §5.4.2 case (ii): 1500-packet UPF buffer — no loss for L²5GC, the gNB
+// still loses ~800.
+func TestDropsLargerUPFBuffer(t *testing.T) {
+	p := params(1500, 500)
+	if d := Drops(p, SchemeL25GC); d != 0 {
+		t.Fatalf("L25GC drops = %d, want 0", d)
+	}
+	if d := Drops(p, Scheme3GPP); d != 800 {
+		t.Fatalf("3GPP drops = %d, want 800", d)
+	}
+}
+
+func TestDropsClampAtZero(t *testing.T) {
+	p := params(100000, 0)
+	if d := Drops(p, SchemeL25GC); d != 0 {
+		t.Fatalf("drops = %d", d)
+	}
+}
+
+// Eq. 2: the hairpin adds two extra UPF<->gNB traversals = 20 ms.
+func TestHairpinPenalty(t *testing.T) {
+	p := params(500, 500)
+	if got := HairpinPenalty(p); got != 20*time.Millisecond {
+		t.Fatalf("penalty = %v, want 20ms", got)
+	}
+	if got := OneWayDelay(p, SchemeL25GC); got != 140*time.Millisecond {
+		t.Fatalf("L25GC OWD = %v, want 140ms", got)
+	}
+	if got := OneWayDelay(p, Scheme3GPP); got != 160*time.Millisecond {
+		t.Fatalf("3GPP OWD = %v, want 160ms", got)
+	}
+}
+
+func TestPaperCases(t *testing.T) {
+	cases := PaperCases()
+	if len(cases) != 2 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	ci, cii := cases[0], cases[1]
+	if ci.DropsL25GC != 800 || ci.Drops3GPP != 800 {
+		t.Fatalf("case i: %+v", ci)
+	}
+	if cii.DropsL25GC != 0 || cii.Drops3GPP != 800 {
+		t.Fatalf("case ii: %+v", cii)
+	}
+	for _, c := range cases {
+		if c.OWD3GPP-c.OWDL25GC != 20*time.Millisecond {
+			t.Fatalf("%s: OWD delta = %v", c.Name, c.OWD3GPP-c.OWDL25GC)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package kernelpath is the free5GC-style baseline data plane: the UPF
+// forwards through real kernel UDP sockets on loopback, paying the
+// syscall, copy and interrupt-driven wakeup costs that Appendix B
+// attributes to the gtp5g kernel-module implementation. It reuses the same
+// session state, classifiers and smart-buffering logic as the
+// shared-memory UPF, so throughput and latency comparisons against the
+// ONVM path (Fig. 10) isolate exactly the transport difference.
+package kernelpath
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"l25gc/internal/classifier"
+	"l25gc/internal/gtp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/pktbuf"
+	"l25gc/internal/rules"
+	"l25gc/internal/upf"
+)
+
+// KernelUPF is the kernel-socket UPF data path.
+type KernelUPF struct {
+	state *upf.State
+	upfc  *upf.UPFC
+	pool  *pktbuf.Pool
+
+	n3 *net.UDPConn // GTP-U side (gNB <-> UPF)
+	n6 *net.UDPConn // plain IP side (UPF <-> DN)
+
+	mu       sync.RWMutex
+	gnbAddrs map[pkt.Addr]*net.UDPAddr // FAR outer addr -> gNB socket addr
+	dnAddr   *net.UDPAddr
+
+	ulFwd, dlFwd atomic.Uint64
+	dropped      atomic.Uint64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New creates a kernel-path UPF listening on two ephemeral loopback
+// sockets. upfc must be built over the same state (it provides PFCP
+// handling and the drain hook wiring).
+func New(state *upf.State, upfc *upf.UPFC) (*KernelUPF, error) {
+	n3, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	n6, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		n3.Close()
+		return nil, err
+	}
+	// Size the socket buffers for line-rate bursts, as a production
+	// deployment would (sysctl net.core.rmem_max tuning).
+	for _, c := range []*net.UDPConn{n3, n6} {
+		c.SetReadBuffer(4 << 20)
+		c.SetWriteBuffer(4 << 20)
+	}
+	k := &KernelUPF{
+		state:    state,
+		upfc:     upfc,
+		pool:     pktbuf.NewPool(4096, "kernelpath"),
+		n3:       n3,
+		n6:       n6,
+		gnbAddrs: make(map[pkt.Addr]*net.UDPAddr),
+	}
+	if upfc != nil {
+		upfc.OnDrain(k.drainSession)
+	}
+	k.wg.Add(2)
+	go k.n3Loop()
+	go k.n6Loop()
+	return k, nil
+}
+
+// N3Addr returns the GTP-U socket address (gNBs send here).
+func (k *KernelUPF) N3Addr() string { return k.n3.LocalAddr().String() }
+
+// N6Addr returns the DN-side socket address.
+func (k *KernelUPF) N6Addr() string { return k.n6.LocalAddr().String() }
+
+// RegisterGNB maps a FAR outer-header address to a gNB's UDP endpoint.
+func (k *KernelUPF) RegisterGNB(a pkt.Addr, udpAddr string) error {
+	ua, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	k.mu.Lock()
+	k.gnbAddrs[a] = ua
+	k.mu.Unlock()
+	return nil
+}
+
+// SetDN points the N6 egress at the data-network endpoint.
+func (k *KernelUPF) SetDN(udpAddr string) error {
+	ua, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	k.mu.Lock()
+	k.dnAddr = ua
+	k.mu.Unlock()
+	return nil
+}
+
+// Stats reports forwarded/dropped packet counts.
+func (k *KernelUPF) Stats() (ul, dl, dropped uint64) {
+	return k.ulFwd.Load(), k.dlFwd.Load(), k.dropped.Load()
+}
+
+// n3Loop receives GTP-U frames from gNBs, decapsulates and forwards the
+// inner packet to the DN over the N6 socket.
+func (k *KernelUPF) n3Loop() {
+	defer k.wg.Done()
+	buf := make([]byte, 64*1024)
+	var scratch pkt.Parsed
+	var hdr gtp.Header
+	for {
+		n, _, err := k.n3.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		inner, err := hdr.Decode(buf[:n])
+		if err != nil || hdr.MsgType != gtp.MsgGPDU {
+			k.dropped.Add(1)
+			continue
+		}
+		ctx, ok := k.state.ByTEID(hdr.TEID)
+		if !ok {
+			k.dropped.Add(1)
+			continue
+		}
+		if err := scratch.ParseIPv4(inner); err != nil {
+			k.dropped.Add(1)
+			continue
+		}
+		key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, TEID: hdr.TEID, FromAccess: true}
+		pdr, far := ctx.Match(&key)
+		if pdr == nil {
+			k.dropped.Add(1)
+			continue
+		}
+		if far == nil || far.Action&rules.FARForward == 0 {
+			k.dropped.Add(1)
+			continue
+		}
+		k.mu.RLock()
+		dn := k.dnAddr
+		k.mu.RUnlock()
+		if dn == nil {
+			k.dropped.Add(1)
+			continue
+		}
+		// A second kernel crossing and copy: the baseline's cost.
+		if _, err := k.n6.WriteToUDP(inner, dn); err == nil {
+			k.ulFwd.Add(1)
+		} else {
+			k.dropped.Add(1)
+		}
+	}
+}
+
+// n6Loop receives plain IP packets from the DN, classifies, buffers or
+// GTP-encapsulates them toward the serving gNB.
+func (k *KernelUPF) n6Loop() {
+	defer k.wg.Done()
+	raw := make([]byte, 64*1024)
+	out := make([]byte, 64*1024)
+	var scratch pkt.Parsed
+	for {
+		n, _, err := k.n6.ReadFromUDP(raw)
+		if err != nil {
+			return
+		}
+		if err := scratch.ParseIPv4(raw[:n]); err != nil {
+			k.dropped.Add(1)
+			continue
+		}
+		ctx, ok := k.state.ByUEIP(scratch.IP.Dst)
+		if !ok {
+			k.dropped.Add(1)
+			continue
+		}
+		key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, FromAccess: false}
+		pdr, far := ctx.Match(&key)
+		if pdr == nil {
+			k.dropped.Add(1)
+			continue
+		}
+		if far == nil {
+			k.dropped.Add(1)
+			continue
+		}
+		if far.Action&rules.FARBuffer != 0 {
+			// Smart buffering: copy into a pooled buffer and park it.
+			b, err := k.pool.Get()
+			if err != nil {
+				k.dropped.Add(1)
+				continue
+			}
+			if b.SetData(raw[:n]) != nil {
+				b.Release()
+				k.dropped.Add(1)
+				continue
+			}
+			stored, first := ctx.Park(b)
+			if first && far.Action&rules.FARNotifyCP != 0 && k.upfc != nil {
+				go k.upfc.ReportDL(ctx, pdr.ID)
+			}
+			if !stored {
+				b.Release()
+				k.dropped.Add(1)
+			}
+			continue
+		}
+		if far.Action&rules.FARForward == 0 {
+			k.dropped.Add(1)
+			continue
+		}
+		if k.sendDL(out, raw[:n], pdr, far) {
+			k.dlFwd.Add(1)
+		} else {
+			k.dropped.Add(1)
+		}
+	}
+}
+
+// sendDL encapsulates inner into out and transmits to the gNB.
+func (k *KernelUPF) sendDL(out, inner []byte, pdr *rules.PDR, far *rules.FAR) bool {
+	if !far.HasOuterHeader {
+		return false
+	}
+	qfi := uint8(9)
+	if pdr.PDI.HasQFI {
+		qfi = pdr.PDI.QFI
+	}
+	hdr := gtp.Header{MsgType: gtp.MsgGPDU, TEID: far.OuterTEID, HasQFI: true, QFI: qfi}
+	hn, err := hdr.Encode(out, len(inner))
+	if err != nil {
+		return false
+	}
+	copy(out[hn:], inner) // software copy, as in the kernel module path
+	k.mu.RLock()
+	dst := k.gnbAddrs[far.OuterAddr]
+	k.mu.RUnlock()
+	if dst == nil {
+		return false
+	}
+	_, err = k.n3.WriteToUDP(out[:hn+len(inner)], dst)
+	return err == nil
+}
+
+// drainSession releases parked packets toward the session's current FAR.
+func (k *KernelUPF) drainSession(ctx *upf.SessCtx) {
+	out := make([]byte, 64*1024)
+	var scratch pkt.Parsed
+	for _, b := range ctx.Drain() {
+		if err := scratch.ParseIPv4(b.Bytes()); err == nil {
+			key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, FromAccess: false}
+			if pdr, far := ctx.Match(&key); pdr != nil && far != nil && far.Action&rules.FARForward != 0 {
+				if k.sendDL(out, b.Bytes(), pdr, far) {
+					k.dlFwd.Add(1)
+				}
+			}
+		}
+		b.Release()
+	}
+}
+
+// Close stops the loops and sockets.
+func (k *KernelUPF) Close() error {
+	if !k.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	k.n3.Close()
+	k.n6.Close()
+	k.wg.Wait()
+	return nil
+}

@@ -1,0 +1,188 @@
+package kernelpath
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"l25gc/internal/gtp"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+	"l25gc/internal/upf"
+)
+
+var (
+	ueIP  = pkt.AddrFrom(10, 60, 0, 1)
+	n3IP  = pkt.AddrFrom(10, 100, 0, 2)
+	gnbIP = pkt.AddrFrom(10, 100, 0, 10)
+	dnIP  = pkt.AddrFrom(8, 8, 8, 8)
+)
+
+func establishReq(seid uint64) *pfcp.SessionEstablishmentRequest {
+	return &pfcp.SessionEstablishmentRequest{
+		NodeID: "smf", CPSEID: seid, UEIP: ueIP,
+		CreatePDRs: []*rules.PDR{
+			{ID: 1, Precedence: 32,
+				PDI: rules.PDI{SourceInterface: rules.IfAccess, HasTEID: true,
+					UEIP: ueIP, HasUEIP: true},
+				OuterHeaderRemoval: true, FARID: 1},
+			{ID: 2, Precedence: 32,
+				PDI:   rules.PDI{SourceInterface: rules.IfCore, UEIP: ueIP, HasUEIP: true},
+				FARID: 2},
+		},
+		CreateFARs: []*rules.FAR{
+			{ID: 1, Action: rules.FARForward, DestInterface: rules.IfCore},
+			{ID: 2, Action: rules.FARForward, DestInterface: rules.IfAccess,
+				HasOuterHeader: true, OuterTEID: 0x5001, OuterAddr: gnbIP},
+		},
+	}
+}
+
+func setup(t *testing.T) (*KernelUPF, *upf.UPFC, uint32, *net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	state := upf.NewState("ll", 0) // free5GC uses the linear-list lookup
+	upfc := upf.NewUPFC(state, n3IP, nil)
+	k, err := New(state, upfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { k.Close() })
+
+	gnb, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gnb.Close() })
+	dn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dn.Close() })
+
+	if err := k.RegisterGNB(gnbIP, gnb.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetDN(dn.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := upfc.Handle(100, establishReq(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	teid := resp.(*pfcp.SessionEstablishmentResponse).CreatedPDRs[0].TEID
+	return k, upfc, teid, gnb, dn
+}
+
+func TestUplinkThroughKernelSockets(t *testing.T) {
+	k, _, teid, gnb, dn := setup(t)
+
+	inner := make([]byte, 256)
+	n, _ := pkt.BuildUDPv4(inner, ueIP, dnIP, 1000, 2000, 0, []byte("uplink-payload"))
+	frame := make([]byte, 512)
+	hdr := gtp.Header{MsgType: gtp.MsgGPDU, TEID: teid, HasQFI: true, QFI: 9, PDUType: 1}
+	hn, _ := hdr.Encode(frame, n)
+	copy(frame[hn:], inner[:n])
+
+	upfAddr, _ := net.ResolveUDPAddr("udp", k.N3Addr())
+	if _, err := gnb.WriteToUDP(frame[:hn+n], upfAddr); err != nil {
+		t.Fatal(err)
+	}
+	dn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	out := make([]byte, 2048)
+	on, _, err := dn.ReadFromUDP(out)
+	if err != nil {
+		t.Fatalf("DN read: %v (stats: %v)", err, statsString(k))
+	}
+	var p pkt.Parsed
+	if err := p.ParseIPv4(out[:on]); err != nil {
+		t.Fatal(err)
+	}
+	if p.IP.Src != ueIP || p.IP.Dst != dnIP || string(p.Payload) != "uplink-payload" {
+		t.Fatalf("unexpected DN packet %v -> %v %q", p.IP.Src, p.IP.Dst, p.Payload)
+	}
+}
+
+func TestDownlinkThroughKernelSockets(t *testing.T) {
+	k, _, _, gnb, dn := setup(t)
+
+	raw := make([]byte, 256)
+	n, _ := pkt.BuildUDPv4(raw, dnIP, ueIP, 2000, 1000, 0, []byte("downlink"))
+	upfN6, _ := net.ResolveUDPAddr("udp", k.N6Addr())
+	if _, err := dn.WriteToUDP(raw[:n], upfN6); err != nil {
+		t.Fatal(err)
+	}
+	gnb.SetReadDeadline(time.Now().Add(2 * time.Second))
+	out := make([]byte, 2048)
+	on, _, err := gnb.ReadFromUDP(out)
+	if err != nil {
+		t.Fatalf("gNB read: %v", err)
+	}
+	var h gtp.Header
+	inner, err := h.Decode(out[:on])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TEID != 0x5001 || h.QFI != 9 {
+		t.Fatalf("outer header %+v", h)
+	}
+	var p pkt.Parsed
+	if err := p.ParseIPv4(inner); err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Payload) != "downlink" {
+		t.Fatalf("payload %q", p.Payload)
+	}
+}
+
+func TestKernelPathBufferingAndDrain(t *testing.T) {
+	k, upfc, _, gnb, dn := setup(t)
+
+	// Flip DL FAR to buffer (handover starts).
+	upfc.Handle(100, &pfcp.SessionModificationRequest{
+		UpdateFARs: []*rules.FAR{{ID: 2, Action: rules.FARBuffer, DestInterface: rules.IfAccess}},
+	})
+	upfN6, _ := net.ResolveUDPAddr("udp", k.N6Addr())
+	raw := make([]byte, 256)
+	const npkts = 4
+	for i := 0; i < npkts; i++ {
+		n, _ := pkt.BuildUDPv4(raw, dnIP, ueIP, 2000, 1000, 0, []byte{byte(i)})
+		dn.WriteToUDP(raw[:n], upfN6)
+	}
+	// Nothing must reach the gNB while buffering.
+	gnb.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	tmp := make([]byte, 2048)
+	if _, _, err := gnb.ReadFromUDP(tmp); err == nil {
+		t.Fatal("packet leaked to gNB while buffering")
+	}
+	// Give the n6Loop a moment to park everything, then complete HO to a
+	// new target TEID.
+	time.Sleep(100 * time.Millisecond)
+	upfc.Handle(100, &pfcp.SessionModificationRequest{
+		UpdateFARs: []*rules.FAR{{ID: 2, Action: rules.FARForward, DestInterface: rules.IfAccess,
+			HasOuterHeader: true, OuterTEID: 0x9999, OuterAddr: gnbIP}},
+	})
+	for i := 0; i < npkts; i++ {
+		gnb.SetReadDeadline(time.Now().Add(2 * time.Second))
+		on, _, err := gnb.ReadFromUDP(tmp)
+		if err != nil {
+			t.Fatalf("drained packet %d missing: %v", i, err)
+		}
+		var h gtp.Header
+		inner, err := h.Decode(tmp[:on])
+		if err != nil || h.TEID != 0x9999 {
+			t.Fatalf("packet %d: hdr %+v err %v", i, h, err)
+		}
+		var p pkt.Parsed
+		p.ParseIPv4(inner)
+		if len(p.Payload) != 1 || p.Payload[0] != byte(i) {
+			t.Fatalf("packet %d out of order: payload %v", i, p.Payload)
+		}
+	}
+}
+
+func statsString(k *KernelUPF) string {
+	ul, dl, dr := k.Stats()
+	return fmt.Sprintf("ul=%d dl=%d dropped=%d", ul, dl, dr)
+}

@@ -1,0 +1,142 @@
+// Package lb implements the UE-aware load balancer of §4 and Fig. 5: it
+// pins each UE session to its serving 5GC unit (avoiding state migration),
+// assigns new sessions by load, stamps every message through the
+// resiliency counter/packet-logger, and drives failover to a standby unit
+// with ordered replay.
+package lb
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"l25gc/internal/resilience"
+)
+
+// Backend is one 5GC unit as the LB sees it.
+type Backend interface {
+	// Deliver hands one ingress message (control or data) to the unit.
+	Deliver(class resilience.Class, counter uint64, data []byte) error
+}
+
+// ErrNoStandby reports a failover attempt with no standby configured.
+var ErrNoStandby = errors.New("lb: no standby unit")
+
+// LB fronts a primary unit and its remote standby.
+type LB struct {
+	mu      sync.Mutex
+	primary Backend
+	standby Backend
+	active  Backend
+
+	Logger *resilience.PacketLogger
+
+	failedOver  bool
+	ReplayCount int
+	FailoverDur time.Duration
+}
+
+// New creates an LB over primary with an optional standby. logCap bounds
+// each of the four logger queues.
+func New(primary, standby Backend, logCap int) *LB {
+	return &LB{
+		primary: primary, standby: standby, active: primary,
+		Logger: resilience.NewPacketLogger(logCap),
+	}
+}
+
+// Ingress stamps, logs and forwards one message to the active unit.
+func (l *LB) Ingress(class resilience.Class, data []byte) error {
+	ctr, _ := l.Logger.Log(class, data)
+	l.mu.Lock()
+	b := l.active
+	l.mu.Unlock()
+	return b.Deliver(class, ctr, data)
+}
+
+// AckCheckpoint releases logged messages covered by a checkpoint the
+// standby acknowledged.
+func (l *LB) AckCheckpoint(counter uint64) { l.Logger.ReleaseUpTo(counter) }
+
+// Failover switches to the standby and replays, in counter order, every
+// logged message newer than replayAfter (the standby's checkpoint). It
+// returns the number of messages replayed.
+func (l *LB) Failover(replayAfter uint64) (int, error) {
+	start := time.Now()
+	l.mu.Lock()
+	if l.standby == nil {
+		l.mu.Unlock()
+		return 0, ErrNoStandby
+	}
+	l.active = l.standby
+	l.failedOver = true
+	b := l.active
+	l.mu.Unlock()
+
+	replay := l.Logger.ReplayFrom(replayAfter)
+	for _, p := range replay {
+		if err := b.Deliver(p.Class, p.Counter, p.Data); err != nil {
+			return len(replay), err
+		}
+	}
+	l.ReplayCount = len(replay)
+	l.FailoverDur = time.Since(start)
+	return len(replay), nil
+}
+
+// FailedOver reports whether the standby is active.
+func (l *LB) FailedOver() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failedOver
+}
+
+// Affinity keeps the UE -> 5GC-unit assignment of §4: a session stays on
+// its unit for its lifetime; new UEs go to the least-loaded unit.
+type Affinity struct {
+	mu    sync.Mutex
+	units int
+	byUE  map[string]int
+	loads []int
+}
+
+// NewAffinity tracks assignment across n units.
+func NewAffinity(n int) *Affinity {
+	return &Affinity{units: n, byUE: make(map[string]int), loads: make([]int, n)}
+}
+
+// UnitFor returns the sticky unit for a UE, assigning the least-loaded
+// unit on first sight.
+func (a *Affinity) UnitFor(supi string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if u, ok := a.byUE[supi]; ok {
+		return u
+	}
+	best := 0
+	for i := 1; i < a.units; i++ {
+		if a.loads[i] < a.loads[best] {
+			best = i
+		}
+	}
+	a.byUE[supi] = best
+	a.loads[best]++
+	return best
+}
+
+// Release drops a UE's assignment (session ended).
+func (a *Affinity) Release(supi string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if u, ok := a.byUE[supi]; ok {
+		delete(a.byUE, supi)
+		a.loads[u]--
+	}
+}
+
+// Loads returns a copy of per-unit session counts.
+func (a *Affinity) Loads() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.loads...)
+}

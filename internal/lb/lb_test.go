@@ -1,0 +1,118 @@
+package lb
+
+import (
+	"sync"
+	"testing"
+
+	"l25gc/internal/resilience"
+)
+
+// recorder is a Backend capturing deliveries.
+type recorder struct {
+	mu   sync.Mutex
+	got  []resilience.LoggedPacket
+	fail error
+}
+
+func (r *recorder) Deliver(class resilience.Class, counter uint64, data []byte) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	r.mu.Lock()
+	r.got = append(r.got, resilience.LoggedPacket{Class: class, Counter: counter, Data: append([]byte(nil), data...)})
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got)
+}
+
+func TestIngressGoesToPrimary(t *testing.T) {
+	p, s := &recorder{}, &recorder{}
+	l := New(p, s, 0)
+	for i := 0; i < 5; i++ {
+		if err := l.Ingress(resilience.DLData, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.count() != 5 || s.count() != 0 {
+		t.Fatalf("primary=%d standby=%d", p.count(), s.count())
+	}
+	// Counters are monotone from 1.
+	for i, pkt := range p.got {
+		if pkt.Counter != uint64(i+1) {
+			t.Fatalf("counters %+v", p.got)
+		}
+	}
+}
+
+func TestFailoverReplaysAfterCheckpoint(t *testing.T) {
+	p, s := &recorder{}, &recorder{}
+	l := New(p, s, 0)
+	// 6 messages; checkpoint covers the first 4.
+	for i := 0; i < 6; i++ {
+		cls := resilience.DLData
+		if i%3 == 0 {
+			cls = resilience.DLControl
+		}
+		l.Ingress(cls, []byte{byte(i)})
+	}
+	l.AckCheckpoint(4)
+	n, err := l.Failover(4)
+	if err != nil || n != 2 {
+		t.Fatalf("failover replayed %d (%v), want 2", n, err)
+	}
+	if !l.FailedOver() {
+		t.Fatal("not failed over")
+	}
+	if s.count() != 2 || s.got[0].Counter != 5 || s.got[1].Counter != 6 {
+		t.Fatalf("standby got %+v", s.got)
+	}
+	// Post-failover traffic goes to the standby.
+	l.Ingress(resilience.ULData, []byte("after"))
+	if s.count() != 3 || p.count() != 6 {
+		t.Fatalf("routing after failover: p=%d s=%d", p.count(), s.count())
+	}
+}
+
+func TestFailoverWithoutStandby(t *testing.T) {
+	l := New(&recorder{}, nil, 0)
+	if _, err := l.Failover(0); err != ErrNoStandby {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAffinityStickyAndBalanced(t *testing.T) {
+	a := NewAffinity(3)
+	u1 := a.UnitFor("imsi-1")
+	u2 := a.UnitFor("imsi-2")
+	u3 := a.UnitFor("imsi-3")
+	if u1 == u2 && u2 == u3 {
+		t.Fatalf("no spreading: %d %d %d", u1, u2, u3)
+	}
+	// Sticky: repeated lookups return the same unit (no state migration).
+	for i := 0; i < 10; i++ {
+		if a.UnitFor("imsi-1") != u1 {
+			t.Fatal("affinity not sticky")
+		}
+	}
+	loads := a.Loads()
+	total := 0
+	for _, v := range loads {
+		total += v
+	}
+	if total != 3 {
+		t.Fatalf("loads %v", loads)
+	}
+	a.Release("imsi-1")
+	if a.Loads()[u1] != 0 {
+		t.Fatal("release did not decrement load")
+	}
+	// New UE lands on the now-least-loaded unit.
+	if a.UnitFor("imsi-4") != u1 {
+		t.Fatal("least-loaded assignment broken")
+	}
+}

@@ -1,0 +1,241 @@
+// Package metrics provides the measurement utilities used by the
+// evaluation harness: latency histograms with percentiles, time-series
+// recorders for RTT-over-time plots, and fixed-width table printing that
+// mirrors the rows the paper reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples and reports distribution summaries.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration { return h.Percentile(0.0001) }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+
+// Summary renders "mean p50 p99 max (n)" in a compact line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%v p50=%v p99=%v max=%v n=%d",
+		h.Mean().Round(time.Microsecond), h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond), h.Max().Round(time.Microsecond), h.Count())
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Point is one time-series sample.
+type Point struct {
+	T time.Duration // offset from series start
+	V float64
+}
+
+// Series is an append-only time series (RTT over time, cwnd over time...).
+type Series struct {
+	mu     sync.Mutex
+	name   string
+	start  time.Time
+	points []Point
+}
+
+// NewSeries creates a series anchored at now.
+func NewSeries(name string) *Series {
+	return &Series{name: name, start: time.Now()}
+}
+
+// Add records v at the current instant.
+func (s *Series) Add(v float64) { s.AddAt(time.Since(s.start), v) }
+
+// AddAt records v at a specific offset (for simulated time).
+func (s *Series) AddAt(t time.Duration, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the samples.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// Name returns the series label.
+func (s *Series) Name() string { return s.name }
+
+// MaxV returns the largest value in the series.
+func (s *Series) MaxV() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := math.Inf(-1)
+	for _, p := range s.points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Table prints aligned rows, the way the harness reproduces the paper's
+// tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			// Keep two extra digits below the leading unit so sub-µs
+			// transport costs stay visible in the tables.
+			switch {
+			case v >= time.Millisecond:
+				row[i] = v.Round(10 * time.Microsecond).String()
+			case v >= time.Microsecond:
+				row[i] = v.Round(10 * time.Nanosecond).String()
+			default:
+				row[i] = v.String()
+			}
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Write(&b)
+	return b.String()
+}
+
+// CountAbove returns the number of samples strictly greater than d.
+func (h *Histogram) CountAbove(d time.Duration) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, s := range h.samples {
+		if s > d {
+			n++
+		}
+	}
+	return n
+}

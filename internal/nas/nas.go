@@ -1,0 +1,318 @@
+// Package nas implements the N1 Non-Access-Stratum messages exchanged
+// between the UE and the AMF (and, for session management, the SMF): the
+// registration, authentication, security mode, PDU session and service
+// request message set used by the paper's four UE events.
+//
+// Real NAS uses 3GPP TS 24.501 bit-packed encoding; here each message is a
+// one-byte message type followed by the schema-driven binary body (the
+// same tag/varint codec the SBI uses), which preserves the property that
+// NAS PDUs are opaque byte containers carried through N1/N2 transports.
+package nas
+
+import (
+	"errors"
+	"fmt"
+
+	"l25gc/internal/codec"
+)
+
+// MsgType identifies a NAS message.
+type MsgType uint8
+
+// NAS message types (subset of TS 24.501).
+const (
+	MsgRegistrationRequest MsgType = iota + 1
+	MsgAuthenticationRequest
+	MsgAuthenticationResponse
+	MsgSecurityModeCommand
+	MsgSecurityModeComplete
+	MsgRegistrationAccept
+	MsgRegistrationComplete
+	MsgPDUSessionEstablishmentRequest
+	MsgPDUSessionEstablishmentAccept
+	MsgServiceRequest
+	MsgServiceAccept
+	MsgDeregistrationRequest
+	MsgConfigurationUpdate
+)
+
+// ErrUnknownMsg reports an unrecognized NAS message type byte.
+var ErrUnknownMsg = errors.New("nas: unknown message type")
+
+// ErrTruncated reports a NAS PDU too short to contain a type byte.
+var ErrTruncated = errors.New("nas: truncated PDU")
+
+// Message is a NAS message body.
+type Message interface {
+	codec.Message
+	NASType() MsgType
+}
+
+var nasCodec = codec.Proto{}
+
+// Marshal encodes a NAS message into a PDU.
+func Marshal(m Message) ([]byte, error) {
+	body, err := nasCodec.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{byte(m.NASType())}, body...), nil
+}
+
+// Unmarshal decodes a NAS PDU.
+func Unmarshal(pdu []byte) (Message, error) {
+	if len(pdu) < 1 {
+		return nil, ErrTruncated
+	}
+	m := New(MsgType(pdu[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMsg, pdu[0])
+	}
+	if err := nasCodec.Unmarshal(pdu[1:], m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// New allocates an empty message of the given type.
+func New(t MsgType) Message {
+	switch t {
+	case MsgRegistrationRequest:
+		return &RegistrationRequest{}
+	case MsgAuthenticationRequest:
+		return &AuthenticationRequest{}
+	case MsgAuthenticationResponse:
+		return &AuthenticationResponse{}
+	case MsgSecurityModeCommand:
+		return &SecurityModeCommand{}
+	case MsgSecurityModeComplete:
+		return &SecurityModeComplete{}
+	case MsgRegistrationAccept:
+		return &RegistrationAccept{}
+	case MsgRegistrationComplete:
+		return &RegistrationComplete{}
+	case MsgPDUSessionEstablishmentRequest:
+		return &PDUSessionEstablishmentRequest{}
+	case MsgPDUSessionEstablishmentAccept:
+		return &PDUSessionEstablishmentAccept{}
+	case MsgServiceRequest:
+		return &ServiceRequest{}
+	case MsgServiceAccept:
+		return &ServiceAccept{}
+	case MsgDeregistrationRequest:
+		return &DeregistrationRequest{}
+	case MsgConfigurationUpdate:
+		return &ConfigurationUpdate{}
+	default:
+		return nil
+	}
+}
+
+// RegistrationRequest starts UE registration (initial attach).
+type RegistrationRequest struct {
+	Suci         string
+	Capabilities uint32
+	FollowOnReq  bool
+}
+
+// NASType implements Message.
+func (*RegistrationRequest) NASType() MsgType { return MsgRegistrationRequest }
+
+// Schema implements codec.Message.
+func (m *RegistrationRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Suci},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Capabilities},
+		{Tag: 3, Kind: codec.KindBool, Ptr: &m.FollowOnReq},
+	}
+}
+
+// AuthenticationRequest carries the 5G-AKA challenge to the UE.
+type AuthenticationRequest struct {
+	Rand []byte
+	Autn []byte
+}
+
+// NASType implements Message.
+func (*AuthenticationRequest) NASType() MsgType { return MsgAuthenticationRequest }
+
+// Schema implements codec.Message.
+func (m *AuthenticationRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindBytes, Ptr: &m.Rand},
+		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.Autn},
+	}
+}
+
+// AuthenticationResponse returns the UE's RES*.
+type AuthenticationResponse struct {
+	ResStar []byte
+}
+
+// NASType implements Message.
+func (*AuthenticationResponse) NASType() MsgType { return MsgAuthenticationResponse }
+
+// Schema implements codec.Message.
+func (m *AuthenticationResponse) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindBytes, Ptr: &m.ResStar}}
+}
+
+// SecurityModeCommand selects NAS security algorithms.
+type SecurityModeCommand struct {
+	CipherAlg    uint32
+	IntegrityAlg uint32
+}
+
+// NASType implements Message.
+func (*SecurityModeCommand) NASType() MsgType { return MsgSecurityModeCommand }
+
+// Schema implements codec.Message.
+func (m *SecurityModeCommand) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.CipherAlg},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.IntegrityAlg},
+	}
+}
+
+// SecurityModeComplete acknowledges the security mode.
+type SecurityModeComplete struct {
+	IMEISV string
+}
+
+// NASType implements Message.
+func (*SecurityModeComplete) NASType() MsgType { return MsgSecurityModeComplete }
+
+// Schema implements codec.Message.
+func (m *SecurityModeComplete) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.IMEISV}}
+}
+
+// RegistrationAccept completes registration.
+type RegistrationAccept struct {
+	Guti       string
+	TaiList    string
+	AllowedSst uint32
+}
+
+// NASType implements Message.
+func (*RegistrationAccept) NASType() MsgType { return MsgRegistrationAccept }
+
+// Schema implements codec.Message.
+func (m *RegistrationAccept) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.TaiList},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.AllowedSst},
+	}
+}
+
+// RegistrationComplete acknowledges the accept.
+type RegistrationComplete struct {
+	Ack bool
+}
+
+// NASType implements Message.
+func (*RegistrationComplete) NASType() MsgType { return MsgRegistrationComplete }
+
+// Schema implements codec.Message.
+func (m *RegistrationComplete) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindBool, Ptr: &m.Ack}}
+}
+
+// PDUSessionEstablishmentRequest asks for a data session.
+type PDUSessionEstablishmentRequest struct {
+	PduSessionID uint32
+	Dnn          string
+	SscMode      uint32
+}
+
+// NASType implements Message.
+func (*PDUSessionEstablishmentRequest) NASType() MsgType { return MsgPDUSessionEstablishmentRequest }
+
+// Schema implements codec.Message.
+func (m *PDUSessionEstablishmentRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.Dnn},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.SscMode},
+	}
+}
+
+// PDUSessionEstablishmentAccept returns the session parameters.
+type PDUSessionEstablishmentAccept struct {
+	PduSessionID uint32
+	UeIPv4       string
+	Qfi          uint32
+	SessAmbrUL   uint64
+	SessAmbrDL   uint64
+}
+
+// NASType implements Message.
+func (*PDUSessionEstablishmentAccept) NASType() MsgType { return MsgPDUSessionEstablishmentAccept }
+
+// Schema implements codec.Message.
+func (m *PDUSessionEstablishmentAccept) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.UeIPv4},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.Qfi},
+		{Tag: 4, Kind: codec.KindUint64, Ptr: &m.SessAmbrUL},
+		{Tag: 5, Kind: codec.KindUint64, Ptr: &m.SessAmbrDL},
+	}
+}
+
+// ServiceRequest transitions an idle UE back to connected (paging answer).
+type ServiceRequest struct {
+	Guti         string
+	PduSessionID uint32
+}
+
+// NASType implements Message.
+func (*ServiceRequest) NASType() MsgType { return MsgServiceRequest }
+
+// Schema implements codec.Message.
+func (m *ServiceRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+	}
+}
+
+// ServiceAccept confirms the idle->active transition.
+type ServiceAccept struct {
+	PduSessionID uint32
+}
+
+// NASType implements Message.
+func (*ServiceAccept) NASType() MsgType { return MsgServiceAccept }
+
+// Schema implements codec.Message.
+func (m *ServiceAccept) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID}}
+}
+
+// DeregistrationRequest detaches the UE.
+type DeregistrationRequest struct {
+	Guti string
+}
+
+// NASType implements Message.
+func (*DeregistrationRequest) NASType() MsgType { return MsgDeregistrationRequest }
+
+// Schema implements codec.Message.
+func (m *DeregistrationRequest) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti}}
+}
+
+// ConfigurationUpdate pushes new UE configuration.
+type ConfigurationUpdate struct {
+	Guti string
+}
+
+// NASType implements Message.
+func (*ConfigurationUpdate) NASType() MsgType { return MsgConfigurationUpdate }
+
+// Schema implements codec.Message.
+func (m *ConfigurationUpdate) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti}}
+}

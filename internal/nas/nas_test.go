@@ -1,0 +1,57 @@
+package nas
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&RegistrationRequest{Suci: "suci-0-208-93-0000000001", Capabilities: 0xf, FollowOnReq: true},
+		&AuthenticationRequest{Rand: []byte{1, 2}, Autn: []byte{3, 4}},
+		&AuthenticationResponse{ResStar: []byte{9, 9}},
+		&SecurityModeCommand{CipherAlg: 1, IntegrityAlg: 2},
+		&SecurityModeComplete{IMEISV: "8675309"},
+		&RegistrationAccept{Guti: "guti-1", TaiList: "tai-1", AllowedSst: 1},
+		&RegistrationComplete{Ack: true},
+		&PDUSessionEstablishmentRequest{PduSessionID: 5, Dnn: "internet", SscMode: 1},
+		&PDUSessionEstablishmentAccept{PduSessionID: 5, UeIPv4: "10.60.0.1", Qfi: 9, SessAmbrUL: 1e9, SessAmbrDL: 2e9},
+		&ServiceRequest{Guti: "guti-1", PduSessionID: 5},
+		&ServiceAccept{PduSessionID: 5},
+		&DeregistrationRequest{Guti: "guti-1"},
+		&ConfigurationUpdate{Guti: "guti-2"},
+	}
+	seen := map[MsgType]bool{}
+	for _, m := range msgs {
+		if seen[m.NASType()] {
+			t.Fatalf("duplicate NAS type %d", m.NASType())
+		}
+		seen[m.NASType()] = true
+		pdu, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, err := Unmarshal(pdu)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T round trip:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrTruncated {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Unmarshal([]byte{0xEE}); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+}
+
+func TestNewUnknownType(t *testing.T) {
+	if New(MsgType(200)) != nil {
+		t.Fatal("New(200) should be nil")
+	}
+}

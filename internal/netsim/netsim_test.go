@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(3*time.Millisecond, func() { order = append(order, 3) })
+	s.At(1*time.Millisecond, func() { order = append(order, 1) })
+	s.At(2*time.Millisecond, func() { order = append(order, 2) })
+	s.At(1*time.Millisecond, func() { order = append(order, 11) }) // same time: FIFO
+	s.Run(time.Second)
+	want := []int{1, 11, 2, 3}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSimRunHorizon(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	s.Run(time.Second)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	s.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+func TestLinkSerializationAndDelay(t *testing.T) {
+	s := NewSim()
+	var arrivals []time.Duration
+	// 8 Mbit/s, 10 ms delay: a 1000-byte packet serializes in 1 ms.
+	l := NewLink(s, 8e6, 10*time.Millisecond, 0, func(p Packet) {
+		arrivals = append(arrivals, s.Now())
+	})
+	l.Send(Packet{Wire: 1000})
+	l.Send(Packet{Wire: 1000})
+	s.Run(time.Second)
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != 11*time.Millisecond {
+		t.Fatalf("first arrival = %v, want 11ms", arrivals[0])
+	}
+	if arrivals[1] != 12*time.Millisecond {
+		t.Fatalf("second arrival = %v, want 12ms (queued behind first)", arrivals[1])
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	s := NewSim()
+	got := 0
+	l := NewLink(s, 1e3, 0, 2, func(p Packet) { got++ }) // very slow link
+	for i := 0; i < 10; i++ {
+		l.Send(Packet{Wire: 1000})
+	}
+	s.Run(2 * time.Minute)
+	if l.Drops != 8 || got != 2 {
+		t.Fatalf("drops=%d delivered=%d, want 8/2", l.Drops, got)
+	}
+}
+
+func TestTCPTransferCompletes(t *testing.T) {
+	sim := NewSim()
+	cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 100, CoreBufCap: 3000}
+	p := NewTCPPath(sim, 0, cfg, 1<<20) // 1 MiB
+	p.Sender.Start()
+	sim.Run(time.Minute)
+	if !p.Sender.Done {
+		t.Fatalf("transfer incomplete: acked %d", p.Sender.BytesAcked())
+	}
+	if p.Receiver.BytesDelivered != 1<<20 {
+		t.Fatalf("delivered %d", p.Receiver.BytesDelivered)
+	}
+	// 1 MiB over 30 Mbit/s is ~0.28 s of serialization plus slow start
+	// (including recovery from the natural slow-start overshoot).
+	if p.Sender.DoneAt > 2*time.Second {
+		t.Fatalf("took %v", p.Sender.DoneAt)
+	}
+}
+
+func TestTCPNoLossWithAmpleQueue(t *testing.T) {
+	sim := NewSim()
+	// Unbounded bottleneck queue: nothing can drop, so a clean transfer
+	// must complete with zero retransmissions and zero timeouts.
+	cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 0, CoreBufCap: 3000}
+	p := NewTCPPath(sim, 0, cfg, 1<<20)
+	p.Sender.Start()
+	sim.Run(time.Minute)
+	if !p.Sender.Done {
+		t.Fatal("transfer incomplete")
+	}
+	if p.Sender.Retransmits != 0 || p.Sender.Timeouts != 0 {
+		t.Fatalf("lossless path retransmitted (rtx=%d to=%d)", p.Sender.Retransmits, p.Sender.Timeouts)
+	}
+}
+
+func TestTCPRTTReflectsPath(t *testing.T) {
+	sim := NewSim()
+	cfg := PathConfig{BottleneckBps: 100e6, RTT: 50 * time.Millisecond, QueueCap: 1000, CoreBufCap: 100}
+	p := NewTCPPath(sim, 0, cfg, 256<<10)
+	p.Sender.Start()
+	sim.Run(time.Minute)
+	pts := p.Sender.RTT.Points()
+	if len(pts) == 0 {
+		t.Fatal("no RTT samples")
+	}
+	if pts[0].V < 50 || pts[0].V > 80 {
+		t.Fatalf("first RTT = %.1f ms, want ~50", pts[0].V)
+	}
+}
+
+// TestHandoverShortVsLong is the Fig. 12 mechanism test: a handover
+// shorter than min-RTO causes no timeouts; one longer than min-RTO causes
+// spurious retransmissions and cwnd collapse.
+func TestHandoverShortVsLong(t *testing.T) {
+	run := func(hoDur time.Duration) *Reno {
+		sim := NewSim()
+		cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
+		p := NewTCPPath(sim, 0, cfg, 8<<20)
+		if hoDur > 0 {
+			// Steady state, after slow start settles (as in the paper).
+			p.HandoverAt(2*time.Second, hoDur)
+		}
+		p.Sender.Start()
+		sim.Run(2 * time.Minute)
+		if !p.Sender.Done {
+			t.Fatalf("transfer with %v handover did not finish", hoDur)
+		}
+		return p.Sender
+	}
+	base := run(0)
+	fast := run(96 * time.Millisecond)  // L²5GC handover time
+	slow := run(463 * time.Millisecond) // free5GC handover time
+	if fast.Timeouts > base.Timeouts {
+		t.Fatalf("fast handover added timeouts: %d > baseline %d", fast.Timeouts, base.Timeouts)
+	}
+	if slow.Timeouts <= base.Timeouts {
+		t.Fatalf("slow handover should cause spurious RTO (%d vs baseline %d)", slow.Timeouts, base.Timeouts)
+	}
+	if slow.Retransmits <= fast.Retransmits {
+		t.Fatalf("slow rtx=%d should exceed fast rtx=%d", slow.Retransmits, fast.Retransmits)
+	}
+	if slow.DoneAt <= fast.DoneAt {
+		t.Fatalf("slow HO transfer (%v) should finish after fast (%v)", slow.DoneAt, fast.DoneAt)
+	}
+}
+
+// TestBlackoutVsBuffering is the Fig. 15 mechanism test. The paper's
+// failover comparison: L²5GC's replica takeover pauses the data path for
+// a few milliseconds (detect + reroute + replay) and loses nothing, while
+// the 3GPP reattach blacks the path out for hundreds of milliseconds and
+// drops every packet in flight, collapsing TCP goodput.
+func TestBlackoutVsBuffering(t *testing.T) {
+	run := func(mode string) (*TCPPath, int64) {
+		sim := NewSim()
+		cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
+		p := NewTCPPath(sim, 0, cfg, 0) // unbounded stream
+		switch mode {
+		case "blackout":
+			p.BlackoutAt(1*time.Second, 400*time.Millisecond) // reattach
+		case "failover":
+			p.HandoverAt(1*time.Second, 5*time.Millisecond) // replica takeover
+		}
+		p.Sender.Start()
+		sim.Run(5 * time.Second)
+		return p, p.Receiver.BytesDelivered
+	}
+	clean, _ := run("none") // baseline (slow-start overshoot may RTO once)
+	buffered, bBytes := run("failover")
+	blacked, kBytes := run("blackout")
+	if buffered.Core.Dropped != 0 {
+		t.Fatalf("failover buffering dropped %d packets", buffered.Core.Dropped)
+	}
+	if buffered.Sender.Timeouts > clean.Sender.Timeouts {
+		t.Fatalf("failover buffering added timeouts: %d > baseline %d",
+			buffered.Sender.Timeouts, clean.Sender.Timeouts)
+	}
+	if blacked.Core.Dropped == 0 {
+		t.Fatal("blackout should drop packets")
+	}
+	if blacked.Sender.Timeouts <= clean.Sender.Timeouts {
+		t.Fatalf("blackout should force extra timeouts (%d vs baseline %d)",
+			blacked.Sender.Timeouts, clean.Sender.Timeouts)
+	}
+	if kBytes >= bBytes {
+		t.Fatalf("blackout goodput (%d B) should trail buffering (%d B)", kBytes, bBytes)
+	}
+}
+
+// TestPageLoadFasterWithShortHandovers reproduces the §5.4.1 PLT shape:
+// the same page over the same bottleneck loads faster when handovers
+// complete in 96 ms (L²5GC) than in 463 ms (free5GC).
+func TestPageLoadFasterWithShortHandovers(t *testing.T) {
+	resources := []int64{15 << 20, 15 << 20, 2 << 20, 1 << 20, 512 << 10, 512 << 10}
+	cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
+	hoTimes := []time.Duration{2 * time.Second, 5 * time.Second, 8 * time.Second}
+	pltFast, _ := PageLoad(cfg, resources, hoTimes, 96*time.Millisecond)
+	pltSlow, _ := PageLoad(cfg, resources, hoTimes, 463*time.Millisecond)
+	if pltFast >= pltSlow {
+		t.Fatalf("fast-HO PLT %v should beat slow-HO PLT %v", pltFast, pltSlow)
+	}
+	t.Logf("PLT: L25GC-style %v vs free5GC-style %v (%.1f%% improvement)",
+		pltFast, pltSlow, 100*(1-pltFast.Seconds()/pltSlow.Seconds()))
+}
+
+func TestCoreBoxInOrderRelease(t *testing.T) {
+	sim := NewSim()
+	var got []int64
+	c := NewCoreBox(sim, 10, func(p Packet) { got = append(got, p.Seq) })
+	c.StartBuffering()
+	for i := int64(0); i < 5; i++ {
+		c.Deliver(Packet{Seq: i})
+	}
+	if c.QueueLen() != 5 {
+		t.Fatalf("queue = %d", c.QueueLen())
+	}
+	c.Release()
+	for i, s := range got {
+		if s != int64(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	// Post-release packets pass through immediately.
+	c.Deliver(Packet{Seq: 99})
+	if got[len(got)-1] != 99 {
+		t.Fatal("pass-through after release failed")
+	}
+}
+
+func TestCoreBoxCapacity(t *testing.T) {
+	sim := NewSim()
+	c := NewCoreBox(sim, 2, func(Packet) {})
+	c.StartBuffering()
+	for i := 0; i < 5; i++ {
+		c.Deliver(Packet{})
+	}
+	if c.Dropped != 3 || c.QueueLen() != 2 {
+		t.Fatalf("dropped=%d queued=%d", c.Dropped, c.QueueLen())
+	}
+}

@@ -1,0 +1,182 @@
+package netsim
+
+import "time"
+
+// CoreMode is the 5GC middlebox behaviour on the DL path.
+type CoreMode int
+
+// Core behaviours.
+const (
+	CorePass     CoreMode = iota // normal forwarding
+	CoreBuffer                   // smart buffering (handover/paging episode)
+	CoreBlackout                 // 3GPP reattach: everything is lost
+)
+
+// CoreBox models the 5GC on the downlink path: it forwards, buffers
+// in-order (L²5GC smart buffering) or drops (3GPP reattach blackout).
+type CoreBox struct {
+	sim  *Sim
+	out  func(Packet)
+	mode CoreMode
+
+	buffer []Packet
+	Cap    int
+
+	MaxQueued int
+	Dropped   int
+}
+
+// NewCoreBox creates a pass-through core with the given buffer capacity.
+func NewCoreBox(sim *Sim, bufCap int, out func(Packet)) *CoreBox {
+	return &CoreBox{sim: sim, out: out, Cap: bufCap}
+}
+
+// Deliver is the core's ingress.
+func (c *CoreBox) Deliver(p Packet) {
+	switch c.mode {
+	case CoreBuffer:
+		if len(c.buffer) >= c.Cap {
+			c.Dropped++
+			return
+		}
+		c.buffer = append(c.buffer, p)
+		if len(c.buffer) > c.MaxQueued {
+			c.MaxQueued = len(c.buffer)
+		}
+	case CoreBlackout:
+		c.Dropped++
+	default:
+		c.out(p)
+	}
+}
+
+// StartBuffering begins a smart-buffering episode.
+func (c *CoreBox) StartBuffering() { c.mode = CoreBuffer }
+
+// Release ends a buffering episode, forwarding parked packets in order.
+func (c *CoreBox) Release() {
+	c.mode = CorePass
+	for _, p := range c.buffer {
+		c.out(p)
+	}
+	c.buffer = nil
+}
+
+// StartBlackout begins a reattach blackout (all packets lost).
+func (c *CoreBox) StartBlackout() { c.mode = CoreBlackout }
+
+// EndBlackout restores forwarding; lost packets stay lost.
+func (c *CoreBox) EndBlackout() { c.mode = CorePass }
+
+// QueueLen reports the buffered-packet count.
+func (c *CoreBox) QueueLen() int { return len(c.buffer) }
+
+// PathConfig sizes a simulated DL path: DN server -> bottleneck -> 5GC ->
+// access link -> UE client, with ACKs returning over a delay-only path.
+type PathConfig struct {
+	BottleneckBps float64       // e.g. 30e6 for the Fig. 12 setup
+	RTT           time.Duration // base round-trip (propagation only)
+	QueueCap      int           // bottleneck queue (packets)
+	CoreBufCap    int           // 5GC smart-buffer capacity (packets)
+}
+
+// TCPPath is one simulated TCP connection through the 5GC.
+type TCPPath struct {
+	Sim      *Sim
+	Sender   *Reno
+	Receiver *Receiver
+	Core     *CoreBox
+
+	Bottleneck *Link
+}
+
+// NewTCPPath builds the standard evaluation topology for one connection.
+// totalBytes = 0 streams forever.
+func NewTCPPath(sim *Sim, id int, cfg PathConfig, totalBytes int64) *TCPPath {
+	p := &TCPPath{Sim: sim}
+	oneWay := cfg.RTT / 2
+	// ACK path: client -> server, delay only.
+	ackLink := NewLink(sim, 0, oneWay, 0, func(pk Packet) { p.Sender.OnAck(pk) })
+	p.Receiver = NewReceiver(sim, id, ackLink.Send)
+	// Access link: 5GC -> client (delay only; radio not the bottleneck).
+	access := NewLink(sim, 0, oneWay/2, 0, func(pk Packet) { p.Receiver.OnData(pk) })
+	p.Core = NewCoreBox(sim, cfg.CoreBufCap, access.Send)
+	// Bottleneck: server -> 5GC.
+	p.Bottleneck = NewLink(sim, cfg.BottleneckBps, oneWay/2, cfg.QueueCap, p.Core.Deliver)
+	p.Sender = NewReno(sim, id, totalBytes, p.Bottleneck.Send)
+	return p
+}
+
+// HandoverAt schedules a smart-buffering episode: DL packets are parked at
+// the core from start for the given duration, then released in order —
+// the UE-visible effect of a handover (or paging) of that length.
+func (p *TCPPath) HandoverAt(start, duration time.Duration) {
+	p.Sim.At(start, p.Core.StartBuffering)
+	p.Sim.At(start+duration, p.Core.Release)
+}
+
+// BlackoutAt schedules a 3GPP reattach outage: packets are dropped from
+// start for the given duration (Fig. 15/16's baseline behaviour).
+func (p *TCPPath) BlackoutAt(start, duration time.Duration) {
+	p.Sim.At(start, p.Core.StartBlackout)
+	p.Sim.At(start+duration, p.Core.EndBlackout)
+}
+
+// PageLoad models the §5.4.1 experiment: a page of resources fetched over
+// parallel connections through a shared-bottleneck path, with handover
+// episodes of the given duration occurring at the given times. It returns
+// the page load time (all connections complete) and the per-connection
+// senders for inspection.
+func PageLoad(cfg PathConfig, resourceBytes []int64, handoverTimes []time.Duration,
+	handoverDur time.Duration) (time.Duration, []*TCPPath) {
+
+	sim := NewSim()
+	// Shared bottleneck and core: all connections traverse the same 5GC.
+	paths := make([]*TCPPath, len(resourceBytes))
+	oneWay := cfg.RTT / 2
+
+	// Build receivers/cores per connection but share one bottleneck link.
+	var shared *Link
+	cores := make([]*CoreBox, len(resourceBytes))
+	demux := func(pk Packet) { cores[pk.FlowID].Deliver(pk) }
+	shared = NewLink(sim, cfg.BottleneckBps, oneWay/2, cfg.QueueCap, demux)
+
+	for i, n := range resourceBytes {
+		i := i
+		p := &TCPPath{Sim: sim, Bottleneck: shared}
+		ackLink := NewLink(sim, 0, oneWay, 0, func(pk Packet) { p.Sender.OnAck(pk) })
+		p.Receiver = NewReceiver(sim, i, ackLink.Send)
+		access := NewLink(sim, 0, oneWay/2, 0, func(pk Packet) { p.Receiver.OnData(pk) })
+		p.Core = NewCoreBox(sim, cfg.CoreBufCap, access.Send)
+		cores[i] = p.Core
+		p.Sender = NewReno(sim, i, n, shared.Send)
+		paths[i] = p
+	}
+	for _, t := range handoverTimes {
+		t := t
+		sim.At(t, func() {
+			for _, c := range cores {
+				c.StartBuffering()
+			}
+		})
+		sim.At(t+handoverDur, func() {
+			for _, c := range cores {
+				c.Release()
+			}
+		})
+	}
+	for _, p := range paths {
+		p.Sender.Start()
+	}
+	sim.Run(10 * time.Minute)
+	var plt time.Duration
+	for _, p := range paths {
+		if !p.Sender.Done {
+			return 10 * time.Minute, paths // did not finish
+		}
+		if p.Sender.DoneAt > plt {
+			plt = p.Sender.DoneAt
+		}
+	}
+	return plt, paths
+}

@@ -1,0 +1,150 @@
+// Package netsim is a discrete-event network simulator used for the
+// application-level experiments of §5.4 and §5.5 (Figs. 12, 15, 16, 17 and
+// Appendix C): links with rate, propagation delay and drop-tail queues; a
+// TCP Reno sender/receiver pair with Linux's 200 ms minimum RTO; UDP CBR
+// flows; and a 5GC middlebox that reproduces the three behaviours under
+// study — normal forwarding, smart buffering during handover/paging, and
+// the 3GPP reattach blackout that drops packets during failure recovery.
+//
+// Simulated time makes the TCP dynamics (spurious retransmission timeouts,
+// cwnd collapse, goodput dips) deterministic and independent of host load,
+// which is what the paper's figures are about.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break for deterministic ordering
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the simulation kernel.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// NewSim returns a simulator at t=0.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// At schedules fn at absolute simulated time t (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the horizon (inclusive) or until the queue
+// drains.
+func (s *Sim) Run(until time.Duration) {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Packet is a simulated packet. TCP and UDP flows share the type; the
+// zero AckNo/IsAck fields are ignored for UDP.
+type Packet struct {
+	FlowID  int
+	Seq     int64 // TCP byte offset or UDP sequence number
+	Len     int   // payload bytes
+	Wire    int   // bytes on the wire (payload + headers)
+	IsAck   bool
+	AckNo   int64
+	HoleEnd int64         // first out-of-order byte held above AckNo (0 = none)
+	Sacked  []int64       // SACK: starts of segments held above the hole
+	SentAt  time.Duration // stamped by the sender for RTT sampling
+	TxID    int64         // unique per transmission (disambiguates rtx)
+}
+
+// Link is a unidirectional link with a serialization rate, propagation
+// delay and a drop-tail queue measured in packets. Rate 0 means infinite.
+type Link struct {
+	sim      *Sim
+	RateBps  float64
+	Delay    time.Duration
+	QueueCap int
+
+	busyUntil time.Duration
+	qlen      int
+
+	// Dst receives packets after serialization + propagation.
+	Dst func(Packet)
+
+	Drops int
+	Sent  int
+}
+
+// NewLink creates a link feeding dst.
+func NewLink(sim *Sim, rateBps float64, delay time.Duration, queueCap int, dst func(Packet)) *Link {
+	return &Link{sim: sim, RateBps: rateBps, Delay: delay, QueueCap: queueCap, Dst: dst}
+}
+
+// Send enqueues one packet, honouring the drop-tail queue.
+func (l *Link) Send(p Packet) {
+	now := l.sim.Now()
+	var tx time.Duration
+	if l.RateBps > 0 {
+		tx = time.Duration(float64(p.Wire*8) / l.RateBps * float64(time.Second))
+	}
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	if l.QueueCap > 0 && l.qlen >= l.QueueCap {
+		l.Drops++
+		return
+	}
+	l.qlen++
+	l.busyUntil = start + tx
+	l.Sent++
+	arrive := l.busyUntil + l.Delay
+	l.sim.At(l.busyUntil, func() { l.qlen-- })
+	l.sim.At(arrive, func() { l.Dst(p) })
+}
+
+// QueueLen reports the current queue occupancy.
+func (l *Link) QueueLen() int { return l.qlen }

@@ -1,0 +1,371 @@
+package netsim
+
+import (
+	"time"
+
+	"l25gc/internal/metrics"
+)
+
+// TCP constants (Linux defaults the paper leans on: 200 ms minimum RTO).
+const (
+	MSS        = 1448
+	tcpHdrWire = 52 // IP + TCP + options on the wire
+	MinRTO     = 200 * time.Millisecond
+	maxRTO     = 60 * time.Second
+	initCwnd   = 10 // packets (Linux IW10)
+)
+
+// Reno is a TCP Reno sender: slow start, congestion avoidance, fast
+// retransmit/recovery on three duplicate ACKs, and Jacobson RTO with the
+// Linux 200 ms floor — the mechanism behind the paper's spurious-timeout
+// observations during slow handovers.
+type Reno struct {
+	sim  *Sim
+	id   int
+	path func(Packet) // toward the receiver
+
+	// Transfer state (bytes).
+	totalBytes int64 // 0 = unbounded
+	nextSeq    int64
+	sndUna     int64
+
+	// Congestion state (packets).
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	inRecovery bool
+	recover    int64
+	rtxCursor  int64          // next hole byte to repair during recovery (SACK-driven)
+	sacked     map[int64]bool // receiver-held segment starts (SACK scoreboard)
+
+	// RTT estimation.
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoGen       uint64 // cancels stale timers
+	timerArmed   bool
+
+	sentAt map[int64]time.Duration // seq -> first-send time (Karn's rule)
+	txSeq  int64
+
+	// Instrumentation.
+	RTT         *metrics.Series // ms over time
+	Cwnd        *metrics.Series // packets over time
+	Retransmits int
+	Timeouts    int
+
+	Done   bool
+	DoneAt time.Duration
+	OnDone func()
+}
+
+// NewReno creates a sender for totalBytes (0 = run forever) writing into
+// path.
+func NewReno(sim *Sim, id int, totalBytes int64, path func(Packet)) *Reno {
+	return &Reno{
+		sim: sim, id: id, path: path, totalBytes: totalBytes,
+		cwnd: initCwnd, ssthresh: 1e9, rto: MinRTO,
+		sentAt: make(map[int64]time.Duration),
+		sacked: make(map[int64]bool),
+		RTT:    metrics.NewSeries("rtt"),
+		Cwnd:   metrics.NewSeries("cwnd"),
+	}
+}
+
+// Start begins the transfer.
+func (r *Reno) Start() { r.trySend() }
+
+// BytesAcked reports progress.
+func (r *Reno) BytesAcked() int64 { return r.sndUna }
+
+func (r *Reno) flight() int64 { return r.nextSeq - r.sndUna }
+
+// trySend transmits as many new segments as cwnd allows.
+func (r *Reno) trySend() {
+	if r.Done {
+		return
+	}
+	for r.flight() < int64(r.cwnd*MSS) {
+		if r.totalBytes > 0 && r.nextSeq >= r.totalBytes {
+			break
+		}
+		seg := int64(MSS)
+		if r.totalBytes > 0 && r.nextSeq+seg > r.totalBytes {
+			seg = r.totalBytes - r.nextSeq
+		}
+		r.transmit(r.nextSeq, int(seg), true)
+		r.nextSeq += seg
+	}
+	r.armTimer()
+}
+
+func (r *Reno) transmit(seq int64, length int, first bool) {
+	r.txSeq++
+	if first {
+		r.sentAt[seq] = r.sim.Now()
+	} else {
+		// Karn: no RTT sample from retransmitted segments.
+		delete(r.sentAt, seq)
+		r.Retransmits++
+	}
+	r.path(Packet{
+		FlowID: r.id, Seq: seq, Len: length, Wire: length + tcpHdrWire,
+		SentAt: r.sim.Now(), TxID: r.txSeq,
+	})
+}
+
+// OnAck processes a cumulative ACK arriving from the receiver.
+func (r *Reno) OnAck(p Packet) {
+	if r.Done {
+		return
+	}
+	for _, s := range p.Sacked {
+		r.sacked[s] = true
+	}
+	ack := p.AckNo
+	if ack > r.sndUna {
+		// New data acknowledged.
+		if t0, ok := r.sentAt[r.sndUna]; ok {
+			r.sampleRTT(r.sim.Now() - t0)
+		}
+		for s := range r.sentAt {
+			if s < ack {
+				delete(r.sentAt, s)
+			}
+		}
+		r.sndUna = ack
+		r.dupAcks = 0
+		if r.inRecovery {
+			if ack >= r.recover {
+				r.inRecovery = false
+				r.cwnd = r.ssthresh
+			} else if p.HoleEnd != 0 {
+				// Partial ACK with SACK evidence: keep repairing the hole.
+				if r.rtxCursor < ack {
+					r.rtxCursor = ack
+				}
+				r.repairHole(p.HoleEnd)
+			}
+		} else if r.cwnd < r.ssthresh {
+			r.cwnd++ // slow start
+		} else {
+			r.cwnd += 1 / r.cwnd // congestion avoidance
+		}
+		r.Cwnd.AddAt(r.sim.Now(), r.cwnd)
+		if r.totalBytes > 0 && r.sndUna >= r.totalBytes {
+			r.Done = true
+			r.DoneAt = r.sim.Now()
+			r.timerArmed = false
+			r.rtoGen++
+			if r.OnDone != nil {
+				r.OnDone()
+			}
+			return
+		}
+		r.armTimer()
+		r.trySend()
+		return
+	}
+	// Duplicate ACK. Only meaningful while data is actually outstanding;
+	// duplicate *segments* (e.g. spurious go-back-N copies arriving after
+	// a buffering episode) also produce duplicate ACKs and must not
+	// trigger recovery (RFC 5681 §3.2 conditions).
+	// Fast retransmit needs SACK evidence of a real hole (RFC 6675-style
+	// loss detection); bare duplicate ACKs after an RTO or a buffering
+	// episode must not spuriously re-enter recovery.
+	if r.flight() == 0 || ack >= r.nextSeq || p.HoleEnd == 0 {
+		return
+	}
+	r.dupAcks++
+	if r.dupAcks == 3 && !r.inRecovery {
+		// Fast retransmit / recovery.
+		r.ssthresh = r.cwnd / 2
+		if r.ssthresh < 2 {
+			r.ssthresh = 2
+		}
+		r.cwnd = r.ssthresh + 3
+		r.inRecovery = true
+		r.recover = r.nextSeq
+		// Monotone across recovery episodes: never re-repair a range that
+		// an earlier episode already retransmitted (prevents duplicate
+		// storms when back-to-back episodes cover overlapping windows).
+		if r.rtxCursor < r.sndUna {
+			r.rtxCursor = r.sndUna
+		}
+		r.repairHole(p.HoleEnd)
+		r.Cwnd.AddAt(r.sim.Now(), r.cwnd)
+	} else if r.inRecovery {
+		r.cwnd++ // inflate
+		r.repairHole(p.HoleEnd)
+	}
+}
+
+// repairHole retransmits segments of the receiver-advertised hole
+// [rtxCursor, holeEnd), a small burst per ACK — the single-block SACK
+// recovery that keeps loss repair at ACK-clock speed rather than Reno's
+// one segment per RTT.
+func (r *Reno) repairHole(holeEnd int64) {
+	const burst = 8
+	if holeEnd == 0 {
+		return // no SACK evidence: leave repair to the RTO
+	}
+	if holeEnd < r.recover {
+		// SACKed data above the first hole means later holes may exist.
+		// Repair up to the highest SACKed segment (everything below it
+		// that is unSACKed has provably left the network, RFC 6675); the
+		// tail beyond maxSacked may still be in flight.
+		maxSacked := int64(0)
+		for s := range r.sacked {
+			if s > maxSacked {
+				maxSacked = s
+			}
+		}
+		if maxSacked > holeEnd {
+			holeEnd = maxSacked
+		}
+	}
+	n := 0
+	for r.rtxCursor < holeEnd && r.rtxCursor < r.recover && n < burst {
+		if r.sacked[r.rtxCursor] {
+			r.rtxCursor += MSS
+			continue
+		}
+		seg := int64(MSS)
+		if r.totalBytes > 0 && r.rtxCursor+seg > r.totalBytes {
+			seg = r.totalBytes - r.rtxCursor
+		}
+		if seg <= 0 {
+			break
+		}
+		r.transmit(r.rtxCursor, int(seg), false)
+		r.rtxCursor += seg
+		n++
+	}
+}
+
+func (r *Reno) sampleRTT(rtt time.Duration) {
+	r.RTT.AddAt(r.sim.Now(), float64(rtt)/float64(time.Millisecond))
+	if r.srtt == 0 {
+		r.srtt = rtt
+		r.rttvar = rtt / 2
+	} else {
+		diff := r.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		r.rttvar = (3*r.rttvar + diff) / 4
+		r.srtt = (7*r.srtt + rtt) / 8
+	}
+	r.rto = r.srtt + 4*r.rttvar
+	if r.rto < MinRTO {
+		r.rto = MinRTO
+	}
+	if r.rto > maxRTO {
+		r.rto = maxRTO
+	}
+}
+
+func (r *Reno) armTimer() {
+	if r.flight() == 0 || r.Done {
+		return
+	}
+	r.rtoGen++
+	gen := r.rtoGen
+	r.timerArmed = true
+	r.sim.After(r.rto, func() {
+		if gen != r.rtoGen || r.Done {
+			return
+		}
+		r.onTimeout()
+	})
+}
+
+func (r *Reno) onTimeout() {
+	r.Timeouts++
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < 2 {
+		r.ssthresh = 2
+	}
+	r.cwnd = 1
+	r.inRecovery = false
+	r.dupAcks = 0
+	r.Cwnd.AddAt(r.sim.Now(), r.cwnd)
+	// Go-back-N from the last cumulative ACK.
+	r.nextSeq = r.sndUna
+	r.rtxCursor = r.sndUna // RTO invalidates prior repair progress
+	r.rto *= 2
+	if r.rto > maxRTO {
+		r.rto = maxRTO
+	}
+	r.trySend()
+}
+
+// Receiver is the TCP receiver: cumulative ACKs with out-of-order
+// buffering, feeding ACKs into the reverse path.
+type Receiver struct {
+	sim     *Sim
+	id      int
+	ackPath func(Packet)
+
+	recvNext int64
+	ooo      map[int64]int // seq -> len
+
+	BytesDelivered int64
+	Goodput        *metrics.Series // Mbit/s, windowed
+	winStart       time.Duration
+	winBytes       int64
+}
+
+// goodputWindow is the goodput averaging window.
+const goodputWindow = 100 * time.Millisecond
+
+// NewReceiver creates a receiver acknowledging through ackPath.
+func NewReceiver(sim *Sim, id int, ackPath func(Packet)) *Receiver {
+	return &Receiver{
+		sim: sim, id: id, ackPath: ackPath,
+		ooo:     make(map[int64]int),
+		Goodput: metrics.NewSeries("goodput"),
+	}
+}
+
+// OnData processes an arriving data segment and emits an ACK.
+func (rx *Receiver) OnData(p Packet) {
+	if p.Seq == rx.recvNext {
+		rx.deliver(int64(p.Len))
+		rx.recvNext += int64(p.Len)
+		for {
+			l, ok := rx.ooo[rx.recvNext]
+			if !ok {
+				break
+			}
+			delete(rx.ooo, rx.recvNext)
+			rx.deliver(int64(l))
+			rx.recvNext += int64(l)
+		}
+	} else if p.Seq > rx.recvNext {
+		rx.ooo[p.Seq] = p.Len
+	}
+	var holeEnd int64
+	var sacked []int64
+	for s := range rx.ooo {
+		if holeEnd == 0 || s < holeEnd {
+			holeEnd = s
+		}
+		sacked = append(sacked, s)
+	}
+	rx.ackPath(Packet{
+		FlowID: rx.id, IsAck: true, AckNo: rx.recvNext, HoleEnd: holeEnd,
+		Sacked: sacked, Wire: tcpHdrWire, SentAt: p.SentAt,
+	})
+}
+
+func (rx *Receiver) deliver(n int64) {
+	rx.BytesDelivered += n
+	rx.winBytes += n
+	now := rx.sim.Now()
+	for now-rx.winStart >= goodputWindow {
+		mbps := float64(rx.winBytes*8) / goodputWindow.Seconds() / 1e6
+		rx.Goodput.AddAt(rx.winStart+goodputWindow, mbps)
+		rx.winBytes = 0
+		rx.winStart += goodputWindow
+	}
+}

@@ -1,0 +1,553 @@
+// Package amf implements the Access and Mobility Management Function: the
+// N2 (NGAP) server terminating gNB connections, per-UE state machines for
+// the paper's four events — registration, PDU session establishment, N2
+// handover and paging — and the SBI consumer side toward AUSF, UDM, PCF
+// and SMF.
+package amf
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/nas"
+	"l25gc/internal/ngap"
+	"l25gc/internal/sbi"
+)
+
+// regState tracks registration progress.
+type regState int
+
+const (
+	regIdle regState = iota
+	regAuthPending
+	regSecurityPending
+	regContextPending
+	regDone
+)
+
+// gnbConn is one attached gNB.
+type gnbConn struct {
+	id   uint32
+	name string
+	conn *ngap.Conn
+}
+
+// ueContext is the AMF's per-UE state.
+type ueContext struct {
+	mu sync.Mutex
+
+	amfUeID uint64
+	ranUeID uint64
+	gnb     *gnbConn
+
+	suci, supi, guti string
+	authCtxID        string
+	state            regState
+
+	pduSessionID uint32
+	smRef        string
+	upfTEID      uint32
+	upfAddr      string
+
+	idle bool
+
+	// Handover bookkeeping.
+	hoSrcGnb     *gnbConn
+	hoSrcRanUeID uint64
+	hoTarget     *gnbConn
+}
+
+// Config parameterizes the AMF.
+type Config struct {
+	Name  string
+	Guami string
+	Addr  string // N2 listen address ("127.0.0.1:0" for ephemeral)
+}
+
+// AMF is the access-and-mobility NF.
+type AMF struct {
+	cfg  Config
+	ausf sbi.Conn
+	udm  sbi.Conn
+	pcf  sbi.Conn
+	smf  sbi.Conn
+
+	ln net.Listener
+
+	mu        sync.Mutex
+	gnbs      map[uint32]*gnbConn
+	ues       map[uint64]*ueContext // amfUeID
+	uesBySupi map[string]*ueContext
+	uesByGuti map[string]*ueContext
+	hoTunnels map[uint64]hoTunnel // amfUeID -> pending HO target tunnel
+
+	nextUeID atomic.Uint64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	// Logf receives procedure traces; defaults to a silent logger.
+	Logf func(format string, args ...any)
+}
+
+// New starts an AMF listening for gNB (N2) connections.
+func New(cfg Config, ausf, udm, pcf, smf sbi.Conn) (*AMF, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AMF{
+		cfg: cfg, ausf: ausf, udm: udm, pcf: pcf, smf: smf, ln: ln,
+		gnbs:      make(map[uint32]*gnbConn),
+		ues:       make(map[uint64]*ueContext),
+		uesBySupi: make(map[string]*ueContext),
+		uesByGuti: make(map[string]*ueContext),
+		hoTunnels: make(map[uint64]hoTunnel),
+		Logf:      func(string, ...any) {},
+	}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// N2Addr returns the NGAP listen address gNBs should dial.
+func (a *AMF) N2Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the AMF down.
+func (a *AMF) Close() error {
+	if !a.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	a.ln.Close()
+	a.mu.Lock()
+	for _, g := range a.gnbs {
+		g.conn.Close()
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+	return nil
+}
+
+func (a *AMF) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		c, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go a.serveGnb(ngap.NewConn(c))
+	}
+}
+
+func (a *AMF) serveGnb(conn *ngap.Conn) {
+	defer a.wg.Done()
+	var g *gnbConn
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *ngap.NGSetupRequest:
+			g = &gnbConn{id: m.GnbID, name: m.GnbName, conn: conn}
+			a.mu.Lock()
+			a.gnbs[m.GnbID] = g
+			a.mu.Unlock()
+			conn.Send(&ngap.NGSetupResponse{AmfName: a.cfg.Name, Accepted: true})
+			a.Logf("amf: gNB %d (%s) attached", m.GnbID, m.GnbName)
+		case *ngap.InitialUEMessage:
+			a.handleInitialUE(g, m)
+		case *ngap.UplinkNASTransport:
+			a.handleUplinkNAS(g, m)
+		case *ngap.InitialContextSetupResponse:
+			// Context active at the gNB; nothing further required here.
+		case *ngap.PDUSessionResourceSetupResponse:
+			a.handleSessionResourceResponse(g, m)
+		case *ngap.HandoverRequired:
+			a.handleHandoverRequired(g, m)
+		case *ngap.HandoverRequestAck:
+			a.handleHandoverRequestAck(g, m)
+		case *ngap.HandoverNotify:
+			a.handleHandoverNotify(g, m)
+		case *ngap.UEContextReleaseRequest:
+			a.handleReleaseRequest(g, m)
+		case *ngap.UEContextReleaseComplete:
+			// Release finished at the gNB.
+		default:
+			a.Logf("amf: unhandled NGAP message %T", m)
+		}
+	}
+}
+
+func (a *AMF) ueByAmfID(id uint64) *ueContext {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ues[id]
+}
+
+// --- registration ---
+
+func (a *AMF) handleInitialUE(g *gnbConn, m *ngap.InitialUEMessage) {
+	nasMsg, err := nas.Unmarshal(m.NasPdu)
+	if err != nil {
+		a.Logf("amf: bad NAS in InitialUEMessage: %v", err)
+		return
+	}
+	switch n := nasMsg.(type) {
+	case *nas.RegistrationRequest:
+		a.startRegistration(g, m.RanUeID, n)
+	case *nas.ServiceRequest:
+		a.handleServiceRequest(g, m.RanUeID, n)
+	default:
+		a.Logf("amf: unexpected initial NAS %T", n)
+	}
+}
+
+func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationRequest) {
+	ue := &ueContext{
+		amfUeID: a.nextUeID.Add(1),
+		ranUeID: ranUeID,
+		gnb:     g,
+		suci:    r.Suci,
+		state:   regAuthPending,
+	}
+	a.mu.Lock()
+	a.ues[ue.amfUeID] = ue
+	a.mu.Unlock()
+
+	resp, err := a.ausf.Invoke(sbi.OpUEAuthenticationsPost, &sbi.AuthenticationRequest{
+		SuciOrSupi: r.Suci, ServingNetworkName: a.cfg.Guami,
+	})
+	if err != nil {
+		a.Logf("amf: AUSF authentication failed: %v", err)
+		return
+	}
+	ar := resp.(*sbi.AuthenticationResponse)
+	ue.authCtxID = ar.AuthCtxID
+	pdu, _ := nas.Marshal(&nas.AuthenticationRequest{Rand: ar.Rand, Autn: ar.Autn})
+	g.conn.Send(&ngap.DownlinkNASTransport{RanUeID: ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+}
+
+func (a *AMF) handleUplinkNAS(g *gnbConn, m *ngap.UplinkNASTransport) {
+	ue := a.ueByAmfID(m.AmfUeID)
+	if ue == nil {
+		a.Logf("amf: uplink NAS for unknown UE %d", m.AmfUeID)
+		return
+	}
+	nasMsg, err := nas.Unmarshal(m.NasPdu)
+	if err != nil {
+		a.Logf("amf: bad uplink NAS: %v", err)
+		return
+	}
+	switch n := nasMsg.(type) {
+	case *nas.AuthenticationResponse:
+		a.continueAuth(ue, n)
+	case *nas.SecurityModeComplete:
+		a.completeRegistration(ue)
+	case *nas.RegistrationComplete:
+		// Registration fully acknowledged by the UE.
+	case *nas.PDUSessionEstablishmentRequest:
+		a.establishSession(ue, n)
+	case *nas.DeregistrationRequest:
+		a.deregister(ue, m.RanUeID)
+	default:
+		a.Logf("amf: unexpected uplink NAS %T", n)
+	}
+}
+
+func (a *AMF) continueAuth(ue *ueContext, n *nas.AuthenticationResponse) {
+	resp, err := a.ausf.Invoke(sbi.OpUEAuthenticationsConfirm, &sbi.AuthConfirmRequest{
+		AuthCtxID: ue.authCtxID, ResStar: n.ResStar,
+	})
+	if err != nil {
+		a.Logf("amf: auth confirm failed: %v", err)
+		return
+	}
+	cr := resp.(*sbi.AuthConfirmResponse)
+	if cr.AuthResult != "AUTHENTICATION_SUCCESS" {
+		a.Logf("amf: authentication rejected for %s", ue.suci)
+		return
+	}
+	ue.supi = cr.Supi
+	ue.state = regSecurityPending
+	pdu, _ := nas.Marshal(&nas.SecurityModeCommand{CipherAlg: 1, IntegrityAlg: 2})
+	ue.gnb.conn.Send(&ngap.DownlinkNASTransport{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+}
+
+func (a *AMF) completeRegistration(ue *ueContext) {
+	// UECM registration + subscription + policy, as free5GC does.
+	if _, err := a.udm.Invoke(sbi.OpRegisterAMF3GPPAccess, &sbi.AMFRegistrationRequest{
+		Supi: ue.supi, AmfID: a.cfg.Name, Guami: a.cfg.Guami, RatType: "NR",
+	}); err != nil {
+		a.Logf("amf: UECM registration failed: %v", err)
+		return
+	}
+	if _, err := a.udm.Invoke(sbi.OpGetAMSubscriptionData, &sbi.SubscriptionDataRequest{Supi: ue.supi}); err != nil {
+		a.Logf("amf: AM subscription failed: %v", err)
+		return
+	}
+	if _, err := a.pcf.Invoke(sbi.OpAMPolicyCreate, &sbi.AMPolicyCreateRequest{
+		Supi: ue.supi, Guami: a.cfg.Guami, RatType: "NR",
+	}); err != nil {
+		a.Logf("amf: AM policy failed: %v", err)
+		return
+	}
+	sum := sha256.Sum256([]byte(ue.supi))
+	ue.guti = fmt.Sprintf("5g-guti-%x", sum[:6])
+	ue.state = regDone
+	a.mu.Lock()
+	a.uesBySupi[ue.supi] = ue
+	a.uesByGuti[ue.guti] = ue
+	a.mu.Unlock()
+	pdu, _ := nas.Marshal(&nas.RegistrationAccept{Guti: ue.guti, TaiList: "tai-1", AllowedSst: 1})
+	ue.gnb.conn.Send(&ngap.InitialContextSetupRequest{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	a.Logf("amf: UE %s registered as %s", ue.supi, ue.guti)
+}
+
+// --- PDU session establishment ---
+
+func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequest) {
+	resp, err := a.smf.Invoke(sbi.OpPostSmContexts, &sbi.SmContextCreateRequest{
+		Supi: ue.supi, PduSessionID: n.PduSessionID, Dnn: n.Dnn,
+		Sst: 1, ServingNfID: a.cfg.Name, Guami: a.cfg.Guami,
+		RequestType: "INITIAL_REQUEST", AnType: "3GPP_ACCESS", RatType: "NR",
+	})
+	if err != nil {
+		a.Logf("amf: SM context create failed: %v", err)
+		return
+	}
+	sm := resp.(*sbi.SmContextCreateResponse)
+	ue.mu.Lock()
+	ue.smRef = sm.SmContextRef
+	ue.pduSessionID = n.PduSessionID
+	ue.upfTEID = sm.UpfTEID
+	ue.upfAddr = sm.UpfAddr
+	ue.mu.Unlock()
+
+	pdu, _ := nas.Marshal(&nas.PDUSessionEstablishmentAccept{
+		PduSessionID: n.PduSessionID, UeIPv4: sm.UeIPv4, Qfi: 9,
+	})
+	ue.gnb.conn.Send(&ngap.PDUSessionResourceSetupRequest{
+		RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, PduSessionID: n.PduSessionID,
+		UpfTEID: sm.UpfTEID, UpfAddr: sm.UpfAddr, Qfi: 9, NasPdu: pdu,
+	})
+}
+
+func (a *AMF) handleSessionResourceResponse(g *gnbConn, m *ngap.PDUSessionResourceSetupResponse) {
+	var ue *ueContext
+	a.mu.Lock()
+	for _, u := range a.ues {
+		if u.gnb == g && u.ranUeID == m.RanUeID {
+			ue = u
+			break
+		}
+	}
+	a.mu.Unlock()
+	if ue == nil {
+		a.Logf("amf: resource response for unknown RAN UE %d", m.RanUeID)
+		return
+	}
+	// Activate the DL path at the SMF with the gNB's tunnel endpoint.
+	if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
+		SmContextRef: ue.smRef, UpCnxState: "ACTIVATED",
+		TargetGnbAddr: m.GnbAddr, TargetGnbTEID: m.GnbTEID,
+	}); err != nil {
+		a.Logf("amf: SM activate failed: %v", err)
+	}
+}
+
+// deregister releases the UE's session at the SMF and its contexts at the
+// AMF and gNB (UE-initiated detach).
+func (a *AMF) deregister(ue *ueContext, ranUeID uint64) {
+	ue.mu.Lock()
+	smRef := ue.smRef
+	ue.smRef = ""
+	g := ue.gnb
+	ue.mu.Unlock()
+	if smRef != "" {
+		if _, err := a.smf.Invoke(sbi.OpReleaseSmContext, &sbi.SmContextReleaseRequest{
+			SmContextRef: smRef, Cause: "deregistration",
+		}); err != nil {
+			a.Logf("amf: SM release failed: %v", err)
+		}
+	}
+	a.mu.Lock()
+	delete(a.ues, ue.amfUeID)
+	delete(a.uesBySupi, ue.supi)
+	delete(a.uesByGuti, ue.guti)
+	a.mu.Unlock()
+	if g != nil {
+		g.conn.Send(&ngap.UEContextReleaseCommand{RanUeID: ranUeID, AmfUeID: ue.amfUeID})
+	}
+	a.Logf("amf: UE %s deregistered", ue.supi)
+}
+
+// --- idle transition and paging ---
+
+func (a *AMF) handleReleaseRequest(g *gnbConn, m *ngap.UEContextReleaseRequest) {
+	ue := a.ueByAmfID(m.AmfUeID)
+	if ue == nil {
+		return
+	}
+	if ue.smRef != "" {
+		if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
+			SmContextRef: ue.smRef, UpCnxState: "DEACTIVATED",
+		}); err != nil {
+			a.Logf("amf: SM deactivate failed: %v", err)
+			return
+		}
+	}
+	ue.mu.Lock()
+	ue.idle = true
+	ue.mu.Unlock()
+	g.conn.Send(&ngap.UEContextReleaseCommand{RanUeID: m.RanUeID, AmfUeID: m.AmfUeID})
+	a.Logf("amf: UE %s idle", ue.supi)
+}
+
+// Handle implements sbi.Handler for Namf_Communication: the SMF invokes
+// N1N2MessageTransfer to trigger paging for DL data to an idle UE.
+func (a *AMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	switch op {
+	case sbi.OpN1N2MessageTransfer:
+		r := req.(*sbi.N1N2MessageTransferRequest)
+		a.mu.Lock()
+		ue := a.uesBySupi[r.Supi]
+		a.mu.Unlock()
+		if ue == nil {
+			return &sbi.N1N2MessageTransferResponse{Cause: "UE_NOT_FOUND"}, nil
+		}
+		ue.mu.Lock()
+		idle := ue.idle
+		g := ue.gnb
+		guti := ue.guti
+		ue.mu.Unlock()
+		if !idle {
+			return &sbi.N1N2MessageTransferResponse{Cause: "N1_N2_TRANSFER_INITIATED"}, nil
+		}
+		if err := g.conn.Send(&ngap.Paging{Guti: guti}); err != nil {
+			return nil, fmt.Errorf("amf: paging send: %w", err)
+		}
+		a.Logf("amf: paging %s via gNB %d", guti, g.id)
+		return &sbi.N1N2MessageTransferResponse{Cause: "ATTEMPTING_TO_REACH_UE"}, nil
+	default:
+		return nil, fmt.Errorf("amf: unsupported operation %s", op.Name())
+	}
+}
+
+func (a *AMF) handleServiceRequest(g *gnbConn, ranUeID uint64, n *nas.ServiceRequest) {
+	a.mu.Lock()
+	ue := a.uesByGuti[n.Guti]
+	a.mu.Unlock()
+	if ue == nil {
+		a.Logf("amf: service request for unknown GUTI %s", n.Guti)
+		return
+	}
+	ue.mu.Lock()
+	ue.gnb = g
+	ue.ranUeID = ranUeID
+	ue.idle = false
+	upfTEID, upfAddr := ue.upfTEID, ue.upfAddr
+	sessID := ue.pduSessionID
+	ue.mu.Unlock()
+	// Re-establish the RAN-side tunnel; the gNB answers with its DL TEID
+	// and handleSessionResourceResponse re-activates the UPF path.
+	pdu, _ := nas.Marshal(&nas.ServiceAccept{PduSessionID: sessID})
+	g.conn.Send(&ngap.PDUSessionResourceSetupRequest{
+		RanUeID: ranUeID, AmfUeID: ue.amfUeID, PduSessionID: sessID,
+		UpfTEID: upfTEID, UpfAddr: upfAddr, Qfi: 9, NasPdu: pdu,
+	})
+}
+
+// --- N2 handover ---
+
+func (a *AMF) handleHandoverRequired(g *gnbConn, m *ngap.HandoverRequired) {
+	ue := a.ueByAmfID(m.AmfUeID)
+	if ue == nil {
+		return
+	}
+	a.mu.Lock()
+	target := a.gnbs[m.TargetGnbID]
+	a.mu.Unlock()
+	if target == nil {
+		a.Logf("amf: handover to unknown gNB %d", m.TargetGnbID)
+		return
+	}
+	// Smart buffering: start parking DL packets at the UPF before the UE
+	// detaches from the source cell (§3.3).
+	if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
+		SmContextRef: ue.smRef, HoState: "PREPARING", DataForwarding: true,
+	}); err != nil {
+		a.Logf("amf: HO prepare failed: %v", err)
+		return
+	}
+	ue.mu.Lock()
+	ue.hoSrcGnb = g
+	ue.hoSrcRanUeID = m.RanUeID
+	ue.hoTarget = target
+	ue.mu.Unlock()
+	target.conn.Send(&ngap.HandoverRequest{
+		AmfUeID: ue.amfUeID, PduSessionID: ue.pduSessionID,
+		UpfTEID: ue.upfTEID, UpfAddr: ue.upfAddr,
+	})
+}
+
+func (a *AMF) handleHandoverRequestAck(g *gnbConn, m *ngap.HandoverRequestAck) {
+	ue := a.ueByAmfID(m.AmfUeID)
+	if ue == nil {
+		return
+	}
+	ue.mu.Lock()
+	src := ue.hoSrcGnb
+	srcRanUeID := ue.hoSrcRanUeID
+	ue.ranUeID = m.NewRanUeID
+	ue.gnb = g
+	// Stash the target tunnel for the completion step.
+	targetTEID, targetAddr := m.GnbTEID, m.GnbAddr
+	ue.mu.Unlock()
+	a.mu.Lock()
+	a.hoTunnels[ue.amfUeID] = hoTunnel{teid: targetTEID, addr: targetAddr}
+	a.mu.Unlock()
+	if src != nil {
+		src.conn.Send(&ngap.HandoverCommand{RanUeID: srcRanUeID, TargetGnbID: g.id})
+	}
+}
+
+func (a *AMF) handleHandoverNotify(g *gnbConn, m *ngap.HandoverNotify) {
+	ue := a.ueByAmfID(m.AmfUeID)
+	if ue == nil {
+		return
+	}
+	a.mu.Lock()
+	tun := a.hoTunnels[ue.amfUeID]
+	delete(a.hoTunnels, ue.amfUeID)
+	a.mu.Unlock()
+	// Path switch: flip the UPF's DL FAR to the target gNB; buffered
+	// packets drain in order toward the new cell.
+	if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
+		SmContextRef: ue.smRef, HoState: "COMPLETED",
+		TargetGnbAddr: tun.addr, TargetGnbTEID: tun.teid,
+	}); err != nil {
+		a.Logf("amf: HO complete failed: %v", err)
+		return
+	}
+	// Release the UE context at the source gNB.
+	ue.mu.Lock()
+	src := ue.hoSrcGnb
+	srcRanUeID := ue.hoSrcRanUeID
+	ue.hoSrcGnb, ue.hoTarget = nil, nil
+	ue.mu.Unlock()
+	if src != nil {
+		src.conn.Send(&ngap.UEContextReleaseCommand{RanUeID: srcRanUeID, AmfUeID: ue.amfUeID})
+	}
+	a.Logf("amf: handover of %s to gNB %d complete", ue.supi, g.id)
+}
+
+// hoTunnel stashes a target gNB tunnel between HO ack and notify.
+type hoTunnel struct {
+	teid uint32
+	addr string
+}

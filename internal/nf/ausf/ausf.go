@@ -1,0 +1,84 @@
+// Package ausf implements the Authentication Server Function: it fronts
+// the UDM for 5G-AKA, holds the per-UE authentication context between the
+// challenge and the confirmation, and derives KSEAF on success.
+package ausf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/sbi"
+)
+
+// authCtx is the state between UEAuthentications POST and confirmation.
+type authCtx struct {
+	supi     string
+	rand     []byte
+	xresStar []byte
+	kausf    []byte
+}
+
+// AUSF is the authentication server NF.
+type AUSF struct {
+	udm sbi.Conn
+
+	mu    sync.Mutex
+	ctxs  map[string]*authCtx
+	ctxID atomic.Uint64
+}
+
+// New creates an AUSF backed by the given UDM connection.
+func New(udm sbi.Conn) *AUSF {
+	return &AUSF{udm: udm, ctxs: make(map[string]*authCtx)}
+}
+
+// Handle implements sbi.Handler for Nausf_UEAuthentication.
+func (a *AUSF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	switch op {
+	case sbi.OpUEAuthenticationsPost:
+		r := req.(*sbi.AuthenticationRequest)
+		resp, err := a.udm.Invoke(sbi.OpGenerateAuthData, &sbi.AuthInfoRequest{
+			SuciOrSupi: r.SuciOrSupi, ServingNetworkName: r.ServingNetworkName,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ausf: UDM auth data: %w", err)
+		}
+		ai := resp.(*sbi.AuthInfoResponse)
+		id := fmt.Sprintf("authctx-%d", a.ctxID.Add(1))
+		a.mu.Lock()
+		a.ctxs[id] = &authCtx{supi: ai.Supi, rand: ai.Rand, xresStar: ai.XresStar, kausf: ai.Kausf}
+		a.mu.Unlock()
+		// HXRES* lets the SEAF (AMF) pre-verify without learning XRES*.
+		hx := sha256.Sum256(append(append([]byte{}, ai.Rand...), ai.XresStar...))
+		return &sbi.AuthenticationResponse{
+			AuthType: ai.AuthType, Rand: ai.Rand, Autn: ai.Autn,
+			HxresStar: hx[:16], AuthCtxID: id,
+			Link: "/nausf-auth/v1/ue-authentications/" + id + "/5g-aka-confirmation",
+		}, nil
+	case sbi.OpUEAuthenticationsConfirm:
+		r := req.(*sbi.AuthConfirmRequest)
+		a.mu.Lock()
+		ctx := a.ctxs[r.AuthCtxID]
+		delete(a.ctxs, r.AuthCtxID)
+		a.mu.Unlock()
+		if ctx == nil {
+			return nil, fmt.Errorf("ausf: unknown auth context %q", r.AuthCtxID)
+		}
+		if !hmac.Equal(ctx.xresStar, r.ResStar) {
+			return &sbi.AuthConfirmResponse{AuthResult: "AUTHENTICATION_FAILURE"}, nil
+		}
+		kseaf := hmac.New(sha256.New, ctx.kausf)
+		kseaf.Write([]byte("kseaf"))
+		return &sbi.AuthConfirmResponse{
+			AuthResult: "AUTHENTICATION_SUCCESS",
+			Supi:       ctx.supi,
+			Kseaf:      kseaf.Sum(nil),
+		}, nil
+	default:
+		return nil, fmt.Errorf("ausf: unsupported operation %s", op.Name())
+	}
+}

@@ -1,0 +1,65 @@
+// Package nrf implements the Network Repository Function: NF instance
+// registration and discovery. In free5GC every consumer resolves producers
+// through the NRF at setup time; the same flow exists here so the
+// control-plane wiring matches the 3GPP service-based architecture.
+package nrf
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/sbi"
+)
+
+// instance is one registered NF.
+type instance struct {
+	id     string
+	nfType string
+	addr   string
+}
+
+// NRF is the repository function.
+type NRF struct {
+	mu        sync.RWMutex
+	instances map[string]instance // keyed by instance ID
+}
+
+// New creates an empty NRF.
+func New() *NRF {
+	return &NRF{instances: make(map[string]instance)}
+}
+
+// Handle implements sbi.Handler for Nnrf services.
+func (n *NRF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	switch op {
+	case sbi.OpNFRegister:
+		r := req.(*sbi.NFRegisterRequest)
+		n.mu.Lock()
+		n.instances[r.NfInstanceID] = instance{id: r.NfInstanceID, nfType: strings.ToUpper(r.NfType), addr: r.Addr}
+		n.mu.Unlock()
+		return &sbi.NFRegisterResponse{HeartbeatTimer: 10}, nil
+	case sbi.OpNFDiscover:
+		r := req.(*sbi.NFDiscoveryRequest)
+		want := strings.ToUpper(r.TargetNfType)
+		n.mu.RLock()
+		var addrs []string
+		for _, in := range n.instances {
+			if in.nfType == want {
+				addrs = append(addrs, in.addr)
+			}
+		}
+		n.mu.RUnlock()
+		return &sbi.NFDiscoveryResponse{Addrs: strings.Join(addrs, ",")}, nil
+	default:
+		return nil, fmt.Errorf("nrf: unsupported operation %s", op.Name())
+	}
+}
+
+// Registered reports the number of registered instances.
+func (n *NRF) Registered() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.instances)
+}

@@ -1,0 +1,55 @@
+// Package pcf implements the Policy Control Function: access-and-mobility
+// and session-management policy associations with static operator policy.
+package pcf
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/sbi"
+)
+
+// Policy holds the operator defaults the PCF hands out.
+type Policy struct {
+	RfspIndex  uint32
+	MbrUL      uint64 // kbit/s
+	MbrDL      uint64
+	Default5QI uint32
+}
+
+// PCF is the policy NF.
+type PCF struct {
+	policy Policy
+	nextID atomic.Uint64
+}
+
+// New creates a PCF with the given operator policy. Zero MBRs mean
+// unlimited.
+func New(p Policy) *PCF {
+	if p.Default5QI == 0 {
+		p.Default5QI = 9
+	}
+	return &PCF{policy: p}
+}
+
+// Handle implements sbi.Handler for the Npcf services.
+func (p *PCF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	switch op {
+	case sbi.OpAMPolicyCreate:
+		return &sbi.AMPolicyCreateResponse{
+			PolicyID: fmt.Sprintf("am-%d", p.nextID.Add(1)),
+			Rfsp:     p.policy.RfspIndex,
+		}, nil
+	case sbi.OpSMPolicyCreate:
+		r := req.(*sbi.SMPolicyCreateRequest)
+		return &sbi.SMPolicyCreateResponse{
+			PolicyID:   fmt.Sprintf("sm-%d", p.nextID.Add(1)),
+			SessRuleID: fmt.Sprintf("rule-%s-%d", r.Supi, r.PduSessionID),
+			MbrUL:      p.policy.MbrUL, MbrDL: p.policy.MbrDL,
+			Default5QI: p.policy.Default5QI,
+		}, nil
+	default:
+		return nil, fmt.Errorf("pcf: unsupported operation %s", op.Name())
+	}
+}

@@ -1,0 +1,362 @@
+// Package smf implements the Session Management Function: PDU session
+// lifecycle (create / modify / release), the N4 interface toward the UPF,
+// session policy retrieval from the PCF, and the paging trigger path
+// (UPF Session Report -> SMF -> AMF N1N2 transfer).
+//
+// The SMF is where L²5GC's smart buffering (§3.3) is provisioned: on
+// handover preparation it piggybacks the buffer-action FAR update on the
+// PFCP message that handles the tunnel change, and on completion it flips
+// the FAR to forward toward the target gNB — no extra message exchanges.
+package smf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+	"l25gc/internal/sbi"
+)
+
+// Rule IDs used in the canonical two-PDR session layout.
+const (
+	pdrUL = 1
+	pdrDL = 2
+	farUL = 1
+	farDL = 2
+	qerID = 1
+	barID = 1
+)
+
+// smContext is one PDU session's control state.
+type smContext struct {
+	mu sync.Mutex
+
+	ref          string
+	supi         string
+	pduSessionID uint32
+	seid         uint64
+	ueIP         pkt.Addr
+	upfTEID      uint32 // UL tunnel at the UPF
+	upfAddr      string
+	gnbTEID      uint32 // current DL tunnel at the serving gNB
+	gnbAddr      pkt.Addr
+	qfi          uint8
+	buffering    bool
+	idle         bool
+}
+
+// Config parameterizes the SMF.
+type Config struct {
+	NodeID     string
+	UPFN3IP    pkt.Addr // UPF N3 address advertised to gNBs
+	UEPoolBase pkt.Addr // first UE address (e.g. 10.60.0.1)
+	BufferPkts uint16   // suggested UPF buffering (BAR)
+}
+
+// SMF is the session management NF.
+type SMF struct {
+	cfg Config
+
+	udm sbi.Conn
+	pcf sbi.Conn
+	amf func() sbi.Conn // lazy: AMF may start after the SMF
+	n4  pfcp.Endpoint
+
+	mu     sync.Mutex
+	byRef  map[string]*smContext
+	bySEID map[uint64]*smContext
+	nextIP atomic.Uint32
+	seid   atomic.Uint64
+}
+
+// New creates an SMF. amf is resolved lazily on first paging trigger.
+func New(cfg Config, udm, pcf sbi.Conn, n4 pfcp.Endpoint, amf func() sbi.Conn) *SMF {
+	if cfg.BufferPkts == 0 {
+		cfg.BufferPkts = 3000
+	}
+	s := &SMF{
+		cfg: cfg, udm: udm, pcf: pcf, amf: amf, n4: n4,
+		byRef:  make(map[string]*smContext),
+		bySEID: make(map[uint64]*smContext),
+	}
+	s.nextIP.Store(cfg.UEPoolBase.Uint32() - 1)
+	s.seid.Store(0x100)
+	if n4 != nil {
+		n4.SetHandler(s.handleN4)
+	}
+	return s
+}
+
+// handleN4 processes PFCP requests originated by the UPF (session
+// reports: the paging trigger).
+func (s *SMF) handleN4(seid uint64, req pfcp.Message) (pfcp.Message, error) {
+	rep, ok := req.(*pfcp.SessionReportRequest)
+	if !ok {
+		return nil, fmt.Errorf("smf: unexpected N4 request type %d", req.PFCPType())
+	}
+	s.mu.Lock()
+	ctx := s.bySEID[seid]
+	s.mu.Unlock()
+	if ctx == nil {
+		return &pfcp.SessionReportResponse{Cause: pfcp.CauseSessionNotFound}, nil
+	}
+	if rep.ReportType&pfcp.ReportDLDR != 0 {
+		// Downlink data for an idle UE: ask the AMF to page it. The
+		// transfer runs async so the report response is not delayed.
+		go func() {
+			conn := s.amf()
+			if conn == nil {
+				return
+			}
+			conn.Invoke(sbi.OpN1N2MessageTransfer, &sbi.N1N2MessageTransferRequest{
+				Supi: ctx.supi, PduSessionID: ctx.pduSessionID,
+			})
+		}()
+	}
+	return &pfcp.SessionReportResponse{Cause: pfcp.CauseAccepted}, nil
+}
+
+// Handle implements sbi.Handler for Nsmf_PDUSession.
+func (s *SMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	switch op {
+	case sbi.OpPostSmContexts:
+		return s.createSmContext(req.(*sbi.SmContextCreateRequest))
+	case sbi.OpUpdateSmContext:
+		return s.updateSmContext(req.(*sbi.SmContextUpdateRequest))
+	case sbi.OpReleaseSmContext:
+		return s.releaseSmContext(req.(*sbi.SmContextReleaseRequest))
+	default:
+		return nil, fmt.Errorf("smf: unsupported operation %s", op.Name())
+	}
+}
+
+func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, error) {
+	// Subscription and policy lookups (SBI round trips the paper counts in
+	// the session establishment event).
+	if _, err := s.udm.Invoke(sbi.OpGetSMSubscriptionData, &sbi.SubscriptionDataRequest{Supi: r.Supi, Dnn: r.Dnn}); err != nil {
+		return nil, fmt.Errorf("smf: SM subscription: %w", err)
+	}
+	polResp, err := s.pcf.Invoke(sbi.OpSMPolicyCreate, &sbi.SMPolicyCreateRequest{
+		Supi: r.Supi, PduSessionID: r.PduSessionID, Dnn: r.Dnn, Sst: r.Sst, Sd: r.Sd,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("smf: SM policy: %w", err)
+	}
+	pol := polResp.(*sbi.SMPolicyCreateResponse)
+
+	ueIP := pkt.AddrFromUint32(s.nextIP.Add(1))
+	seid := s.seid.Add(1)
+	qfi := uint8(pol.Default5QI)
+
+	ctx := &smContext{
+		ref:  fmt.Sprintf("smctx-%s-%d", r.Supi, r.PduSessionID),
+		supi: r.Supi, pduSessionID: r.PduSessionID,
+		seid: seid, ueIP: ueIP, qfi: qfi,
+	}
+
+	est := &pfcp.SessionEstablishmentRequest{
+		NodeID: s.cfg.NodeID, CPSEID: seid, UEIP: ueIP,
+		CreatePDRs: []*rules.PDR{
+			{
+				ID: pdrUL, Precedence: 32,
+				PDI: rules.PDI{
+					SourceInterface: rules.IfAccess,
+					HasTEID:         true, TEID: 0, // UPF chooses
+					UEIP: ueIP, HasUEIP: true,
+					QFI: qfi, HasQFI: true,
+				},
+				OuterHeaderRemoval: true, FARID: farUL, QERID: qerID,
+			},
+			{
+				ID: pdrDL, Precedence: 32,
+				PDI: rules.PDI{
+					SourceInterface: rules.IfCore,
+					UEIP:            ueIP, HasUEIP: true,
+					QFI: qfi, HasQFI: true,
+				},
+				FARID: farDL, QERID: qerID, BARID: barID,
+			},
+		},
+		CreateFARs: []*rules.FAR{
+			{ID: farUL, Action: rules.FARForward, DestInterface: rules.IfCore},
+			s.dlFAR(ctx, r.GnbTunnelAddr, r.GnbTunnelTEID),
+		},
+		CreateQERs: []*rules.QER{{
+			ID: qerID, QFI: qfi,
+			ULMbrKbps: pol.MbrUL, DLMbrKbps: pol.MbrDL,
+			GateUL: true, GateDL: true,
+		}},
+		CreateBARs: []*rules.BAR{{ID: barID, SuggestedPkts: s.cfg.BufferPkts}},
+	}
+	resp, err := s.n4.Request(seid, true, est)
+	if err != nil {
+		return nil, fmt.Errorf("smf: N4 establishment: %w", err)
+	}
+	er, ok := resp.(*pfcp.SessionEstablishmentResponse)
+	if !ok || er.Cause != pfcp.CauseAccepted {
+		return nil, fmt.Errorf("smf: UPF rejected session (cause %v)", er)
+	}
+	for _, c := range er.CreatedPDRs {
+		if c.PDRID == pdrUL {
+			ctx.upfTEID = c.TEID
+			ctx.upfAddr = c.Addr.String()
+		}
+	}
+
+	s.mu.Lock()
+	s.byRef[ctx.ref] = ctx
+	s.bySEID[seid] = ctx
+	s.mu.Unlock()
+
+	return &sbi.SmContextCreateResponse{
+		SmContextRef: ctx.ref, Status: 201,
+		UeIPv4: ueIP.String(), UpfTEID: ctx.upfTEID, UpfAddr: ctx.upfAddr,
+	}, nil
+}
+
+// dlFAR builds the initial DL forwarding rule: forward when the gNB tunnel
+// is already known, otherwise buffer until the RAN-side setup completes.
+func (s *SMF) dlFAR(ctx *smContext, gnbAddr string, gnbTEID uint32) *rules.FAR {
+	if gnbTEID != 0 && gnbAddr != "" {
+		ctx.gnbTEID = gnbTEID
+		ctx.gnbAddr = parseAddr(gnbAddr)
+		return &rules.FAR{
+			ID: farDL, Action: rules.FARForward, DestInterface: rules.IfAccess,
+			HasOuterHeader: true, OuterTEID: gnbTEID, OuterAddr: ctx.gnbAddr,
+		}
+	}
+	ctx.buffering = true
+	return &rules.FAR{ID: farDL, Action: rules.FARBuffer, DestInterface: rules.IfAccess}
+}
+
+func (s *SMF) updateSmContext(r *sbi.SmContextUpdateRequest) (codec.Message, error) {
+	s.mu.Lock()
+	ctx := s.byRef[r.SmContextRef]
+	s.mu.Unlock()
+	if ctx == nil {
+		return nil, fmt.Errorf("smf: unknown SM context %q", r.SmContextRef)
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+
+	mod := &pfcp.SessionModificationRequest{}
+	resp := &sbi.SmContextUpdateResponse{Status: 200}
+
+	switch {
+	case r.Release:
+		return s.releaseLocked(ctx)
+	case r.UpCnxState == "DEACTIVATED":
+		// UE went idle: buffer + notify (paging trigger armed).
+		ctx.idle = true
+		ctx.buffering = true
+		mod.UpdateFARs = []*rules.FAR{{
+			ID: farDL, Action: rules.FARBuffer | rules.FARNotifyCP,
+			DestInterface: rules.IfAccess,
+		}}
+	case r.UpCnxState == "ACTIVATED":
+		// Idle->active (service request): forward to the (possibly new)
+		// gNB tunnel; the UPF drains buffered packets in order.
+		if r.TargetGnbTEID != 0 {
+			ctx.gnbTEID = r.TargetGnbTEID
+			ctx.gnbAddr = parseAddr(r.TargetGnbAddr)
+		}
+		ctx.idle = false
+		ctx.buffering = false
+		mod.UpdateFARs = []*rules.FAR{{
+			ID: farDL, Action: rules.FARForward, DestInterface: rules.IfAccess,
+			HasOuterHeader: true, OuterTEID: ctx.gnbTEID, OuterAddr: ctx.gnbAddr,
+		}}
+	case r.HoState == "PREPARING":
+		// Smart buffering: the buffer-action FAR update is piggybacked on
+		// the handover-preparation PFCP exchange (§3.3) — no dedicated
+		// buffering message.
+		if r.DataForwarding {
+			ctx.buffering = true
+			mod.UpdateFARs = []*rules.FAR{{
+				ID: farDL, Action: rules.FARBuffer, DestInterface: rules.IfAccess,
+			}}
+		}
+		resp.HoState = "PREPARED"
+	case r.HoState == "COMPLETED":
+		if r.TargetGnbTEID != 0 {
+			ctx.gnbTEID = r.TargetGnbTEID
+			ctx.gnbAddr = parseAddr(r.TargetGnbAddr)
+		}
+		ctx.buffering = false
+		mod.UpdateFARs = []*rules.FAR{{
+			ID: farDL, Action: rules.FARForward, DestInterface: rules.IfAccess,
+			HasOuterHeader: true, OuterTEID: ctx.gnbTEID, OuterAddr: ctx.gnbAddr,
+		}}
+		resp.HoState = "COMPLETED"
+	default:
+		return nil, fmt.Errorf("smf: unsupported update %+v", r)
+	}
+
+	if len(mod.UpdateFARs) > 0 || len(mod.UpdatePDRs) > 0 {
+		n4resp, err := s.n4.Request(ctx.seid, true, mod)
+		if err != nil {
+			return nil, fmt.Errorf("smf: N4 modification: %w", err)
+		}
+		if mr, ok := n4resp.(*pfcp.SessionModificationResponse); !ok || mr.Cause != pfcp.CauseAccepted {
+			return nil, fmt.Errorf("smf: UPF rejected modification")
+		}
+	}
+	return resp, nil
+}
+
+func (s *SMF) releaseSmContext(r *sbi.SmContextReleaseRequest) (codec.Message, error) {
+	s.mu.Lock()
+	ctx := s.byRef[r.SmContextRef]
+	s.mu.Unlock()
+	if ctx == nil {
+		return &sbi.SmContextReleaseResponse{Status: 404}, nil
+	}
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	resp, err := s.releaseLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &sbi.SmContextReleaseResponse{Status: resp.(*sbi.SmContextUpdateResponse).Status}, nil
+}
+
+func (s *SMF) releaseLocked(ctx *smContext) (codec.Message, error) {
+	if _, err := s.n4.Request(ctx.seid, true, &pfcp.SessionDeletionRequest{}); err != nil {
+		return nil, fmt.Errorf("smf: N4 deletion: %w", err)
+	}
+	s.mu.Lock()
+	delete(s.byRef, ctx.ref)
+	delete(s.bySEID, ctx.seid)
+	s.mu.Unlock()
+	return &sbi.SmContextUpdateResponse{Status: 200}, nil
+}
+
+// Sessions reports the number of active SM contexts.
+func (s *SMF) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byRef)
+}
+
+// parseAddr converts dotted-quad text into an Addr (zero on error).
+func parseAddr(s string) pkt.Addr {
+	var a pkt.Addr
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return pkt.Addr{}
+		}
+		a[i] = byte(v)
+	}
+	return a
+}

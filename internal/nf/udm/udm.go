@@ -1,0 +1,144 @@
+// Package udm implements the Unified Data Management NF: home-network
+// authentication vector generation (5G-AKA), subscription data retrieval,
+// and serving-AMF registration (UECM).
+//
+// Vector derivation substitutes HMAC-SHA256 for Milenage (stdlib-only),
+// preserving the protocol structure: RAND/AUTN challenge, XRES*
+// comparison, KAUSF derivation. The UE side (internal/ranue) derives the
+// same quantities from its provisioned key.
+package udm
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/sbi"
+)
+
+// Vector is a 5G-AKA home-network authentication vector.
+type Vector struct {
+	Rand     []byte
+	Autn     []byte
+	XresStar []byte
+	Kausf    []byte
+}
+
+// DeriveVector computes the vector for key k and sequence number sqn.
+// Exported so the UE simulator derives the matching RES*.
+func DeriveVector(k, opc []byte, sqn uint64) Vector {
+	var sq [8]byte
+	binary.BigEndian.PutUint64(sq[:], sqn)
+	rnd := prf(k, "rand", opc, sq[:])[:16]
+	return Vector{
+		Rand:     rnd,
+		Autn:     prf(k, "autn", rnd, sq[:])[:16],
+		XresStar: DeriveRes(k, rnd),
+		Kausf:    prf(k, "kausf", rnd, nil),
+	}
+}
+
+// DeriveRes computes RES* for a challenge (UE side and XRES* home side).
+func DeriveRes(k, rnd []byte) []byte {
+	return prf(k, "res", rnd, nil)[:16]
+}
+
+// prf is the HMAC-SHA256 pseudo-random function used for all derivations.
+func prf(key []byte, label string, parts ...[]byte) []byte {
+	h := hmac.New(sha256.New, key)
+	h.Write([]byte(label))
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+// registration records the serving AMF for a UE.
+type registration struct {
+	AmfID string
+	Guami string
+}
+
+// UDM is the data-management NF. It reaches subscriber documents through
+// the UDR connection.
+type UDM struct {
+	udr sbi.Conn
+
+	mu   sync.RWMutex
+	regs map[string]registration
+}
+
+// New creates a UDM backed by the given UDR connection.
+func New(udr sbi.Conn) *UDM {
+	return &UDM{udr: udr, regs: make(map[string]registration)}
+}
+
+// ServingAMF returns the registered serving AMF for a SUPI.
+func (u *UDM) ServingAMF(supi string) (string, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	r, ok := u.regs[supi]
+	return r.AmfID, ok
+}
+
+// Handle implements sbi.Handler for the Nudm services.
+func (u *UDM) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	switch op {
+	case sbi.OpGenerateAuthData:
+		r := req.(*sbi.AuthInfoRequest)
+		rec, err := u.subscriber(r.SuciOrSupi)
+		if err != nil {
+			return nil, err
+		}
+		v := DeriveVector(rec.K, rec.Opc, rec.Sqn)
+		return &sbi.AuthInfoResponse{
+			AuthType: "5G_AKA",
+			Rand:     v.Rand, Autn: v.Autn, XresStar: v.XresStar, Kausf: v.Kausf,
+			Supi: rec.Supi,
+		}, nil
+	case sbi.OpGetAMSubscriptionData:
+		r := req.(*sbi.SubscriptionDataRequest)
+		rec, err := u.subscriber(r.Supi)
+		if err != nil {
+			return nil, err
+		}
+		return &sbi.AMSubscriptionData{
+			Supi: rec.Supi, SubscribedSst: rec.Sst, SubscribedSd: rec.Sd,
+			UeAmbrUL: rec.AmbrUL, UeAmbrDL: rec.AmbrDL,
+		}, nil
+	case sbi.OpGetSMSubscriptionData:
+		r := req.(*sbi.SubscriptionDataRequest)
+		rec, err := u.subscriber(r.Supi)
+		if err != nil {
+			return nil, err
+		}
+		return &sbi.SMSubscriptionData{
+			Supi: rec.Supi, Dnn: rec.Dnn,
+			SessAmbrUL: rec.AmbrUL, SessAmbrDL: rec.AmbrDL,
+			Default5QI: 9, AllowedSscCnt: 1,
+		}, nil
+	case sbi.OpRegisterAMF3GPPAccess:
+		r := req.(*sbi.AMFRegistrationRequest)
+		u.mu.Lock()
+		u.regs[r.Supi] = registration{AmfID: r.AmfID, Guami: r.Guami}
+		u.mu.Unlock()
+		return &sbi.AMFRegistrationResponse{Accepted: true}, nil
+	default:
+		return nil, fmt.Errorf("udm: unsupported operation %s", op.Name())
+	}
+}
+
+func (u *UDM) subscriber(supi string) (*sbi.SubscriberRecord, error) {
+	resp, err := u.udr.Invoke(sbi.OpQuerySubscriberData, &sbi.SubscriptionDataRequest{Supi: supi})
+	if err != nil {
+		return nil, fmt.Errorf("udm: UDR query: %w", err)
+	}
+	rec := resp.(*sbi.SubscriberRecord)
+	if !rec.Found {
+		return nil, fmt.Errorf("udm: unknown subscriber %s", supi)
+	}
+	return rec, nil
+}

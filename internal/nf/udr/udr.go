@@ -1,0 +1,83 @@
+// Package udr implements the Unified Data Repository: the subscriber
+// document store (free5GC keeps this in MongoDB; here it is an in-memory
+// store with the same query surface, per the DESIGN.md substitution).
+package udr
+
+import (
+	"fmt"
+	"sync"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/sbi"
+)
+
+// Subscriber is one provisioned SIM record.
+type Subscriber struct {
+	Supi   string
+	K      []byte // permanent key
+	Opc    []byte
+	Dnn    string
+	AmbrUL uint64
+	AmbrDL uint64
+	Sst    uint32
+	Sd     string
+}
+
+// UDR is the repository NF.
+type UDR struct {
+	mu   sync.RWMutex
+	subs map[string]*Subscriber
+	sqn  map[string]uint64
+}
+
+// New creates an empty repository.
+func New() *UDR {
+	return &UDR{subs: make(map[string]*Subscriber), sqn: make(map[string]uint64)}
+}
+
+// Provision inserts or replaces a subscriber record.
+func (u *UDR) Provision(s Subscriber) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.subs[s.Supi] = &s
+}
+
+// NextSQN returns and advances the subscriber's sequence number (used for
+// authentication vector freshness).
+func (u *UDR) NextSQN(supi string) uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.sqn[supi]++
+	return u.sqn[supi]
+}
+
+// Lookup returns the subscriber record.
+func (u *UDR) Lookup(supi string) (*Subscriber, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	s, ok := u.subs[supi]
+	return s, ok
+}
+
+// Handle implements sbi.Handler for Nudr_DataRepository.
+func (u *UDR) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	switch op {
+	case sbi.OpQuerySubscriberData:
+		q := req.(*sbi.SubscriptionDataRequest)
+		rec := &sbi.SubscriberRecord{Supi: q.Supi}
+		if s, ok := u.Lookup(q.Supi); ok {
+			rec.Found = true
+			rec.K = s.K
+			rec.Opc = s.Opc
+			rec.Dnn = s.Dnn
+			rec.AmbrUL = s.AmbrUL
+			rec.AmbrDL = s.AmbrDL
+			rec.Sst = s.Sst
+			rec.Sd = s.Sd
+			rec.Sqn = u.NextSQN(q.Supi)
+		}
+		return rec, nil
+	default:
+		return nil, fmt.Errorf("udr: unsupported operation %s", op.Name())
+	}
+}

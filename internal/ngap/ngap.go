@@ -1,0 +1,537 @@
+// Package ngap implements the N2 interface between gNBs and the AMF: the
+// NGAP message set for the paper's four UE events (registration, PDU
+// session, N2 handover, paging) and a stream transport preserving message
+// boundaries.
+//
+// Substitutions vs. 3GPP: real NGAP is ASN.1 PER over SCTP; here messages
+// use the schema-driven binary codec, and the transport is a
+// length-delimited TCP stream (Go's stdlib has no SCTP), which keeps the
+// same message-oriented semantics the paper's UE/RAN simulator relies on.
+package ngap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"l25gc/internal/codec"
+)
+
+// MsgType identifies an NGAP procedure message.
+type MsgType uint8
+
+// NGAP message types (subset of TS 38.413).
+const (
+	MsgNGSetupRequest MsgType = iota + 1
+	MsgNGSetupResponse
+	MsgInitialUEMessage
+	MsgDownlinkNASTransport
+	MsgUplinkNASTransport
+	MsgInitialContextSetupRequest
+	MsgInitialContextSetupResponse
+	MsgPDUSessionResourceSetupRequest
+	MsgPDUSessionResourceSetupResponse
+	MsgHandoverRequired
+	MsgHandoverRequest
+	MsgHandoverRequestAck
+	MsgHandoverCommand
+	MsgHandoverNotify
+	MsgPaging
+	MsgUEContextReleaseRequest
+	MsgUEContextReleaseCommand
+	MsgUEContextReleaseComplete
+)
+
+// Errors returned by the codec and transport.
+var (
+	ErrUnknownMsg = errors.New("ngap: unknown message type")
+	ErrTooLarge   = errors.New("ngap: message exceeds frame limit")
+)
+
+// maxFrame bounds one NGAP frame on the wire.
+const maxFrame = 1 << 20
+
+// Message is an NGAP message body.
+type Message interface {
+	codec.Message
+	NGAPType() MsgType
+}
+
+var ngapCodec = codec.Proto{}
+
+// Marshal encodes type+body.
+func Marshal(m Message) ([]byte, error) {
+	body, err := ngapCodec.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{byte(m.NGAPType())}, body...), nil
+}
+
+// Unmarshal decodes type+body.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	m := New(MsgType(b[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMsg, b[0])
+	}
+	if err := ngapCodec.Unmarshal(b[1:], m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// New allocates an empty message of type t.
+func New(t MsgType) Message {
+	switch t {
+	case MsgNGSetupRequest:
+		return &NGSetupRequest{}
+	case MsgNGSetupResponse:
+		return &NGSetupResponse{}
+	case MsgInitialUEMessage:
+		return &InitialUEMessage{}
+	case MsgDownlinkNASTransport:
+		return &DownlinkNASTransport{}
+	case MsgUplinkNASTransport:
+		return &UplinkNASTransport{}
+	case MsgInitialContextSetupRequest:
+		return &InitialContextSetupRequest{}
+	case MsgInitialContextSetupResponse:
+		return &InitialContextSetupResponse{}
+	case MsgPDUSessionResourceSetupRequest:
+		return &PDUSessionResourceSetupRequest{}
+	case MsgPDUSessionResourceSetupResponse:
+		return &PDUSessionResourceSetupResponse{}
+	case MsgHandoverRequired:
+		return &HandoverRequired{}
+	case MsgHandoverRequest:
+		return &HandoverRequest{}
+	case MsgHandoverRequestAck:
+		return &HandoverRequestAck{}
+	case MsgHandoverCommand:
+		return &HandoverCommand{}
+	case MsgHandoverNotify:
+		return &HandoverNotify{}
+	case MsgPaging:
+		return &Paging{}
+	case MsgUEContextReleaseRequest:
+		return &UEContextReleaseRequest{}
+	case MsgUEContextReleaseCommand:
+		return &UEContextReleaseCommand{}
+	case MsgUEContextReleaseComplete:
+		return &UEContextReleaseComplete{}
+	default:
+		return nil
+	}
+}
+
+// --- message bodies ---
+
+// NGSetupRequest announces a gNB to the AMF.
+type NGSetupRequest struct {
+	GnbID   uint32
+	GnbName string
+	Tac     uint32
+}
+
+// NGAPType implements Message.
+func (*NGSetupRequest) NGAPType() MsgType { return MsgNGSetupRequest }
+
+// Schema implements codec.Message.
+func (m *NGSetupRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.GnbID},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.GnbName},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.Tac},
+	}
+}
+
+// NGSetupResponse acknowledges the gNB.
+type NGSetupResponse struct {
+	AmfName  string
+	Accepted bool
+}
+
+// NGAPType implements Message.
+func (*NGSetupResponse) NGAPType() MsgType { return MsgNGSetupResponse }
+
+// Schema implements codec.Message.
+func (m *NGSetupResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.AmfName},
+		{Tag: 2, Kind: codec.KindBool, Ptr: &m.Accepted},
+	}
+}
+
+// InitialUEMessage carries the first NAS PDU of a UE (registration or
+// service request after paging).
+type InitialUEMessage struct {
+	RanUeID uint64
+	NasPdu  []byte
+}
+
+// NGAPType implements Message.
+func (*InitialUEMessage) NGAPType() MsgType { return MsgInitialUEMessage }
+
+// Schema implements codec.Message.
+func (m *InitialUEMessage) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	}
+}
+
+// DownlinkNASTransport carries a NAS PDU toward the UE.
+type DownlinkNASTransport struct {
+	RanUeID uint64
+	AmfUeID uint64
+	NasPdu  []byte
+}
+
+// NGAPType implements Message.
+func (*DownlinkNASTransport) NGAPType() MsgType { return MsgDownlinkNASTransport }
+
+// Schema implements codec.Message.
+func (m *DownlinkNASTransport) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	}
+}
+
+// UplinkNASTransport carries a NAS PDU from the UE.
+type UplinkNASTransport struct {
+	RanUeID uint64
+	AmfUeID uint64
+	NasPdu  []byte
+}
+
+// NGAPType implements Message.
+func (*UplinkNASTransport) NGAPType() MsgType { return MsgUplinkNASTransport }
+
+// Schema implements codec.Message.
+func (m *UplinkNASTransport) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	}
+}
+
+// InitialContextSetupRequest creates the UE context at the gNB.
+type InitialContextSetupRequest struct {
+	RanUeID uint64
+	AmfUeID uint64
+	NasPdu  []byte
+}
+
+// NGAPType implements Message.
+func (*InitialContextSetupRequest) NGAPType() MsgType { return MsgInitialContextSetupRequest }
+
+// Schema implements codec.Message.
+func (m *InitialContextSetupRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	}
+}
+
+// InitialContextSetupResponse acknowledges context creation.
+type InitialContextSetupResponse struct {
+	RanUeID uint64
+	AmfUeID uint64
+}
+
+// NGAPType implements Message.
+func (*InitialContextSetupResponse) NGAPType() MsgType { return MsgInitialContextSetupResponse }
+
+// Schema implements codec.Message.
+func (m *InitialContextSetupResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+	}
+}
+
+// PDUSessionResourceSetupRequest installs the session's N3 tunnel at the
+// gNB (UPF TEID + address) and carries the NAS accept for the UE.
+type PDUSessionResourceSetupRequest struct {
+	RanUeID      uint64
+	AmfUeID      uint64
+	PduSessionID uint32
+	UpfTEID      uint32
+	UpfAddr      string
+	Qfi          uint32
+	NasPdu       []byte
+}
+
+// NGAPType implements Message.
+func (*PDUSessionResourceSetupRequest) NGAPType() MsgType { return MsgPDUSessionResourceSetupRequest }
+
+// Schema implements codec.Message.
+func (m *PDUSessionResourceSetupRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 4, Kind: codec.KindUint32, Ptr: &m.UpfTEID},
+		{Tag: 5, Kind: codec.KindString, Ptr: &m.UpfAddr},
+		{Tag: 6, Kind: codec.KindUint32, Ptr: &m.Qfi},
+		{Tag: 7, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	}
+}
+
+// PDUSessionResourceSetupResponse returns the gNB's DL tunnel endpoint.
+type PDUSessionResourceSetupResponse struct {
+	RanUeID      uint64
+	PduSessionID uint32
+	GnbTEID      uint32
+	GnbAddr      string
+}
+
+// NGAPType implements Message.
+func (*PDUSessionResourceSetupResponse) NGAPType() MsgType { return MsgPDUSessionResourceSetupResponse }
+
+// Schema implements codec.Message.
+func (m *PDUSessionResourceSetupResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.GnbTEID},
+		{Tag: 4, Kind: codec.KindString, Ptr: &m.GnbAddr},
+	}
+}
+
+// HandoverRequired is the source gNB's request to move the UE.
+type HandoverRequired struct {
+	RanUeID     uint64
+	AmfUeID     uint64
+	TargetGnbID uint32
+	Cause       string
+}
+
+// NGAPType implements Message.
+func (*HandoverRequired) NGAPType() MsgType { return MsgHandoverRequired }
+
+// Schema implements codec.Message.
+func (m *HandoverRequired) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.TargetGnbID},
+		{Tag: 4, Kind: codec.KindString, Ptr: &m.Cause},
+	}
+}
+
+// HandoverRequest asks the target gNB to admit the UE.
+type HandoverRequest struct {
+	AmfUeID      uint64
+	PduSessionID uint32
+	UpfTEID      uint32
+	UpfAddr      string
+}
+
+// NGAPType implements Message.
+func (*HandoverRequest) NGAPType() MsgType { return MsgHandoverRequest }
+
+// Schema implements codec.Message.
+func (m *HandoverRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.UpfTEID},
+		{Tag: 4, Kind: codec.KindString, Ptr: &m.UpfAddr},
+	}
+}
+
+// HandoverRequestAck returns the target gNB's admission and DL tunnel.
+type HandoverRequestAck struct {
+	AmfUeID    uint64
+	NewRanUeID uint64
+	GnbTEID    uint32
+	GnbAddr    string
+}
+
+// NGAPType implements Message.
+func (*HandoverRequestAck) NGAPType() MsgType { return MsgHandoverRequestAck }
+
+// Schema implements codec.Message.
+func (m *HandoverRequestAck) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.NewRanUeID},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.GnbTEID},
+		{Tag: 4, Kind: codec.KindString, Ptr: &m.GnbAddr},
+	}
+}
+
+// HandoverCommand tells the source gNB (and UE) to execute the handover.
+type HandoverCommand struct {
+	RanUeID     uint64
+	TargetGnbID uint32
+}
+
+// NGAPType implements Message.
+func (*HandoverCommand) NGAPType() MsgType { return MsgHandoverCommand }
+
+// Schema implements codec.Message.
+func (m *HandoverCommand) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.TargetGnbID},
+	}
+}
+
+// HandoverNotify reports UE arrival at the target gNB.
+type HandoverNotify struct {
+	AmfUeID uint64
+	RanUeID uint64
+}
+
+// NGAPType implements Message.
+func (*HandoverNotify) NGAPType() MsgType { return MsgHandoverNotify }
+
+// Schema implements codec.Message.
+func (m *HandoverNotify) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+	}
+}
+
+// Paging wakes an idle UE.
+type Paging struct {
+	Guti string
+}
+
+// NGAPType implements Message.
+func (*Paging) NGAPType() MsgType { return MsgPaging }
+
+// Schema implements codec.Message.
+func (m *Paging) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti}}
+}
+
+// UEContextReleaseRequest starts an idle transition (gNB-initiated).
+type UEContextReleaseRequest struct {
+	RanUeID uint64
+	AmfUeID uint64
+	Cause   string
+}
+
+// NGAPType implements Message.
+func (*UEContextReleaseRequest) NGAPType() MsgType { return MsgUEContextReleaseRequest }
+
+// Schema implements codec.Message.
+func (m *UEContextReleaseRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.Cause},
+	}
+}
+
+// UEContextReleaseCommand confirms the release.
+type UEContextReleaseCommand struct {
+	RanUeID uint64
+	AmfUeID uint64
+}
+
+// NGAPType implements Message.
+func (*UEContextReleaseCommand) NGAPType() MsgType { return MsgUEContextReleaseCommand }
+
+// Schema implements codec.Message.
+func (m *UEContextReleaseCommand) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+	}
+}
+
+// UEContextReleaseComplete finishes the release.
+type UEContextReleaseComplete struct {
+	RanUeID uint64
+}
+
+// NGAPType implements Message.
+func (*UEContextReleaseComplete) NGAPType() MsgType { return MsgUEContextReleaseComplete }
+
+// Schema implements codec.Message.
+func (m *UEContextReleaseComplete) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID}}
+}
+
+// --- transport ---
+
+// Conn is a message-boundary-preserving N2 stream: 4-byte length framing
+// over TCP (the SCTP substitute).
+type Conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex
+}
+
+// NewConn wraps an accepted or dialed net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReaderSize(c, 64*1024)}
+}
+
+// Dial connects to an N2 listener.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Send writes one NGAP message as a frame. Safe for concurrent use.
+func (c *Conn) Send(m Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(b) > maxFrame {
+		return ErrTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = c.c.Write(b)
+	return err
+}
+
+// Recv reads the next NGAP message. Single reader only.
+func (c *Conn) Recv() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrTooLarge
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.r, b); err != nil {
+		return nil, err
+	}
+	return Unmarshal(b)
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }

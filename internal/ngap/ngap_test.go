@@ -1,0 +1,111 @@
+package ngap
+
+import (
+	"net"
+	"reflect"
+	"testing"
+)
+
+func allMessages() []Message {
+	return []Message{
+		&NGSetupRequest{GnbID: 1, GnbName: "gnb-1", Tac: 7},
+		&NGSetupResponse{AmfName: "amf", Accepted: true},
+		&InitialUEMessage{RanUeID: 10, NasPdu: []byte{1, 2, 3}},
+		&DownlinkNASTransport{RanUeID: 10, AmfUeID: 20, NasPdu: []byte{4}},
+		&UplinkNASTransport{RanUeID: 10, AmfUeID: 20, NasPdu: []byte{5}},
+		&InitialContextSetupRequest{RanUeID: 10, AmfUeID: 20, NasPdu: []byte{6}},
+		&InitialContextSetupResponse{RanUeID: 10, AmfUeID: 20},
+		&PDUSessionResourceSetupRequest{RanUeID: 10, AmfUeID: 20, PduSessionID: 5,
+			UpfTEID: 0x1001, UpfAddr: "10.100.0.2", Qfi: 9, NasPdu: []byte{7}},
+		&PDUSessionResourceSetupResponse{RanUeID: 10, PduSessionID: 5, GnbTEID: 0x2002, GnbAddr: "10.100.0.10"},
+		&HandoverRequired{RanUeID: 10, AmfUeID: 20, TargetGnbID: 2, Cause: "radio"},
+		&HandoverRequest{AmfUeID: 20, PduSessionID: 5, UpfTEID: 0x1001, UpfAddr: "10.100.0.2"},
+		&HandoverRequestAck{AmfUeID: 20, NewRanUeID: 30, GnbTEID: 0x3003, GnbAddr: "10.100.0.11"},
+		&HandoverCommand{RanUeID: 10, TargetGnbID: 2},
+		&HandoverNotify{AmfUeID: 20, RanUeID: 30},
+		&Paging{Guti: "guti-1"},
+		&UEContextReleaseRequest{RanUeID: 10, AmfUeID: 20, Cause: "user-inactivity"},
+		&UEContextReleaseCommand{RanUeID: 10, AmfUeID: 20},
+		&UEContextReleaseComplete{RanUeID: 10},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	seen := map[MsgType]bool{}
+	for _, m := range allMessages() {
+		if seen[m.NGAPType()] {
+			t.Fatalf("duplicate NGAP type %d", m.NGAPType())
+		}
+		seen[m.NGAPType()] = true
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+}
+
+func TestUnmarshalUnknown(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xEE}); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("empty buffer should fail")
+	}
+}
+
+func TestConnSendRecvStream(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	var received []Message
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		conn := NewConn(c)
+		defer conn.Close()
+		for i := 0; i < len(allMessages()); i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			received = append(received, m)
+		}
+		done <- nil
+	}()
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	want := allMessages()
+	for _, m := range want {
+		if err := conn.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != len(want) {
+		t.Fatalf("received %d, want %d", len(received), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(received[i], want[i]) {
+			t.Fatalf("msg %d mismatch:\n got %+v\nwant %+v", i, received[i], want[i])
+		}
+	}
+}

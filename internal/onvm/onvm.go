@@ -1,0 +1,429 @@
+// Package onvm is the shared-memory NFV platform underpinning L²5GC: an
+// in-process reproduction of OpenNetVM's architecture. An NF manager owns a
+// packet-buffer pool and per-NF Rx/Tx descriptor rings; NFs attach by
+// service ID, process packets handed to their Rx ring, stamp an action
+// (to-NF / to-port / drop / buffer) into the descriptor metadata and return
+// it through their Tx ring. The manager moves descriptors between rings —
+// packets themselves never move or get serialized.
+//
+// The platform also carries the paper's deployment features: multiple
+// instances per service with canary-rollout traffic splitting (§4), RSS
+// hashing of flows across instances, and the security-domain pool prefix
+// (§3.2) isolating 5GC units from each other.
+package onvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"l25gc/internal/pktbuf"
+	"l25gc/internal/ring"
+)
+
+// ServiceID identifies an NF service (e.g. UPF-U) on the platform.
+type ServiceID = uint16
+
+// PortID identifies an external port (a "NIC" toward gNB or DN).
+type PortID = uint16
+
+// Handler processes one packet descriptor. It must either set buf.Meta and
+// return true to hand the descriptor back to the manager, or return false
+// if it took ownership (e.g. parked the buffer in a session queue).
+type Handler func(buf *pktbuf.Buf) bool
+
+// PortSink receives frames leaving the platform via ActionToPort. The sink
+// borrows the buffer only for the duration of the call; the manager
+// releases it afterwards.
+type PortSink func(frame []byte, meta pktbuf.Meta)
+
+// Errors returned by the platform.
+var (
+	ErrNoService  = errors.New("onvm: unknown service ID")
+	ErrNoPort     = errors.New("onvm: unknown port")
+	ErrDuplicate  = errors.New("onvm: instance already registered")
+	ErrRingFull   = errors.New("onvm: ring full")
+	ErrStopped    = errors.New("onvm: manager stopped")
+	ErrBadPercent = errors.New("onvm: canary percent out of range")
+)
+
+// task is the manager work queue entry: which NF's Tx ring has descriptors,
+// or which port delivered a packet.
+type task struct {
+	nf  *Instance
+	buf *pktbuf.Buf // inbound injection (nf == nil)
+	dst ServiceID
+}
+
+// Instance is one running NF instance attached to the platform.
+type Instance struct {
+	Service    ServiceID
+	InstanceID uint16
+	name       string
+
+	rx     *ring.SPSC[*pktbuf.Buf]
+	rxBell chan struct{}
+	tx     *ring.SPSC[*pktbuf.Buf]
+
+	handler Handler
+	mgr     *Manager
+	stop    chan struct{}
+	done    chan struct{}
+
+	rxCount atomic.Uint64
+	txCount atomic.Uint64
+}
+
+// Name returns the instance's diagnostic name.
+func (i *Instance) Name() string { return i.name }
+
+// Stats returns packets received and transmitted by this instance.
+func (i *Instance) Stats() (rx, tx uint64) { return i.rxCount.Load(), i.txCount.Load() }
+
+// Send hands a descriptor from the NF back to the manager via its Tx ring
+// (used by handlers that emit extra packets, e.g. draining a session
+// buffer after handover).
+func (i *Instance) Send(buf *pktbuf.Buf) error {
+	if !i.tx.Enqueue(buf) {
+		return ErrRingFull
+	}
+	i.txCount.Add(1)
+	return i.mgr.notify(task{nf: i})
+}
+
+// serviceEntry groups the instances of one service with canary weights.
+type serviceEntry struct {
+	instances []*Instance
+	// canaryPercent is the share of traffic (0-100) steered to the newest
+	// instance; the remainder goes to the oldest (stable) instance.
+	canaryPercent int
+}
+
+// Manager is the ONVM NF manager: it owns the pool, the rings and the
+// descriptor switch loop.
+type Manager struct {
+	pool *pktbuf.Pool
+
+	mu       sync.RWMutex
+	services map[ServiceID]*serviceEntry
+	ports    map[PortID]PortSink
+	portNF   map[PortID]ServiceID // inbound steering: port -> first NF
+
+	work    *ring.MPSC[task]
+	bell    chan struct{}
+	stopped atomic.Bool
+	done    chan struct{}
+
+	switched atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// Config sizes the platform.
+type Config struct {
+	PoolSize   int    // packet buffers in the shared pool
+	RingSize   int    // per-NF ring capacity
+	PoolPrefix string // security-domain prefix (unique per 5GC unit)
+}
+
+// DefaultConfig returns sizes suitable for the evaluation workloads.
+func DefaultConfig() Config {
+	return Config{PoolSize: 8192, RingSize: 1024, PoolPrefix: "l25gc"}
+}
+
+// NewManager starts a platform manager and its switch goroutine.
+func NewManager(cfg Config) *Manager {
+	if cfg.PoolSize == 0 {
+		cfg = DefaultConfig()
+	}
+	m := &Manager{
+		pool:     pktbuf.NewPool(cfg.PoolSize, cfg.PoolPrefix),
+		services: make(map[ServiceID]*serviceEntry),
+		ports:    make(map[PortID]PortSink),
+		portNF:   make(map[PortID]ServiceID),
+		work:     ring.NewMPSC[task](cfg.PoolSize * 2),
+		bell:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go m.switchLoop()
+	return m
+}
+
+// Pool exposes the shared packet pool (NFs allocate response packets
+// from the same hugepage-analogue pool).
+func (m *Manager) Pool() *pktbuf.Pool { return m.pool }
+
+// ringSize returns the per-NF ring capacity (pool-derived default).
+func (m *Manager) ringSize() int { return 1024 }
+
+// Register attaches an NF instance running handler h for service sid.
+func (m *Manager) Register(sid ServiceID, name string, h Handler) (*Instance, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ent := m.services[sid]
+	if ent == nil {
+		ent = &serviceEntry{}
+		m.services[sid] = ent
+	}
+	inst := &Instance{
+		Service:    sid,
+		InstanceID: uint16(len(ent.instances)),
+		name:       name,
+		rx:         ring.NewSPSC[*pktbuf.Buf](m.ringSize()),
+		rxBell:     make(chan struct{}, 1),
+		tx:         ring.NewSPSC[*pktbuf.Buf](m.ringSize()),
+		handler:    h,
+		mgr:        m,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	ent.instances = append(ent.instances, inst)
+	go inst.run()
+	return inst, nil
+}
+
+// SetCanary steers percent of service sid's traffic to its newest instance
+// (the canary); the rest continues to the stable instance (§4).
+func (m *Manager) SetCanary(sid ServiceID, percent int) error {
+	if percent < 0 || percent > 100 {
+		return ErrBadPercent
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ent := m.services[sid]
+	if ent == nil {
+		return ErrNoService
+	}
+	ent.canaryPercent = percent
+	return nil
+}
+
+// RegisterPort installs an egress sink for a port.
+func (m *Manager) RegisterPort(pid PortID, sink PortSink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ports[pid] = sink
+}
+
+// BindPortNF steers packets arriving on pid to service sid.
+func (m *Manager) BindPortNF(pid PortID, sid ServiceID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.portNF[pid] = sid
+}
+
+// Inject delivers an external frame into the platform as if received on
+// port pid. This is the single copy at the system edge.
+func (m *Manager) Inject(pid PortID, data []byte, meta pktbuf.Meta) error {
+	if m.stopped.Load() {
+		return ErrStopped
+	}
+	m.mu.RLock()
+	sid, ok := m.portNF[pid]
+	m.mu.RUnlock()
+	if !ok {
+		return ErrNoPort
+	}
+	buf, err := m.pool.Get()
+	if err != nil {
+		m.dropped.Add(1)
+		return err
+	}
+	if err := buf.SetData(data); err != nil {
+		buf.Release()
+		return err
+	}
+	buf.Meta = meta
+	buf.Meta.Port = pid
+	if buf.Meta.RSS == 0 {
+		buf.Meta.RSS = rssHash(data)
+	}
+	return m.notify(task{buf: buf, dst: sid})
+}
+
+// InjectBuf delivers an already-allocated buffer (zero-copy edge for
+// in-process traffic generators).
+func (m *Manager) InjectBuf(buf *pktbuf.Buf, sid ServiceID) error {
+	if m.stopped.Load() {
+		return ErrStopped
+	}
+	return m.notify(task{buf: buf, dst: sid})
+}
+
+func (m *Manager) notify(t task) error {
+	if !m.work.Enqueue(t) {
+		if t.buf != nil {
+			t.buf.Release()
+			m.dropped.Add(1)
+		}
+		return ErrRingFull
+	}
+	select {
+	case m.bell <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// rssHash is the ingress flow hash: FNV-1a over the frame's first 64
+// bytes, which cover the tunnel and inner 5-tuple fields a NIC's RSS
+// hashes (§4, Receive Side Scaling).
+func rssHash(b []byte) uint64 {
+	if len(b) > 64 {
+		b = b[:64]
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// pickInstance applies RSS/canary steering for a service.
+func (m *Manager) pickInstance(ent *serviceEntry, rssHash uint64) *Instance {
+	n := len(ent.instances)
+	if n == 1 {
+		return ent.instances[0]
+	}
+	if ent.canaryPercent > 0 {
+		if int(rssHash%100) < ent.canaryPercent {
+			return ent.instances[n-1] // canary = newest
+		}
+		return ent.instances[0]
+	}
+	return ent.instances[rssHash%uint64(n)]
+}
+
+// deliver moves a descriptor into the target service's Rx ring.
+func (m *Manager) deliver(buf *pktbuf.Buf, sid ServiceID) {
+	m.mu.RLock()
+	ent := m.services[sid]
+	m.mu.RUnlock()
+	if ent == nil || len(ent.instances) == 0 {
+		buf.Release()
+		m.dropped.Add(1)
+		return
+	}
+	inst := m.pickInstance(ent, buf.Meta.RSS^(uint64(buf.Meta.TEID)*2654435761+uint64(buf.Meta.Seq)))
+	if !inst.rx.Enqueue(buf) {
+		buf.Release()
+		m.dropped.Add(1)
+		return
+	}
+	inst.rxCount.Add(1)
+	select {
+	case inst.rxBell <- struct{}{}:
+	default:
+	}
+	m.switched.Add(1)
+}
+
+// process executes one descriptor action from an NF's Tx ring.
+func (m *Manager) process(buf *pktbuf.Buf) {
+	switch buf.Meta.Action {
+	case pktbuf.ActionToNF:
+		m.deliver(buf, buf.Meta.Dst)
+	case pktbuf.ActionToPort:
+		m.mu.RLock()
+		sink := m.ports[buf.Meta.Port]
+		m.mu.RUnlock()
+		if sink != nil {
+			sink(buf.Bytes(), buf.Meta)
+		} else {
+			m.dropped.Add(1)
+		}
+		buf.Release()
+	default: // Drop and Buffer-left-in-ring both release here
+		if buf.Meta.Action == pktbuf.ActionDrop {
+			m.dropped.Add(1)
+		}
+		buf.Release()
+	}
+}
+
+func (m *Manager) switchLoop() {
+	defer close(m.done)
+	var drain [64]*pktbuf.Buf
+	for {
+		t, ok := m.work.Dequeue()
+		if !ok {
+			if m.stopped.Load() {
+				return
+			}
+			<-m.bell
+			continue
+		}
+		if t.buf != nil { // injected frame
+			m.deliver(t.buf, t.dst)
+			continue
+		}
+		// Drain the notifying NF's Tx ring.
+		n := t.nf.tx.DequeueBulk(drain[:])
+		for i := 0; i < n; i++ {
+			m.process(drain[i])
+		}
+	}
+}
+
+// Stats reports descriptors switched and packets dropped by the manager.
+func (m *Manager) Stats() (switched, dropped uint64) {
+	return m.switched.Load(), m.dropped.Load()
+}
+
+// Stop halts the manager and all registered NF instances.
+func (m *Manager) Stop() {
+	if !m.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	m.mu.RLock()
+	insts := []*Instance{}
+	for _, ent := range m.services {
+		insts = append(insts, ent.instances...)
+	}
+	m.mu.RUnlock()
+	for _, i := range insts {
+		close(i.stop)
+	}
+	select {
+	case m.bell <- struct{}{}:
+	default:
+	}
+	for _, i := range insts {
+		<-i.done
+	}
+}
+
+func (i *Instance) run() {
+	defer close(i.done)
+	var batch [64]*pktbuf.Buf
+	for {
+		n := i.rx.DequeueBulk(batch[:])
+		if n == 0 {
+			select {
+			case <-i.rxBell:
+				continue
+			case <-i.stop:
+				return
+			}
+		}
+		for j := 0; j < n; j++ {
+			buf := batch[j]
+			if i.handler(buf) {
+				if !i.tx.Enqueue(buf) {
+					buf.Release()
+					continue
+				}
+				i.txCount.Add(1)
+			}
+		}
+		// Notify the manager once per batch.
+		i.mgr.notify(task{nf: i})
+	}
+}
+
+// String renders manager state for diagnostics.
+func (m *Manager) String() string {
+	sw, dr := m.Stats()
+	return fmt.Sprintf("onvm.Manager{switched: %d, dropped: %d, pool: %d/%d}",
+		sw, dr, m.pool.Avail(), m.pool.Size())
+}

@@ -1,0 +1,264 @@
+package pfcp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"l25gc/internal/shm"
+)
+
+// Handler processes an incoming PFCP request and returns the response.
+type Handler func(seid uint64, req Message) (Message, error)
+
+// Endpoint is one side of an N4 association. The two implementations give
+// the paper's comparison: UDPEndpoint serializes to TLV and crosses the
+// kernel (free5GC), MemEndpoint passes message structs through a
+// shared-memory mailbox (L²5GC).
+type Endpoint interface {
+	// Request sends req and blocks until the matching response arrives or
+	// the timeout elapses.
+	Request(seid uint64, hasSEID bool, req Message) (Message, error)
+	// SetHandler installs the request handler (must be set before traffic).
+	SetHandler(h Handler)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// DefaultTimeout bounds Request round trips.
+const DefaultTimeout = 3 * time.Second
+
+// --- UDP endpoint (kernel path / free5GC baseline) ---
+
+// UDPEndpoint speaks PFCP over a kernel UDP socket.
+type UDPEndpoint struct {
+	conn    *net.UDPConn
+	peer    atomic.Pointer[net.UDPAddr]
+	handler atomic.Pointer[Handler]
+	seq     atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan Message
+
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+// NewUDPEndpoint listens on addr ("127.0.0.1:0" for an ephemeral port).
+func NewUDPEndpoint(addr string) (*UDPEndpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	e := &UDPEndpoint{
+		conn:    conn,
+		pending: make(map[uint32]chan Message),
+		done:    make(chan struct{}),
+	}
+	go e.readLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's bound address.
+func (e *UDPEndpoint) Addr() string { return e.conn.LocalAddr().String() }
+
+// Connect sets the peer address for outgoing requests.
+func (e *UDPEndpoint) Connect(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	e.peer.Store(ua)
+	return nil
+}
+
+// SetHandler implements Endpoint.
+func (e *UDPEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
+
+// Request implements Endpoint.
+func (e *UDPEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, error) {
+	peer := e.peer.Load()
+	if peer == nil {
+		return nil, fmt.Errorf("pfcp: no peer configured")
+	}
+	seq := e.seq.Add(1) & 0xffffff
+	ch := make(chan Message, 1)
+	e.mu.Lock()
+	e.pending[seq] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, seq)
+		e.mu.Unlock()
+	}()
+	wire := Marshal(req, seid, hasSEID, seq)
+	if _, err := e.conn.WriteToUDP(wire, peer); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(DefaultTimeout):
+		return nil, fmt.Errorf("pfcp: request %d timed out", req.PFCPType())
+	case <-e.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (e *UDPEndpoint) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		hdr, msg, err := Parse(buf[:n])
+		if err != nil {
+			continue
+		}
+		if isResponse(hdr.MsgType) {
+			e.mu.Lock()
+			ch := e.pending[hdr.Seq]
+			e.mu.Unlock()
+			if ch != nil {
+				ch <- msg
+			}
+			continue
+		}
+		hp := e.handler.Load()
+		if hp == nil {
+			continue
+		}
+		resp, err := (*hp)(hdr.SEID, msg)
+		if err != nil || resp == nil {
+			continue
+		}
+		e.conn.WriteToUDP(Marshal(resp, hdr.SEID, hdr.HasSEID, hdr.Seq), from)
+	}
+}
+
+// Close implements Endpoint.
+func (e *UDPEndpoint) Close() error {
+	if e.closed.CompareAndSwap(false, true) {
+		close(e.done)
+		return e.conn.Close()
+	}
+	return nil
+}
+
+func isResponse(t uint8) bool {
+	switch t {
+	case MsgHeartbeatResponse, MsgAssociationSetupResponse,
+		MsgSessionEstablishmentResp, MsgSessionModificationResp,
+		MsgSessionDeletionResp, MsgSessionReportResp:
+		return true
+	}
+	return false
+}
+
+// --- shared-memory endpoint (L²5GC path) ---
+
+// memFrame is the descriptor passed through the mailbox: the message struct
+// travels by pointer, never serialized.
+type memFrame struct {
+	seid   uint64
+	seq    uint32
+	isResp bool
+	msg    Message
+}
+
+// MemEndpoint speaks PFCP over an in-process shared-memory mailbox pair.
+type MemEndpoint struct {
+	out     *shm.Mailbox[memFrame]
+	in      *shm.Mailbox[memFrame]
+	handler atomic.Pointer[Handler]
+	seq     atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewMemPair creates two connected shared-memory endpoints (SMF side, UPF
+// side). ringSize bounds in-flight descriptors per direction.
+func NewMemPair(ringSize int) (*MemEndpoint, *MemEndpoint) {
+	ab := shm.NewMailbox[memFrame](ringSize)
+	ba := shm.NewMailbox[memFrame](ringSize)
+	a := &MemEndpoint{out: ab, in: ba, pending: make(map[uint32]chan Message), done: make(chan struct{})}
+	b := &MemEndpoint{out: ba, in: ab, pending: make(map[uint32]chan Message), done: make(chan struct{})}
+	go a.recvLoop()
+	go b.recvLoop()
+	return a, b
+}
+
+// SetHandler implements Endpoint.
+func (e *MemEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
+
+// Request implements Endpoint.
+func (e *MemEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, error) {
+	seq := e.seq.Add(1)
+	ch := make(chan Message, 1)
+	e.mu.Lock()
+	e.pending[seq] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, seq)
+		e.mu.Unlock()
+	}()
+	if err := e.out.Send(memFrame{seid: seid, seq: seq, msg: req}); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(DefaultTimeout):
+		return nil, fmt.Errorf("pfcp: shm request %d timed out", req.PFCPType())
+	case <-e.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (e *MemEndpoint) recvLoop() {
+	for {
+		f, ok := e.in.Recv()
+		if !ok {
+			return
+		}
+		if f.isResp {
+			e.mu.Lock()
+			ch := e.pending[f.seq]
+			e.mu.Unlock()
+			if ch != nil {
+				ch <- f.msg
+			}
+			continue
+		}
+		hp := e.handler.Load()
+		if hp == nil {
+			continue
+		}
+		resp, err := (*hp)(f.seid, f.msg)
+		if err != nil || resp == nil {
+			continue
+		}
+		e.out.Send(memFrame{seid: f.seid, seq: f.seq, isResp: true, msg: resp})
+	}
+}
+
+// Close implements Endpoint.
+func (e *MemEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.in.Close()
+	})
+	return nil
+}

@@ -1,0 +1,564 @@
+// Package pfcp implements the Packet Forwarding Control Protocol (3GPP TS
+// 29.244) spoken on the N4 interface between the SMF and the UPF: TLV
+// information elements, the session management and reporting messages, and
+// two transports — a kernel UDP socket endpoint (the free5GC baseline) and a
+// shared-memory endpoint that passes message structs through descriptor
+// rings without serialization (the L²5GC path).
+package pfcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+)
+
+// IE type numbers (TS 29.244 §8.1.2; the subset used by the 5GC procedures).
+const (
+	ieCreatePDR          uint16 = 1
+	iePDI                uint16 = 2
+	ieCreateFAR          uint16 = 3
+	ieForwardingParams   uint16 = 4
+	ieCreateQER          uint16 = 7
+	ieCreatedPDR         uint16 = 8
+	ieUpdatePDR          uint16 = 9
+	ieUpdateFAR          uint16 = 10
+	ieRemovePDR          uint16 = 15
+	ieRemoveFAR          uint16 = 16
+	ieCause              uint16 = 19
+	ieSourceInterface    uint16 = 20
+	ieFTEID              uint16 = 21
+	ieNetworkInstance    uint16 = 22
+	ieSDFFilter          uint16 = 23
+	ieApplicationID      uint16 = 24
+	ieGateStatus         uint16 = 25
+	ieMBR                uint16 = 26
+	iePrecedence         uint16 = 29
+	ieReportType         uint16 = 39
+	ieDestInterface      uint16 = 42
+	ieApplyAction        uint16 = 44
+	iePDRID              uint16 = 56
+	ieFSEID              uint16 = 57
+	ieNodeID             uint16 = 60
+	ieDLDataReport       uint16 = 83
+	ieOuterHeaderCreate  uint16 = 84
+	ieCreateBAR          uint16 = 85
+	ieBARID              uint16 = 88
+	ieUEIPAddress        uint16 = 93
+	ieOuterHeaderRemoval uint16 = 95
+	ieRecoveryTimestamp  uint16 = 96
+	ieFARID              uint16 = 108
+	ieQERID              uint16 = 109
+	ieQFI                uint16 = 124
+	ieSuggestedBuffering uint16 = 140
+)
+
+// Cause values (TS 29.244 §8.2.1).
+const (
+	CauseAccepted         uint8 = 1
+	CauseRequestRejected  uint8 = 64
+	CauseSessionNotFound  uint8 = 65
+	CauseMandatoryMissing uint8 = 66
+	CauseRuleNotFound     uint8 = 70
+)
+
+// Errors returned by IE and message decoding.
+var (
+	ErrTruncated  = errors.New("pfcp: truncated")
+	ErrBadVersion = errors.New("pfcp: unsupported version")
+	ErrUnknownMsg = errors.New("pfcp: unknown message type")
+	ErrMissingIE  = errors.New("pfcp: mandatory IE missing")
+)
+
+// ieWriter builds a TLV byte stream.
+type ieWriter struct {
+	b []byte
+}
+
+func (w *ieWriter) put(t uint16, v []byte) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], t)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(len(v)))
+	w.b = append(w.b, hdr[:]...)
+	w.b = append(w.b, v...)
+}
+
+func (w *ieWriter) putU8(t uint16, v uint8) { w.put(t, []byte{v}) }
+func (w *ieWriter) putU16(t uint16, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	w.put(t, b[:])
+}
+func (w *ieWriter) putU32(t uint16, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.put(t, b[:])
+}
+func (w *ieWriter) putU64(t uint16, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.put(t, b[:])
+}
+func (w *ieWriter) putStr(t uint16, s string) { w.put(t, []byte(s)) }
+
+// putGrouped encodes a grouped IE whose value is itself a TLV stream.
+func (w *ieWriter) putGrouped(t uint16, fill func(*ieWriter)) {
+	var inner ieWriter
+	fill(&inner)
+	w.put(t, inner.b)
+}
+
+// ieReader iterates a TLV byte stream.
+type ieReader struct {
+	b []byte
+}
+
+// next returns the next TLV, or ok=false at end of stream.
+func (r *ieReader) next() (t uint16, v []byte, ok bool, err error) {
+	if len(r.b) == 0 {
+		return 0, nil, false, nil
+	}
+	if len(r.b) < 4 {
+		return 0, nil, false, ErrTruncated
+	}
+	t = binary.BigEndian.Uint16(r.b[0:2])
+	l := int(binary.BigEndian.Uint16(r.b[2:4]))
+	if len(r.b) < 4+l {
+		return 0, nil, false, ErrTruncated
+	}
+	v = r.b[4 : 4+l]
+	r.b = r.b[4+l:]
+	return t, v, true, nil
+}
+
+func u8(v []byte) (uint8, error) {
+	if len(v) < 1 {
+		return 0, ErrTruncated
+	}
+	return v[0], nil
+}
+
+func u16(v []byte) (uint16, error) {
+	if len(v) < 2 {
+		return 0, ErrTruncated
+	}
+	return binary.BigEndian.Uint16(v), nil
+}
+
+func u32(v []byte) (uint32, error) {
+	if len(v) < 4 {
+		return 0, ErrTruncated
+	}
+	return binary.BigEndian.Uint32(v), nil
+}
+
+func u64(v []byte) (uint64, error) {
+	if len(v) < 8 {
+		return 0, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(v), nil
+}
+
+// --- rule <-> IE encoding ---
+
+// encodeSDF serializes an SDF filter value. Layout:
+// id(4) srcAddr(4) srcBits(1) dstAddr(4) dstBits(1) sportLo(2) sportHi(2)
+// dportLo(2) dportHi(2) proto(1) protoAny(1) tos(1) tosMask(1) spi(4)
+// flowDescLen(2) flowDesc(n).
+func encodeSDF(f *rules.SDFFilter) []byte {
+	b := make([]byte, 0, 32+len(f.FlowDesc))
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], f.ID)
+	b = append(b, tmp[:]...)
+	b = append(b, f.Src.Addr[:]...)
+	b = append(b, f.Src.Bits)
+	b = append(b, f.Dst.Addr[:]...)
+	b = append(b, f.Dst.Bits)
+	var p [8]byte
+	binary.BigEndian.PutUint16(p[0:2], f.SrcPorts.Lo)
+	binary.BigEndian.PutUint16(p[2:4], f.SrcPorts.Hi)
+	binary.BigEndian.PutUint16(p[4:6], f.DstPorts.Lo)
+	binary.BigEndian.PutUint16(p[6:8], f.DstPorts.Hi)
+	b = append(b, p[:]...)
+	b = append(b, f.Protocol, boolByte(f.ProtoAny), f.TOS, f.TOSMask)
+	binary.BigEndian.PutUint32(tmp[:], f.SPI)
+	b = append(b, tmp[:]...)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(f.FlowDesc)))
+	b = append(b, l[:]...)
+	b = append(b, f.FlowDesc...)
+	return b
+}
+
+func decodeSDF(v []byte) (rules.SDFFilter, error) {
+	var f rules.SDFFilter
+	if len(v) < 32 {
+		return f, ErrTruncated
+	}
+	f.ID = binary.BigEndian.Uint32(v[0:4])
+	copy(f.Src.Addr[:], v[4:8])
+	f.Src.Bits = v[8]
+	copy(f.Dst.Addr[:], v[9:13])
+	f.Dst.Bits = v[13]
+	f.SrcPorts.Lo = binary.BigEndian.Uint16(v[14:16])
+	f.SrcPorts.Hi = binary.BigEndian.Uint16(v[16:18])
+	f.DstPorts.Lo = binary.BigEndian.Uint16(v[18:20])
+	f.DstPorts.Hi = binary.BigEndian.Uint16(v[20:22])
+	f.Protocol = v[22]
+	f.ProtoAny = v[23] != 0
+	f.TOS = v[24]
+	f.TOSMask = v[25]
+	f.SPI = binary.BigEndian.Uint32(v[26:30])
+	dl := int(binary.BigEndian.Uint16(v[30:32]))
+	if len(v) < 32+dl {
+		return f, ErrTruncated
+	}
+	f.FlowDesc = string(v[32 : 32+dl])
+	return f, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func encodePDI(w *ieWriter, p *rules.PDI) {
+	w.putGrouped(iePDI, func(w *ieWriter) {
+		w.putU8(ieSourceInterface, uint8(p.SourceInterface))
+		if p.HasTEID {
+			v := make([]byte, 8)
+			binary.BigEndian.PutUint32(v[0:4], p.TEID)
+			copy(v[4:8], p.TEIDAddr[:])
+			w.put(ieFTEID, v)
+		}
+		if p.HasUEIP {
+			w.put(ieUEIPAddress, p.UEIP[:])
+		}
+		if p.NetworkInstance != "" {
+			w.putStr(ieNetworkInstance, p.NetworkInstance)
+		}
+		if p.ApplicationID != "" {
+			w.putStr(ieApplicationID, p.ApplicationID)
+		}
+		if p.HasQFI {
+			w.putU8(ieQFI, p.QFI)
+		}
+		if p.HasSDF {
+			w.put(ieSDFFilter, encodeSDF(&p.SDF))
+		}
+	})
+}
+
+func decodePDI(v []byte) (rules.PDI, error) {
+	var p rules.PDI
+	r := ieReader{v}
+	for {
+		t, val, ok, err := r.next()
+		if err != nil {
+			return p, err
+		}
+		if !ok {
+			break
+		}
+		switch t {
+		case ieSourceInterface:
+			si, err := u8(val)
+			if err != nil {
+				return p, err
+			}
+			p.SourceInterface = rules.Interface(si)
+		case ieFTEID:
+			if len(val) < 8 {
+				return p, ErrTruncated
+			}
+			p.TEID = binary.BigEndian.Uint32(val[0:4])
+			copy(p.TEIDAddr[:], val[4:8])
+			p.HasTEID = true
+		case ieUEIPAddress:
+			if len(val) < 4 {
+				return p, ErrTruncated
+			}
+			copy(p.UEIP[:], val[:4])
+			p.HasUEIP = true
+		case ieNetworkInstance:
+			p.NetworkInstance = string(val)
+		case ieApplicationID:
+			p.ApplicationID = string(val)
+		case ieQFI:
+			q, err := u8(val)
+			if err != nil {
+				return p, err
+			}
+			p.QFI = q
+			p.HasQFI = true
+		case ieSDFFilter:
+			f, err := decodeSDF(val)
+			if err != nil {
+				return p, err
+			}
+			p.SDF = f
+			p.HasSDF = true
+		}
+	}
+	return p, nil
+}
+
+func encodePDR(w *ieWriter, t uint16, p *rules.PDR) {
+	w.putGrouped(t, func(w *ieWriter) {
+		w.putU32(iePDRID, p.ID)
+		w.putU32(iePrecedence, p.Precedence)
+		encodePDI(w, &p.PDI)
+		if p.OuterHeaderRemoval {
+			w.putU8(ieOuterHeaderRemoval, 0)
+		}
+		w.putU32(ieFARID, p.FARID)
+		if p.QERID != 0 {
+			w.putU32(ieQERID, p.QERID)
+		}
+		if p.BARID != 0 {
+			w.putU32(ieBARID, p.BARID)
+		}
+	})
+}
+
+func decodePDR(v []byte) (*rules.PDR, error) {
+	p := &rules.PDR{}
+	r := ieReader{v}
+	for {
+		t, val, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch t {
+		case iePDRID:
+			if p.ID, err = u32(val); err != nil {
+				return nil, err
+			}
+		case iePrecedence:
+			if p.Precedence, err = u32(val); err != nil {
+				return nil, err
+			}
+		case iePDI:
+			if p.PDI, err = decodePDI(val); err != nil {
+				return nil, err
+			}
+		case ieOuterHeaderRemoval:
+			p.OuterHeaderRemoval = true
+		case ieFARID:
+			if p.FARID, err = u32(val); err != nil {
+				return nil, err
+			}
+		case ieQERID:
+			if p.QERID, err = u32(val); err != nil {
+				return nil, err
+			}
+		case ieBARID:
+			if p.BARID, err = u32(val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+func encodeFAR(w *ieWriter, t uint16, f *rules.FAR) {
+	w.putGrouped(t, func(w *ieWriter) {
+		w.putU32(ieFARID, f.ID)
+		w.putU8(ieApplyAction, uint8(f.Action))
+		w.putGrouped(ieForwardingParams, func(w *ieWriter) {
+			w.putU8(ieDestInterface, uint8(f.DestInterface))
+			if f.HasOuterHeader {
+				v := make([]byte, 8)
+				binary.BigEndian.PutUint32(v[0:4], f.OuterTEID)
+				copy(v[4:8], f.OuterAddr[:])
+				w.put(ieOuterHeaderCreate, v)
+			}
+		})
+	})
+}
+
+func decodeFAR(v []byte) (*rules.FAR, error) {
+	f := &rules.FAR{}
+	r := ieReader{v}
+	for {
+		t, val, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch t {
+		case ieFARID:
+			if f.ID, err = u32(val); err != nil {
+				return nil, err
+			}
+		case ieApplyAction:
+			a, err := u8(val)
+			if err != nil {
+				return nil, err
+			}
+			f.Action = rules.FARAction(a)
+		case ieForwardingParams:
+			fr := ieReader{val}
+			for {
+				ft, fv, ok, err := fr.next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				switch ft {
+				case ieDestInterface:
+					d, err := u8(fv)
+					if err != nil {
+						return nil, err
+					}
+					f.DestInterface = rules.Interface(d)
+				case ieOuterHeaderCreate:
+					if len(fv) < 8 {
+						return nil, ErrTruncated
+					}
+					f.OuterTEID = binary.BigEndian.Uint32(fv[0:4])
+					copy(f.OuterAddr[:], fv[4:8])
+					f.HasOuterHeader = true
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+func encodeQER(w *ieWriter, q *rules.QER) {
+	w.putGrouped(ieCreateQER, func(w *ieWriter) {
+		w.putU32(ieQERID, q.ID)
+		w.putU8(ieQFI, q.QFI)
+		var gate uint8
+		if q.GateUL {
+			gate |= 1
+		}
+		if q.GateDL {
+			gate |= 2
+		}
+		w.putU8(ieGateStatus, gate)
+		v := make([]byte, 16)
+		binary.BigEndian.PutUint64(v[0:8], q.ULMbrKbps)
+		binary.BigEndian.PutUint64(v[8:16], q.DLMbrKbps)
+		w.put(ieMBR, v)
+	})
+}
+
+func decodeQER(v []byte) (*rules.QER, error) {
+	q := &rules.QER{}
+	r := ieReader{v}
+	for {
+		t, val, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch t {
+		case ieQERID:
+			if q.ID, err = u32(val); err != nil {
+				return nil, err
+			}
+		case ieQFI:
+			if q.QFI, err = u8(val); err != nil {
+				return nil, err
+			}
+		case ieGateStatus:
+			g, err := u8(val)
+			if err != nil {
+				return nil, err
+			}
+			q.GateUL = g&1 != 0
+			q.GateDL = g&2 != 0
+		case ieMBR:
+			if len(val) < 16 {
+				return nil, ErrTruncated
+			}
+			q.ULMbrKbps = binary.BigEndian.Uint64(val[0:8])
+			q.DLMbrKbps = binary.BigEndian.Uint64(val[8:16])
+		}
+	}
+	return q, nil
+}
+
+func encodeBAR(w *ieWriter, b *rules.BAR) {
+	w.putGrouped(ieCreateBAR, func(w *ieWriter) {
+		w.putU32(ieBARID, b.ID)
+		w.putU16(ieSuggestedBuffering, b.SuggestedPkts)
+	})
+}
+
+func decodeBAR(v []byte) (*rules.BAR, error) {
+	b := &rules.BAR{}
+	r := ieReader{v}
+	for {
+		t, val, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch t {
+		case ieBARID:
+			if b.ID, err = u32(val); err != nil {
+				return nil, err
+			}
+		case ieSuggestedBuffering:
+			if b.SuggestedPkts, err = u16(val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// FTEIDValue encodes an F-TEID (teid + IPv4) as used in CreatedPDR.
+func fteidValue(teid uint32, addr pkt.Addr) []byte {
+	v := make([]byte, 8)
+	binary.BigEndian.PutUint32(v[0:4], teid)
+	copy(v[4:8], addr[:])
+	return v
+}
+
+func parseFTEID(v []byte) (uint32, pkt.Addr, error) {
+	var a pkt.Addr
+	if len(v) < 8 {
+		return 0, a, ErrTruncated
+	}
+	copy(a[:], v[4:8])
+	return binary.BigEndian.Uint32(v[0:4]), a, nil
+}
+
+// String helpers for diagnostics.
+func ieName(t uint16) string {
+	switch t {
+	case ieCreatePDR:
+		return "CreatePDR"
+	case ieCreateFAR:
+		return "CreateFAR"
+	case iePDI:
+		return "PDI"
+	case ieCause:
+		return "Cause"
+	case ieFSEID:
+		return "F-SEID"
+	case ieNodeID:
+		return "NodeID"
+	default:
+		return fmt.Sprintf("IE(%d)", t)
+	}
+}

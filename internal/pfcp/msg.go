@@ -1,0 +1,650 @@
+package pfcp
+
+import (
+	"encoding/binary"
+
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+)
+
+// Message type numbers (TS 29.244 §7.3).
+const (
+	MsgHeartbeatRequest         uint8 = 1
+	MsgHeartbeatResponse        uint8 = 2
+	MsgAssociationSetupRequest  uint8 = 5
+	MsgAssociationSetupResponse uint8 = 6
+	MsgSessionEstablishmentReq  uint8 = 50
+	MsgSessionEstablishmentResp uint8 = 51
+	MsgSessionModificationReq   uint8 = 52
+	MsgSessionModificationResp  uint8 = 53
+	MsgSessionDeletionReq       uint8 = 54
+	MsgSessionDeletionResp      uint8 = 55
+	MsgSessionReportReq         uint8 = 56
+	MsgSessionReportResp        uint8 = 57
+)
+
+// Report type flags (TS 29.244 §8.2.21).
+const (
+	ReportDLDR uint8 = 1 << iota // downlink data report — triggers paging
+	ReportUSAR                   // usage report
+	ReportERIR                   // error indication
+)
+
+// Header is the PFCP message header. SEID is present on session messages.
+type Header struct {
+	MsgType uint8
+	Length  uint16
+	SEID    uint64
+	HasSEID bool
+	Seq     uint32 // 24 bits on the wire
+}
+
+const headerBaseLen = 8 // flags, type, length, seq(3), spare
+
+// Message is a PFCP message body. In L²5GC's shared-memory mode, *pointers*
+// to these structs are passed between SMF and UPF-C through rings, so the
+// encode/decode below is only exercised on the kernel-socket path — exactly
+// the asymmetry the paper measures in Fig. 7.
+type Message interface {
+	PFCPType() uint8
+	encodeBody(w *ieWriter)
+}
+
+// Marshal serializes hdr+msg to wire format.
+func Marshal(m Message, seid uint64, hasSEID bool, seq uint32) []byte {
+	var w ieWriter
+	m.encodeBody(&w)
+	hl := headerBaseLen
+	if hasSEID {
+		hl += 8
+	}
+	out := make([]byte, hl+len(w.b))
+	flags := uint8(1 << 5) // version 1
+	if hasSEID {
+		flags |= 1 // S bit
+	}
+	out[0] = flags
+	out[1] = m.PFCPType()
+	binary.BigEndian.PutUint16(out[2:4], uint16(hl-4+len(w.b)))
+	off := 4
+	if hasSEID {
+		binary.BigEndian.PutUint64(out[4:12], seid)
+		off = 12
+	}
+	out[off] = uint8(seq >> 16)
+	out[off+1] = uint8(seq >> 8)
+	out[off+2] = uint8(seq)
+	out[off+3] = 0
+	copy(out[hl:], w.b)
+	return out
+}
+
+// Parse decodes a wire-format PFCP message.
+func Parse(b []byte) (Header, Message, error) {
+	var h Header
+	if len(b) < headerBaseLen {
+		return h, nil, ErrTruncated
+	}
+	flags := b[0]
+	if flags>>5 != 1 {
+		return h, nil, ErrBadVersion
+	}
+	h.HasSEID = flags&1 != 0
+	h.MsgType = b[1]
+	h.Length = binary.BigEndian.Uint16(b[2:4])
+	off := 4
+	if h.HasSEID {
+		if len(b) < 16 {
+			return h, nil, ErrTruncated
+		}
+		h.SEID = binary.BigEndian.Uint64(b[4:12])
+		off = 12
+	}
+	if len(b) < off+4 {
+		return h, nil, ErrTruncated
+	}
+	h.Seq = uint32(b[off])<<16 | uint32(b[off+1])<<8 | uint32(b[off+2])
+	body := b[off+4:]
+	if want := int(h.Length) - (off + 4 - 4); want >= 0 && want <= len(body) {
+		body = body[:want]
+	}
+	m, err := parseBody(h.MsgType, body)
+	return h, m, err
+}
+
+func parseBody(t uint8, body []byte) (Message, error) {
+	switch t {
+	case MsgHeartbeatRequest:
+		return parseHeartbeatRequest(body)
+	case MsgHeartbeatResponse:
+		return parseHeartbeatResponse(body)
+	case MsgAssociationSetupRequest:
+		return parseAssociationSetupRequest(body)
+	case MsgAssociationSetupResponse:
+		return parseAssociationSetupResponse(body)
+	case MsgSessionEstablishmentReq:
+		return parseSessionEstablishmentRequest(body)
+	case MsgSessionEstablishmentResp:
+		return parseSessionEstablishmentResponse(body)
+	case MsgSessionModificationReq:
+		return parseSessionModificationRequest(body)
+	case MsgSessionModificationResp:
+		return parseSessionModificationResponse(body)
+	case MsgSessionDeletionReq:
+		return &SessionDeletionRequest{}, nil
+	case MsgSessionDeletionResp:
+		return parseSessionDeletionResponse(body)
+	case MsgSessionReportReq:
+		return parseSessionReportRequest(body)
+	case MsgSessionReportResp:
+		return parseSessionReportResponse(body)
+	default:
+		return nil, ErrUnknownMsg
+	}
+}
+
+// --- Heartbeat ---
+
+// HeartbeatRequest checks peer liveness (also used by the failure detector).
+type HeartbeatRequest struct {
+	RecoveryTimestamp uint32
+}
+
+// PFCPType implements Message.
+func (*HeartbeatRequest) PFCPType() uint8 { return MsgHeartbeatRequest }
+
+func (m *HeartbeatRequest) encodeBody(w *ieWriter) {
+	w.putU32(ieRecoveryTimestamp, m.RecoveryTimestamp)
+}
+
+func parseHeartbeatRequest(b []byte) (*HeartbeatRequest, error) {
+	m := &HeartbeatRequest{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		if t == ieRecoveryTimestamp {
+			if m.RecoveryTimestamp, err = u32(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// HeartbeatResponse answers a HeartbeatRequest.
+type HeartbeatResponse struct {
+	RecoveryTimestamp uint32
+}
+
+// PFCPType implements Message.
+func (*HeartbeatResponse) PFCPType() uint8 { return MsgHeartbeatResponse }
+
+func (m *HeartbeatResponse) encodeBody(w *ieWriter) {
+	w.putU32(ieRecoveryTimestamp, m.RecoveryTimestamp)
+}
+
+func parseHeartbeatResponse(b []byte) (*HeartbeatResponse, error) {
+	q, err := parseHeartbeatRequest(b)
+	if err != nil {
+		return nil, err
+	}
+	return &HeartbeatResponse{RecoveryTimestamp: q.RecoveryTimestamp}, nil
+}
+
+// --- Association setup ---
+
+// AssociationSetupRequest establishes the SMF↔UPF association.
+type AssociationSetupRequest struct {
+	NodeID string
+}
+
+// PFCPType implements Message.
+func (*AssociationSetupRequest) PFCPType() uint8 { return MsgAssociationSetupRequest }
+
+func (m *AssociationSetupRequest) encodeBody(w *ieWriter) { w.putStr(ieNodeID, m.NodeID) }
+
+func parseAssociationSetupRequest(b []byte) (*AssociationSetupRequest, error) {
+	m := &AssociationSetupRequest{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		if t == ieNodeID {
+			m.NodeID = string(v)
+		}
+	}
+}
+
+// AssociationSetupResponse acknowledges an association.
+type AssociationSetupResponse struct {
+	NodeID string
+	Cause  uint8
+}
+
+// PFCPType implements Message.
+func (*AssociationSetupResponse) PFCPType() uint8 { return MsgAssociationSetupResponse }
+
+func (m *AssociationSetupResponse) encodeBody(w *ieWriter) {
+	w.putStr(ieNodeID, m.NodeID)
+	w.putU8(ieCause, m.Cause)
+}
+
+func parseAssociationSetupResponse(b []byte) (*AssociationSetupResponse, error) {
+	m := &AssociationSetupResponse{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		switch t {
+		case ieNodeID:
+			m.NodeID = string(v)
+		case ieCause:
+			if m.Cause, err = u8(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// --- Session establishment ---
+
+// SessionEstablishmentRequest provisions a new PFCP session with its
+// initial rule set (PDU session establishment, paper §2.1).
+type SessionEstablishmentRequest struct {
+	NodeID     string
+	CPSEID     uint64 // CP F-SEID
+	UEIP       pkt.Addr
+	CreatePDRs []*rules.PDR
+	CreateFARs []*rules.FAR
+	CreateQERs []*rules.QER
+	CreateBARs []*rules.BAR
+}
+
+// PFCPType implements Message.
+func (*SessionEstablishmentRequest) PFCPType() uint8 { return MsgSessionEstablishmentReq }
+
+func (m *SessionEstablishmentRequest) encodeBody(w *ieWriter) {
+	w.putStr(ieNodeID, m.NodeID)
+	w.putU64(ieFSEID, m.CPSEID)
+	w.put(ieUEIPAddress, m.UEIP[:])
+	for _, p := range m.CreatePDRs {
+		encodePDR(w, ieCreatePDR, p)
+	}
+	for _, f := range m.CreateFARs {
+		encodeFAR(w, ieCreateFAR, f)
+	}
+	for _, q := range m.CreateQERs {
+		encodeQER(w, q)
+	}
+	for _, b := range m.CreateBARs {
+		encodeBAR(w, b)
+	}
+}
+
+func parseSessionEstablishmentRequest(b []byte) (*SessionEstablishmentRequest, error) {
+	m := &SessionEstablishmentRequest{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		switch t {
+		case ieNodeID:
+			m.NodeID = string(v)
+		case ieFSEID:
+			if m.CPSEID, err = u64(v); err != nil {
+				return nil, err
+			}
+		case ieUEIPAddress:
+			if len(v) < 4 {
+				return nil, ErrTruncated
+			}
+			copy(m.UEIP[:], v[:4])
+		case ieCreatePDR:
+			p, err := decodePDR(v)
+			if err != nil {
+				return nil, err
+			}
+			m.CreatePDRs = append(m.CreatePDRs, p)
+		case ieCreateFAR:
+			f, err := decodeFAR(v)
+			if err != nil {
+				return nil, err
+			}
+			m.CreateFARs = append(m.CreateFARs, f)
+		case ieCreateQER:
+			q, err := decodeQER(v)
+			if err != nil {
+				return nil, err
+			}
+			m.CreateQERs = append(m.CreateQERs, q)
+		case ieCreateBAR:
+			bar, err := decodeBAR(v)
+			if err != nil {
+				return nil, err
+			}
+			m.CreateBARs = append(m.CreateBARs, bar)
+		}
+	}
+}
+
+// CreatedPDR reports the UPF-chosen F-TEID for a PDR back to the SMF.
+type CreatedPDR struct {
+	PDRID uint32
+	TEID  uint32
+	Addr  pkt.Addr
+}
+
+// SessionEstablishmentResponse acknowledges session creation.
+type SessionEstablishmentResponse struct {
+	Cause       uint8
+	UPSEID      uint64
+	CreatedPDRs []CreatedPDR
+}
+
+// PFCPType implements Message.
+func (*SessionEstablishmentResponse) PFCPType() uint8 { return MsgSessionEstablishmentResp }
+
+func (m *SessionEstablishmentResponse) encodeBody(w *ieWriter) {
+	w.putU8(ieCause, m.Cause)
+	w.putU64(ieFSEID, m.UPSEID)
+	for _, c := range m.CreatedPDRs {
+		c := c
+		w.putGrouped(ieCreatedPDR, func(w *ieWriter) {
+			w.putU32(iePDRID, c.PDRID)
+			w.put(ieFTEID, fteidValue(c.TEID, c.Addr))
+		})
+	}
+}
+
+func parseSessionEstablishmentResponse(b []byte) (*SessionEstablishmentResponse, error) {
+	m := &SessionEstablishmentResponse{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		switch t {
+		case ieCause:
+			if m.Cause, err = u8(v); err != nil {
+				return nil, err
+			}
+		case ieFSEID:
+			if m.UPSEID, err = u64(v); err != nil {
+				return nil, err
+			}
+		case ieCreatedPDR:
+			var c CreatedPDR
+			cr := ieReader{v}
+			for {
+				ct, cv, ok, err := cr.next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				switch ct {
+				case iePDRID:
+					if c.PDRID, err = u32(cv); err != nil {
+						return nil, err
+					}
+				case ieFTEID:
+					if c.TEID, c.Addr, err = parseFTEID(cv); err != nil {
+						return nil, err
+					}
+				}
+			}
+			m.CreatedPDRs = append(m.CreatedPDRs, c)
+		}
+	}
+}
+
+// --- Session modification ---
+
+// SessionModificationRequest updates rules mid-session: handover target
+// TEID updates, the smart-buffering FAR flip (paper §3.3), rule add/remove.
+type SessionModificationRequest struct {
+	CreatePDRs []*rules.PDR
+	CreateFARs []*rules.FAR
+	UpdatePDRs []*rules.PDR
+	UpdateFARs []*rules.FAR
+	RemovePDRs []uint32
+	RemoveFARs []uint32
+}
+
+// PFCPType implements Message.
+func (*SessionModificationRequest) PFCPType() uint8 { return MsgSessionModificationReq }
+
+func (m *SessionModificationRequest) encodeBody(w *ieWriter) {
+	for _, p := range m.CreatePDRs {
+		encodePDR(w, ieCreatePDR, p)
+	}
+	for _, f := range m.CreateFARs {
+		encodeFAR(w, ieCreateFAR, f)
+	}
+	for _, p := range m.UpdatePDRs {
+		encodePDR(w, ieUpdatePDR, p)
+	}
+	for _, f := range m.UpdateFARs {
+		encodeFAR(w, ieUpdateFAR, f)
+	}
+	for _, id := range m.RemovePDRs {
+		w.putU32(ieRemovePDR, id)
+	}
+	for _, id := range m.RemoveFARs {
+		w.putU32(ieRemoveFAR, id)
+	}
+}
+
+func parseSessionModificationRequest(b []byte) (*SessionModificationRequest, error) {
+	m := &SessionModificationRequest{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		switch t {
+		case ieCreatePDR, ieUpdatePDR:
+			p, err := decodePDR(v)
+			if err != nil {
+				return nil, err
+			}
+			if t == ieCreatePDR {
+				m.CreatePDRs = append(m.CreatePDRs, p)
+			} else {
+				m.UpdatePDRs = append(m.UpdatePDRs, p)
+			}
+		case ieCreateFAR, ieUpdateFAR:
+			f, err := decodeFAR(v)
+			if err != nil {
+				return nil, err
+			}
+			if t == ieCreateFAR {
+				m.CreateFARs = append(m.CreateFARs, f)
+			} else {
+				m.UpdateFARs = append(m.UpdateFARs, f)
+			}
+		case ieRemovePDR:
+			id, err := u32(v)
+			if err != nil {
+				return nil, err
+			}
+			m.RemovePDRs = append(m.RemovePDRs, id)
+		case ieRemoveFAR:
+			id, err := u32(v)
+			if err != nil {
+				return nil, err
+			}
+			m.RemoveFARs = append(m.RemoveFARs, id)
+		}
+	}
+}
+
+// SessionModificationResponse acknowledges a modification.
+type SessionModificationResponse struct {
+	Cause       uint8
+	CreatedPDRs []CreatedPDR
+}
+
+// PFCPType implements Message.
+func (*SessionModificationResponse) PFCPType() uint8 { return MsgSessionModificationResp }
+
+func (m *SessionModificationResponse) encodeBody(w *ieWriter) {
+	w.putU8(ieCause, m.Cause)
+	for _, c := range m.CreatedPDRs {
+		c := c
+		w.putGrouped(ieCreatedPDR, func(w *ieWriter) {
+			w.putU32(iePDRID, c.PDRID)
+			w.put(ieFTEID, fteidValue(c.TEID, c.Addr))
+		})
+	}
+}
+
+func parseSessionModificationResponse(b []byte) (*SessionModificationResponse, error) {
+	er, err := parseSessionEstablishmentResponse(b)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionModificationResponse{Cause: er.Cause, CreatedPDRs: er.CreatedPDRs}, nil
+}
+
+// --- Session deletion ---
+
+// SessionDeletionRequest tears a session down.
+type SessionDeletionRequest struct{}
+
+// PFCPType implements Message.
+func (*SessionDeletionRequest) PFCPType() uint8 { return MsgSessionDeletionReq }
+
+func (m *SessionDeletionRequest) encodeBody(*ieWriter) {}
+
+// SessionDeletionResponse acknowledges deletion.
+type SessionDeletionResponse struct {
+	Cause uint8
+}
+
+// PFCPType implements Message.
+func (*SessionDeletionResponse) PFCPType() uint8 { return MsgSessionDeletionResp }
+
+func (m *SessionDeletionResponse) encodeBody(w *ieWriter) { w.putU8(ieCause, m.Cause) }
+
+func parseSessionDeletionResponse(b []byte) (*SessionDeletionResponse, error) {
+	m := &SessionDeletionResponse{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		if t == ieCause {
+			if m.Cause, err = u8(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// --- Session report (UPF -> SMF; paging trigger) ---
+
+// SessionReportRequest notifies the SMF of a data-plane event. The DL data
+// report is the message that initiates paging when a DL packet arrives for
+// an idle UE (paper §5.2, Fig. 7).
+type SessionReportRequest struct {
+	ReportType uint8
+	PDRID      uint32 // PDR that matched the DL packet
+}
+
+// PFCPType implements Message.
+func (*SessionReportRequest) PFCPType() uint8 { return MsgSessionReportReq }
+
+func (m *SessionReportRequest) encodeBody(w *ieWriter) {
+	w.putU8(ieReportType, m.ReportType)
+	w.putGrouped(ieDLDataReport, func(w *ieWriter) {
+		w.putU32(iePDRID, m.PDRID)
+	})
+}
+
+func parseSessionReportRequest(b []byte) (*SessionReportRequest, error) {
+	m := &SessionReportRequest{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		switch t {
+		case ieReportType:
+			if m.ReportType, err = u8(v); err != nil {
+				return nil, err
+			}
+		case ieDLDataReport:
+			dr := ieReader{v}
+			for {
+				dt, dv, ok, err := dr.next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				if dt == iePDRID {
+					if m.PDRID, err = u32(dv); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+}
+
+// SessionReportResponse acknowledges a report.
+type SessionReportResponse struct {
+	Cause uint8
+}
+
+// PFCPType implements Message.
+func (*SessionReportResponse) PFCPType() uint8 { return MsgSessionReportResp }
+
+func (m *SessionReportResponse) encodeBody(w *ieWriter) { w.putU8(ieCause, m.Cause) }
+
+func parseSessionReportResponse(b []byte) (*SessionReportResponse, error) {
+	d, err := parseSessionDeletionResponse(b)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionReportResponse{Cause: d.Cause}, nil
+}

@@ -1,0 +1,348 @@
+package pfcp
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+)
+
+func samplePDR() *rules.PDR {
+	return &rules.PDR{
+		ID: 1, Precedence: 32,
+		PDI: rules.PDI{
+			SourceInterface: rules.IfAccess,
+			TEID:            0x1001, TEIDAddr: pkt.AddrFrom(10, 100, 0, 1), HasTEID: true,
+			UEIP: pkt.AddrFrom(10, 60, 0, 1), HasUEIP: true,
+			NetworkInstance: "internet", ApplicationID: "web",
+			QFI: 9, HasQFI: true,
+			SDF: rules.SDFFilter{
+				ID:       7,
+				Src:      rules.Prefix{Addr: pkt.AddrFrom(10, 60, 0, 0), Bits: 16},
+				Dst:      rules.Prefix{Addr: pkt.AddrFrom(0, 0, 0, 0), Bits: 0},
+				SrcPorts: rules.AnyPort, DstPorts: rules.PortRange{Lo: 80, Hi: 443},
+				Protocol: pkt.ProtoTCP, TOS: 0xb8, TOSMask: 0xfc, SPI: 99,
+				FlowDesc: "permit out ip from any to assigned",
+			},
+			HasSDF: true,
+		},
+		OuterHeaderRemoval: true,
+		FARID:              1, QERID: 2, BARID: 3,
+	}
+}
+
+func sampleFAR() *rules.FAR {
+	return &rules.FAR{
+		ID: 1, Action: rules.FARForward,
+		DestInterface: rules.IfCore,
+		OuterTEID:     0x2002, OuterAddr: pkt.AddrFrom(10, 100, 0, 2),
+		HasOuterHeader: true,
+	}
+}
+
+func roundTrip(t *testing.T, m Message, seid uint64, hasSEID bool) Message {
+	t.Helper()
+	wire := Marshal(m, seid, hasSEID, 42)
+	hdr, got, err := Parse(wire)
+	if err != nil {
+		t.Fatalf("Parse(%T): %v", m, err)
+	}
+	if hdr.MsgType != m.PFCPType() {
+		t.Fatalf("MsgType = %d, want %d", hdr.MsgType, m.PFCPType())
+	}
+	if hdr.Seq != 42 {
+		t.Fatalf("Seq = %d, want 42", hdr.Seq)
+	}
+	if hasSEID && (!hdr.HasSEID || hdr.SEID != seid) {
+		t.Fatalf("SEID = %v/%d, want %d", hdr.HasSEID, hdr.SEID, seid)
+	}
+	return got
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	got := roundTrip(t, &HeartbeatRequest{RecoveryTimestamp: 12345}, 0, false)
+	if got.(*HeartbeatRequest).RecoveryTimestamp != 12345 {
+		t.Fatalf("got %+v", got)
+	}
+	got = roundTrip(t, &HeartbeatResponse{RecoveryTimestamp: 9}, 0, false)
+	if got.(*HeartbeatResponse).RecoveryTimestamp != 9 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAssociationRoundTrip(t *testing.T) {
+	got := roundTrip(t, &AssociationSetupRequest{NodeID: "smf.l25gc"}, 0, false)
+	if got.(*AssociationSetupRequest).NodeID != "smf.l25gc" {
+		t.Fatalf("got %+v", got)
+	}
+	got = roundTrip(t, &AssociationSetupResponse{NodeID: "upf", Cause: CauseAccepted}, 0, false)
+	r := got.(*AssociationSetupResponse)
+	if r.NodeID != "upf" || r.Cause != CauseAccepted {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestSessionEstablishmentRoundTrip(t *testing.T) {
+	req := &SessionEstablishmentRequest{
+		NodeID: "smf", CPSEID: 0xfeed, UEIP: pkt.AddrFrom(10, 60, 0, 1),
+		CreatePDRs: []*rules.PDR{samplePDR()},
+		CreateFARs: []*rules.FAR{sampleFAR()},
+		CreateQERs: []*rules.QER{{ID: 2, QFI: 9, ULMbrKbps: 100000, DLMbrKbps: 300000, GateUL: true, GateDL: true}},
+		CreateBARs: []*rules.BAR{{ID: 3, SuggestedPkts: 3000}},
+	}
+	got := roundTrip(t, req, 0, true).(*SessionEstablishmentRequest)
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, req)
+	}
+	// Deep-check the nested SDF survived.
+	if got.CreatePDRs[0].PDI.SDF.FlowDesc != "permit out ip from any to assigned" {
+		t.Fatal("SDF flow description lost")
+	}
+}
+
+func TestSessionEstablishmentResponseRoundTrip(t *testing.T) {
+	resp := &SessionEstablishmentResponse{
+		Cause: CauseAccepted, UPSEID: 77,
+		CreatedPDRs: []CreatedPDR{{PDRID: 1, TEID: 0x1001, Addr: pkt.AddrFrom(10, 100, 0, 1)}},
+	}
+	got := roundTrip(t, resp, 77, true).(*SessionEstablishmentResponse)
+	if !reflect.DeepEqual(resp, got) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSessionModificationRoundTrip(t *testing.T) {
+	req := &SessionModificationRequest{
+		UpdateFARs: []*rules.FAR{{ID: 1, Action: rules.FARBuffer | rules.FARNotifyCP, DestInterface: rules.IfAccess}},
+		UpdatePDRs: []*rules.PDR{samplePDR()},
+		CreateFARs: []*rules.FAR{sampleFAR()},
+		RemovePDRs: []uint32{4},
+		RemoveFARs: []uint32{5, 6},
+	}
+	got := roundTrip(t, req, 1, true).(*SessionModificationRequest)
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("got %+v want %+v", got, req)
+	}
+}
+
+func TestSessionReportRoundTrip(t *testing.T) {
+	req := &SessionReportRequest{ReportType: ReportDLDR, PDRID: 2}
+	got := roundTrip(t, req, 9, true).(*SessionReportRequest)
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("got %+v", got)
+	}
+	resp := roundTrip(t, &SessionReportResponse{Cause: CauseAccepted}, 9, true).(*SessionReportResponse)
+	if resp.Cause != CauseAccepted {
+		t.Fatalf("got %+v", resp)
+	}
+}
+
+func TestSessionDeletionRoundTrip(t *testing.T) {
+	roundTrip(t, &SessionDeletionRequest{}, 3, true)
+	got := roundTrip(t, &SessionDeletionResponse{Cause: CauseSessionNotFound}, 3, true).(*SessionDeletionResponse)
+	if got.Cause != CauseSessionNotFound {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := Parse([]byte{1, 2}); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	b := Marshal(&HeartbeatRequest{}, 0, false, 1)
+	b[0] = 2 << 5
+	if _, _, err := Parse(b); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	b[0] = 1 << 5
+	b[1] = 200 // unknown type
+	if _, _, err := Parse(b); err != ErrUnknownMsg {
+		t.Fatalf("unknown: %v", err)
+	}
+}
+
+// Property: SDF filter encode/decode is the identity.
+func TestSDFRoundTripProperty(t *testing.T) {
+	f := func(id uint32, srcA, dstA uint32, srcBits, dstBits uint8,
+		p1, p2, p3, p4 uint16, proto, tos, tosMask uint8, spi uint32, desc string) bool {
+		in := rules.SDFFilter{
+			ID:       id,
+			Src:      rules.Prefix{Addr: pkt.AddrFromUint32(srcA), Bits: srcBits % 33},
+			Dst:      rules.Prefix{Addr: pkt.AddrFromUint32(dstA), Bits: dstBits % 33},
+			SrcPorts: rules.PortRange{Lo: min16(p1, p2), Hi: max16(p1, p2)},
+			DstPorts: rules.PortRange{Lo: min16(p3, p4), Hi: max16(p3, p4)},
+			Protocol: proto, TOS: tos, TOSMask: tosMask, SPI: spi,
+			FlowDesc: desc,
+		}
+		out, err := decodeSDF(encodeSDF(&in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- transports ---
+
+func echoHandler(t *testing.T) Handler {
+	return func(seid uint64, req Message) (Message, error) {
+		switch m := req.(type) {
+		case *HeartbeatRequest:
+			return &HeartbeatResponse{RecoveryTimestamp: m.RecoveryTimestamp}, nil
+		case *SessionEstablishmentRequest:
+			return &SessionEstablishmentResponse{
+				Cause: CauseAccepted, UPSEID: seid + 1,
+				CreatedPDRs: []CreatedPDR{{PDRID: m.CreatePDRs[0].ID, TEID: 0xaa, Addr: pkt.AddrFrom(1, 2, 3, 4)}},
+			}, nil
+		case *SessionModificationRequest:
+			return &SessionModificationResponse{Cause: CauseAccepted}, nil
+		}
+		return nil, nil
+	}
+}
+
+func TestUDPEndpointRequestResponse(t *testing.T) {
+	upf, err := NewUDPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upf.Close()
+	upf.SetHandler(echoHandler(t))
+
+	smf, err := NewUDPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smf.Close()
+	if err := smf.Connect(upf.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := smf.Request(0, false, &HeartbeatRequest{RecoveryTimestamp: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*HeartbeatResponse).RecoveryTimestamp != 5 {
+		t.Fatalf("got %+v", resp)
+	}
+
+	est := &SessionEstablishmentRequest{
+		NodeID: "smf", CPSEID: 10, UEIP: pkt.AddrFrom(10, 60, 0, 1),
+		CreatePDRs: []*rules.PDR{samplePDR()},
+		CreateFARs: []*rules.FAR{sampleFAR()},
+	}
+	resp, err = smf.Request(10, true, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := resp.(*SessionEstablishmentResponse)
+	if er.Cause != CauseAccepted || er.UPSEID != 11 || er.CreatedPDRs[0].TEID != 0xaa {
+		t.Fatalf("got %+v", er)
+	}
+}
+
+func TestMemEndpointRequestResponse(t *testing.T) {
+	smf, upf := NewMemPair(64)
+	defer smf.Close()
+	defer upf.Close()
+	upf.SetHandler(echoHandler(t))
+
+	resp, err := smf.Request(0, false, &HeartbeatRequest{RecoveryTimestamp: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*HeartbeatResponse).RecoveryTimestamp != 3 {
+		t.Fatalf("got %+v", resp)
+	}
+	// Bidirectional: the UPF side can also originate requests (session
+	// report, the paging trigger).
+	smf.SetHandler(func(seid uint64, req Message) (Message, error) {
+		if _, ok := req.(*SessionReportRequest); ok {
+			return &SessionReportResponse{Cause: CauseAccepted}, nil
+		}
+		return nil, nil
+	})
+	resp, err = upf.Request(9, true, &SessionReportRequest{ReportType: ReportDLDR, PDRID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*SessionReportResponse).Cause != CauseAccepted {
+		t.Fatalf("got %+v", resp)
+	}
+}
+
+func TestMemEndpointConcurrentRequests(t *testing.T) {
+	smf, upf := NewMemPair(256)
+	defer smf.Close()
+	defer upf.Close()
+	upf.SetHandler(echoHandler(t))
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i uint32) {
+			resp, err := smf.Request(0, false, &HeartbeatRequest{RecoveryTimestamp: i})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.(*HeartbeatResponse).RecoveryTimestamp != i {
+				errs <- errMismatch
+				return
+			}
+			errs <- nil
+		}(uint32(i))
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "response/request mismatch" }
+
+func BenchmarkMarshalSessionEstablishment(b *testing.B) {
+	req := &SessionEstablishmentRequest{
+		NodeID: "smf", CPSEID: 1, UEIP: pkt.AddrFrom(10, 60, 0, 1),
+		CreatePDRs: []*rules.PDR{samplePDR()},
+		CreateFARs: []*rules.FAR{sampleFAR()},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(req, 1, true, uint32(i))
+	}
+}
+
+func BenchmarkParseSessionEstablishment(b *testing.B) {
+	req := &SessionEstablishmentRequest{
+		NodeID: "smf", CPSEID: 1, UEIP: pkt.AddrFrom(10, 60, 0, 1),
+		CreatePDRs: []*rules.PDR{samplePDR()},
+		CreateFARs: []*rules.FAR{sampleFAR()},
+	}
+	wire := Marshal(req, 1, true, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package pkt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	h := Ethernet{
+		Dst:       MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01},
+		Src:       MAC{0x02, 0x42, 0xac, 0x11, 0x00, 0x02},
+		EtherType: EtherTypeIPv4,
+	}
+	b := make([]byte, EthernetLen+3)
+	if err := h.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var got Ethernet
+	payload, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+	if len(payload) != 3 {
+		t.Fatalf("payload len = %d, want 3", len(payload))
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var h Ethernet
+	if _, err := h.Decode(make([]byte, EthernetLen-1)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if err := h.Encode(make([]byte, 5)); err != ErrTruncated {
+		t.Fatalf("encode err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		IHL: 5, TOS: 0xb8, TotalLen: 40, ID: 0x1234, Flags: 2, FragOff: 0,
+		TTL: 64, Protocol: ProtoUDP,
+		Src: AddrFrom(10, 60, 0, 1), Dst: AddrFrom(8, 8, 8, 8),
+	}
+	b := make([]byte, 40)
+	if err := h.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var got IPv4
+	payload, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, h)
+	}
+	if len(payload) != 20 {
+		t.Fatalf("payload = %d bytes, want 20", len(payload))
+	}
+	// The encoded header must checksum to zero when re-summed with the
+	// checksum field in place.
+	if cs := Checksum(b[:20]); cs != 0 {
+		t.Fatalf("header checksum verify = %#x, want 0", cs)
+	}
+}
+
+func TestIPv4BadInput(t *testing.T) {
+	var h IPv4
+	if _, err := h.Decode(make([]byte, 19)); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	b := make([]byte, 20)
+	b[0] = 6 << 4
+	if _, err := h.Decode(b); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	b[0] = 4<<4 | 3
+	if _, err := h.Decode(b); err != ErrBadIHL {
+		t.Fatalf("ihl: %v", err)
+	}
+	b[0] = 4<<4 | 8 // IHL=8 needs 32 bytes
+	if _, err := h.Decode(b); err != ErrTruncated {
+		t.Fatalf("ihl beyond buffer: %v", err)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	h := IPv4{IHL: 6, TotalLen: 24 + 4, TTL: 1, Protocol: ProtoTCP,
+		Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(2, 2, 2, 2)}
+	b := make([]byte, 28)
+	if err := h.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var got IPv4
+	payload, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HeaderLen() != 24 {
+		t.Fatalf("HeaderLen = %d, want 24", got.HeaderLen())
+	}
+	if len(payload) != 4 {
+		t.Fatalf("payload = %d, want 4", len(payload))
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example adapted: classic IP header vector.
+	b := []byte{
+		0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+		0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+		0xc0, 0xa8, 0x00, 0xc7,
+	}
+	if cs := Checksum(b); cs != 0xb861 {
+		t.Fatalf("Checksum = %#x, want 0xb861", cs)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum pads with zero")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	h := UDP{SrcPort: 2152, DstPort: 2152, Length: 16, Checksum: 0xabcd}
+	b := make([]byte, 16)
+	if err := h.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var got UDP
+	payload, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+	if len(payload) != 8 {
+		t.Fatalf("payload = %d", len(payload))
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCP{
+		SrcPort: 443, DstPort: 51000, Seq: 0xdeadbeef, Ack: 0x01020304,
+		DataOffset: 5, Flags: TCPSyn | TCPAck, Window: 65535, Urgent: 0,
+	}
+	b := make([]byte, 20)
+	if err := h.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var got TCP
+	if _, err := got.Decode(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+}
+
+func TestTCPFlags(t *testing.T) {
+	h := TCP{DataOffset: 5, Flags: TCPFin | TCPRst | TCPPsh | TCPUrg}
+	b := make([]byte, 20)
+	h.Encode(b)
+	var got TCP
+	got.Decode(b)
+	if got.Flags != h.Flags {
+		t.Fatalf("flags = %#x want %#x", got.Flags, h.Flags)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	h := ICMP{Type: 8, Code: 0, ID: 77, Seq: 3}
+	b := make([]byte, 12)
+	if err := h.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var got ICMP
+	payload, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+	if len(payload) != 4 {
+		t.Fatalf("payload = %d", len(payload))
+	}
+}
+
+func TestBuildUDPv4AndParse(t *testing.T) {
+	buf := make([]byte, 128)
+	payload := []byte("measurement probe")
+	n, err := BuildUDPv4(buf, AddrFrom(10, 60, 0, 1), AddrFrom(8, 8, 8, 8), 40000, 9000, 0xb8, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Parsed
+	if err := p.ParseIPv4(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if p.L4 != ProtoUDP {
+		t.Fatalf("L4 = %d", p.L4)
+	}
+	want := FiveTuple{
+		Src: AddrFrom(10, 60, 0, 1), Dst: AddrFrom(8, 8, 8, 8),
+		SrcPort: 40000, DstPort: 9000, Protocol: ProtoUDP,
+	}
+	if p.Tuple != want {
+		t.Fatalf("tuple = %v, want %v", p.Tuple, want)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+	if p.TOS != 0xb8 {
+		t.Fatalf("TOS = %#x", p.TOS)
+	}
+	// Verify the UDP checksum is valid end-to-end.
+	seg := make([]byte, UDPLen+len(payload))
+	copy(seg, buf[IPv4MinLen:n])
+	stored := binary.BigEndian.Uint16(seg[6:8])
+	binary.BigEndian.PutUint16(seg[6:8], 0)
+	if cs := L4Checksum(p.IP.Src, p.IP.Dst, ProtoUDP, seg); cs != stored {
+		t.Fatalf("udp checksum = %#x, stored %#x", cs, stored)
+	}
+}
+
+func TestParseIPv4TCP(t *testing.T) {
+	b := make([]byte, 40)
+	ip := IPv4{IHL: 5, TotalLen: 40, TTL: 64, Protocol: ProtoTCP,
+		Src: AddrFrom(1, 2, 3, 4), Dst: AddrFrom(5, 6, 7, 8)}
+	ip.Encode(b[:20])
+	tcp := TCP{SrcPort: 80, DstPort: 1234, DataOffset: 5, Flags: TCPAck}
+	tcp.Encode(b[20:])
+	var p Parsed
+	if err := p.ParseIPv4(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.L4 != ProtoTCP || p.Tuple.SrcPort != 80 || p.Tuple.DstPort != 1234 {
+		t.Fatalf("parsed %+v", p.Tuple)
+	}
+}
+
+func TestParseIPv4TruncatedL4(t *testing.T) {
+	b := make([]byte, 24) // IP header + 4 bytes: too short for UDP
+	ip := IPv4{IHL: 5, TotalLen: 24, TTL: 64, Protocol: ProtoUDP,
+		Src: AddrFrom(1, 2, 3, 4), Dst: AddrFrom(5, 6, 7, 8)}
+	ip.Encode(b[:20])
+	var p Parsed
+	if err := p.ParseIPv4(b); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := AddrFrom(192, 168, 1, 200)
+	if a.String() != "192.168.1.200" {
+		t.Fatalf("String = %s", a.String())
+	}
+	if AddrFromUint32(a.Uint32()) != a {
+		t.Fatal("Uint32 round trip failed")
+	}
+	m := MAC{0xaa, 0xbb, 0xcc, 0x00, 0x11, 0x22}
+	if m.String() != "aa:bb:cc:00:11:22" {
+		t.Fatalf("MAC.String = %s", m.String())
+	}
+}
+
+// Property: IPv4 encode→decode is the identity on valid headers.
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(tos uint8, id uint16, ttl uint8, proto uint8, src, dst uint32, plen uint8) bool {
+		h := IPv4{
+			IHL: 5, TOS: tos, TotalLen: uint16(IPv4MinLen) + uint16(plen),
+			ID: id, TTL: ttl, Protocol: proto,
+			Src: AddrFromUint32(src), Dst: AddrFromUint32(dst),
+		}
+		b := make([]byte, int(h.TotalLen))
+		if err := h.Encode(b); err != nil {
+			return false
+		}
+		var got IPv4
+		if _, err := got.Decode(b); err != nil {
+			return false
+		}
+		return got == h && Checksum(b[:20]) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TCP encode→decode is the identity (flags masked to 6 bits).
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win uint16) bool {
+		h := TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack,
+			DataOffset: 5, Flags: flags & 0x3f, Window: win}
+		b := make([]byte, 20)
+		if err := h.Encode(b); err != nil {
+			return false
+		}
+		var got TCP
+		if _, err := got.Decode(b); err != nil {
+			return false
+		}
+		return got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseIPv4UDP(b *testing.B) {
+	buf := make([]byte, 128)
+	n, _ := BuildUDPv4(buf, AddrFrom(10, 0, 0, 1), AddrFrom(10, 0, 0, 2), 1, 2, 0, make([]byte, 64))
+	var p Parsed
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.ParseIPv4(buf[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

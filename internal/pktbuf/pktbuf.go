@@ -1,0 +1,222 @@
+// Package pktbuf implements the shared packet-buffer pool of the NFV
+// platform: the in-process equivalent of a DPDK hugepage mempool of mbufs.
+//
+// A Buf carries both the raw frame bytes and the descriptor metadata
+// (action, destination service, tunnel fields, timestamps) that NFs attach
+// before handing the descriptor back to the manager. Passing a *Buf through
+// a ring is the zero-copy communication path of L²5GC: the payload is never
+// copied or serialized between NFs on the same node.
+package pktbuf
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"l25gc/internal/ring"
+)
+
+// MaxFrame is the largest frame a Buf can hold (an MTU-size Ethernet frame
+// plus tunnel headroom for GTP-U encapsulation without reallocation).
+const MaxFrame = 1600
+
+// Headroom is reserved at the front of every Buf so that GTP-U/UDP/IP
+// encapsulation can prepend headers without moving the payload.
+const Headroom = 64
+
+// Action tells the NF manager what to do with a descriptor pulled from an
+// NF's Tx ring, mirroring ONVM's ToNF / ToPort / Drop actions.
+type Action uint8
+
+const (
+	// ActionDrop releases the buffer back to the pool.
+	ActionDrop Action = iota
+	// ActionToNF forwards the descriptor to Meta.Dst's Rx ring.
+	ActionToNF
+	// ActionToPort transmits the frame out of Meta.Port.
+	ActionToPort
+	// ActionBuffer parks the packet in a session buffer (paging/handover).
+	ActionBuffer
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (a Action) String() string {
+	switch a {
+	case ActionDrop:
+		return "drop"
+	case ActionToNF:
+		return "tonf"
+	case ActionToPort:
+		return "toport"
+	case ActionBuffer:
+		return "buffer"
+	default:
+		return "invalid"
+	}
+}
+
+// Meta is the descriptor metadata attached to every packet buffer.
+type Meta struct {
+	Action  Action
+	Dst     uint16  // destination service ID for ActionToNF
+	Port    uint16  // output port for ActionToPort
+	TEID    uint32  // tunnel endpoint, filled by GTP processing
+	OuterIP [4]byte // outer tunnel destination (gNB) for DL egress routing
+	QFI     uint8   // QoS flow identifier
+	RSS     uint64  // receive-side-scaling flow hash, stamped at ingress
+	Uplink  bool    // direction hint for the UPF fast path
+	Seq     uint64  // generator sequence number, used by latency measurement
+	TsNano  int64   // generator timestamp (nanoseconds) for latency measurement
+}
+
+// Buf is one pooled packet buffer.
+type Buf struct {
+	mem  [MaxFrame]byte
+	off  int // start of valid data within mem
+	blen int // length of valid data
+
+	Meta Meta
+
+	pool   *Pool
+	refcnt atomic.Int32
+}
+
+// Bytes returns the valid frame bytes. The slice aliases pool memory and is
+// invalid after Release.
+func (b *Buf) Bytes() []byte { return b.mem[b.off : b.off+b.blen] }
+
+// Len returns the current frame length.
+func (b *Buf) Len() int { return b.blen }
+
+// Reset clears the buffer to empty with default headroom.
+func (b *Buf) Reset() {
+	b.off = Headroom
+	b.blen = 0
+	b.Meta = Meta{}
+}
+
+// SetData copies p into the buffer (the single copy at the edge of the
+// system — e.g. a NIC receive); subsequent inter-NF handoffs are zero-copy.
+func (b *Buf) SetData(p []byte) error {
+	if len(p) > MaxFrame-Headroom {
+		return ErrFrameTooLarge
+	}
+	b.off = Headroom
+	b.blen = copy(b.mem[b.off:], p)
+	return nil
+}
+
+// Append grows the frame by n bytes at the tail and returns the new region.
+func (b *Buf) Append(n int) ([]byte, error) {
+	if b.off+b.blen+n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	s := b.mem[b.off+b.blen : b.off+b.blen+n]
+	b.blen += n
+	return s, nil
+}
+
+// Prepend grows the frame by n bytes at the head (into the headroom) and
+// returns the new region; used for tunnel encapsulation.
+func (b *Buf) Prepend(n int) ([]byte, error) {
+	if n > b.off {
+		return nil, ErrNoHeadroom
+	}
+	b.off -= n
+	b.blen += n
+	return b.mem[b.off : b.off+n], nil
+}
+
+// Trim drops n bytes from the front of the frame (tunnel decapsulation).
+func (b *Buf) Trim(n int) error {
+	if n > b.blen {
+		return ErrShortFrame
+	}
+	b.off += n
+	b.blen -= n
+	return nil
+}
+
+// Retain increments the reference count so the buffer survives an extra
+// Release (used when a packet is both forwarded and logged for replay).
+func (b *Buf) Retain() { b.refcnt.Add(1) }
+
+// Release returns the buffer to its pool once all references are dropped.
+func (b *Buf) Release() {
+	if b.pool == nil {
+		return
+	}
+	if n := b.refcnt.Add(-1); n == 0 {
+		b.pool.put(b)
+	} else if n < 0 {
+		panic("pktbuf: double release")
+	}
+}
+
+// Errors returned by buffer space management.
+var (
+	ErrFrameTooLarge = errors.New("pktbuf: frame exceeds MaxFrame")
+	ErrNoHeadroom    = errors.New("pktbuf: insufficient headroom")
+	ErrShortFrame    = errors.New("pktbuf: trim exceeds frame length")
+	ErrPoolEmpty     = errors.New("pktbuf: pool exhausted")
+)
+
+// Pool is a fixed-size pool of packet buffers shared by all NFs of one
+// 5GC unit. The free list is a lock-free MPMC ring, so any NF goroutine
+// may allocate or release concurrently.
+type Pool struct {
+	free   *ring.MPMC[*Buf]
+	bufs   []Buf
+	prefix string // security-domain file prefix (DPDK --file-prefix analog)
+
+	gets atomic.Uint64
+	puts atomic.Uint64
+}
+
+// NewPool creates a pool of n buffers. prefix names the private memory
+// domain; pools with different prefixes model isolated operators on one node.
+func NewPool(n int, prefix string) *Pool {
+	p := &Pool{
+		free:   ring.NewMPMC[*Buf](n),
+		bufs:   make([]Buf, n),
+		prefix: prefix,
+	}
+	for i := range p.bufs {
+		p.bufs[i].pool = p
+		p.bufs[i].Reset()
+		p.free.Enqueue(&p.bufs[i])
+	}
+	return p
+}
+
+// Prefix returns the pool's security-domain prefix.
+func (p *Pool) Prefix() string { return p.prefix }
+
+// Size returns the total number of buffers owned by the pool.
+func (p *Pool) Size() int { return len(p.bufs) }
+
+// Avail returns the approximate number of free buffers.
+func (p *Pool) Avail() int { return p.free.Len() }
+
+// Get allocates a buffer, or returns ErrPoolEmpty when exhausted.
+func (p *Pool) Get() (*Buf, error) {
+	b, ok := p.free.Dequeue()
+	if !ok {
+		return nil, ErrPoolEmpty
+	}
+	b.Reset()
+	b.refcnt.Store(1)
+	p.gets.Add(1)
+	return b, nil
+}
+
+func (p *Pool) put(b *Buf) {
+	p.puts.Add(1)
+	if !p.free.Enqueue(b) {
+		panic("pktbuf: free ring overflow (foreign buffer?)")
+	}
+}
+
+// Stats reports lifetime get/put counts, useful for leak detection in tests.
+func (p *Pool) Stats() (gets, puts uint64) {
+	return p.gets.Load(), p.puts.Load()
+}

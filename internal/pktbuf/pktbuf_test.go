@@ -1,0 +1,237 @@
+package pktbuf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolGetRelease(t *testing.T) {
+	p := NewPool(4, "op1")
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+	bufs := make([]*Buf, 0, 4)
+	for i := 0; i < 4; i++ {
+		b, err := p.Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		bufs = append(bufs, b)
+	}
+	if _, err := p.Get(); err != ErrPoolEmpty {
+		t.Fatalf("Get on empty pool = %v, want ErrPoolEmpty", err)
+	}
+	for _, b := range bufs {
+		b.Release()
+	}
+	if p.Avail() != 4 {
+		t.Fatalf("Avail after release = %d, want 4", p.Avail())
+	}
+	gets, puts := p.Stats()
+	if gets != 4 || puts != 4 {
+		t.Fatalf("Stats = %d,%d want 4,4", gets, puts)
+	}
+}
+
+func TestBufSetDataAndBytes(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	defer b.Release()
+	payload := []byte("hello 5gc")
+	if err := b.SetData(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), payload) {
+		t.Fatalf("Bytes = %q, want %q", b.Bytes(), payload)
+	}
+	if b.Len() != len(payload) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(payload))
+	}
+}
+
+func TestBufSetDataTooLarge(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	defer b.Release()
+	if err := b.SetData(make([]byte, MaxFrame)); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestBufPrependTrimRoundTrip(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	defer b.Release()
+	b.SetData([]byte("payload"))
+	hdr, err := b.Prepend(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(hdr, "GTPUHDR!")
+	if got := string(b.Bytes()); got != "GTPUHDR!payload" {
+		t.Fatalf("after prepend: %q", got)
+	}
+	if err := b.Trim(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b.Bytes()); got != "payload" {
+		t.Fatalf("after trim: %q", got)
+	}
+}
+
+func TestBufPrependExceedsHeadroom(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	defer b.Release()
+	if _, err := b.Prepend(Headroom + 1); err != ErrNoHeadroom {
+		t.Fatalf("err = %v, want ErrNoHeadroom", err)
+	}
+	// Exactly Headroom must succeed.
+	if _, err := b.Prepend(Headroom); err != nil {
+		t.Fatalf("Prepend(Headroom) = %v", err)
+	}
+}
+
+func TestBufTrimTooMuch(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	defer b.Release()
+	b.SetData([]byte("abc"))
+	if err := b.Trim(4); err != ErrShortFrame {
+		t.Fatalf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestBufAppend(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	defer b.Release()
+	s, err := b.Append(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s, "abcd")
+	if got := string(b.Bytes()); got != "abcd" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := b.Append(MaxFrame); err != ErrFrameTooLarge {
+		t.Fatalf("oversize append err = %v", err)
+	}
+}
+
+func TestRetainRelease(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	b.Retain()
+	b.Release()
+	if p.Avail() != 0 {
+		t.Fatal("buffer returned while still referenced")
+	}
+	b.Release()
+	if p.Avail() != 1 {
+		t.Fatal("buffer not returned after final release")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release should panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestMetaResetOnGet(t *testing.T) {
+	p := NewPool(1, "t")
+	b, _ := p.Get()
+	b.Meta.TEID = 42
+	b.Meta.Action = ActionToPort
+	b.Release()
+	b2, _ := p.Get()
+	if b2.Meta.TEID != 0 || b2.Meta.Action != ActionDrop {
+		t.Fatalf("Meta not reset: %+v", b2.Meta)
+	}
+}
+
+func TestConcurrentGetRelease(t *testing.T) {
+	p := NewPool(64, "t")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b, err := p.Get()
+				if err != nil {
+					continue
+				}
+				b.SetData([]byte{1, 2, 3})
+				b.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Avail() != 64 {
+		t.Fatalf("leaked buffers: avail %d want 64", p.Avail())
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{
+		ActionDrop: "drop", ActionToNF: "tonf", ActionToPort: "toport",
+		ActionBuffer: "buffer", Action(9): "invalid",
+	} {
+		if a.String() != want {
+			t.Errorf("Action(%d).String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+// Property: SetData followed by any valid sequence of Prepend/Trim pairs
+// preserves the payload bytes.
+func TestPrependTrimProperty(t *testing.T) {
+	p := NewPool(1, "t")
+	f := func(payload []byte, hdrSizes []uint8) bool {
+		if len(payload) > MaxFrame-Headroom {
+			payload = payload[:MaxFrame-Headroom]
+		}
+		b, err := p.Get()
+		if err != nil {
+			return false
+		}
+		defer b.Release()
+		b.SetData(payload)
+		applied := []int{}
+		for _, h := range hdrSizes {
+			n := int(h % 32)
+			if _, err := b.Prepend(n); err != nil {
+				break
+			}
+			applied = append(applied, n)
+		}
+		for i := len(applied) - 1; i >= 0; i-- {
+			if err := b.Trim(applied[i]); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(b.Bytes(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPoolGetRelease(b *testing.B) {
+	p := NewPool(1024, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, _ := p.Get()
+		buf.Release()
+	}
+}

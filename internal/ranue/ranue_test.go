@@ -1,0 +1,172 @@
+package ranue
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"l25gc/internal/gtp"
+	"l25gc/internal/ngap"
+	"l25gc/internal/pkt"
+)
+
+// stubDP is a DataPlane capturing UL frames and exposing the DL sink.
+type stubDP struct {
+	ul    [][]byte
+	sinks map[pkt.Addr]func([]byte)
+}
+
+func newStubDP() *stubDP { return &stubDP{sinks: make(map[pkt.Addr]func([]byte))} }
+
+func (d *stubDP) SendUL(frame []byte) error {
+	d.ul = append(d.ul, append([]byte(nil), frame...))
+	return nil
+}
+
+func (d *stubDP) AttachGNB(addr pkt.Addr, sink func([]byte)) error {
+	d.sinks[addr] = sink
+	return nil
+}
+
+// fakeAMF accepts one N2 connection and answers NG setup.
+func fakeAMF(t *testing.T) (addr string, got chan ngap.Message, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = make(chan ngap.Message, 32)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := ngap.NewConn(c)
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if _, ok := m.(*ngap.NGSetupRequest); ok {
+				conn.Send(&ngap.NGSetupResponse{AmfName: "fake", Accepted: true})
+			}
+			got <- m
+		}
+	}()
+	return ln.Addr().String(), got, func() { ln.Close() }
+}
+
+func TestGNBSetupAndULPath(t *testing.T) {
+	addr, got, stop := fakeAMF(t)
+	defer stop()
+	dp := newStubDP()
+	g, err := NewGNB(1, pkt.AddrFrom(10, 100, 0, 10), addr, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	select {
+	case m := <-got:
+		if _, ok := m.(*ngap.NGSetupRequest); !ok {
+			t.Fatalf("first message %T", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("NG setup never reached the AMF")
+	}
+	// The gNB's DL sink is attached under its address.
+	if dp.sinks[g.Addr] == nil {
+		t.Fatal("gNB did not attach its DL sink")
+	}
+	// UL encapsulation uses the attachment's UPF TEID.
+	ue := NewUE("imsi-1", []byte("k"), nil)
+	at := g.attach(ue)
+	at.upfTEID = 0xabc
+	at.active = true
+	if err := g.sendUL(at, []byte{0x45, 0, 0, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.ul) != 1 {
+		t.Fatalf("UL frames = %d", len(dp.ul))
+	}
+	var h gtp.Header
+	if _, err := h.Decode(dp.ul[0]); err != nil || h.TEID != 0xabc || h.PDUType != 1 {
+		t.Fatalf("UL header %+v err %v", h, err)
+	}
+}
+
+func TestGNBSetupTimeout(t *testing.T) {
+	// A listener that accepts but never answers: NG setup must time out.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, _ := ln.Accept()
+		if c != nil {
+			defer c.Close()
+			time.Sleep(5 * time.Second)
+		}
+	}()
+	start := time.Now()
+	if _, err := NewGNB(1, pkt.AddrFrom(10, 0, 0, 1), ln.Addr().String(), newStubDP()); err == nil {
+		t.Fatal("setup against a mute AMF must fail")
+	}
+	if time.Since(start) > 4*time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestDLFrameDeliveryByTEID(t *testing.T) {
+	addr, _, stop := fakeAMF(t)
+	defer stop()
+	dp := newStubDP()
+	g, err := NewGNB(1, pkt.AddrFrom(10, 100, 0, 10), addr, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ue := NewUE("imsi-1", []byte("k"), nil)
+	at := g.attach(ue)
+	at.dlTEID = 0x42
+	g.mu.Lock()
+	g.byDlTEID[0x42] = at
+	g.mu.Unlock()
+
+	gotData := make(chan []byte, 1)
+	ue.OnData = func(p []byte) { gotData <- p }
+
+	frame := make([]byte, 64)
+	h := gtp.Header{MsgType: gtp.MsgGPDU, TEID: 0x42}
+	n, _ := h.Encode(frame, 4)
+	copy(frame[n:], "data")
+	dp.sinks[g.Addr](frame[:n+4])
+	select {
+	case d := <-gotData:
+		if string(d) != "data" {
+			t.Fatalf("payload %q", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("DL frame not delivered to UE")
+	}
+	// Unknown TEID frames are ignored (no panic, no delivery).
+	h.TEID = 0x99
+	n, _ = h.Encode(frame, 4)
+	dp.sinks[g.Addr](frame[:n+4])
+	select {
+	case <-gotData:
+		t.Fatal("frame for unknown TEID delivered")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestUEParseIPv4(t *testing.T) {
+	if a, err := parseIPv4("10.60.0.1"); err != nil || a != pkt.AddrFrom(10, 60, 0, 1) {
+		t.Fatalf("got %v %v", a, err)
+	}
+	for _, bad := range []string{"", "1.2.3", "a.b.c.d", "1.2.3.999"} {
+		if _, err := parseIPv4(bad); err == nil {
+			t.Fatalf("parseIPv4(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Detector is the probe agent of §5.5.1: it polls a liveness function
+// every Interval and declares failure after Misses consecutive failed
+// probes — the simplified S-BFD configuration (detection well under a
+// millisecond at microsecond intervals on the same node).
+type Detector struct {
+	// Probe returns true while the target is healthy.
+	Probe func() bool
+	// Interval between probes (default 200µs).
+	Interval time.Duration
+	// Misses before declaring failure (default 3).
+	Misses int
+	// OnFailure runs once, on the detector goroutine, when failure is
+	// declared. DetectionTime reports probe-start-to-declaration latency.
+	OnFailure func(detectionTime time.Duration)
+
+	stopped atomic.Bool
+	done    chan struct{}
+}
+
+// Start launches the probe loop.
+func (d *Detector) Start() {
+	if d.Interval <= 0 {
+		d.Interval = 200 * time.Microsecond
+	}
+	if d.Misses <= 0 {
+		d.Misses = 3
+	}
+	d.done = make(chan struct{})
+	go d.run()
+}
+
+func (d *Detector) run() {
+	defer close(d.done)
+	misses := 0
+	var firstMiss time.Time
+	ticker := time.NewTicker(d.Interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		if d.stopped.Load() {
+			return
+		}
+		if d.Probe() {
+			misses = 0
+			continue
+		}
+		if misses == 0 {
+			firstMiss = time.Now()
+		}
+		misses++
+		if misses >= d.Misses {
+			if d.OnFailure != nil {
+				d.OnFailure(time.Since(firstMiss) + d.Interval)
+			}
+			return
+		}
+	}
+}
+
+// Stop halts probing without declaring failure.
+func (d *Detector) Stop() {
+	if d.stopped.CompareAndSwap(false, true) {
+		<-d.done
+	}
+}

@@ -1,0 +1,153 @@
+package resilience
+
+import (
+	"sync"
+)
+
+// Class separates the packet logger into the four queues of §3.5.1, so
+// control packets survive even if data floods the buffer.
+type Class uint8
+
+// Logger queue classes.
+const (
+	ULControl Class = iota
+	ULData
+	DLControl
+	DLData
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ULControl:
+		return "ul-ctrl"
+	case ULData:
+		return "ul-data"
+	case DLControl:
+		return "dl-ctrl"
+	case DLData:
+		return "dl-data"
+	default:
+		return "invalid"
+	}
+}
+
+// LoggedPacket is one buffered message with its global counter value.
+type LoggedPacket struct {
+	Counter uint64
+	Class   Class
+	Data    []byte
+}
+
+// PacketLogger is the LB-side replay buffer: every outgoing message gets a
+// counter and a copy in its class queue; checkpoint ACKs release prefixes;
+// on failover, ReplayFrom merges the four queues back into counter order.
+type PacketLogger struct {
+	mu      sync.Mutex
+	counter uint64
+	queues  [numClasses][]LoggedPacket
+	caps    [numClasses]int
+
+	dropped [numClasses]uint64
+}
+
+// NewPacketLogger creates a logger; perQueueCap bounds each class queue
+// (0 = unbounded). Control and data overflow independently, which is the
+// point of the four-queue split.
+func NewPacketLogger(perQueueCap int) *PacketLogger {
+	l := &PacketLogger{}
+	for i := range l.caps {
+		l.caps[i] = perQueueCap
+	}
+	return l
+}
+
+// Log assigns the next counter to the packet, buffers a copy, and returns
+// the counter value to attach to the outgoing message.
+func (l *PacketLogger) Log(class Class, data []byte) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.counter++
+	c := l.counter
+	q := &l.queues[class]
+	if l.caps[class] > 0 && len(*q) >= l.caps[class] {
+		l.dropped[class]++
+		return c, false
+	}
+	*q = append(*q, LoggedPacket{Counter: c, Class: class, Data: append([]byte(nil), data...)})
+	return c, true
+}
+
+// ReleaseUpTo drops logged packets with counter <= counter (the primary
+// confirmed a checkpoint covering them).
+func (l *PacketLogger) ReleaseUpTo(counter uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.queues {
+		q := l.queues[i]
+		keep := 0
+		for keep < len(q) && q[keep].Counter <= counter {
+			keep++
+		}
+		l.queues[i] = q[keep:]
+	}
+}
+
+// ReplayFrom returns all buffered packets with counter > after, merged
+// across the four queues in ascending counter order — the §3.5.1 replay
+// rule ("pick from the queue with the lowest counter value").
+func (l *PacketLogger) ReplayFrom(after uint64) []LoggedPacket {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := [numClasses]int{}
+	// Skip already-checkpointed prefixes.
+	for i := range l.queues {
+		for idx[i] < len(l.queues[i]) && l.queues[i][idx[i]].Counter <= after {
+			idx[i]++
+		}
+	}
+	var out []LoggedPacket
+	for {
+		best := -1
+		var bestCtr uint64
+		for i := range l.queues {
+			if idx[i] < len(l.queues[i]) {
+				if c := l.queues[i][idx[i]].Counter; best == -1 || c < bestCtr {
+					best = i
+					bestCtr = c
+				}
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, l.queues[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// Depth reports the queue lengths (diagnostics).
+func (l *PacketLogger) Depth() [4]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var d [4]int
+	for i := range l.queues {
+		d[i] = len(l.queues[i])
+	}
+	return d
+}
+
+// Dropped reports per-class overflow counts.
+func (l *PacketLogger) Dropped(class Class) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped[class]
+}
+
+// Counter returns the last assigned counter value.
+func (l *PacketLogger) Counter() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counter
+}

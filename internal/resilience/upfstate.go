@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/upf"
+)
+
+// UPFSnapshotter checkpoints a UPF's session state by serializing, per
+// session, the PFCP establishment request that recreates it; Restore
+// clears the target state and replays those requests through a UPF-C
+// handler. This is exactly the state the paper's framework must carry
+// across a failover for the data plane to keep forwarding.
+type UPFSnapshotter struct {
+	State *upf.State
+	UPFC  *upf.UPFC
+}
+
+// NewUPFSnapshotter builds a snapshotter over a state/UPF-C pair.
+func NewUPFSnapshotter(state *upf.State, n3IP pkt.Addr) *UPFSnapshotter {
+	return &UPFSnapshotter{State: state, UPFC: upf.NewUPFC(state, n3IP, nil)}
+}
+
+// Snapshot implements Snapshotter: length-prefixed PFCP messages.
+func (u *UPFSnapshotter) Snapshot() ([]byte, error) {
+	var out []byte
+	for _, req := range u.State.Export() {
+		wire := pfcp.Marshal(req, req.CPSEID, true, 0)
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(wire)))
+		out = append(out, l[:]...)
+		out = append(out, wire...)
+	}
+	return out, nil
+}
+
+// Restore implements Snapshotter.
+func (u *UPFSnapshotter) Restore(b []byte) error {
+	u.State.Reset()
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return errors.New("resilience: truncated UPF snapshot")
+		}
+		n := binary.BigEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return errors.New("resilience: truncated UPF snapshot message")
+		}
+		_, msg, err := pfcp.Parse(b[:n])
+		if err != nil {
+			return fmt.Errorf("resilience: snapshot parse: %w", err)
+		}
+		b = b[n:]
+		req, ok := msg.(*pfcp.SessionEstablishmentRequest)
+		if !ok {
+			return fmt.Errorf("resilience: unexpected snapshot message %d", msg.PFCPType())
+		}
+		resp, err := u.UPFC.Handle(req.CPSEID, req)
+		if err != nil {
+			return err
+		}
+		if er, ok := resp.(*pfcp.SessionEstablishmentResponse); !ok || er.Cause != pfcp.CauseAccepted {
+			return errors.New("resilience: snapshot replay rejected")
+		}
+	}
+	return nil
+}

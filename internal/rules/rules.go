@@ -1,0 +1,287 @@
+// Package rules defines the 5GC data-plane rule model shared by the PFCP
+// protocol stack, the UPF and the packet classifiers: Packet Detection Rules
+// (PDR) with their Packet Detection Information (PDI), Forwarding Action
+// Rules (FAR), QoS Enforcement Rules (QER) and Buffering Action Rules (BAR),
+// per 3GPP TS 29.244 and the PDI IE inventory in Appendix A of the paper.
+package rules
+
+import (
+	"fmt"
+
+	"l25gc/internal/pkt"
+)
+
+// Interface identifies where a packet enters or leaves the UPF.
+type Interface uint8
+
+// Source/destination interface values (TS 29.244 §8.2.2).
+const (
+	IfAccess Interface = iota // N3: gNB side
+	IfCore                    // N6: data network side
+	IfSGiLAN
+	IfCPFunction
+)
+
+// String implements fmt.Stringer.
+func (i Interface) String() string {
+	switch i {
+	case IfAccess:
+		return "access"
+	case IfCore:
+		return "core"
+	case IfSGiLAN:
+		return "sgi-lan"
+	case IfCPFunction:
+		return "cp-function"
+	default:
+		return "unknown"
+	}
+}
+
+// PortRange matches an inclusive port interval. Lo==0 && Hi==0xffff matches
+// any port.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// Any reports whether the range matches every port.
+func (r PortRange) Any() bool { return r.Lo == 0 && r.Hi == 0xffff }
+
+// Contains reports whether p falls inside the range.
+func (r PortRange) Contains(p uint16) bool { return p >= r.Lo && p <= r.Hi }
+
+// AnyPort is the wildcard port range.
+var AnyPort = PortRange{0, 0xffff}
+
+// Prefix is an IPv4 prefix match. Bits==0 matches any address.
+type Prefix struct {
+	Addr pkt.Addr
+	Bits uint8
+}
+
+// Mask returns the 32-bit network mask.
+func (p Prefix) Mask() uint32 {
+	if p.Bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+// Contains reports whether a falls inside the prefix.
+func (p Prefix) Contains(a pkt.Addr) bool {
+	m := p.Mask()
+	return a.Uint32()&m == p.Addr.Uint32()&m
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }
+
+// AnyPrefix matches all addresses.
+var AnyPrefix = Prefix{}
+
+// SDFFilter is the Service Data Flow filter of the PDI: an extended IP
+// 5-tuple (Appendix A, Table 3). Zero values are wildcards.
+type SDFFilter struct {
+	ID       uint32 // SDF Filter ID
+	Src      Prefix
+	Dst      Prefix
+	SrcPorts PortRange
+	DstPorts PortRange
+	Protocol uint8 // 0 = any
+	ProtoAny bool  // true when Protocol is a wildcard
+	TOS      uint8 // Type of Service value; matched when TOSMask != 0
+	TOSMask  uint8
+	SPI      uint32 // Security Parameter Index; 0 = any
+	FlowDesc string // textual flow description (informational)
+}
+
+// Matches reports whether the parsed packet tuple satisfies the filter.
+func (f *SDFFilter) Matches(t pkt.FiveTuple, tos uint8) bool {
+	if !f.ProtoAny && f.Protocol != 0 && f.Protocol != t.Protocol {
+		return false
+	}
+	if !f.Src.Contains(t.Src) || !f.Dst.Contains(t.Dst) {
+		return false
+	}
+	if !f.SrcPorts.Contains(t.SrcPort) || !f.DstPorts.Contains(t.DstPort) {
+		return false
+	}
+	if f.TOSMask != 0 && tos&f.TOSMask != f.TOS&f.TOSMask {
+		return false
+	}
+	return true
+}
+
+// PDI is the Packet Detection Information of a PDR: the match side of the
+// match-action rule. It carries up to 20 information elements (paper §3.4).
+type PDI struct {
+	SourceInterface Interface
+	TEID            uint32   // Local F-TEID; 0 = not present (DL rules)
+	TEIDAddr        pkt.Addr // Local F-TEID IPv4
+	HasTEID         bool
+	UEIP            pkt.Addr // UE IP address; matched on DL dst / UL src
+	HasUEIP         bool
+	NetworkInstance string
+	ApplicationID   string
+	QFI             uint8
+	HasQFI          bool
+	SDF             SDFFilter
+	HasSDF          bool
+}
+
+// Matches reports whether a packet with the given direction metadata
+// satisfies the PDI. teid is the GTP TEID for access-side packets (0 on N6).
+func (p *PDI) Matches(t pkt.FiveTuple, tos uint8, teid uint32, fromAccess bool) bool {
+	if fromAccess != (p.SourceInterface == IfAccess) {
+		return false
+	}
+	if p.HasTEID && p.TEID != teid {
+		return false
+	}
+	if p.HasUEIP {
+		if fromAccess { // uplink: UE IP is the source
+			if t.Src != p.UEIP {
+				return false
+			}
+		} else if t.Dst != p.UEIP { // downlink: UE IP is the destination
+			return false
+		}
+	}
+	if p.HasSDF && !p.SDF.Matches(t, tos) {
+		return false
+	}
+	return true
+}
+
+// FARAction is the bitmask of Apply Action flags (TS 29.244 §8.2.26).
+type FARAction uint8
+
+// Apply Action flags.
+const (
+	FARDrop FARAction = 1 << iota
+	FARForward
+	FARBuffer
+	FARNotifyCP // NOCP: notify the CP function (triggers paging)
+	FARDuplicate
+)
+
+// String renders the set flags.
+func (a FARAction) String() string {
+	s := ""
+	add := func(f FARAction, n string) {
+		if a&f != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n
+		}
+	}
+	add(FARDrop, "drop")
+	add(FARForward, "forw")
+	add(FARBuffer, "buff")
+	add(FARNotifyCP, "nocp")
+	add(FARDuplicate, "dupl")
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+// FAR is a Forwarding Action Rule.
+type FAR struct {
+	ID             uint32
+	Action         FARAction
+	DestInterface  Interface
+	OuterTEID      uint32   // GTP-U TEID for outer header creation (DL to gNB)
+	OuterAddr      pkt.Addr // gNB address for outer header creation
+	HasOuterHeader bool
+}
+
+// QER is a QoS Enforcement Rule (token-bucket rate limits per direction).
+type QER struct {
+	ID        uint32
+	QFI       uint8
+	ULMbrKbps uint64 // uplink maximum bit rate, kbit/s; 0 = unlimited
+	DLMbrKbps uint64
+	GateUL    bool // true = open
+	GateDL    bool
+}
+
+// BAR is a Buffering Action Rule controlling the UPF's DL buffers.
+type BAR struct {
+	ID              uint32
+	SuggestedPkts   uint16 // suggested buffering packet count
+	DLBufferingSecs uint16
+}
+
+// PDR is a Packet Detection Rule: match (PDI) plus references to the
+// action rules. Lower Precedence value = higher priority (TS 29.244).
+type PDR struct {
+	ID                 uint32
+	Precedence         uint32
+	PDI                PDI
+	OuterHeaderRemoval bool // strip GTP-U on match (UL rules)
+	FARID              uint32
+	QERID              uint32 // 0 = none
+	URRID              uint32 // usage reporting; 0 = none
+	BARID              uint32 // 0 = none
+}
+
+// Session groups the rule set of one PDU session at the UPF, along with the
+// session-level tunnel endpoints.
+type Session struct {
+	SEID      uint64 // CP F-SEID
+	LocalSEID uint64 // UP F-SEID
+	UEIP      pkt.Addr
+	PDRs      []*PDR
+	FARs      map[uint32]*FAR
+	QERs      map[uint32]*QER
+	BARs      map[uint32]*BAR
+}
+
+// NewSession returns an empty session with allocated maps.
+func NewSession(seid uint64, ueIP pkt.Addr) *Session {
+	return &Session{
+		SEID: seid, UEIP: ueIP,
+		FARs: make(map[uint32]*FAR),
+		QERs: make(map[uint32]*QER),
+		BARs: make(map[uint32]*BAR),
+	}
+}
+
+// FAR returns the FAR referenced by id, or nil.
+func (s *Session) FAR(id uint32) *FAR { return s.FARs[id] }
+
+// AddPDR inserts (or replaces by ID) a PDR keeping the list sorted by
+// ascending precedence, which is the 3GPP-specified linear-search order.
+func (s *Session) AddPDR(p *PDR) {
+	for i, q := range s.PDRs {
+		if q.ID == p.ID {
+			s.PDRs[i] = p
+			sortPDRs(s.PDRs)
+			return
+		}
+	}
+	s.PDRs = append(s.PDRs, p)
+	sortPDRs(s.PDRs)
+}
+
+// RemovePDR deletes the PDR with the given ID, reporting whether it existed.
+func (s *Session) RemovePDR(id uint32) bool {
+	for i, q := range s.PDRs {
+		if q.ID == id {
+			s.PDRs = append(s.PDRs[:i], s.PDRs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func sortPDRs(p []*PDR) {
+	// Insertion sort: rule lists are small per session and nearly sorted.
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j].Precedence < p[j-1].Precedence; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}

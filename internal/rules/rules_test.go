@@ -1,0 +1,210 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+
+	"l25gc/internal/pkt"
+)
+
+func TestPrefixContains(t *testing.T) {
+	p := Prefix{Addr: pkt.AddrFrom(10, 60, 0, 0), Bits: 16}
+	if !p.Contains(pkt.AddrFrom(10, 60, 5, 9)) {
+		t.Fatal("should contain 10.60.5.9")
+	}
+	if p.Contains(pkt.AddrFrom(10, 61, 0, 1)) {
+		t.Fatal("should not contain 10.61.0.1")
+	}
+	if !AnyPrefix.Contains(pkt.AddrFrom(255, 255, 255, 255)) {
+		t.Fatal("AnyPrefix should contain everything")
+	}
+	host := Prefix{Addr: pkt.AddrFrom(1, 2, 3, 4), Bits: 32}
+	if !host.Contains(pkt.AddrFrom(1, 2, 3, 4)) || host.Contains(pkt.AddrFrom(1, 2, 3, 5)) {
+		t.Fatal("host prefix semantics wrong")
+	}
+	if p.String() != "10.60.0.0/16" {
+		t.Fatalf("String = %s", p.String())
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	r := PortRange{Lo: 80, Hi: 443}
+	if !r.Contains(80) || !r.Contains(443) || !r.Contains(100) {
+		t.Fatal("range bounds inclusive")
+	}
+	if r.Contains(79) || r.Contains(444) {
+		t.Fatal("out of range matched")
+	}
+	if !AnyPort.Any() || r.Any() {
+		t.Fatal("Any detection")
+	}
+}
+
+func TestSDFFilterMatches(t *testing.T) {
+	f := SDFFilter{
+		Src:      Prefix{Addr: pkt.AddrFrom(10, 60, 0, 0), Bits: 16},
+		Dst:      AnyPrefix,
+		SrcPorts: AnyPort,
+		DstPorts: PortRange{Lo: 443, Hi: 443},
+		Protocol: pkt.ProtoTCP,
+		TOS:      0xb8, TOSMask: 0xfc,
+	}
+	tuple := pkt.FiveTuple{
+		Src: pkt.AddrFrom(10, 60, 0, 1), Dst: pkt.AddrFrom(8, 8, 8, 8),
+		SrcPort: 5000, DstPort: 443, Protocol: pkt.ProtoTCP,
+	}
+	if !f.Matches(tuple, 0xb8) {
+		t.Fatal("should match")
+	}
+	if f.Matches(tuple, 0x00) {
+		t.Fatal("TOS mismatch should fail")
+	}
+	bad := tuple
+	bad.Protocol = pkt.ProtoUDP
+	if f.Matches(bad, 0xb8) {
+		t.Fatal("protocol mismatch should fail")
+	}
+	bad = tuple
+	bad.DstPort = 80
+	if f.Matches(bad, 0xb8) {
+		t.Fatal("port mismatch should fail")
+	}
+	bad = tuple
+	bad.Src = pkt.AddrFrom(10, 61, 0, 1)
+	if f.Matches(bad, 0xb8) {
+		t.Fatal("prefix mismatch should fail")
+	}
+	// ProtoAny wildcard.
+	f.ProtoAny = true
+	bad = tuple
+	bad.Protocol = pkt.ProtoUDP
+	if !f.Matches(bad, 0xb8) {
+		t.Fatal("ProtoAny should match any protocol")
+	}
+}
+
+func TestPDIMatchesDirection(t *testing.T) {
+	ul := PDI{
+		SourceInterface: IfAccess,
+		TEID:            0x100, HasTEID: true,
+		UEIP: pkt.AddrFrom(10, 60, 0, 1), HasUEIP: true,
+	}
+	tuple := pkt.FiveTuple{Src: pkt.AddrFrom(10, 60, 0, 1), Dst: pkt.AddrFrom(8, 8, 8, 8)}
+	if !ul.Matches(tuple, 0, 0x100, true) {
+		t.Fatal("uplink PDI should match")
+	}
+	if ul.Matches(tuple, 0, 0x101, true) {
+		t.Fatal("TEID mismatch should fail")
+	}
+	if ul.Matches(tuple, 0, 0x100, false) {
+		t.Fatal("direction mismatch should fail")
+	}
+	dl := PDI{
+		SourceInterface: IfCore,
+		UEIP:            pkt.AddrFrom(10, 60, 0, 1), HasUEIP: true,
+	}
+	dlTuple := pkt.FiveTuple{Src: pkt.AddrFrom(8, 8, 8, 8), Dst: pkt.AddrFrom(10, 60, 0, 1)}
+	if !dl.Matches(dlTuple, 0, 0, false) {
+		t.Fatal("downlink PDI should match on dst UE IP")
+	}
+	if dl.Matches(tuple, 0, 0, false) {
+		t.Fatal("wrong dst should fail")
+	}
+}
+
+func TestSessionAddPDRKeepsPrecedenceOrder(t *testing.T) {
+	s := NewSession(1, pkt.AddrFrom(10, 60, 0, 1))
+	s.AddPDR(&PDR{ID: 1, Precedence: 200})
+	s.AddPDR(&PDR{ID: 2, Precedence: 50})
+	s.AddPDR(&PDR{ID: 3, Precedence: 100})
+	want := []uint32{2, 3, 1}
+	for i, p := range s.PDRs {
+		if p.ID != want[i] {
+			t.Fatalf("PDRs[%d].ID = %d, want %d", i, p.ID, want[i])
+		}
+	}
+	// Replacing by ID re-sorts.
+	s.AddPDR(&PDR{ID: 2, Precedence: 300})
+	if s.PDRs[len(s.PDRs)-1].ID != 2 {
+		t.Fatal("replaced PDR should sort last")
+	}
+	if len(s.PDRs) != 3 {
+		t.Fatalf("len = %d, want 3 after replace", len(s.PDRs))
+	}
+}
+
+func TestSessionRemovePDR(t *testing.T) {
+	s := NewSession(1, pkt.Addr{})
+	s.AddPDR(&PDR{ID: 1})
+	s.AddPDR(&PDR{ID: 2})
+	if !s.RemovePDR(1) {
+		t.Fatal("RemovePDR(1) should succeed")
+	}
+	if s.RemovePDR(1) {
+		t.Fatal("double remove should fail")
+	}
+	if len(s.PDRs) != 1 || s.PDRs[0].ID != 2 {
+		t.Fatalf("remaining %+v", s.PDRs)
+	}
+}
+
+func TestFARActionString(t *testing.T) {
+	if s := (FARForward | FARBuffer).String(); s != "forw|buff" {
+		t.Fatalf("got %q", s)
+	}
+	if s := FARAction(0).String(); s != "none" {
+		t.Fatalf("got %q", s)
+	}
+	if s := (FARDrop | FARNotifyCP | FARDuplicate).String(); s != "drop|nocp|dupl" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestInterfaceString(t *testing.T) {
+	for i, want := range map[Interface]string{
+		IfAccess: "access", IfCore: "core", IfSGiLAN: "sgi-lan",
+		IfCPFunction: "cp-function", Interface(99): "unknown",
+	} {
+		if i.String() != want {
+			t.Errorf("%d.String() = %q want %q", i, i.String(), want)
+		}
+	}
+}
+
+// Property: prefix containment agrees with direct mask arithmetic.
+func TestPrefixContainsProperty(t *testing.T) {
+	f := func(addr, probe uint32, bits uint8) bool {
+		p := Prefix{Addr: pkt.AddrFromUint32(addr), Bits: bits % 33}
+		got := p.Contains(pkt.AddrFromUint32(probe))
+		var want bool
+		if p.Bits == 0 {
+			want = true
+		} else {
+			shift := 32 - uint32(p.Bits)
+			want = addr>>shift == probe>>shift
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddPDR always maintains non-decreasing precedence.
+func TestAddPDROrderProperty(t *testing.T) {
+	f := func(precs []uint32) bool {
+		s := NewSession(1, pkt.Addr{})
+		for i, p := range precs {
+			s.AddPDR(&PDR{ID: uint32(i + 1), Precedence: p})
+		}
+		for i := 1; i < len(s.PDRs); i++ {
+			if s.PDRs[i].Precedence < s.PDRs[i-1].Precedence {
+				return false
+			}
+		}
+		return len(s.PDRs) == len(precs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,545 @@
+package sbi
+
+import "l25gc/internal/codec"
+
+// The message models below mirror the OpenAPI-generated free5GC data types
+// for the operations the control-plane procedures exercise. JSON struct
+// tags give the REST field names; Schema() exposes the fields to the
+// binary codecs (proto/flat) compared in Fig. 6.
+
+// Snssai is the Single Network Slice Selection Assistance Information.
+type Snssai struct {
+	Sst uint32 `json:"sst"`
+	Sd  string `json:"sd"`
+}
+
+// --- Authentication (AMF -> AUSF -> UDM) ---
+
+// AuthenticationRequest starts 5G-AKA for a UE (Nausf UEAuthentications).
+type AuthenticationRequest struct {
+	SuciOrSupi         string `json:"supiOrSuci"`
+	ServingNetworkName string `json:"servingNetworkName"`
+	ResyncInfo         []byte `json:"resynchronizationInfo,omitempty"`
+	TraceID            uint64 `json:"traceId,omitempty"`
+}
+
+// Schema implements codec.Message.
+func (m *AuthenticationRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.SuciOrSupi},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.ServingNetworkName},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.ResyncInfo},
+		{Tag: 4, Kind: codec.KindUint64, Ptr: &m.TraceID},
+	}
+}
+
+// AuthenticationResponse carries the 5G-AKA challenge back to the AMF.
+type AuthenticationResponse struct {
+	AuthType  string `json:"authType"`
+	Rand      []byte `json:"rand"`
+	Autn      []byte `json:"autn"`
+	HxresStar []byte `json:"hxresStar"`
+	AuthCtxID string `json:"authCtxId"`
+	Link      string `json:"_links,omitempty"`
+}
+
+// Schema implements codec.Message.
+func (m *AuthenticationResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.AuthType},
+		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.Rand},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.Autn},
+		{Tag: 4, Kind: codec.KindBytes, Ptr: &m.HxresStar},
+		{Tag: 5, Kind: codec.KindString, Ptr: &m.AuthCtxID},
+		{Tag: 6, Kind: codec.KindString, Ptr: &m.Link},
+	}
+}
+
+// AuthConfirmRequest confirms the UE's RES* (5G-AKA confirmation).
+type AuthConfirmRequest struct {
+	AuthCtxID string `json:"authCtxId"`
+	ResStar   []byte `json:"resStar"`
+}
+
+// Schema implements codec.Message.
+func (m *AuthConfirmRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.AuthCtxID},
+		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.ResStar},
+	}
+}
+
+// AuthConfirmResponse reports the authentication result and KSEAF.
+type AuthConfirmResponse struct {
+	AuthResult string `json:"authResult"`
+	Supi       string `json:"supi"`
+	Kseaf      []byte `json:"kseaf"`
+}
+
+// Schema implements codec.Message.
+func (m *AuthConfirmResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.AuthResult},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.Kseaf},
+	}
+}
+
+// AuthInfoRequest asks the UDM for an authentication vector.
+type AuthInfoRequest struct {
+	SuciOrSupi         string `json:"supiOrSuci"`
+	ServingNetworkName string `json:"servingNetworkName"`
+}
+
+// Schema implements codec.Message.
+func (m *AuthInfoRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.SuciOrSupi},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.ServingNetworkName},
+	}
+}
+
+// AuthInfoResponse carries the home-network authentication vector.
+type AuthInfoResponse struct {
+	AuthType string `json:"authType"`
+	Rand     []byte `json:"rand"`
+	Autn     []byte `json:"autn"`
+	XresStar []byte `json:"xresStar"`
+	Kausf    []byte `json:"kausf"`
+	Supi     string `json:"supi"`
+}
+
+// Schema implements codec.Message.
+func (m *AuthInfoResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.AuthType},
+		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.Rand},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.Autn},
+		{Tag: 4, Kind: codec.KindBytes, Ptr: &m.XresStar},
+		{Tag: 5, Kind: codec.KindBytes, Ptr: &m.Kausf},
+		{Tag: 6, Kind: codec.KindString, Ptr: &m.Supi},
+	}
+}
+
+// --- Subscription data (AMF/SMF -> UDM -> UDR) ---
+
+// SubscriptionDataRequest queries subscription data by SUPI.
+type SubscriptionDataRequest struct {
+	Supi    string `json:"supi"`
+	Dnn     string `json:"dnn,omitempty"`
+	PlmnID  string `json:"plmnId,omitempty"`
+	DataSet string `json:"dataSet,omitempty"`
+}
+
+// Schema implements codec.Message.
+func (m *SubscriptionDataRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.Dnn},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.PlmnID},
+		{Tag: 4, Kind: codec.KindString, Ptr: &m.DataSet},
+	}
+}
+
+// AMSubscriptionData is the access-and-mobility subscription record.
+type AMSubscriptionData struct {
+	Supi          string `json:"supi"`
+	SubscribedSst uint32 `json:"subscribedSst"`
+	SubscribedSd  string `json:"subscribedSd"`
+	UeAmbrUL      uint64 `json:"ueAmbrUl"` // bit/s
+	UeAmbrDL      uint64 `json:"ueAmbrDl"`
+	RatRestricted bool   `json:"ratRestricted"`
+}
+
+// Schema implements codec.Message.
+func (m *AMSubscriptionData) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.SubscribedSst},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.SubscribedSd},
+		{Tag: 4, Kind: codec.KindUint64, Ptr: &m.UeAmbrUL},
+		{Tag: 5, Kind: codec.KindUint64, Ptr: &m.UeAmbrDL},
+		{Tag: 6, Kind: codec.KindBool, Ptr: &m.RatRestricted},
+	}
+}
+
+// SMSubscriptionData is the session-management subscription record.
+type SMSubscriptionData struct {
+	Supi          string `json:"supi"`
+	Dnn           string `json:"dnn"`
+	SessAmbrUL    uint64 `json:"sessAmbrUl"`
+	SessAmbrDL    uint64 `json:"sessAmbrDl"`
+	Default5QI    uint32 `json:"default5qi"`
+	StaticIPv4    string `json:"staticIpv4,omitempty"`
+	AllowedSscCnt uint32 `json:"allowedSscModes"`
+}
+
+// Schema implements codec.Message.
+func (m *SMSubscriptionData) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.Dnn},
+		{Tag: 3, Kind: codec.KindUint64, Ptr: &m.SessAmbrUL},
+		{Tag: 4, Kind: codec.KindUint64, Ptr: &m.SessAmbrDL},
+		{Tag: 5, Kind: codec.KindUint32, Ptr: &m.Default5QI},
+		{Tag: 6, Kind: codec.KindString, Ptr: &m.StaticIPv4},
+		{Tag: 7, Kind: codec.KindUint32, Ptr: &m.AllowedSscCnt},
+	}
+}
+
+// SubscriberRecord is the raw UDR document for one subscriber.
+type SubscriberRecord struct {
+	Supi   string `json:"supi"`
+	K      []byte `json:"permanentKey"`
+	Opc    []byte `json:"opc"`
+	Sqn    uint64 `json:"sqn"`
+	Dnn    string `json:"dnn"`
+	AmbrUL uint64 `json:"ambrUl"`
+	AmbrDL uint64 `json:"ambrDl"`
+	Sst    uint32 `json:"sst"`
+	Sd     string `json:"sd"`
+	Found  bool   `json:"found"`
+}
+
+// Schema implements codec.Message.
+func (m *SubscriberRecord) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.K},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.Opc},
+		{Tag: 4, Kind: codec.KindUint64, Ptr: &m.Sqn},
+		{Tag: 5, Kind: codec.KindString, Ptr: &m.Dnn},
+		{Tag: 6, Kind: codec.KindUint64, Ptr: &m.AmbrUL},
+		{Tag: 7, Kind: codec.KindUint64, Ptr: &m.AmbrDL},
+		{Tag: 8, Kind: codec.KindUint32, Ptr: &m.Sst},
+		{Tag: 9, Kind: codec.KindString, Ptr: &m.Sd},
+		{Tag: 10, Kind: codec.KindBool, Ptr: &m.Found},
+	}
+}
+
+// AMFRegistrationRequest registers the serving AMF at the UDM (UECM).
+type AMFRegistrationRequest struct {
+	Supi    string `json:"supi"`
+	AmfID   string `json:"amfInstanceId"`
+	Guami   string `json:"guami"`
+	RatType string `json:"ratType"`
+	ImsVoPs bool   `json:"imsVoPs"`
+}
+
+// Schema implements codec.Message.
+func (m *AMFRegistrationRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.AmfID},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.Guami},
+		{Tag: 4, Kind: codec.KindString, Ptr: &m.RatType},
+		{Tag: 5, Kind: codec.KindBool, Ptr: &m.ImsVoPs},
+	}
+}
+
+// AMFRegistrationResponse acknowledges the UECM registration.
+type AMFRegistrationResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// Schema implements codec.Message.
+func (m *AMFRegistrationResponse) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindBool, Ptr: &m.Accepted}}
+}
+
+// --- PDU session management (AMF -> SMF) ---
+
+// SmContextCreateRequest is the PostSmContextsRequest of Fig. 6: the AMF
+// asks the SMF to create a PDU session context.
+type SmContextCreateRequest struct {
+	Supi           string `json:"supi"`
+	Pei            string `json:"pei,omitempty"`
+	Gpsi           string `json:"gpsi,omitempty"`
+	PduSessionID   uint32 `json:"pduSessionId"`
+	Dnn            string `json:"dnn"`
+	Sst            uint32 `json:"sst"`
+	Sd             string `json:"sd"`
+	ServingNfID    string `json:"servingNfId"`
+	Guami          string `json:"guami"`
+	ServingNetwork string `json:"servingNetwork"`
+	RequestType    string `json:"requestType"`
+	N1SmMsg        []byte `json:"n1SmMsg"` // NAS PDU Session Establishment Request
+	AnType         string `json:"anType"`
+	RatType        string `json:"ratType"`
+	UeLocation     string `json:"ueLocation"`
+	SmCtxStatusURI string `json:"smContextStatusUri"`
+	GnbTunnelAddr  string `json:"gnbTunnelAddr"`
+	GnbTunnelTEID  uint32 `json:"gnbTunnelTeid"`
+}
+
+// Schema implements codec.Message.
+func (m *SmContextCreateRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.Pei},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.Gpsi},
+		{Tag: 4, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 5, Kind: codec.KindString, Ptr: &m.Dnn},
+		{Tag: 6, Kind: codec.KindUint32, Ptr: &m.Sst},
+		{Tag: 7, Kind: codec.KindString, Ptr: &m.Sd},
+		{Tag: 8, Kind: codec.KindString, Ptr: &m.ServingNfID},
+		{Tag: 9, Kind: codec.KindString, Ptr: &m.Guami},
+		{Tag: 10, Kind: codec.KindString, Ptr: &m.ServingNetwork},
+		{Tag: 11, Kind: codec.KindString, Ptr: &m.RequestType},
+		{Tag: 12, Kind: codec.KindBytes, Ptr: &m.N1SmMsg},
+		{Tag: 13, Kind: codec.KindString, Ptr: &m.AnType},
+		{Tag: 14, Kind: codec.KindString, Ptr: &m.RatType},
+		{Tag: 15, Kind: codec.KindString, Ptr: &m.UeLocation},
+		{Tag: 16, Kind: codec.KindString, Ptr: &m.SmCtxStatusURI},
+		{Tag: 17, Kind: codec.KindString, Ptr: &m.GnbTunnelAddr},
+		{Tag: 18, Kind: codec.KindUint32, Ptr: &m.GnbTunnelTEID},
+	}
+}
+
+// SmContextCreateResponse returns the created SM context.
+type SmContextCreateResponse struct {
+	SmContextRef string `json:"smContextRef"`
+	Status       uint32 `json:"status"`
+	UeIPv4       string `json:"ueIpv4"`
+	UpfTEID      uint32 `json:"upfTeid"`
+	UpfAddr      string `json:"upfAddr"`
+	N2SmInfo     []byte `json:"n2SmInfo"` // NGAP PDU Session Resource Setup
+}
+
+// Schema implements codec.Message.
+func (m *SmContextCreateResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.SmContextRef},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Status},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.UeIPv4},
+		{Tag: 4, Kind: codec.KindUint32, Ptr: &m.UpfTEID},
+		{Tag: 5, Kind: codec.KindString, Ptr: &m.UpfAddr},
+		{Tag: 6, Kind: codec.KindBytes, Ptr: &m.N2SmInfo},
+	}
+}
+
+// SmContextUpdateRequest updates an SM context: handover path switch,
+// idle/active transitions, gNB tunnel changes.
+type SmContextUpdateRequest struct {
+	SmContextRef   string `json:"smContextRef"`
+	UpCnxState     string `json:"upCnxState,omitempty"` // ACTIVATED / DEACTIVATED
+	HoState        string `json:"hoState,omitempty"`    // PREPARING / PREPARED / COMPLETED
+	TargetGnbAddr  string `json:"targetGnbAddr,omitempty"`
+	TargetGnbTEID  uint32 `json:"targetGnbTeid,omitempty"`
+	DataForwarding bool   `json:"dataForwarding,omitempty"` // request 5GC buffering (smart buffering)
+	Release        bool   `json:"release,omitempty"`
+	N2SmInfo       []byte `json:"n2SmInfo,omitempty"`
+}
+
+// Schema implements codec.Message.
+func (m *SmContextUpdateRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.SmContextRef},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.UpCnxState},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.HoState},
+		{Tag: 4, Kind: codec.KindString, Ptr: &m.TargetGnbAddr},
+		{Tag: 5, Kind: codec.KindUint32, Ptr: &m.TargetGnbTEID},
+		{Tag: 6, Kind: codec.KindBool, Ptr: &m.DataForwarding},
+		{Tag: 7, Kind: codec.KindBool, Ptr: &m.Release},
+		{Tag: 8, Kind: codec.KindBytes, Ptr: &m.N2SmInfo},
+	}
+}
+
+// SmContextUpdateResponse acknowledges an SM context update.
+type SmContextUpdateResponse struct {
+	Status   uint32 `json:"status"`
+	HoState  string `json:"hoState,omitempty"`
+	N2SmInfo []byte `json:"n2SmInfo,omitempty"`
+}
+
+// Schema implements codec.Message.
+func (m *SmContextUpdateResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Status},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.HoState},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.N2SmInfo},
+	}
+}
+
+// SmContextReleaseRequest tears down an SM context.
+type SmContextReleaseRequest struct {
+	SmContextRef string `json:"smContextRef"`
+	Cause        string `json:"cause,omitempty"`
+}
+
+// Schema implements codec.Message.
+func (m *SmContextReleaseRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.SmContextRef},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.Cause},
+	}
+}
+
+// SmContextReleaseResponse acknowledges release.
+type SmContextReleaseResponse struct {
+	Status uint32 `json:"status"`
+}
+
+// Schema implements codec.Message.
+func (m *SmContextReleaseResponse) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Status}}
+}
+
+// --- Policy (AMF/SMF -> PCF) ---
+
+// AMPolicyCreateRequest creates an access-and-mobility policy association.
+type AMPolicyCreateRequest struct {
+	Supi    string `json:"supi"`
+	Guami   string `json:"guami"`
+	RatType string `json:"ratType"`
+}
+
+// Schema implements codec.Message.
+func (m *AMPolicyCreateRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.Guami},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.RatType},
+	}
+}
+
+// AMPolicyCreateResponse returns the AM policy.
+type AMPolicyCreateResponse struct {
+	PolicyID string `json:"policyId"`
+	Rfsp     uint32 `json:"rfspIndex"`
+}
+
+// Schema implements codec.Message.
+func (m *AMPolicyCreateResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.PolicyID},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Rfsp},
+	}
+}
+
+// SMPolicyCreateRequest creates a session-management policy association.
+type SMPolicyCreateRequest struct {
+	Supi         string `json:"supi"`
+	PduSessionID uint32 `json:"pduSessionId"`
+	Dnn          string `json:"dnn"`
+	Sst          uint32 `json:"sst"`
+	Sd           string `json:"sd"`
+}
+
+// Schema implements codec.Message.
+func (m *SMPolicyCreateRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.Dnn},
+		{Tag: 4, Kind: codec.KindUint32, Ptr: &m.Sst},
+		{Tag: 5, Kind: codec.KindString, Ptr: &m.Sd},
+	}
+}
+
+// SMPolicyCreateResponse returns session policy rules (PCC rules condensed
+// to the fields the SMF turns into QERs).
+type SMPolicyCreateResponse struct {
+	PolicyID   string `json:"policyId"`
+	SessRuleID string `json:"sessRuleId"`
+	MbrUL      uint64 `json:"mbrUl"`
+	MbrDL      uint64 `json:"mbrDl"`
+	Default5QI uint32 `json:"default5qi"`
+}
+
+// Schema implements codec.Message.
+func (m *SMPolicyCreateResponse) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.PolicyID},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.SessRuleID},
+		{Tag: 3, Kind: codec.KindUint64, Ptr: &m.MbrUL},
+		{Tag: 4, Kind: codec.KindUint64, Ptr: &m.MbrDL},
+		{Tag: 5, Kind: codec.KindUint32, Ptr: &m.Default5QI},
+	}
+}
+
+// --- NRF (registration / discovery) ---
+
+// NFRegisterRequest registers an NF instance with the NRF.
+type NFRegisterRequest struct {
+	NfInstanceID string `json:"nfInstanceId"`
+	NfType       string `json:"nfType"`
+	Addr         string `json:"addr"`
+}
+
+// Schema implements codec.Message.
+func (m *NFRegisterRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.NfInstanceID},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.NfType},
+		{Tag: 3, Kind: codec.KindString, Ptr: &m.Addr},
+	}
+}
+
+// NFRegisterResponse acknowledges NF registration.
+type NFRegisterResponse struct {
+	HeartbeatTimer uint32 `json:"heartBeatTimer"`
+}
+
+// Schema implements codec.Message.
+func (m *NFRegisterResponse) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindUint32, Ptr: &m.HeartbeatTimer}}
+}
+
+// NFDiscoveryRequest searches for NF instances by type.
+type NFDiscoveryRequest struct {
+	TargetNfType    string `json:"target-nf-type"`
+	RequesterNfType string `json:"requester-nf-type"`
+}
+
+// Schema implements codec.Message.
+func (m *NFDiscoveryRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.TargetNfType},
+		{Tag: 2, Kind: codec.KindString, Ptr: &m.RequesterNfType},
+	}
+}
+
+// NFDiscoveryResponse lists matching instances (comma-separated addrs).
+type NFDiscoveryResponse struct {
+	Addrs string `json:"addrs"`
+}
+
+// Schema implements codec.Message.
+func (m *NFDiscoveryResponse) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Addrs}}
+}
+
+// --- AMF communication ---
+
+// N1N2MessageTransferRequest delivers N1 (NAS) / N2 (NGAP) payloads toward
+// a UE via its serving AMF — used by the SMF to push paging triggers and
+// session resource commands.
+type N1N2MessageTransferRequest struct {
+	Supi         string `json:"supi"`
+	PduSessionID uint32 `json:"pduSessionId"`
+	N1Msg        []byte `json:"n1MessageContainer,omitempty"`
+	N2Msg        []byte `json:"n2InfoContainer,omitempty"`
+	Arp          uint32 `json:"arp,omitempty"`
+}
+
+// Schema implements codec.Message.
+func (m *N1N2MessageTransferRequest) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindString, Ptr: &m.Supi},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.N1Msg},
+		{Tag: 4, Kind: codec.KindBytes, Ptr: &m.N2Msg},
+		{Tag: 5, Kind: codec.KindUint32, Ptr: &m.Arp},
+	}
+}
+
+// N1N2MessageTransferResponse acknowledges the transfer.
+type N1N2MessageTransferResponse struct {
+	Cause string `json:"cause"`
+}
+
+// Schema implements codec.Message.
+func (m *N1N2MessageTransferResponse) Schema() []codec.Field {
+	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Cause}}
+}

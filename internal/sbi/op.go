@@ -1,0 +1,195 @@
+// Package sbi implements the 5GC Service Based Interface: the operation
+// catalogue and message models (mirroring the OpenAPI-generated free5GC
+// models), an HTTP/REST transport over kernel TCP sockets (the free5GC
+// baseline), and a shared-memory transport that passes message structs by
+// pointer through descriptor mailboxes (the L²5GC replacement, paper §3.2).
+package sbi
+
+import (
+	"errors"
+	"fmt"
+
+	"l25gc/internal/codec"
+)
+
+// OpID identifies one SBI operation (service + method).
+type OpID uint16
+
+// SBI operations used by the 5GC control-plane procedures.
+const (
+	OpInvalid OpID = iota
+
+	// AUSF: Nausf_UEAuthentication
+	OpUEAuthenticationsPost
+	OpUEAuthenticationsConfirm
+
+	// UDM: Nudm_UEAuthentication / Nudm_SDM / Nudm_UECM
+	OpGenerateAuthData
+	OpGetAMSubscriptionData
+	OpGetSMSubscriptionData
+	OpRegisterAMF3GPPAccess
+
+	// SMF: Nsmf_PDUSession
+	OpPostSmContexts
+	OpUpdateSmContext
+	OpReleaseSmContext
+
+	// PCF: Npcf_AMPolicy / Npcf_SMPolicy
+	OpAMPolicyCreate
+	OpSMPolicyCreate
+
+	// NRF: Nnrf_NFManagement / Nnrf_NFDiscovery
+	OpNFRegister
+	OpNFDiscover
+
+	// UDR: Nudr_DataRepository
+	OpQuerySubscriberData
+
+	// AMF: Namf_Communication (N2 messaging toward AMF peers)
+	OpN1N2MessageTransfer
+)
+
+// opInfo carries per-operation metadata: the REST path used by the HTTP
+// transport and factories for the request/response models.
+type opInfo struct {
+	name    string
+	path    string
+	newReq  func() codec.Message
+	newResp func() codec.Message
+}
+
+var opTable = map[OpID]opInfo{
+	OpUEAuthenticationsPost: {
+		"Nausf_UEAuthentications_Post", "/nausf-auth/v1/ue-authentications",
+		func() codec.Message { return &AuthenticationRequest{} },
+		func() codec.Message { return &AuthenticationResponse{} },
+	},
+	OpUEAuthenticationsConfirm: {
+		"Nausf_UEAuthentications_Confirm", "/nausf-auth/v1/ue-authentications/confirm",
+		func() codec.Message { return &AuthConfirmRequest{} },
+		func() codec.Message { return &AuthConfirmResponse{} },
+	},
+	OpGenerateAuthData: {
+		"Nudm_GenerateAuthData", "/nudm-ueau/v1/generate-auth-data",
+		func() codec.Message { return &AuthInfoRequest{} },
+		func() codec.Message { return &AuthInfoResponse{} },
+	},
+	OpGetAMSubscriptionData: {
+		"Nudm_SDM_GetAMData", "/nudm-sdm/v1/am-data",
+		func() codec.Message { return &SubscriptionDataRequest{} },
+		func() codec.Message { return &AMSubscriptionData{} },
+	},
+	OpGetSMSubscriptionData: {
+		"Nudm_SDM_GetSMData", "/nudm-sdm/v1/sm-data",
+		func() codec.Message { return &SubscriptionDataRequest{} },
+		func() codec.Message { return &SMSubscriptionData{} },
+	},
+	OpRegisterAMF3GPPAccess: {
+		"Nudm_UECM_RegisterAMF", "/nudm-uecm/v1/registrations/amf-3gpp-access",
+		func() codec.Message { return &AMFRegistrationRequest{} },
+		func() codec.Message { return &AMFRegistrationResponse{} },
+	},
+	OpPostSmContexts: {
+		"Nsmf_PDUSession_PostSmContexts", "/nsmf-pdusession/v1/sm-contexts",
+		func() codec.Message { return &SmContextCreateRequest{} },
+		func() codec.Message { return &SmContextCreateResponse{} },
+	},
+	OpUpdateSmContext: {
+		"Nsmf_PDUSession_UpdateSmContext", "/nsmf-pdusession/v1/sm-contexts/update",
+		func() codec.Message { return &SmContextUpdateRequest{} },
+		func() codec.Message { return &SmContextUpdateResponse{} },
+	},
+	OpReleaseSmContext: {
+		"Nsmf_PDUSession_ReleaseSmContext", "/nsmf-pdusession/v1/sm-contexts/release",
+		func() codec.Message { return &SmContextReleaseRequest{} },
+		func() codec.Message { return &SmContextReleaseResponse{} },
+	},
+	OpAMPolicyCreate: {
+		"Npcf_AMPolicyControl_Create", "/npcf-am-policy-control/v1/policies",
+		func() codec.Message { return &AMPolicyCreateRequest{} },
+		func() codec.Message { return &AMPolicyCreateResponse{} },
+	},
+	OpSMPolicyCreate: {
+		"Npcf_SMPolicyControl_Create", "/npcf-smpolicycontrol/v1/sm-policies",
+		func() codec.Message { return &SMPolicyCreateRequest{} },
+		func() codec.Message { return &SMPolicyCreateResponse{} },
+	},
+	OpNFRegister: {
+		"Nnrf_NFManagement_Register", "/nnrf-nfm/v1/nf-instances",
+		func() codec.Message { return &NFRegisterRequest{} },
+		func() codec.Message { return &NFRegisterResponse{} },
+	},
+	OpNFDiscover: {
+		"Nnrf_NFDiscovery_Search", "/nnrf-disc/v1/nf-instances",
+		func() codec.Message { return &NFDiscoveryRequest{} },
+		func() codec.Message { return &NFDiscoveryResponse{} },
+	},
+	OpQuerySubscriberData: {
+		"Nudr_DR_Query", "/nudr-dr/v1/subscription-data",
+		func() codec.Message { return &SubscriptionDataRequest{} },
+		func() codec.Message { return &SubscriberRecord{} },
+	},
+	OpN1N2MessageTransfer: {
+		"Namf_Communication_N1N2MessageTransfer", "/namf-comm/v1/ue-contexts/n1-n2-messages",
+		func() codec.Message { return &N1N2MessageTransferRequest{} },
+		func() codec.Message { return &N1N2MessageTransferResponse{} },
+	},
+}
+
+// Name returns the 3GPP-style operation name.
+func (o OpID) Name() string {
+	if i, ok := opTable[o]; ok {
+		return i.name
+	}
+	return fmt.Sprintf("Op(%d)", o)
+}
+
+// Path returns the REST path for the HTTP transport.
+func (o OpID) Path() string {
+	if i, ok := opTable[o]; ok {
+		return i.path
+	}
+	return ""
+}
+
+// NewRequest allocates the request model for the operation.
+func (o OpID) NewRequest() codec.Message {
+	if i, ok := opTable[o]; ok {
+		return i.newReq()
+	}
+	return nil
+}
+
+// NewResponse allocates the response model for the operation.
+func (o OpID) NewResponse() codec.Message {
+	if i, ok := opTable[o]; ok {
+		return i.newResp()
+	}
+	return nil
+}
+
+// Ops returns every defined operation, for exhaustive tests.
+func Ops() []OpID {
+	out := make([]OpID, 0, len(opTable))
+	for o := range opTable {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Handler processes an SBI request addressed to a producer NF.
+type Handler func(op OpID, req codec.Message) (codec.Message, error)
+
+// Conn is a consumer-side connection to one producer NF.
+type Conn interface {
+	// Invoke performs one request/response exchange.
+	Invoke(op OpID, req codec.Message) (codec.Message, error)
+	Close() error
+}
+
+// Errors shared by the transports.
+var (
+	ErrNoHandler = errors.New("sbi: no handler installed")
+	ErrBadOp     = errors.New("sbi: unknown operation")
+	ErrStatus    = errors.New("sbi: non-2xx response")
+)

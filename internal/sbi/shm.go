@@ -1,0 +1,127 @@
+package sbi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/shm"
+)
+
+// shmFrame is the descriptor passed through the mailbox: the message struct
+// travels by pointer, which is the zero-serialization SBI of L²5GC.
+type shmFrame struct {
+	op     OpID
+	seq    uint32
+	isResp bool
+	err    string
+	msg    codec.Message
+}
+
+// ShmServer is the producer side of the shared-memory SBI.
+type ShmServer struct {
+	handler Handler
+	in      *shm.Mailbox[shmFrame]
+	replyTo *shm.Mailbox[shmFrame]
+	once    sync.Once
+}
+
+// ShmConn is the consumer side of the shared-memory SBI.
+type ShmConn struct {
+	out *shm.Mailbox[shmFrame]
+	in  *shm.Mailbox[shmFrame]
+	seq atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan shmFrame
+
+	once sync.Once
+}
+
+// NewShmPair wires a consumer connection to a producer server through two
+// descriptor mailboxes of the given capacity.
+func NewShmPair(ringSize int, h Handler) (*ShmConn, *ShmServer) {
+	toSrv := shm.NewMailbox[shmFrame](ringSize)
+	toCli := shm.NewMailbox[shmFrame](ringSize)
+	srv := &ShmServer{handler: h, in: toSrv, replyTo: toCli}
+	cli := &ShmConn{out: toSrv, in: toCli, pending: make(map[uint32]chan shmFrame)}
+	go srv.loop()
+	go cli.loop()
+	return cli, srv
+}
+
+func (s *ShmServer) loop() {
+	for {
+		f, ok := s.in.Recv()
+		if !ok {
+			return
+		}
+		resp, err := s.handler(f.op, f.msg)
+		rf := shmFrame{op: f.op, seq: f.seq, isResp: true, msg: resp}
+		if err != nil {
+			rf.err = err.Error()
+		}
+		s.replyTo.Send(rf)
+	}
+}
+
+// Close shuts the producer down.
+func (s *ShmServer) Close() error {
+	s.once.Do(func() {
+		s.in.Close()
+		s.replyTo.Close()
+	})
+	return nil
+}
+
+func (c *ShmConn) loop() {
+	for {
+		f, ok := c.in.Recv()
+		if !ok {
+			return
+		}
+		if !f.isResp {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[f.seq]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// Invoke implements Conn.
+func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
+	seq := c.seq.Add(1)
+	ch := make(chan shmFrame, 1)
+	c.mu.Lock()
+	c.pending[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+	}()
+	if err := c.out.Send(shmFrame{op: op, seq: seq, msg: req}); err != nil {
+		return nil, err
+	}
+	select {
+	case f := <-ch:
+		if f.err != "" {
+			return nil, fmt.Errorf("sbi: producer error: %s", f.err)
+		}
+		return f.msg, nil
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("sbi: shm invoke %s timed out", op.Name())
+	}
+}
+
+// Close implements Conn.
+func (c *ShmConn) Close() error {
+	c.once.Do(func() { c.in.Close() })
+	return nil
+}

@@ -1,0 +1,92 @@
+// Package shm provides the shared-memory message channel used for inter-NF
+// communication inside one L²5GC unit: a lock-free descriptor ring paired
+// with a doorbell so receivers sleep instead of busy-polling.
+//
+// Senders pass pointers — the receiving NF observes the same object with no
+// serialization, copy, or kernel crossing. This is the in-process analogue
+// of ONVM's shared hugepage rings that the paper's SBI and N4 replacements
+// are built on.
+package shm
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"l25gc/internal/ring"
+)
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("shm: mailbox closed")
+
+// ErrFull is returned by Send when the descriptor ring is full.
+var ErrFull = errors.New("shm: ring full")
+
+// Mailbox is a multi-producer single-consumer message channel.
+type Mailbox[T any] struct {
+	r      *ring.MPSC[T]
+	bell   chan struct{}
+	closed atomic.Bool
+}
+
+// NewMailbox creates a mailbox with ring capacity n.
+func NewMailbox[T any](n int) *Mailbox[T] {
+	return &Mailbox[T]{
+		r:    ring.NewMPSC[T](n),
+		bell: make(chan struct{}, 1),
+	}
+}
+
+// Send enqueues v and rings the doorbell. It never blocks.
+func (m *Mailbox[T]) Send(v T) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if !m.r.Enqueue(v) {
+		return ErrFull
+	}
+	select {
+	case m.bell <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Recv dequeues the next message, blocking until one arrives or the mailbox
+// closes. ok is false only after Close with the ring fully drained.
+func (m *Mailbox[T]) Recv() (v T, ok bool) {
+	for {
+		if v, ok = m.r.Dequeue(); ok {
+			return v, true
+		}
+		if m.closed.Load() {
+			// Drain anything racing with Close.
+			if v, ok = m.r.Dequeue(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		<-m.bell
+		if m.closed.Load() {
+			// Woken by Close: drain and report closure on the next loop.
+			continue
+		}
+	}
+}
+
+// TryRecv dequeues without blocking.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) { return m.r.Dequeue() }
+
+// Len reports the approximate queue depth.
+func (m *Mailbox[T]) Len() int { return m.r.Len() }
+
+// Close marks the mailbox closed and wakes any blocked receiver. The bell
+// channel is never closed (a racing Send may still ring it); the receiver
+// is woken with a token instead.
+func (m *Mailbox[T]) Close() {
+	if m.closed.CompareAndSwap(false, true) {
+		select {
+		case m.bell <- struct{}{}:
+		default:
+		}
+	}
+}

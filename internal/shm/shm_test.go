@@ -1,0 +1,131 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMailboxSendRecv(t *testing.T) {
+	m := NewMailbox[int](8)
+	if err := m.Send(42); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Recv()
+	if !ok || v != 42 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+}
+
+func TestMailboxBlockingRecv(t *testing.T) {
+	m := NewMailbox[string](4)
+	done := make(chan string, 1)
+	go func() {
+		v, _ := m.Recv()
+		done <- v
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Send("wake")
+	select {
+	case v := <-done:
+		if v != "wake" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never woke")
+	}
+}
+
+func TestMailboxFull(t *testing.T) {
+	m := NewMailbox[int](2)
+	m.Send(1)
+	m.Send(2)
+	if err := m.Send(3); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	m := NewMailbox[int](4)
+	m.Send(1)
+	m.Close()
+	if err := m.Send(2); err != ErrClosed {
+		t.Fatalf("Send after Close = %v", err)
+	}
+	// Queued message still drains.
+	if v, ok := m.Recv(); !ok || v != 1 {
+		t.Fatalf("drain got %d,%v", v, ok)
+	}
+	if _, ok := m.Recv(); ok {
+		t.Fatal("Recv after drain should report closed")
+	}
+	m.Close() // idempotent
+}
+
+func TestMailboxCloseWakesReceiver(t *testing.T) {
+	m := NewMailbox[int](4)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := m.Recv()
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv on closed empty mailbox should return ok=false")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never returned after Close")
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	m := NewMailbox[int](4)
+	if _, ok := m.TryRecv(); ok {
+		t.Fatal("TryRecv on empty should fail")
+	}
+	m.Send(7)
+	if v, ok := m.TryRecv(); !ok || v != 7 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+}
+
+func TestMailboxManyProducers(t *testing.T) {
+	const producers, per = 4, 500
+	m := NewMailbox[int](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for m.Send(p*per+i) == ErrFull {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]bool)
+	for len(seen) < producers*per {
+		v, ok := m.Recv()
+		if !ok {
+			t.Fatal("mailbox closed unexpectedly")
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	wg.Wait()
+}
+
+func BenchmarkMailboxRoundTrip(b *testing.B) {
+	m := NewMailbox[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Send(i)
+		m.Recv()
+	}
+}

@@ -1,0 +1,330 @@
+// Package upf implements the 5GC User Plane Function, factored — as in
+// L²5GC §3.2 — into a control-plane part (UPF-C, the PFCP session handler)
+// and a user-plane part (UPF-U, the per-packet fast path). Both parts
+// reference the same session state in memory, so a rule installed by UPF-C
+// is visible to UPF-U with no state-propagation messages: the paper's
+// "zero cost state update".
+//
+// The UPF-U implements the paper's smart buffering (§3.3): DL packets are
+// parked in per-session queues during paging and handover, with in-order
+// release toward the (new) gNB, replacing 3GPP's hairpin routing through
+// the source gNB.
+package upf
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"l25gc/internal/classifier"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/pktbuf"
+	"l25gc/internal/rules"
+)
+
+// Errors returned by session management.
+var (
+	ErrSessionExists   = errors.New("upf: session already exists")
+	ErrSessionNotFound = errors.New("upf: session not found")
+	ErrRuleNotFound    = errors.New("upf: rule not found")
+)
+
+// DefaultBufferCap is the default per-session DL buffer (the paper's
+// experiments use a 3K-packet buffer at the UPF).
+const DefaultBufferCap = 3000
+
+// tokenBucket enforces a QER maximum bit rate.
+type tokenBucket struct {
+	rateBps   float64 // bits per second; 0 = unlimited
+	burstBits float64
+	tokens    float64
+	lastNano  int64
+}
+
+func (tb *tokenBucket) configure(kbps uint64) {
+	tb.rateBps = float64(kbps) * 1000
+	tb.burstBits = tb.rateBps / 10 // 100 ms burst
+	tb.tokens = tb.burstBits
+}
+
+// allow consumes bits for a packet at time nowNano, returning false when
+// the MBR is exceeded.
+func (tb *tokenBucket) allow(bits int, nowNano int64) bool {
+	if tb.rateBps == 0 {
+		return true
+	}
+	if tb.lastNano != 0 {
+		tb.tokens += tb.rateBps * float64(nowNano-tb.lastNano) / 1e9
+		if tb.tokens > tb.burstBits {
+			tb.tokens = tb.burstBits
+		}
+	}
+	tb.lastNano = nowNano
+	if tb.tokens < float64(bits) {
+		return false
+	}
+	tb.tokens -= float64(bits)
+	return true
+}
+
+// SessCtx is the per-PDU-session state shared by UPF-C and UPF-U.
+type SessCtx struct {
+	mu sync.Mutex
+
+	// rulesMu guards Sess's rule maps and Cls: the fast path holds the
+	// read side per packet (uncontended in steady state), UPF-C holds the
+	// write side for rule updates — the Go-memory-model-safe rendering of
+	// the paper's shared-hugepage rule store.
+	rulesMu sync.RWMutex
+
+	Sess      *rules.Session
+	Cls       classifier.Classifier
+	LocalTEID uint32 // UL F-TEID this UPF allocated
+	UPSEID    uint64
+
+	// Smart buffering state.
+	buffer   []*pktbuf.Buf
+	bufCap   int
+	nocpSent bool // one SessionReport per buffering episode
+
+	ulBucket tokenBucket
+	dlBucket tokenBucket
+
+	// Counters (exported snapshots via Stats).
+	ulPkts, dlPkts atomic.Uint64
+	bufferedPkts   atomic.Uint64
+	bufDroppedPkts atomic.Uint64
+	releasedPkts   atomic.Uint64
+}
+
+// SessStats is a snapshot of per-session counters.
+type SessStats struct {
+	ULPkts, DLPkts uint64
+	Buffered       uint64
+	BufferDropped  uint64
+	Released       uint64
+	QueueLen       int
+}
+
+// Stats returns the session counter snapshot.
+func (c *SessCtx) Stats() SessStats {
+	c.mu.Lock()
+	q := len(c.buffer)
+	c.mu.Unlock()
+	return SessStats{
+		ULPkts: c.ulPkts.Load(), DLPkts: c.dlPkts.Load(),
+		Buffered: c.bufferedPkts.Load(), BufferDropped: c.bufDroppedPkts.Load(),
+		Released: c.releasedPkts.Load(), QueueLen: q,
+	}
+}
+
+// park appends a DL packet to the session buffer, honouring the cap.
+func (c *SessCtx) Park(buf *pktbuf.Buf) (stored bool, firstOfEpisode bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := !c.nocpSent
+	c.nocpSent = true
+	if len(c.buffer) >= c.bufCap {
+		c.bufDroppedPkts.Add(1)
+		return false, first
+	}
+	c.buffer = append(c.buffer, buf)
+	c.bufferedPkts.Add(1)
+	return true, first
+}
+
+// drain removes all parked packets in arrival order and resets the
+// buffering episode.
+func (c *SessCtx) Drain() []*pktbuf.Buf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.buffer
+	c.buffer = nil
+	c.nocpSent = false
+	c.releasedPkts.Add(uint64(len(out)))
+	return out
+}
+
+// Match resolves a packet to its PDR and FAR under the rules read lock.
+func (c *SessCtx) Match(k *classifier.Key) (*rules.PDR, *rules.FAR) {
+	c.rulesMu.RLock()
+	defer c.rulesMu.RUnlock()
+	pdr := c.Cls.Lookup(k)
+	if pdr == nil {
+		return nil, nil
+	}
+	return pdr, c.Sess.FAR(pdr.FARID)
+}
+
+// UpdateRules runs fn with exclusive access to the session's rule state
+// (UPF-C side of the shared store).
+func (c *SessCtx) UpdateRules(fn func()) {
+	c.rulesMu.Lock()
+	defer c.rulesMu.Unlock()
+	fn()
+}
+
+// State is the UPF session store shared by UPF-C and UPF-U. The two hash
+// tables mirror the paper's design: UL traffic resolves sessions by TEID,
+// DL traffic by UE IP (§3.2, "zero cost state update").
+type State struct {
+	mu     sync.RWMutex
+	ul     map[uint32]*SessCtx   // TEID -> session
+	dl     map[pkt.Addr]*SessCtx // UE IP -> session
+	bySEID map[uint64]*SessCtx   // CP SEID -> session
+
+	clsAlgo  string
+	bufCap   int
+	teidNext atomic.Uint32
+	seidNext atomic.Uint64
+}
+
+// NewState creates a session store using the given classifier algorithm
+// ("ll", "tss" or "ps" — L²5GC ships with "ps").
+func NewState(clsAlgo string, bufCap int) *State {
+	if bufCap <= 0 {
+		bufCap = DefaultBufferCap
+	}
+	s := &State{
+		ul:      make(map[uint32]*SessCtx),
+		dl:      make(map[pkt.Addr]*SessCtx),
+		bySEID:  make(map[uint64]*SessCtx),
+		clsAlgo: clsAlgo,
+		bufCap:  bufCap,
+	}
+	s.teidNext.Store(0x1000)
+	s.seidNext.Store(0x9000)
+	return s
+}
+
+// AllocTEID returns a fresh local tunnel endpoint ID.
+func (s *State) AllocTEID() uint32 { return s.teidNext.Add(1) }
+
+// CreateSession installs a new session keyed by the CP SEID.
+func (s *State) CreateSession(cpSEID uint64, ueIP pkt.Addr) (*SessCtx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bySEID[cpSEID]; ok {
+		return nil, ErrSessionExists
+	}
+	ctx := &SessCtx{
+		Sess:   rules.NewSession(cpSEID, ueIP),
+		Cls:    classifier.New(s.clsAlgo),
+		UPSEID: s.seidNext.Add(1),
+		bufCap: s.bufCap,
+	}
+	s.bySEID[cpSEID] = ctx
+	if ueIP != (pkt.Addr{}) {
+		s.dl[ueIP] = ctx
+	}
+	return ctx, nil
+}
+
+// BindTEID indexes the session under a local UL TEID.
+func (s *State) BindTEID(teid uint32, ctx *SessCtx) {
+	s.mu.Lock()
+	s.ul[teid] = ctx
+	s.mu.Unlock()
+}
+
+// Session returns the session for a CP SEID.
+func (s *State) Session(cpSEID uint64) (*SessCtx, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.bySEID[cpSEID]
+	return c, ok
+}
+
+// ByTEID resolves an uplink session (N3 fast path).
+func (s *State) ByTEID(teid uint32) (*SessCtx, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.ul[teid]
+	return c, ok
+}
+
+// ByUEIP resolves a downlink session (N6 fast path).
+func (s *State) ByUEIP(ip pkt.Addr) (*SessCtx, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.dl[ip]
+	return c, ok
+}
+
+// DeleteSession removes a session and all its indexes.
+func (s *State) DeleteSession(cpSEID uint64) (*SessCtx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx, ok := s.bySEID[cpSEID]
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	delete(s.bySEID, cpSEID)
+	if ctx.Sess.UEIP != (pkt.Addr{}) {
+		delete(s.dl, ctx.Sess.UEIP)
+	}
+	for teid, c := range s.ul {
+		if c == ctx {
+			delete(s.ul, teid)
+		}
+	}
+	return ctx, nil
+}
+
+// Sessions returns the number of installed sessions.
+func (s *State) Sessions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bySEID)
+}
+
+// Export returns, for every installed session, the PFCP establishment
+// request that would recreate it — the state-serialization format of the
+// resiliency framework (a checkpoint is "the messages that rebuild me").
+func (s *State) Export() []*pfcp.SessionEstablishmentRequest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*pfcp.SessionEstablishmentRequest, 0, len(s.bySEID))
+	for seid, ctx := range s.bySEID {
+		req := &pfcp.SessionEstablishmentRequest{
+			NodeID: "checkpoint", CPSEID: seid, UEIP: ctx.Sess.UEIP,
+		}
+		for _, p := range ctx.Sess.PDRs {
+			cp := *p
+			req.CreatePDRs = append(req.CreatePDRs, &cp)
+		}
+		for _, f := range ctx.Sess.FARs {
+			cf := *f
+			req.CreateFARs = append(req.CreateFARs, &cf)
+		}
+		for _, q := range ctx.Sess.QERs {
+			cq := *q
+			req.CreateQERs = append(req.CreateQERs, &cq)
+		}
+		for _, b := range ctx.Sess.BARs {
+			cb := *b
+			req.CreateBARs = append(req.CreateBARs, &cb)
+		}
+		out = append(out, req)
+	}
+	return out
+}
+
+// Reset removes every session, releasing any buffered packets.
+func (s *State) Reset() {
+	s.mu.Lock()
+	ctxs := make([]*SessCtx, 0, len(s.bySEID))
+	for _, c := range s.bySEID {
+		ctxs = append(ctxs, c)
+	}
+	s.bySEID = make(map[uint64]*SessCtx)
+	s.ul = make(map[uint32]*SessCtx)
+	s.dl = make(map[pkt.Addr]*SessCtx)
+	s.mu.Unlock()
+	for _, c := range ctxs {
+		for _, b := range c.Drain() {
+			b.Release()
+		}
+	}
+}

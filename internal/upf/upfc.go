@@ -1,0 +1,202 @@
+package upf
+
+import (
+	"fmt"
+	"sync"
+
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+)
+
+// UPFC is the UPF control-plane component: it terminates the N4 (PFCP)
+// association and translates session management messages into the shared
+// session state that UPF-U forwards from.
+type UPFC struct {
+	state *State
+	n3IP  pkt.Addr // local N3 address advertised in F-TEIDs
+	ep    pfcp.Endpoint
+
+	mu     sync.Mutex
+	drains []func(*SessCtx) // buffer-release hooks installed by UPF-U
+}
+
+// NewUPFC creates the control part over the shared state. ep is the N4
+// endpoint toward the SMF (UDP in free5GC mode, shared memory in L²5GC
+// mode); it may be nil for tests that drive the handler directly.
+func NewUPFC(state *State, n3IP pkt.Addr, ep pfcp.Endpoint) *UPFC {
+	c := &UPFC{state: state, n3IP: n3IP, ep: ep}
+	if ep != nil {
+		ep.SetHandler(c.Handle)
+	}
+	return c
+}
+
+// OnDrain registers a hook invoked when a session's buffer must be
+// released (FAR flipped from buffer to forward). UPF-U registers its
+// emit-path here.
+func (c *UPFC) OnDrain(fn func(*SessCtx)) {
+	c.mu.Lock()
+	c.drains = append(c.drains, fn)
+	c.mu.Unlock()
+}
+
+func (c *UPFC) fireDrain(ctx *SessCtx) {
+	c.mu.Lock()
+	hooks := append([]func(*SessCtx){}, c.drains...)
+	c.mu.Unlock()
+	for _, fn := range hooks {
+		fn(ctx)
+	}
+}
+
+// ReportDL sends a PFCP Session Report (DL data notification) toward the
+// SMF; this is the paging trigger. Called by UPF-U on the first buffered
+// packet of an episode.
+func (c *UPFC) ReportDL(ctx *SessCtx, pdrID uint32) error {
+	if c.ep == nil {
+		return nil
+	}
+	_, err := c.ep.Request(ctx.Sess.SEID, true, &pfcp.SessionReportRequest{
+		ReportType: pfcp.ReportDLDR,
+		PDRID:      pdrID,
+	})
+	return err
+}
+
+// Handle is the PFCP request handler (installed on the N4 endpoint).
+func (c *UPFC) Handle(seid uint64, req pfcp.Message) (pfcp.Message, error) {
+	switch m := req.(type) {
+	case *pfcp.HeartbeatRequest:
+		return &pfcp.HeartbeatResponse{RecoveryTimestamp: m.RecoveryTimestamp}, nil
+	case *pfcp.AssociationSetupRequest:
+		return &pfcp.AssociationSetupResponse{NodeID: "upf.l25gc", Cause: pfcp.CauseAccepted}, nil
+	case *pfcp.SessionEstablishmentRequest:
+		return c.establish(m)
+	case *pfcp.SessionModificationRequest:
+		return c.modify(seid, m)
+	case *pfcp.SessionDeletionRequest:
+		return c.delete(seid)
+	default:
+		return nil, fmt.Errorf("upfc: unsupported message type %d", req.PFCPType())
+	}
+}
+
+func (c *UPFC) establish(m *pfcp.SessionEstablishmentRequest) (pfcp.Message, error) {
+	ctx, err := c.state.CreateSession(m.CPSEID, m.UEIP)
+	if err != nil {
+		return &pfcp.SessionEstablishmentResponse{Cause: pfcp.CauseRequestRejected}, nil
+	}
+	resp := &pfcp.SessionEstablishmentResponse{Cause: pfcp.CauseAccepted, UPSEID: ctx.UPSEID}
+	ctx.rulesMu.Lock()
+	defer ctx.rulesMu.Unlock()
+	for _, far := range m.CreateFARs {
+		f := *far
+		ctx.Sess.FARs[f.ID] = &f
+	}
+	for _, qer := range m.CreateQERs {
+		q := *qer
+		ctx.Sess.QERs[q.ID] = &q
+		ctx.ulBucket.configure(q.ULMbrKbps)
+		ctx.dlBucket.configure(q.DLMbrKbps)
+	}
+	for _, bar := range m.CreateBARs {
+		b := *bar
+		ctx.Sess.BARs[b.ID] = &b
+		if b.SuggestedPkts > 0 {
+			ctx.mu.Lock()
+			ctx.bufCap = int(b.SuggestedPkts)
+			ctx.mu.Unlock()
+		}
+	}
+	for _, pdr := range m.CreatePDRs {
+		p := *pdr
+		if p.PDI.HasTEID && p.PDI.TEID == 0 {
+			// CHOOSE flag: the UPF allocates the F-TEID and reports it.
+			p.PDI.TEID = c.state.AllocTEID()
+			p.PDI.TEIDAddr = c.n3IP
+			resp.CreatedPDRs = append(resp.CreatedPDRs, pfcp.CreatedPDR{
+				PDRID: p.ID, TEID: p.PDI.TEID, Addr: c.n3IP,
+			})
+		}
+		if p.PDI.HasTEID {
+			ctx.LocalTEID = p.PDI.TEID
+			c.state.BindTEID(p.PDI.TEID, ctx)
+		}
+		ctx.Sess.AddPDR(&p)
+		ctx.Cls.Insert(&p)
+	}
+	return resp, nil
+}
+
+func (c *UPFC) modify(seid uint64, m *pfcp.SessionModificationRequest) (pfcp.Message, error) {
+	ctx, ok := c.state.Session(seid)
+	if !ok {
+		return &pfcp.SessionModificationResponse{Cause: pfcp.CauseSessionNotFound}, nil
+	}
+	resp := &pfcp.SessionModificationResponse{Cause: pfcp.CauseAccepted}
+	ctx.rulesMu.Lock()
+	var startedForwarding bool
+	apply := func(far *rules.FAR) {
+		f := *far
+		old := ctx.Sess.FARs[f.ID]
+		ctx.Sess.FARs[f.ID] = &f
+		// Detect the buffer->forward flip that releases parked packets.
+		if old != nil && old.Action&rules.FARBuffer != 0 && f.Action&rules.FARForward != 0 {
+			startedForwarding = true
+		}
+	}
+	for _, far := range m.CreateFARs {
+		apply(far)
+	}
+	for _, far := range m.UpdateFARs {
+		apply(far)
+	}
+	for _, pdr := range m.CreatePDRs {
+		p := *pdr
+		if p.PDI.HasTEID && p.PDI.TEID == 0 {
+			p.PDI.TEID = c.state.AllocTEID()
+			p.PDI.TEIDAddr = c.n3IP
+			resp.CreatedPDRs = append(resp.CreatedPDRs, pfcp.CreatedPDR{
+				PDRID: p.ID, TEID: p.PDI.TEID, Addr: c.n3IP,
+			})
+		}
+		if p.PDI.HasTEID {
+			c.state.BindTEID(p.PDI.TEID, ctx)
+		}
+		ctx.Sess.AddPDR(&p)
+		ctx.Cls.Insert(&p)
+	}
+	for _, pdr := range m.UpdatePDRs {
+		p := *pdr
+		if p.PDI.HasTEID {
+			c.state.BindTEID(p.PDI.TEID, ctx)
+		}
+		ctx.Sess.AddPDR(&p)
+		ctx.Cls.Insert(&p)
+	}
+	for _, id := range m.RemovePDRs {
+		ctx.Sess.RemovePDR(id)
+		ctx.Cls.Remove(id)
+	}
+	for _, id := range m.RemoveFARs {
+		delete(ctx.Sess.FARs, id)
+	}
+	ctx.rulesMu.Unlock()
+	if startedForwarding {
+		c.fireDrain(ctx)
+	}
+	return resp, nil
+}
+
+func (c *UPFC) delete(seid uint64) (pfcp.Message, error) {
+	ctx, err := c.state.DeleteSession(seid)
+	if err != nil {
+		return &pfcp.SessionDeletionResponse{Cause: pfcp.CauseSessionNotFound}, nil
+	}
+	// Release anything still parked.
+	for _, b := range ctx.Drain() {
+		b.Release()
+	}
+	return &pfcp.SessionDeletionResponse{Cause: pfcp.CauseAccepted}, nil
+}

@@ -1,0 +1,249 @@
+package upf
+
+import (
+	"sync/atomic"
+	"time"
+
+	"l25gc/internal/classifier"
+	"l25gc/internal/gtp"
+	"l25gc/internal/onvm"
+	"l25gc/internal/pkt"
+	"l25gc/internal/pktbuf"
+	"l25gc/internal/rules"
+)
+
+// Port assignments on the NFV platform.
+const (
+	PortN3 onvm.PortID = 1 // toward gNB
+	PortN6 onvm.PortID = 2 // toward data network
+)
+
+// UStats is a snapshot of UPF-U counters.
+type UStats struct {
+	ULForwarded uint64
+	DLForwarded uint64
+	Buffered    uint64
+	Dropped     uint64
+	Misses      uint64 // no session / no matching PDR
+	RateDropped uint64 // QER MBR enforcement
+}
+
+// UPFU is the UPF fast path: session resolution by TEID (UL) or UE IP
+// (DL), PDR classification, QER enforcement and FAR execution.
+type UPFU struct {
+	state *State
+	upfc  *UPFC
+
+	// emit re-injects drained packets into the egress path; installed when
+	// the UPF-U attaches to a platform (or a kernel-path loop). Atomic:
+	// canary instances re-install it while drains may be running.
+	emit atomic.Pointer[func(*pktbuf.Buf)]
+
+	nowNano func() int64
+
+	ulFwd, dlFwd atomic.Uint64
+	buffered     atomic.Uint64
+	dropped      atomic.Uint64
+	misses       atomic.Uint64
+	rateDropped  atomic.Uint64
+}
+
+// NewUPFU creates the fast path over shared state. upfc may be nil when no
+// control plane is attached (pure forwarding benchmarks).
+func NewUPFU(state *State, upfc *UPFC) *UPFU {
+	u := &UPFU{state: state, upfc: upfc, nowNano: func() int64 { return time.Now().UnixNano() }}
+	if upfc != nil {
+		upfc.OnDrain(u.DrainSession)
+	}
+	return u
+}
+
+// SetEmit installs the egress function used when draining session buffers.
+func (u *UPFU) SetEmit(fn func(*pktbuf.Buf)) { u.emit.Store(&fn) }
+
+// Stats returns the counter snapshot.
+func (u *UPFU) Stats() UStats {
+	return UStats{
+		ULForwarded: u.ulFwd.Load(), DLForwarded: u.dlFwd.Load(),
+		Buffered: u.buffered.Load(), Dropped: u.dropped.Load(),
+		Misses: u.misses.Load(), RateDropped: u.rateDropped.Load(),
+	}
+}
+
+// Process runs the fast path on one packet buffer. scratch is the caller's
+// reusable parse state (one per goroutine, zero allocation). The return
+// value reports whether the descriptor was handed back with Meta set
+// (true) or ownership was retained — parked in a session buffer (false).
+func (u *UPFU) Process(buf *pktbuf.Buf, scratch *pkt.Parsed) bool {
+	if buf.Meta.Uplink {
+		return u.uplink(buf, scratch)
+	}
+	return u.downlink(buf, scratch)
+}
+
+func (u *UPFU) uplink(buf *pktbuf.Buf, scratch *pkt.Parsed) bool {
+	hdr, err := gtp.Decap(buf)
+	if err != nil || hdr.MsgType != gtp.MsgGPDU {
+		return u.drop(buf)
+	}
+	ctx, ok := u.state.ByTEID(hdr.TEID)
+	if !ok {
+		return u.miss(buf)
+	}
+	if err := scratch.ParseIPv4(buf.Bytes()); err != nil {
+		return u.drop(buf)
+	}
+	key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, TEID: hdr.TEID, FromAccess: true}
+	pdr, far := ctx.Match(&key)
+	if pdr == nil {
+		return u.miss(buf)
+	}
+	if far == nil || far.Action&rules.FARForward == 0 {
+		return u.drop(buf)
+	}
+	ctx.mu.Lock()
+	allowed := ctx.ulBucket.allow(buf.Len()*8, u.nowNano())
+	ctx.mu.Unlock()
+	if !allowed {
+		u.rateDropped.Add(1)
+		buf.Meta.Action = pktbuf.ActionDrop
+		return true
+	}
+	ctx.ulPkts.Add(1)
+	u.ulFwd.Add(1)
+	// OuterHeaderRemoval already happened via Decap; forward plain IP to N6.
+	buf.Meta.Action = pktbuf.ActionToPort
+	buf.Meta.Port = uint16(PortN6)
+	return true
+}
+
+func (u *UPFU) downlink(buf *pktbuf.Buf, scratch *pkt.Parsed) bool {
+	if err := scratch.ParseIPv4(buf.Bytes()); err != nil {
+		return u.drop(buf)
+	}
+	ctx, ok := u.state.ByUEIP(scratch.IP.Dst)
+	if !ok {
+		return u.miss(buf)
+	}
+	key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, FromAccess: false}
+	pdr, far := ctx.Match(&key)
+	if pdr == nil {
+		return u.miss(buf)
+	}
+	if far == nil {
+		return u.drop(buf)
+	}
+	if far.Action&rules.FARBuffer != 0 {
+		stored, first := ctx.Park(buf)
+		if first && far.Action&rules.FARNotifyCP != 0 && u.upfc != nil {
+			// Fire the paging trigger off the fast path.
+			go u.upfc.ReportDL(ctx, pdr.ID)
+		}
+		if !stored {
+			buf.Meta.Action = pktbuf.ActionDrop
+			u.dropped.Add(1)
+			return true
+		}
+		u.buffered.Add(1)
+		return false // ownership retained by the session buffer
+	}
+	if far.Action&rules.FARForward == 0 {
+		return u.drop(buf)
+	}
+	ctx.mu.Lock()
+	allowed := ctx.dlBucket.allow(buf.Len()*8, u.nowNano())
+	ctx.mu.Unlock()
+	if !allowed {
+		u.rateDropped.Add(1)
+		buf.Meta.Action = pktbuf.ActionDrop
+		return true
+	}
+	if err := u.encapTo(buf, pdr, far); err != nil {
+		return u.drop(buf)
+	}
+	ctx.dlPkts.Add(1)
+	u.dlFwd.Add(1)
+	return true
+}
+
+// encapTo applies the FAR's outer header creation and targets N3.
+func (u *UPFU) encapTo(buf *pktbuf.Buf, pdr *rules.PDR, far *rules.FAR) error {
+	if far.HasOuterHeader {
+		qfi := uint8(9)
+		if pdr.PDI.HasQFI {
+			qfi = pdr.PDI.QFI
+		}
+		if err := gtp.Encap(buf, far.OuterTEID, qfi, true); err != nil {
+			return err
+		}
+		buf.Meta.TEID = far.OuterTEID
+		buf.Meta.OuterIP = far.OuterAddr
+	}
+	buf.Meta.Action = pktbuf.ActionToPort
+	buf.Meta.Port = uint16(PortN3)
+	return nil
+}
+
+// DrainSession releases a session's parked packets in order through the
+// emit path, encapsulating each toward the session's *current* FAR target
+// (the target gNB after a handover). Installed as UPF-C's drain hook.
+func (u *UPFU) DrainSession(ctx *SessCtx) {
+	emitp := u.emit.Load()
+	if emitp == nil {
+		for _, b := range ctx.Drain() {
+			b.Release()
+		}
+		return
+	}
+	emit := *emitp
+	var scratch pkt.Parsed
+	for _, b := range ctx.Drain() {
+		if err := scratch.ParseIPv4(b.Bytes()); err != nil {
+			b.Release()
+			continue
+		}
+		key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, FromAccess: false}
+		pdr, far := ctx.Match(&key)
+		if pdr == nil || far == nil || far.Action&rules.FARForward == 0 {
+			b.Release()
+			continue
+		}
+		if err := u.encapTo(b, pdr, far); err != nil {
+			b.Release()
+			continue
+		}
+		ctx.dlPkts.Add(1)
+		u.dlFwd.Add(1)
+		emit(b)
+	}
+}
+
+func (u *UPFU) drop(buf *pktbuf.Buf) bool {
+	u.dropped.Add(1)
+	buf.Meta.Action = pktbuf.ActionDrop
+	return true
+}
+
+func (u *UPFU) miss(buf *pktbuf.Buf) bool {
+	u.misses.Add(1)
+	buf.Meta.Action = pktbuf.ActionDrop
+	return true
+}
+
+// AttachONVM registers the UPF-U as an NF on the platform under service
+// sid, wiring the emit path through the instance's Tx ring.
+func (u *UPFU) AttachONVM(m *onvm.Manager, sid onvm.ServiceID) (*onvm.Instance, error) {
+	var scratch pkt.Parsed
+	inst, err := m.Register(sid, "upf-u", func(b *pktbuf.Buf) bool {
+		return u.Process(b, &scratch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	u.SetEmit(func(b *pktbuf.Buf) {
+		if err := inst.Send(b); err != nil {
+			b.Release()
+		}
+	})
+	return inst, nil
+}
