@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build test check chaos
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: static checks plus the full test tree under the race
+# detector (includes the seeded chaos suite in internal/faults).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Just the chaos scenarios, verbosely, for schedule debugging.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/faults

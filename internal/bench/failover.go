@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"l25gc/internal/core"
+	"l25gc/internal/faults"
 	"l25gc/internal/lb"
 	"l25gc/internal/metrics"
 	"l25gc/internal/netsim"
@@ -18,6 +19,11 @@ import (
 	"l25gc/internal/upf"
 )
 
+// ErrUnitCrashed reports a message delivered to a unit the fault injector
+// has marked crashed; the message is lost at that unit (but remains in the
+// LB's replay log).
+var ErrUnitCrashed = fmt.Errorf("bench: unit crashed")
+
 // upfUnit adapts a UPF (state + fast path) to the LB's Backend interface:
 // control messages are PFCP session management, data messages are GTP
 // frames run through the fast path.
@@ -26,6 +32,10 @@ type upfUnit struct {
 	upfc  *upf.UPFC
 	upfu  *upf.UPFU
 	pool  *pktbuf.Pool
+
+	inj     *faults.Injector
+	target  string
+	ingress faults.Point
 
 	forwarded atomic.Uint64
 }
@@ -37,8 +47,31 @@ func newUPFUnit(n3 pkt.Addr) *upfUnit {
 	return &upfUnit{state: st, upfc: c, upfu: u, pool: pktbuf.NewPool(4096, "unit")}
 }
 
+// setInjector binds the unit to a fault injector under the given target
+// name; Deliver then runs every message through the target's ".ingress"
+// point and rejects traffic once the target is crashed.
+func (u *upfUnit) setInjector(inj *faults.Injector, target string) {
+	u.inj = inj
+	u.target = target
+	u.ingress = faults.Point(target + ".ingress")
+}
+
 // Deliver implements lb.Backend.
 func (u *upfUnit) Deliver(class resilience.Class, counter uint64, data []byte) error {
+	if u.inj != nil {
+		act := u.inj.Decide(u.ingress, data)
+		if u.inj.Crashed(u.target) {
+			// The crash may have been fired by this very message's rule:
+			// either way the unit is dead and the message is lost here.
+			return fmt.Errorf("%w: %s", ErrUnitCrashed, u.target)
+		}
+		if act.Drop {
+			return fmt.Errorf("bench: unit %s: ingress message dropped", u.target)
+		}
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+		}
+	}
 	switch class {
 	case resilience.ULControl, resilience.DLControl:
 		_, msg, err := pfcp.Parse(data)
@@ -77,15 +110,69 @@ func (u *upfUnit) Deliver(class resilience.Class, counter uint64, data []byte) e
 	}
 }
 
-// failoverScenario runs the §5.5.1 control-plane experiment: a failure
-// strikes mid-handover; the standby resumes from checkpoint + replay.
+// FailoverOptions parameterizes FailoverScenario for chaos testing.
+type FailoverOptions struct {
+	// Injector, when set, drives the failure: the primary unit rejects
+	// traffic once Injector.Crashed(CrashTarget) is true (whether a Crash
+	// rule fired it at the primary's ingress point or the scenario forced
+	// it), and the probe agent uses Injector.AliveProbe(CrashTarget).
+	Injector *faults.Injector
+	// CrashTarget names the primary in the injector's crash registry
+	// (default "upf.primary"); its ingress point is CrashTarget+".ingress".
+	CrashTarget string
+	// ForceCrash, with an Injector, crashes the primary explicitly after
+	// the mid-handover messages even if no Crash rule fired. Without an
+	// Injector the crash always happens (the original experiment).
+	ForceCrash bool
+}
+
+// FailoverResult reports the scenario's measurements.
+type FailoverResult struct {
+	Detect         time.Duration // probe start -> failure declared
+	Failover       time.Duration // replica unfreeze + replay
+	Replayed       int           // messages replayed to the standby
+	LostDeliveries int           // ingress messages the dead primary rejected
+}
+
+// failoverScenario runs the §5.5.1 control-plane experiment with the
+// default (non-chaos) failure trigger, for Fig15.
 func failoverScenario() (detect, failover time.Duration, replayed int, err error) {
+	r, err := FailoverScenario(FailoverOptions{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r.Detect, r.Failover, r.Replayed, nil
+}
+
+// FailoverScenario runs the §5.5.1 control-plane experiment: a failure
+// strikes mid-handover; the standby resumes from checkpoint + replay. The
+// chaos suite drives it with a fault injector so the crash, the liveness
+// probe and the lost deliveries all flow through one seeded schedule.
+func FailoverScenario(opts FailoverOptions) (*FailoverResult, error) {
 	n3 := pkt.AddrFrom(10, 100, 0, 2)
 	ueIP := pkt.AddrFrom(10, 60, 0, 1)
 	gnbIP := pkt.AddrFrom(10, 100, 0, 10)
 	primary := newUPFUnit(n3)
 	standby := newUPFUnit(n3)
+	if opts.CrashTarget == "" {
+		opts.CrashTarget = "upf.primary"
+	}
+	if opts.Injector != nil {
+		primary.setInjector(opts.Injector, opts.CrashTarget)
+	}
 	balancer := lb.New(primary, standby, 0)
+	res := &FailoverResult{}
+
+	// ingress tolerates deliveries rejected by a crashed primary: the
+	// message is logged at the LB either way and recovered by replay.
+	ingress := func(class resilience.Class, data []byte) error {
+		err := balancer.Ingress(class, data)
+		if err != nil && opts.Injector != nil && opts.Injector.Crashed(opts.CrashTarget) {
+			res.LostDeliveries++
+			return nil
+		}
+		return err
+	}
 
 	// 1. Session establishment through the LB (logged, counter-stamped).
 	est := &pfcp.SessionEstablishmentRequest{
@@ -104,8 +191,8 @@ func failoverScenario() (detect, failover time.Duration, replayed int, err error
 				HasOuterHeader: true, OuterTEID: 0x5001, OuterAddr: gnbIP},
 		},
 	}
-	if err := balancer.Ingress(resilience.ULControl, pfcp.Marshal(est, 77, true, 1)); err != nil {
-		return 0, 0, 0, err
+	if err := ingress(resilience.ULControl, pfcp.Marshal(est, 77, true, 1)); err != nil {
+		return nil, err
 	}
 
 	// 2. Periodic delta checkpoint: primary state -> remote replica.
@@ -114,11 +201,11 @@ func failoverScenario() (detect, failover time.Duration, replayed int, err error
 	remote.OnAck = balancer.AckCheckpoint
 	stateBytes, err := snap.Snapshot()
 	if err != nil {
-		return 0, 0, 0, err
+		return nil, err
 	}
 	cp := resilience.Checkpoint{Counter: balancer.Logger.Counter(), State: stateBytes}
 	if err := remote.Apply(cp.Encode()); err != nil {
-		return 0, 0, 0, err
+		return nil, err
 	}
 
 	// 3. Half the handover executes after the checkpoint: the buffering
@@ -126,35 +213,46 @@ func failoverScenario() (detect, failover time.Duration, replayed int, err error
 	mod := &pfcp.SessionModificationRequest{
 		UpdateFARs: []*rules.FAR{{ID: 2, Action: rules.FARBuffer, DestInterface: rules.IfAccess}},
 	}
-	if err := balancer.Ingress(resilience.ULControl, pfcp.Marshal(mod, 77, true, 2)); err != nil {
-		return 0, 0, 0, err
+	if err := ingress(resilience.ULControl, pfcp.Marshal(mod, 77, true, 2)); err != nil {
+		return nil, err
 	}
-	// Data packets in flight are logged too.
+	// Data packets in flight are logged too. With an injector, a Crash rule
+	// can fire at the primary's ingress point partway through this burst.
 	dl := make([]byte, 128)
 	n, _ := pkt.BuildUDPv4(dl, benchDN, ueIP, 9000, 40000, 0, make([]byte, 32))
 	for i := 0; i < 20; i++ {
-		if err := balancer.Ingress(resilience.DLData, dl[:n]); err != nil {
-			return 0, 0, 0, err
+		if err := ingress(resilience.DLData, dl[:n]); err != nil {
+			return nil, err
 		}
 	}
 
 	// 4. The primary dies; the probe agent detects it.
 	var alive atomic.Bool
 	alive.Store(true)
+	probe := func() bool { return alive.Load() }
+	if opts.Injector != nil {
+		probe = opts.Injector.AliveProbe(opts.CrashTarget)
+	}
 	detected := make(chan time.Duration, 1)
 	det := &resilience.Detector{
-		Probe:     func() bool { return alive.Load() },
+		Probe:     probe,
 		Interval:  100 * time.Microsecond,
 		Misses:    3,
 		OnFailure: func(dt time.Duration) { detected <- dt },
 	}
 	det.Start()
+	defer det.Stop()
 	time.Sleep(time.Millisecond)
-	alive.Store(false)
+	switch {
+	case opts.Injector == nil:
+		alive.Store(false)
+	case opts.ForceCrash || !opts.Injector.Crashed(opts.CrashTarget):
+		opts.Injector.Crash(opts.CrashTarget)
+	}
 	select {
-	case detect = <-detected:
+	case res.Detect = <-detected:
 	case <-time.After(2 * time.Second):
-		return 0, 0, 0, fmt.Errorf("failure never detected")
+		return nil, fmt.Errorf("failure never detected")
 	}
 
 	// 5. Unfreeze the remote replica (restores the checkpoint) and replay
@@ -162,27 +260,27 @@ func failoverScenario() (detect, failover time.Duration, replayed int, err error
 	start := time.Now()
 	replayAfter, err := remote.Unfreeze()
 	if err != nil {
-		return 0, 0, 0, err
+		return nil, err
 	}
-	replayed, err = balancer.Failover(replayAfter)
+	res.Replayed, err = balancer.Failover(replayAfter)
 	if err != nil {
-		return 0, 0, 0, err
+		return nil, err
 	}
-	failover = time.Since(start)
+	res.Failover = time.Since(start)
 
 	// Verify: the standby holds the session *with the mid-handover FAR
 	// update applied* (buffered, not forwarded).
 	ctx, ok := standby.state.Session(77)
 	if !ok {
-		return 0, 0, 0, fmt.Errorf("standby lost the session")
+		return nil, fmt.Errorf("standby lost the session")
 	}
 	if far := ctx.Sess.FAR(2); far == nil || far.Action&rules.FARBuffer == 0 {
-		return 0, 0, 0, fmt.Errorf("replayed handover state missing")
+		return nil, fmt.Errorf("replayed handover state missing")
 	}
 	if st := ctx.Stats(); st.Buffered == 0 {
-		return 0, 0, 0, fmt.Errorf("replayed data packets were not buffered (stats %+v)", st)
+		return nil, fmt.Errorf("replayed data packets were not buffered (stats %+v)", st)
 	}
-	return detect, failover, replayed, nil
+	return res, nil
 }
 
 // reattachTime measures the 3GPP baseline: after a failure the UE must

@@ -11,14 +11,26 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"l25gc/internal/classifier"
+	"l25gc/internal/faults"
 	"l25gc/internal/gtp"
 	"l25gc/internal/pkt"
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/rules"
 	"l25gc/internal/upf"
 )
+
+// injConf groups a fault injector with the data-path point names; it is
+// installed atomically so the socket loops never race SetInjector.
+type injConf struct {
+	inj  *faults.Injector
+	n3rx faults.Point // GTP-U frames arriving from gNBs
+	n6rx faults.Point // IP packets arriving from the DN
+	n3tx faults.Point // encapsulated DL frames toward gNBs
+	n6tx faults.Point // decapsulated UL packets toward the DN
+}
 
 // KernelUPF is the kernel-socket UPF data path.
 type KernelUPF struct {
@@ -35,6 +47,9 @@ type KernelUPF struct {
 
 	ulFwd, dlFwd atomic.Uint64
 	dropped      atomic.Uint64
+	injected     atomic.Uint64 // packets dropped/corrupted by the injector
+
+	faultc atomic.Pointer[injConf]
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -111,6 +126,43 @@ func (k *KernelUPF) Stats() (ul, dl, dropped uint64) {
 	return k.ulFwd.Load(), k.dlFwd.Load(), k.dropped.Load()
 }
 
+// InjectedFaults reports packets the fault injector dropped on this path.
+func (k *KernelUPF) InjectedFaults() uint64 { return k.injected.Load() }
+
+// SetInjector threads a fault injector through the socket loops. Points
+// are prefix+".n3.rx", ".n6.rx", ".n3.tx" and ".n6.tx". The loops reuse
+// their receive/scratch buffers, so Drop, Delay and Corrupt apply (the
+// corrupt mutation happens in place before parsing); Duplicate/Reorder do
+// not — the kernel sockets already provide those behaviors for free when
+// needed via loopback re-sends.
+func (k *KernelUPF) SetInjector(inj *faults.Injector, prefix string) {
+	k.faultc.Store(&injConf{
+		inj:  inj,
+		n3rx: faults.Point(prefix + ".n3.rx"),
+		n6rx: faults.Point(prefix + ".n6.rx"),
+		n3tx: faults.Point(prefix + ".n3.tx"),
+		n6tx: faults.Point(prefix + ".n6.tx"),
+	})
+}
+
+// decide applies one injector decision to a packet in place. It returns
+// false when the packet must be discarded.
+func (k *KernelUPF) decide(fc *injConf, p faults.Point, data []byte) bool {
+	act := fc.inj.Decide(p, data)
+	if act.Drop {
+		k.injected.Add(1)
+		k.dropped.Add(1)
+		return false
+	}
+	if act.Corrupt {
+		k.injected.Add(1)
+	}
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	return true
+}
+
 // n3Loop receives GTP-U frames from gNBs, decapsulates and forwards the
 // inner packet to the DN over the N6 socket.
 func (k *KernelUPF) n3Loop() {
@@ -122,6 +174,9 @@ func (k *KernelUPF) n3Loop() {
 		n, _, err := k.n3.ReadFromUDP(buf)
 		if err != nil {
 			return
+		}
+		if fc := k.faultc.Load(); fc != nil && !k.decide(fc, fc.n3rx, buf[:n]) {
+			continue
 		}
 		inner, err := hdr.Decode(buf[:n])
 		if err != nil || hdr.MsgType != gtp.MsgGPDU {
@@ -154,6 +209,9 @@ func (k *KernelUPF) n3Loop() {
 			k.dropped.Add(1)
 			continue
 		}
+		if fc := k.faultc.Load(); fc != nil && !k.decide(fc, fc.n6tx, inner) {
+			continue
+		}
 		// A second kernel crossing and copy: the baseline's cost.
 		if _, err := k.n6.WriteToUDP(inner, dn); err == nil {
 			k.ulFwd.Add(1)
@@ -174,6 +232,9 @@ func (k *KernelUPF) n6Loop() {
 		n, _, err := k.n6.ReadFromUDP(raw)
 		if err != nil {
 			return
+		}
+		if fc := k.faultc.Load(); fc != nil && !k.decide(fc, fc.n6rx, raw[:n]) {
+			continue
 		}
 		if err := scratch.ParseIPv4(raw[:n]); err != nil {
 			k.dropped.Add(1)
@@ -243,6 +304,9 @@ func (k *KernelUPF) sendDL(out, inner []byte, pdr *rules.PDR, far *rules.FAR) bo
 		return false
 	}
 	copy(out[hn:], inner) // software copy, as in the kernel module path
+	if fc := k.faultc.Load(); fc != nil && !k.decide(fc, fc.n3tx, out[:hn+len(inner)]) {
+		return false
+	}
 	k.mu.RLock()
 	dst := k.gnbAddrs[far.OuterAddr]
 	k.mu.RUnlock()

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"l25gc/internal/faults"
 	"l25gc/internal/gtp"
 	"l25gc/internal/pfcp"
 	"l25gc/internal/pkt"
@@ -185,4 +186,82 @@ func TestKernelPathBufferingAndDrain(t *testing.T) {
 func statsString(k *KernelUPF) string {
 	ul, dl, dr := k.Stats()
 	return fmt.Sprintf("ul=%d dl=%d dropped=%d", ul, dl, dr)
+}
+
+func TestInjectedLossOnN3IsCountedAndDeterministic(t *testing.T) {
+	k, _, teid, gnb, dn := setup(t)
+	// Drop the first two GTP-U frames arriving on N3; the third passes.
+	inj := faults.New(11).
+		Add(faults.Rule{Point: "upf.kern.n3.rx", Kind: faults.Drop, Count: 2})
+	k.SetInjector(inj, "upf.kern")
+
+	inner := make([]byte, 256)
+	n, _ := pkt.BuildUDPv4(inner, ueIP, dnIP, 1000, 2000, 0, []byte("probe"))
+	frame := make([]byte, 512)
+	hdr := gtp.Header{MsgType: gtp.MsgGPDU, TEID: teid, HasQFI: true, QFI: 9, PDUType: 1}
+	hn, _ := hdr.Encode(frame, n)
+	copy(frame[hn:], inner[:n])
+	upfAddr, _ := net.ResolveUDPAddr("udp", k.N3Addr())
+
+	out := make([]byte, 2048)
+	for i := 0; i < 3; i++ {
+		if _, err := gnb.WriteToUDP(frame[:hn+n], upfAddr); err != nil {
+			t.Fatal(err)
+		}
+		dn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+		_, _, err := dn.ReadFromUDP(out)
+		if i < 2 && err == nil {
+			t.Fatalf("frame %d should have been dropped by the injector", i)
+		}
+		if i == 2 && err != nil {
+			t.Fatalf("frame after drop budget lost: %v (stats: %v)", err, statsString(k))
+		}
+	}
+	if k.InjectedFaults() != 2 {
+		t.Fatalf("injected faults = %d, want 2", k.InjectedFaults())
+	}
+	if got := inj.Count("upf.kern.n3.rx", faults.Drop); got != 2 {
+		t.Fatalf("injector drop count = %d, want 2", got)
+	}
+}
+
+func TestInjectedCorruptionDropsAtParser(t *testing.T) {
+	k, _, teid, gnb, dn := setup(t)
+	// Corrupt the first N3 frame in place: the fault is counted and the
+	// path stays healthy for subsequent traffic.
+	inj := faults.New(5).
+		Add(faults.Rule{Point: "upf.kern.n3.rx", Kind: faults.Corrupt, Count: 1})
+	k.SetInjector(inj, "upf.kern")
+
+	inner := make([]byte, 256)
+	n, _ := pkt.BuildUDPv4(inner, ueIP, dnIP, 1000, 2000, 0, []byte("x"))
+	frame := make([]byte, 512)
+	hdr := gtp.Header{MsgType: gtp.MsgGPDU, TEID: teid, HasQFI: true, QFI: 9, PDUType: 1}
+	hn, _ := hdr.Encode(frame, n)
+	copy(frame[hn:], inner[:n])
+	upfAddr, _ := net.ResolveUDPAddr("udp", k.N3Addr())
+
+	_, _, dropped0 := k.Stats()
+	if _, err := gnb.WriteToUDP(frame[:hn+n], upfAddr); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, d := k.Stats(); d > dropped0 || k.InjectedFaults() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if k.InjectedFaults() != 1 {
+		t.Fatalf("injected faults = %d, want 1 corruption", k.InjectedFaults())
+	}
+	// The next, uncorrupted frame still flows end to end.
+	if _, err := gnb.WriteToUDP(frame[:hn+n], upfAddr); err != nil {
+		t.Fatal(err)
+	}
+	dn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	out := make([]byte, 2048)
+	if _, _, err := dn.ReadFromUDP(out); err != nil {
+		t.Fatalf("clean frame after corruption lost: %v (stats: %v)", err, statsString(k))
+	}
 }

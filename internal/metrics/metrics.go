@@ -11,8 +11,37 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a named monotonic counter, safe for concurrent use. The data
+// planes export their drop/overflow counts through Counters so the chaos
+// suite and the benches read one consistent surface.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// NewCounter creates a counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Name returns the counter's label.
+func (c *Counter) Name() string { return c.name }
+
+// String renders "name=value".
+func (c *Counter) String() string {
+	return fmt.Sprintf("%s=%d", c.name, c.v.Load())
+}
 
 // Histogram collects duration samples and reports distribution summaries.
 type Histogram struct {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -103,5 +104,30 @@ func TestTableFormatting(t *testing.T) {
 	idx := strings.Index(lines[0], "rtt")
 	if !strings.HasPrefix(lines[2][idx:], "63ms") || !strings.HasPrefix(lines[3][idx:], "30ms") {
 		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("drops")
+	if c.Load() != 0 || c.Name() != "drops" {
+		t.Fatalf("fresh counter: %v", c)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8*1000+8*5 {
+		t.Fatalf("count = %d", c.Load())
+	}
+	if c.String() != "drops=8040" {
+		t.Fatalf("String() = %q", c.String())
 	}
 }

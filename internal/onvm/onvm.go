@@ -15,9 +15,13 @@ package onvm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"l25gc/internal/faults"
+	"l25gc/internal/metrics"
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/ring"
 )
@@ -100,6 +104,14 @@ type serviceEntry struct {
 	canaryPercent int
 }
 
+// injConf groups a fault injector with its point names, swapped in
+// atomically so the switch loop never races SetInjector.
+type injConf struct {
+	inj     *faults.Injector
+	deliver faults.Point
+	egress  faults.Point
+}
+
 // Manager is the ONVM NF manager: it owns the pool, the rings and the
 // descriptor switch loop.
 type Manager struct {
@@ -115,8 +127,13 @@ type Manager struct {
 	stopped atomic.Bool
 	done    chan struct{}
 
-	switched atomic.Uint64
-	dropped  atomic.Uint64
+	nfRingSize int
+	bpSpins    int
+	faultc     atomic.Pointer[injConf]
+
+	switched  atomic.Uint64
+	dropped   atomic.Uint64
+	ringDrops *metrics.Counter
 }
 
 // Config sizes the platform.
@@ -124,6 +141,10 @@ type Config struct {
 	PoolSize   int    // packet buffers in the shared pool
 	RingSize   int    // per-NF ring capacity
 	PoolPrefix string // security-domain prefix (unique per 5GC unit)
+	// BackpressureSpins bounds how long the switch loop pushes back on a
+	// full NF Rx ring (cooperative yields) before counting the descriptor
+	// as a ring-overflow drop. 0 = default (64); -1 disables backpressure.
+	BackpressureSpins int
 }
 
 // DefaultConfig returns sizes suitable for the evaluation workloads.
@@ -136,14 +157,26 @@ func NewManager(cfg Config) *Manager {
 	if cfg.PoolSize == 0 {
 		cfg = DefaultConfig()
 	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.BackpressureSpins == 0 {
+		cfg.BackpressureSpins = 64
+	}
+	if cfg.BackpressureSpins < 0 {
+		cfg.BackpressureSpins = 0
+	}
 	m := &Manager{
-		pool:     pktbuf.NewPool(cfg.PoolSize, cfg.PoolPrefix),
-		services: make(map[ServiceID]*serviceEntry),
-		ports:    make(map[PortID]PortSink),
-		portNF:   make(map[PortID]ServiceID),
-		work:     ring.NewMPSC[task](cfg.PoolSize * 2),
-		bell:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		pool:       pktbuf.NewPool(cfg.PoolSize, cfg.PoolPrefix),
+		services:   make(map[ServiceID]*serviceEntry),
+		ports:      make(map[PortID]PortSink),
+		portNF:     make(map[PortID]ServiceID),
+		work:       ring.NewMPSC[task](cfg.PoolSize * 2),
+		bell:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		nfRingSize: cfg.RingSize,
+		bpSpins:    cfg.BackpressureSpins,
+		ringDrops:  metrics.NewCounter(cfg.PoolPrefix + ".ring_overflow_drops"),
 	}
 	go m.switchLoop()
 	return m
@@ -153,8 +186,26 @@ func NewManager(cfg Config) *Manager {
 // from the same hugepage-analogue pool).
 func (m *Manager) Pool() *pktbuf.Pool { return m.pool }
 
-// ringSize returns the per-NF ring capacity (pool-derived default).
-func (m *Manager) ringSize() int { return 1024 }
+// RingDrops exposes the ring-overflow drop counter: descriptors the
+// manager discarded because an NF's Rx ring stayed full through the
+// backpressure window.
+func (m *Manager) RingDrops() *metrics.Counter { return m.ringDrops }
+
+// SetInjector threads a fault injector through the descriptor switch;
+// points are prefix+".deliver" (descriptors entering NF Rx rings) and
+// prefix+".egress" (frames leaving via ports). Descriptors are
+// single-owner buffers, so Drop and Delay apply; Duplicate/Reorder/Corrupt
+// do not (reordering still arises from per-descriptor delays).
+func (m *Manager) SetInjector(inj *faults.Injector, prefix string) {
+	m.faultc.Store(&injConf{
+		inj:     inj,
+		deliver: faults.Point(prefix + ".deliver"),
+		egress:  faults.Point(prefix + ".egress"),
+	})
+}
+
+// ringSize returns the per-NF ring capacity.
+func (m *Manager) ringSize() int { return m.nfRingSize }
 
 // Register attaches an NF instance running handler h for service sid.
 func (m *Manager) Register(sid ServiceID, name string, h Handler) (*Instance, error) {
@@ -296,6 +347,28 @@ func (m *Manager) pickInstance(ent *serviceEntry, rssHash uint64) *Instance {
 
 // deliver moves a descriptor into the target service's Rx ring.
 func (m *Manager) deliver(buf *pktbuf.Buf, sid ServiceID) {
+	if fc := m.faultc.Load(); fc != nil {
+		act := fc.inj.Decide(fc.deliver, buf.Bytes())
+		if act.Drop {
+			buf.Release()
+			m.dropped.Add(1)
+			return
+		}
+		if act.Delay > 0 {
+			// Descriptors are single-owner, so a delayed delivery must
+			// re-enter via the MPSC work ring: only the switch loop may
+			// touch an NF's Rx ring.
+			dst := sid
+			time.AfterFunc(act.Delay, func() {
+				if m.stopped.Load() {
+					buf.Release()
+					return
+				}
+				m.notify(task{buf: buf, dst: dst})
+			})
+			return
+		}
+	}
 	m.mu.RLock()
 	ent := m.services[sid]
 	m.mu.RUnlock()
@@ -305,9 +378,18 @@ func (m *Manager) deliver(buf *pktbuf.Buf, sid ServiceID) {
 		return
 	}
 	inst := m.pickInstance(ent, buf.Meta.RSS^(uint64(buf.Meta.TEID)*2654435761+uint64(buf.Meta.Seq)))
-	if !inst.rx.Enqueue(buf) {
+	ok := inst.rx.Enqueue(buf)
+	// Backpressure: the Rx ring is full, so yield the switch loop's
+	// timeslice to let the NF drain before declaring overflow — bounded so
+	// a wedged NF cannot stall every other NF behind the shared loop.
+	for spins := 0; !ok && spins < m.bpSpins; spins++ {
+		runtime.Gosched()
+		ok = inst.rx.Enqueue(buf)
+	}
+	if !ok {
 		buf.Release()
 		m.dropped.Add(1)
+		m.ringDrops.Inc()
 		return
 	}
 	inst.rxCount.Add(1)
@@ -324,6 +406,17 @@ func (m *Manager) process(buf *pktbuf.Buf) {
 	case pktbuf.ActionToNF:
 		m.deliver(buf, buf.Meta.Dst)
 	case pktbuf.ActionToPort:
+		if fc := m.faultc.Load(); fc != nil {
+			act := fc.inj.Decide(fc.egress, buf.Bytes())
+			if act.Drop {
+				buf.Release()
+				m.dropped.Add(1)
+				return
+			}
+			if act.Delay > 0 {
+				time.Sleep(act.Delay)
+			}
+		}
 		m.mu.RLock()
 		sink := m.ports[buf.Meta.Port]
 		m.mu.RUnlock()

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"l25gc/internal/faults"
 	"l25gc/internal/shm"
 )
 
@@ -18,17 +19,31 @@ type Handler func(seid uint64, req Message) (Message, error)
 // kernel (free5GC), MemEndpoint passes message structs through a
 // shared-memory mailbox (L²5GC).
 type Endpoint interface {
-	// Request sends req and blocks until the matching response arrives or
-	// the timeout elapses.
+	// Request sends req and blocks until the matching response arrives,
+	// retransmitting per the endpoint's RetryConfig (T1/N1) until the
+	// retry budget is exhausted.
 	Request(seid uint64, hasSEID bool, req Message) (Message, error)
 	// SetHandler installs the request handler (must be set before traffic).
 	SetHandler(h Handler)
+	// SetRetry installs the request retransmission profile.
+	SetRetry(cfg RetryConfig)
+	// SetInjector threads a fault injector through the endpoint; points
+	// are named prefix+".tx" and prefix+".rx".
+	SetInjector(inj *faults.Injector, prefix string)
 	// Close releases the endpoint.
 	Close() error
 }
 
-// DefaultTimeout bounds Request round trips.
+// DefaultTimeout is the default initial response timer (3GPP N4 T1).
 const DefaultTimeout = 3 * time.Second
+
+// injectorConf groups an installed fault injector with its point names so
+// endpoints can swap it in atomically while their read loops run.
+type injectorConf struct {
+	inj *faults.Injector
+	tx  faults.Point
+	rx  faults.Point
+}
 
 // --- UDP endpoint (kernel path / free5GC baseline) ---
 
@@ -38,9 +53,16 @@ type UDPEndpoint struct {
 	peer    atomic.Pointer[net.UDPAddr]
 	handler atomic.Pointer[Handler]
 	seq     atomic.Uint32
+	retry   atomic.Pointer[RetryConfig]
+	faultc  atomic.Pointer[injectorConf]
 
 	mu      sync.Mutex
 	pending map[uint32]chan Message
+
+	respCache *respCache[[]byte]
+
+	retransmits atomic.Uint64
+	timeouts    atomic.Uint64
 
 	closed atomic.Bool
 	done   chan struct{}
@@ -57,9 +79,10 @@ func NewUDPEndpoint(addr string) (*UDPEndpoint, error) {
 		return nil, err
 	}
 	e := &UDPEndpoint{
-		conn:    conn,
-		pending: make(map[uint32]chan Message),
-		done:    make(chan struct{}),
+		conn:      conn,
+		pending:   make(map[uint32]chan Message),
+		respCache: newRespCache[[]byte](),
+		done:      make(chan struct{}),
 	}
 	go e.readLoop()
 	return e, nil
@@ -81,7 +104,64 @@ func (e *UDPEndpoint) Connect(addr string) error {
 // SetHandler implements Endpoint.
 func (e *UDPEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
 
-// Request implements Endpoint.
+// SetRetry implements Endpoint.
+func (e *UDPEndpoint) SetRetry(cfg RetryConfig) {
+	cfg = cfg.norm()
+	e.retry.Store(&cfg)
+}
+
+// SetInjector implements Endpoint.
+func (e *UDPEndpoint) SetInjector(inj *faults.Injector, prefix string) {
+	e.faultc.Store(&injectorConf{
+		inj: inj,
+		tx:  faults.Point(prefix + ".tx"),
+		rx:  faults.Point(prefix + ".rx"),
+	})
+}
+
+// retryConfig returns the installed profile or the defaults.
+func (e *UDPEndpoint) retryConfig() RetryConfig {
+	if c := e.retry.Load(); c != nil {
+		return *c
+	}
+	return DefaultRetry()
+}
+
+// Stats reports request retransmissions and per-attempt timeouts.
+func (e *UDPEndpoint) Stats() (retransmits, timeouts uint64) {
+	return e.retransmits.Load(), e.timeouts.Load()
+}
+
+// PendingRequests reports the number of in-flight request waiters
+// (diagnostics; abandoned requests must not linger here).
+func (e *UDPEndpoint) PendingRequests() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// send transmits wire to the peer through the injector, if any. The
+// injector receives a private copy so an injected corruption cannot taint
+// later retransmissions of the same request.
+func (e *UDPEndpoint) send(wire []byte, to *net.UDPAddr) error {
+	fc := e.faultc.Load()
+	if fc == nil {
+		_, err := e.conn.WriteToUDP(wire, to)
+		return err
+	}
+	var werr error
+	fc.inj.Transmit(fc.tx, append([]byte(nil), wire...), func(b []byte) {
+		if _, err := e.conn.WriteToUDP(b, to); err != nil {
+			werr = err
+		}
+	})
+	return werr
+}
+
+// Request implements Endpoint: it transmits the request and waits T1 for
+// the response, retransmitting with the same sequence number up to N1
+// times with backoff. The pending-map entry is removed on every exit path
+// so abandoned sequence numbers do not leak channels.
 func (e *UDPEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, error) {
 	peer := e.peer.Load()
 	if peer == nil {
@@ -98,16 +178,37 @@ func (e *UDPEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 		e.mu.Unlock()
 	}()
 	wire := Marshal(req, seid, hasSEID, seq)
-	if _, err := e.conn.WriteToUDP(wire, peer); err != nil {
-		return nil, err
-	}
-	select {
-	case resp := <-ch:
-		return resp, nil
-	case <-time.After(DefaultTimeout):
-		return nil, fmt.Errorf("pfcp: request %d timed out", req.PFCPType())
-	case <-e.done:
-		return nil, net.ErrClosed
+	cfg := e.retryConfig()
+	t1 := cfg.T1
+	timer := time.NewTimer(t1)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			e.retransmits.Add(1)
+		}
+		if err := e.send(wire, peer); err != nil {
+			return nil, err
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(t1)
+		select {
+		case resp := <-ch:
+			return resp, nil
+		case <-timer.C:
+			e.timeouts.Add(1)
+			if attempt >= cfg.N1 {
+				return nil, fmt.Errorf("pfcp: request %d timed out after %d attempts",
+					req.PFCPType(), attempt+1)
+			}
+			t1 = cfg.next(t1)
+		case <-e.done:
+			return nil, net.ErrClosed
+		}
 	}
 }
 
@@ -118,29 +219,56 @@ func (e *UDPEndpoint) readLoop() {
 		if err != nil {
 			return
 		}
-		hdr, msg, err := Parse(buf[:n])
-		if err != nil {
+		fc := e.faultc.Load()
+		if fc == nil {
+			e.handleDatagram(buf[:n], from)
 			continue
 		}
-		if isResponse(hdr.MsgType) {
-			e.mu.Lock()
-			ch := e.pending[hdr.Seq]
-			e.mu.Unlock()
-			if ch != nil {
-				ch <- msg
-			}
-			continue
-		}
-		hp := e.handler.Load()
-		if hp == nil {
-			continue
-		}
-		resp, err := (*hp)(hdr.SEID, msg)
-		if err != nil || resp == nil {
-			continue
-		}
-		e.conn.WriteToUDP(Marshal(resp, hdr.SEID, hdr.HasSEID, hdr.Seq), from)
+		// The injector may defer processing (delay/reorder), so it gets a
+		// private copy of the datagram; handleDatagram is safe to run from
+		// injector timer goroutines.
+		fc.inj.Transmit(fc.rx, append([]byte(nil), buf[:n]...), func(b []byte) {
+			e.handleDatagram(b, from)
+		})
 	}
+}
+
+// handleDatagram dispatches one received PFCP message: responses complete
+// pending requests; requests run the handler, with retransmissions (same
+// sequence number) answered from the response cache instead of re-running
+// non-idempotent handlers.
+func (e *UDPEndpoint) handleDatagram(data []byte, from *net.UDPAddr) {
+	hdr, msg, err := Parse(data)
+	if err != nil {
+		return
+	}
+	if isResponse(hdr.MsgType) {
+		e.mu.Lock()
+		ch := e.pending[hdr.Seq]
+		e.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- msg:
+			default: // duplicate response for an already-answered request
+			}
+		}
+		return
+	}
+	if cached, ok := e.respCache.get(hdr.Seq); ok {
+		e.send(cached, from)
+		return
+	}
+	hp := e.handler.Load()
+	if hp == nil {
+		return
+	}
+	resp, err := (*hp)(hdr.SEID, msg)
+	if err != nil || resp == nil {
+		return
+	}
+	wire := Marshal(resp, hdr.SEID, hdr.HasSEID, hdr.Seq)
+	e.respCache.put(hdr.Seq, wire)
+	e.send(wire, from)
 }
 
 // Close implements Endpoint.
@@ -179,9 +307,16 @@ type MemEndpoint struct {
 	in      *shm.Mailbox[memFrame]
 	handler atomic.Pointer[Handler]
 	seq     atomic.Uint32
+	retry   atomic.Pointer[RetryConfig]
+	faultc  atomic.Pointer[injectorConf]
 
 	mu      sync.Mutex
 	pending map[uint32]chan Message
+
+	respCache *respCache[memFrame]
+
+	retransmits atomic.Uint64
+	timeouts    atomic.Uint64
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -192,8 +327,10 @@ type MemEndpoint struct {
 func NewMemPair(ringSize int) (*MemEndpoint, *MemEndpoint) {
 	ab := shm.NewMailbox[memFrame](ringSize)
 	ba := shm.NewMailbox[memFrame](ringSize)
-	a := &MemEndpoint{out: ab, in: ba, pending: make(map[uint32]chan Message), done: make(chan struct{})}
-	b := &MemEndpoint{out: ba, in: ab, pending: make(map[uint32]chan Message), done: make(chan struct{})}
+	a := &MemEndpoint{out: ab, in: ba, pending: make(map[uint32]chan Message),
+		respCache: newRespCache[memFrame](), done: make(chan struct{})}
+	b := &MemEndpoint{out: ba, in: ab, pending: make(map[uint32]chan Message),
+		respCache: newRespCache[memFrame](), done: make(chan struct{})}
 	go a.recvLoop()
 	go b.recvLoop()
 	return a, b
@@ -202,7 +339,59 @@ func NewMemPair(ringSize int) (*MemEndpoint, *MemEndpoint) {
 // SetHandler implements Endpoint.
 func (e *MemEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
 
-// Request implements Endpoint.
+// SetRetry implements Endpoint.
+func (e *MemEndpoint) SetRetry(cfg RetryConfig) {
+	cfg = cfg.norm()
+	e.retry.Store(&cfg)
+}
+
+// SetInjector implements Endpoint. Corruption does not apply to this
+// transport (descriptors carry struct pointers, not wire bytes);
+// drop/delay/duplicate/reorder do.
+func (e *MemEndpoint) SetInjector(inj *faults.Injector, prefix string) {
+	e.faultc.Store(&injectorConf{
+		inj: inj,
+		tx:  faults.Point(prefix + ".tx"),
+		rx:  faults.Point(prefix + ".rx"),
+	})
+}
+
+func (e *MemEndpoint) retryConfig() RetryConfig {
+	if c := e.retry.Load(); c != nil {
+		return *c
+	}
+	return DefaultRetry()
+}
+
+// Stats reports request retransmissions and per-attempt timeouts.
+func (e *MemEndpoint) Stats() (retransmits, timeouts uint64) {
+	return e.retransmits.Load(), e.timeouts.Load()
+}
+
+// PendingRequests reports in-flight request waiters (diagnostics).
+func (e *MemEndpoint) PendingRequests() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// send pushes one frame through the injector into the outgoing mailbox.
+func (e *MemEndpoint) send(f memFrame) error {
+	fc := e.faultc.Load()
+	if fc == nil {
+		return e.out.Send(f)
+	}
+	var serr error
+	fc.inj.TransmitMsg(fc.tx, func() {
+		if err := e.out.Send(f); err != nil {
+			serr = err
+		}
+	})
+	return serr
+}
+
+// Request implements Endpoint with the same T1/N1 retransmission loop as
+// the UDP transport; the pending entry is removed on every exit path.
 func (e *MemEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, error) {
 	seq := e.seq.Add(1)
 	ch := make(chan Message, 1)
@@ -214,16 +403,38 @@ func (e *MemEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 		delete(e.pending, seq)
 		e.mu.Unlock()
 	}()
-	if err := e.out.Send(memFrame{seid: seid, seq: seq, msg: req}); err != nil {
-		return nil, err
-	}
-	select {
-	case resp := <-ch:
-		return resp, nil
-	case <-time.After(DefaultTimeout):
-		return nil, fmt.Errorf("pfcp: shm request %d timed out", req.PFCPType())
-	case <-e.done:
-		return nil, net.ErrClosed
+	frame := memFrame{seid: seid, seq: seq, msg: req}
+	cfg := e.retryConfig()
+	t1 := cfg.T1
+	timer := time.NewTimer(t1)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			e.retransmits.Add(1)
+		}
+		if err := e.send(frame); err != nil {
+			return nil, err
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(t1)
+		select {
+		case resp := <-ch:
+			return resp, nil
+		case <-timer.C:
+			e.timeouts.Add(1)
+			if attempt >= cfg.N1 {
+				return nil, fmt.Errorf("pfcp: shm request %d timed out after %d attempts",
+					req.PFCPType(), attempt+1)
+			}
+			t1 = cfg.next(t1)
+		case <-e.done:
+			return nil, net.ErrClosed
+		}
 	}
 }
 
@@ -233,25 +444,46 @@ func (e *MemEndpoint) recvLoop() {
 		if !ok {
 			return
 		}
-		if f.isResp {
-			e.mu.Lock()
-			ch := e.pending[f.seq]
-			e.mu.Unlock()
-			if ch != nil {
-				ch <- f.msg
-			}
+		fc := e.faultc.Load()
+		if fc == nil {
+			e.handleFrame(f)
 			continue
 		}
-		hp := e.handler.Load()
-		if hp == nil {
-			continue
-		}
-		resp, err := (*hp)(f.seid, f.msg)
-		if err != nil || resp == nil {
-			continue
-		}
-		e.out.Send(memFrame{seid: f.seid, seq: f.seq, isResp: true, msg: resp})
+		frame := f
+		fc.inj.TransmitMsg(fc.rx, func() { e.handleFrame(frame) })
 	}
+}
+
+// handleFrame dispatches one received descriptor, deduplicating
+// retransmitted requests through the response cache.
+func (e *MemEndpoint) handleFrame(f memFrame) {
+	if f.isResp {
+		e.mu.Lock()
+		ch := e.pending[f.seq]
+		e.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- f.msg:
+			default: // duplicate response
+			}
+		}
+		return
+	}
+	if cached, ok := e.respCache.get(f.seq); ok {
+		e.send(cached)
+		return
+	}
+	hp := e.handler.Load()
+	if hp == nil {
+		return
+	}
+	resp, err := (*hp)(f.seid, f.msg)
+	if err != nil || resp == nil {
+		return
+	}
+	rf := memFrame{seid: f.seid, seq: f.seq, isResp: true, msg: resp}
+	e.respCache.put(f.seq, rf)
+	e.send(rf)
 }
 
 // Close implements Endpoint.

@@ -1,0 +1,100 @@
+package pfcp
+
+import (
+	"sync"
+	"time"
+)
+
+// RetryConfig is the N4 retransmission profile: 3GPP TS 29.244 governs
+// PFCP request retransmission with a response timer T1 and a maximum
+// retransmission count N1. free5GC ships T1=3s/N1=3; here both are
+// configurable (chaos tests shrink T1 to tens of milliseconds) and T1
+// grows by Backoff per retransmission up to MaxT1, so a congested peer is
+// not hammered at a fixed cadence.
+type RetryConfig struct {
+	// T1 is the initial response wait before the first retransmission.
+	T1 time.Duration
+	// N1 is the number of retransmissions after the initial send (so a
+	// request is transmitted at most N1+1 times).
+	N1 int
+	// Backoff multiplies T1 after every retransmission (values < 1 are
+	// treated as 1: constant timer, the strict 3GPP behaviour).
+	Backoff float64
+	// MaxT1 caps the grown timer (0 = uncapped).
+	MaxT1 time.Duration
+}
+
+// DefaultRetry mirrors the free5GC/3GPP defaults, with a 2x backoff cap.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{T1: DefaultTimeout, N1: 3, Backoff: 2, MaxT1: 12 * time.Second}
+}
+
+// norm fills zero fields with defaults so a partially-set config works.
+func (c RetryConfig) norm() RetryConfig {
+	d := DefaultRetry()
+	if c.T1 <= 0 {
+		c.T1 = d.T1
+	}
+	if c.N1 < 0 {
+		c.N1 = 0
+	}
+	if c.Backoff < 1 {
+		c.Backoff = 1
+	}
+	return c
+}
+
+// next grows t1 by the backoff factor, clamped to MaxT1.
+func (c RetryConfig) next(t1 time.Duration) time.Duration {
+	t1 = time.Duration(float64(t1) * c.Backoff)
+	if c.MaxT1 > 0 && t1 > c.MaxT1 {
+		t1 = c.MaxT1
+	}
+	return t1
+}
+
+// respCacheSize bounds the responder-side dedup cache.
+const respCacheSize = 512
+
+// respCache is the responder half of reliable PFCP: retransmitted requests
+// (same sequence number) are answered from the cache instead of re-running
+// the handler, which keeps non-idempotent handlers (session establishment)
+// correct when only the response was lost. Entries age out FIFO.
+type respCache[T any] struct {
+	mu    sync.Mutex
+	bySeq map[uint32]T
+	fifo  []uint32
+}
+
+func newRespCache[T any]() *respCache[T] {
+	return &respCache[T]{bySeq: make(map[uint32]T)}
+}
+
+// get returns the cached response for seq, if any.
+func (c *respCache[T]) get(seq uint32) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.bySeq[seq]
+	return v, ok
+}
+
+// put remembers the response sent for seq.
+func (c *respCache[T]) put(seq uint32, v T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.bySeq[seq]; !ok {
+		c.fifo = append(c.fifo, seq)
+		if len(c.fifo) > respCacheSize {
+			delete(c.bySeq, c.fifo[0])
+			c.fifo = c.fifo[1:]
+		}
+	}
+	c.bySeq[seq] = v
+}
+
+// len reports the number of cached responses (tests).
+func (c *respCache[T]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bySeq)
+}

@@ -63,9 +63,11 @@ func (d *Detector) run() {
 	}
 }
 
-// Stop halts probing without declaring failure.
+// Stop halts probing without declaring failure. It is idempotent and safe
+// to call before Start (no-op) or after failure was declared (the probe
+// goroutine has already exited).
 func (d *Detector) Stop() {
-	if d.stopped.CompareAndSwap(false, true) {
+	if d.stopped.CompareAndSwap(false, true) && d.done != nil {
 		<-d.done
 	}
 }

@@ -1,0 +1,210 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestReplayOrderingUnderInterleavedClasses drives the logger with a
+// seeded random interleaving of all four classes and checks the §3.5.1
+// replay rule: the merged stream is in strictly ascending counter order
+// and contains exactly the un-released packets.
+func TestReplayOrderingUnderInterleavedClasses(t *testing.T) {
+	l := NewPacketLogger(0)
+	rng := rand.New(rand.NewSource(42))
+	classes := []Class{ULControl, ULData, DLControl, DLData}
+	type logged struct {
+		ctr  uint64
+		data string
+	}
+	var all []logged
+	for i := 0; i < 500; i++ {
+		c := classes[rng.Intn(len(classes))]
+		data := fmt.Sprintf("%s-%d", c, i)
+		ctr, ok := l.Log(c, []byte(data))
+		if !ok {
+			t.Fatalf("unbounded logger rejected packet %d", i)
+		}
+		all = append(all, logged{ctr, data})
+	}
+	out := l.ReplayFrom(0)
+	if len(out) != len(all) {
+		t.Fatalf("replayed %d packets, want %d", len(out), len(all))
+	}
+	for i, p := range out {
+		if i > 0 && p.Counter <= out[i-1].Counter {
+			t.Fatalf("replay not strictly ascending at %d: %d after %d",
+				i, p.Counter, out[i-1].Counter)
+		}
+		if p.Counter != all[i].ctr || string(p.Data) != all[i].data {
+			t.Fatalf("replay[%d] = (%d, %q), want (%d, %q)",
+				i, p.Counter, p.Data, all[i].ctr, all[i].data)
+		}
+	}
+	// Release a prefix mid-stream; the suffix replays unchanged and still
+	// in order.
+	cut := all[199].ctr
+	l.ReleaseUpTo(cut)
+	tail := l.ReplayFrom(0)
+	if len(tail) != 300 {
+		t.Fatalf("post-release replay = %d packets, want 300", len(tail))
+	}
+	if tail[0].Counter != all[200].ctr {
+		t.Fatalf("post-release replay starts at %d, want %d",
+			tail[0].Counter, all[200].ctr)
+	}
+}
+
+// TestReplayWithDroppedEntries overflows the data queues and checks that
+// replay still yields the surviving packets in ascending counter order
+// with holes where the drops happened — never reordered, never invented.
+func TestReplayWithDroppedEntries(t *testing.T) {
+	l := NewPacketLogger(4) // tiny queues force data-class overflow
+	kept := map[uint64]bool{}
+	for i := 0; i < 20; i++ {
+		// Interleave two classes; both overflow their 4-slot queues, and
+		// the drops must not corrupt the merged replay order.
+		var c Class
+		if i%2 == 0 {
+			c = ULData
+		} else {
+			c = DLControl
+		}
+		ctr, ok := l.Log(c, []byte{byte(i)})
+		if ok {
+			kept[ctr] = true
+		}
+	}
+	if l.Dropped(ULData) == 0 || l.Dropped(DLControl) == 0 {
+		t.Fatalf("expected overflow drops, got ul-data=%d dl-ctrl=%d",
+			l.Dropped(ULData), l.Dropped(DLControl))
+	}
+	out := l.ReplayFrom(0)
+	if len(out) != len(kept) {
+		t.Fatalf("replayed %d, want %d survivors", len(out), len(kept))
+	}
+	for i, p := range out {
+		if !kept[p.Counter] {
+			t.Fatalf("replay invented counter %d", p.Counter)
+		}
+		if i > 0 && p.Counter <= out[i-1].Counter {
+			t.Fatalf("replay out of order at %d", i)
+		}
+	}
+}
+
+// TestReplayWithDuplicatedEntries logs the same payload repeatedly (the
+// retransmission case: an upstream timeout re-sends an identical message,
+// and the LB logs it again under a fresh counter). Replay must keep every
+// copy, each under its own counter, in order — dedup is the receiver's
+// job, not the replay buffer's.
+func TestReplayWithDuplicatedEntries(t *testing.T) {
+	l := NewPacketLogger(0)
+	payload := []byte("pfcp-heartbeat")
+	var ctrs []uint64
+	for i := 0; i < 5; i++ {
+		ctr, ok := l.Log(ULControl, payload)
+		if !ok {
+			t.Fatal("log failed")
+		}
+		ctrs = append(ctrs, ctr)
+	}
+	out := l.ReplayFrom(0)
+	if len(out) != 5 {
+		t.Fatalf("replay kept %d copies, want 5", len(out))
+	}
+	for i, p := range out {
+		if p.Counter != ctrs[i] || string(p.Data) != string(payload) {
+			t.Fatalf("copy %d = (%d, %q)", i, p.Counter, p.Data)
+		}
+	}
+	// Replay is also idempotent: calling it again yields the same stream
+	// (failover can retry the replay without consuming the buffer).
+	again := l.ReplayFrom(0)
+	if len(again) != len(out) {
+		t.Fatalf("second replay = %d, want %d", len(again), len(out))
+	}
+	for i := range again {
+		if again[i].Counter != out[i].Counter {
+			t.Fatalf("second replay diverged at %d", i)
+		}
+	}
+}
+
+// TestReplayFromMidpointSkipsAckedPackets checks the resume-from-counter
+// path used when the backup already processed a prefix.
+func TestReplayFromMidpointSkipsAckedPackets(t *testing.T) {
+	l := NewPacketLogger(0)
+	for i := 0; i < 10; i++ {
+		l.Log(Class(i%int(numClasses)), []byte{byte(i)})
+	}
+	out := l.ReplayFrom(7)
+	if len(out) != 3 {
+		t.Fatalf("replay from 7 = %d packets, want 3", len(out))
+	}
+	for i, p := range out {
+		if p.Counter != uint64(8+i) {
+			t.Fatalf("replay[%d].Counter = %d, want %d", i, p.Counter, 8+i)
+		}
+	}
+}
+
+// TestLoggedDataIsACopy ensures mutating the caller's buffer after Log
+// does not corrupt the replay stream.
+func TestLoggedDataIsACopy(t *testing.T) {
+	l := NewPacketLogger(0)
+	buf := []byte("original")
+	l.Log(ULData, buf)
+	copy(buf, "CLOBBER!")
+	out := l.ReplayFrom(0)
+	if string(out[0].Data) != "original" {
+		t.Fatalf("logged data aliased the caller's buffer: %q", out[0].Data)
+	}
+}
+
+// TestDetectorStopBeforeStart is the regression test for the Stop-hang:
+// stopping a never-started detector must return immediately.
+func TestDetectorStopBeforeStart(t *testing.T) {
+	d := &Detector{Probe: func() bool { return true }}
+	done := make(chan struct{})
+	go func() {
+		d.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop before Start hung")
+	}
+}
+
+// TestDetectorStopAfterFailureAndIdempotent stops a detector whose probe
+// goroutine already exited by declaring failure, twice.
+func TestDetectorStopAfterFailureAndIdempotent(t *testing.T) {
+	failed := make(chan struct{})
+	d := &Detector{
+		Probe:     func() bool { return false },
+		Interval:  100 * time.Microsecond,
+		Misses:    2,
+		OnFailure: func(time.Duration) { close(failed) },
+	}
+	d.Start()
+	select {
+	case <-failed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("failure not declared")
+	}
+	done := make(chan struct{})
+	go func() {
+		d.Stop()
+		d.Stop() // idempotent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop after declared failure hung")
+	}
+}

@@ -2,13 +2,16 @@ package sbi
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"l25gc/internal/codec"
+	"l25gc/internal/faults"
 )
 
 // HTTPServer exposes a producer NF's operations over REST, the way
@@ -85,14 +88,21 @@ func contentType(c codec.Codec) string {
 // deserializes the response — paying exactly the serialization + socket
 // costs the paper attributes to the HTTP SBI.
 type HTTPConn struct {
-	base   string
-	codec  codec.Codec
-	client *http.Client
+	base    string
+	codec   codec.Codec
+	client  *http.Client
+	timeout atomic.Int64 // per-request deadline, ns
+
+	inj     *faults.Injector
+	txPoint faults.Point
 }
+
+// DefaultSBITimeout is the default per-request deadline.
+const DefaultSBITimeout = 5 * time.Second
 
 // NewHTTPConn dials a producer at host:port.
 func NewHTTPConn(addr string, c codec.Codec) *HTTPConn {
-	return &HTTPConn{
+	h := &HTTPConn{
 		base:  "http://" + addr,
 		codec: c,
 		client: &http.Client{
@@ -100,18 +110,47 @@ func NewHTTPConn(addr string, c codec.Codec) *HTTPConn {
 				MaxIdleConnsPerHost: 16,
 				IdleConnTimeout:     90 * time.Second,
 			},
-			Timeout: 5 * time.Second,
 		},
 	}
+	h.timeout.Store(int64(DefaultSBITimeout))
+	return h
 }
 
-// Invoke implements Conn.
+// SetTimeout bounds each Invoke round trip (context deadline).
+func (c *HTTPConn) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
+
+// SetInjector threads a fault injector through the consumer side; the
+// injection point is prefix+".invoke". Call before traffic flows.
+func (c *HTTPConn) SetInjector(inj *faults.Injector, prefix string) {
+	c.inj = inj
+	c.txPoint = faults.Point(prefix + ".invoke")
+}
+
+// Invoke implements Conn: one POST bounded by the per-request deadline.
 func (c *HTTPConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 	body, err := c.codec.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	httpResp, err := c.client.Post(c.base+op.Path(), contentType(c.codec), bytes.NewReader(body))
+	if c.inj != nil {
+		act := c.inj.Decide(c.txPoint, body)
+		if act.Drop {
+			return nil, fmt.Errorf("%w: request lost", ErrInjected)
+		}
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(c.timeout.Load()))
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+op.Path(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", contentType(c.codec))
+	httpResp, err := c.client.Do(httpReq)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,252 @@
+package sbi
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"l25gc/internal/codec"
+)
+
+// ErrCircuitOpen is returned by ResilientConn while its breaker is open:
+// the producer has failed repeatedly and calls are shed instead of queued
+// behind timeouts (free5GC's SBI clients exhibit exactly this head-of-line
+// problem under NF failure).
+var ErrCircuitOpen = errors.New("sbi: circuit breaker open")
+
+// ErrInjected marks a transport failure produced by the fault injector.
+var ErrInjected = errors.New("sbi: injected transport fault")
+
+// RetryPolicy shapes the consumer-side retry loop: exponential backoff
+// between attempts with deterministic seeded jitter, so chaos schedules
+// replay identically from one seed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of Invoke attempts (default 3).
+	MaxAttempts int
+	// BaseDelay is the pause after the first failure (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized across [1-J, 1+J]
+	// (default 0.2). Jitter decorrelates retry storms across consumers.
+	Jitter float64
+	// Seed drives the jitter RNG; the zero seed is a valid seed, so
+	// deterministic tests just pick one.
+	Seed int64
+}
+
+// norm fills zero fields with defaults.
+func (p RetryPolicy) norm() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// CircuitBreaker sheds calls to a producer that keeps failing: Threshold
+// consecutive transport failures open the circuit; after Cooldown one
+// half-open probe is admitted, and its outcome closes or re-opens the
+// circuit.
+type CircuitBreaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     int
+	failures  int
+	openedAt  time.Time
+
+	trips atomic.Uint64
+}
+
+// NewCircuitBreaker creates a breaker (threshold<=0 → 5, cooldown<=0 → 1s).
+func NewCircuitBreaker(threshold int, cooldown time.Duration) *CircuitBreaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &CircuitBreaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a call may proceed, transitioning open → half-open
+// once the cooldown has elapsed.
+func (b *CircuitBreaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: one probe already in flight
+		return false
+	}
+}
+
+// Success records a completed call and closes the circuit.
+func (b *CircuitBreaker) Success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// Failure records a transport failure, opening the circuit at the
+// threshold (immediately when the half-open probe fails).
+func (b *CircuitBreaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.open()
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.open()
+	}
+}
+
+// open trips the breaker; caller holds mu.
+func (b *CircuitBreaker) open() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.failures = 0
+	b.trips.Add(1)
+}
+
+// Open reports whether the circuit currently rejects calls.
+func (b *CircuitBreaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && time.Since(b.openedAt) < b.cooldown
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *CircuitBreaker) Trips() uint64 { return b.trips.Load() }
+
+// retryable classifies errors: producer-answered failures (non-2xx, i.e.
+// application-level rejections) are final; transport-level failures
+// (connection loss, timeouts, injected drops) are worth retrying.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrStatus) && !errors.Is(err, ErrBadOp) &&
+		!errors.Is(err, ErrNoHandler)
+}
+
+// ResilientConn wraps any Conn (HTTP or shared-memory) with deadline-bound
+// retries and a circuit breaker — the hardened consumer the chaos suite
+// exercises. It is itself a Conn, so NFs compose it transparently.
+type ResilientConn struct {
+	inner   Conn
+	policy  RetryPolicy
+	breaker *CircuitBreaker
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	retries atomic.Uint64
+	shed    atomic.Uint64
+}
+
+// NewResilientConn wraps inner. A nil breaker disables call shedding.
+func NewResilientConn(inner Conn, p RetryPolicy, b *CircuitBreaker) *ResilientConn {
+	p = p.norm()
+	return &ResilientConn{
+		inner:   inner,
+		policy:  p,
+		breaker: b,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+	}
+}
+
+// Retries reports the number of retry attempts performed.
+func (c *ResilientConn) Retries() uint64 { return c.retries.Load() }
+
+// Shed reports the number of calls rejected by the open breaker.
+func (c *ResilientConn) Shed() uint64 { return c.shed.Load() }
+
+// backoff returns the jittered delay before attempt n (n >= 1).
+func (c *ResilientConn) backoff(n int) time.Duration {
+	d := float64(c.policy.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= c.policy.Multiplier
+	}
+	if max := float64(c.policy.MaxDelay); d > max {
+		d = max
+	}
+	c.rngMu.Lock()
+	f := 1 + c.policy.Jitter*(2*c.rng.Float64()-1)
+	c.rngMu.Unlock()
+	return time.Duration(d * f)
+}
+
+// Invoke implements Conn: breaker check, then up to MaxAttempts tries with
+// jittered exponential backoff between them. Application-level errors
+// (ErrStatus and friends) are returned immediately — only transport
+// failures burn retry budget.
+func (c *ResilientConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
+	if c.breaker != nil && !c.breaker.Allow() {
+		c.shed.Add(1)
+		return nil, ErrCircuitOpen
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.inner.Invoke(op, req)
+		if err == nil {
+			if c.breaker != nil {
+				c.breaker.Success()
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			// The producer answered; the transport is healthy.
+			if c.breaker != nil {
+				c.breaker.Success()
+			}
+			return nil, err
+		}
+		if c.breaker != nil {
+			c.breaker.Failure()
+		}
+		if attempt >= c.policy.MaxAttempts {
+			return nil, lastErr
+		}
+		if c.breaker != nil && !c.breaker.Allow() {
+			c.shed.Add(1)
+			return nil, ErrCircuitOpen
+		}
+		c.retries.Add(1)
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// Close implements Conn.
+func (c *ResilientConn) Close() error { return c.inner.Close() }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"l25gc/internal/codec"
+	"l25gc/internal/faults"
 	"l25gc/internal/shm"
 )
 
@@ -26,13 +27,20 @@ type ShmServer struct {
 	in      *shm.Mailbox[shmFrame]
 	replyTo *shm.Mailbox[shmFrame]
 	once    sync.Once
+
+	inj     *faults.Injector
+	txPoint faults.Point
 }
 
 // ShmConn is the consumer side of the shared-memory SBI.
 type ShmConn struct {
-	out *shm.Mailbox[shmFrame]
-	in  *shm.Mailbox[shmFrame]
-	seq atomic.Uint32
+	out     *shm.Mailbox[shmFrame]
+	in      *shm.Mailbox[shmFrame]
+	seq     atomic.Uint32
+	timeout atomic.Int64 // per-invoke deadline, ns
+
+	inj     *faults.Injector
+	txPoint faults.Point
 
 	mu      sync.Mutex
 	pending map[uint32]chan shmFrame
@@ -47,9 +55,17 @@ func NewShmPair(ringSize int, h Handler) (*ShmConn, *ShmServer) {
 	toCli := shm.NewMailbox[shmFrame](ringSize)
 	srv := &ShmServer{handler: h, in: toSrv, replyTo: toCli}
 	cli := &ShmConn{out: toSrv, in: toCli, pending: make(map[uint32]chan shmFrame)}
+	cli.timeout.Store(int64(DefaultSBITimeout))
 	go srv.loop()
 	go cli.loop()
 	return cli, srv
+}
+
+// SetInjector threads a fault injector through the producer's reply path
+// (point prefix+".reply"). Call before traffic flows.
+func (s *ShmServer) SetInjector(inj *faults.Injector, prefix string) {
+	s.inj = inj
+	s.txPoint = faults.Point(prefix + ".reply")
 }
 
 func (s *ShmServer) loop() {
@@ -62,6 +78,10 @@ func (s *ShmServer) loop() {
 		rf := shmFrame{op: f.op, seq: f.seq, isResp: true, msg: resp}
 		if err != nil {
 			rf.err = err.Error()
+		}
+		if s.inj != nil {
+			s.inj.TransmitMsg(s.txPoint, func() { s.replyTo.Send(rf) })
+			continue
 		}
 		s.replyTo.Send(rf)
 	}
@@ -94,6 +114,16 @@ func (c *ShmConn) loop() {
 	}
 }
 
+// SetTimeout bounds each Invoke round trip.
+func (c *ShmConn) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
+
+// SetInjector threads a fault injector through the consumer's send path
+// (point prefix+".invoke"). Call before traffic flows.
+func (c *ShmConn) SetInjector(inj *faults.Injector, prefix string) {
+	c.inj = inj
+	c.txPoint = faults.Point(prefix + ".invoke")
+}
+
 // Invoke implements Conn.
 func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 	seq := c.seq.Add(1)
@@ -106,7 +136,18 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 		delete(c.pending, seq)
 		c.mu.Unlock()
 	}()
-	if err := c.out.Send(shmFrame{op: op, seq: seq, msg: req}); err != nil {
+	frame := shmFrame{op: op, seq: seq, msg: req}
+	if c.inj != nil {
+		var serr error
+		c.inj.TransmitMsg(c.txPoint, func() {
+			if err := c.out.Send(frame); err != nil {
+				serr = err
+			}
+		})
+		if serr != nil {
+			return nil, serr
+		}
+	} else if err := c.out.Send(frame); err != nil {
 		return nil, err
 	}
 	select {
@@ -115,7 +156,7 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 			return nil, fmt.Errorf("sbi: producer error: %s", f.err)
 		}
 		return f.msg, nil
-	case <-time.After(5 * time.Second):
+	case <-time.After(time.Duration(c.timeout.Load())):
 		return nil, fmt.Errorf("sbi: shm invoke %s timed out", op.Name())
 	}
 }
