@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build test check chaos
+.PHONY: all build test check chaos trace-smoke
 
 all: build
 
@@ -10,12 +11,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate: static checks plus the full test tree under the race
-# detector (includes the seeded chaos suite in internal/faults).
+# Tier-1 gate: formatting, static checks, then the full test tree under
+# the race detector (includes the seeded chaos suite in internal/faults).
 check:
+	@fmt_out=$$($(GOFMT) -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 # Just the chaos scenarios, verbosely, for schedule debugging.
 chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/faults
+
+# Traced registration + session establishment in both deployment modes:
+# breakdown coverage, stage-name asymmetry, Chrome export validity.
+trace-smoke:
+	$(GO) test -race -v -run 'TestTraceSmoke|TestRegistryNameSet' ./internal/core

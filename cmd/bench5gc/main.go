@@ -22,7 +22,9 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment ID (or 'all')")
 	list := flag.Bool("list", false, "list experiments")
+	traceOut := flag.String("trace-out", "", "Chrome trace JSON path prefix for the 'trace' experiment")
 	flag.Parse()
+	bench.TraceOut = *traceOut
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

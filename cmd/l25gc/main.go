@@ -16,16 +16,23 @@ import (
 	"time"
 
 	"l25gc/internal/core"
+	"l25gc/internal/metrics"
 	"l25gc/internal/nf/udr"
 	"l25gc/internal/pkt"
 	"l25gc/internal/ranue"
+	"l25gc/internal/trace"
 )
 
 func main() {
 	mode := flag.String("mode", "l25gc", "deployment mode: l25gc | free5gc | onvm-upf")
 	ues := flag.Int("ues", 1, "number of UEs to run through the event sequence")
 	cls := flag.String("classifier", "", "PDR classifier: ll | tss | ps (default per mode)")
+	doTrace := flag.Bool("trace", false, "record spans and print a stage breakdown + metrics snapshot")
+	traceOut := flag.String("trace-out", "", "write the Chrome trace JSON here (implies -trace)")
 	flag.Parse()
+	if *traceOut != "" {
+		*doTrace = true
+	}
 
 	var m core.Mode
 	switch *mode {
@@ -49,7 +56,15 @@ func main() {
 			Dnn:  "internet", Sst: 1,
 		}
 	}
-	c, err := core.New(core.Config{Mode: m, ClsAlgo: *cls, Subscribers: subs})
+	var tr *trace.Tracer
+	var reg *metrics.Registry
+	if *doTrace {
+		tr = trace.New()
+		reg = metrics.NewRegistry()
+	}
+	c, err := core.New(core.Config{
+		Mode: m, ClsAlgo: *cls, Subscribers: subs, Tracer: tr, Metrics: reg,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "core start: %v\n", err)
 		os.Exit(1)
@@ -111,6 +126,22 @@ func main() {
 		fmt.Printf("paged and reconnected in %v\n", d)
 	}
 	fmt.Println("\nall UE events completed")
+
+	if *doTrace {
+		if bd := tr.Breakdown("pfcp.request.session_establishment"); bd != nil {
+			fmt.Println("\nPFCP session establishment stage breakdown:")
+			bd.Table().Write(os.Stdout)
+		}
+		fmt.Println("\nmetrics snapshot:")
+		reg.Snapshot().Table().Write(os.Stdout)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		exitOn(err)
+		exitOn(tr.WriteChrome(f))
+		exitOn(f.Close())
+		fmt.Printf("\nChrome trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func exitOn(err error) {

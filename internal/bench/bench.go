@@ -58,6 +58,7 @@ func Experiments() []Experiment {
 		{"fig16", "5GC failover during an ongoing handover", Fig16},
 		{"fig17", "Repeated handovers with 10 TCP connections (Appendix C)", Fig17},
 		{"ablation", "Design-choice ablations (DESIGN.md §5)", Ablation},
+		{"trace", "Traced session establishment: per-stage transport breakdown", Trace},
 	}
 }
 

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"l25gc/internal/core"
+	"l25gc/internal/metrics"
+	"l25gc/internal/pkt"
+	"l25gc/internal/ranue"
+	"l25gc/internal/trace"
+)
+
+// TraceOut, when non-empty, makes the trace experiment also write each
+// mode's Chrome trace-event JSON to "<TraceOut>-<mode>.json" (loadable in
+// ui.perfetto.dev). Set by cmd/bench5gc's -trace-out flag.
+var TraceOut string
+
+// tracedEstablishment runs one registration + session establishment on a
+// fresh traced core and returns the PFCP establishment breakdown plus the
+// tracer (for export).
+func tracedEstablishment(mode core.Mode) (*trace.Breakdown, *trace.Tracer, error) {
+	tr := trace.New()
+	c, err := core.New(core.Config{
+		Mode: mode, Subscribers: benchSubscribers(1), Tracer: tr,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer c.Stop()
+	g, err := ranue.NewGNB(1, pkt.AddrFrom(10, 100, 0, 10), c.N2Addr(), c)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer g.Close()
+	ue := ranue.NewUE("imsi-208930000000001", []byte("0123456789abcdef"), []byte("fedcba9876543210"))
+	if _, err := ue.Register(g); err != nil {
+		return nil, nil, fmt.Errorf("registration: %w", err)
+	}
+	if _, err := ue.EstablishSession(5, "internet"); err != nil {
+		return nil, nil, fmt.Errorf("session: %w", err)
+	}
+	time.Sleep(20 * time.Millisecond) // let DL activation settle into the trace
+	bd := tr.Breakdown("pfcp.request.session_establishment")
+	if bd == nil {
+		return nil, nil, fmt.Errorf("%v: no establishment span recorded", mode)
+	}
+	return bd, tr, nil
+}
+
+// Trace runs a traced PFCP session establishment on the free5GC baseline
+// and on L²5GC and prints the two stage breakdowns side by side: the
+// kernel path pays encode/syscall/decode on every N4 exchange, the
+// shared-memory path replaces all three with one descriptor transfer.
+func Trace() (*Result, error) {
+	modes := []core.Mode{core.ModeFree5GC, core.ModeL25GC}
+	bds := make(map[core.Mode]*trace.Breakdown)
+	for _, m := range modes {
+		bd, tr, err := tracedEstablishment(m)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", m, err)
+		}
+		bds[m] = bd
+		if TraceOut != "" {
+			f, err := os.Create(fmt.Sprintf("%s-%s.json", TraceOut, m))
+			if err != nil {
+				return nil, err
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Union of stage names across modes, one row each; "-" marks a stage
+	// the mode's transport does not pay.
+	totals := make(map[core.Mode]map[string]time.Duration)
+	names := map[string]bool{}
+	for m, bd := range bds {
+		totals[m] = make(map[string]time.Duration)
+		for _, st := range bd.Stages {
+			totals[m][st.Name] = st.Total
+			names[st.Name] = true
+		}
+	}
+	var order []string
+	for n := range names {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	tab := metrics.NewTable("stage", "free5GC", "L25GC")
+	cell := func(m core.Mode, name string) any {
+		if d, ok := totals[m][name]; ok {
+			return d
+		}
+		return "-"
+	}
+	for _, n := range order {
+		tab.Row(n, cell(core.ModeFree5GC, n), cell(core.ModeL25GC, n))
+	}
+	tab.Row("(end-to-end)", bds[core.ModeFree5GC].Window, bds[core.ModeL25GC].Window)
+
+	notes := []string{
+		fmt.Sprintf("coverage: free5GC %.1f%%, L25GC %.1f%% of the establishment window attributed",
+			100*bds[core.ModeFree5GC].Coverage, 100*bds[core.ModeL25GC].Coverage),
+		"the shm N4 has no pfcp.encode / pfcp.tx.syscall / pfcp.rx.decode rows:",
+		"descriptor passing removes serialization and socket crossings (paper Fig. 6).",
+	}
+	if TraceOut != "" {
+		notes = append(notes, fmt.Sprintf("Chrome traces written to %s-<mode>.json (open in ui.perfetto.dev)", TraceOut))
+	}
+	return &Result{
+		ID:    "trace",
+		Title: "Traced PFCP session establishment: per-stage breakdown by transport",
+		Table: tab,
+		Notes: notes,
+	}, nil
+}

@@ -18,10 +18,12 @@ package core
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"l25gc/internal/codec"
 	"l25gc/internal/kernelpath"
+	"l25gc/internal/metrics"
 	"l25gc/internal/nf/amf"
 	"l25gc/internal/nf/ausf"
 	"l25gc/internal/nf/nrf"
@@ -34,6 +36,7 @@ import (
 	"l25gc/internal/pkt"
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/sbi"
+	"l25gc/internal/trace"
 	"l25gc/internal/upf"
 )
 
@@ -71,6 +74,14 @@ type Config struct {
 	BufferPkts  uint16 // UPF per-session DL buffer (default 3000)
 	Subscribers []udr.Subscriber
 	PoolPrefix  string // shared-memory security domain (default "l25gc")
+
+	// Tracer, when non-nil, threads span tracks through every traced
+	// component (control-plane procedures, PFCP stages, data-plane hot
+	// paths). Nil keeps the zero-cost disabled fast path.
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, collects every component counter under
+	// stable dotted names (onvm.*, pfcp.*, sbi.*, upf.*, kern.*).
+	Metrics *metrics.Registry
 }
 
 // Core is one running 5GC unit.
@@ -132,6 +143,8 @@ func New(cfg Config) (*Core, error) {
 
 func (c *Core) start() error {
 	cfg := c.cfg
+	tr, reg := cfg.Tracer, cfg.Metrics
+	track := func(name string) *trace.Track { return trace.NewTrack(tr, name) }
 
 	// --- repositories and registry ---
 	c.NRF = nrf.New()
@@ -150,6 +163,8 @@ func (c *Core) start() error {
 			return err
 		}
 		c.closers = append(c.closers, func() { upfEP.Close() })
+		upfEP.SetTracer(track("pfcp.upf"))
+		upfEP.ExportMetrics(reg, "pfcp.upf")
 		c.UPFC = upf.NewUPFC(c.UPFState, upfN3IP, upfEP)
 		k, err := kernelpath.New(c.UPFState, c.UPFC)
 		if err != nil {
@@ -157,11 +172,15 @@ func (c *Core) start() error {
 		}
 		c.kupf = k
 		c.closers = append(c.closers, func() { k.Close() })
+		k.SetTracer(track("kern"))
+		k.ExportMetrics(reg, "kern")
 		smfEP, err := pfcp.NewUDPEndpoint("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
 		c.closers = append(c.closers, func() { smfEP.Close() })
+		smfEP.SetTracer(track("pfcp.smf"))
+		smfEP.ExportMetrics(reg, "pfcp.smf")
 		if err := smfEP.Connect(upfEP.Addr()); err != nil {
 			return err
 		}
@@ -173,10 +192,18 @@ func (c *Core) start() error {
 		c.UPFState = upf.NewState(cfg.ClsAlgo, int(cfg.BufferPkts))
 		smfEP, upfEP := pfcp.NewMemPair(1024)
 		c.closers = append(c.closers, func() { smfEP.Close(); upfEP.Close() })
+		smfEP.SetTracer(track("pfcp.smf"))
+		smfEP.ExportMetrics(reg, "pfcp.smf")
+		upfEP.SetTracer(track("pfcp.upf"))
+		upfEP.ExportMetrics(reg, "pfcp.upf")
 		c.UPFC = upf.NewUPFC(c.UPFState, upfN3IP, upfEP)
 		c.UPFU = upf.NewUPFU(c.UPFState, c.UPFC)
+		c.UPFU.SetTracer(track("upf"))
+		c.UPFU.ExportMetrics(reg, "upf")
 		c.mgr = onvm.NewManager(onvm.Config{PoolSize: 8192, RingSize: 2048, PoolPrefix: cfg.PoolPrefix})
 		c.closers = append(c.closers, c.mgr.Stop)
+		c.mgr.SetTracer(track("onvm"))
+		c.mgr.ExportMetrics(reg, "onvm")
 		if _, err := c.UPFU.AttachONVM(c.mgr, upfServiceID); err != nil {
 			return err
 		}
@@ -186,12 +213,14 @@ func (c *Core) start() error {
 		c.mgr.RegisterPort(uint16(upf.PortN6), c.n6Egress)
 		smfN4 = smfEP
 	}
+	c.UPFState.ExportMetrics(reg, "upf")
 
 	// --- control-plane NF mesh ---
 	// connTo builds a consumer connection to a producer handler according
 	// to the mode's SBI transport, registering the producer with the NRF.
 	httpSBI := cfg.Mode == ModeFree5GC || cfg.Mode == ModeONVMUPF
 	connTo := func(nfType string, h sbi.Handler) (sbi.Conn, error) {
+		sbiName := "sbi." + strings.ToLower(nfType)
 		if httpSBI {
 			srv, err := sbi.NewHTTPServer("127.0.0.1:0", codec.JSON{}, h)
 			if err != nil {
@@ -203,6 +232,8 @@ func (c *Core) start() error {
 			})
 			conn := sbi.NewHTTPConn(srv.Addr(), codec.JSON{})
 			c.closers = append(c.closers, func() { conn.Close() })
+			conn.SetTracer(track(sbiName))
+			conn.ExportMetrics(reg, sbiName)
 			return conn, nil
 		}
 		conn, srv := sbi.NewShmPair(1024, h)
@@ -210,6 +241,8 @@ func (c *Core) start() error {
 		c.NRF.Handle(sbi.OpNFRegister, &sbi.NFRegisterRequest{
 			NfInstanceID: nfType + "-1", NfType: nfType, Addr: "shm:" + nfType,
 		})
+		conn.SetTracer(track(sbiName))
+		conn.ExportMetrics(reg, sbiName)
 		return conn, nil
 	}
 
@@ -258,6 +291,7 @@ func (c *Core) start() error {
 		defer amfConnMu.Unlock()
 		return amfConnForSmf
 	})
+	c.SMF.SetTracer(track("smf"))
 	smfConn, err := connTo("SMF", c.SMF.Handle)
 	if err != nil {
 		return err
@@ -270,6 +304,7 @@ func (c *Core) start() error {
 		return err
 	}
 	c.closers = append(c.closers, func() { c.AMF.Close() })
+	c.AMF.SetTracer(track("amf"))
 
 	amfConn, err := connTo("AMF", c.AMF.Handle)
 	if err != nil {

@@ -24,7 +24,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"l25gc/internal/metrics"
+	"l25gc/internal/trace"
 )
 
 // Kind enumerates the fault classes the injector can produce.
@@ -116,7 +120,7 @@ type held struct {
 // pointState is the per-point deterministic context.
 type pointState struct {
 	rng  *rand.Rand
-	seen int   // messages observed at this point
+	seen int // messages observed at this point
 	held []held
 }
 
@@ -138,6 +142,8 @@ type statKey struct {
 type Injector struct {
 	seed int64
 
+	tracec atomic.Pointer[trace.Track]
+
 	mu          sync.Mutex
 	rules       []*ruleState
 	points      map[Point]*pointState
@@ -158,6 +164,28 @@ func New(seed int64) *Injector {
 		partitioned: make(map[string]bool),
 		onCrash:     make(map[string][]func()),
 		stats:       make(map[statKey]uint64),
+	}
+}
+
+// SetTracer installs a trace track: every fired fault is emitted as an
+// instant event ("fault.drop", "fault.delay", ...) carrying its injection
+// point, so chaos schedules are visible inline in exported traces.
+func (i *Injector) SetTracer(tk *trace.Track) {
+	if i == nil {
+		return
+	}
+	i.tracec.Store(tk)
+}
+
+// ExportMetrics registers per-kind fired-fault totals under prefix
+// (prefix+".drop", prefix+".delay", ...).
+func (i *Injector) ExportMetrics(reg *metrics.Registry, prefix string) {
+	if i == nil {
+		return
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		k := k
+		reg.RegisterGauge(prefix+"."+k.String(), func() uint64 { return i.Total(k) })
 	}
 }
 
@@ -243,6 +271,7 @@ func (i *Injector) Decide(p Point, data []byte) Action {
 	if i == nil {
 		return act
 	}
+	var fired []Kind
 	i.mu.Lock()
 	ps := i.point(p)
 	ps.seen++
@@ -274,6 +303,7 @@ func (i *Injector) Decide(p Point, data []byte) Action {
 		}
 		r.fired++
 		i.stats[statKey{p, r.Kind}]++
+		fired = append(fired, r.Kind)
 		switch r.Kind {
 		case Drop:
 			act.Drop = true
@@ -298,8 +328,18 @@ func (i *Injector) Decide(p Point, data []byte) Action {
 	if !act.Drop && i.blockedLocked(p) {
 		act.Drop = true
 		i.stats[statKey{p, Partition}]++
+		fired = append(fired, Partition)
 	}
 	i.mu.Unlock()
+	// Trace events are emitted after mu is released: Track.Event takes the
+	// tracer lock, and callers may already be inside traced sections.
+	if len(fired) > 0 {
+		if tk := i.tracec.Load(); tk != nil {
+			for _, k := range fired {
+				tk.Event("fault."+k.String(), "point", string(p))
+			}
+		}
+	}
 	for _, f := range release {
 		f()
 	}

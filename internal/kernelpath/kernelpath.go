@@ -16,9 +16,11 @@ import (
 	"l25gc/internal/classifier"
 	"l25gc/internal/faults"
 	"l25gc/internal/gtp"
+	"l25gc/internal/metrics"
 	"l25gc/internal/pkt"
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/rules"
+	"l25gc/internal/trace"
 	"l25gc/internal/upf"
 )
 
@@ -50,6 +52,7 @@ type KernelUPF struct {
 	injected     atomic.Uint64 // packets dropped/corrupted by the injector
 
 	faultc atomic.Pointer[injConf]
+	tracec atomic.Pointer[trace.Track]
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -145,6 +148,19 @@ func (k *KernelUPF) SetInjector(inj *faults.Injector, prefix string) {
 	})
 }
 
+// SetTracer installs a trace track for per-stage data-path spans
+// ("kern.gtp.decode", "kern.classify", "kern.gtp.encode",
+// "kern.syscall.tx", "kern.buffer"); nil disables tracing.
+func (k *KernelUPF) SetTracer(tk *trace.Track) { k.tracec.Store(tk) }
+
+// ExportMetrics registers the data-path counters under prefix.
+func (k *KernelUPF) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".ul_fwd", k.ulFwd.Load)
+	reg.RegisterGauge(prefix+".dl_fwd", k.dlFwd.Load)
+	reg.RegisterGauge(prefix+".dropped", k.dropped.Load)
+	reg.RegisterGauge(prefix+".injected", k.injected.Load)
+}
+
 // decide applies one injector decision to a packet in place. It returns
 // false when the packet must be discarded.
 func (k *KernelUPF) decide(fc *injConf, p faults.Point, data []byte) bool {
@@ -178,22 +194,29 @@ func (k *KernelUPF) n3Loop() {
 		if fc := k.faultc.Load(); fc != nil && !k.decide(fc, fc.n3rx, buf[:n]) {
 			continue
 		}
+		tk := k.tracec.Load()
+		dec := tk.Start("kern.gtp.decode")
 		inner, err := hdr.Decode(buf[:n])
+		dec.End()
 		if err != nil || hdr.MsgType != gtp.MsgGPDU {
 			k.dropped.Add(1)
 			continue
 		}
+		cls := tk.Start("kern.classify")
 		ctx, ok := k.state.ByTEID(hdr.TEID)
 		if !ok {
+			cls.End()
 			k.dropped.Add(1)
 			continue
 		}
 		if err := scratch.ParseIPv4(inner); err != nil {
+			cls.End()
 			k.dropped.Add(1)
 			continue
 		}
 		key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, TEID: hdr.TEID, FromAccess: true}
 		pdr, far := ctx.Match(&key)
+		cls.End()
 		if pdr == nil {
 			k.dropped.Add(1)
 			continue
@@ -213,7 +236,10 @@ func (k *KernelUPF) n3Loop() {
 			continue
 		}
 		// A second kernel crossing and copy: the baseline's cost.
-		if _, err := k.n6.WriteToUDP(inner, dn); err == nil {
+		tx := tk.Start("kern.syscall.tx")
+		_, err = k.n6.WriteToUDP(inner, dn)
+		tx.End()
+		if err == nil {
 			k.ulFwd.Add(1)
 		} else {
 			k.dropped.Add(1)
@@ -236,17 +262,22 @@ func (k *KernelUPF) n6Loop() {
 		if fc := k.faultc.Load(); fc != nil && !k.decide(fc, fc.n6rx, raw[:n]) {
 			continue
 		}
+		tk := k.tracec.Load()
+		cls := tk.Start("kern.classify")
 		if err := scratch.ParseIPv4(raw[:n]); err != nil {
+			cls.End()
 			k.dropped.Add(1)
 			continue
 		}
 		ctx, ok := k.state.ByUEIP(scratch.IP.Dst)
 		if !ok {
+			cls.End()
 			k.dropped.Add(1)
 			continue
 		}
 		key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, FromAccess: false}
 		pdr, far := ctx.Match(&key)
+		cls.End()
 		if pdr == nil {
 			k.dropped.Add(1)
 			continue
@@ -257,17 +288,21 @@ func (k *KernelUPF) n6Loop() {
 		}
 		if far.Action&rules.FARBuffer != 0 {
 			// Smart buffering: copy into a pooled buffer and park it.
+			sp := tk.Start("kern.buffer")
 			b, err := k.pool.Get()
 			if err != nil {
+				sp.End()
 				k.dropped.Add(1)
 				continue
 			}
 			if b.SetData(raw[:n]) != nil {
+				sp.End()
 				b.Release()
 				k.dropped.Add(1)
 				continue
 			}
 			stored, first := ctx.Park(b)
+			sp.End()
 			if first && far.Action&rules.FARNotifyCP != 0 && k.upfc != nil {
 				go k.upfc.ReportDL(ctx, pdr.ID)
 			}
@@ -298,12 +333,16 @@ func (k *KernelUPF) sendDL(out, inner []byte, pdr *rules.PDR, far *rules.FAR) bo
 	if pdr.PDI.HasQFI {
 		qfi = pdr.PDI.QFI
 	}
+	tk := k.tracec.Load()
+	enc := tk.Start("kern.gtp.encode")
 	hdr := gtp.Header{MsgType: gtp.MsgGPDU, TEID: far.OuterTEID, HasQFI: true, QFI: qfi}
 	hn, err := hdr.Encode(out, len(inner))
 	if err != nil {
+		enc.End()
 		return false
 	}
 	copy(out[hn:], inner) // software copy, as in the kernel module path
+	enc.End()
 	if fc := k.faultc.Load(); fc != nil && !k.decide(fc, fc.n3tx, out[:hn+len(inner)]) {
 		return false
 	}
@@ -313,7 +352,9 @@ func (k *KernelUPF) sendDL(out, inner []byte, pdr *rules.PDR, far *rules.FAR) bo
 	if dst == nil {
 		return false
 	}
+	tx := tk.Start("kern.syscall.tx")
 	_, err = k.n3.WriteToUDP(out[:hn+len(inner)], dst)
+	tx.End()
 	return err == nil
 }
 

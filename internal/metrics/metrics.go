@@ -48,6 +48,9 @@ type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	// min/max are tracked incrementally on Observe so reading them never
+	// forces a full percentile sort.
+	min, max time.Duration
 }
 
 // NewHistogram returns an empty histogram.
@@ -56,6 +59,12 @@ func NewHistogram() *Histogram { return &Histogram{} }
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
+	if len(h.samples) == 0 || d < h.min {
+		h.min = d
+	}
+	if len(h.samples) == 0 || d > h.max {
+		h.max = d
+	}
 	h.samples = append(h.samples, d)
 	h.sorted = false
 	h.mu.Unlock()
@@ -107,11 +116,19 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.samples[idx]
 }
 
-// Min returns the smallest sample.
-func (h *Histogram) Min() time.Duration { return h.Percentile(0.0001) }
+// Min returns the smallest sample (0 with no samples) without sorting.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
 
-// Max returns the largest sample.
-func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+// Max returns the largest sample (0 with no samples) without sorting.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Summary renders "mean p50 p99 max (n)" in a compact line.
 func (h *Histogram) Summary() string {
@@ -125,6 +142,7 @@ func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
 	h.sorted = false
+	h.min, h.max = 0, 0
 	h.mu.Unlock()
 }
 
@@ -139,16 +157,31 @@ type Series struct {
 	mu     sync.Mutex
 	name   string
 	start  time.Time
+	sim    bool // simulated-time series: offsets come from AddAt only
 	points []Point
 }
 
-// NewSeries creates a series anchored at now.
+// NewSeries creates a wall-clock series anchored at now; Add stamps
+// samples with the offset since creation.
 func NewSeries(name string) *Series {
 	return &Series{name: name, start: time.Now()}
 }
 
-// Add records v at the current instant.
-func (s *Series) Add(v float64) { s.AddAt(time.Since(s.start), v) }
+// NewSeriesSim creates a simulated-time series: it takes no wall-clock
+// anchor, samples are stamped exclusively through AddAt with offsets from
+// the simulation clock. Add panics on such a series — mixing the host
+// clock into a netsim timeline is always a bug.
+func NewSeriesSim(name string) *Series {
+	return &Series{name: name, sim: true}
+}
+
+// Add records v at the current wall-clock instant.
+func (s *Series) Add(v float64) {
+	if s.sim {
+		panic("metrics: wall-clock Add on simulated-time series " + s.name)
+	}
+	s.AddAt(time.Since(s.start), v)
+}
 
 // AddAt records v at a specific offset (for simulated time).
 func (s *Series) AddAt(t time.Duration, v float64) {

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry centralizes the counters and histograms that were previously
+// scattered across components (ONVM ring-overflow drops, PFCP
+// retransmits, SBI circuit-breaker state, UPF buffer depth) behind one
+// snapshot/reset surface. Components export into it through their
+// ExportMetrics methods; the harness reads one Snapshot.
+//
+// Values are registered as reader functions, so a component keeps its own
+// cheap atomics on the hot path and the registry only pays at snapshot
+// time. Several readers may share one name (the core wires three UDM
+// connections under "sbi.udm.*"); their values sum. Reset records the
+// current readings as a baseline and later snapshots report the delta, so
+// monotonic sources need no writable reset hook.
+//
+// A nil *Registry is a valid no-op at every method, letting components
+// call ExportMetrics unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string][]func() uint64
+	base     map[string]uint64
+	hists    map[string]*Histogram
+	owned    map[string]*Counter
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string][]func() uint64),
+		base:     make(map[string]uint64),
+		hists:    make(map[string]*Histogram),
+		owned:    make(map[string]*Counter),
+	}
+}
+
+// RegisterGauge registers a reader under name. Multiple readers under one
+// name sum in snapshots.
+func (r *Registry) RegisterGauge(name string, load func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = append(r.counters[name], load)
+	r.mu.Unlock()
+}
+
+// RegisterCounter registers an existing counter under its own name.
+func (r *Registry) RegisterCounter(c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.RegisterGauge(c.Name(), c.Load)
+}
+
+// Counter returns the registry-owned counter with the given name,
+// creating and registering it on first use. With a nil registry it
+// returns a detached counter, so call sites need no nil checks.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return NewCounter(name)
+	}
+	r.mu.Lock()
+	c := r.owned[name]
+	if c == nil {
+		c = NewCounter(name)
+		r.owned[name] = c
+		r.counters[name] = append(r.counters[name], c.Load)
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// RegisterHistogram registers h under name (last registration wins).
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// Histogram returns the registered histogram with the given name,
+// creating one on first use. With a nil registry it returns a detached
+// histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return NewHistogram()
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// HistStats is a histogram summary inside a Snapshot.
+type HistStats struct {
+	Count          int
+	Mean, P50, P99 time.Duration
+	Min, Max       time.Duration
+}
+
+// Snapshot is a point-in-time reading of every registered metric.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Histograms map[string]HistStats
+}
+
+// Snapshot reads every registered counter/gauge (summing shared names and
+// subtracting the Reset baseline) and summarizes every histogram.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Histograms: make(map[string]HistStats),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, loads := range r.counters {
+		var v uint64
+		for _, load := range loads {
+			v += load()
+		}
+		if base := r.base[name]; v >= base {
+			v -= base
+		}
+		snap.Counters[name] = v
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = HistStats{
+			Count: h.Count(), Mean: h.Mean(),
+			P50: h.Percentile(50), P99: h.Percentile(99),
+			Min: h.Min(), Max: h.Max(),
+		}
+	}
+	return snap
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes the registry's view: counter/gauge readings become the new
+// baseline and histograms are cleared. Component-side atomics are not
+// touched, so concurrent hot paths never observe a reset.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, loads := range r.counters {
+		var v uint64
+		for _, load := range loads {
+			v += load()
+		}
+		r.base[name] = v
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// Table renders the counter part of a snapshot as a sorted two-column
+// table, for the harness's summary output.
+func (s Snapshot) Table() *Table {
+	tab := NewTable("metric", "value")
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tab.Row(n, s.Counters[n])
+	}
+	return tab
+}

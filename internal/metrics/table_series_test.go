@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTableColumnWidths(t *testing.T) {
+	tab := NewTable("op", "latency")
+	tab.Row("a", "x")
+	tab.Row("a-much-longer-operation-name", "y")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	// Cell wider than header sets the column width: every line pads to it.
+	want := len("a-much-longer-operation-name") + len("  ") + len("latency")
+	for i, l := range lines {
+		if len(l) != want {
+			t.Fatalf("line %d width = %d, want %d: %q", i, len(l), want, l)
+		}
+	}
+	// Separator row is dashes sized to the widest cell per column.
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("a-much-longer-operation-name"))) {
+		t.Fatalf("separator row wrong: %q", lines[1])
+	}
+}
+
+func TestTableDurationRounding(t *testing.T) {
+	tab := NewTable("d")
+	tab.Row(1234567 * time.Nanosecond) // >= 1ms: rounded to 10µs
+	tab.Row(12345 * time.Nanosecond)   // >= 1µs: rounded to 10ns
+	tab.Row(123 * time.Nanosecond)     // < 1µs: raw
+	tab.Row(3.14159)                   // float64: two decimals
+	out := tab.String()
+	for _, want := range []string{"1.23ms", "12.35µs", "123ns", "3.14"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "1.234567ms") || strings.Contains(out, "12.345µs") {
+		t.Fatalf("durations not rounded:\n%s", out)
+	}
+}
+
+func TestSeriesConcurrentAdd(t *testing.T) {
+	s := NewSeries("rtt")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Add(1.0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(s.Points()); got != 800 {
+		t.Fatalf("points = %d, want 800", got)
+	}
+}
+
+func TestSeriesPointsCopy(t *testing.T) {
+	s := NewSeriesSim("cwnd")
+	s.AddAt(time.Second, 10)
+	pts := s.Points()
+	pts[0].V = -1
+	if got := s.Points()[0].V; got != 10 {
+		t.Fatalf("Points did not copy: mutation leaked, got %v", got)
+	}
+}
+
+func TestSeriesSimRejectsWallClockAdd(t *testing.T) {
+	s := NewSeriesSim("goodput")
+	s.AddAt(2*time.Second, 42) // sim-time samples are fine
+	if got := s.Points(); len(got) != 1 || got[0].T != 2*time.Second {
+		t.Fatalf("AddAt on sim series = %+v", got)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Add on simulated-time series did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "goodput") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	s.Add(1)
+}

@@ -36,6 +36,40 @@ const (
 	MsgConfigurationUpdate
 )
 
+// MsgName returns a stable lowercase label for a NAS message type, used
+// as the span attribute on traced control-plane procedures.
+func MsgName(t MsgType) string {
+	switch t {
+	case MsgRegistrationRequest:
+		return "registration_request"
+	case MsgAuthenticationRequest:
+		return "authentication_request"
+	case MsgAuthenticationResponse:
+		return "authentication_response"
+	case MsgSecurityModeCommand:
+		return "security_mode_command"
+	case MsgSecurityModeComplete:
+		return "security_mode_complete"
+	case MsgRegistrationAccept:
+		return "registration_accept"
+	case MsgRegistrationComplete:
+		return "registration_complete"
+	case MsgPDUSessionEstablishmentRequest:
+		return "pdu_session_establishment_request"
+	case MsgPDUSessionEstablishmentAccept:
+		return "pdu_session_establishment_accept"
+	case MsgServiceRequest:
+		return "service_request"
+	case MsgServiceAccept:
+		return "service_accept"
+	case MsgDeregistrationRequest:
+		return "deregistration_request"
+	case MsgConfigurationUpdate:
+		return "configuration_update"
+	}
+	return "unknown"
+}
+
 // ErrUnknownMsg reports an unrecognized NAS message type byte.
 var ErrUnknownMsg = errors.New("nas: unknown message type")
 

@@ -66,8 +66,8 @@ func NewReno(sim *Sim, id int, totalBytes int64, path func(Packet)) *Reno {
 		cwnd: initCwnd, ssthresh: 1e9, rto: MinRTO,
 		sentAt: make(map[int64]time.Duration),
 		sacked: make(map[int64]bool),
-		RTT:    metrics.NewSeries("rtt"),
-		Cwnd:   metrics.NewSeries("cwnd"),
+		RTT:    metrics.NewSeriesSim("rtt"),
+		Cwnd:   metrics.NewSeriesSim("cwnd"),
 	}
 }
 
@@ -323,7 +323,7 @@ func NewReceiver(sim *Sim, id int, ackPath func(Packet)) *Receiver {
 	return &Receiver{
 		sim: sim, id: id, ackPath: ackPath,
 		ooo:     make(map[int64]int),
-		Goodput: metrics.NewSeries("goodput"),
+		Goodput: metrics.NewSeriesSim("goodput"),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"l25gc/internal/nas"
 	"l25gc/internal/ngap"
 	"l25gc/internal/sbi"
+	"l25gc/internal/trace"
 )
 
 // regState tracks registration progress.
@@ -88,6 +89,7 @@ type AMF struct {
 	nextUeID atomic.Uint64
 	closed   atomic.Bool
 	wg       sync.WaitGroup
+	tracec   atomic.Pointer[trace.Track]
 
 	// Logf receives procedure traces; defaults to a silent logger.
 	Logf func(format string, args ...any)
@@ -112,6 +114,11 @@ func New(cfg Config, ausf, udm, pcf, smf sbi.Conn) (*AMF, error) {
 	go a.acceptLoop()
 	return a, nil
 }
+
+// SetTracer installs a trace track for control-plane procedure spans
+// (amf.registration.*, amf.session.*, amf.ho.*, amf.paging.trigger);
+// nil disables tracing.
+func (a *AMF) SetTracer(tk *trace.Track) { a.tracec.Store(tk) }
 
 // N2Addr returns the NGAP listen address gNBs should dial.
 func (a *AMF) N2Addr() string { return a.ln.Addr().String() }
@@ -192,7 +199,12 @@ func (a *AMF) ueByAmfID(id uint64) *ueContext {
 // --- registration ---
 
 func (a *AMF) handleInitialUE(g *gnbConn, m *ngap.InitialUEMessage) {
+	dec := a.tracec.Load().Start("amf.nas.decode")
 	nasMsg, err := nas.Unmarshal(m.NasPdu)
+	if err == nil {
+		dec.Attr("msg", nas.MsgName(nasMsg.NASType()))
+	}
+	dec.End()
 	if err != nil {
 		a.Logf("amf: bad NAS in InitialUEMessage: %v", err)
 		return
@@ -208,6 +220,8 @@ func (a *AMF) handleInitialUE(g *gnbConn, m *ngap.InitialUEMessage) {
 }
 
 func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationRequest) {
+	sp := a.tracec.Load().Start("amf.registration.auth")
+	defer sp.End()
 	ue := &ueContext{
 		amfUeID: a.nextUeID.Add(1),
 		ranUeID: ranUeID,
@@ -238,7 +252,12 @@ func (a *AMF) handleUplinkNAS(g *gnbConn, m *ngap.UplinkNASTransport) {
 		a.Logf("amf: uplink NAS for unknown UE %d", m.AmfUeID)
 		return
 	}
+	dec := a.tracec.Load().Start("amf.nas.decode")
 	nasMsg, err := nas.Unmarshal(m.NasPdu)
+	if err == nil {
+		dec.Attr("msg", nas.MsgName(nasMsg.NASType()))
+	}
+	dec.End()
 	if err != nil {
 		a.Logf("amf: bad uplink NAS: %v", err)
 		return
@@ -260,6 +279,8 @@ func (a *AMF) handleUplinkNAS(g *gnbConn, m *ngap.UplinkNASTransport) {
 }
 
 func (a *AMF) continueAuth(ue *ueContext, n *nas.AuthenticationResponse) {
+	sp := a.tracec.Load().Start("amf.registration.confirm")
+	defer sp.End()
 	resp, err := a.ausf.Invoke(sbi.OpUEAuthenticationsConfirm, &sbi.AuthConfirmRequest{
 		AuthCtxID: ue.authCtxID, ResStar: n.ResStar,
 	})
@@ -279,6 +300,8 @@ func (a *AMF) continueAuth(ue *ueContext, n *nas.AuthenticationResponse) {
 }
 
 func (a *AMF) completeRegistration(ue *ueContext) {
+	sp := a.tracec.Load().Start("amf.registration.context")
+	defer sp.End()
 	// UECM registration + subscription + policy, as free5GC does.
 	if _, err := a.udm.Invoke(sbi.OpRegisterAMF3GPPAccess, &sbi.AMFRegistrationRequest{
 		Supi: ue.supi, AmfID: a.cfg.Name, Guami: a.cfg.Guami, RatType: "NR",
@@ -311,6 +334,8 @@ func (a *AMF) completeRegistration(ue *ueContext) {
 // --- PDU session establishment ---
 
 func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequest) {
+	sp := a.tracec.Load().Start("amf.session.establish")
+	defer sp.End()
 	resp, err := a.smf.Invoke(sbi.OpPostSmContexts, &sbi.SmContextCreateRequest{
 		Supi: ue.supi, PduSessionID: n.PduSessionID, Dnn: n.Dnn,
 		Sst: 1, ServingNfID: a.cfg.Name, Guami: a.cfg.Guami,
@@ -351,6 +376,8 @@ func (a *AMF) handleSessionResourceResponse(g *gnbConn, m *ngap.PDUSessionResour
 		a.Logf("amf: resource response for unknown RAN UE %d", m.RanUeID)
 		return
 	}
+	sp := a.tracec.Load().Start("amf.session.activate")
+	defer sp.End()
 	// Activate the DL path at the SMF with the gNB's tunnel endpoint.
 	if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
 		SmContextRef: ue.smRef, UpCnxState: "ACTIVATED",
@@ -393,6 +420,8 @@ func (a *AMF) handleReleaseRequest(g *gnbConn, m *ngap.UEContextReleaseRequest) 
 	if ue == nil {
 		return
 	}
+	sp := a.tracec.Load().Start("amf.idle.release")
+	defer sp.End()
 	if ue.smRef != "" {
 		if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
 			SmContextRef: ue.smRef, UpCnxState: "DEACTIVATED",
@@ -413,6 +442,8 @@ func (a *AMF) handleReleaseRequest(g *gnbConn, m *ngap.UEContextReleaseRequest) 
 func (a *AMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 	switch op {
 	case sbi.OpN1N2MessageTransfer:
+		sp := a.tracec.Load().Start("amf.paging.trigger")
+		defer sp.End()
 		r := req.(*sbi.N1N2MessageTransferRequest)
 		a.mu.Lock()
 		ue := a.uesBySupi[r.Supi]
@@ -446,6 +477,8 @@ func (a *AMF) handleServiceRequest(g *gnbConn, ranUeID uint64, n *nas.ServiceReq
 		a.Logf("amf: service request for unknown GUTI %s", n.Guti)
 		return
 	}
+	sp := a.tracec.Load().Start("amf.service.request")
+	defer sp.End()
 	ue.mu.Lock()
 	ue.gnb = g
 	ue.ranUeID = ranUeID
@@ -476,6 +509,8 @@ func (a *AMF) handleHandoverRequired(g *gnbConn, m *ngap.HandoverRequired) {
 		a.Logf("amf: handover to unknown gNB %d", m.TargetGnbID)
 		return
 	}
+	sp := a.tracec.Load().Start("amf.ho.prepare")
+	defer sp.End()
 	// Smart buffering: start parking DL packets at the UPF before the UE
 	// detaches from the source cell (§3.3).
 	if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
@@ -500,6 +535,8 @@ func (a *AMF) handleHandoverRequestAck(g *gnbConn, m *ngap.HandoverRequestAck) {
 	if ue == nil {
 		return
 	}
+	sp := a.tracec.Load().Start("amf.ho.command")
+	defer sp.End()
 	ue.mu.Lock()
 	src := ue.hoSrcGnb
 	srcRanUeID := ue.hoSrcRanUeID
@@ -521,6 +558,8 @@ func (a *AMF) handleHandoverNotify(g *gnbConn, m *ngap.HandoverNotify) {
 	if ue == nil {
 		return
 	}
+	sp := a.tracec.Load().Start("amf.ho.switch")
+	defer sp.End()
 	a.mu.Lock()
 	tun := a.hoTunnels[ue.amfUeID]
 	delete(a.hoTunnels, ue.amfUeID)

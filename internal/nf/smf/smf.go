@@ -21,6 +21,7 @@ import (
 	"l25gc/internal/pkt"
 	"l25gc/internal/rules"
 	"l25gc/internal/sbi"
+	"l25gc/internal/trace"
 )
 
 // Rule IDs used in the canonical two-PDR session layout.
@@ -73,6 +74,7 @@ type SMF struct {
 	bySEID map[uint64]*smContext
 	nextIP atomic.Uint32
 	seid   atomic.Uint64
+	tracec atomic.Pointer[trace.Track]
 }
 
 // New creates an SMF. amf is resolved lazily on first paging trigger.
@@ -93,9 +95,15 @@ func New(cfg Config, udm, pcf sbi.Conn, n4 pfcp.Endpoint, amf func() sbi.Conn) *
 	return s
 }
 
+// SetTracer installs a trace track for session-procedure spans
+// (smf.sm_context.*, smf.n4.report); nil disables tracing.
+func (s *SMF) SetTracer(tk *trace.Track) { s.tracec.Store(tk) }
+
 // handleN4 processes PFCP requests originated by the UPF (session
 // reports: the paging trigger).
 func (s *SMF) handleN4(seid uint64, req pfcp.Message) (pfcp.Message, error) {
+	sp := s.tracec.Load().Start("smf.n4.report")
+	defer sp.End()
 	rep, ok := req.(*pfcp.SessionReportRequest)
 	if !ok {
 		return nil, fmt.Errorf("smf: unexpected N4 request type %d", req.PFCPType())
@@ -137,6 +145,8 @@ func (s *SMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 }
 
 func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, error) {
+	sp := s.tracec.Load().Start("smf.sm_context.create")
+	defer sp.End()
 	// Subscription and policy lookups (SBI round trips the paper counts in
 	// the session establishment event).
 	if _, err := s.udm.Invoke(sbi.OpGetSMSubscriptionData, &sbi.SubscriptionDataRequest{Supi: r.Supi, Dnn: r.Dnn}); err != nil {
@@ -236,6 +246,8 @@ func (s *SMF) dlFAR(ctx *smContext, gnbAddr string, gnbTEID uint32) *rules.FAR {
 }
 
 func (s *SMF) updateSmContext(r *sbi.SmContextUpdateRequest) (codec.Message, error) {
+	sp := s.tracec.Load().Start("smf.sm_context.update")
+	defer sp.End()
 	s.mu.Lock()
 	ctx := s.byRef[r.SmContextRef]
 	s.mu.Unlock()
@@ -311,6 +323,8 @@ func (s *SMF) updateSmContext(r *sbi.SmContextUpdateRequest) (codec.Message, err
 }
 
 func (s *SMF) releaseSmContext(r *sbi.SmContextReleaseRequest) (codec.Message, error) {
+	sp := s.tracec.Load().Start("smf.sm_context.release")
+	defer sp.End()
 	s.mu.Lock()
 	ctx := s.byRef[r.SmContextRef]
 	s.mu.Unlock()

@@ -17,8 +17,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"l25gc/internal/codec"
+	"l25gc/internal/trace"
 )
 
 // MsgType identifies an NGAP procedure message.
@@ -474,10 +476,15 @@ func (m *UEContextReleaseComplete) Schema() []codec.Field {
 // Conn is a message-boundary-preserving N2 stream: 4-byte length framing
 // over TCP (the SCTP substitute).
 type Conn struct {
-	c  net.Conn
-	r  *bufio.Reader
-	wm sync.Mutex
+	c      net.Conn
+	r      *bufio.Reader
+	wm     sync.Mutex
+	tracec atomic.Pointer[trace.Track]
 }
+
+// SetTracer installs a trace track; Send/Recv emit "ngap.encode" and
+// "ngap.decode" spans around message marshaling. nil disables tracing.
+func (c *Conn) SetTracer(tk *trace.Track) { c.tracec.Store(tk) }
 
 // NewConn wraps an accepted or dialed net.Conn.
 func NewConn(c net.Conn) *Conn {
@@ -495,7 +502,9 @@ func Dial(addr string) (*Conn, error) {
 
 // Send writes one NGAP message as a frame. Safe for concurrent use.
 func (c *Conn) Send(m Message) error {
+	sp := c.tracec.Load().Start("ngap.encode")
 	b, err := Marshal(m)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -527,7 +536,10 @@ func (c *Conn) Recv() (Message, error) {
 	if _, err := io.ReadFull(c.r, b); err != nil {
 		return nil, err
 	}
-	return Unmarshal(b)
+	sp := c.tracec.Load().Start("ngap.decode")
+	m, err := Unmarshal(b)
+	sp.End()
+	return m, err
 }
 
 // Close closes the underlying stream.

@@ -24,6 +24,7 @@ import (
 	"l25gc/internal/metrics"
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/ring"
+	"l25gc/internal/trace"
 )
 
 // ServiceID identifies an NF service (e.g. UPF-U) on the platform.
@@ -65,6 +66,7 @@ type Instance struct {
 	Service    ServiceID
 	InstanceID uint16
 	name       string
+	spanName   string // "onvm.nf."+name, precomputed off the hot path
 
 	rx     *ring.SPSC[*pktbuf.Buf]
 	rxBell chan struct{}
@@ -130,6 +132,7 @@ type Manager struct {
 	nfRingSize int
 	bpSpins    int
 	faultc     atomic.Pointer[injConf]
+	tracec     atomic.Pointer[trace.Track]
 
 	switched  atomic.Uint64
 	dropped   atomic.Uint64
@@ -204,6 +207,20 @@ func (m *Manager) SetInjector(inj *faults.Injector, prefix string) {
 	})
 }
 
+// SetTracer installs a trace track for descriptor-switch stage spans
+// ("onvm.deliver", "onvm.nf.<name>", "onvm.egress"); nil disables tracing.
+// The disabled path costs one atomic load per stage.
+func (m *Manager) SetTracer(tk *trace.Track) { m.tracec.Store(tk) }
+
+// ExportMetrics registers the manager's switch counters under prefix.
+// The ring-drop counter is re-registered under the prefix (not its
+// pool-scoped name) so the registry name set is stable across units.
+func (m *Manager) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".switched", m.switched.Load)
+	reg.RegisterGauge(prefix+".dropped", m.dropped.Load)
+	reg.RegisterGauge(prefix+".ring_overflow_drops", m.ringDrops.Load)
+}
+
 // ringSize returns the per-NF ring capacity.
 func (m *Manager) ringSize() int { return m.nfRingSize }
 
@@ -220,6 +237,7 @@ func (m *Manager) Register(sid ServiceID, name string, h Handler) (*Instance, er
 		Service:    sid,
 		InstanceID: uint16(len(ent.instances)),
 		name:       name,
+		spanName:   "onvm.nf." + name,
 		rx:         ring.NewSPSC[*pktbuf.Buf](m.ringSize()),
 		rxBell:     make(chan struct{}, 1),
 		tx:         ring.NewSPSC[*pktbuf.Buf](m.ringSize()),
@@ -347,6 +365,8 @@ func (m *Manager) pickInstance(ent *serviceEntry, rssHash uint64) *Instance {
 
 // deliver moves a descriptor into the target service's Rx ring.
 func (m *Manager) deliver(buf *pktbuf.Buf, sid ServiceID) {
+	sp := m.tracec.Load().Start("onvm.deliver")
+	defer sp.End()
 	if fc := m.faultc.Load(); fc != nil {
 		act := fc.inj.Decide(fc.deliver, buf.Bytes())
 		if act.Drop {
@@ -421,7 +441,9 @@ func (m *Manager) process(buf *pktbuf.Buf) {
 		sink := m.ports[buf.Meta.Port]
 		m.mu.RUnlock()
 		if sink != nil {
+			sp := m.tracec.Load().Start("onvm.egress")
 			sink(buf.Bytes(), buf.Meta)
+			sp.End()
 		} else {
 			m.dropped.Add(1)
 		}
@@ -501,7 +523,10 @@ func (i *Instance) run() {
 		}
 		for j := 0; j < n; j++ {
 			buf := batch[j]
-			if i.handler(buf) {
+			sp := i.mgr.tracec.Load().Start(i.spanName)
+			done := i.handler(buf)
+			sp.End()
+			if done {
 				if !i.tx.Enqueue(buf) {
 					buf.Release()
 					continue

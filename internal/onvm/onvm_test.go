@@ -8,6 +8,7 @@ import (
 
 	"l25gc/internal/faults"
 	"l25gc/internal/pktbuf"
+	"l25gc/internal/trace"
 )
 
 func waitFor(t *testing.T, cond func() bool, what string) {
@@ -261,12 +262,21 @@ func TestStopIsIdempotentAndTerminatesNFs(t *testing.T) {
 	}
 }
 
+// BenchmarkDescriptorSwitch compares the descriptor hot path with tracing
+// disabled (nil track: one atomic load per stage) and enabled; the
+// disabled variant is the acceptance bar for instrumentation overhead.
 func BenchmarkDescriptorSwitch(b *testing.B) {
-	// Ping-pong: one descriptor in flight at a time, so the measurement is
-	// the per-descriptor inject -> switch -> NF -> switch -> egress cost
-	// without flood-control artifacts on a single CPU.
+	b.Run("tracer=off", func(b *testing.B) { benchSwitch(b, nil) })
+	b.Run("tracer=on", func(b *testing.B) { benchSwitch(b, trace.New()) })
+}
+
+// benchSwitch ping-pongs one descriptor at a time, so the measurement is
+// the per-descriptor inject -> switch -> NF -> switch -> egress cost
+// without flood-control artifacts on a single CPU.
+func benchSwitch(b *testing.B, tr *trace.Tracer) {
 	m := NewManager(Config{PoolSize: 64, PoolPrefix: "bench"})
 	defer m.Stop()
+	m.SetTracer(trace.NewTrack(tr, "onvm"))
 	done := make(chan struct{}, 1)
 	m.Register(1, "fwd", func(buf *pktbuf.Buf) bool {
 		buf.Meta.Action = pktbuf.ActionToPort
@@ -283,6 +293,9 @@ func BenchmarkDescriptorSwitch(b *testing.B) {
 			b.Fatal(err)
 		}
 		<-done
+		if tr != nil && i%4096 == 4095 {
+			tr.Reset() // bound span memory; Reset cost stays in-measure
+		}
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"l25gc/internal/faults"
+	"l25gc/internal/metrics"
 	"l25gc/internal/shm"
+	"l25gc/internal/trace"
 )
 
 // Handler processes an incoming PFCP request and returns the response.
@@ -30,6 +32,13 @@ type Endpoint interface {
 	// SetInjector threads a fault injector through the endpoint; points
 	// are named prefix+".tx" and prefix+".rx".
 	SetInjector(inj *faults.Injector, prefix string)
+	// SetTracer installs a trace track; nil disables tracing. The UDP
+	// transport emits encode/syscall/decode stage spans the shm transport
+	// does not have — that asymmetry is the paper's N4 argument.
+	SetTracer(tk *trace.Track)
+	// ExportMetrics registers the endpoint's counters (".retransmits",
+	// ".timeouts") under prefix.
+	ExportMetrics(reg *metrics.Registry, prefix string)
 	// Close releases the endpoint.
 	Close() error
 }
@@ -55,6 +64,7 @@ type UDPEndpoint struct {
 	seq     atomic.Uint32
 	retry   atomic.Pointer[RetryConfig]
 	faultc  atomic.Pointer[injectorConf]
+	tracec  atomic.Pointer[trace.Track]
 
 	mu      sync.Mutex
 	pending map[uint32]chan Message
@@ -119,6 +129,15 @@ func (e *UDPEndpoint) SetInjector(inj *faults.Injector, prefix string) {
 	})
 }
 
+// SetTracer implements Endpoint.
+func (e *UDPEndpoint) SetTracer(tk *trace.Track) { e.tracec.Store(tk) }
+
+// ExportMetrics implements Endpoint.
+func (e *UDPEndpoint) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".retransmits", e.retransmits.Load)
+	reg.RegisterGauge(prefix+".timeouts", e.timeouts.Load)
+}
+
 // retryConfig returns the installed profile or the defaults.
 func (e *UDPEndpoint) retryConfig() RetryConfig {
 	if c := e.retry.Load(); c != nil {
@@ -177,7 +196,11 @@ func (e *UDPEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 		delete(e.pending, seq)
 		e.mu.Unlock()
 	}()
+	root := e.tracec.Load().Start("pfcp.request." + MsgName(req.PFCPType()))
+	defer root.End()
+	enc := root.Child("pfcp.encode")
 	wire := Marshal(req, seid, hasSEID, seq)
+	enc.End()
 	cfg := e.retryConfig()
 	t1 := cfg.T1
 	timer := time.NewTimer(t1)
@@ -185,8 +208,12 @@ func (e *UDPEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			e.retransmits.Add(1)
+			root.Event("pfcp.retransmit")
 		}
-		if err := e.send(wire, peer); err != nil {
+		tx := root.Child("pfcp.tx.syscall")
+		err := e.send(wire, peer)
+		tx.End()
+		if err != nil {
 			return nil, err
 		}
 		if !timer.Stop() {
@@ -196,10 +223,13 @@ func (e *UDPEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 			}
 		}
 		timer.Reset(t1)
+		wait := root.Child("pfcp.wait")
 		select {
 		case resp := <-ch:
+			wait.End()
 			return resp, nil
 		case <-timer.C:
+			wait.End()
 			e.timeouts.Add(1)
 			if attempt >= cfg.N1 {
 				return nil, fmt.Errorf("pfcp: request %d timed out after %d attempts",
@@ -207,6 +237,7 @@ func (e *UDPEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 			}
 			t1 = cfg.next(t1)
 		case <-e.done:
+			wait.End()
 			return nil, net.ErrClosed
 		}
 	}
@@ -238,7 +269,10 @@ func (e *UDPEndpoint) readLoop() {
 // sequence number) answered from the response cache instead of re-running
 // non-idempotent handlers.
 func (e *UDPEndpoint) handleDatagram(data []byte, from *net.UDPAddr) {
+	tk := e.tracec.Load()
+	dec := tk.Start("pfcp.rx.decode")
 	hdr, msg, err := Parse(data)
+	dec.End()
 	if err != nil {
 		return
 	}
@@ -262,13 +296,19 @@ func (e *UDPEndpoint) handleDatagram(data []byte, from *net.UDPAddr) {
 	if hp == nil {
 		return
 	}
+	hs := tk.Start("pfcp.handle." + MsgName(hdr.MsgType))
 	resp, err := (*hp)(hdr.SEID, msg)
+	hs.End()
 	if err != nil || resp == nil {
 		return
 	}
+	enc := tk.Start("pfcp.resp.encode")
 	wire := Marshal(resp, hdr.SEID, hdr.HasSEID, hdr.Seq)
+	enc.End()
 	e.respCache.put(hdr.Seq, wire)
+	tx := tk.Start("pfcp.tx.syscall")
 	e.send(wire, from)
+	tx.End()
 }
 
 // Close implements Endpoint.
@@ -309,6 +349,7 @@ type MemEndpoint struct {
 	seq     atomic.Uint32
 	retry   atomic.Pointer[RetryConfig]
 	faultc  atomic.Pointer[injectorConf]
+	tracec  atomic.Pointer[trace.Track]
 
 	mu      sync.Mutex
 	pending map[uint32]chan Message
@@ -354,6 +395,17 @@ func (e *MemEndpoint) SetInjector(inj *faults.Injector, prefix string) {
 		tx:  faults.Point(prefix + ".tx"),
 		rx:  faults.Point(prefix + ".rx"),
 	})
+}
+
+// SetTracer implements Endpoint. The shm transport emits no
+// encode/syscall/decode spans — descriptors cross by pointer — so traced
+// breakdowns show those stages only on the kernel path.
+func (e *MemEndpoint) SetTracer(tk *trace.Track) { e.tracec.Store(tk) }
+
+// ExportMetrics implements Endpoint.
+func (e *MemEndpoint) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".retransmits", e.retransmits.Load)
+	reg.RegisterGauge(prefix+".timeouts", e.timeouts.Load)
 }
 
 func (e *MemEndpoint) retryConfig() RetryConfig {
@@ -404,6 +456,8 @@ func (e *MemEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 		e.mu.Unlock()
 	}()
 	frame := memFrame{seid: seid, seq: seq, msg: req}
+	root := e.tracec.Load().Start("pfcp.request." + MsgName(req.PFCPType()))
+	defer root.End()
 	cfg := e.retryConfig()
 	t1 := cfg.T1
 	timer := time.NewTimer(t1)
@@ -411,8 +465,12 @@ func (e *MemEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			e.retransmits.Add(1)
+			root.Event("pfcp.retransmit")
 		}
-		if err := e.send(frame); err != nil {
+		tx := root.Child("pfcp.tx.shm")
+		err := e.send(frame)
+		tx.End()
+		if err != nil {
 			return nil, err
 		}
 		if !timer.Stop() {
@@ -422,10 +480,13 @@ func (e *MemEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 			}
 		}
 		timer.Reset(t1)
+		wait := root.Child("pfcp.wait")
 		select {
 		case resp := <-ch:
+			wait.End()
 			return resp, nil
 		case <-timer.C:
+			wait.End()
 			e.timeouts.Add(1)
 			if attempt >= cfg.N1 {
 				return nil, fmt.Errorf("pfcp: shm request %d timed out after %d attempts",
@@ -433,6 +494,7 @@ func (e *MemEndpoint) Request(seid uint64, hasSEID bool, req Message) (Message, 
 			}
 			t1 = cfg.next(t1)
 		case <-e.done:
+			wait.End()
 			return nil, net.ErrClosed
 		}
 	}
@@ -477,7 +539,9 @@ func (e *MemEndpoint) handleFrame(f memFrame) {
 	if hp == nil {
 		return
 	}
+	hs := e.tracec.Load().Start("pfcp.handle." + MsgName(f.msg.PFCPType()))
 	resp, err := (*hp)(f.seid, f.msg)
+	hs.End()
 	if err != nil || resp == nil {
 		return
 	}

@@ -23,6 +23,38 @@ const (
 	MsgSessionReportResp        uint8 = 57
 )
 
+// MsgName returns a stable lowercase label for a message type, used in
+// trace span names ("pfcp.request.session_establishment").
+func MsgName(t uint8) string {
+	switch t {
+	case MsgHeartbeatRequest:
+		return "heartbeat"
+	case MsgHeartbeatResponse:
+		return "heartbeat_resp"
+	case MsgAssociationSetupRequest:
+		return "association_setup"
+	case MsgAssociationSetupResponse:
+		return "association_setup_resp"
+	case MsgSessionEstablishmentReq:
+		return "session_establishment"
+	case MsgSessionEstablishmentResp:
+		return "session_establishment_resp"
+	case MsgSessionModificationReq:
+		return "session_modification"
+	case MsgSessionModificationResp:
+		return "session_modification_resp"
+	case MsgSessionDeletionReq:
+		return "session_deletion"
+	case MsgSessionDeletionResp:
+		return "session_deletion_resp"
+	case MsgSessionReportReq:
+		return "session_report"
+	case MsgSessionReportResp:
+		return "session_report_resp"
+	}
+	return "unknown"
+}
+
 // Report type flags (TS 29.244 §8.2.21).
 const (
 	ReportDLDR uint8 = 1 << iota // downlink data report — triggers paging

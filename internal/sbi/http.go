@@ -12,6 +12,8 @@ import (
 
 	"l25gc/internal/codec"
 	"l25gc/internal/faults"
+	"l25gc/internal/metrics"
+	"l25gc/internal/trace"
 )
 
 // HTTPServer exposes a producer NF's operations over REST, the way
@@ -95,6 +97,10 @@ type HTTPConn struct {
 
 	inj     *faults.Injector
 	txPoint faults.Point
+
+	tracec  atomic.Pointer[trace.Track]
+	invokes atomic.Uint64
+	errs    atomic.Uint64
 }
 
 // DefaultSBITimeout is the default per-request deadline.
@@ -126,16 +132,39 @@ func (c *HTTPConn) SetInjector(inj *faults.Injector, prefix string) {
 	c.txPoint = faults.Point(prefix + ".invoke")
 }
 
+// SetTracer installs a trace track; Invoke emits an "sbi.invoke" root span
+// with encode/http.do/decode children — the serialization and socket
+// stages the shm SBI does not pay.
+func (c *HTTPConn) SetTracer(tk *trace.Track) { c.tracec.Store(tk) }
+
+// ExportMetrics registers the consumer counters under prefix.
+func (c *HTTPConn) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".invokes", c.invokes.Load)
+	reg.RegisterGauge(prefix+".errors", c.errs.Load)
+}
+
+// fail counts one failed invoke.
+func (c *HTTPConn) fail(err error) (codec.Message, error) {
+	c.errs.Add(1)
+	return nil, err
+}
+
 // Invoke implements Conn: one POST bounded by the per-request deadline.
 func (c *HTTPConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
+	c.invokes.Add(1)
+	root := c.tracec.Load().Start("sbi.invoke")
+	root.Attr("op", op.Name())
+	defer root.End()
+	enc := root.Child("sbi.encode")
 	body, err := c.codec.Marshal(req)
+	enc.End()
 	if err != nil {
-		return nil, err
+		return c.fail(err)
 	}
 	if c.inj != nil {
 		act := c.inj.Decide(c.txPoint, body)
 		if act.Drop {
-			return nil, fmt.Errorf("%w: request lost", ErrInjected)
+			return c.fail(fmt.Errorf("%w: request lost", ErrInjected))
 		}
 		if act.Delay > 0 {
 			time.Sleep(act.Delay)
@@ -147,24 +176,30 @@ func (c *HTTPConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.base+op.Path(), bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return c.fail(err)
 	}
 	httpReq.Header.Set("Content-Type", contentType(c.codec))
+	do := root.Child("sbi.http.do")
 	httpResp, err := c.client.Do(httpReq)
 	if err != nil {
-		return nil, err
+		do.End()
+		return c.fail(err)
 	}
-	defer httpResp.Body.Close()
 	out, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	do.End()
 	if err != nil {
-		return nil, err
+		return c.fail(err)
 	}
 	if httpResp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("%w: %s: %s", ErrStatus, httpResp.Status, out)
+		return c.fail(fmt.Errorf("%w: %s: %s", ErrStatus, httpResp.Status, out))
 	}
 	resp := op.NewResponse()
-	if err := c.codec.Unmarshal(out, resp); err != nil {
-		return nil, err
+	dec := root.Child("sbi.decode")
+	err = c.codec.Unmarshal(out, resp)
+	dec.End()
+	if err != nil {
+		return c.fail(err)
 	}
 	return resp, nil
 }

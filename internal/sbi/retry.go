@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"l25gc/internal/codec"
+	"l25gc/internal/metrics"
 )
 
 // ErrCircuitOpen is returned by ResilientConn while its breaker is open:
@@ -183,6 +184,23 @@ func NewResilientConn(inner Conn, p RetryPolicy, b *CircuitBreaker) *ResilientCo
 		policy:  p,
 		breaker: b,
 		rng:     rand.New(rand.NewSource(p.Seed)),
+	}
+}
+
+// ExportMetrics registers the resiliency counters under prefix:
+// ".retries", ".shed", and — when a breaker is attached — ".breaker_trips"
+// plus a 0/1 ".breaker_open" state gauge.
+func (c *ResilientConn) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".retries", c.retries.Load)
+	reg.RegisterGauge(prefix+".shed", c.shed.Load)
+	if b := c.breaker; b != nil {
+		reg.RegisterGauge(prefix+".breaker_trips", b.trips.Load)
+		reg.RegisterGauge(prefix+".breaker_open", func() uint64 {
+			if b.Open() {
+				return 1
+			}
+			return 0
+		})
 	}
 }
 

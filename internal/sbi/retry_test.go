@@ -8,6 +8,7 @@ import (
 
 	"l25gc/internal/codec"
 	"l25gc/internal/faults"
+	"l25gc/internal/metrics"
 )
 
 // flakyConn fails its first n Invokes with a transport error.
@@ -209,5 +210,35 @@ func TestShmInvokeRecoversFromInjectedLoss(t *testing.T) {
 	}
 	if rc.Retries() != 2 {
 		t.Fatalf("retries = %d, want 2 (request lost, then reply lost)", rc.Retries())
+	}
+}
+
+func TestResilientConnExportMetrics(t *testing.T) {
+	inner := &flakyConn{failuresLeft: 100}
+	b := NewCircuitBreaker(2, time.Minute)
+	rc := NewResilientConn(inner, fastPolicy(), b)
+	reg := metrics.NewRegistry()
+	rc.ExportMetrics(reg, "sbi.smf")
+
+	rc.Invoke(OpNFDiscover, &NFDiscoveryRequest{}) // trips the breaker
+	rc.Invoke(OpNFDiscover, &NFDiscoveryRequest{}) // shed while open
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"sbi.smf.retries", "sbi.smf.shed",
+		"sbi.smf.breaker_trips", "sbi.smf.breaker_open",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("Snapshot missing %q", name)
+		}
+	}
+	if snap.Counters["sbi.smf.breaker_trips"] == 0 {
+		t.Error("breaker_trips is zero after threshold failures")
+	}
+	if snap.Counters["sbi.smf.breaker_open"] != 1 {
+		t.Errorf("breaker_open = %d, want 1 while open", snap.Counters["sbi.smf.breaker_open"])
+	}
+	if snap.Counters["sbi.smf.shed"] == 0 {
+		t.Error("shed is zero after invoking against an open breaker")
 	}
 }

@@ -8,7 +8,9 @@ import (
 
 	"l25gc/internal/codec"
 	"l25gc/internal/faults"
+	"l25gc/internal/metrics"
 	"l25gc/internal/shm"
+	"l25gc/internal/trace"
 )
 
 // shmFrame is the descriptor passed through the mailbox: the message struct
@@ -41,6 +43,10 @@ type ShmConn struct {
 
 	inj     *faults.Injector
 	txPoint faults.Point
+
+	tracec  atomic.Pointer[trace.Track]
+	invokes atomic.Uint64
+	errs    atomic.Uint64
 
 	mu      sync.Mutex
 	pending map[uint32]chan shmFrame
@@ -124,8 +130,23 @@ func (c *ShmConn) SetInjector(inj *faults.Injector, prefix string) {
 	c.txPoint = faults.Point(prefix + ".invoke")
 }
 
+// SetTracer installs a trace track; Invoke emits an "sbi.invoke" root span
+// with a single "sbi.transfer.shm" child — no encode/decode stages exist
+// on this transport, which is the point of the descriptor-passing SBI.
+func (c *ShmConn) SetTracer(tk *trace.Track) { c.tracec.Store(tk) }
+
+// ExportMetrics registers the consumer counters under prefix.
+func (c *ShmConn) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".invokes", c.invokes.Load)
+	reg.RegisterGauge(prefix+".errors", c.errs.Load)
+}
+
 // Invoke implements Conn.
 func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
+	c.invokes.Add(1)
+	root := c.tracec.Load().Start("sbi.invoke")
+	root.Attr("op", op.Name())
+	defer root.End()
 	seq := c.seq.Add(1)
 	ch := make(chan shmFrame, 1)
 	c.mu.Lock()
@@ -137,6 +158,7 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 		c.mu.Unlock()
 	}()
 	frame := shmFrame{op: op, seq: seq, msg: req}
+	tx := root.Child("sbi.transfer.shm")
 	if c.inj != nil {
 		var serr error
 		c.inj.TransmitMsg(c.txPoint, func() {
@@ -145,18 +167,25 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 			}
 		})
 		if serr != nil {
+			tx.End()
+			c.errs.Add(1)
 			return nil, serr
 		}
 	} else if err := c.out.Send(frame); err != nil {
+		tx.End()
+		c.errs.Add(1)
 		return nil, err
 	}
+	tx.End()
 	select {
 	case f := <-ch:
 		if f.err != "" {
+			c.errs.Add(1)
 			return nil, fmt.Errorf("sbi: producer error: %s", f.err)
 		}
 		return f.msg, nil
 	case <-time.After(time.Duration(c.timeout.Load())):
+		c.errs.Add(1)
 		return nil, fmt.Errorf("sbi: shm invoke %s timed out", op.Name())
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"l25gc/internal/classifier"
+	"l25gc/internal/metrics"
 	"l25gc/internal/pfcp"
 	"l25gc/internal/pkt"
 	"l25gc/internal/pktbuf"
@@ -277,6 +278,31 @@ func (s *State) Sessions() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.bySEID)
+}
+
+// BufferDepth returns the total number of DL packets currently parked in
+// session buffers across every installed session (the paper's smart-
+// buffering occupancy during paging/handover).
+func (s *State) BufferDepth() int {
+	s.mu.RLock()
+	ctxs := make([]*SessCtx, 0, len(s.bySEID))
+	for _, c := range s.bySEID {
+		ctxs = append(ctxs, c)
+	}
+	s.mu.RUnlock()
+	depth := 0
+	for _, c := range ctxs {
+		c.mu.Lock()
+		depth += len(c.buffer)
+		c.mu.Unlock()
+	}
+	return depth
+}
+
+// ExportMetrics registers the session-store gauges under prefix.
+func (s *State) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".sessions", func() uint64 { return uint64(s.Sessions()) })
+	reg.RegisterGauge(prefix+".buffer_depth", func() uint64 { return uint64(s.BufferDepth()) })
 }
 
 // Export returns, for every installed session, the PFCP establishment

@@ -6,10 +6,12 @@ import (
 
 	"l25gc/internal/classifier"
 	"l25gc/internal/gtp"
+	"l25gc/internal/metrics"
 	"l25gc/internal/onvm"
 	"l25gc/internal/pkt"
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/rules"
+	"l25gc/internal/trace"
 )
 
 // Port assignments on the NFV platform.
@@ -40,6 +42,7 @@ type UPFU struct {
 	emit atomic.Pointer[func(*pktbuf.Buf)]
 
 	nowNano func() int64
+	tracec  atomic.Pointer[trace.Track]
 
 	ulFwd, dlFwd atomic.Uint64
 	buffered     atomic.Uint64
@@ -60,6 +63,20 @@ func NewUPFU(state *State, upfc *UPFC) *UPFU {
 
 // SetEmit installs the egress function used when draining session buffers.
 func (u *UPFU) SetEmit(fn func(*pktbuf.Buf)) { u.emit.Store(&fn) }
+
+// SetTracer installs a trace track for fast-path stage spans
+// ("upf.classify", "upf.buffer"); nil disables tracing.
+func (u *UPFU) SetTracer(tk *trace.Track) { u.tracec.Store(tk) }
+
+// ExportMetrics registers the fast-path counters under prefix.
+func (u *UPFU) ExportMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".ul_fwd", u.ulFwd.Load)
+	reg.RegisterGauge(prefix+".dl_fwd", u.dlFwd.Load)
+	reg.RegisterGauge(prefix+".buffered", u.buffered.Load)
+	reg.RegisterGauge(prefix+".dropped", u.dropped.Load)
+	reg.RegisterGauge(prefix+".misses", u.misses.Load)
+	reg.RegisterGauge(prefix+".rate_dropped", u.rateDropped.Load)
+}
 
 // Stats returns the counter snapshot.
 func (u *UPFU) Stats() UStats {
@@ -86,15 +103,19 @@ func (u *UPFU) uplink(buf *pktbuf.Buf, scratch *pkt.Parsed) bool {
 	if err != nil || hdr.MsgType != gtp.MsgGPDU {
 		return u.drop(buf)
 	}
+	cls := u.tracec.Load().Start("upf.classify")
 	ctx, ok := u.state.ByTEID(hdr.TEID)
 	if !ok {
+		cls.End()
 		return u.miss(buf)
 	}
 	if err := scratch.ParseIPv4(buf.Bytes()); err != nil {
+		cls.End()
 		return u.drop(buf)
 	}
 	key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, TEID: hdr.TEID, FromAccess: true}
 	pdr, far := ctx.Match(&key)
+	cls.End()
 	if pdr == nil {
 		return u.miss(buf)
 	}
@@ -118,15 +139,20 @@ func (u *UPFU) uplink(buf *pktbuf.Buf, scratch *pkt.Parsed) bool {
 }
 
 func (u *UPFU) downlink(buf *pktbuf.Buf, scratch *pkt.Parsed) bool {
+	tk := u.tracec.Load()
+	cls := tk.Start("upf.classify")
 	if err := scratch.ParseIPv4(buf.Bytes()); err != nil {
+		cls.End()
 		return u.drop(buf)
 	}
 	ctx, ok := u.state.ByUEIP(scratch.IP.Dst)
 	if !ok {
+		cls.End()
 		return u.miss(buf)
 	}
 	key := classifier.Key{Tuple: scratch.Tuple, TOS: scratch.TOS, FromAccess: false}
 	pdr, far := ctx.Match(&key)
+	cls.End()
 	if pdr == nil {
 		return u.miss(buf)
 	}
@@ -134,7 +160,9 @@ func (u *UPFU) downlink(buf *pktbuf.Buf, scratch *pkt.Parsed) bool {
 		return u.drop(buf)
 	}
 	if far.Action&rules.FARBuffer != 0 {
+		sp := tk.Start("upf.buffer")
 		stored, first := ctx.Park(buf)
+		sp.End()
 		if first && far.Action&rules.FARNotifyCP != 0 && u.upfc != nil {
 			// Fire the paging trigger off the fast path.
 			go u.upfc.ReportDL(ctx, pdr.ID)
