@@ -1,7 +1,11 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test check chaos trace-smoke
+# Distinct schedules for the multi-seed chaos pass; override to probe a
+# specific interleaving: make check CHAOS_SEEDS="12345"
+CHAOS_SEEDS ?= 1902 7 42
+
+.PHONY: all build test check chaos trace-smoke recovery-smoke
 
 all: build
 
@@ -11,13 +15,20 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate: formatting, static checks, then the full test tree under
-# the race detector (includes the seeded chaos suite in internal/faults).
+# Tier-1 gate: formatting, static checks, the full test tree under the
+# race detector (includes the seeded chaos suite in internal/faults),
+# then the chaos scenarios again under each CHAOS_SEEDS schedule so the
+# supervisor's failover paths are exercised across distinct
+# drop/crash/freeze interleavings, not just the default one.
 check:
 	@fmt_out=$$($(GOFMT) -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos suite, seed $$seed =="; \
+		L25GC_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' ./internal/faults || exit 1; \
+	done
 
 # Just the chaos scenarios, verbosely, for schedule debugging.
 chaos:
@@ -27,3 +38,10 @@ chaos:
 # breakdown coverage, stage-name asymmetry, Chrome export validity.
 trace-smoke:
 	$(GO) test -race -v -run 'TestTraceSmoke|TestRegistryNameSet' ./internal/core
+
+# End-to-end recovery drill: the bench5gc recovery experiment (crash
+# UPF/AMF/SMF under the supervisor, compare against restart+reattach)
+# plus the cascading-crash failover example.
+recovery-smoke:
+	$(GO) run ./cmd/bench5gc -exp recovery
+	$(GO) run ./examples/failover

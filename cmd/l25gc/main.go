@@ -29,6 +29,7 @@ func main() {
 	cls := flag.String("classifier", "", "PDR classifier: ll | tss | ps (default per mode)")
 	doTrace := flag.Bool("trace", false, "record spans and print a stage breakdown + metrics snapshot")
 	traceOut := flag.String("trace-out", "", "write the Chrome trace JSON here (implies -trace)")
+	resilience := flag.Bool("resilience", false, "arm the §3.5 supervisor over the AMF and SMF (checkpointed units with frozen standbys)")
 	flag.Parse()
 	if *traceOut != "" {
 		*doTrace = true
@@ -64,12 +65,16 @@ func main() {
 	}
 	c, err := core.New(core.Config{
 		Mode: m, ClsAlgo: *cls, Subscribers: subs, Tracer: tr, Metrics: reg,
+		Resilience: *resilience,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "core start: %v\n", err)
 		os.Exit(1)
 	}
 	defer c.Stop()
+	if *resilience {
+		fmt.Println("resiliency armed: AMF and SMF run as supervised units (active + frozen standby)")
+	}
 	c.AMF.Logf = func(format string, args ...any) {
 		fmt.Printf("  | "+format+"\n", args...)
 	}

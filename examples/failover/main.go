@@ -1,9 +1,12 @@
-// Failover: the resiliency framework of §3.5 in action. A primary UPF
-// serves a session; its state is checkpointed to a frozen remote replica;
-// the handover that follows is only in the LB's packet log when the
-// primary dies. The detector notices, the replica unfreezes, and the
-// logged messages replay in counter order — the session (including the
-// mid-handover state) survives without any UE reattach.
+// Failover: the §3.5 resiliency supervisor in action. A UPF runs as a
+// supervised unit — an active generation plus a frozen local replica,
+// periodic checkpoints, and a heartbeat detector. A session is
+// established and checkpointed; a mid-handover FAR update and a burst
+// of downlink packets land only in the packet log when the active
+// generation is crashed. The supervisor detects the failure on its own,
+// unfreezes the replica, replays the log tail in counter order, spawns
+// a fresh standby, and re-arms — then the promoted replica is crashed
+// too, and the unit survives that as well. No UE reattach at any point.
 //
 //	go run ./examples/failover
 package main
@@ -11,64 +14,37 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync/atomic"
 	"time"
 
-	"l25gc/internal/lb"
+	"l25gc/internal/faults"
 	"l25gc/internal/pfcp"
 	"l25gc/internal/pkt"
-	"l25gc/internal/pktbuf"
 	"l25gc/internal/resilience"
 	"l25gc/internal/rules"
-	"l25gc/internal/upf"
+	"l25gc/internal/supervisor"
 )
-
-// unit adapts a UPF to the LB Backend interface (control = PFCP bytes,
-// data = raw packets through the fast path).
-type unit struct {
-	name  string
-	state *upf.State
-	upfc  *upf.UPFC
-	upfu  *upf.UPFU
-	pool  *pktbuf.Pool
-}
-
-func newUnit(name string) *unit {
-	st := upf.NewState("ps", 0)
-	c := upf.NewUPFC(st, pkt.AddrFrom(10, 100, 0, 2), nil)
-	return &unit{name: name, state: st, upfc: c, upfu: upf.NewUPFU(st, c), pool: pktbuf.NewPool(1024, name)}
-}
-
-func (u *unit) Deliver(class resilience.Class, counter uint64, data []byte) error {
-	if class == resilience.ULControl || class == resilience.DLControl {
-		hdr, msg, err := pfcp.Parse(data)
-		if err != nil {
-			return err
-		}
-		_, err = u.upfc.Handle(hdr.SEID, msg)
-		fmt.Printf("  [%s] applied control msg #%d (type %d)\n", u.name, counter, msg.PFCPType())
-		return err
-	}
-	buf, err := u.pool.Get()
-	if err != nil {
-		return err
-	}
-	buf.SetData(data)
-	var scratch pkt.Parsed
-	if u.upfu.Process(buf, &scratch) {
-		buf.Release()
-	}
-	return nil
-}
 
 func main() {
 	ueIP := pkt.AddrFrom(10, 60, 0, 1)
 	gnbIP := pkt.AddrFrom(10, 100, 0, 10)
-	primary := newUnit("primary")
-	standby := newUnit("standby")
-	balancer := lb.New(primary, standby, 0)
+	n3 := pkt.AddrFrom(10, 100, 0, 2)
 
-	// Session establishment flows through the LB (logged + counted).
+	// The injector doubles as the heartbeat target: the supervisor's
+	// detector probes it, and Crash("upf.gN") kills one generation.
+	inj := faults.New(1)
+	sup := supervisor.New(supervisor.Config{})
+	defer sup.Close()
+	unit, err := sup.Register(supervisor.UnitConfig{
+		Name: "upf", Injector: inj,
+		Spawn: func(_ *supervisor.Unit, gen int) (supervisor.Instance, error) {
+			fmt.Printf("  [spawn] UPF generation g%d\n", gen)
+			return supervisor.NewUPFInstance(n3), nil
+		},
+	})
+	must(err)
+	fmt.Printf("unit %q protected: active g%d + frozen standby\n", "upf", unit.Gen())
+
+	// Session establishment flows through the unit (logged + counted).
 	est := &pfcp.SessionEstablishmentRequest{
 		NodeID: "smf", CPSEID: 7, UEIP: ueIP,
 		CreatePDRs: []*rules.PDR{{
@@ -81,59 +57,71 @@ func main() {
 			HasOuterHeader: true, OuterTEID: 0x5001, OuterAddr: gnbIP,
 		}},
 	}
-	must(balancer.Ingress(resilience.ULControl, pfcp.Marshal(est, 7, true, 1)))
-
-	// Periodic checkpoint: primary -> frozen remote replica.
-	remote := resilience.NewRemoteReplica(resilience.NewUPFSnapshotter(standby.state, pkt.AddrFrom(10, 100, 0, 2)))
-	remote.OnAck = balancer.AckCheckpoint
-	snap, err := (&resilience.UPFSnapshotter{State: primary.state, UPFC: primary.upfc}).Snapshot()
+	_, err = unit.Ingress(resilience.ULControl, pfcp.Marshal(est, 7, true, 1))
 	must(err)
-	must(remote.Apply(resilience.Checkpoint{Counter: balancer.Logger.Counter(), State: snap}.Encode()))
-	fmt.Printf("checkpoint shipped to standby (counter %d); standby frozen: %v\n",
-		remote.LastCounter(), remote.Frozen())
+	must(unit.Checkpoint())
+	fmt.Printf("session 7 established and checkpointed (log drained to depth %d)\n", logDepth(unit))
 
-	// A handover starts AFTER the checkpoint: only the LB log has it.
+	// A handover starts AFTER the checkpoint: only the packet log has it.
 	mod := &pfcp.SessionModificationRequest{
 		UpdateFARs: []*rules.FAR{{ID: 2, Action: rules.FARBuffer, DestInterface: rules.IfAccess}},
 	}
-	must(balancer.Ingress(resilience.ULControl, pfcp.Marshal(mod, 7, true, 2)))
+	_, err = unit.Ingress(resilience.ULControl, pfcp.Marshal(mod, 7, true, 2))
+	must(err)
 	dl := make([]byte, 128)
 	n, _ := pkt.BuildUDPv4(dl, pkt.AddrFrom(1, 1, 1, 1), ueIP, 9000, 40000, 0, []byte("in-flight"))
 	for i := 0; i < 5; i++ {
-		must(balancer.Ingress(resilience.DLData, dl[:n]))
+		_, err = unit.Ingress(resilience.DLData, dl[:n])
+		must(err)
 	}
-	fmt.Println("handover half-executed; 5 data packets in flight (all logged at the LB)")
+	fmt.Println("handover half-executed; 5 data packets in flight (all in the log)")
 
-	// The primary dies. The probe agent detects and we fail over.
-	var alive atomic.Bool
-	alive.Store(true)
-	detected := make(chan time.Duration, 1)
-	det := &resilience.Detector{
-		Probe:     func() bool { return alive.Load() },
-		Interval:  100 * time.Microsecond,
-		OnFailure: func(dt time.Duration) { detected <- dt },
+	// First crash: the active generation dies. Nothing else to do — the
+	// supervisor detects, promotes, replays, and spawns a new standby.
+	fmt.Println("\n*** crash #1: active generation g0 fails ***")
+	inj.Crash("upf.g0")
+	must(unit.AwaitRecovery(1, 5*time.Second))
+	report(unit)
+
+	// More traffic lands on the promoted replica.
+	for i := 0; i < 3; i++ {
+		_, err = unit.Ingress(resilience.DLData, dl[:n])
+		must(err)
 	}
-	det.Start()
-	time.Sleep(time.Millisecond)
-	fmt.Println("\n*** primary 5GC unit fails ***")
-	alive.Store(false)
-	dt := <-detected
-	fmt.Printf("failure detected in %v\n", dt)
 
-	start := time.Now()
-	replayAfter, err := remote.Unfreeze()
-	must(err)
-	replayed, err := balancer.Failover(replayAfter)
-	must(err)
-	fmt.Printf("standby unfrozen + %d messages replayed in %v\n", replayed, time.Since(start))
+	// Second crash: the promoted replica itself dies. The freshly
+	// resynced standby takes over the same way.
+	fmt.Printf("\n*** crash #2: promoted generation g%d fails ***\n", unit.Gen())
+	inj.Crash(unit.Target())
+	must(unit.AwaitRecovery(2, 5*time.Second))
+	report(unit)
 
-	ctx, ok := standby.state.Session(7)
+	fmt.Printf("\nsurvived %d cascading crashes; session never left the core — no UE reattach\n",
+		unit.Recoveries())
+}
+
+// report prints the unit's last recovery and proves the session (with
+// its mid-handover buffering FAR) survived onto the promoted generation.
+func report(u *supervisor.Unit) {
+	st := u.LastRecovery()
+	fmt.Printf("recovered onto g%d: detected in %v, %d messages replayed, downtime %v\n",
+		st.Gen, st.Detect, st.Replayed, st.Downtime)
+	state := u.Active().(*supervisor.UPFInstance).State()
+	ctx, ok := state.Session(7)
 	if !ok {
 		log.Fatal("session lost!")
 	}
-	st := ctx.Stats()
-	fmt.Printf("standby session intact: FAR=%s, %d packets re-buffered — no UE reattach needed\n",
-		ctx.Sess.FAR(2).Action, st.Buffered)
+	fmt.Printf("session 7 intact on g%d: FAR=%s, %d packets re-buffered\n",
+		u.Gen(), ctx.Sess.FAR(2).Action, ctx.Stats().Buffered)
+}
+
+// logDepth sums the packet log's per-class depths.
+func logDepth(u *supervisor.Unit) int {
+	total := 0
+	for _, d := range u.Logger().Depth() {
+		total += d
+	}
+	return total
 }
 
 func must(err error) {

@@ -57,6 +57,7 @@ func Experiments() []Experiment {
 		{"fig15", "5GC failover: control plane recovery and data plane continuity", Fig15},
 		{"fig16", "5GC failover during an ongoing handover", Fig16},
 		{"fig17", "Repeated handovers with 10 TCP connections (Appendix C)", Fig17},
+		{"recovery", "NF failure recovery: supervisor resiliency vs 3GPP restart+reattach", Recovery},
 		{"ablation", "Design-choice ablations (DESIGN.md §5)", Ablation},
 		{"trace", "Traced session establishment: per-stage transport breakdown", Trace},
 	}

@@ -9,8 +9,8 @@ import (
 
 func TestCatalogueIntegrity(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("catalogue has %d experiments, want 16 (every table+figure, plus trace)", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("catalogue has %d experiments, want 17 (every table+figure, plus recovery and trace)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -27,7 +27,8 @@ func TestCatalogueIntegrity(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-		"pdrupdate", "fig12", "table1", "table2", "smartbuf", "fig15", "fig16", "fig17", "ablation", "trace"} {
+		"pdrupdate", "fig12", "table1", "table2", "smartbuf", "fig15", "fig16", "fig17",
+		"recovery", "ablation", "trace"} {
 		if !seen[want] {
 			t.Fatalf("missing experiment %q", want)
 		}
@@ -35,7 +36,7 @@ func TestCatalogueIntegrity(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown ID should not resolve")
 	}
-	if len(IDs()) != 16 {
+	if len(IDs()) != 17 {
 		t.Fatal("IDs() incomplete")
 	}
 }
@@ -47,7 +48,7 @@ func TestFastExperimentsProduceTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment generators are not short")
 	}
-	for _, id := range []string{"fig6", "fig7", "pdrupdate", "smartbuf", "fig16", "ablation", "trace"} {
+	for _, id := range []string{"fig6", "fig7", "pdrupdate", "smartbuf", "fig16", "recovery", "ablation", "trace"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, _ := ByID(id)

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"l25gc/internal/codec"
+	"l25gc/internal/faults"
 	"l25gc/internal/kernelpath"
 	"l25gc/internal/metrics"
 	"l25gc/internal/nf/amf"
@@ -36,6 +37,7 @@ import (
 	"l25gc/internal/pkt"
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/sbi"
+	"l25gc/internal/supervisor"
 	"l25gc/internal/trace"
 	"l25gc/internal/upf"
 )
@@ -82,6 +84,19 @@ type Config struct {
 	// Metrics, when non-nil, collects every component counter under
 	// stable dotted names (onvm.*, pfcp.*, sbi.*, upf.*, kern.*).
 	Metrics *metrics.Registry
+
+	// Resilience arms the §3.5 supervisor over the AMF and SMF: each runs
+	// as a supervised unit (active generation + frozen standby), every
+	// inbound NGAP/SBI/N4 message is counter-stamped through the unit's
+	// packet log, and state is checkpointed per message (output commit) so
+	// a crash is recovered by promote+replay with no lost sessions.
+	// Recovery spans land on the Tracer and supervisor.<unit>.* gauges on
+	// the Metrics registry.
+	Resilience bool
+	// FaultInjector, with Resilience, supplies the crash/freeze semantics
+	// and the liveness probe for the supervised units (targets "amf.gN",
+	// "smf.gN"). Nil arms protection without a failure source.
+	FaultInjector *faults.Injector
 }
 
 // Core is one running 5GC unit.
@@ -100,8 +115,9 @@ type Core struct {
 	UPFC     *upf.UPFC
 	UPFU     *upf.UPFU // nil in free5GC mode
 
-	mgr  *onvm.Manager         // shared-memory modes
-	kupf *kernelpath.KernelUPF // kernel mode
+	mgr  *onvm.Manager          // shared-memory modes
+	kupf *kernelpath.KernelUPF  // kernel mode
+	sup  *supervisor.Supervisor // resilience mode
 
 	mu       sync.Mutex
 	gnbSinks map[pkt.Addr]func(frame []byte)
@@ -278,6 +294,14 @@ func (c *Core) start() error {
 		return err
 	}
 
+	if cfg.Resilience {
+		if err := c.startSupervised(track, ausfConn, udmConnAmf, pcfConnAmf,
+			udmConnSmf, pcfConnSmf, smfN4); err != nil {
+			return err
+		}
+		return c.startDN()
+	}
+
 	// SMF's AMF connection is resolved lazily (the AMF is built after the
 	// SMF because the AMF needs the SMF conn).
 	var amfConnForSmf sbi.Conn
@@ -314,28 +338,124 @@ func (c *Core) start() error {
 	amfConnForSmf = amfConn
 	amfConnMu.Unlock()
 
-	// free5GC mode: a DN-side socket feeding/receiving the kernel UPF.
-	if cfg.Mode == ModeFree5GC {
-		dn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-		if err != nil {
-			return err
-		}
-		dn.SetReadBuffer(4 << 20)
-		dn.SetWriteBuffer(4 << 20)
-		c.dnSock = dn
-		c.closers = append(c.closers, func() { dn.Close() })
-		if err := c.kupf.SetDN(dn.LocalAddr().String()); err != nil {
-			return err
-		}
-		go c.dnReadLoop(dn)
+	return c.startDN()
+}
+
+// startDN opens the free5GC-mode DN-side socket (no-op in the
+// shared-memory modes).
+func (c *Core) startDN() error {
+	if c.cfg.Mode != ModeFree5GC {
+		return nil
 	}
+	dn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return err
+	}
+	dn.SetReadBuffer(4 << 20)
+	dn.SetWriteBuffer(4 << 20)
+	c.dnSock = dn
+	c.closers = append(c.closers, func() { dn.Close() })
+	if err := c.kupf.SetDN(dn.LocalAddr().String()); err != nil {
+		return err
+	}
+	go c.dnReadLoop(dn)
+	return nil
+}
+
+// startSupervised assembles the AMF and SMF as supervised units: each
+// generation is a full NF spawned over the shared neighbor connections,
+// with its inbound traffic tapped through the unit's packet log and its
+// state checkpointed per applied message (output commit — a message
+// whose SBI side effects already ran is never re-externalized by
+// replay). Peers reach the units through unit conns, which ride out
+// failovers by waiting for recovery and retrying into the promoted
+// generation's dedup cache.
+func (c *Core) startSupervised(track func(string) *trace.Track,
+	ausfConn, udmConnAmf, pcfConnAmf, udmConnSmf, pcfConnSmf sbi.Conn,
+	smfN4 pfcp.Endpoint) error {
+	cfg := c.cfg
+	c.sup = supervisor.New(supervisor.Config{Tracer: cfg.Tracer, Metrics: cfg.Metrics})
+	c.closers = append(c.closers, c.sup.Close)
+
+	// The SMF's paging conn resolves lazily: the AMF unit registers after
+	// the SMF unit (it needs the SMF unit's conn).
+	var (
+		amfUnitMu sync.Mutex
+		amfUnit   *supervisor.Unit
+	)
+	smfUnit, err := c.sup.Register(supervisor.UnitConfig{
+		Name: "smf", Injector: cfg.FaultInjector, CheckpointEvery: 1,
+		Spawn: func(su *supervisor.Unit, gen int) (supervisor.Instance, error) {
+			s := smf.New(smf.Config{
+				NodeID: fmt.Sprintf("smf.l25gc.g%d", gen), UPFN3IP: upfN3IP,
+				UEPoolBase: pkt.AddrFrom(10, 60, 0, 1),
+				BufferPkts: cfg.BufferPkts,
+			}, udmConnSmf, pcfConnSmf, smfN4, func() sbi.Conn {
+				amfUnitMu.Lock()
+				defer amfUnitMu.Unlock()
+				if amfUnit == nil {
+					return nil
+				}
+				return amfUnit.Conn()
+			})
+			s.SetTracer(track("smf"))
+			supervisor.AttachSMF(su, s)
+			return supervisor.NewSMFInstance(s, nil), nil
+		},
+		// Generations share smfN4; the active one must hold its inbound
+		// handler or session reports (paging triggers) would land on the
+		// empty standby.
+		OnPromote: func(active supervisor.Instance) {
+			active.(*supervisor.SMFInstance).S.BindN4()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	c.SMF = smfUnit.Active().(*supervisor.SMFInstance).S
+
+	aUnit, err := c.sup.Register(supervisor.UnitConfig{
+		Name: "amf", Injector: cfg.FaultInjector, CheckpointEvery: 1,
+		Spawn: func(su *supervisor.Unit, gen int) (supervisor.Instance, error) {
+			a, err := amf.New(amf.Config{
+				Name:  fmt.Sprintf("amf.l25gc.g%d", gen),
+				Guami: "5G:mnc093.mcc208", Addr: "127.0.0.1:0",
+			}, ausfConn, udmConnAmf, pcfConnAmf, smfUnit.Conn())
+			if err != nil {
+				return nil, err
+			}
+			a.SetTracer(track("amf"))
+			supervisor.AttachAMF(su, a)
+			return supervisor.NewAMFInstance(a), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	amfUnitMu.Lock()
+	amfUnit = aUnit
+	amfUnitMu.Unlock()
+	c.AMF = aUnit.Active().(*supervisor.AMFInstance).A
 	return nil
 }
 
 // --- RAN-side surface ---
 
-// N2Addr returns the AMF's NGAP listen address.
-func (c *Core) N2Addr() string { return c.AMF.N2Addr() }
+// N2Addr returns the NGAP listen address — in resilience mode, the
+// currently active AMF generation's (it changes across failovers; RAN
+// nodes re-dial it, the S-BFD-steered re-attach of §3.5).
+func (c *Core) N2Addr() string {
+	if c.sup != nil {
+		if u := c.sup.Unit("amf"); u != nil {
+			return u.Active().(*supervisor.AMFInstance).A.N2Addr()
+		}
+	}
+	return c.AMF.N2Addr()
+}
+
+// Supervisor exposes the resiliency orchestrator (nil unless the core
+// was built with Config.Resilience).
+func (c *Core) Supervisor() *supervisor.Supervisor { return c.sup }
 
 // AttachGNB registers a gNB's DL frame sink under its N3 address.
 func (c *Core) AttachGNB(addr pkt.Addr, sink func(frame []byte)) error {

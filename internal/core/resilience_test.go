@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"l25gc/internal/faults"
+	"l25gc/internal/nf/udr"
+	"l25gc/internal/ranue"
+	"l25gc/internal/supervisor"
+)
+
+// TestCoreResilienceServesAndSurvivesSMFCrash builds a resilience-enabled
+// core, runs a normal UE attach through the supervised control plane,
+// crashes the SMF mid-deployment, and attaches a second UE afterwards:
+// the AMF's unit conn rides out the failover and both sessions exist on
+// the promoted SMF generation.
+func TestCoreResilienceServesAndSurvivesSMFCrash(t *testing.T) {
+	inj := faults.New(1902)
+	c, err := New(Config{
+		Mode: ModeL25GC,
+		Subscribers: []udr.Subscriber{
+			testSubscriber("imsi-208930000000001"),
+			testSubscriber("imsi-208930000000002"),
+		},
+		Resilience:    true,
+		FaultInjector: inj,
+	})
+	if err != nil {
+		t.Fatalf("resilience core start: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	sup := c.Supervisor()
+	if sup == nil || sup.Unit("amf") == nil || sup.Unit("smf") == nil {
+		t.Fatal("resilience mode did not register AMF and SMF units")
+	}
+
+	g1, err := ranue.NewGNB(1, dnIP, c.N2Addr(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.Close()
+	fullAttach(t, c, g1, "imsi-208930000000001")
+
+	// Crash the SMF's primary; the supervisor promotes the standby.
+	smfUnit := sup.Unit("smf")
+	inj.Crash("smf.g0")
+	if err := smfUnit.AwaitRecovery(1, 10*time.Second); err != nil {
+		t.Fatalf("SMF failover: %v", err)
+	}
+
+	// A second UE attaches through the promoted generation; the first
+	// UE's session survived the crash.
+	fullAttach(t, c, g1, "imsi-208930000000002")
+	smfNF := smfUnit.Active().(*supervisor.SMFInstance).S
+	if n := smfNF.Sessions(); n != 2 {
+		t.Fatalf("sessions on promoted SMF = %d, want 2", n)
+	}
+	if smfUnit.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d, want 1", smfUnit.Recoveries())
+	}
+}

@@ -108,7 +108,7 @@ func runAttachStorm(t *testing.T, seed int64, sessions int) attachStormResult {
 // establishments with 10% message loss in each N4 direction, zero session
 // loss, and a schedule that is identical when the seed is replayed.
 func TestChaosAttachUnderPFCPLoss(t *testing.T) {
-	const seed, sessions = 1902, 40
+	seed, sessions := chaosSeed(1902), 40
 	first := runAttachStorm(t, seed, sessions)
 	if first.smfDrops == 0 && first.upfDrops == 0 {
 		t.Fatalf("seed %d produced no drops; scenario exercises nothing", seed)
@@ -152,7 +152,7 @@ func TestChaosFailoverUnderCrash(t *testing.T) {
 		}
 		return res
 	}
-	res := run(7)
+	res := run(chaosSeed(7))
 	if res.LostDeliveries == 0 {
 		t.Fatal("crash fired but no deliveries were lost: crash not mid-procedure")
 	}
@@ -170,7 +170,7 @@ func TestChaosFailoverUnderCrash(t *testing.T) {
 
 	// The crash instant is schedule-determined: replaying the seed loses
 	// the same number of deliveries and replays the same count.
-	again := run(7)
+	again := run(chaosSeed(7))
 	if again.LostDeliveries != res.LostDeliveries || again.Replayed != res.Replayed {
 		t.Fatalf("same seed diverged: (%d lost, %d replayed) vs (%d lost, %d replayed)",
 			res.LostDeliveries, res.Replayed, again.LostDeliveries, again.Replayed)

@@ -30,11 +30,49 @@ const (
 	regDone
 )
 
-// gnbConn is one attached gNB.
+// gnbConn is one known gNB. conn is nil while the gNB is detached — a
+// state that exists only on a restored AMF replica, whose snapshot knows
+// the RAN topology but whose TCP connections died with the failed
+// primary; the gNB re-binds on its next NGSetup.
 type gnbConn struct {
 	id   uint32
 	name string
+
+	mu   sync.Mutex
 	conn *ngap.Conn
+}
+
+// send transmits on the gNB's live connection; a detached gNB swallows
+// the message (the RAN side re-drives its procedure after re-attach).
+func (g *gnbConn) send(m ngap.Message) error {
+	if g == nil {
+		return fmt.Errorf("amf: send to unknown gNB")
+	}
+	g.mu.Lock()
+	conn := g.conn
+	g.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("amf: gNB %d detached", g.id)
+	}
+	return conn.Send(m)
+}
+
+// setConn re-binds the gNB to a live connection (NGSetup after failover).
+func (g *gnbConn) setConn(c *ngap.Conn) {
+	g.mu.Lock()
+	g.conn = c
+	g.mu.Unlock()
+}
+
+// closeConn closes the live connection, if any.
+func (g *gnbConn) closeConn() {
+	g.mu.Lock()
+	conn := g.conn
+	g.conn = nil
+	g.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // ueContext is the AMF's per-UE state.
@@ -90,9 +128,27 @@ type AMF struct {
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 	tracec   atomic.Pointer[trace.Track]
+	tap      atomic.Pointer[IngressTap]
 
 	// Logf receives procedure traces; defaults to a silent logger.
 	Logf func(format string, args ...any)
+}
+
+// IngressTap intercepts every inbound NGAP message before dispatch. The
+// supervisor installs one to stamp the message through the packet-log
+// counter; apply performs the dispatch and must run inside the tap's
+// consistency section so a checkpoint never covers a half-applied
+// message. A tap error drops the message here — it is already logged and
+// reaches the replica via replay.
+type IngressTap func(gnbID uint32, wire []byte, apply func() error) error
+
+// SetIngressTap installs (or, with nil, removes) the ingress tap.
+func (a *AMF) SetIngressTap(t IngressTap) {
+	if t == nil {
+		a.tap.Store(nil)
+		return
+	}
+	a.tap.Store(&t)
 }
 
 // New starts an AMF listening for gNB (N2) connections.
@@ -131,7 +187,7 @@ func (a *AMF) Close() error {
 	a.ln.Close()
 	a.mu.Lock()
 	for _, g := range a.gnbs {
-		g.conn.Close()
+		g.closeConn()
 	}
 	a.mu.Unlock()
 	a.wg.Wait()
@@ -158,36 +214,109 @@ func (a *AMF) serveGnb(conn *ngap.Conn) {
 		if err != nil {
 			return
 		}
-		switch m := msg.(type) {
-		case *ngap.NGSetupRequest:
-			g = &gnbConn{id: m.GnbID, name: m.GnbName, conn: conn}
-			a.mu.Lock()
-			a.gnbs[m.GnbID] = g
-			a.mu.Unlock()
-			conn.Send(&ngap.NGSetupResponse{AmfName: a.cfg.Name, Accepted: true})
-			a.Logf("amf: gNB %d (%s) attached", m.GnbID, m.GnbName)
-		case *ngap.InitialUEMessage:
-			a.handleInitialUE(g, m)
-		case *ngap.UplinkNASTransport:
-			a.handleUplinkNAS(g, m)
-		case *ngap.InitialContextSetupResponse:
-			// Context active at the gNB; nothing further required here.
-		case *ngap.PDUSessionResourceSetupResponse:
-			a.handleSessionResourceResponse(g, m)
-		case *ngap.HandoverRequired:
-			a.handleHandoverRequired(g, m)
-		case *ngap.HandoverRequestAck:
-			a.handleHandoverRequestAck(g, m)
-		case *ngap.HandoverNotify:
-			a.handleHandoverNotify(g, m)
-		case *ngap.UEContextReleaseRequest:
-			a.handleReleaseRequest(g, m)
-		case *ngap.UEContextReleaseComplete:
-			// Release finished at the gNB.
-		default:
-			a.Logf("amf: unhandled NGAP message %T", m)
+		gnbID := uint32(0)
+		if setup, ok := msg.(*ngap.NGSetupRequest); ok {
+			gnbID = setup.GnbID
+		} else if g != nil {
+			gnbID = g.id
+		}
+		apply := func() error {
+			g = a.dispatch(conn, g, msg)
+			return nil
+		}
+		tap := a.tap.Load()
+		if tap == nil {
+			apply()
+			continue
+		}
+		wire, werr := ngap.Marshal(msg)
+		if werr != nil {
+			a.Logf("amf: re-marshal for ingress log failed: %v", werr)
+			apply()
+			continue
+		}
+		if err := (*tap)(gnbID, wire, apply); err != nil {
+			a.Logf("amf: inbound NGAP dropped at ingress: %v", err)
 		}
 	}
+}
+
+// DeliverNGAP re-injects one inbound NGAP message — the supervisor's
+// replay path. The message is dispatched exactly as a live one, bound to
+// the gNB's conn if that gNB is currently attached (detached otherwise).
+func (a *AMF) DeliverNGAP(gnbID uint32, wire []byte) error {
+	msg, err := ngap.Unmarshal(wire)
+	if err != nil {
+		return fmt.Errorf("amf: replayed NGAP: %w", err)
+	}
+	g := a.gnbByID(gnbID)
+	a.dispatch(nil, g, msg)
+	return nil
+}
+
+// gnbByID returns the gNB record for id, creating a detached one on
+// first sight (replayed traffic can reference a gNB that has not yet
+// re-attached to this replica).
+func (a *AMF) gnbByID(id uint32) *gnbConn {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g := a.gnbs[id]
+	if g == nil {
+		g = &gnbConn{id: id}
+		a.gnbs[id] = g
+	}
+	return g
+}
+
+// bindGnb records an NGSetup: a known gNB is re-bound to the new live
+// connection (preserving every ueContext pointer at it), an unknown one
+// is created. conn is nil when the NGSetup itself is a replay — a replica
+// must never clobber a live binding with a dead one.
+func (a *AMF) bindGnb(id uint32, name string, conn *ngap.Conn) *gnbConn {
+	a.mu.Lock()
+	g := a.gnbs[id]
+	if g == nil {
+		g = &gnbConn{id: id}
+		a.gnbs[id] = g
+	}
+	g.name = name
+	a.mu.Unlock()
+	if conn != nil {
+		g.setConn(conn)
+	}
+	return g
+}
+
+// dispatch applies one inbound NGAP message, live or replayed. It
+// returns the connection's gNB binding (updated by NGSetup).
+func (a *AMF) dispatch(conn *ngap.Conn, g *gnbConn, msg ngap.Message) *gnbConn {
+	switch m := msg.(type) {
+	case *ngap.NGSetupRequest:
+		g = a.bindGnb(m.GnbID, m.GnbName, conn)
+		g.send(&ngap.NGSetupResponse{AmfName: a.cfg.Name, Accepted: true})
+		a.Logf("amf: gNB %d (%s) attached", m.GnbID, m.GnbName)
+	case *ngap.InitialUEMessage:
+		a.handleInitialUE(g, m)
+	case *ngap.UplinkNASTransport:
+		a.handleUplinkNAS(g, m)
+	case *ngap.InitialContextSetupResponse:
+		// Context active at the gNB; nothing further required here.
+	case *ngap.PDUSessionResourceSetupResponse:
+		a.handleSessionResourceResponse(g, m)
+	case *ngap.HandoverRequired:
+		a.handleHandoverRequired(g, m)
+	case *ngap.HandoverRequestAck:
+		a.handleHandoverRequestAck(g, m)
+	case *ngap.HandoverNotify:
+		a.handleHandoverNotify(g, m)
+	case *ngap.UEContextReleaseRequest:
+		a.handleReleaseRequest(g, m)
+	case *ngap.UEContextReleaseComplete:
+		// Release finished at the gNB.
+	default:
+		a.Logf("amf: unhandled NGAP message %T", m)
+	}
+	return g
 }
 
 func (a *AMF) ueByAmfID(id uint64) *ueContext {
@@ -243,7 +372,7 @@ func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationR
 	ar := resp.(*sbi.AuthenticationResponse)
 	ue.authCtxID = ar.AuthCtxID
 	pdu, _ := nas.Marshal(&nas.AuthenticationRequest{Rand: ar.Rand, Autn: ar.Autn})
-	g.conn.Send(&ngap.DownlinkNASTransport{RanUeID: ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	g.send(&ngap.DownlinkNASTransport{RanUeID: ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
 }
 
 func (a *AMF) handleUplinkNAS(g *gnbConn, m *ngap.UplinkNASTransport) {
@@ -296,7 +425,7 @@ func (a *AMF) continueAuth(ue *ueContext, n *nas.AuthenticationResponse) {
 	ue.supi = cr.Supi
 	ue.state = regSecurityPending
 	pdu, _ := nas.Marshal(&nas.SecurityModeCommand{CipherAlg: 1, IntegrityAlg: 2})
-	ue.gnb.conn.Send(&ngap.DownlinkNASTransport{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	ue.gnb.send(&ngap.DownlinkNASTransport{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
 }
 
 func (a *AMF) completeRegistration(ue *ueContext) {
@@ -327,7 +456,7 @@ func (a *AMF) completeRegistration(ue *ueContext) {
 	a.uesByGuti[ue.guti] = ue
 	a.mu.Unlock()
 	pdu, _ := nas.Marshal(&nas.RegistrationAccept{Guti: ue.guti, TaiList: "tai-1", AllowedSst: 1})
-	ue.gnb.conn.Send(&ngap.InitialContextSetupRequest{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	ue.gnb.send(&ngap.InitialContextSetupRequest{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
 	a.Logf("amf: UE %s registered as %s", ue.supi, ue.guti)
 }
 
@@ -356,7 +485,7 @@ func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequ
 	pdu, _ := nas.Marshal(&nas.PDUSessionEstablishmentAccept{
 		PduSessionID: n.PduSessionID, UeIPv4: sm.UeIPv4, Qfi: 9,
 	})
-	ue.gnb.conn.Send(&ngap.PDUSessionResourceSetupRequest{
+	ue.gnb.send(&ngap.PDUSessionResourceSetupRequest{
 		RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, PduSessionID: n.PduSessionID,
 		UpfTEID: sm.UpfTEID, UpfAddr: sm.UpfAddr, Qfi: 9, NasPdu: pdu,
 	})
@@ -408,7 +537,7 @@ func (a *AMF) deregister(ue *ueContext, ranUeID uint64) {
 	delete(a.uesByGuti, ue.guti)
 	a.mu.Unlock()
 	if g != nil {
-		g.conn.Send(&ngap.UEContextReleaseCommand{RanUeID: ranUeID, AmfUeID: ue.amfUeID})
+		g.send(&ngap.UEContextReleaseCommand{RanUeID: ranUeID, AmfUeID: ue.amfUeID})
 	}
 	a.Logf("amf: UE %s deregistered", ue.supi)
 }
@@ -433,7 +562,7 @@ func (a *AMF) handleReleaseRequest(g *gnbConn, m *ngap.UEContextReleaseRequest) 
 	ue.mu.Lock()
 	ue.idle = true
 	ue.mu.Unlock()
-	g.conn.Send(&ngap.UEContextReleaseCommand{RanUeID: m.RanUeID, AmfUeID: m.AmfUeID})
+	g.send(&ngap.UEContextReleaseCommand{RanUeID: m.RanUeID, AmfUeID: m.AmfUeID})
 	a.Logf("amf: UE %s idle", ue.supi)
 }
 
@@ -459,7 +588,7 @@ func (a *AMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 		if !idle {
 			return &sbi.N1N2MessageTransferResponse{Cause: "N1_N2_TRANSFER_INITIATED"}, nil
 		}
-		if err := g.conn.Send(&ngap.Paging{Guti: guti}); err != nil {
+		if err := g.send(&ngap.Paging{Guti: guti}); err != nil {
 			return nil, fmt.Errorf("amf: paging send: %w", err)
 		}
 		a.Logf("amf: paging %s via gNB %d", guti, g.id)
@@ -489,7 +618,7 @@ func (a *AMF) handleServiceRequest(g *gnbConn, ranUeID uint64, n *nas.ServiceReq
 	// Re-establish the RAN-side tunnel; the gNB answers with its DL TEID
 	// and handleSessionResourceResponse re-activates the UPF path.
 	pdu, _ := nas.Marshal(&nas.ServiceAccept{PduSessionID: sessID})
-	g.conn.Send(&ngap.PDUSessionResourceSetupRequest{
+	g.send(&ngap.PDUSessionResourceSetupRequest{
 		RanUeID: ranUeID, AmfUeID: ue.amfUeID, PduSessionID: sessID,
 		UpfTEID: upfTEID, UpfAddr: upfAddr, Qfi: 9, NasPdu: pdu,
 	})
@@ -524,7 +653,7 @@ func (a *AMF) handleHandoverRequired(g *gnbConn, m *ngap.HandoverRequired) {
 	ue.hoSrcRanUeID = m.RanUeID
 	ue.hoTarget = target
 	ue.mu.Unlock()
-	target.conn.Send(&ngap.HandoverRequest{
+	target.send(&ngap.HandoverRequest{
 		AmfUeID: ue.amfUeID, PduSessionID: ue.pduSessionID,
 		UpfTEID: ue.upfTEID, UpfAddr: ue.upfAddr,
 	})
@@ -549,7 +678,7 @@ func (a *AMF) handleHandoverRequestAck(g *gnbConn, m *ngap.HandoverRequestAck) {
 	a.hoTunnels[ue.amfUeID] = hoTunnel{teid: targetTEID, addr: targetAddr}
 	a.mu.Unlock()
 	if src != nil {
-		src.conn.Send(&ngap.HandoverCommand{RanUeID: srcRanUeID, TargetGnbID: g.id})
+		src.send(&ngap.HandoverCommand{RanUeID: srcRanUeID, TargetGnbID: g.id})
 	}
 }
 
@@ -580,7 +709,7 @@ func (a *AMF) handleHandoverNotify(g *gnbConn, m *ngap.HandoverNotify) {
 	ue.hoSrcGnb, ue.hoTarget = nil, nil
 	ue.mu.Unlock()
 	if src != nil {
-		src.conn.Send(&ngap.UEContextReleaseCommand{RanUeID: srcRanUeID, AmfUeID: ue.amfUeID})
+		src.send(&ngap.UEContextReleaseCommand{RanUeID: srcRanUeID, AmfUeID: ue.amfUeID})
 	}
 	a.Logf("amf: handover of %s to gNB %d complete", ue.supi, g.id)
 }

@@ -1,0 +1,172 @@
+package amf
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// The AMF's snapshot is the §3.5.2 control-plane checkpoint: every UE
+// context (registration state, GUTI, serving cell, session anchors,
+// in-flight handover bookkeeping) plus the known RAN topology and the
+// UE-ID allocator, serialized deterministically — records are sorted by
+// ID so identical state always encodes to identical bytes, which the
+// replica-sync tests rely on. gNB connections are deliberately absent:
+// sockets die with the failed instance, so a restored replica holds
+// detached gNB records that re-bind on the next NGSetup.
+
+type gnbRecord struct {
+	ID   uint32 `json:"id"`
+	Name string `json:"name,omitempty"`
+}
+
+type ueRecord struct {
+	AmfUeID uint64 `json:"amfUeId"`
+	RanUeID uint64 `json:"ranUeId"`
+	GnbID   uint32 `json:"gnbId,omitempty"`
+	HasGnb  bool   `json:"hasGnb,omitempty"`
+
+	Suci      string `json:"suci,omitempty"`
+	Supi      string `json:"supi,omitempty"`
+	Guti      string `json:"guti,omitempty"`
+	AuthCtxID string `json:"authCtxId,omitempty"`
+	State     int    `json:"state"`
+
+	PduSessionID uint32 `json:"pduSessionId,omitempty"`
+	SmRef        string `json:"smRef,omitempty"`
+	UpfTEID      uint32 `json:"upfTeid,omitempty"`
+	UpfAddr      string `json:"upfAddr,omitempty"`
+
+	Idle bool `json:"idle,omitempty"`
+
+	HasHoSrc     bool   `json:"hasHoSrc,omitempty"`
+	HoSrcGnbID   uint32 `json:"hoSrcGnbId,omitempty"`
+	HoSrcRanUeID uint64 `json:"hoSrcRanUeId,omitempty"`
+	HasHoTarget  bool   `json:"hasHoTarget,omitempty"`
+	HoTargetID   uint32 `json:"hoTargetId,omitempty"`
+}
+
+type hoTunnelRecord struct {
+	AmfUeID uint64 `json:"amfUeId"`
+	TEID    uint32 `json:"teid"`
+	Addr    string `json:"addr"`
+}
+
+type amfSnapshot struct {
+	NextUeID  uint64           `json:"nextUeId"`
+	Gnbs      []gnbRecord      `json:"gnbs,omitempty"`
+	Ues       []ueRecord       `json:"ues,omitempty"`
+	HoTunnels []hoTunnelRecord `json:"hoTunnels,omitempty"`
+}
+
+// Snapshot implements resilience.Snapshotter with a deterministic
+// encoding of the full mobility-management state.
+func (a *AMF) Snapshot() ([]byte, error) {
+	a.mu.Lock()
+	snap := amfSnapshot{NextUeID: a.nextUeID.Load()}
+	for _, g := range a.gnbs {
+		snap.Gnbs = append(snap.Gnbs, gnbRecord{ID: g.id, Name: g.name})
+	}
+	ues := make([]*ueContext, 0, len(a.ues))
+	for _, ue := range a.ues {
+		ues = append(ues, ue)
+	}
+	for id, t := range a.hoTunnels {
+		snap.HoTunnels = append(snap.HoTunnels, hoTunnelRecord{AmfUeID: id, TEID: t.teid, Addr: t.addr})
+	}
+	a.mu.Unlock()
+
+	for _, ue := range ues {
+		ue.mu.Lock()
+		rec := ueRecord{
+			AmfUeID: ue.amfUeID, RanUeID: ue.ranUeID,
+			Suci: ue.suci, Supi: ue.supi, Guti: ue.guti,
+			AuthCtxID: ue.authCtxID, State: int(ue.state),
+			PduSessionID: ue.pduSessionID, SmRef: ue.smRef,
+			UpfTEID: ue.upfTEID, UpfAddr: ue.upfAddr,
+			Idle: ue.idle,
+		}
+		if ue.gnb != nil {
+			rec.HasGnb, rec.GnbID = true, ue.gnb.id
+		}
+		if ue.hoSrcGnb != nil {
+			rec.HasHoSrc, rec.HoSrcGnbID = true, ue.hoSrcGnb.id
+			rec.HoSrcRanUeID = ue.hoSrcRanUeID
+		}
+		if ue.hoTarget != nil {
+			rec.HasHoTarget, rec.HoTargetID = true, ue.hoTarget.id
+		}
+		ue.mu.Unlock()
+		snap.Ues = append(snap.Ues, rec)
+	}
+
+	sort.Slice(snap.Gnbs, func(i, j int) bool { return snap.Gnbs[i].ID < snap.Gnbs[j].ID })
+	sort.Slice(snap.Ues, func(i, j int) bool { return snap.Ues[i].AmfUeID < snap.Ues[j].AmfUeID })
+	sort.Slice(snap.HoTunnels, func(i, j int) bool { return snap.HoTunnels[i].AmfUeID < snap.HoTunnels[j].AmfUeID })
+	return json.Marshal(snap)
+}
+
+// Restore implements resilience.Snapshotter: the AMF's state becomes the
+// snapshot's. gNB records already attached to this instance keep their
+// live connections; everything else is detached until the RAN re-binds.
+func (a *AMF) Restore(b []byte) error {
+	var snap amfSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	for _, gr := range snap.Gnbs {
+		g := a.gnbs[gr.ID]
+		if g == nil {
+			g = &gnbConn{id: gr.ID}
+			a.gnbs[gr.ID] = g
+		}
+		g.name = gr.Name
+	}
+	resolve := func(id uint32) *gnbConn {
+		g := a.gnbs[id]
+		if g == nil {
+			g = &gnbConn{id: id}
+			a.gnbs[id] = g
+		}
+		return g
+	}
+
+	a.ues = make(map[uint64]*ueContext, len(snap.Ues))
+	a.uesBySupi = make(map[string]*ueContext)
+	a.uesByGuti = make(map[string]*ueContext)
+	for _, rec := range snap.Ues {
+		ue := &ueContext{
+			amfUeID: rec.AmfUeID, ranUeID: rec.RanUeID,
+			suci: rec.Suci, supi: rec.Supi, guti: rec.Guti,
+			authCtxID: rec.AuthCtxID, state: regState(rec.State),
+			pduSessionID: rec.PduSessionID, smRef: rec.SmRef,
+			upfTEID: rec.UpfTEID, upfAddr: rec.UpfAddr,
+			idle: rec.Idle,
+		}
+		if rec.HasGnb {
+			ue.gnb = resolve(rec.GnbID)
+		}
+		if rec.HasHoSrc {
+			ue.hoSrcGnb = resolve(rec.HoSrcGnbID)
+			ue.hoSrcRanUeID = rec.HoSrcRanUeID
+		}
+		if rec.HasHoTarget {
+			ue.hoTarget = resolve(rec.HoTargetID)
+		}
+		a.ues[ue.amfUeID] = ue
+		if ue.supi != "" {
+			a.uesBySupi[ue.supi] = ue
+		}
+		if ue.guti != "" {
+			a.uesByGuti[ue.guti] = ue
+		}
+	}
+	a.hoTunnels = make(map[uint64]hoTunnel, len(snap.HoTunnels))
+	for _, tr := range snap.HoTunnels {
+		a.hoTunnels[tr.AmfUeID] = hoTunnel{teid: tr.TEID, addr: tr.Addr}
+	}
+	a.nextUeID.Store(snap.NextUeID)
+	return nil
+}

@@ -1,0 +1,313 @@
+// Package amf_test drives snapshot/restore round trips against a live
+// control-plane mesh: a raw NGAP gNB walks a UE part-way through a
+// procedure, the AMF is checkpointed mid-flight, the checkpoint is
+// restored into a *fresh* AMF instance, and the procedure then completes
+// against the replica — no NAS step repeated, no re-registration. This
+// is the §3.5.2 control-plane resiliency claim at the single-NF level
+// (the supervisor tests exercise the full detect/promote/replay loop).
+package amf_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/nas"
+	"l25gc/internal/nf/amf"
+	"l25gc/internal/nf/ausf"
+	"l25gc/internal/nf/pcf"
+	"l25gc/internal/nf/smf"
+	"l25gc/internal/nf/udm"
+	"l25gc/internal/nf/udr"
+	"l25gc/internal/ngap"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+	"l25gc/internal/sbi"
+	"l25gc/internal/upf"
+)
+
+var (
+	testK   = []byte("0123456789abcdef")
+	testOpc = []byte("fedcba9876543210")
+)
+
+// directConn adapts an sbi.Handler to sbi.Conn without a transport.
+type directConn struct{ h sbi.Handler }
+
+func (d directConn) Invoke(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	return d.h(op, req)
+}
+func (d directConn) Close() error { return nil }
+
+// mesh is the control-plane neighborhood an AMF needs: AUSF/UDM/PCF/SMF
+// plus a real UPF behind the SMF's N4. The mesh is shared across AMF
+// generations — exactly the deployment shape under the supervisor, where
+// only the failed NF is replaced.
+type mesh struct {
+	ausf, udm, pcf, smf sbi.Conn
+	smfNF               *smf.SMF
+	upfState            *upf.State
+}
+
+func newMesh(t *testing.T) *mesh {
+	t.Helper()
+	u := udr.New()
+	u.Provision(udr.Subscriber{
+		Supi: "imsi-1", K: testK, Opc: testOpc,
+		Dnn: "internet", AmbrUL: 1e9, AmbrDL: 2e9, Sst: 1, Sd: "010203",
+	})
+	um := udm.New(directConn{u.Handle})
+	au := ausf.New(directConn{um.Handle})
+	pc := pcf.New(pcf.Policy{RfspIndex: 1, MbrUL: 1e6, MbrDL: 1e6, Default5QI: 9})
+
+	n3 := pkt.Addr{192, 168, 0, 1}
+	smfEP, upfEP := pfcp.NewMemPair(256)
+	st := upf.NewState("ps", 64)
+	upf.NewUPFC(st, n3, upfEP)
+	s := smf.New(smf.Config{
+		NodeID: "smf-test", UPFN3IP: n3, UEPoolBase: pkt.Addr{10, 60, 0, 1},
+	}, directConn{um.Handle}, directConn{pc.Handle}, smfEP, func() sbi.Conn { return nil })
+
+	return &mesh{
+		ausf: directConn{au.Handle}, udm: directConn{um.Handle},
+		pcf: directConn{pc.Handle}, smf: directConn{s.Handle},
+		smfNF: s, upfState: st,
+	}
+}
+
+func (m *mesh) newAMF(t *testing.T) *amf.AMF {
+	t.Helper()
+	a, err := amf.New(amf.Config{Name: "amf-test", Guami: "guami-1", Addr: "127.0.0.1:0"},
+		m.ausf, m.udm, m.pcf, m.smf)
+	if err != nil {
+		t.Fatalf("amf.New: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+// rawGnb is a scripted gNB speaking wire NGAP, so tests control exactly
+// where in a procedure the snapshot is taken.
+type rawGnb struct {
+	t    *testing.T
+	id   uint32
+	conn *ngap.Conn
+}
+
+func dialGnb(t *testing.T, addr string, id uint32) *rawGnb {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial gNB %d: %v", id, err)
+	}
+	c.SetDeadline(time.Now().Add(20 * time.Second))
+	g := &rawGnb{t: t, id: id, conn: ngap.NewConn(c)}
+	t.Cleanup(func() { g.conn.Close() })
+	g.send(&ngap.NGSetupRequest{GnbID: id, GnbName: "gnb-raw", Tac: 1})
+	resp := recvMsg[*ngap.NGSetupResponse](g)
+	if !resp.Accepted {
+		t.Fatalf("gNB %d: NGSetup rejected", id)
+	}
+	return g
+}
+
+func (g *rawGnb) send(m ngap.Message) {
+	g.t.Helper()
+	if err := g.conn.Send(m); err != nil {
+		g.t.Fatalf("gNB %d: send %T: %v", g.id, m, err)
+	}
+}
+
+// recvMsg reads until a message of type T arrives (other traffic on the
+// connection is skipped, as a real gNB would route it elsewhere).
+func recvMsg[T ngap.Message](g *rawGnb) T {
+	g.t.Helper()
+	for {
+		m, err := g.conn.Recv()
+		if err != nil {
+			g.t.Fatalf("gNB %d: recv: %v", g.id, err)
+		}
+		if want, ok := m.(T); ok {
+			return want
+		}
+	}
+}
+
+// recvNAS reads downlink NAS of a specific type, from either transport
+// message that carries NAS (DownlinkNASTransport or context setup).
+func recvNAS(g *rawGnb, want nas.MsgType) (nas.Message, uint64) {
+	g.t.Helper()
+	for {
+		m, err := g.conn.Recv()
+		if err != nil {
+			g.t.Fatalf("gNB %d: recv: %v", g.id, err)
+		}
+		var pdu []byte
+		var amfUeID uint64
+		switch d := m.(type) {
+		case *ngap.DownlinkNASTransport:
+			pdu, amfUeID = d.NasPdu, d.AmfUeID
+		case *ngap.InitialContextSetupRequest:
+			pdu, amfUeID = d.NasPdu, d.AmfUeID
+		case *ngap.PDUSessionResourceSetupRequest:
+			pdu, amfUeID = d.NasPdu, d.AmfUeID
+		default:
+			continue
+		}
+		n, err := nas.Unmarshal(pdu)
+		if err != nil {
+			g.t.Fatalf("gNB %d: bad NAS: %v", g.id, err)
+		}
+		if n.NASType() == want {
+			return n, amfUeID
+		}
+	}
+}
+
+func sendNAS(g *rawGnb, ranUeID, amfUeID uint64, m nas.Message) {
+	g.t.Helper()
+	pdu, err := nas.Marshal(m)
+	if err != nil {
+		g.t.Fatalf("marshal NAS: %v", err)
+	}
+	g.send(&ngap.UplinkNASTransport{RanUeID: ranUeID, AmfUeID: amfUeID, NasPdu: pdu})
+}
+
+// TestAMFSnapshotMidRegistration snapshots the AMF between the
+// authentication challenge and the UE's response, restores into a fresh
+// AMF, and completes registration there: the challenge is never
+// re-issued and the UE never re-registers.
+func TestAMFSnapshotMidRegistration(t *testing.T) {
+	m := newMesh(t)
+	primary := m.newAMF(t)
+	g := dialGnb(t, primary.N2Addr(), 1)
+
+	pdu, _ := nas.Marshal(&nas.RegistrationRequest{Suci: "imsi-1", Capabilities: 0xf})
+	g.send(&ngap.InitialUEMessage{RanUeID: 1, NasPdu: pdu})
+	chal, amfUeID := recvNAS(g, nas.MsgAuthenticationRequest)
+	auth := chal.(*nas.AuthenticationRequest)
+
+	// Mid-registration checkpoint: the UE context is auth-pending with a
+	// live AUSF auth context.
+	snap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	primary.Close()
+
+	replica := m.newAMF(t)
+	if err := replica.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// The RAN re-attaches to the replica (S-BFD would have steered it);
+	// same gNB identity, fresh TCP connection.
+	g2 := dialGnb(t, replica.N2Addr(), 1)
+
+	// The UE answers the original challenge — against the replica.
+	sendNAS(g2, 1, amfUeID, &nas.AuthenticationResponse{ResStar: udm.DeriveRes(testK, auth.Rand)})
+	if _, _ = recvNAS(g2, nas.MsgSecurityModeCommand); true {
+		sendNAS(g2, 1, amfUeID, &nas.SecurityModeComplete{IMEISV: "imeisv-1"})
+	}
+	acc, _ := recvNAS(g2, nas.MsgRegistrationAccept)
+	if acc.(*nas.RegistrationAccept).Guti == "" {
+		t.Fatal("replica completed registration without assigning a GUTI")
+	}
+	sendNAS(g2, 1, amfUeID, &nas.RegistrationComplete{Ack: true})
+}
+
+// establish runs registration + session establishment against a and
+// returns (amfUeID, guti, seid-holding smf session count check happens
+// by caller). The gNB answers the resource setup with its DL tunnel.
+func establish(t *testing.T, g *rawGnb, gnbTEID uint32, gnbAddr string) (amfUeID uint64, guti string) {
+	t.Helper()
+	pdu, _ := nas.Marshal(&nas.RegistrationRequest{Suci: "imsi-1", Capabilities: 0xf})
+	g.send(&ngap.InitialUEMessage{RanUeID: 1, NasPdu: pdu})
+	chal, amfUeID := recvNAS(g, nas.MsgAuthenticationRequest)
+	sendNAS(g, 1, amfUeID, &nas.AuthenticationResponse{
+		ResStar: udm.DeriveRes(testK, chal.(*nas.AuthenticationRequest).Rand),
+	})
+	recvNAS(g, nas.MsgSecurityModeCommand)
+	sendNAS(g, 1, amfUeID, &nas.SecurityModeComplete{IMEISV: "imeisv-1"})
+	acc, _ := recvNAS(g, nas.MsgRegistrationAccept)
+	guti = acc.(*nas.RegistrationAccept).Guti
+	sendNAS(g, 1, amfUeID, &nas.RegistrationComplete{Ack: true})
+
+	sendNAS(g, 1, amfUeID, &nas.PDUSessionEstablishmentRequest{PduSessionID: 5, Dnn: "internet", SscMode: 1})
+	recvNAS(g, nas.MsgPDUSessionEstablishmentAccept)
+	g.send(&ngap.PDUSessionResourceSetupResponse{
+		RanUeID: 1, PduSessionID: 5, GnbTEID: gnbTEID, GnbAddr: gnbAddr,
+	})
+	return amfUeID, guti
+}
+
+// TestAMFSnapshotMidHandover freezes the AMF between HandoverRequest and
+// its Ack — source still serving, target prepared, UPF buffering armed —
+// restores into a fresh AMF, and completes the handover against the
+// replica: path switch, source release, session intact.
+func TestAMFSnapshotMidHandover(t *testing.T) {
+	m := newMesh(t)
+	primary := m.newAMF(t)
+	src := dialGnb(t, primary.N2Addr(), 1)
+	dst := dialGnb(t, primary.N2Addr(), 2)
+
+	amfUeID, guti := establish(t, src, 7001, "192.168.1.1")
+	if guti == "" {
+		t.Fatal("no GUTI assigned")
+	}
+
+	// Kick off the handover; the target receives HandoverRequest (which
+	// also armed smart buffering at the UPF via the SMF).
+	src.send(&ngap.HandoverRequired{RanUeID: 1, AmfUeID: amfUeID, TargetGnbID: 2, Cause: "radio"})
+	hreq := recvMsg[*ngap.HandoverRequest](dst)
+	if hreq.AmfUeID != amfUeID {
+		t.Fatalf("handover request for UE %d, want %d", hreq.AmfUeID, amfUeID)
+	}
+
+	// Mid-handover checkpoint.
+	snap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	// Determinism: identical state must encode to identical bytes.
+	snap2, _ := primary.Snapshot()
+	if !bytes.Equal(snap, snap2) {
+		t.Fatal("AMF snapshot encoding is not deterministic")
+	}
+	primary.Close()
+
+	replica := m.newAMF(t)
+	if err := replica.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	src2 := dialGnb(t, replica.N2Addr(), 1)
+	dst2 := dialGnb(t, replica.N2Addr(), 2)
+
+	// The target acks toward the replica; the source must receive the
+	// HandoverCommand from it — the replica knows the in-flight handover.
+	dst2.send(&ngap.HandoverRequestAck{
+		AmfUeID: amfUeID, NewRanUeID: 2, GnbTEID: 7002, GnbAddr: "192.168.1.2",
+	})
+	cmd := recvMsg[*ngap.HandoverCommand](src2)
+	if cmd.TargetGnbID != 2 {
+		t.Fatalf("handover command to gNB %d, want 2", cmd.TargetGnbID)
+	}
+	dst2.send(&ngap.HandoverNotify{AmfUeID: amfUeID, RanUeID: 2})
+	recvMsg[*ngap.UEContextReleaseCommand](src2)
+
+	// The UPF's DL path now forwards to the target tunnel, and the SM
+	// context survived with no re-establishment.
+	if m.smfNF.Sessions() != 1 {
+		t.Fatalf("smf sessions = %d after handover via replica, want 1", m.smfNF.Sessions())
+	}
+	ctx, ok := m.upfState.Session(0x101)
+	if !ok {
+		t.Fatal("UPF lost the session across AMF restore")
+	}
+	far := ctx.Sess.FAR(2)
+	if far == nil || far.Action&rules.FARForward == 0 || far.OuterTEID != 7002 {
+		t.Fatalf("DL FAR after replica-driven path switch: %+v", far)
+	}
+}

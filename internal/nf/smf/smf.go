@@ -75,6 +75,7 @@ type SMF struct {
 	nextIP atomic.Uint32
 	seid   atomic.Uint64
 	tracec atomic.Pointer[trace.Track]
+	n4tap  atomic.Pointer[N4Tap]
 }
 
 // New creates an SMF. amf is resolved lazily on first paging trigger.
@@ -90,7 +91,7 @@ func New(cfg Config, udm, pcf sbi.Conn, n4 pfcp.Endpoint, amf func() sbi.Conn) *
 	s.nextIP.Store(cfg.UEPoolBase.Uint32() - 1)
 	s.seid.Store(0x100)
 	if n4 != nil {
-		n4.SetHandler(s.handleN4)
+		n4.SetHandler(s.tappedN4)
 	}
 	return s
 }

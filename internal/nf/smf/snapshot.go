@@ -1,0 +1,145 @@
+package smf
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"l25gc/internal/pfcp"
+)
+
+// The SMF's snapshot is its half of the §3.5.2 control-plane checkpoint:
+// every PDU session context (SEID, UE address, UL/DL tunnel endpoints,
+// buffering/idle flags) plus the IP and SEID allocators, encoded
+// deterministically (contexts sorted by SEID). The restored replica can
+// immediately serve updates for every session the primary had
+// established — no UE re-attach, no re-established N4 association.
+
+type smRecord struct {
+	Ref          string `json:"ref"`
+	Supi         string `json:"supi"`
+	PduSessionID uint32 `json:"pduSessionId"`
+	SEID         uint64 `json:"seid"`
+	UeIP         string `json:"ueIp"`
+	UpfTEID      uint32 `json:"upfTeid,omitempty"`
+	UpfAddr      string `json:"upfAddr,omitempty"`
+	GnbTEID      uint32 `json:"gnbTeid,omitempty"`
+	GnbAddr      string `json:"gnbAddr,omitempty"`
+	Qfi          uint8  `json:"qfi,omitempty"`
+	Buffering    bool   `json:"buffering,omitempty"`
+	Idle         bool   `json:"idle,omitempty"`
+}
+
+type smfSnapshot struct {
+	NextIP   uint32     `json:"nextIp"`
+	NextSEID uint64     `json:"nextSeid"`
+	Contexts []smRecord `json:"contexts,omitempty"`
+}
+
+// Snapshot implements resilience.Snapshotter.
+func (s *SMF) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	ctxs := make([]*smContext, 0, len(s.byRef))
+	for _, c := range s.byRef {
+		ctxs = append(ctxs, c)
+	}
+	snap := smfSnapshot{NextIP: s.nextIP.Load(), NextSEID: s.seid.Load()}
+	s.mu.Unlock()
+
+	for _, c := range ctxs {
+		c.mu.Lock()
+		snap.Contexts = append(snap.Contexts, smRecord{
+			Ref: c.ref, Supi: c.supi, PduSessionID: c.pduSessionID,
+			SEID: c.seid, UeIP: c.ueIP.String(),
+			UpfTEID: c.upfTEID, UpfAddr: c.upfAddr,
+			GnbTEID: c.gnbTEID, GnbAddr: c.gnbAddr.String(),
+			Qfi: c.qfi, Buffering: c.buffering, Idle: c.idle,
+		})
+		c.mu.Unlock()
+	}
+	sort.Slice(snap.Contexts, func(i, j int) bool { return snap.Contexts[i].SEID < snap.Contexts[j].SEID })
+	return json.Marshal(snap)
+}
+
+// Restore implements resilience.Snapshotter: the SMF's session table and
+// allocators become the snapshot's.
+func (s *SMF) Restore(b []byte) error {
+	var snap smfSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byRef = make(map[string]*smContext, len(snap.Contexts))
+	s.bySEID = make(map[uint64]*smContext, len(snap.Contexts))
+	for _, r := range snap.Contexts {
+		c := &smContext{
+			ref: r.Ref, supi: r.Supi, pduSessionID: r.PduSessionID,
+			seid: r.SEID, ueIP: parseAddr(r.UeIP),
+			upfTEID: r.UpfTEID, upfAddr: r.UpfAddr,
+			gnbTEID: r.GnbTEID, gnbAddr: parseAddr(r.GnbAddr),
+			qfi: r.Qfi, buffering: r.Buffering, idle: r.Idle,
+		}
+		s.byRef[c.ref] = c
+		s.bySEID[c.seid] = c
+	}
+	s.nextIP.Store(snap.NextIP)
+	s.seid.Store(snap.NextSEID)
+	return nil
+}
+
+// N4Tap intercepts inbound N4 requests (UPF session reports) before the
+// SMF handles them; the supervisor installs one to stamp the request
+// through the packet-log counter. apply performs the handling inside the
+// tap's consistency section. A tap error drops the request here — the
+// UPF's PFCP retransmission re-delivers it, or replay does.
+type N4Tap func(wire []byte, apply func() error) error
+
+// SetN4Tap installs (or, with nil, removes) the N4 ingress tap.
+func (s *SMF) SetN4Tap(t N4Tap) {
+	if t == nil {
+		s.n4tap.Store(nil)
+		return
+	}
+	s.n4tap.Store(&t)
+}
+
+// tappedN4 is the installed pfcp handler: it routes the request through
+// the tap when one is set, else straight to handleN4.
+func (s *SMF) tappedN4(seid uint64, req pfcp.Message) (pfcp.Message, error) {
+	tap := s.n4tap.Load()
+	if tap == nil {
+		return s.handleN4(seid, req)
+	}
+	wire := pfcp.Marshal(req, seid, true, 0)
+	var (
+		resp pfcp.Message
+		herr error
+	)
+	if err := (*tap)(wire, func() error {
+		resp, herr = s.handleN4(seid, req)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("smf: n4 ingress: %w", err)
+	}
+	return resp, herr
+}
+
+// BindN4 (re-)claims the N4 endpoint's inbound handler for this SMF.
+// Supervised deployments share one endpoint across generations and the
+// most recently constructed instance holds the handler — the supervisor
+// rebinds to the active generation at every promotion so session
+// reports reach live state, not the frozen standby.
+func (s *SMF) BindN4() { s.n4.SetHandler(s.tappedN4) }
+
+// DeliverN4 re-injects one inbound N4 request — the supervisor's replay
+// path. The response is discarded (the UPF either saw it before the
+// crash or retransmits the request).
+func (s *SMF) DeliverN4(wire []byte) error {
+	hdr, msg, err := pfcp.Parse(wire)
+	if err != nil {
+		return fmt.Errorf("smf: replayed N4: %w", err)
+	}
+	_, herr := s.handleN4(hdr.SEID, msg)
+	return herr
+}

@@ -1,0 +1,129 @@
+// Package smf_test checkpoints the SMF mid-handover and completes the
+// procedure on a restored replica: the PDU session context (SEID, UE IP,
+// tunnel endpoints, buffering state) survives the swap and the replica's
+// N4 path-switch lands on the same UPF session the primary established.
+package smf_test
+
+import (
+	"bytes"
+	"testing"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/nf/pcf"
+	"l25gc/internal/nf/smf"
+	"l25gc/internal/nf/udm"
+	"l25gc/internal/nf/udr"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+	"l25gc/internal/sbi"
+	"l25gc/internal/upf"
+)
+
+type directConn struct{ h sbi.Handler }
+
+func (d directConn) Invoke(op sbi.OpID, req codec.Message) (codec.Message, error) {
+	return d.h(op, req)
+}
+func (d directConn) Close() error { return nil }
+
+// newSMF builds an SMF over the shared UDM/PCF/N4 endpoint — the same
+// neighborhood a promoted replica inherits from its failed primary.
+func newSMF(udmC, pcfC sbi.Conn, n4 pfcp.Endpoint) *smf.SMF {
+	return smf.New(smf.Config{
+		NodeID: "smf-test", UPFN3IP: pkt.Addr{192, 168, 0, 1},
+		UEPoolBase: pkt.Addr{10, 60, 0, 1},
+	}, udmC, pcfC, n4, func() sbi.Conn { return nil })
+}
+
+func TestSMFSnapshotMidHandoverRoundTrip(t *testing.T) {
+	u := udr.New()
+	u.Provision(udr.Subscriber{
+		Supi: "imsi-1", K: []byte("0123456789abcdef"), Opc: []byte("fedcba9876543210"),
+		Dnn: "internet", AmbrUL: 1e9, AmbrDL: 2e9, Sst: 1, Sd: "010203",
+	})
+	um := udm.New(directConn{u.Handle})
+	pc := pcf.New(pcf.Policy{RfspIndex: 1, MbrUL: 1e6, MbrDL: 1e6, Default5QI: 9})
+	udmC, pcfC := sbi.Conn(directConn{um.Handle}), sbi.Conn(directConn{pc.Handle})
+
+	smfEP, upfEP := pfcp.NewMemPair(256)
+	st := upf.NewState("ps", 64)
+	upf.NewUPFC(st, pkt.Addr{192, 168, 0, 1}, upfEP)
+
+	primary := newSMF(udmC, pcfC, smfEP)
+
+	// Establish a session with a known source-gNB tunnel.
+	cresp, err := primary.Handle(sbi.OpPostSmContexts, &sbi.SmContextCreateRequest{
+		Supi: "imsi-1", PduSessionID: 5, Dnn: "internet", Sst: 1, Sd: "010203",
+		GnbTunnelAddr: "192.168.1.1", GnbTunnelTEID: 7001,
+	})
+	if err != nil {
+		t.Fatalf("create SM context: %v", err)
+	}
+	ref := cresp.(*sbi.SmContextCreateResponse).SmContextRef
+
+	// Handover preparation: smart buffering armed at the UPF.
+	presp, err := primary.Handle(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
+		SmContextRef: ref, HoState: "PREPARING", DataForwarding: true,
+	})
+	if err != nil {
+		t.Fatalf("HO preparation: %v", err)
+	}
+	if hs := presp.(*sbi.SmContextUpdateResponse).HoState; hs != "PREPARED" {
+		t.Fatalf("HoState = %q, want PREPARED", hs)
+	}
+
+	// Mid-handover checkpoint; must be byte-deterministic.
+	snap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if snap2, _ := primary.Snapshot(); !bytes.Equal(snap, snap2) {
+		t.Fatal("SMF snapshot encoding is not deterministic")
+	}
+
+	// Promote a fresh replica over the same N4 endpoint (re-registering
+	// the PFCP handler retires the primary's).
+	replica := newSMF(udmC, pcfC, smfEP)
+	if err := replica.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if n := replica.Sessions(); n != 1 {
+		t.Fatalf("replica sessions = %d, want 1", n)
+	}
+
+	// The handover completes against the replica: same context ref, path
+	// switched to the target tunnel, no re-establishment.
+	hresp, err := replica.Handle(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
+		SmContextRef: ref, HoState: "COMPLETED",
+		TargetGnbAddr: "192.168.1.2", TargetGnbTEID: 7002,
+	})
+	if err != nil {
+		t.Fatalf("HO completion via replica: %v", err)
+	}
+	if hs := hresp.(*sbi.SmContextUpdateResponse).HoState; hs != "COMPLETED" {
+		t.Fatalf("HoState = %q, want COMPLETED", hs)
+	}
+
+	// UPF session is the one the primary created, now forwarding DL
+	// traffic to the target gNB.
+	ctx, ok := st.Session(0x101)
+	if !ok {
+		t.Fatal("UPF lost the session across SMF restore")
+	}
+	far := ctx.Sess.FAR(2)
+	if far == nil || far.Action&rules.FARForward == 0 || far.OuterTEID != 7002 {
+		t.Fatalf("DL FAR after replica path switch: %+v", far)
+	}
+
+	// Idle transition still works on the restored context (allocators and
+	// flags round-tripped, not just tunnel endpoints).
+	if _, err := replica.Handle(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{
+		SmContextRef: ref, UpCnxState: "DEACTIVATED",
+	}); err != nil {
+		t.Fatalf("idle transition via replica: %v", err)
+	}
+	if far := ctx.Sess.FAR(2); far == nil || far.Action&rules.FARBuffer == 0 {
+		t.Fatalf("DL FAR after idle via replica: %+v", far)
+	}
+}

@@ -9,6 +9,11 @@ import (
 // every Interval and declares failure after Misses consecutive failed
 // probes — the simplified S-BFD configuration (detection well under a
 // millisecond at microsecond intervals on the same node).
+//
+// A Detector is re-armable: after Stop, or after a failure was declared,
+// Start launches a fresh probe loop. The supervisor relies on this to
+// re-protect a promoted replica with the same detector. Start and Stop
+// must not be called concurrently with each other.
 type Detector struct {
 	// Probe returns true while the target is healthy.
 	Probe func() bool
@@ -16,15 +21,19 @@ type Detector struct {
 	Interval time.Duration
 	// Misses before declaring failure (default 3).
 	Misses int
-	// OnFailure runs once, on the detector goroutine, when failure is
-	// declared. DetectionTime reports probe-start-to-declaration latency.
+	// OnFailure runs once per armed probe loop, on the detector goroutine,
+	// when failure is declared. DetectionTime reports probe-start-to-
+	// declaration latency. Calling Start from inside OnFailure is legal and
+	// re-arms the detector for a new target.
 	OnFailure func(detectionTime time.Duration)
 
 	stopped atomic.Bool
 	done    chan struct{}
 }
 
-// Start launches the probe loop.
+// Start launches the probe loop. It may be called again after Stop or
+// after a declared failure (the previous loop has exited either way);
+// each Start arms one fresh loop.
 func (d *Detector) Start() {
 	if d.Interval <= 0 {
 		d.Interval = 200 * time.Microsecond
@@ -32,12 +41,17 @@ func (d *Detector) Start() {
 	if d.Misses <= 0 {
 		d.Misses = 3
 	}
-	d.done = make(chan struct{})
-	go d.run()
+	d.stopped.Store(false)
+	done := make(chan struct{})
+	d.done = done
+	go d.run(done)
 }
 
-func (d *Detector) run() {
-	defer close(d.done)
+// run is one armed probe loop. done is captured per-loop so a restart
+// (possibly from inside OnFailure, while this goroutine unwinds) closes
+// its own channel, never the successor's.
+func (d *Detector) run(done chan struct{}) {
+	defer close(done)
 	misses := 0
 	var firstMiss time.Time
 	ticker := time.NewTicker(d.Interval)
@@ -65,7 +79,7 @@ func (d *Detector) run() {
 
 // Stop halts probing without declaring failure. It is idempotent and safe
 // to call before Start (no-op) or after failure was declared (the probe
-// goroutine has already exited).
+// goroutine has already exited). After Stop, Start re-arms the detector.
 func (d *Detector) Stop() {
 	if d.stopped.CompareAndSwap(false, true) && d.done != nil {
 		<-d.done

@@ -3,6 +3,7 @@ package resilience
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -178,6 +179,72 @@ func TestDetectorStopBeforeStart(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("Stop before Start hung")
 	}
+}
+
+// TestDetectorRearmAfterStop is the satellite regression: Start after
+// Stop must arm a fresh probe loop that still detects failures — the
+// supervisor reuses one detector across promotions.
+func TestDetectorRearmAfterStop(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	detected := make(chan time.Duration, 1)
+	d := &Detector{
+		Probe:     func() bool { return healthy.Load() },
+		Interval:  100 * time.Microsecond,
+		Misses:    2,
+		OnFailure: func(dt time.Duration) { detected <- dt },
+	}
+	d.Start()
+	d.Stop()
+	// Re-arm: the second loop must be live and detect the failure.
+	d.Start()
+	healthy.Store(false)
+	select {
+	case <-detected:
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-armed detector never declared failure")
+	}
+	d.Stop()
+}
+
+// TestDetectorRearmAfterFailure re-arms a detector whose previous loop
+// exited by declaring failure — including a re-arm issued from inside
+// OnFailure itself, the way the supervisor re-protects a promoted
+// replica. Each armed loop declares at most one failure.
+func TestDetectorRearmAfterFailure(t *testing.T) {
+	var healthy atomic.Bool
+	detected := make(chan time.Duration, 4)
+	d := &Detector{
+		Probe:    func() bool { return healthy.Load() },
+		Interval: 100 * time.Microsecond,
+		Misses:   2,
+	}
+	d.OnFailure = func(dt time.Duration) {
+		// Target "recovers" and protection re-arms from the failure
+		// callback, as the supervisor does after promotion. Re-arm before
+		// signalling so the test's Stop never races the restart.
+		if !healthy.Load() {
+			healthy.Store(true)
+			d.Start()
+		}
+		detected <- dt
+	}
+	d.Start() // probe is unhealthy: first failure fires immediately
+	select {
+	case <-detected:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first failure never declared")
+	}
+	// The re-armed loop (started inside OnFailure) watches the recovered
+	// target; kill it again and the detector must declare a second time.
+	time.Sleep(time.Millisecond)
+	healthy.Store(false)
+	select {
+	case <-detected:
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-armed detector (from OnFailure) never declared failure")
+	}
+	d.Stop()
 }
 
 // TestDetectorStopAfterFailureAndIdempotent stops a detector whose probe

@@ -1,0 +1,129 @@
+package supervisor
+
+import (
+	"fmt"
+
+	"l25gc/internal/nf/amf"
+	"l25gc/internal/nf/smf"
+	"l25gc/internal/resilience"
+)
+
+// Composite instances for the real control-plane NFs: one generation of
+// a supervised AMF or SMF, dispatching replayed frames by kind tag back
+// into the same handlers live traffic uses. AttachAMF/AttachSMF install
+// the ingress taps that route live inbound traffic through the unit's
+// packet-log counter — together they close the loop the ISSUE describes:
+// every inbound NAS/SBI/N4 message is counter-stamped, so post-checkpoint
+// control transactions replay in order on the promoted replica.
+
+// AMFInstance is one supervised AMF generation.
+type AMFInstance struct {
+	A   *amf.AMF
+	sbi *SBIInstance
+}
+
+// NewAMFInstance wraps a freshly spawned AMF.
+func NewAMFInstance(a *amf.AMF) *AMFInstance {
+	return &AMFInstance{A: a, sbi: NewSBIInstance(a, a.Handle, nil)}
+}
+
+// AttachAMF routes the AMF's inbound NGAP stream through the unit's
+// packet log (call once per spawned generation).
+func AttachAMF(u *Unit, a *amf.AMF) {
+	a.SetIngressTap(func(gnbID uint32, wire []byte, apply func() error) error {
+		_, err := u.IngressApply(resilience.ULControl, EncodeNGAPFrame(gnbID, wire), apply)
+		return err
+	})
+}
+
+// Snapshot implements resilience.Snapshotter.
+func (i *AMFInstance) Snapshot() ([]byte, error) { return i.A.Snapshot() }
+
+// Restore implements resilience.Snapshotter.
+func (i *AMFInstance) Restore(b []byte) error { return i.A.Restore(b) }
+
+// Deliver implements Instance: NGAP frames replay through DeliverNGAP,
+// SBI frames (N1N2 transfers from the SMF) through the dedup handler.
+func (i *AMFInstance) Deliver(class resilience.Class, ctr uint64, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("supervisor: empty frame for amf")
+	}
+	switch data[0] {
+	case FrameNGAP:
+		gnbID, wire, err := DecodeNGAPFrame(data)
+		if err != nil {
+			return err
+		}
+		return i.A.DeliverNGAP(gnbID, wire)
+	case FrameSBI:
+		return i.sbi.Deliver(class, ctr, data)
+	default:
+		return fmt.Errorf("supervisor: unknown frame kind %d for amf", data[0])
+	}
+}
+
+// Result implements sbiResponder.
+func (i *AMFInstance) Result(reqID uint64) (sbiResult, bool) { return i.sbi.Result(reqID) }
+
+// Close implements Closer: a retired AMF generation releases its N2
+// listener and gNB connections.
+func (i *AMFInstance) Close() error { return i.A.Close() }
+
+// SMFInstance is one supervised SMF generation.
+type SMFInstance struct {
+	S      *smf.SMF
+	sbi    *SBIInstance
+	closer func() error
+}
+
+// NewSMFInstance wraps a freshly spawned SMF. closer, when non-nil, is
+// invoked on retirement (e.g. to close the generation's N4 endpoint).
+func NewSMFInstance(s *smf.SMF, closer func() error) *SMFInstance {
+	return &SMFInstance{S: s, sbi: NewSBIInstance(s, s.Handle, nil), closer: closer}
+}
+
+// AttachSMF routes the SMF's inbound N4 requests (UPF session reports)
+// through the unit's packet log (call once per spawned generation).
+func AttachSMF(u *Unit, s *smf.SMF) {
+	s.SetN4Tap(func(wire []byte, apply func() error) error {
+		_, err := u.IngressApply(resilience.DLControl, EncodeN4Frame(wire), apply)
+		return err
+	})
+}
+
+// Snapshot implements resilience.Snapshotter.
+func (i *SMFInstance) Snapshot() ([]byte, error) { return i.S.Snapshot() }
+
+// Restore implements resilience.Snapshotter.
+func (i *SMFInstance) Restore(b []byte) error { return i.S.Restore(b) }
+
+// Deliver implements Instance: SBI frames (session management from the
+// AMF) through the dedup handler, N4 frames through DeliverN4.
+func (i *SMFInstance) Deliver(class resilience.Class, ctr uint64, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("supervisor: empty frame for smf")
+	}
+	switch data[0] {
+	case FrameSBI:
+		return i.sbi.Deliver(class, ctr, data)
+	case FrameN4:
+		wire, err := DecodeN4Frame(data)
+		if err != nil {
+			return err
+		}
+		return i.S.DeliverN4(wire)
+	default:
+		return fmt.Errorf("supervisor: unknown frame kind %d for smf", data[0])
+	}
+}
+
+// Result implements sbiResponder.
+func (i *SMFInstance) Result(reqID uint64) (sbiResult, bool) { return i.sbi.Result(reqID) }
+
+// Close implements Closer.
+func (i *SMFInstance) Close() error {
+	if i.closer != nil {
+		return i.closer()
+	}
+	return nil
+}
