@@ -5,7 +5,7 @@ GOFMT ?= gofmt
 # specific interleaving: make check CHAOS_SEEDS="12345"
 CHAOS_SEEDS ?= 1902 7 42
 
-.PHONY: all build test check chaos trace-smoke recovery-smoke
+.PHONY: all build test check chaos trace-smoke recovery-smoke scale-smoke
 
 all: build
 
@@ -29,6 +29,7 @@ check:
 		echo "== chaos suite, seed $$seed =="; \
 		L25GC_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' ./internal/faults || exit 1; \
 	done
+	$(MAKE) scale-smoke
 
 # Just the chaos scenarios, verbosely, for schedule debugging.
 chaos:
@@ -45,3 +46,11 @@ trace-smoke:
 recovery-smoke:
 	$(GO) run ./cmd/bench5gc -exp recovery
 	$(GO) run ./examples/failover
+
+# Sharded-switch scaling gate: the multi-worker per-flow FIFO invariant
+# under the race detector, then the scale experiment end to end (every
+# frame delivered, zero per-flow reorders at 1/2/4 workers).
+scale-smoke:
+	$(GO) test -race -count=1 -run 'TestMultiWorkerUplinkPerFlowFIFO' ./internal/upf
+	$(GO) test -race -count=1 -run 'TestMultiWorkerPerFlowFIFO|TestDelayedEgressDoesNotStallOtherNFs|TestStrandedTxSweepRecovers' ./internal/onvm
+	$(GO) run ./cmd/bench5gc -exp scale

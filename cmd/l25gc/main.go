@@ -30,6 +30,7 @@ func main() {
 	doTrace := flag.Bool("trace", false, "record spans and print a stage breakdown + metrics snapshot")
 	traceOut := flag.String("trace-out", "", "write the Chrome trace JSON here (implies -trace)")
 	resilience := flag.Bool("resilience", false, "arm the §3.5 supervisor over the AMF and SMF (checkpointed units with frozen standbys)")
+	switchWorkers := flag.Int("switch-workers", 0, "descriptor-switch workers in the NF manager (0 = min(GOMAXPROCS, 4))")
 	flag.Parse()
 	if *traceOut != "" {
 		*doTrace = true
@@ -65,7 +66,7 @@ func main() {
 	}
 	c, err := core.New(core.Config{
 		Mode: m, ClsAlgo: *cls, Subscribers: subs, Tracer: tr, Metrics: reg,
-		Resilience: *resilience,
+		Resilience: *resilience, SwitchWorkers: *switchWorkers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "core start: %v\n", err)

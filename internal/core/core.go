@@ -76,6 +76,10 @@ type Config struct {
 	BufferPkts  uint16 // UPF per-session DL buffer (default 3000)
 	Subscribers []udr.Subscriber
 	PoolPrefix  string // shared-memory security domain (default "l25gc")
+	// SwitchWorkers is the number of descriptor-switch workers in the ONVM
+	// manager. 0 picks min(GOMAXPROCS, 4); flows are sharded across workers
+	// with per-flow FIFO order preserved.
+	SwitchWorkers int
 
 	// Tracer, when non-nil, threads span tracks through every traced
 	// component (control-plane procedures, PFCP stages, data-plane hot
@@ -216,7 +220,10 @@ func (c *Core) start() error {
 		c.UPFU = upf.NewUPFU(c.UPFState, c.UPFC)
 		c.UPFU.SetTracer(track("upf"))
 		c.UPFU.ExportMetrics(reg, "upf")
-		c.mgr = onvm.NewManager(onvm.Config{PoolSize: 8192, RingSize: 2048, PoolPrefix: cfg.PoolPrefix})
+		c.mgr = onvm.NewManager(onvm.Config{
+			PoolSize: 8192, RingSize: 2048, PoolPrefix: cfg.PoolPrefix,
+			SwitchWorkers: cfg.SwitchWorkers,
+		})
 		c.closers = append(c.closers, c.mgr.Stop)
 		c.mgr.SetTracer(track("onvm"))
 		c.mgr.ExportMetrics(reg, "onvm")

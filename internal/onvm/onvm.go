@@ -6,6 +6,12 @@
 // it through their Tx ring. The manager moves descriptors between rings —
 // packets themselves never move or get serialized.
 //
+// The descriptor switch is sharded across SwitchWorkers worker goroutines
+// (§4, Receive Side Scaling): every descriptor is steered to a work shard
+// by its flow key, each worker is the single consumer of its shard and the
+// single drainer of the Tx rings it owns, so per-flow FIFO order is
+// preserved end-to-end while unrelated flows switch in parallel.
+//
 // The platform also carries the paper's deployment features: multiple
 // instances per service with canary-rollout traffic splitting (§4), RSS
 // hashing of flows across instances, and the security-domain pool prefix
@@ -40,7 +46,9 @@ type Handler func(buf *pktbuf.Buf) bool
 
 // PortSink receives frames leaving the platform via ActionToPort. The sink
 // borrows the buffer only for the duration of the call; the manager
-// releases it afterwards.
+// releases it afterwards. With more than one switch worker a sink may be
+// invoked concurrently for different flows (frames of one flow always
+// arrive from the same worker, in order), so sinks must be goroutine-safe.
 type PortSink func(frame []byte, meta pktbuf.Meta)
 
 // Errors returned by the platform.
@@ -53,12 +61,27 @@ var (
 	ErrBadPercent = errors.New("onvm: canary percent out of range")
 )
 
-// task is the manager work queue entry: which NF's Tx ring has descriptors,
-// or which port delivered a packet.
+// drainBatch bounds how many descriptors a worker or NF moves per wakeup.
+const drainBatch = 64
+
+// txEnqueueSpins bounds how long an NF pushes back on its own full Tx ring
+// (cooperative yields, waking the home worker each spin) before counting
+// the descriptor as a tx-overflow drop.
+const txEnqueueSpins = 64
+
+// notifySpins bounds how often an NF retries a full work shard before
+// falling back to a bare bell ring (the worker's idle sweep then picks the
+// stranded Tx descriptors up).
+const notifySpins = 8
+
+// task is a work-shard entry: which NF's Tx ring has descriptors, an
+// inbound injection, or a fault-delayed egress frame re-entering the
+// switch on its home shard.
 type task struct {
-	nf  *Instance
-	buf *pktbuf.Buf // inbound injection (nf == nil)
-	dst ServiceID
+	nf     *Instance
+	buf    *pktbuf.Buf // inbound injection or delayed egress (nf == nil)
+	dst    ServiceID
+	egress bool // buf already passed the egress fault decision; emit it
 }
 
 // Instance is one running NF instance attached to the platform.
@@ -68,9 +91,14 @@ type Instance struct {
 	name       string
 	spanName   string // "onvm.nf."+name, precomputed off the hot path
 
-	rx     *ring.SPSC[*pktbuf.Buf]
+	// rx is multi-producer (any switch worker may deliver) and consumed
+	// only by the instance goroutine; tx is multi-producer (the instance
+	// goroutine plus Send callers such as session-buffer drains) and
+	// consumed only by the home worker.
+	rx     *ring.MPSC[*pktbuf.Buf]
 	rxBell chan struct{}
-	tx     *ring.SPSC[*pktbuf.Buf]
+	tx     *ring.MPSC[*pktbuf.Buf]
+	shard  int // home worker: drains tx, preserving single-consumer order
 
 	handler Handler
 	mgr     *Manager
@@ -79,6 +107,7 @@ type Instance struct {
 
 	rxCount atomic.Uint64
 	txCount atomic.Uint64
+	txDrops atomic.Uint64
 }
 
 // Name returns the instance's diagnostic name.
@@ -87,15 +116,61 @@ func (i *Instance) Name() string { return i.name }
 // Stats returns packets received and transmitted by this instance.
 func (i *Instance) Stats() (rx, tx uint64) { return i.rxCount.Load(), i.txCount.Load() }
 
+// TxDrops returns descriptors this instance discarded because its Tx ring
+// stayed full through the enqueue backoff window.
+func (i *Instance) TxDrops() uint64 { return i.txDrops.Load() }
+
+// enqueueTx places a processed descriptor on the instance's Tx ring,
+// yielding (and waking the home worker so it can drain) while the ring is
+// full. Returns false — after counting a tx-overflow drop — when the ring
+// stayed full through the backoff window; the caller still owns the buffer.
+func (i *Instance) enqueueTx(buf *pktbuf.Buf) bool {
+	if i.tx.Enqueue(buf) {
+		i.txCount.Add(1)
+		return true
+	}
+	for s := 0; s < txEnqueueSpins; s++ {
+		i.mgr.wake(i.shard)
+		runtime.Gosched()
+		if i.tx.Enqueue(buf) {
+			i.txCount.Add(1)
+			return true
+		}
+	}
+	i.txDrops.Add(1)
+	i.mgr.txDrops.Add(1)
+	return false
+}
+
+// notifyHome tells the home worker this instance's Tx ring has work. A full
+// work shard can only mean the worker has a backlog, so after bounded
+// retries the instance falls back to a bare bell ring: the worker always
+// sweeps owned Tx rings before going idle, so the wakeup is never lost.
+func (i *Instance) notifyHome() {
+	for s := 0; ; s++ {
+		err := i.mgr.notify(task{nf: i})
+		if err != ErrRingFull || s >= notifySpins {
+			if err == ErrRingFull {
+				i.mgr.wake(i.shard)
+			}
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
 // Send hands a descriptor from the NF back to the manager via its Tx ring
 // (used by handlers that emit extra packets, e.g. draining a session
-// buffer after handover).
+// buffer after handover). The caller keeps ownership on error.
 func (i *Instance) Send(buf *pktbuf.Buf) error {
-	if !i.tx.Enqueue(buf) {
+	if i.mgr.stopped.Load() {
+		return ErrStopped
+	}
+	if !i.enqueueTx(buf) {
 		return ErrRingFull
 	}
-	i.txCount.Add(1)
-	return i.mgr.notify(task{nf: i})
+	i.notifyHome()
+	return nil
 }
 
 // serviceEntry groups the instances of one service with canary weights.
@@ -107,35 +182,53 @@ type serviceEntry struct {
 }
 
 // injConf groups a fault injector with its point names, swapped in
-// atomically so the switch loop never races SetInjector.
+// atomically so the switch workers never race SetInjector.
 type injConf struct {
 	inj     *faults.Injector
 	deliver faults.Point
 	egress  faults.Point
 }
 
+// switchWorker is one shard of the descriptor switch: the single consumer
+// of its work ring and the single drainer of the Tx rings of the instances
+// homed on it.
+type switchWorker struct {
+	id   int
+	bell chan struct{}
+	done chan struct{}
+
+	switched atomic.Uint64
+	dropped  atomic.Uint64
+}
+
 // Manager is the ONVM NF manager: it owns the pool, the rings and the
-// descriptor switch loop.
+// sharded descriptor switch.
 type Manager struct {
 	pool *pktbuf.Pool
 
-	mu       sync.RWMutex
-	services map[ServiceID]*serviceEntry
-	ports    map[PortID]PortSink
-	portNF   map[PortID]ServiceID // inbound steering: port -> first NF
+	mu        sync.RWMutex
+	services  map[ServiceID]*serviceEntry
+	ports     map[PortID]PortSink
+	portNF    map[PortID]ServiceID // inbound steering: port -> first NF
+	instances []*Instance          // registration order; sweep scans these
+	instSeq   int                  // round-robin home-shard assignment
 
-	work    *ring.MPSC[task]
-	bell    chan struct{}
-	stopped atomic.Bool
-	done    chan struct{}
+	shards   *ring.Sharded[task]
+	workers  []*switchWorker
+	stopped  atomic.Bool
+	inflight atomic.Int64 // notifies between stopped-check and enqueue
 
 	nfRingSize int
 	bpSpins    int
 	faultc     atomic.Pointer[injConf]
 	tracec     atomic.Pointer[trace.Track]
 
-	switched  atomic.Uint64
-	dropped   atomic.Uint64
+	// extraDropped counts drops outside any worker context (pool
+	// exhaustion at Inject, work-shard overflow, teardown releases).
+	extraDropped atomic.Uint64
+	// txDrops counts descriptors NFs discarded on full Tx rings, folded
+	// into the dropped aggregate.
+	txDrops   atomic.Uint64
 	ringDrops *metrics.Counter
 }
 
@@ -144,10 +237,15 @@ type Config struct {
 	PoolSize   int    // packet buffers in the shared pool
 	RingSize   int    // per-NF ring capacity
 	PoolPrefix string // security-domain prefix (unique per 5GC unit)
-	// BackpressureSpins bounds how long the switch loop pushes back on a
+	// BackpressureSpins bounds how long a switch worker pushes back on a
 	// full NF Rx ring (cooperative yields) before counting the descriptor
 	// as a ring-overflow drop. 0 = default (64); -1 disables backpressure.
 	BackpressureSpins int
+	// SwitchWorkers is the number of descriptor-switch workers. Descriptors
+	// are sharded across workers by flow key, so per-flow order is kept
+	// while flows switch in parallel. 0 = default min(GOMAXPROCS, 4);
+	// values < 1 are clamped to 1.
+	SwitchWorkers int
 }
 
 // DefaultConfig returns sizes suitable for the evaluation workloads.
@@ -155,7 +253,19 @@ func DefaultConfig() Config {
 	return Config{PoolSize: 8192, RingSize: 1024, PoolPrefix: "l25gc"}
 }
 
-// NewManager starts a platform manager and its switch goroutine.
+// defaultSwitchWorkers picks the worker count when Config leaves it 0.
+func defaultSwitchWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewManager starts a platform manager and its switch workers.
 func NewManager(cfg Config) *Manager {
 	if cfg.PoolSize == 0 {
 		cfg = DefaultConfig()
@@ -169,19 +279,31 @@ func NewManager(cfg Config) *Manager {
 	if cfg.BackpressureSpins < 0 {
 		cfg.BackpressureSpins = 0
 	}
+	if cfg.SwitchWorkers == 0 {
+		cfg.SwitchWorkers = defaultSwitchWorkers()
+	}
+	if cfg.SwitchWorkers < 1 {
+		cfg.SwitchWorkers = 1
+	}
 	m := &Manager{
 		pool:       pktbuf.NewPool(cfg.PoolSize, cfg.PoolPrefix),
 		services:   make(map[ServiceID]*serviceEntry),
 		ports:      make(map[PortID]PortSink),
 		portNF:     make(map[PortID]ServiceID),
-		work:       ring.NewMPSC[task](cfg.PoolSize * 2),
-		bell:       make(chan struct{}, 1),
-		done:       make(chan struct{}),
+		shards:     ring.NewSharded[task](cfg.SwitchWorkers, cfg.PoolSize*2),
 		nfRingSize: cfg.RingSize,
 		bpSpins:    cfg.BackpressureSpins,
 		ringDrops:  metrics.NewCounter(cfg.PoolPrefix + ".ring_overflow_drops"),
 	}
-	go m.switchLoop()
+	m.workers = make([]*switchWorker, cfg.SwitchWorkers)
+	for i := range m.workers {
+		m.workers[i] = &switchWorker{
+			id:   i,
+			bell: make(chan struct{}, 1),
+			done: make(chan struct{}),
+		}
+		go m.workerLoop(m.workers[i])
+	}
 	return m
 }
 
@@ -189,10 +311,17 @@ func NewManager(cfg Config) *Manager {
 // from the same hugepage-analogue pool).
 func (m *Manager) Pool() *pktbuf.Pool { return m.pool }
 
+// Workers returns the number of switch workers.
+func (m *Manager) Workers() int { return len(m.workers) }
+
 // RingDrops exposes the ring-overflow drop counter: descriptors the
 // manager discarded because an NF's Rx ring stayed full through the
 // backpressure window.
 func (m *Manager) RingDrops() *metrics.Counter { return m.ringDrops }
+
+// TxDrops reports descriptors NFs discarded because their Tx ring stayed
+// full through the enqueue backoff window (aggregated over all instances).
+func (m *Manager) TxDrops() uint64 { return m.txDrops.Load() }
 
 // SetInjector threads a fault injector through the descriptor switch;
 // points are prefix+".deliver" (descriptors entering NF Rx rings) and
@@ -212,19 +341,45 @@ func (m *Manager) SetInjector(inj *faults.Injector, prefix string) {
 // The disabled path costs one atomic load per stage.
 func (m *Manager) SetTracer(tk *trace.Track) { m.tracec.Store(tk) }
 
-// ExportMetrics registers the manager's switch counters under prefix.
-// The ring-drop counter is re-registered under the prefix (not its
-// pool-scoped name) so the registry name set is stable across units.
+// ExportMetrics registers the manager's switch counters under prefix: the
+// switched/dropped aggregates, the overflow-drop breakdown, and per-worker
+// switched/dropped gauges for shard-balance diagnostics. The ring-drop
+// counter is re-registered under the prefix (not its pool-scoped name) so
+// the registry name set is stable across units.
 func (m *Manager) ExportMetrics(reg *metrics.Registry, prefix string) {
-	reg.RegisterGauge(prefix+".switched", m.switched.Load)
-	reg.RegisterGauge(prefix+".dropped", m.dropped.Load)
+	reg.RegisterGauge(prefix+".switched", m.switchedTotal)
+	reg.RegisterGauge(prefix+".dropped", m.droppedTotal)
+	reg.RegisterGauge(prefix+".tx_drops", m.txDrops.Load)
 	reg.RegisterGauge(prefix+".ring_overflow_drops", m.ringDrops.Load)
+	reg.RegisterGauge(prefix+".workers", func() uint64 { return uint64(len(m.workers)) })
+	for _, w := range m.workers {
+		reg.RegisterGauge(fmt.Sprintf("%s.worker%d.switched", prefix, w.id), w.switched.Load)
+		reg.RegisterGauge(fmt.Sprintf("%s.worker%d.dropped", prefix, w.id), w.dropped.Load)
+	}
+}
+
+func (m *Manager) switchedTotal() uint64 {
+	var n uint64
+	for _, w := range m.workers {
+		n += w.switched.Load()
+	}
+	return n
+}
+
+func (m *Manager) droppedTotal() uint64 {
+	n := m.extraDropped.Load() + m.txDrops.Load()
+	for _, w := range m.workers {
+		n += w.dropped.Load()
+	}
+	return n
 }
 
 // ringSize returns the per-NF ring capacity.
 func (m *Manager) ringSize() int { return m.nfRingSize }
 
-// Register attaches an NF instance running handler h for service sid.
+// Register attaches an NF instance running handler h for service sid. The
+// instance is homed on a switch worker round-robin; that worker alone
+// drains its Tx ring.
 func (m *Manager) Register(sid ServiceID, name string, h Handler) (*Instance, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -238,15 +393,18 @@ func (m *Manager) Register(sid ServiceID, name string, h Handler) (*Instance, er
 		InstanceID: uint16(len(ent.instances)),
 		name:       name,
 		spanName:   "onvm.nf." + name,
-		rx:         ring.NewSPSC[*pktbuf.Buf](m.ringSize()),
+		rx:         ring.NewMPSC[*pktbuf.Buf](m.ringSize()),
 		rxBell:     make(chan struct{}, 1),
-		tx:         ring.NewSPSC[*pktbuf.Buf](m.ringSize()),
+		tx:         ring.NewMPSC[*pktbuf.Buf](m.ringSize()),
+		shard:      m.instSeq % len(m.workers),
 		handler:    h,
 		mgr:        m,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	m.instSeq++
 	ent.instances = append(ent.instances, inst)
+	m.instances = append(m.instances, inst)
 	go inst.run()
 	return inst, nil
 }
@@ -295,7 +453,7 @@ func (m *Manager) Inject(pid PortID, data []byte, meta pktbuf.Meta) error {
 	}
 	buf, err := m.pool.Get()
 	if err != nil {
-		m.dropped.Add(1)
+		m.extraDropped.Add(1)
 		return err
 	}
 	if err := buf.SetData(data); err != nil {
@@ -319,18 +477,54 @@ func (m *Manager) InjectBuf(buf *pktbuf.Buf, sid ServiceID) error {
 	return m.notify(task{buf: buf, dst: sid})
 }
 
+// flowKey derives the steering hash every sharding and instance-selection
+// decision uses. It must be a pure function of per-flow fields (never of
+// per-packet fields like Seq), or one flow's packets would spread across
+// shards/instances and lose FIFO order.
+func flowKey(meta *pktbuf.Meta) uint64 {
+	return meta.RSS ^ uint64(meta.TEID)*2654435761
+}
+
+// shardFor routes a task to its work shard: buffer tasks by flow key (so a
+// flow's descriptors stay on one worker), Tx-drain tasks to the instance's
+// home worker (so each Tx ring keeps a single consumer).
+func (m *Manager) shardFor(t task) int {
+	if t.nf != nil {
+		return t.nf.shard
+	}
+	return m.shards.ShardOf(flowKey(&t.buf.Meta))
+}
+
+// wake rings a worker's bell (coalescing, never blocking).
+func (m *Manager) wake(shard int) {
+	select {
+	case m.workers[shard].bell <- struct{}{}:
+	default:
+	}
+}
+
 func (m *Manager) notify(t task) error {
-	if !m.work.Enqueue(t) {
+	// The inflight count brackets the stopped-check-to-enqueue window so
+	// Stop can wait out racing notifies before draining residual shards; a
+	// notify that starts after Stop flips stopped releases its own buffer.
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	if m.stopped.Load() {
 		if t.buf != nil {
 			t.buf.Release()
-			m.dropped.Add(1)
+			m.extraDropped.Add(1)
+		}
+		return ErrStopped
+	}
+	shard := m.shardFor(t)
+	if !m.shards.Enqueue(shard, t) {
+		if t.buf != nil {
+			t.buf.Release()
+			m.extraDropped.Add(1)
 		}
 		return ErrRingFull
 	}
-	select {
-	case m.bell <- struct{}{}:
-	default:
-	}
+	m.wake(shard)
 	return nil
 }
 
@@ -364,26 +558,22 @@ func (m *Manager) pickInstance(ent *serviceEntry, rssHash uint64) *Instance {
 }
 
 // deliver moves a descriptor into the target service's Rx ring.
-func (m *Manager) deliver(buf *pktbuf.Buf, sid ServiceID) {
+func (m *Manager) deliver(w *switchWorker, buf *pktbuf.Buf, sid ServiceID) {
 	sp := m.tracec.Load().Start("onvm.deliver")
 	defer sp.End()
 	if fc := m.faultc.Load(); fc != nil {
 		act := fc.inj.Decide(fc.deliver, buf.Bytes())
 		if act.Drop {
 			buf.Release()
-			m.dropped.Add(1)
+			w.dropped.Add(1)
 			return
 		}
 		if act.Delay > 0 {
 			// Descriptors are single-owner, so a delayed delivery must
-			// re-enter via the MPSC work ring: only the switch loop may
-			// touch an NF's Rx ring.
+			// re-enter via its home work shard: only that shard's worker
+			// may move it, and only there does it rejoin its flow's order.
 			dst := sid
 			time.AfterFunc(act.Delay, func() {
-				if m.stopped.Load() {
-					buf.Release()
-					return
-				}
 				m.notify(task{buf: buf, dst: dst})
 			})
 			return
@@ -394,21 +584,21 @@ func (m *Manager) deliver(buf *pktbuf.Buf, sid ServiceID) {
 	m.mu.RUnlock()
 	if ent == nil || len(ent.instances) == 0 {
 		buf.Release()
-		m.dropped.Add(1)
+		w.dropped.Add(1)
 		return
 	}
-	inst := m.pickInstance(ent, buf.Meta.RSS^(uint64(buf.Meta.TEID)*2654435761+uint64(buf.Meta.Seq)))
+	inst := m.pickInstance(ent, flowKey(&buf.Meta))
 	ok := inst.rx.Enqueue(buf)
-	// Backpressure: the Rx ring is full, so yield the switch loop's
-	// timeslice to let the NF drain before declaring overflow — bounded so
-	// a wedged NF cannot stall every other NF behind the shared loop.
+	// Backpressure: the Rx ring is full, so yield the worker's timeslice to
+	// let the NF drain before declaring overflow — bounded so a wedged NF
+	// cannot stall the other flows sharing this shard.
 	for spins := 0; !ok && spins < m.bpSpins; spins++ {
 		runtime.Gosched()
 		ok = inst.rx.Enqueue(buf)
 	}
 	if !ok {
 		buf.Release()
-		m.dropped.Add(1)
+		w.dropped.Add(1)
 		m.ringDrops.Inc()
 		return
 	}
@@ -417,100 +607,198 @@ func (m *Manager) deliver(buf *pktbuf.Buf, sid ServiceID) {
 	case inst.rxBell <- struct{}{}:
 	default:
 	}
-	m.switched.Add(1)
+	w.switched.Add(1)
+}
+
+// emitPort transmits a frame out of its port and releases the descriptor.
+func (m *Manager) emitPort(w *switchWorker, buf *pktbuf.Buf) {
+	m.mu.RLock()
+	sink := m.ports[buf.Meta.Port]
+	m.mu.RUnlock()
+	if sink != nil {
+		sp := m.tracec.Load().Start("onvm.egress")
+		sink(buf.Bytes(), buf.Meta)
+		sp.End()
+	} else {
+		w.dropped.Add(1)
+	}
+	buf.Release()
 }
 
 // process executes one descriptor action from an NF's Tx ring.
-func (m *Manager) process(buf *pktbuf.Buf) {
+func (m *Manager) process(w *switchWorker, buf *pktbuf.Buf) {
 	switch buf.Meta.Action {
 	case pktbuf.ActionToNF:
-		m.deliver(buf, buf.Meta.Dst)
+		m.deliver(w, buf, buf.Meta.Dst)
 	case pktbuf.ActionToPort:
 		if fc := m.faultc.Load(); fc != nil {
 			act := fc.inj.Decide(fc.egress, buf.Bytes())
 			if act.Drop {
 				buf.Release()
-				m.dropped.Add(1)
+				w.dropped.Add(1)
 				return
 			}
 			if act.Delay > 0 {
-				time.Sleep(act.Delay)
+				// Re-enqueue on the flow's home shard after the delay
+				// instead of sleeping in the worker: a fault-delayed frame
+				// must never stall every other flow behind the switch. The
+				// egress decision is already made, so the re-entering task
+				// bypasses a second Decide.
+				time.AfterFunc(act.Delay, func() {
+					m.notify(task{buf: buf, egress: true})
+				})
+				return
 			}
 		}
-		m.mu.RLock()
-		sink := m.ports[buf.Meta.Port]
-		m.mu.RUnlock()
-		if sink != nil {
-			sp := m.tracec.Load().Start("onvm.egress")
-			sink(buf.Bytes(), buf.Meta)
-			sp.End()
-		} else {
-			m.dropped.Add(1)
-		}
-		buf.Release()
+		m.emitPort(w, buf)
 	default: // Drop and Buffer-left-in-ring both release here
 		if buf.Meta.Action == pktbuf.ActionDrop {
-			m.dropped.Add(1)
+			w.dropped.Add(1)
 		}
 		buf.Release()
 	}
 }
 
-func (m *Manager) switchLoop() {
-	defer close(m.done)
-	var drain [64]*pktbuf.Buf
+// drainTx empties one NF's Tx ring through the switch. Only the instance's
+// home worker (or Stop, after all workers exited) may call it.
+func (m *Manager) drainTx(w *switchWorker, nf *Instance, drain []*pktbuf.Buf) bool {
+	any := false
 	for {
-		t, ok := m.work.Dequeue()
+		n := nf.tx.DequeueBulk(drain)
+		for i := 0; i < n; i++ {
+			m.process(w, drain[i])
+		}
+		any = any || n > 0
+		if n < len(drain) {
+			return any
+		}
+	}
+}
+
+// sweep scans the Tx rings of the instances homed on w and drains any that
+// hold descriptors. Run whenever the worker goes idle, it guarantees that
+// a descriptor whose work-shard notification was lost to a full ring is
+// still picked up — the liveness half of the lost-wakeup fix.
+func (m *Manager) sweep(w *switchWorker, drain []*pktbuf.Buf) bool {
+	m.mu.RLock()
+	insts := m.instances
+	m.mu.RUnlock()
+	any := false
+	for _, inst := range insts {
+		if inst.shard != w.id || inst.tx.Len() == 0 {
+			continue
+		}
+		if m.drainTx(w, inst, drain) {
+			any = true
+		}
+	}
+	return any
+}
+
+// workerLoop is one shard of the descriptor switch.
+func (m *Manager) workerLoop(w *switchWorker) {
+	defer close(w.done)
+	var drain [drainBatch]*pktbuf.Buf
+	for {
+		t, ok := m.shards.Dequeue(w.id)
 		if !ok {
 			if m.stopped.Load() {
 				return
 			}
-			<-m.bell
+			if m.sweep(w, drain[:]) {
+				continue
+			}
+			<-w.bell
 			continue
 		}
-		if t.buf != nil { // injected frame
-			m.deliver(t.buf, t.dst)
-			continue
-		}
-		// Drain the notifying NF's Tx ring.
-		n := t.nf.tx.DequeueBulk(drain[:])
-		for i := 0; i < n; i++ {
-			m.process(drain[i])
+		switch {
+		case t.nf != nil:
+			m.drainTx(w, t.nf, drain[:])
+		case t.egress:
+			m.emitPort(w, t.buf)
+		default:
+			m.deliver(w, t.buf, t.dst)
 		}
 	}
 }
 
-// Stats reports descriptors switched and packets dropped by the manager.
+// Stats reports descriptors switched and packets dropped by the manager
+// (the dropped aggregate folds in NF tx-overflow drops).
 func (m *Manager) Stats() (switched, dropped uint64) {
-	return m.switched.Load(), m.dropped.Load()
+	return m.switchedTotal(), m.droppedTotal()
 }
 
-// Stop halts the manager and all registered NF instances.
+// Stop halts the switch workers and all registered NF instances, joining
+// every goroutine before returning so teardown cannot race in-flight
+// switching, then releases any descriptors still queued in work shards or
+// NF rings.
 func (m *Manager) Stop() {
 	if !m.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	m.mu.RLock()
-	insts := []*Instance{}
-	for _, ent := range m.services {
-		insts = append(insts, ent.instances...)
+	// Workers first: each exits once its shard is empty (notify refuses new
+	// work after the stopped flip above).
+	for _, w := range m.workers {
+		m.wake(w.id)
 	}
+	for _, w := range m.workers {
+		<-w.done
+	}
+	// Then the NFs: each drains its remaining Rx backlog (no new deliveries
+	// can arrive) and exits.
+	m.mu.RLock()
+	insts := append([]*Instance(nil), m.instances...)
 	m.mu.RUnlock()
 	for _, i := range insts {
 		close(i.stop)
 	}
-	select {
-	case m.bell <- struct{}{}:
-	default:
-	}
 	for _, i := range insts {
 		<-i.done
+	}
+	// Wait out notifies that raced the stopped flip (they either enqueued
+	// already or will release their own buffer), so the residual drain
+	// below observes every stranded descriptor.
+	for m.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	// Everything is quiescent: release descriptors stranded in work shards
+	// (tasks enqueued before the stopped flip) and NF rings (Tx handbacks
+	// whose notification was refused).
+	for shard := 0; shard < m.shards.Shards(); shard++ {
+		for {
+			t, ok := m.shards.Dequeue(shard)
+			if !ok {
+				break
+			}
+			if t.buf != nil {
+				t.buf.Release()
+				m.extraDropped.Add(1)
+			}
+		}
+	}
+	for _, i := range insts {
+		for {
+			b, ok := i.tx.Dequeue()
+			if !ok {
+				break
+			}
+			b.Release()
+			m.extraDropped.Add(1)
+		}
+		for {
+			b, ok := i.rx.Dequeue()
+			if !ok {
+				break
+			}
+			b.Release()
+			m.extraDropped.Add(1)
+		}
 	}
 }
 
 func (i *Instance) run() {
 	defer close(i.done)
-	var batch [64]*pktbuf.Buf
+	var batch [drainBatch]*pktbuf.Buf
 	for {
 		n := i.rx.DequeueBulk(batch[:])
 		if n == 0 {
@@ -526,22 +814,18 @@ func (i *Instance) run() {
 			sp := i.mgr.tracec.Load().Start(i.spanName)
 			done := i.handler(buf)
 			sp.End()
-			if done {
-				if !i.tx.Enqueue(buf) {
-					buf.Release()
-					continue
-				}
-				i.txCount.Add(1)
+			if done && !i.enqueueTx(buf) {
+				buf.Release()
 			}
 		}
 		// Notify the manager once per batch.
-		i.mgr.notify(task{nf: i})
+		i.notifyHome()
 	}
 }
 
 // String renders manager state for diagnostics.
 func (m *Manager) String() string {
 	sw, dr := m.Stats()
-	return fmt.Sprintf("onvm.Manager{switched: %d, dropped: %d, pool: %d/%d}",
-		sw, dr, m.pool.Avail(), m.pool.Size())
+	return fmt.Sprintf("onvm.Manager{workers: %d, switched: %d, dropped: %d, pool: %d/%d}",
+		len(m.workers), sw, dr, m.pool.Avail(), m.pool.Size())
 }

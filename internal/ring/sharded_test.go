@@ -1,0 +1,127 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	s := NewSharded[int](4, 16)
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", s.Shards())
+	}
+	for h := uint64(0); h < 10000; h++ {
+		sh := s.ShardOf(h)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("ShardOf(%d) = %d out of range", h, sh)
+		}
+		if sh != s.ShardOf(h) {
+			t.Fatalf("ShardOf(%d) unstable", h)
+		}
+	}
+}
+
+// TestShardOfSpreads checks the finalizer decorrelates hashes whose low
+// bits are constant (the skew case a plain modulo would hit).
+func TestShardOfSpreads(t *testing.T) {
+	s := NewSharded[int](4, 16)
+	var hits [4]int
+	for i := uint64(0); i < 4096; i++ {
+		hits[s.ShardOf(i<<8)]++ // low 8 bits always zero
+	}
+	for sh, n := range hits {
+		if n == 0 {
+			t.Fatalf("shard %d never hit across 4096 stride-256 hashes: %v", sh, hits)
+		}
+	}
+}
+
+func TestShardedClampsShardCount(t *testing.T) {
+	s := NewSharded[int](0, 4)
+	if s.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", s.Shards())
+	}
+	if !s.Enqueue(0, 7) {
+		t.Fatal("enqueue failed")
+	}
+	v, ok := s.Dequeue(0)
+	if !ok || v != 7 {
+		t.Fatalf("dequeue = %d,%v", v, ok)
+	}
+}
+
+// TestShardedPerProducerFIFO drives concurrent producers into every shard
+// and checks each producer's elements come out of its shard in order — the
+// property the descriptor switch's per-flow ordering rests on.
+func TestShardedPerProducerFIFO(t *testing.T) {
+	const (
+		shards    = 3
+		producers = 4 // per shard
+		perProd   = 400
+	)
+	s := NewSharded[[2]int](shards, 256)
+	var wg sync.WaitGroup
+	// One consumer per shard, as in the switch.
+	got := make([][][2]int, shards)
+	stop := make(chan struct{})
+	var consWG sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		consWG.Add(1)
+		go func(sh int) {
+			defer consWG.Done()
+			var out [16][2]int
+			for {
+				n := s.DequeueBulk(sh, out[:])
+				if n == 0 {
+					select {
+					case <-stop:
+						if s.ShardLen(sh) == 0 {
+							return
+						}
+					default:
+					}
+					runtime.Gosched()
+					continue
+				}
+				got[sh] = append(got[sh], out[:n]...)
+			}
+		}(sh)
+	}
+	for sh := 0; sh < shards; sh++ {
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(sh, p int) {
+				defer wg.Done()
+				id := sh*producers + p
+				for i := 0; i < perProd; i++ {
+					for !s.Enqueue(sh, [2]int{id, i}) {
+						runtime.Gosched()
+					}
+				}
+			}(sh, p)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	consWG.Wait()
+
+	total := 0
+	for sh := 0; sh < shards; sh++ {
+		last := map[int]int{}
+		for _, e := range got[sh] {
+			id, seq := e[0], e[1]
+			if id/producers != sh {
+				t.Fatalf("shard %d received producer %d's element", sh, id)
+			}
+			if prev, ok := last[id]; ok && seq != prev+1 {
+				t.Fatalf("shard %d producer %d: seq %d after %d", sh, id, seq, prev)
+			}
+			last[id] = seq
+		}
+		total += len(got[sh])
+	}
+	if want := shards * producers * perProd; total != want {
+		t.Fatalf("consumed %d, want %d", total, want)
+	}
+}

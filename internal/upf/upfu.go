@@ -1,6 +1,7 @@
 package upf
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -261,9 +262,15 @@ func (u *UPFU) miss(buf *pktbuf.Buf) bool {
 // AttachONVM registers the UPF-U as an NF on the platform under service
 // sid, wiring the emit path through the instance's Tx ring.
 func (u *UPFU) AttachONVM(m *onvm.Manager, sid onvm.ServiceID) (*onvm.Instance, error) {
-	var scratch pkt.Parsed
+	// Parse scratch is checked out per call, not shared by the closure: the
+	// sharded switch may drive handlers from concurrent platform goroutines,
+	// and sync.Pool keeps the steady state allocation-free per goroutine.
+	scratch := sync.Pool{New: func() any { return new(pkt.Parsed) }}
 	inst, err := m.Register(sid, "upf-u", func(b *pktbuf.Buf) bool {
-		return u.Process(b, &scratch)
+		s := scratch.Get().(*pkt.Parsed)
+		done := u.Process(b, s)
+		scratch.Put(s)
+		return done
 	})
 	if err != nil {
 		return nil, err
