@@ -5,7 +5,7 @@ GOFMT ?= gofmt
 # specific interleaving: make check CHAOS_SEEDS="12345"
 CHAOS_SEEDS ?= 1902 7 42
 
-.PHONY: all build test check chaos trace-smoke recovery-smoke scale-smoke
+.PHONY: all build test check chaos trace-smoke recovery-smoke scale-smoke storm-smoke
 
 all: build
 
@@ -30,6 +30,7 @@ check:
 		L25GC_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' ./internal/faults || exit 1; \
 	done
 	$(MAKE) scale-smoke
+	$(MAKE) storm-smoke
 
 # Just the chaos scenarios, verbosely, for schedule debugging.
 chaos:
@@ -46,6 +47,18 @@ trace-smoke:
 recovery-smoke:
 	$(GO) run ./cmd/bench5gc -exp recovery
 	$(GO) run ./examples/failover
+
+# Overload-control gate: priority-shedding invariants and the
+# allocation-free admission fast path under the race detector, the
+# -benchmem proof of 0 allocs/op on that path, the storm+crash chaos
+# test (zero admitted-session loss across a mid-storm SMF failover),
+# then a smoke-sized registration storm end to end (4k UEs vs a 2k-UE
+# uncontrolled baseline at the same 2048-worker offered concurrency).
+storm-smoke:
+	$(GO) test -race -count=1 ./internal/overload
+	$(GO) test -race -count=1 -run 'TestStormWithCrashZeroAdmittedLoss' ./internal/core
+	$(GO) test -count=1 -run 'TestNone' -bench 'BenchmarkAdmitRelease' -benchmem ./internal/overload
+	L25GC_STORM_UES=4000 L25GC_STORM_BASE=2000 $(GO) run ./cmd/bench5gc -exp storm
 
 # Sharded-switch scaling gate: the multi-worker per-flow FIFO invariant
 # under the race detector, then the scale experiment end to end (every

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"l25gc/internal/bench"
@@ -23,6 +25,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment ID (or 'all')")
 	list := flag.Bool("list", false, "list experiments")
 	traceOut := flag.String("trace-out", "", "Chrome trace JSON path prefix for the 'trace' experiment")
+	benchOut := flag.String("bench-out", "", "write machine-readable results (BENCH_<n>.json) to this path")
 	flag.Parse()
 	bench.TraceOut = *traceOut
 
@@ -47,6 +50,7 @@ func main() {
 		}
 		toRun = []bench.Experiment{e}
 	}
+	summary := map[string]any{}
 	for _, e := range toRun {
 		start := time.Now()
 		res, err := e.Run()
@@ -56,5 +60,27 @@ func main() {
 		}
 		res.Print(os.Stdout)
 		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if res.JSON != nil {
+			summary[e.ID] = res.JSON
+		}
+	}
+	if *benchOut != "" {
+		doc := map[string]any{
+			"goVersion":   runtime.Version(),
+			"goMaxProcs":  runtime.GOMAXPROCS(0),
+			"generatedAt": time.Now().UTC().Format(time.RFC3339),
+			"experiments": summary,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*benchOut, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
 	}
 }

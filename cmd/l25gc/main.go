@@ -30,6 +30,7 @@ func main() {
 	doTrace := flag.Bool("trace", false, "record spans and print a stage breakdown + metrics snapshot")
 	traceOut := flag.String("trace-out", "", "write the Chrome trace JSON here (implies -trace)")
 	resilience := flag.Bool("resilience", false, "arm the §3.5 supervisor over the AMF and SMF (checkpointed units with frozen standbys)")
+	overloadCtl := flag.Bool("overload", false, "arm per-NF admission control (priority-classed shedding with NAS/SBI/PFCP pushback)")
 	switchWorkers := flag.Int("switch-workers", 0, "descriptor-switch workers in the NF manager (0 = min(GOMAXPROCS, 4))")
 	flag.Parse()
 	if *traceOut != "" {
@@ -67,6 +68,7 @@ func main() {
 	c, err := core.New(core.Config{
 		Mode: m, ClsAlgo: *cls, Subscribers: subs, Tracer: tr, Metrics: reg,
 		Resilience: *resilience, SwitchWorkers: *switchWorkers,
+		Overload: *overloadCtl,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "core start: %v\n", err)
@@ -75,6 +77,9 @@ func main() {
 	defer c.Stop()
 	if *resilience {
 		fmt.Println("resiliency armed: AMF and SMF run as supervised units (active + frozen standby)")
+	}
+	if *overloadCtl {
+		fmt.Println("overload control armed: per-NF admission with priority shedding and backoff pushback")
 	}
 	c.AMF.Logf = func(format string, args ...any) {
 		fmt.Printf("  | "+format+"\n", args...)

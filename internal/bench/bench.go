@@ -19,6 +19,10 @@ type Result struct {
 	Title string
 	Table *metrics.Table
 	Notes []string
+	// JSON, when non-nil, is the experiment's machine-readable summary;
+	// bench5gc -bench-out collects these into one JSON document (the
+	// checked-in BENCH_<n>.json files).
+	JSON any
 }
 
 // Print renders the result.
@@ -61,6 +65,7 @@ func Experiments() []Experiment {
 		{"ablation", "Design-choice ablations (DESIGN.md §5)", Ablation},
 		{"scale", "Descriptor-switch scaling: throughput vs switch workers", Scale},
 		{"trace", "Traced session establishment: per-stage transport breakdown", Trace},
+		{"storm", "Registration storm: overload control vs uncontrolled collapse", Storm},
 	}
 }
 

@@ -9,8 +9,8 @@ import (
 
 func TestCatalogueIntegrity(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("catalogue has %d experiments, want 18 (every table+figure, plus recovery, trace and scale)", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("catalogue has %d experiments, want 19 (every table+figure, plus recovery, trace, scale and storm)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -28,7 +28,7 @@ func TestCatalogueIntegrity(t *testing.T) {
 	}
 	for _, want := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"pdrupdate", "fig12", "table1", "table2", "smartbuf", "fig15", "fig16", "fig17",
-		"recovery", "ablation", "trace", "scale"} {
+		"recovery", "ablation", "trace", "scale", "storm"} {
 		if !seen[want] {
 			t.Fatalf("missing experiment %q", want)
 		}
@@ -36,7 +36,7 @@ func TestCatalogueIntegrity(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown ID should not resolve")
 	}
-	if len(IDs()) != 18 {
+	if len(IDs()) != 19 {
 		t.Fatal("IDs() incomplete")
 	}
 }
@@ -48,6 +48,8 @@ func TestFastExperimentsProduceTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment generators are not short")
 	}
+	// "storm" is deliberately absent: even its smoke size is a
+	// multi-second two-core run, gated end to end by `make storm-smoke`.
 	for _, id := range []string{"fig6", "fig7", "pdrupdate", "smartbuf", "fig16", "recovery", "ablation", "trace", "scale"} {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -33,6 +33,7 @@ import (
 	"l25gc/internal/nf/udm"
 	"l25gc/internal/nf/udr"
 	"l25gc/internal/onvm"
+	"l25gc/internal/overload"
 	"l25gc/internal/pfcp"
 	"l25gc/internal/pkt"
 	"l25gc/internal/pktbuf"
@@ -101,6 +102,19 @@ type Config struct {
 	// and the liveness probe for the supervised units (targets "amf.gN",
 	// "smf.gN"). Nil arms protection without a failure source.
 	FaultInjector *faults.Injector
+
+	// Overload arms per-NF admission control: the AMF's N2 ingress, the
+	// SMF's SBI ingress, and the UPF-C's N4 establishment path each get a
+	// bounded, priority-classed gate whose shed level follows observed
+	// procedure p99. Shed work receives explicit pushback (NAS reject with
+	// backoff timer, SBI 503 + Retry-After, PFCP congestion cause) instead
+	// of queueing unboundedly — the graceful-degradation layer that keeps
+	// the core live through a registration storm.
+	Overload bool
+	// OverloadConfig tunes the controllers; the zero value picks the
+	// package defaults. Its Seed makes reject/backoff schedules
+	// reproducible under a chaos seed.
+	OverloadConfig overload.Config
 }
 
 // Core is one running 5GC unit.
@@ -118,6 +132,11 @@ type Core struct {
 	UPFState *upf.State
 	UPFC     *upf.UPFC
 	UPFU     *upf.UPFU // nil in free5GC mode
+
+	// Per-NF admission controllers (nil unless Config.Overload).
+	OverloadAMF *overload.Controller
+	OverloadSMF *overload.Controller
+	OverloadUPF *overload.Controller
 
 	mgr  *onvm.Manager          // shared-memory modes
 	kupf *kernelpath.KernelUPF  // kernel mode
@@ -165,6 +184,21 @@ func (c *Core) start() error {
 	cfg := c.cfg
 	tr, reg := cfg.Tracer, cfg.Metrics
 	track := func(name string) *trace.Track { return trace.NewTrack(tr, name) }
+
+	// --- overload controllers ---
+	if cfg.Overload {
+		mk := func(nf string) *overload.Controller {
+			ctl := overload.New(nf, cfg.OverloadConfig)
+			ctl.SetTracer(track("overload." + nf))
+			ctl.ExportMetrics(reg, "overload."+nf)
+			ctl.Start(0) // package-default tick
+			c.closers = append(c.closers, ctl.Stop)
+			return ctl
+		}
+		c.OverloadAMF = mk("amf")
+		c.OverloadSMF = mk("smf")
+		c.OverloadUPF = mk("upfc")
+	}
 
 	// --- repositories and registry ---
 	c.NRF = nrf.New()
@@ -237,6 +271,7 @@ func (c *Core) start() error {
 		smfN4 = smfEP
 	}
 	c.UPFState.ExportMetrics(reg, "upf")
+	c.UPFC.SetOverload(c.OverloadUPF)
 
 	// --- control-plane NF mesh ---
 	// connTo builds a consumer connection to a producer handler according
@@ -323,7 +358,12 @@ func (c *Core) start() error {
 		return amfConnForSmf
 	})
 	c.SMF.SetTracer(track("smf"))
-	smfConn, err := connTo("SMF", c.SMF.Handle)
+	c.SMF.SetOverload(c.OverloadSMF)
+	// Admission runs at the transport boundary (not inside Handle): in
+	// resilience mode replay re-enters Handle, and replayed work must
+	// never be re-admitted. The plain path has no replay, so the wrapper
+	// is the boundary.
+	smfConn, err := connTo("SMF", overload.WrapSBI(c.OverloadSMF, nil, c.SMF.Handle))
 	if err != nil {
 		return err
 	}
@@ -336,8 +376,9 @@ func (c *Core) start() error {
 	}
 	c.closers = append(c.closers, func() { c.AMF.Close() })
 	c.AMF.SetTracer(track("amf"))
+	c.AMF.SetOverload(c.OverloadAMF)
 
-	amfConn, err := connTo("AMF", c.AMF.Handle)
+	amfConn, err := connTo("AMF", overload.WrapSBI(c.OverloadAMF, nil, c.AMF.Handle))
 	if err != nil {
 		return err
 	}
@@ -392,6 +433,7 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 	)
 	smfUnit, err := c.sup.Register(supervisor.UnitConfig{
 		Name: "smf", Injector: cfg.FaultInjector, CheckpointEvery: 1,
+		Overload: c.OverloadSMF,
 		Spawn: func(su *supervisor.Unit, gen int) (supervisor.Instance, error) {
 			s := smf.New(smf.Config{
 				NodeID: fmt.Sprintf("smf.l25gc.g%d", gen), UPFN3IP: upfN3IP,
@@ -406,6 +448,7 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 				return amfUnit.Conn()
 			})
 			s.SetTracer(track("smf"))
+			s.SetOverload(c.OverloadSMF)
 			supervisor.AttachSMF(su, s)
 			return supervisor.NewSMFInstance(s, nil), nil
 		},
@@ -423,6 +466,7 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 
 	aUnit, err := c.sup.Register(supervisor.UnitConfig{
 		Name: "amf", Injector: cfg.FaultInjector, CheckpointEvery: 1,
+		Overload: c.OverloadAMF,
 		Spawn: func(su *supervisor.Unit, gen int) (supervisor.Instance, error) {
 			a, err := amf.New(amf.Config{
 				Name:  fmt.Sprintf("amf.l25gc.g%d", gen),
@@ -432,6 +476,7 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 				return nil, err
 			}
 			a.SetTracer(track("amf"))
+			a.SetOverload(c.OverloadAMF)
 			supervisor.AttachAMF(su, a)
 			return supervisor.NewAMFInstance(a), nil
 		},

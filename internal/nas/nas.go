@@ -34,6 +34,18 @@ const (
 	MsgServiceAccept
 	MsgDeregistrationRequest
 	MsgConfigurationUpdate
+	MsgRegistrationReject
+	MsgPDUSessionEstablishmentReject
+	MsgServiceReject
+)
+
+// NAS reject causes (subset of TS 24.501 5GMM/5GSM causes).
+const (
+	// CauseCongestion corresponds to 5GMM cause #22 "congestion": the
+	// network is overloaded and the UE must back off (T3346).
+	CauseCongestion uint32 = 22
+	// CauseInsufficientResources corresponds to 5GSM cause #26.
+	CauseInsufficientResources uint32 = 26
 )
 
 // MsgName returns a stable lowercase label for a NAS message type, used
@@ -66,6 +78,12 @@ func MsgName(t MsgType) string {
 		return "deregistration_request"
 	case MsgConfigurationUpdate:
 		return "configuration_update"
+	case MsgRegistrationReject:
+		return "registration_reject"
+	case MsgPDUSessionEstablishmentReject:
+		return "pdu_session_establishment_reject"
+	case MsgServiceReject:
+		return "service_reject"
 	}
 	return "unknown"
 }
@@ -137,6 +155,12 @@ func New(t MsgType) Message {
 		return &DeregistrationRequest{}
 	case MsgConfigurationUpdate:
 		return &ConfigurationUpdate{}
+	case MsgRegistrationReject:
+		return &RegistrationReject{}
+	case MsgPDUSessionEstablishmentReject:
+		return &PDUSessionEstablishmentReject{}
+	case MsgServiceReject:
+		return &ServiceReject{}
 	default:
 		return nil
 	}
@@ -349,4 +373,59 @@ func (*ConfigurationUpdate) NASType() MsgType { return MsgConfigurationUpdate }
 // Schema implements codec.Message.
 func (m *ConfigurationUpdate) Schema() []codec.Field {
 	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti}}
+}
+
+// RegistrationReject refuses a registration attempt; BackoffMs is the
+// T3346-style timer (milliseconds) the UE must wait before re-attempting.
+type RegistrationReject struct {
+	Cause     uint32
+	BackoffMs uint32
+}
+
+// NASType implements Message.
+func (*RegistrationReject) NASType() MsgType { return MsgRegistrationReject }
+
+// Schema implements codec.Message.
+func (m *RegistrationReject) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Cause},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
+	}
+}
+
+// PDUSessionEstablishmentReject refuses a session request with a backoff
+// timer (the 5GSM back-off timer of TS 24.501 §6.4.1).
+type PDUSessionEstablishmentReject struct {
+	PduSessionID uint32
+	Cause        uint32
+	BackoffMs    uint32
+}
+
+// NASType implements Message.
+func (*PDUSessionEstablishmentReject) NASType() MsgType { return MsgPDUSessionEstablishmentReject }
+
+// Schema implements codec.Message.
+func (m *PDUSessionEstablishmentReject) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Cause},
+		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
+	}
+}
+
+// ServiceReject refuses an idle→connected transition with a backoff timer.
+type ServiceReject struct {
+	Cause     uint32
+	BackoffMs uint32
+}
+
+// NASType implements Message.
+func (*ServiceReject) NASType() MsgType { return MsgServiceReject }
+
+// Schema implements codec.Message.
+func (m *ServiceReject) Schema() []codec.Field {
+	return []codec.Field{
+		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Cause},
+		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
+	}
 }

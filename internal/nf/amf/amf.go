@@ -11,10 +11,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"l25gc/internal/codec"
 	"l25gc/internal/nas"
 	"l25gc/internal/ngap"
+	"l25gc/internal/overload"
 	"l25gc/internal/sbi"
 	"l25gc/internal/trace"
 )
@@ -94,6 +96,11 @@ type ueContext struct {
 
 	idle bool
 
+	// regPending marks a held registration admission token; regStart
+	// anchors the latency sample fed back to the overload controller.
+	regPending bool
+	regStart   time.Time
+
 	// Handover bookkeeping.
 	hoSrcGnb     *gnbConn
 	hoSrcRanUeID uint64
@@ -129,6 +136,7 @@ type AMF struct {
 	wg       sync.WaitGroup
 	tracec   atomic.Pointer[trace.Track]
 	tap      atomic.Pointer[IngressTap]
+	ctrl     atomic.Pointer[overload.Controller]
 
 	// Logf receives procedure traces; defaults to a silent logger.
 	Logf func(format string, args ...any)
@@ -220,23 +228,27 @@ func (a *AMF) serveGnb(conn *ngap.Conn) {
 		} else if g != nil {
 			gnbID = g.id
 		}
+		// Admission runs before the ingress tap: shed work must never be
+		// counter-stamped into the packet log, or replay would re-execute
+		// rejected requests on the promoted replica.
+		release, ok := a.gateNGAP(conn, g, msg)
+		if !ok {
+			continue
+		}
 		apply := func() error {
 			g = a.dispatch(conn, g, msg)
 			return nil
 		}
-		tap := a.tap.Load()
-		if tap == nil {
+		if tap := a.tap.Load(); tap == nil {
 			apply()
-			continue
-		}
-		wire, werr := ngap.Marshal(msg)
-		if werr != nil {
+		} else if wire, werr := ngap.Marshal(msg); werr != nil {
 			a.Logf("amf: re-marshal for ingress log failed: %v", werr)
 			apply()
-			continue
-		}
-		if err := (*tap)(gnbID, wire, apply); err != nil {
+		} else if err := (*tap)(gnbID, wire, apply); err != nil {
 			a.Logf("amf: inbound NGAP dropped at ingress: %v", err)
+		}
+		if release != nil {
+			release()
 		}
 	}
 }
@@ -358,6 +370,13 @@ func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationR
 		suci:    r.Suci,
 		state:   regAuthPending,
 	}
+	if a.ctrl.Load() != nil {
+		// The admission token taken at the N2 gate spans the whole
+		// handshake; it rides the UE context (and its snapshot) so the
+		// generation that finishes the registration releases it.
+		ue.regPending = true
+		ue.regStart = time.Now()
+	}
 	a.mu.Lock()
 	a.ues[ue.amfUeID] = ue
 	a.mu.Unlock()
@@ -367,6 +386,7 @@ func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationR
 	})
 	if err != nil {
 		a.Logf("amf: AUSF authentication failed: %v", err)
+		a.releaseReg(ue)
 		return
 	}
 	ar := resp.(*sbi.AuthenticationResponse)
@@ -415,11 +435,13 @@ func (a *AMF) continueAuth(ue *ueContext, n *nas.AuthenticationResponse) {
 	})
 	if err != nil {
 		a.Logf("amf: auth confirm failed: %v", err)
+		a.releaseReg(ue)
 		return
 	}
 	cr := resp.(*sbi.AuthConfirmResponse)
 	if cr.AuthResult != "AUTHENTICATION_SUCCESS" {
 		a.Logf("amf: authentication rejected for %s", ue.suci)
+		a.releaseReg(ue)
 		return
 	}
 	ue.supi = cr.Supi
@@ -436,16 +458,19 @@ func (a *AMF) completeRegistration(ue *ueContext) {
 		Supi: ue.supi, AmfID: a.cfg.Name, Guami: a.cfg.Guami, RatType: "NR",
 	}); err != nil {
 		a.Logf("amf: UECM registration failed: %v", err)
+		a.releaseReg(ue)
 		return
 	}
 	if _, err := a.udm.Invoke(sbi.OpGetAMSubscriptionData, &sbi.SubscriptionDataRequest{Supi: ue.supi}); err != nil {
 		a.Logf("amf: AM subscription failed: %v", err)
+		a.releaseReg(ue)
 		return
 	}
 	if _, err := a.pcf.Invoke(sbi.OpAMPolicyCreate, &sbi.AMPolicyCreateRequest{
 		Supi: ue.supi, Guami: a.cfg.Guami, RatType: "NR",
 	}); err != nil {
 		a.Logf("amf: AM policy failed: %v", err)
+		a.releaseReg(ue)
 		return
 	}
 	sum := sha256.Sum256([]byte(ue.supi))
@@ -457,6 +482,7 @@ func (a *AMF) completeRegistration(ue *ueContext) {
 	a.mu.Unlock()
 	pdu, _ := nas.Marshal(&nas.RegistrationAccept{Guti: ue.guti, TaiList: "tai-1", AllowedSst: 1})
 	ue.gnb.send(&ngap.InitialContextSetupRequest{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	a.releaseReg(ue)
 	a.Logf("amf: UE %s registered as %s", ue.supi, ue.guti)
 }
 
@@ -465,6 +491,10 @@ func (a *AMF) completeRegistration(ue *ueContext) {
 func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequest) {
 	sp := a.tracec.Load().Start("amf.session.establish")
 	defer sp.End()
+	if ctrl := a.ctrl.Load(); ctrl != nil {
+		start := time.Now()
+		defer func() { ctrl.Observe(time.Since(start)) }()
+	}
 	resp, err := a.smf.Invoke(sbi.OpPostSmContexts, &sbi.SmContextCreateRequest{
 		Supi: ue.supi, PduSessionID: n.PduSessionID, Dnn: n.Dnn,
 		Sst: 1, ServingNfID: a.cfg.Name, Guami: a.cfg.Guami,
@@ -472,6 +502,21 @@ func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequ
 	})
 	if err != nil {
 		a.Logf("amf: SM context create failed: %v", err)
+		if ra, shed := sbi.RetryAfterOf(err); shed {
+			// SMF-side overload: propagate the pushback to the UE as a
+			// session reject with the SMF's advised backoff.
+			ms := uint32(ra.Milliseconds())
+			if ms == 0 {
+				ms = 1
+			}
+			pdu, _ := nas.Marshal(&nas.PDUSessionEstablishmentReject{
+				PduSessionID: n.PduSessionID,
+				Cause:        nas.CauseInsufficientResources, BackoffMs: ms,
+			})
+			ue.gnb.send(&ngap.DownlinkNASTransport{
+				RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu,
+			})
+		}
 		return
 	}
 	sm := resp.(*sbi.SmContextCreateResponse)
@@ -519,6 +564,7 @@ func (a *AMF) handleSessionResourceResponse(g *gnbConn, m *ngap.PDUSessionResour
 // deregister releases the UE's session at the SMF and its contexts at the
 // AMF and gNB (UE-initiated detach).
 func (a *AMF) deregister(ue *ueContext, ranUeID uint64) {
+	a.releaseReg(ue)
 	ue.mu.Lock()
 	smRef := ue.smRef
 	ue.smRef = ""

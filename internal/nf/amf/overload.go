@@ -1,0 +1,154 @@
+package amf
+
+import (
+	"time"
+
+	"l25gc/internal/nas"
+	"l25gc/internal/ngap"
+	"l25gc/internal/overload"
+)
+
+// N2 admission: every inbound NGAP message is classified before the
+// supervisor's ingress tap, so shed work is never counter-stamped into
+// the packet log (replay must only re-execute admitted work). Shed
+// requests get explicit NAS pushback — RegistrationReject /
+// ServiceReject / PDUSessionEstablishmentReject with a T3346-style
+// backoff timer from the controller's deterministic schedule — instead of
+// silently starving behind a growing queue.
+
+// SetOverload installs (or, with nil, removes) the admission controller
+// gating this AMF's N2 ingress. The controller is shared across
+// supervised generations: tokens admitted by a failed instance are
+// released by its promoted replica through the snapshot's regPending
+// flags.
+func (a *AMF) SetOverload(c *overload.Controller) {
+	if c == nil {
+		a.ctrl.Store(nil)
+		return
+	}
+	a.ctrl.Store(c)
+}
+
+// Overload returns the installed controller (nil when ungated).
+func (a *AMF) Overload() *overload.Controller { return a.ctrl.Load() }
+
+// classifyNGAP maps one inbound NGAP message to its admission class,
+// peeking the NAS type byte where the class depends on the N1 payload.
+// Mid-procedure messages and everything that reduces load (deregistration,
+// UE context release) classify as Drain and are never shed.
+func classifyNGAP(msg ngap.Message) (overload.Class, nas.MsgType) {
+	switch m := msg.(type) {
+	case *ngap.InitialUEMessage:
+		if len(m.NasPdu) > 0 {
+			switch nas.MsgType(m.NasPdu[0]) {
+			case nas.MsgRegistrationRequest:
+				return overload.ClassRegistration, nas.MsgRegistrationRequest
+			case nas.MsgServiceRequest:
+				return overload.ClassEmergency, nas.MsgServiceRequest
+			}
+		}
+	case *ngap.UplinkNASTransport:
+		if len(m.NasPdu) > 0 && nas.MsgType(m.NasPdu[0]) == nas.MsgPDUSessionEstablishmentRequest {
+			return overload.ClassSession, nas.MsgPDUSessionEstablishmentRequest
+		}
+	case *ngap.HandoverRequired:
+		return overload.ClassEmergency, 0
+	}
+	return overload.ClassDrain, 0
+}
+
+// gateNGAP runs the admission decision for one live inbound message.
+// It returns ok=false when the message was shed (pushback already sent);
+// release, when non-nil, must run after the message has been applied.
+// Registration admissions return a nil release: their token spans the
+// whole multi-message handshake and is released through regPending.
+func (a *AMF) gateNGAP(conn *ngap.Conn, g *gnbConn, msg ngap.Message) (release func(), ok bool) {
+	ctrl := a.ctrl.Load()
+	if ctrl == nil {
+		return nil, true
+	}
+	cl, nt := classifyNGAP(msg)
+	if cl == overload.ClassDrain {
+		return nil, true
+	}
+	if !ctrl.Admit(cl) {
+		a.sendShedReject(conn, g, msg, ctrl.Backoff(cl), nt)
+		return nil, false
+	}
+	if nt == nas.MsgRegistrationRequest {
+		return nil, true
+	}
+	return func() { ctrl.Release(cl) }, true
+}
+
+// sendShedReject pushes an explicit NAS reject (with backoff timer) back
+// to the UE whose request was shed. Shed handover preparation has no NAS
+// counterpart; it is dropped and the source RAN re-attempts.
+func (a *AMF) sendShedReject(conn *ngap.Conn, g *gnbConn, msg ngap.Message, backoff time.Duration, nt nas.MsgType) {
+	ms := uint32(backoff.Milliseconds())
+	if ms == 0 {
+		ms = 1
+	}
+	var (
+		pdu     []byte
+		ranUeID uint64
+		amfUeID uint64
+	)
+	switch m := msg.(type) {
+	case *ngap.InitialUEMessage:
+		ranUeID = m.RanUeID
+		switch nt {
+		case nas.MsgRegistrationRequest:
+			pdu, _ = nas.Marshal(&nas.RegistrationReject{
+				Cause: nas.CauseCongestion, BackoffMs: ms,
+			})
+		case nas.MsgServiceRequest:
+			pdu, _ = nas.Marshal(&nas.ServiceReject{
+				Cause: nas.CauseCongestion, BackoffMs: ms,
+			})
+		}
+	case *ngap.UplinkNASTransport:
+		ranUeID, amfUeID = m.RanUeID, m.AmfUeID
+		sessID := uint32(0)
+		if n, err := nas.Unmarshal(m.NasPdu); err == nil {
+			if req, okReq := n.(*nas.PDUSessionEstablishmentRequest); okReq {
+				sessID = req.PduSessionID
+			}
+		}
+		pdu, _ = nas.Marshal(&nas.PDUSessionEstablishmentReject{
+			PduSessionID: sessID, Cause: nas.CauseInsufficientResources, BackoffMs: ms,
+		})
+	}
+	if pdu == nil {
+		a.Logf("amf: shed %T without NAS pushback", msg)
+		return
+	}
+	down := &ngap.DownlinkNASTransport{RanUeID: ranUeID, AmfUeID: amfUeID, NasPdu: pdu}
+	var err error
+	if g != nil {
+		err = g.send(down)
+	} else if conn != nil {
+		err = conn.Send(down)
+	}
+	if err != nil {
+		a.Logf("amf: shed reject send failed: %v", err)
+	}
+}
+
+// releaseReg returns the UE's registration admission token, exactly once.
+func (a *AMF) releaseReg(ue *ueContext) {
+	ue.mu.Lock()
+	pending := ue.regPending
+	ue.regPending = false
+	start := ue.regStart
+	ue.mu.Unlock()
+	if !pending {
+		return
+	}
+	if ctrl := a.ctrl.Load(); ctrl != nil {
+		ctrl.Release(overload.ClassRegistration)
+		if !start.IsZero() {
+			ctrl.Observe(time.Since(start))
+		}
+	}
+}

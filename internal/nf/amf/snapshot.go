@@ -37,6 +37,11 @@ type ueRecord struct {
 	UpfAddr      string `json:"upfAddr,omitempty"`
 
 	Idle bool `json:"idle,omitempty"`
+	// RegPending carries the held registration admission token across a
+	// failover: the promoted generation releases it when the replayed
+	// handshake finishes (or fails), keeping the shared overload
+	// controller's depth accounting balanced.
+	RegPending bool `json:"regPending,omitempty"`
 
 	HasHoSrc     bool   `json:"hasHoSrc,omitempty"`
 	HoSrcGnbID   uint32 `json:"hoSrcGnbId,omitempty"`
@@ -83,7 +88,7 @@ func (a *AMF) Snapshot() ([]byte, error) {
 			AuthCtxID: ue.authCtxID, State: int(ue.state),
 			PduSessionID: ue.pduSessionID, SmRef: ue.smRef,
 			UpfTEID: ue.upfTEID, UpfAddr: ue.upfAddr,
-			Idle: ue.idle,
+			Idle: ue.idle, RegPending: ue.regPending,
 		}
 		if ue.gnb != nil {
 			rec.HasGnb, rec.GnbID = true, ue.gnb.id
@@ -143,7 +148,7 @@ func (a *AMF) Restore(b []byte) error {
 			authCtxID: rec.AuthCtxID, state: regState(rec.State),
 			pduSessionID: rec.PduSessionID, smRef: rec.SmRef,
 			upfTEID: rec.UpfTEID, upfAddr: rec.UpfAddr,
-			idle: rec.Idle,
+			idle: rec.Idle, regPending: rec.RegPending,
 		}
 		if rec.HasGnb {
 			ue.gnb = resolve(rec.GnbID)

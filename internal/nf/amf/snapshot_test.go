@@ -26,6 +26,7 @@ import (
 	"l25gc/internal/pkt"
 	"l25gc/internal/rules"
 	"l25gc/internal/sbi"
+	"l25gc/internal/testutil"
 	"l25gc/internal/upf"
 )
 
@@ -65,6 +66,7 @@ func newMesh(t *testing.T) *mesh {
 
 	n3 := pkt.Addr{192, 168, 0, 1}
 	smfEP, upfEP := pfcp.NewMemPair(256)
+	t.Cleanup(func() { smfEP.Close(); upfEP.Close() })
 	st := upf.NewState("ps", 64)
 	upf.NewUPFC(st, n3, upfEP)
 	s := smf.New(smf.Config{
@@ -181,6 +183,7 @@ func sendNAS(g *rawGnb, ranUeID, amfUeID uint64, m nas.Message) {
 // AMF, and completes registration there: the challenge is never
 // re-issued and the UE never re-registers.
 func TestAMFSnapshotMidRegistration(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	m := newMesh(t)
 	primary := m.newAMF(t)
 	g := dialGnb(t, primary.N2Addr(), 1)
@@ -248,6 +251,7 @@ func establish(t *testing.T, g *rawGnb, gnbTEID uint32, gnbAddr string) (amfUeID
 // restores into a fresh AMF, and completes the handover against the
 // replica: path switch, source release, session intact.
 func TestAMFSnapshotMidHandover(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	m := newMesh(t)
 	primary := m.newAMF(t)
 	src := dialGnb(t, primary.N2Addr(), 1)

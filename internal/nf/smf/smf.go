@@ -15,8 +15,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"l25gc/internal/codec"
+	"l25gc/internal/overload"
 	"l25gc/internal/pfcp"
 	"l25gc/internal/pkt"
 	"l25gc/internal/rules"
@@ -76,6 +78,21 @@ type SMF struct {
 	seid   atomic.Uint64
 	tracec atomic.Pointer[trace.Track]
 	n4tap  atomic.Pointer[N4Tap]
+	ctrl   atomic.Pointer[overload.Controller]
+}
+
+// SetOverload installs the SMF's overload controller. The SMF does NOT
+// gate admission here — that happens at the transport boundary (WrapSBI
+// in plain cores, the unit conn in supervised ones) so supervisor replay
+// never re-runs an admission decision. The controller is used for
+// latency feedback and for the Retry-After advice attached when the UPF
+// answers N4 establishment with CauseCongestion.
+func (s *SMF) SetOverload(c *overload.Controller) {
+	if c == nil {
+		s.ctrl.Store(nil)
+		return
+	}
+	s.ctrl.Store(c)
 }
 
 // New creates an SMF. amf is resolved lazily on first paging trigger.
@@ -148,6 +165,10 @@ func (s *SMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, error) {
 	sp := s.tracec.Load().Start("smf.sm_context.create")
 	defer sp.End()
+	if ctrl := s.ctrl.Load(); ctrl != nil {
+		start := time.Now()
+		defer func() { ctrl.Observe(time.Since(start)) }()
+	}
 	// Subscription and policy lookups (SBI round trips the paper counts in
 	// the session establishment event).
 	if _, err := s.udm.Invoke(sbi.OpGetSMSubscriptionData, &sbi.SubscriptionDataRequest{Supi: r.Supi, Dnn: r.Dnn}); err != nil {
@@ -210,6 +231,19 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 		return nil, fmt.Errorf("smf: N4 establishment: %w", err)
 	}
 	er, ok := resp.(*pfcp.SessionEstablishmentResponse)
+	if ok && er.Cause == pfcp.CauseCongestion {
+		// N4 throttling: translate the UPF's congestion cause into SBI
+		// pushback so the AMF (and the UE behind it) backs off instead
+		// of hammering a saturated user plane.
+		ra := 200 * time.Millisecond
+		if ctrl := s.ctrl.Load(); ctrl != nil {
+			ra = ctrl.Backoff(overload.ClassSession)
+		}
+		return nil, &sbi.StatusError{
+			Code: sbi.StatusServiceUnavailable, RetryAfter: ra,
+			Reason: "smf: UPF in congestion",
+		}
+	}
 	if !ok || er.Cause != pfcp.CauseAccepted {
 		return nil, fmt.Errorf("smf: UPF rejected session (cause %v)", er)
 	}

@@ -17,6 +17,7 @@ import (
 	"l25gc/internal/pkt"
 	"l25gc/internal/rules"
 	"l25gc/internal/sbi"
+	"l25gc/internal/testutil"
 	"l25gc/internal/upf"
 )
 
@@ -37,6 +38,7 @@ func newSMF(udmC, pcfC sbi.Conn, n4 pfcp.Endpoint) *smf.SMF {
 }
 
 func TestSMFSnapshotMidHandoverRoundTrip(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	u := udr.New()
 	u.Provision(udr.Subscriber{
 		Supi: "imsi-1", K: []byte("0123456789abcdef"), Opc: []byte("fedcba9876543210"),
@@ -47,6 +49,7 @@ func TestSMFSnapshotMidHandoverRoundTrip(t *testing.T) {
 	udmC, pcfC := sbi.Conn(directConn{um.Handle}), sbi.Conn(directConn{pc.Handle})
 
 	smfEP, upfEP := pfcp.NewMemPair(256)
+	t.Cleanup(func() { smfEP.Close(); upfEP.Close() })
 	st := upf.NewState("ps", 64)
 	upf.NewUPFC(st, pkt.Addr{192, 168, 0, 1}, upfEP)
 

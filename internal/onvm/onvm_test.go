@@ -8,6 +8,7 @@ import (
 
 	"l25gc/internal/faults"
 	"l25gc/internal/pktbuf"
+	"l25gc/internal/testutil"
 	"l25gc/internal/trace"
 )
 
@@ -24,6 +25,7 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 }
 
 func TestInjectToNFToPort(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	m := NewManager(Config{PoolSize: 64, PoolPrefix: "t"})
 	defer m.Stop()
 
@@ -250,6 +252,7 @@ func TestSecurityDomainPrefixes(t *testing.T) {
 }
 
 func TestStopIsIdempotentAndTerminatesNFs(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	m := NewManager(Config{PoolSize: 8, PoolPrefix: "t"})
 	m.Register(1, "nf", func(b *pktbuf.Buf) bool {
 		b.Meta.Action = pktbuf.ActionDrop

@@ -62,6 +62,9 @@ const (
 	CauseSessionNotFound  uint8 = 65
 	CauseMandatoryMissing uint8 = 66
 	CauseRuleNotFound     uint8 = 70
+	// CauseCongestion ("PFCP entity in congestion") is the N4 overload
+	// pushback: the UPF is shedding new session work.
+	CauseCongestion uint8 = 74
 )
 
 // Errors returned by IE and message decoding.

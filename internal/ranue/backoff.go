@@ -1,0 +1,105 @@
+package ranue
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"l25gc/internal/nas"
+)
+
+// BackoffError reports a NAS reject with a network-prescribed backoff
+// timer (the T3346-style congestion pushback of the overload layer). The
+// UE must not re-attempt the procedure before Backoff elapses; the timer
+// value comes from the core's seeded controller, so re-attempt schedules
+// are deterministic under a fixed chaos seed.
+type BackoffError struct {
+	Procedure string // "registration", "session", "service"
+	Cause     uint32
+	Backoff   time.Duration
+}
+
+// Error implements error.
+func (e *BackoffError) Error() string {
+	return fmt.Sprintf("ranue: %s rejected (cause %d), backoff %v",
+		e.Procedure, e.Cause, e.Backoff)
+}
+
+// AsBackoff extracts a BackoffError from an error chain.
+func AsBackoff(err error) (*BackoffError, bool) {
+	var be *BackoffError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}
+
+// backoffFromNAS maps a NAS reject message to its BackoffError, or nil
+// when m is not a reject.
+func backoffFromNAS(m nas.Message) *BackoffError {
+	ms := func(v uint32) time.Duration {
+		if v == 0 {
+			v = 1
+		}
+		return time.Duration(v) * time.Millisecond
+	}
+	switch rej := m.(type) {
+	case *nas.RegistrationReject:
+		return &BackoffError{Procedure: "registration", Cause: rej.Cause, Backoff: ms(rej.BackoffMs)}
+	case *nas.ServiceReject:
+		return &BackoffError{Procedure: "service", Cause: rej.Cause, Backoff: ms(rej.BackoffMs)}
+	case *nas.PDUSessionEstablishmentReject:
+		return &BackoffError{Procedure: "session", Cause: rej.Cause, Backoff: ms(rej.BackoffMs)}
+	}
+	return nil
+}
+
+// RegisterWithRetry attaches like Register but honors congestion
+// pushback: each RegistrationReject is waited out for exactly the
+// network-prescribed backoff before the next attempt. It returns the
+// successful attempt's registration time and the number of rejects
+// absorbed on the way. Non-reject errors and reject streaks longer than
+// maxAttempts fail the call.
+func (u *UE) RegisterWithRetry(g *GNB, maxAttempts int) (time.Duration, int, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		d, err := u.Register(g)
+		if err == nil {
+			return d, attempt, nil
+		}
+		be, ok := AsBackoff(err)
+		if !ok {
+			return 0, attempt, err
+		}
+		lastErr = err
+		time.Sleep(be.Backoff)
+	}
+	return 0, maxAttempts, fmt.Errorf("ranue: still rejected after %d attempts: %w", maxAttempts, lastErr)
+}
+
+// EstablishSessionWithRetry runs EstablishSession, waiting out
+// congestion rejects (SMF/UPF pushback surfaced as
+// PDUSessionEstablishmentReject) like RegisterWithRetry does for
+// registration.
+func (u *UE) EstablishSessionWithRetry(pduSessionID uint32, dnn string, maxAttempts int) (time.Duration, int, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		d, err := u.EstablishSession(pduSessionID, dnn)
+		if err == nil {
+			return d, attempt, nil
+		}
+		be, ok := AsBackoff(err)
+		if !ok {
+			return 0, attempt, err
+		}
+		lastErr = err
+		time.Sleep(be.Backoff)
+	}
+	return 0, maxAttempts, fmt.Errorf("ranue: still rejected after %d attempts: %w", maxAttempts, lastErr)
+}

@@ -253,6 +253,21 @@ func (g *GNB) completeArrival(ue *UE, amfUeID uint64) (*attachment, error) {
 	return at, g.conn.Send(&ngap.HandoverNotify{AmfUeID: amfUeID, RanUeID: at.ranUeID})
 }
 
+// detach drops a never-completed attachment (a rejected registration):
+// the RAN-side IDs are released so a storm of shed-and-retried attaches
+// does not accumulate state at the gNB.
+func (g *GNB) detach(at *attachment) {
+	g.mu.Lock()
+	delete(g.byRanUeID, at.ranUeID)
+	if g.byAmfUeID[at.amfUeID] == at {
+		delete(g.byAmfUeID, at.amfUeID)
+	}
+	if at.dlTEID != 0 {
+		delete(g.byDlTEID, at.dlTEID)
+	}
+	g.mu.Unlock()
+}
+
 // uncamp removes a UE from this cell's paging set (it moved away).
 func (g *GNB) uncamp(ue *UE) {
 	g.mu.Lock()

@@ -117,6 +117,11 @@ func (u *UE) waitNAS(want nas.MsgType) (nas.Message, error) {
 			if m.NASType() == want {
 				return m, nil
 			}
+			// A reject with a backoff timer is congestion pushback, not a
+			// protocol error: surface it typed so callers can wait it out.
+			if be := backoffFromNAS(m); be != nil {
+				return nil, be
+			}
 			// Out-of-order NAS for this simple UE is a protocol error.
 			return nil, fmt.Errorf("ranue: expected NAS %d, got %d", want, m.NASType())
 		case <-deadline:
@@ -142,6 +147,12 @@ func (u *UE) Register(g *GNB) (time.Duration, error) {
 	}
 	m, err := u.waitNAS(nas.MsgAuthenticationRequest)
 	if err != nil {
+		// A shed registration must not leave RAN-side state behind: the
+		// UE re-attaches from scratch after its backoff.
+		if _, rejected := AsBackoff(err); rejected {
+			g.detach(at)
+			g.uncamp(u)
+		}
 		return 0, err
 	}
 	auth := m.(*nas.AuthenticationRequest)

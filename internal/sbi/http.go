@@ -3,10 +3,12 @@ package sbi
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +64,22 @@ func (s *HTTPServer) serve(op OpID, w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.handler(op, req)
 	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.RetryAfter > 0 {
+				secs := int(se.RetryAfter / time.Second)
+				if se.RetryAfter%time.Second != 0 {
+					secs++
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				// Sub-second precision for the deterministic backoff
+				// schedules the chaos suite replays.
+				w.Header().Set("X-Retry-After-Ms",
+					strconv.FormatInt(se.RetryAfter.Milliseconds(), 10))
+			}
+			http.Error(w, se.Reason, se.Code)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -192,7 +210,17 @@ func (c *HTTPConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 		return c.fail(err)
 	}
 	if httpResp.StatusCode/100 != 2 {
-		return c.fail(fmt.Errorf("%w: %s: %s", ErrStatus, httpResp.Status, out))
+		se := &StatusError{Code: httpResp.StatusCode, Reason: string(bytes.TrimSpace(out))}
+		if ms := httpResp.Header.Get("X-Retry-After-Ms"); ms != "" {
+			if v, perr := strconv.ParseInt(ms, 10, 64); perr == nil {
+				se.RetryAfter = time.Duration(v) * time.Millisecond
+			}
+		} else if ra := httpResp.Header.Get("Retry-After"); ra != "" {
+			if v, perr := strconv.Atoi(ra); perr == nil {
+				se.RetryAfter = time.Duration(v) * time.Second
+			}
+		}
+		return c.fail(se)
 	}
 	resp := op.NewResponse()
 	dec := root.Child("sbi.decode")

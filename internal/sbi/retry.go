@@ -172,8 +172,9 @@ type ResilientConn struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	retries atomic.Uint64
-	shed    atomic.Uint64
+	retries  atomic.Uint64
+	shed     atomic.Uint64
+	pushback atomic.Uint64
 }
 
 // NewResilientConn wraps inner. A nil breaker disables call shedding.
@@ -193,6 +194,7 @@ func NewResilientConn(inner Conn, p RetryPolicy, b *CircuitBreaker) *ResilientCo
 func (c *ResilientConn) ExportMetrics(reg *metrics.Registry, prefix string) {
 	reg.RegisterGauge(prefix+".retries", c.retries.Load)
 	reg.RegisterGauge(prefix+".shed", c.shed.Load)
+	reg.RegisterGauge(prefix+".pushback", c.pushback.Load)
 	if b := c.breaker; b != nil {
 		reg.RegisterGauge(prefix+".breaker_trips", b.trips.Load)
 		reg.RegisterGauge(prefix+".breaker_open", func() uint64 {
@@ -209,6 +211,9 @@ func (c *ResilientConn) Retries() uint64 { return c.retries.Load() }
 
 // Shed reports the number of calls rejected by the open breaker.
 func (c *ResilientConn) Shed() uint64 { return c.shed.Load() }
+
+// Pushback reports the number of 503+Retry-After responses honored.
+func (c *ResilientConn) Pushback() uint64 { return c.pushback.Load() }
 
 // backoff returns the jittered delay before attempt n (n >= 1).
 func (c *ResilientConn) backoff(n int) time.Duration {
@@ -244,6 +249,25 @@ func (c *ResilientConn) Invoke(op OpID, req codec.Message) (codec.Message, error
 			return resp, nil
 		}
 		lastErr = err
+		if ra, ok := RetryAfterOf(err); ok {
+			// Overload pushback: the producer answered (transport is
+			// healthy, the breaker must not trip) but asked us to come
+			// back later. Honor the prescribed delay instead of our own
+			// backoff curve; it is the producer's deterministic advice.
+			if c.breaker != nil {
+				c.breaker.Success()
+			}
+			c.pushback.Add(1)
+			if attempt >= c.policy.MaxAttempts {
+				return nil, lastErr
+			}
+			c.retries.Add(1)
+			if ra <= 0 {
+				ra = c.backoff(attempt)
+			}
+			time.Sleep(ra)
+			continue
+		}
 		if !retryable(err) {
 			// The producer answered; the transport is healthy.
 			if c.breaker != nil {

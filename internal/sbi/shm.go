@@ -1,6 +1,7 @@
 package sbi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,7 +21,12 @@ type shmFrame struct {
 	seq    uint32
 	isResp bool
 	err    string
-	msg    codec.Message
+	// status/retryAfterMs carry a producer StatusError structurally, so
+	// overload pushback (503 + Retry-After) survives the descriptor
+	// transport just as it does the HTTP one.
+	status       int
+	retryAfterMs int64
+	msg          codec.Message
 }
 
 // ShmServer is the producer side of the shared-memory SBI.
@@ -83,7 +89,14 @@ func (s *ShmServer) loop() {
 		resp, err := s.handler(f.op, f.msg)
 		rf := shmFrame{op: f.op, seq: f.seq, isResp: true, msg: resp}
 		if err != nil {
-			rf.err = err.Error()
+			var se *StatusError
+			if errors.As(err, &se) {
+				rf.status = se.Code
+				rf.retryAfterMs = se.RetryAfter.Milliseconds()
+				rf.err = se.Reason
+			} else {
+				rf.err = err.Error()
+			}
 		}
 		if s.inj != nil {
 			s.inj.TransmitMsg(s.txPoint, func() { s.replyTo.Send(rf) })
@@ -179,6 +192,14 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 	tx.End()
 	select {
 	case f := <-ch:
+		if f.status != 0 {
+			c.errs.Add(1)
+			return nil, &StatusError{
+				Code:       f.status,
+				RetryAfter: time.Duration(f.retryAfterMs) * time.Millisecond,
+				Reason:     f.err,
+			}
+		}
 		if f.err != "" {
 			c.errs.Add(1)
 			return nil, fmt.Errorf("sbi: producer error: %s", f.err)

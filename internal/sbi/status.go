@@ -1,0 +1,44 @@
+package sbi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// StatusServiceUnavailable is the one non-2xx status the overload layer
+// produces: the producer is up but shedding, and Retry-After carries the
+// advised backoff.
+const StatusServiceUnavailable = 503
+
+// StatusError is a producer-side rejection with an explicit HTTP-style
+// status. It unwraps to ErrStatus, so existing errors.Is classification
+// (producer answered → final, transport healthy) keeps working; the HTTP
+// transport maps it to a real status line + Retry-After header, and the
+// shm transport carries it structurally in the reply frame.
+type StatusError struct {
+	Code       int
+	RetryAfter time.Duration
+	Reason     string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("sbi: status %d (retry after %v): %s", e.Code, e.RetryAfter, e.Reason)
+	}
+	return fmt.Sprintf("sbi: status %d: %s", e.Code, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrStatus) hold.
+func (e *StatusError) Unwrap() error { return ErrStatus }
+
+// RetryAfterOf extracts the advised backoff from a producer pushback
+// error, reporting whether err is a 503 StatusError.
+func RetryAfterOf(err error) (time.Duration, bool) {
+	var se *StatusError
+	if errors.As(err, &se) && se.Code == StatusServiceUnavailable {
+		return se.RetryAfter, true
+	}
+	return 0, false
+}

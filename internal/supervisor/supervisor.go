@@ -28,6 +28,7 @@ import (
 
 	"l25gc/internal/faults"
 	"l25gc/internal/metrics"
+	"l25gc/internal/overload"
 	"l25gc/internal/resilience"
 	"l25gc/internal/trace"
 )
@@ -94,6 +95,11 @@ type UnitConfig struct {
 	// one N4 endpoint — re-claim it here so inbound traffic reaches live
 	// state instead of the frozen standby.
 	OnPromote func(active Instance)
+	// Overload, when set, gates the unit conn's SBI ingress (shed work is
+	// rejected before it reaches the packet log, so replay only ever
+	// re-executes admitted messages) and is forced to drain-only for the
+	// duration of promote→replay→resync, bounding recovery time.
+	Overload *overload.Controller
 }
 
 // RecoveryStats reports the measurements of one completed failover.
@@ -477,6 +483,11 @@ func (u *Unit) failover(detect time.Duration) {
 	root := u.sup.track.Start("supervisor.failover")
 	root.Attr("unit", u.cfg.Name)
 	start := time.Now()
+
+	// Shed new work while promote→replay runs: replay must not race fresh
+	// admissions for the promoted instance's attention.
+	u.cfg.Overload.EnterRecovery()
+	defer u.cfg.Overload.ExitRecovery()
 
 	u.mu.Lock()
 	deadGen := u.gen

@@ -13,6 +13,7 @@ import (
 	"l25gc/internal/faults"
 	"l25gc/internal/resilience"
 	"l25gc/internal/sbi"
+	"l25gc/internal/testutil"
 )
 
 // kvInstance is a minimal supervised NF: state is a string map, messages
@@ -83,6 +84,7 @@ func kvUnit(t *testing.T, s *Supervisor, inj *faults.Injector, every int) *Unit 
 // automatic ReleaseUpTo on checkpoint keeps replay memory bounded under
 // a long message stream.
 func TestSupervisorCheckpointBoundsLog(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	s := New(Config{})
 	defer s.Stop()
 	u := kvUnit(t, s, nil, 10)
@@ -108,6 +110,7 @@ func TestSupervisorCheckpointBoundsLog(t *testing.T) {
 // (including the ones rejected during the outage windows) present in the
 // final active state via checkpoint + replay.
 func TestSupervisorSurvivesRepeatedCrashes(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	inj := faults.New(1902)
 	s := New(Config{})
 	defer s.Stop()

@@ -1,0 +1,88 @@
+// Package testutil holds shared test helpers. The only resident today is
+// the goroutine-leak check: components with Close/Stop lifecycles must
+// actually unwind their goroutines, or long-running deployments (and the
+// storm bench's repeated core setups) accumulate leaked loops.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// interesting reports whether a goroutine stack belongs to this module
+// (leaks we own) rather than to the runtime or the testing framework.
+func interesting(stack string) bool {
+	if !strings.Contains(stack, "l25gc/") {
+		return false
+	}
+	// The testing framework's own goroutines mention the test functions;
+	// a leak is a goroutine parked inside package code.
+	return !strings.Contains(stack, "testing.tRunner")
+}
+
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if interesting(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// CheckGoroutineLeaks registers a cleanup that fails the test if, after
+// everything the test itself cleaned up has run, goroutines from this
+// module remain beyond those alive at the call. Call it FIRST in the
+// test so its cleanup runs LAST (cleanups run LIFO). The check polls
+// briefly before failing: goroutine teardown that is signalled but not
+// yet scheduled is not a leak.
+func CheckGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	before := len(moduleGoroutines())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after []string
+		for {
+			after = moduleGoroutines()
+			if len(after) <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if len(after) > before {
+			t.Errorf("goroutine leak: %d module goroutines before, %d after:\n%s",
+				before, len(after), strings.Join(after, "\n\n"))
+		}
+	})
+}
+
+// MustNoLeaksWithin asserts directly (no cleanup registration) that the
+// module's goroutine count drops to at most want within d. Useful in the
+// middle of a test after an explicit Close.
+func MustNoLeaksWithin(t *testing.T, want int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var got []string
+	for {
+		got = moduleGoroutines()
+		if len(got) <= want || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(got) > want {
+		t.Fatalf("%d module goroutines still running (want <=%d):\n%s",
+			len(got), want, strings.Join(got, "\n\n"))
+	}
+}
+
+// Dump returns the current module goroutines, for debugging helpers.
+func Dump() string {
+	return fmt.Sprintf("%d module goroutines:\n%s",
+		len(moduleGoroutines()), strings.Join(moduleGoroutines(), "\n\n"))
+}

@@ -3,7 +3,10 @@ package upf
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"l25gc/internal/overload"
 	"l25gc/internal/pfcp"
 	"l25gc/internal/pkt"
 	"l25gc/internal/rules"
@@ -19,6 +22,20 @@ type UPFC struct {
 
 	mu     sync.Mutex
 	drains []func(*SessCtx) // buffer-release hooks installed by UPF-U
+
+	ctrl atomic.Pointer[overload.Controller]
+}
+
+// SetOverload installs (or, with nil, removes) the admission controller
+// throttling N4 session establishment: shed establishments answer with
+// CauseCongestion instead of growing the session table unboundedly.
+// Deletions and modifications are never throttled (the drain invariant).
+func (c *UPFC) SetOverload(ctrl *overload.Controller) {
+	if ctrl == nil {
+		c.ctrl.Store(nil)
+		return
+	}
+	c.ctrl.Store(ctrl)
 }
 
 // NewUPFC creates the control part over the shared state. ep is the N4
@@ -72,6 +89,16 @@ func (c *UPFC) Handle(seid uint64, req pfcp.Message) (pfcp.Message, error) {
 	case *pfcp.AssociationSetupRequest:
 		return &pfcp.AssociationSetupResponse{NodeID: "upf.l25gc", Cause: pfcp.CauseAccepted}, nil
 	case *pfcp.SessionEstablishmentRequest:
+		if ctrl := c.ctrl.Load(); ctrl != nil {
+			if !ctrl.Admit(overload.ClassSession) {
+				return &pfcp.SessionEstablishmentResponse{Cause: pfcp.CauseCongestion}, nil
+			}
+			start := time.Now()
+			resp, err := c.establish(m)
+			ctrl.Observe(time.Since(start))
+			ctrl.Release(overload.ClassSession)
+			return resp, err
+		}
 		return c.establish(m)
 	case *pfcp.SessionModificationRequest:
 		return c.modify(seid, m)
