@@ -5,7 +5,7 @@ GOFMT ?= gofmt
 # specific interleaving: make check CHAOS_SEEDS="12345"
 CHAOS_SEEDS ?= 1902 7 42
 
-.PHONY: all build test check chaos trace-smoke recovery-smoke scale-smoke storm-smoke
+.PHONY: all build test check lint staticcheck chaos trace-smoke recovery-smoke scale-smoke storm-smoke
 
 all: build
 
@@ -24,6 +24,8 @@ check:
 	@fmt_out=$$($(GOFMT) -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
+	$(MAKE) lint
+	$(MAKE) staticcheck
 	$(GO) test -race ./...
 	@for seed in $(CHAOS_SEEDS); do \
 		echo "== chaos suite, seed $$seed =="; \
@@ -31,6 +33,25 @@ check:
 	done
 	$(MAKE) scale-smoke
 	$(MAKE) storm-smoke
+
+# Repo-local invariant analyzers (DESIGN §13): determinism, replaysafe,
+# nomutexhold, metricnames. Zero diagnostics required; escape hatches
+# are //l25gc:allow <rule> <reason> at the call site (auditable with
+# `grep -rn l25gc:allow`). Use `go run ./cmd/l25gc-lint -json ./...`
+# for machine-readable output in CI annotation tooling.
+lint:
+	$(GO) run ./cmd/l25gc-lint ./...
+
+# Upstream staticcheck, when installed (pin: 2023.1.x / staticcheck
+# 0.4.x for go 1.22). The build stays hermetic — the tool is not
+# fetched; this target is a no-op with a notice on machines without it.
+# Checked-in configuration: staticcheck.conf at the repo root.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (pin 2023.1.x, see staticcheck.conf)"; \
+	fi
 
 # Just the chaos scenarios, verbosely, for schedule debugging.
 chaos:

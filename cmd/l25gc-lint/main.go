@@ -1,0 +1,143 @@
+// Command l25gc-lint runs the repo's invariant analyzers (DESIGN §13)
+// over the module:
+//
+//	determinism  — no ambient time/randomness/map-order leaks in
+//	               replay-path packages
+//	replaysafe   — nothing reachable from //l25gc:replay roots does I/O
+//	               or reads wall clocks
+//	nomutexhold  — no blocking operations inside mutex critical sections
+//	metricnames  — metric/trace name literals must match the LintNames
+//	               tables
+//
+// Usage:
+//
+//	l25gc-lint [-json] [packages]
+//
+// With no package patterns, ./... is linted. Diagnostics print as
+// file:line:col: message (rule), one per line, and the exit status is 1
+// when any diagnostic (including a malformed or unused //l25gc:allow)
+// survives directive filtering. -json emits a machine-readable array
+// instead, for CI annotation tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"os"
+	"sort"
+
+	"l25gc/internal/lint/analysis"
+	"l25gc/internal/lint/determinism"
+	"l25gc/internal/lint/directive"
+	"l25gc/internal/lint/load"
+	"l25gc/internal/lint/metricnames"
+	"l25gc/internal/lint/nomutexhold"
+	"l25gc/internal/lint/replaysafe"
+)
+
+// analyzers is the fixed suite; order only affects tie-breaking of
+// diagnostics at identical positions.
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	replaysafe.Analyzer,
+	nomutexhold.Analyzer,
+	metricnames.Analyzer,
+}
+
+// jsonDiagnostic is the -json output shape, one element per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: l25gc-lint [-json] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	prog, err := load.Load("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "l25gc-lint:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.ProgramLevel {
+			pass := &analysis.Pass{Analyzer: a, Fset: prog.Fset, Program: prog, Report: report}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "l25gc-lint: %s: %v\n", a.Name, err)
+				os.Exit(2)
+			}
+			continue
+		}
+		for _, pkg := range prog.Packages {
+			if !pkg.Requested {
+				continue
+			}
+			pass := &analysis.Pass{Analyzer: a, Fset: prog.Fset, Pkg: pkg, Program: prog, Report: report}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "l25gc-lint: %s: %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	// Directive filtering sees every loaded file: program-level walks may
+	// report into dependency packages, and an allow lives next to the
+	// code it excuses, wherever that is.
+	set := directive.Scan(prog.Fset, allFiles(prog))
+	diags = directive.Filter(prog.Fset, set, diags)
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			p := prog.Fset.Position(d.Pos)
+			out = append(out, jsonDiagnostic{
+				File: p.Filename, Line: p.Line, Column: p.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "l25gc-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", prog.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func allFiles(prog *analysis.Program) []*ast.File {
+	var files []*ast.File
+	for _, pkg := range prog.Packages {
+		if pkg.Requested {
+			files = append(files, pkg.Files...)
+		}
+	}
+	return files
+}

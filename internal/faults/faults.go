@@ -390,6 +390,7 @@ func (i *Injector) Transmit(p Point, data []byte, send func([]byte)) {
 	}
 	switch {
 	case act.Delay > 0:
+		//l25gc:allow determinism fault-injected delivery delay is wall-time fault machinery; the seed fixes which messages are delayed, not when the timer fires
 		time.AfterFunc(act.Delay, do)
 	case act.HoldFor > 0:
 		i.mu.Lock()
@@ -418,8 +419,16 @@ func (i *Injector) Flush() {
 		return
 	}
 	i.mu.Lock()
+	// Release in point-name order: reorder-held messages must drain in a
+	// schedule-independent sequence or replay diverges.
+	names := make([]Point, 0, len(i.points))
+	for name := range i.points {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(a, b int) bool { return names[a] < names[b] })
 	var release []func()
-	for _, ps := range i.points {
+	for _, name := range names {
+		ps := i.points[name]
 		for _, h := range ps.held {
 			release = append(release, h.release)
 		}

@@ -1,0 +1,163 @@
+// Package analysis is the repo-local core of the l25gc-lint static
+// checkers: a deliberately small, API-shaped subset of
+// golang.org/x/tools/go/analysis. The x/tools module is not vendored
+// (the build is hermetic — stdlib only), so the four invariant
+// analyzers (determinism, replaysafe, nomutexhold, metricnames) are
+// written against this package instead. The shapes match the upstream
+// framework closely enough that an analyzer body could be ported to the
+// real go/analysis driver by changing only imports.
+//
+// Two run models exist:
+//
+//   - per-package analyzers (the default): Run is called once per loaded
+//     package with that package's Pass.
+//   - whole-program analyzers (ProgramLevel=true): Run is called exactly
+//     once, with a Pass whose Pkg is nil and whose Program holds every
+//     loaded package — this is how replaysafe walks call chains across
+//     package boundaries without a facts serialization layer.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //l25gc:allow <name> directives.
+	Name string
+	// Doc is the one-paragraph rule statement shown by l25gc-lint -help.
+	Doc string
+	// ProgramLevel selects the whole-program run model (see package doc).
+	ProgramLevel bool
+	// Run reports diagnostics through pass.Report. The result value is
+	// unused by the driver and exists for API symmetry with x/tools.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Signature returns fn's signature. It is the (*types.Func).Signature
+// accessor, which upstream gained only in go1.23 — the module pins
+// go1.22, so analyzers use this assertion helper instead.
+func Signature(fn *types.Func) *types.Signature {
+	return fn.Type().(*types.Signature)
+}
+
+// Diagnostic is one finding, anchored at a position in the analyzed
+// source.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string // filled by the driver; the rule an allow must name
+	Message  string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Requested marks packages matched by the load patterns themselves
+	// (vs. dependencies pulled in for type information). Per-package
+	// analyzers run only on requested packages.
+	Requested bool
+}
+
+// Program is the full loaded package set, sharing one FileSet and one
+// type-checker universe: a *types.Func seen through package A's Info is
+// the same object as the one declared in package B, which is what makes
+// cross-package call-graph walks possible without fact encoding.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	funcDecls map[*types.Func]*ast.FuncDecl
+	declPkgs  map[*types.Func]*Package
+}
+
+// Pass carries one analyzer invocation's inputs and its Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the package under analysis (nil for ProgramLevel runs).
+	Pkg *Package
+	// Program is always set: per-package analyzers may still consult
+	// sibling packages (metricnames reads name tables from wherever they
+	// are declared).
+	Program *Program
+	Report  func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: msg})
+}
+
+// FuncDecl returns the syntax of fn when it was loaded from source in
+// this program, or nil for functions of packages imported only through
+// export data (stdlib) and for funcs without bodies.
+func (pr *Program) FuncDecl(fn *types.Func) *ast.FuncDecl {
+	pr.buildIndex()
+	return pr.funcDecls[fn]
+}
+
+// FuncPackage returns the loaded package declaring fn (nil when fn is
+// not from a source-loaded package).
+func (pr *Program) FuncPackage(fn *types.Func) *Package {
+	pr.buildIndex()
+	return pr.declPkgs[fn]
+}
+
+// buildIndex lazily maps every source-loaded *types.Func to its decl.
+func (pr *Program) buildIndex() {
+	if pr.funcDecls != nil {
+		return
+	}
+	pr.funcDecls = make(map[*types.Func]*ast.FuncDecl)
+	pr.declPkgs = make(map[*types.Func]*Package)
+	for _, pkg := range pr.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if fn, ok := obj.(*types.Func); ok {
+					pr.funcDecls[fn] = fd
+					pr.declPkgs[fn] = pkg
+				}
+			}
+		}
+	}
+}
+
+// Callee resolves the static callee of call as seen through info:
+// package-level functions, methods with concrete receivers, and
+// interface methods (returned as the interface's *types.Func — callers
+// decide whether an unresolvable dynamic target matters). Calls through
+// function values and built-ins return nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			obj = sel.Obj()
+		} else {
+			// Qualified identifier: pkg.Func.
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Inspect walks every file of pkg in depth-first order.
+func (pkg *Package) Inspect(fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

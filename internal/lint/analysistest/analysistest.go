@@ -1,0 +1,115 @@
+// Package analysistest runs one analyzer over a testdata directory and
+// checks its filtered diagnostics against `// want "regexp"` comments —
+// the repo-local equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Semantics:
+//
+//   - Every diagnostic must be matched by a want expectation on its
+//     line, and every expectation must match exactly one diagnostic.
+//   - Diagnostics pass through the //l25gc:allow filter first, exactly
+//     as the l25gc-lint driver applies it — so golden tests can prove
+//     both that an allow suppresses a finding and that an unused allow
+//     is itself reported (those arrive under the "directive" rule).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"l25gc/internal/lint/analysis"
+	"l25gc/internal/lint/directive"
+	"l25gc/internal/lint/load"
+)
+
+// expectation is one `// want "re"` clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hits int
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads dir as one package, applies analyzers, filters through the
+// allow directives, and diffs against want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := load.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	pkg := prog.Packages[0]
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		pass := &analysis.Pass{Analyzer: a, Fset: prog.Fset, Program: prog, Report: report}
+		if !a.ProgramLevel {
+			pass.Pkg = pkg
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	var allFiles []*ast.File
+	for _, p := range prog.Packages {
+		allFiles = append(allFiles, p.Files...)
+	}
+	set := directive.Scan(prog.Fset, allFiles)
+	diags = directive.Filter(prog.Fset, set, diags)
+
+	// Collect want expectations from every comment (helper subpackages
+	// included — program-level analyzers may report into them).
+	var wants []*expectation
+	for _, f := range allFiles {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 || !strings.HasPrefix(c.Text, "//") {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hits == 0 && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fmtPos(pos), d.Analyzer+": "+d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func fmtPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+}

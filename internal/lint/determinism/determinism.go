@@ -1,0 +1,205 @@
+// Package determinism forbids wall-clock and ambient-randomness APIs in
+// the packages on the seeded-replay path. The supervisor's promote →
+// replay story (DESIGN §9) and the seeded chaos suite only hold if the
+// code replay re-executes is a pure function of (checkpoint, logged
+// messages, seed); one stray time.Now or global rand call silently
+// breaks that contract. Three rules:
+//
+//  1. no calls to the non-deterministic time APIs (Now, Since, Until,
+//     Sleep, After, AfterFunc, Tick, NewTimer, NewTicker) — inject a
+//     monotonic/simulated clock (trace.NewWithClock, netsim.(*Sim).Now)
+//     or a Sleep func instead;
+//  2. no package-level math/rand calls — use a seeded *rand.Rand
+//     (methods on an injected Rand are fine, faults.Injector-style);
+//  3. no map iterations whose order can leak: a `range` over a map that
+//     sends on a channel, or appends to a slice that is not sorted
+//     later in the same function, produces schedule-dependent output.
+//
+// Scope: the packages listed in ReplayPathPackages, plus any file
+// carrying a //l25gc:deterministic comment (the AMF/SMF snapshotter
+// files opt in this way — their packages host live network paths, but
+// the snapshot encoding itself must be deterministic). Intentional
+// wall-clock machinery (probe tickers, checkpoint cadence) is annotated
+// //l25gc:allow determinism <reason> at the call site.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"l25gc/internal/lint/analysis"
+	"l25gc/internal/lint/directive"
+)
+
+// ReplayPathPackages are the import paths the analyzer always covers:
+// everything the supervisor replays through, the fault injector whose
+// schedule must be seed-pure, the simulated network, and the overload
+// feedback that gates what replay re-admits.
+var ReplayPathPackages = map[string]bool{
+	"l25gc/internal/supervisor": true,
+	"l25gc/internal/resilience": true,
+	"l25gc/internal/faults":     true,
+	"l25gc/internal/netsim":     true,
+	"l25gc/internal/overload":   true,
+}
+
+// DeniedTime are the time package functions that read or wait on the
+// wall clock. Exported so replaysafe enforces the identical set on its
+// transitive walk.
+var DeniedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// RandConstructors are the math/rand package-level functions that build
+// a local generator rather than drawing from the global source; they are
+// exactly what the seeded-*rand.Rand idiom calls, so both analyzers
+// exempt them.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 sources
+}
+
+// RandConstructor reports whether name is an exempt math/rand
+// constructor (shared with replaysafe).
+func RandConstructor(name string) bool { return randConstructors[name] }
+
+// Analyzer is the determinism invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, ambient-rand and map-order leaks on the replay path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pkg := pass.Pkg
+	inScope := ReplayPathPackages[pkg.Path]
+	set := directive.Scan(pass.Fset, pkg.Files)
+	for _, f := range pkg.Files {
+		if !inScope && !set.DeterministicFiles[pass.Fset.Position(f.Pos()).Filename] {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil, nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkRange(pass, n, enclosingFunc(f, n))
+		}
+		return true
+	})
+}
+
+// checkCall flags denied time and global math/rand calls.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if DeniedTime[fn.Name()] && analysis.Signature(fn).Recv() == nil {
+			pass.Reportf(call.Pos(), "call to time."+fn.Name()+
+				" on the replay path; inject a clock/sleep function instead")
+		}
+	case "math/rand", "math/rand/v2":
+		// rand.New(rand.NewSource(seed)) is the blessed construction of a
+		// seeded generator; every other package-level function draws from
+		// the shared global source.
+		if analysis.Signature(fn).Recv() == nil && !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand."+fn.Name()+
+				" on the replay path; use a seeded *rand.Rand")
+		}
+	}
+}
+
+// checkRange flags map iterations whose order can escape: channel sends
+// from the loop body, and appends to slices that the enclosing function
+// never sorts afterwards.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, fn *ast.FuncDecl) {
+	tv, ok := pass.Pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map iteration leaks map order")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Pkg.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst := types.ExprString(n.Lhs[i])
+				if fn == nil || !sortedLater(pass, fn, dst) {
+					pass.Reportf(n.Pos(), "append to "+dst+
+						" inside a map iteration leaks map order; sort it before use")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortFuncs are the call targets that establish a deterministic order
+// over a slice.
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Strings": true, "Ints": true, "SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedLater reports whether fn's body contains a sort.*/slices.Sort*
+// call whose first argument renders as dst.
+func sortedLater(pass *analysis.Pass, fn *ast.FuncDecl, dst string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || found {
+			return !found
+		}
+		callee := analysis.Callee(pass.Pkg.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+			if sortFuncs[callee.Name()] && types.ExprString(call.Args[0]) == dst {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFunc returns the FuncDecl of f lexically containing n.
+func enclosingFunc(f *ast.File, n ast.Node) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Pos() <= n.Pos() && n.End() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

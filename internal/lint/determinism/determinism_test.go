@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"l25gc/internal/lint/analysistest"
+	"l25gc/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/determinism", determinism.Analyzer)
+}

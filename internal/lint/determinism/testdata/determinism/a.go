@@ -1,0 +1,39 @@
+// Golden input for the determinism analyzer. The package path is not on
+// the built-in replay-path list, so this file opts in:
+//
+//l25gc:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now()               // want "call to time.Now"
+	time.Sleep(time.Millisecond) // want "call to time.Sleep"
+	_ = time.Since(time.Time{})  // want "call to time.Since"
+	_ = time.After(time.Second)  // want "call to time.After"
+}
+
+func rng(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded constructors: fine
+	_ = rand.Intn(4)                    // want "global math/rand.Intn"
+	rand.Shuffle(2, func(i, j int) {})  // want "global math/rand.Shuffle"
+	return r.Intn(4)                    // method on the seeded Rand: fine
+}
+
+func mapOrder(m map[string]int, ch chan string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // sorted below: fine
+	}
+	sort.Strings(out)
+	var bad []string
+	for k := range m {
+		bad = append(bad, k) // want "append to bad inside a map iteration"
+		ch <- k              // want "channel send inside a map iteration"
+	}
+	return bad
+}

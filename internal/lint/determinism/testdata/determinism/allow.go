@@ -1,0 +1,27 @@
+//l25gc:deterministic
+package determinism
+
+import "time"
+
+// suppressOne proves an allow consumes exactly one diagnostic: the
+// first time.Now is excused, the identical call on the next line is
+// still reported.
+func suppressOne() {
+	//l25gc:allow determinism wall-clock is intentional in this probe
+	_ = time.Now()
+	_ = time.Now() // want "call to time.Now"
+}
+
+// trailing proves the same-line form binds to its own line.
+func trailing() {
+	_ = time.Now() //l25gc:allow determinism wall-clock is intentional here too
+}
+
+// An allow that excuses nothing is itself an error, as is an unknown
+// directive verb.
+func unused() {
+	//l25gc:allow determinism nothing to suppress here // want "unused //l25gc:allow determinism"
+	_ = 1
+}
+
+//l25gc:frobnicate // want "unknown //l25gc: directive frobnicate"

@@ -1,0 +1,172 @@
+// Package directive implements the //l25gc: comment grammar shared by
+// the invariant analyzers and the lint driver:
+//
+//	//l25gc:allow <rule> <reason>   suppress exactly one diagnostic of
+//	                                <rule> on this line (or the next line
+//	                                when the comment stands alone); the
+//	                                reason is mandatory and an allow that
+//	                                suppresses nothing is itself an error
+//	//l25gc:replay                  (func doc) replaysafe walk root: this
+//	                                function runs during supervisor replay
+//	//l25gc:commit <reason>         (func doc) output-commit boundary: the
+//	                                replaysafe walk stops here (effects
+//	                                past this point are deduplicated or
+//	                                intentionally re-emitted)
+//	//l25gc:deterministic           (anywhere in a file) opt this file
+//	                                into the determinism analyzer even if
+//	                                its package is not on the built-in
+//	                                replay-path list
+//
+// The grammar is deliberately line-oriented and greppable: an auditor
+// can list every escape hatch in the tree with `grep -rn l25gc:allow`.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"l25gc/internal/lint/analysis"
+)
+
+const prefix = "//l25gc:"
+
+// Allow is one parsed //l25gc:allow directive.
+type Allow struct {
+	Pos    token.Pos
+	Line   int
+	Rule   string
+	Reason string
+	used   bool
+}
+
+// Set holds every directive of one package.
+type Set struct {
+	fset   *token.FileSet
+	Allows []*Allow
+	// DeterministicFiles maps the file name (fset position filename) of
+	// every file carrying //l25gc:deterministic.
+	DeterministicFiles map[string]bool
+	// Malformed collects grammar errors (allow without rule or reason),
+	// reported by Filter under the "directive" rule.
+	Malformed []analysis.Diagnostic
+}
+
+// Scan parses every //l25gc: directive in files.
+func Scan(fset *token.FileSet, files []*ast.File) *Set {
+	s := &Set{fset: fset, DeterministicFiles: map[string]bool{}}
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok {
+					continue
+				}
+				verb, rest, _ := strings.Cut(text, " ")
+				rest = strings.TrimSpace(rest)
+				switch verb {
+				case "allow":
+					rule, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					if rule == "" || reason == "" {
+						s.Malformed = append(s.Malformed, analysis.Diagnostic{
+							Pos: c.Pos(), Analyzer: "directive",
+							Message: "malformed //l25gc:allow: want `//l25gc:allow <rule> <reason>`",
+						})
+						continue
+					}
+					s.Allows = append(s.Allows, &Allow{
+						Pos: c.Pos(), Line: fset.Position(c.Pos()).Line,
+						Rule: rule, Reason: reason,
+					})
+				case "deterministic":
+					s.DeterministicFiles[fname] = true
+				case "replay", "commit":
+					// Attached to declarations; read via IsReplayRoot/IsCommit.
+				default:
+					s.Malformed = append(s.Malformed, analysis.Diagnostic{
+						Pos: c.Pos(), Analyzer: "directive",
+						Message: "unknown //l25gc: directive " + strings.Trim(verb, " "),
+					})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// hasFuncDirective reports whether fd's doc comment carries verb.
+func hasFuncDirective(fd *ast.FuncDecl, verb string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, prefix); ok {
+			v, _, _ := strings.Cut(text, " ")
+			if v == verb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsReplayRoot reports whether fd is annotated //l25gc:replay.
+func IsReplayRoot(fd *ast.FuncDecl) bool { return hasFuncDirective(fd, "replay") }
+
+// IsCommit reports whether fd is annotated //l25gc:commit.
+func IsCommit(fd *ast.FuncDecl) bool { return hasFuncDirective(fd, "commit") }
+
+// Filter applies the allow directives of set to diags: each allow
+// consumes at most one diagnostic of its rule on its own line (or, for
+// a stand-alone comment line, the line below). The returned slice holds
+// the surviving diagnostics plus one "directive" diagnostic per
+// malformed or unused allow, sorted by position.
+func Filter(fset *token.FileSet, set *Set, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	// Same-line matches bind before next-line matches so an allow never
+	// "steals" a suppression from the line it targets.
+	kept := make([]analysis.Diagnostic, 0, len(diags))
+	consumed := make([]bool, len(diags))
+	match := func(sameLine bool) {
+		for _, a := range set.Allows {
+			if a.used {
+				continue
+			}
+			for i := range diags {
+				if consumed[i] || diags[i].Analyzer != a.Rule {
+					continue
+				}
+				dpos := fset.Position(diags[i].Pos)
+				apos := fset.Position(a.Pos)
+				if dpos.Filename != apos.Filename {
+					continue
+				}
+				if (sameLine && dpos.Line == a.Line) || (!sameLine && dpos.Line == a.Line+1) {
+					a.used = true
+					consumed[i] = true
+					break
+				}
+			}
+		}
+	}
+	match(true)
+	match(false)
+	for i := range diags {
+		if !consumed[i] {
+			kept = append(kept, diags[i])
+		}
+	}
+	kept = append(kept, set.Malformed...)
+	for _, a := range set.Allows {
+		if !a.used {
+			kept = append(kept, analysis.Diagnostic{
+				Pos: a.Pos, Analyzer: "directive",
+				Message: "unused //l25gc:allow " + a.Rule + " (no diagnostic suppressed; delete it)",
+			})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept
+}

@@ -1,0 +1,69 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"l25gc/internal/lint/analysis"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestAllowMissingReasonIsMalformed(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//l25gc:allow determinism
+var X = 1
+`)
+	set := Scan(fset, []*ast.File{f})
+	if len(set.Allows) != 0 {
+		t.Fatalf("allow without reason parsed as valid: %+v", set.Allows[0])
+	}
+	if len(set.Malformed) != 1 || !strings.Contains(set.Malformed[0].Message, "malformed") {
+		t.Fatalf("want one malformed diagnostic, got %+v", set.Malformed)
+	}
+	if out := Filter(fset, set, nil); len(out) != 1 {
+		t.Fatalf("Filter must surface the malformed directive, got %d diagnostics", len(out))
+	}
+}
+
+func TestSameLineBindsBeforeNextLine(t *testing.T) {
+	fset, f := parse(t, `package p
+
+var A = 1 //l25gc:allow rule covers this very line
+var B = 2
+`)
+	set := Scan(fset, []*ast.File{f})
+	if len(set.Allows) != 1 {
+		t.Fatalf("want one allow, got %d", len(set.Allows))
+	}
+	line := set.Allows[0].Line
+	mk := func(ln int) analysis.Diagnostic {
+		var pos token.Pos
+		fset.Iterate(func(file *token.File) bool {
+			pos = file.LineStart(ln)
+			return false
+		})
+		return analysis.Diagnostic{Pos: pos, Analyzer: "rule", Message: "m"}
+	}
+	// One diagnostic on the allow's own line, one on the next: the
+	// same-line one is consumed, the next-line one survives.
+	out := Filter(fset, set, []analysis.Diagnostic{mk(line), mk(line + 1)})
+	if len(out) != 1 {
+		t.Fatalf("want exactly one surviving diagnostic, got %d", len(out))
+	}
+	if got := fset.Position(out[0].Pos).Line; got != line+1 {
+		t.Fatalf("survivor on line %d, want %d", got, line+1)
+	}
+}

@@ -1,0 +1,316 @@
+// Package load turns `go list` output into the type-checked
+// analysis.Program the lint driver runs over. The strategy mirrors what
+// golang.org/x/tools/go/packages does, implemented on the standard
+// library alone:
+//
+//   - `go list -deps -export -json <patterns>` enumerates the package
+//     graph in dependency order and, as a side effect of -export, makes
+//     the build cache hold current export data for every dependency.
+//   - Packages outside the standard library are parsed and type-checked
+//     from source, in that dependency order, all in one *token.FileSet
+//     and one type-checker universe.
+//   - Standard-library imports resolve through the gc export-data
+//     importer, fed by the Export file paths go list reported — no
+//     source type-checking of the stdlib, and no network or module
+//     downloads anywhere.
+//
+// Only non-test GoFiles are loaded: the invariants the analyzers
+// enforce (deterministic replay, hot-path discipline) are properties of
+// shipped code; tests drive wall clocks and goroutines freely.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"l25gc/internal/lint/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with args in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Dir,Export,Standard,GoFiles,Imports,Error"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup caches stdlib export-data paths across loads (analysistest
+// loads many small testdata packages; each re-listing the stdlib would
+// dominate the test's runtime).
+var exportLookup = struct {
+	sync.Mutex
+	paths map[string]string
+}{paths: map[string]string{}}
+
+// stdlibExports ensures export-data paths are cached for every listed
+// stdlib package path in paths (and their dependencies).
+func stdlibExports(dir string, paths []string) error {
+	exportLookup.Lock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportLookup.paths[p]; !ok && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	exportLookup.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	listed, err := goList(dir, append([]string{"-deps", "-export"}, missing...)...)
+	if err != nil {
+		return err
+	}
+	exportLookup.Lock()
+	defer exportLookup.Unlock()
+	for _, p := range listed {
+		if p.Export != "" {
+			exportLookup.paths[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// hybridImporter resolves imports during source type-checking: already
+// source-checked packages by identity, everything else through gc
+// export data.
+type hybridImporter struct {
+	fset    *token.FileSet
+	source  map[string]*types.Package
+	exports map[string]string
+	gc      types.ImporterFrom
+}
+
+func newHybridImporter(fset *token.FileSet, exports map[string]string) *hybridImporter {
+	h := &hybridImporter{fset: fset, source: map[string]*types.Package{}, exports: exports}
+	h.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := h.exports[path]
+		if !ok {
+			exportLookup.Lock()
+			f, ok = exportLookup.paths[path]
+			exportLookup.Unlock()
+		}
+		if !ok {
+			return nil, fmt.Errorf("lint/load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}).(types.ImporterFrom)
+	return h
+}
+
+func (h *hybridImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := h.source[path]; ok {
+		return p, nil
+	}
+	return h.gc.ImportFrom(path, "", 0)
+}
+
+// Load lists patterns in dir (a module directory; "" = cwd) and returns
+// the type-checked program over every matched non-stdlib package.
+func Load(dir string, patterns ...string) (*analysis.Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	requested := map[string]bool{}
+	for _, p := range roots {
+		requested[p.ImportPath] = true
+	}
+	exports := map[string]string{}
+	var local []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint/load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			local = append(local, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newHybridImporter(fset, exports)
+	prog := &analysis.Program{Fset: fset}
+	// go list -deps emits dependencies before dependents, so every import
+	// of a local package is already source-checked when needed.
+	for _, p := range local {
+		pkg, err := checkPackage(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Requested = requested[p.ImportPath]
+		imp.source[p.ImportPath] = pkg.Types
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// LoadDir type-checks the .go files of one plain directory (no module
+// context) as a single package — the analysistest entry point.
+// Immediate subdirectories are loaded first as importable helper
+// packages under their bare directory name (`import "ring"` resolves to
+// dir/ring), so a golden test can model cross-package rules — a fake
+// ring, sbi or metrics package — without touching the real module.
+// Remaining imports must be standard library.
+func LoadDir(dir string) (*analysis.Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files, subdirs []string
+	for _, e := range entries {
+		switch {
+		case e.IsDir():
+			subdirs = append(subdirs, e.Name())
+		case strings.HasSuffix(e.Name(), ".go"):
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	sort.Strings(subdirs)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint/load: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := newHybridImporter(fset, nil)
+	prog := &analysis.Program{Fset: fset}
+
+	parseAll := func(d string) ([]*ast.File, []string, error) {
+		names, err := os.ReadDir(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		var parsed []*ast.File
+		imports := map[string]bool{}
+		for _, e := range names {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(d, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, err
+			}
+			parsed = append(parsed, f)
+			for _, im := range f.Imports {
+				imports[strings.Trim(im.Path.Value, `"`)] = true
+			}
+		}
+		var paths []string
+		for p := range imports {
+			if _, local := imp.source[p]; !local {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		return parsed, paths, nil
+	}
+
+	check := func(path, d string) (*analysis.Package, error) {
+		parsed, std, err := parseAll(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := stdlibExports(dir, std); err != nil {
+			return nil, err
+		}
+		pkg, err := checkFiles(fset, imp, path, parsed)
+		if err != nil {
+			return nil, err
+		}
+		imp.source[path] = pkg.Types
+		return pkg, nil
+	}
+
+	for _, sub := range subdirs {
+		pkg, err := check(sub, filepath.Join(dir, sub))
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	main, err := check("testdata/"+filepath.Base(dir), dir)
+	if err != nil {
+		return nil, err
+	}
+	// The package under test is canonically Packages[0].
+	prog.Packages = append([]*analysis.Package{main}, prog.Packages...)
+	return prog, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkFiles(fset, imp, path, files)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*analysis.Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint/load: type-check %s: %v", path, err)
+	}
+	return &analysis.Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}

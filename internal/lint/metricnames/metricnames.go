@@ -1,0 +1,249 @@
+// Package metricnames generalizes the TestRegistryNameSet invariant:
+// every name handed to the metrics registry or the span tracer must
+// match the checked-in name tables (`LintNames` in internal/metrics and
+// internal/trace). The tables are the single source of truth dashboards
+// and bench baselines key on; an unreviewed name is either a typo
+// (splitting a counter from its readers) or a new observable that must
+// be registered deliberately.
+//
+// Matching works on the *shape* of the argument expression: constant
+// strings (including concatenations of constants) match exactly;
+// runtime-built names ("supervisor." + unit + ".detect") reduce to a
+// glob — "supervisor.*.detect" — which must intersect a table pattern.
+// Table entries may themselves contain '*' wildcards, so one entry
+// covers a per-unit or per-class family. A literal that could never
+// match any table entry is reported at the call site.
+//
+// The tables are discovered in the loaded program by variable name
+// (`LintNames []string`), so testdata packages can carry their own.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"l25gc/internal/lint/analysis"
+)
+
+// Analyzer is the metric/span name-table checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "metrics.Registry and trace span/track/event names must match the LintNames tables",
+	Run:  run,
+}
+
+// nameArg says which argument of (package-basename, function) carries a
+// registry or trace name. Methods and package functions share the map;
+// the receiver is not part of the key because the repo has exactly one
+// metrics and one trace package (testdata fakes use the same shapes).
+var nameArg = map[[2]string]int{
+	{"metrics", "NewCounter"}:        0,
+	{"metrics", "NewSeries"}:         0,
+	{"metrics", "NewSeriesSim"}:      0,
+	{"metrics", "RegisterGauge"}:     0,
+	{"metrics", "RegisterHistogram"}: 0,
+	{"metrics", "Counter"}:           0,
+	{"metrics", "Histogram"}:         0,
+	{"trace", "NewTrack"}:            1,
+	{"trace", "Start"}:               -1, // Track.Start(name) / Tracer.Start(track, name)
+	{"trace", "Event"}:               -1, // Track.Event(name, ...) / Tracer.Event(track, name, ...)
+	{"trace", "Child"}:               0,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	table := collectTables(pass.Program)
+	if len(table) == 0 {
+		return nil, nil
+	}
+	info := pass.Pkg.Info
+	pass.Pkg.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		base := path[strings.LastIndex(path, "/")+1:]
+		argIdx, ok := nameArg[[2]string{base, fn.Name()}]
+		if !ok {
+			return true
+		}
+		for _, idx := range nameArgIndices(fn, argIdx) {
+			if idx >= len(call.Args) {
+				continue
+			}
+			shape, isName := shapeOf(info, call.Args[idx])
+			if !isName {
+				continue
+			}
+			if !matchesAny(shape, table) {
+				pass.Reportf(call.Args[idx].Pos(), "name "+describe(shape)+
+					" is not covered by any LintNames entry; register it in the name table")
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// nameArgIndices resolves the -1 convention: Tracer.Start/Event name
+// both the track (arg 0) and the span/event (arg 1); Track and Span
+// methods name only arg 0.
+func nameArgIndices(fn *types.Func, idx int) []int {
+	if idx >= 0 {
+		return []int{idx}
+	}
+	recv := analysis.Signature(fn).Recv()
+	if recv == nil {
+		return []int{0}
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Tracer" {
+		return []int{0, 1}
+	}
+	return []int{0}
+}
+
+// collectTables gathers every `LintNames` string-slice declaration in
+// the program.
+func collectTables(prog *analysis.Program) []string {
+	var table []string
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "LintNames" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						for _, elt := range cl.Elts {
+							if s, ok := constString(pkg.Info, elt); ok {
+								table = append(table, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return table
+}
+
+// constString evaluates e as a compile-time string.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// shapeOf reduces a name expression to a glob: constant substrings stay
+// literal, dynamic parts become '*'. The second result is false when
+// the expression is entirely dynamic AND not a concatenation — a bare
+// variable carries a name decided elsewhere (at its construction site,
+// which the analyzer checks there), so only expressions with at least
+// one literal component are enforced.
+func shapeOf(info *types.Info, e ast.Expr) (string, bool) {
+	if s, ok := constString(info, e); ok {
+		return s, true
+	}
+	var b strings.Builder
+	hasLiteral := flatten(info, e, &b)
+	return b.String(), hasLiteral
+}
+
+// flatten renders e into b, returning whether any literal part exists.
+func flatten(info *types.Info, e ast.Expr, b *strings.Builder) bool {
+	if s, ok := constString(info, e); ok {
+		b.WriteString(s)
+		return true
+	}
+	if bin, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && bin.Op.String() == "+" {
+		l := flatten(info, bin.X, b)
+		r := flatten(info, bin.Y, b)
+		return l || r
+	}
+	b.WriteString("*")
+	return false
+}
+
+// matchesAny reports whether shape's glob intersects any table glob:
+// some concrete string exists that both patterns generate.
+func matchesAny(shape string, table []string) bool {
+	for _, pat := range table {
+		if globsIntersect(shape, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// globsIntersect decides non-empty intersection of two '*'-globs with a
+// product-NFA reachability sweep: state (i,j) means a common string can
+// reach a[i:] vs b[j:].
+func globsIntersect(a, b string) bool {
+	type state struct{ i, j int }
+	seen := map[state]bool{}
+	stack := []state{{0, 0}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if s.i == len(a) && s.j == len(b) {
+			return true
+		}
+		// '*' matches the empty string.
+		if s.i < len(a) && a[s.i] == '*' {
+			stack = append(stack, state{s.i + 1, s.j})
+		}
+		if s.j < len(b) && b[s.j] == '*' {
+			stack = append(stack, state{s.i, s.j + 1})
+		}
+		// Consume one concrete character on both sides.
+		if s.i < len(a) && s.j < len(b) {
+			ai, bj := a[s.i], b[s.j]
+			switch {
+			case ai == '*' && bj == '*':
+				stack = append(stack, state{s.i + 1, s.j + 1})
+			case ai == '*':
+				stack = append(stack, state{s.i, s.j + 1}) // '*' absorbs bj
+			case bj == '*':
+				stack = append(stack, state{s.i + 1, s.j}) // '*' absorbs ai
+			case ai == bj:
+				stack = append(stack, state{s.i + 1, s.j + 1})
+			}
+		}
+	}
+	return false
+}
+
+func describe(shape string) string {
+	if strings.Contains(shape, "*") {
+		return "with shape \"" + shape + "\""
+	}
+	return "\"" + shape + "\""
+}

@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"l25gc/internal/lint/analysistest"
+	"l25gc/internal/lint/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, "testdata/metricnames", metricnames.Analyzer)
+}

@@ -1,0 +1,21 @@
+// Golden input for the metricnames analyzer: constant names match
+// exactly, runtime-built names reduce to globs that must intersect a
+// table entry, and bare dynamic variables are skipped (their name was
+// checked where it was built).
+package metricnames
+
+import (
+	"metrics"
+	"trace"
+)
+
+func register(r *metrics.Registry, unit string, tk *trace.Track) {
+	r.NewCounter("good.counter")               // registered: fine
+	r.NewCounter("family." + unit + ".hits")   // glob family intersects: fine
+	r.NewCounter("bad.counter")                // want `name "bad.counter" is not covered`
+	r.NewCounter("family." + unit + ".misses") // want `with shape "family\.\*\.misses" is not covered`
+	r.NewCounter(unit)                         // bare dynamic: skipped
+	r.RegisterGauge("good.counter", nil)       // fine
+	tk.Start("span.ok")                        // fine
+	tk.Start("span.bad")                       // want `name "span.bad" is not covered`
+}

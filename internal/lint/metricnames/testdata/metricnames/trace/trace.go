@@ -1,0 +1,10 @@
+// Package trace is a minimal stand-in for the repo's internal/trace.
+package trace
+
+type Track struct{}
+
+func (t *Track) Start(name string) {}
+
+var LintNames = []string{
+	"span.ok",
+}

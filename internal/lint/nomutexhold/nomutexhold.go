@@ -1,0 +1,278 @@
+// Package nomutexhold flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held — the lost-wakeup/stall class the
+// sharded-switch work fixed by hand (DESIGN §11): a goroutine that
+// parks on a channel send, a ring enqueue's notify path, or a
+// synchronous SBI/PFCP round trip while holding a lock can deadlock
+// against the very consumer that would drain it, or stall every sibling
+// contending for the lock.
+//
+// The analysis is per-function and lexical: a region opens at
+// x.Lock()/x.RLock() and closes at the matching x.Unlock()/x.RUnlock()
+// in the same statement sequence; `defer x.Unlock()` holds x for the
+// rest of the function. Inside an open region the analyzer reports:
+//
+//   - channel send statements, unless non-blocking (a select case with
+//     a default clause);
+//   - time.Sleep;
+//   - ring enqueues (package path ending in internal/ring or "ring",
+//     method Enqueue/EnqueueBulk);
+//   - synchronous SBI calls (package ...sbi, method/func Invoke) and
+//     PFCP calls (package ...pfcp, method/func Request).
+//
+// Calls into other functions of the same package are NOT traversed —
+// the rule is about what a critical section does directly, and the
+// repo's intentional "apply under the unit lock" pattern (supervisor
+// ingress) relies on helpers being analyzed in their own frame.
+// Intentional non-blocking sends to buffered channels use
+// //l25gc:allow nomutexhold <reason>.
+package nomutexhold
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"l25gc/internal/lint/analysis"
+)
+
+// Analyzer is the held-mutex discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "nomutexhold",
+	Doc:  "no channel sends, ring enqueues, or blocking SBI/PFCP calls while holding a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Every function body — declarations and literals alike — is its own
+	// frame: a goroutine or closure body does not inherit its creator's
+	// critical section, but may open one of its own. The statement walk
+	// below never descends into nested FuncLits, so this outer Inspect is
+	// the single place each body is entered, exactly once.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				c := &checker{pass: pass}
+				c.stmts(body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// deferred holds lock-holder expressions whose Unlock is deferred —
+	// held until function exit regardless of block structure.
+	deferred []string
+}
+
+// stmts walks one statement sequence. held maps the canonical receiver
+// expression of each currently held mutex; nested blocks see a copy, so
+// a Lock inside an if-branch does not leak past it.
+func (c *checker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if holder, kind := lockCall(c.pass.Pkg.Info, call); holder != "" {
+				switch kind {
+				case lockAcquire:
+					held[holder] = true
+				case lockRelease:
+					delete(held, holder)
+				}
+				return
+			}
+		}
+		c.expr(s.X, held)
+	case *ast.DeferStmt:
+		if holder, kind := lockCall(c.pass.Pkg.Info, s.Call); holder != "" && kind == lockRelease {
+			c.deferred = append(c.deferred, holder)
+			return
+		}
+		// The deferred call itself runs at function exit — outside any
+		// lexical region except deferred-held locks; conservatively skip.
+	case *ast.SendStmt:
+		c.flagSend(s, held)
+	case *ast.GoStmt:
+		// A spawned goroutine runs outside this critical section.
+	case *ast.BlockStmt:
+		c.stmts(s.List, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		c.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			c.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		c.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		c.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		c.selectStmt(s, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.expr(rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, held)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	}
+}
+
+// selectStmt: a select with a default clause is non-blocking — its
+// sends are the sanctioned try-send idiom. Without default, every comm
+// clause blocks.
+func (c *checker) selectStmt(s *ast.SelectStmt, held map[string]bool) {
+	hasDefault := false
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault {
+			c.flagSend(send, held)
+		}
+		c.stmts(cc.Body, copyHeld(held))
+	}
+}
+
+// expr flags blocking calls appearing in expression position.
+func (c *checker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held)+len(c.deferred) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its body runs in its own frame
+		case *ast.CallExpr:
+			c.flagCall(n, held)
+		}
+		return true
+	})
+}
+
+func (c *checker) anyHeld(held map[string]bool) (string, bool) {
+	for h := range held {
+		return h, true
+	}
+	if len(c.deferred) > 0 {
+		return c.deferred[0], true
+	}
+	return "", false
+}
+
+func (c *checker) flagSend(s *ast.SendStmt, held map[string]bool) {
+	if h, ok := c.anyHeld(held); ok {
+		c.pass.Reportf(s.Pos(), "channel send while holding "+h+
+			" (lost-wakeup/stall risk); move the send outside the critical section")
+	}
+}
+
+// blockingCall classifies callee as a known blocking API ("" = not).
+func blockingCall(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	base := path[strings.LastIndex(path, "/")+1:]
+	switch {
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case base == "ring" && strings.HasPrefix(fn.Name(), "Enqueue"):
+		return "ring " + fn.Name()
+	case base == "sbi" && fn.Name() == "Invoke":
+		return "SBI Invoke"
+	case base == "pfcp" && fn.Name() == "Request":
+		return "PFCP Request"
+	}
+	return ""
+}
+
+func (c *checker) flagCall(call *ast.CallExpr, held map[string]bool) {
+	h, ok := c.anyHeld(held)
+	if !ok {
+		return
+	}
+	if what := blockingCall(analysis.Callee(c.pass.Pkg.Info, call)); what != "" {
+		c.pass.Reportf(call.Pos(), "blocking "+what+" while holding "+h+
+			"; release the lock first")
+	}
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCall recognizes x.Lock/RLock/Unlock/RUnlock where the method's
+// receiver is sync.Mutex or sync.RWMutex (including promoted fields),
+// returning the canonical holder expression.
+func lockCall(info *types.Info, call *ast.CallExpr) (string, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	holder := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return holder, lockAcquire
+	case "Unlock", "RUnlock":
+		return holder, lockRelease
+	}
+	return "", lockNone
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k := range held {
+		cp[k] = true
+	}
+	return cp
+}

@@ -1,0 +1,12 @@
+package nomutexhold_test
+
+import (
+	"testing"
+
+	"l25gc/internal/lint/analysistest"
+	"l25gc/internal/lint/nomutexhold"
+)
+
+func TestNoMutexHold(t *testing.T) {
+	analysistest.Run(t, "testdata/nomutexhold", nomutexhold.Analyzer)
+}

@@ -1,0 +1,82 @@
+// Golden input for the nomutexhold analyzer.
+package nomutexhold
+
+import (
+	"sync"
+	"time"
+
+	"ring"
+	"sbi"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	q  *ring.Q
+}
+
+func (s *S) bad() {
+	s.mu.Lock()
+	s.ch <- 1                    // want "channel send while holding s.mu"
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep while holding s.mu"
+	s.q.Enqueue(1)               // want "blocking ring Enqueue while holding s.mu"
+	_ = sbi.Invoke("op")         // want "blocking SBI Invoke while holding s.mu"
+	s.mu.Unlock()
+	s.ch <- 2 // released: fine
+}
+
+func (s *S) deferredHold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want "channel send while holding s.mu"
+}
+
+func (s *S) trySend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1: // non-blocking try-send: fine
+	default:
+	}
+}
+
+func (s *S) blockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1: // want "channel send while holding s.mu"
+	case <-s.ch:
+	}
+}
+
+func (s *S) readLock() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep while holding s.rw"
+	s.rw.RUnlock()
+}
+
+func (s *S) spawned() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // separate goroutine frame: fine
+	}()
+}
+
+func (s *S) closureOwnLock() {
+	f := func() {
+		s.mu.Lock()
+		s.ch <- 1 // want "channel send while holding s.mu"
+		s.mu.Unlock()
+	}
+	f()
+}
+
+func (s *S) branchScoped(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // lock scoped to the branch: fine
+}

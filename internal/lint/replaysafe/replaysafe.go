@@ -1,0 +1,167 @@
+// Package replaysafe checks that functions reachable from the
+// supervisor's replay entry points stay free of I/O and
+// non-determinism. Replay roots are annotated //l25gc:replay (the
+// concrete Instance.Deliver implementations and the SBI handlers the
+// dedup cache replays into); from each root the analyzer walks the
+// static call graph across every package of the module and reports any
+// transitively reachable call into:
+//
+//   - the wall-clock/timer subset of time, and package-level math/rand
+//     (the same set the determinism analyzer forbids lexically);
+//   - crypto/rand; and
+//   - the I/O packages net, net/http, os, os/exec, io/ioutil, syscall.
+//
+// The walk resolves package functions and concrete-receiver methods;
+// calls through interfaces and function values are dynamic and are not
+// traversed (the repo's injected seams — sbi.Conn, pfcp.Endpoint,
+// clock funcs — are exactly such seams, which is what makes them legal
+// on replayed paths). A function annotated //l25gc:commit <reason> is
+// an output-commit boundary: replay intentionally re-drives it (its
+// effects are deduplicated downstream, or swallowed by detached peers),
+// so the walk stops there.
+//
+// Diagnostics land on the offending call site — where the fix goes —
+// and name the replay root plus the call chain that reaches it.
+package replaysafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"l25gc/internal/lint/analysis"
+	"l25gc/internal/lint/determinism"
+	"l25gc/internal/lint/directive"
+)
+
+// deniedPackages are wholly forbidden on replayed paths.
+var deniedPackages = map[string]bool{
+	"net": true, "net/http": true, "os": true, "os/exec": true,
+	"io/ioutil": true, "syscall": true, "crypto/rand": true,
+}
+
+// Analyzer is the replay-safety invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name:         "replaysafe",
+	Doc:          "functions reachable from //l25gc:replay roots must not do I/O or read ambient time/randomness",
+	ProgramLevel: true,
+	Run:          run,
+}
+
+// root is one annotated replay entry point.
+type root struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	prog := pass.Program
+	var roots []root
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !directive.IsReplayRoot(fd) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, root{fn: fn, decl: fd})
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].decl.Pos() < roots[j].decl.Pos() })
+
+	reported := map[token.Pos]bool{}
+	for _, r := range roots {
+		w := &walker{pass: pass, prog: prog, reported: reported, root: r.fn}
+		w.walk(r.fn, []string{funcName(r.fn)})
+	}
+	return nil, nil
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	prog     *analysis.Program
+	reported map[token.Pos]bool
+	root     *types.Func
+	visited  []*types.Func
+}
+
+// walk examines fn's body (chain is the root-to-fn path, for the
+// diagnostic) and recurses into statically resolvable callees.
+func (w *walker) walk(fn *types.Func, chain []string) {
+	for _, v := range w.visited {
+		if v == fn {
+			return
+		}
+	}
+	w.visited = append(w.visited, fn)
+	decl := w.prog.FuncDecl(fn)
+	declPkg := w.prog.FuncPackage(fn)
+	if decl == nil || decl.Body == nil || declPkg == nil {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.Callee(declPkg.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if sink := deniedSink(callee); sink != "" {
+			if !w.reported[call.Pos()] {
+				w.reported[call.Pos()] = true
+				w.pass.Reportf(call.Pos(), sink+" is reachable during replay of "+
+					funcName(w.root)+" (via "+strings.Join(append(chain[1:], funcName(callee)), " -> ")+")")
+			}
+			return true
+		}
+		if calleeDecl := w.prog.FuncDecl(callee); calleeDecl != nil {
+			if directive.IsCommit(calleeDecl) {
+				return true // output-commit boundary
+			}
+			w.walk(callee, append(chain, funcName(callee)))
+		}
+		return true
+	})
+}
+
+// deniedSink classifies callee; non-empty means forbidden on replayed
+// paths, and the string names the sink for the diagnostic.
+func deniedSink(fn *types.Func) string {
+	path := fn.Pkg().Path()
+	switch {
+	case deniedPackages[path]:
+		return path + "." + fn.Name()
+	case path == "time" && analysis.Signature(fn).Recv() == nil && determinism.DeniedTime[fn.Name()]:
+		return "time." + fn.Name()
+	case (path == "math/rand" || path == "math/rand/v2") && analysis.Signature(fn).Recv() == nil &&
+		!determinism.RandConstructor(fn.Name()):
+		return path + "." + fn.Name()
+	}
+	return ""
+}
+
+// funcName renders fn as pkg.Func or pkg.(Recv).Method.
+func funcName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		parts := strings.Split(fn.Pkg().Path(), "/")
+		pkg = parts[len(parts)-1] + "."
+	}
+	if recv := analysis.Signature(fn).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

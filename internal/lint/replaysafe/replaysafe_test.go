@@ -1,0 +1,12 @@
+package replaysafe_test
+
+import (
+	"testing"
+
+	"l25gc/internal/lint/analysistest"
+	"l25gc/internal/lint/replaysafe"
+)
+
+func TestReplaysafe(t *testing.T) {
+	analysistest.Run(t, "testdata/replaysafe", replaysafe.Analyzer)
+}

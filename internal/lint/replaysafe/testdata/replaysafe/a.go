@@ -1,0 +1,42 @@
+// Golden input for the replaysafe analyzer: a replay root whose
+// transitive callees touch denied sinks directly, through a helper, and
+// across a package boundary (the dep helper package).
+package replaysafe
+
+import (
+	"time"
+
+	"dep"
+)
+
+// Clock is an injected seam: calls through function values are dynamic
+// and deliberately not traversed.
+type Clock func() int64
+
+// Deliver is the replay entry point.
+//
+//l25gc:replay
+func Deliver(data []byte, c Clock) error {
+	handle(data)
+	_ = c() // dynamic call: fine (the injected-clock idiom)
+	commit(data)
+	return nil
+}
+
+func handle(data []byte) {
+	_ = time.Now() // want "time.Now is reachable during replay of replaysafe.Deliver"
+	dep.Emit(data)
+}
+
+// commit is an output boundary: replay re-drives it on purpose, so the
+// walk must not descend into its wall-clock wait.
+//
+//l25gc:commit downstream peers deduplicate re-emitted output
+func commit(data []byte) {
+	time.Sleep(time.Millisecond) // behind the commit boundary: fine
+}
+
+// untouched is not reachable from any root.
+func untouched() {
+	_ = time.Now() // unreachable from a root: fine
+}

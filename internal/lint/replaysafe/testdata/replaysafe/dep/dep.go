@@ -1,0 +1,10 @@
+// Package dep proves the walk crosses package boundaries: the sink is
+// two frames and one package away from the annotated root.
+package dep
+
+import "os"
+
+// Emit leaks ambient environment state into a replayed path.
+func Emit(b []byte) {
+	_ = os.Getenv("HOME") // want "os.Getenv is reachable during replay of replaysafe.Deliver"
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sort"
 	"time"
 
 	"l25gc/internal/metrics"
@@ -352,6 +353,7 @@ func (rx *Receiver) OnData(p Packet) {
 		}
 		sacked = append(sacked, s)
 	}
+	sort.Slice(sacked, func(i, j int) bool { return sacked[i] < sacked[j] })
 	rx.ackPath(Packet{
 		FlowID: rx.id, IsAck: true, AckNo: rx.recvNext, HoleEnd: holeEnd,
 		Sacked: sacked, Wire: tcpHdrWire, SentAt: p.SentAt,

@@ -46,6 +46,8 @@ type gnbConn struct {
 
 // send transmits on the gNB's live connection; a detached gNB swallows
 // the message (the RAN side re-drives its procedure after re-attach).
+//
+//l25gc:commit replayed downlink NGAP re-transmits here intentionally; a detached or re-attached gNB deduplicates by procedure
 func (g *gnbConn) send(m ngap.Message) error {
 	if g == nil {
 		return fmt.Errorf("amf: send to unknown gNB")
@@ -97,9 +99,10 @@ type ueContext struct {
 	idle bool
 
 	// regPending marks a held registration admission token; regStart
-	// anchors the latency sample fed back to the overload controller.
+	// anchors the latency sample fed back to the overload controller
+	// (clock reading; zero = not sampled).
 	regPending bool
-	regStart   time.Time
+	regStart   time.Duration
 
 	// Handover bookkeeping.
 	hoSrcGnb     *gnbConn
@@ -137,6 +140,10 @@ type AMF struct {
 	tracec   atomic.Pointer[trace.Track]
 	tap      atomic.Pointer[IngressTap]
 	ctrl     atomic.Pointer[overload.Controller]
+	// clock supplies monotonic elapsed time for latency samples fed to
+	// the overload controller; injectable so replayed registrations
+	// observe the same durations the live run did.
+	clock func() time.Duration
 
 	// Logf receives procedure traces; defaults to a silent logger.
 	Logf func(format string, args ...any)
@@ -174,6 +181,8 @@ func New(cfg Config, ausf, udm, pcf, smf sbi.Conn) (*AMF, error) {
 		hoTunnels: make(map[uint64]hoTunnel),
 		Logf:      func(string, ...any) {},
 	}
+	base := time.Now()
+	a.clock = func() time.Duration { return time.Since(base) }
 	a.wg.Add(1)
 	go a.acceptLoop()
 	return a, nil
@@ -183,6 +192,10 @@ func New(cfg Config, ausf, udm, pcf, smf sbi.Conn) (*AMF, error) {
 // (amf.registration.*, amf.session.*, amf.ho.*, amf.paging.trigger);
 // nil disables tracing.
 func (a *AMF) SetTracer(tk *trace.Track) { a.tracec.Store(tk) }
+
+// SetClock replaces the monotonic clock behind overload latency samples
+// (simulated-time harnesses inject theirs before traffic starts).
+func (a *AMF) SetClock(clock func() time.Duration) { a.clock = clock }
 
 // N2Addr returns the NGAP listen address gNBs should dial.
 func (a *AMF) N2Addr() string { return a.ln.Addr().String() }
@@ -256,6 +269,8 @@ func (a *AMF) serveGnb(conn *ngap.Conn) {
 // DeliverNGAP re-injects one inbound NGAP message — the supervisor's
 // replay path. The message is dispatched exactly as a live one, bound to
 // the gNB's conn if that gNB is currently attached (detached otherwise).
+//
+//l25gc:replay
 func (a *AMF) DeliverNGAP(gnbID uint32, wire []byte) error {
 	msg, err := ngap.Unmarshal(wire)
 	if err != nil {
@@ -375,7 +390,7 @@ func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationR
 		// handshake; it rides the UE context (and its snapshot) so the
 		// generation that finishes the registration releases it.
 		ue.regPending = true
-		ue.regStart = time.Now()
+		ue.regStart = a.clock()
 	}
 	a.mu.Lock()
 	a.ues[ue.amfUeID] = ue
@@ -492,8 +507,8 @@ func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequ
 	sp := a.tracec.Load().Start("amf.session.establish")
 	defer sp.End()
 	if ctrl := a.ctrl.Load(); ctrl != nil {
-		start := time.Now()
-		defer func() { ctrl.Observe(time.Since(start)) }()
+		start := a.clock()
+		defer func() { ctrl.Observe(a.clock() - start) }()
 	}
 	resp, err := a.smf.Invoke(sbi.OpPostSmContexts, &sbi.SmContextCreateRequest{
 		Supi: ue.supi, PduSessionID: n.PduSessionID, Dnn: n.Dnn,
@@ -614,6 +629,8 @@ func (a *AMF) handleReleaseRequest(g *gnbConn, m *ngap.UEContextReleaseRequest) 
 
 // Handle implements sbi.Handler for Namf_Communication: the SMF invokes
 // N1N2MessageTransfer to trigger paging for DL data to an idle UE.
+//
+//l25gc:replay
 func (a *AMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 	switch op {
 	case sbi.OpN1N2MessageTransfer:

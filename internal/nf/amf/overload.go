@@ -147,8 +147,8 @@ func (a *AMF) releaseReg(ue *ueContext) {
 	}
 	if ctrl := a.ctrl.Load(); ctrl != nil {
 		ctrl.Release(overload.ClassRegistration)
-		if !start.IsZero() {
-			ctrl.Observe(time.Since(start))
+		if start != 0 {
+			ctrl.Observe(a.clock() - start)
 		}
 	}
 }

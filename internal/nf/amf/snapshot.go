@@ -1,3 +1,5 @@
+//l25gc:deterministic — snapshot encoding must be byte-stable (checkpoint digests compare across generations)
+
 package amf
 
 import (
@@ -75,6 +77,9 @@ func (a *AMF) Snapshot() ([]byte, error) {
 	for _, ue := range a.ues {
 		ues = append(ues, ue)
 	}
+	// Deterministic per-UE lock order for the marshal loop below (the
+	// final record sort alone would leave the locking order map-random).
+	sort.Slice(ues, func(i, j int) bool { return ues[i].amfUeID < ues[j].amfUeID })
 	for id, t := range a.hoTunnels {
 		snap.HoTunnels = append(snap.HoTunnels, hoTunnelRecord{AmfUeID: id, TEID: t.teid, Addr: t.addr})
 	}

@@ -79,6 +79,10 @@ type SMF struct {
 	tracec atomic.Pointer[trace.Track]
 	n4tap  atomic.Pointer[N4Tap]
 	ctrl   atomic.Pointer[overload.Controller]
+	// clock supplies monotonic elapsed time for latency samples fed to
+	// the overload controller; injectable so replayed session creation
+	// observes the same durations the live run did.
+	clock func() time.Duration
 }
 
 // SetOverload installs the SMF's overload controller. The SMF does NOT
@@ -105,6 +109,8 @@ func New(cfg Config, udm, pcf sbi.Conn, n4 pfcp.Endpoint, amf func() sbi.Conn) *
 		byRef:  make(map[string]*smContext),
 		bySEID: make(map[uint64]*smContext),
 	}
+	base := time.Now()
+	s.clock = func() time.Duration { return time.Since(base) }
 	s.nextIP.Store(cfg.UEPoolBase.Uint32() - 1)
 	s.seid.Store(0x100)
 	if n4 != nil {
@@ -116,6 +122,10 @@ func New(cfg Config, udm, pcf sbi.Conn, n4 pfcp.Endpoint, amf func() sbi.Conn) *
 // SetTracer installs a trace track for session-procedure spans
 // (smf.sm_context.*, smf.n4.report); nil disables tracing.
 func (s *SMF) SetTracer(tk *trace.Track) { s.tracec.Store(tk) }
+
+// SetClock replaces the monotonic clock behind overload latency samples
+// (simulated-time harnesses inject theirs before traffic starts).
+func (s *SMF) SetClock(clock func() time.Duration) { s.clock = clock }
 
 // handleN4 processes PFCP requests originated by the UPF (session
 // reports: the paging trigger).
@@ -149,6 +159,8 @@ func (s *SMF) handleN4(seid uint64, req pfcp.Message) (pfcp.Message, error) {
 }
 
 // Handle implements sbi.Handler for Nsmf_PDUSession.
+//
+//l25gc:replay
 func (s *SMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 	switch op {
 	case sbi.OpPostSmContexts:
@@ -166,8 +178,8 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 	sp := s.tracec.Load().Start("smf.sm_context.create")
 	defer sp.End()
 	if ctrl := s.ctrl.Load(); ctrl != nil {
-		start := time.Now()
-		defer func() { ctrl.Observe(time.Since(start)) }()
+		start := s.clock()
+		defer func() { ctrl.Observe(s.clock() - start) }()
 	}
 	// Subscription and policy lookups (SBI round trips the paper counts in
 	// the session establishment event).
@@ -346,6 +358,7 @@ func (s *SMF) updateSmContext(r *sbi.SmContextUpdateRequest) (codec.Message, err
 	}
 
 	if len(mod.UpdateFARs) > 0 || len(mod.UpdatePDRs) > 0 {
+		//l25gc:allow nomutexhold ctx.mu is a per-session leaf lock held across N4 on purpose: it orders FAR updates toward the UPF during handover
 		n4resp, err := s.n4.Request(ctx.seid, true, mod)
 		if err != nil {
 			return nil, fmt.Errorf("smf: N4 modification: %w", err)

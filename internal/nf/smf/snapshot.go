@@ -1,3 +1,5 @@
+//l25gc:deterministic — snapshot encoding must be byte-stable (checkpoint digests compare across generations)
+
 package smf
 
 import (
@@ -43,6 +45,9 @@ func (s *SMF) Snapshot() ([]byte, error) {
 	for _, c := range s.byRef {
 		ctxs = append(ctxs, c)
 	}
+	// Deterministic per-context lock order for the marshal loop below
+	// (ref is immutable after creation, so the unlocked read is safe).
+	sort.Slice(ctxs, func(i, j int) bool { return ctxs[i].ref < ctxs[j].ref })
 	snap := smfSnapshot{NextIP: s.nextIP.Load(), NextSEID: s.seid.Load()}
 	s.mu.Unlock()
 
@@ -135,6 +140,8 @@ func (s *SMF) BindN4() { s.n4.SetHandler(s.tappedN4) }
 // DeliverN4 re-injects one inbound N4 request — the supervisor's replay
 // path. The response is discarded (the UPF either saw it before the
 // crash or retransmits the request).
+//
+//l25gc:replay
 func (s *SMF) DeliverN4(wire []byte) error {
 	hdr, msg, err := pfcp.Parse(wire)
 	if err != nil {

@@ -453,7 +453,7 @@ func (c *Controller) Start(interval time.Duration) {
 	c.done = make(chan struct{})
 	go func(stop, done chan struct{}) {
 		defer close(done)
-		t := time.NewTicker(interval)
+		t := time.NewTicker(interval) //l25gc:allow determinism controller tick cadence is wall-time machinery; admission decisions themselves are seed-pure
 		defer t.Stop()
 		for {
 			select {

@@ -54,7 +54,7 @@ func (d *Detector) run(done chan struct{}) {
 	defer close(done)
 	misses := 0
 	var firstMiss time.Time
-	ticker := time.NewTicker(d.Interval)
+	ticker := time.NewTicker(d.Interval) //l25gc:allow determinism liveness probing is inherently wall-driven: it watches a real peer, not replayed state
 	defer ticker.Stop()
 	for range ticker.C {
 		if d.stopped.Load() {
@@ -65,11 +65,12 @@ func (d *Detector) run(done chan struct{}) {
 			continue
 		}
 		if misses == 0 {
-			firstMiss = time.Now()
+			firstMiss = time.Now() //l25gc:allow determinism detect-latency measurement of a wall-driven probe loop
 		}
 		misses++
 		if misses >= d.Misses {
 			if d.OnFailure != nil {
+				//l25gc:allow determinism detect-latency measurement of a wall-driven probe loop
 				d.OnFailure(time.Since(firstMiss) + d.Interval)
 			}
 			return

@@ -110,6 +110,8 @@ func (i *SBIInstance) Snapshot() ([]byte, error) { return i.snap.Snapshot() }
 func (i *SBIInstance) Restore(b []byte) error { return i.snap.Restore(b) }
 
 // Deliver implements Instance for framed SBI requests.
+//
+//l25gc:replay
 func (i *SBIInstance) Deliver(_ resilience.Class, _ uint64, data []byte) error {
 	op, reqID, req, err := DecodeSBIFrame(data)
 	if err != nil {
@@ -186,9 +188,9 @@ func (c *unitConn) Invoke(op sbi.OpID, req codec.Message) (codec.Message, error)
 					Reason:     "overload: " + c.u.cfg.Name + " shed " + cl.Name(),
 				}
 			}
-			start := time.Now()
+			start := c.u.sup.clock()
 			defer func() {
-				ctrl.Observe(time.Since(start))
+				ctrl.Observe(c.u.sup.clock() - start)
 				ctrl.Release(cl)
 			}()
 		}
@@ -378,6 +380,8 @@ func (u *UPFInstance) Restore(b []byte) error { return u.snap.Restore(b) }
 
 // Deliver implements Instance: PFCP for control classes, the GTP fast
 // path for data classes.
+//
+//l25gc:replay
 func (u *UPFInstance) Deliver(class resilience.Class, _ uint64, data []byte) error {
 	switch class {
 	case resilience.ULControl, resilience.DLControl:

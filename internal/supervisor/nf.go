@@ -44,6 +44,8 @@ func (i *AMFInstance) Restore(b []byte) error { return i.A.Restore(b) }
 
 // Deliver implements Instance: NGAP frames replay through DeliverNGAP,
 // SBI frames (N1N2 transfers from the SMF) through the dedup handler.
+//
+//l25gc:replay
 func (i *AMFInstance) Deliver(class resilience.Class, ctr uint64, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("supervisor: empty frame for amf")
@@ -99,6 +101,8 @@ func (i *SMFInstance) Restore(b []byte) error { return i.S.Restore(b) }
 
 // Deliver implements Instance: SBI frames (session management from the
 // AMF) through the dedup handler, N4 frames through DeliverN4.
+//
+//l25gc:replay
 func (i *SMFInstance) Deliver(class resilience.Class, ctr uint64, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("supervisor: empty frame for smf")

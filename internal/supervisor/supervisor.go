@@ -21,6 +21,7 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -151,12 +152,22 @@ type Config struct {
 	// Metrics, when non-nil, receives per-unit recovery gauges and
 	// detection/downtime histograms under "supervisor.<unit>.*".
 	Metrics *metrics.Registry
+	// Clock, when non-nil, supplies monotonic elapsed time for downtime
+	// and SBI latency measurement; nil defaults to the process monotonic
+	// clock. The chaos suite injects a deterministic clock here so the
+	// measured figures are a function of the schedule, not the host.
+	Clock func() time.Duration
+	// Sleep, when non-nil, implements injected ingress delays and
+	// recovery polling; nil defaults to time.Sleep.
+	Sleep func(time.Duration)
 }
 
 // Supervisor orchestrates failure resiliency across registered units.
 type Supervisor struct {
 	track *trace.Track
 	reg   *metrics.Registry
+	clock func() time.Duration
+	sleep func(time.Duration)
 
 	mu    sync.Mutex
 	units map[string]*Unit
@@ -166,9 +177,19 @@ type Supervisor struct {
 
 // New creates a supervisor.
 func New(cfg Config) *Supervisor {
+	clock, sleep := cfg.Clock, cfg.Sleep
+	if clock == nil {
+		base := time.Now()                                       //l25gc:allow determinism default clock base, read once at construction
+		clock = func() time.Duration { return time.Since(base) } //l25gc:allow determinism default monotonic clock; chaos runs inject Config.Clock
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	return &Supervisor{
 		track: trace.NewTrack(cfg.Tracer, "supervisor"),
 		reg:   cfg.Metrics,
+		clock: clock,
+		sleep: sleep,
 		units: make(map[string]*Unit),
 		stopC: make(chan struct{}),
 	}
@@ -271,6 +292,7 @@ func (s *Supervisor) Stop() {
 	for _, u := range s.units {
 		units = append(units, u)
 	}
+	sort.Slice(units, func(i, j int) bool { return units[i].cfg.Name < units[j].cfg.Name })
 	s.mu.Unlock()
 	for _, u := range units {
 		u.detMu.Lock()
@@ -291,6 +313,7 @@ func (s *Supervisor) Close() {
 	for _, u := range s.units {
 		units = append(units, u)
 	}
+	sort.Slice(units, func(i, j int) bool { return units[i].cfg.Name < units[j].cfg.Name })
 	s.mu.Unlock()
 	for _, u := range units {
 		u.mu.Lock()
@@ -425,7 +448,7 @@ func (u *Unit) faultCheckLocked(target string, data []byte) error {
 		return fmt.Errorf("supervisor: %s: ingress message dropped", target)
 	}
 	if act.Delay > 0 {
-		time.Sleep(act.Delay)
+		u.sup.sleep(act.Delay)
 	}
 	return nil
 }
@@ -461,7 +484,7 @@ func (u *Unit) checkpointLocked() error {
 // checkpointLoop drives interval checkpoints until the supervisor stops.
 func (u *Unit) checkpointLoop(every time.Duration, stop <-chan struct{}, wg *sync.WaitGroup) {
 	defer wg.Done()
-	t := time.NewTicker(every)
+	t := time.NewTicker(every) //l25gc:allow determinism checkpoint cadence is wall-time machinery; the checkpointed state itself is counter-stamped
 	defer t.Stop()
 	for {
 		select {
@@ -482,7 +505,7 @@ func (u *Unit) checkpointLoop(every time.Duration, stop <-chan struct{}, wg *syn
 func (u *Unit) failover(detect time.Duration) {
 	root := u.sup.track.Start("supervisor.failover")
 	root.Attr("unit", u.cfg.Name)
-	start := time.Now()
+	start := u.sup.clock()
 
 	// Shed new work while promote→replay runs: replay must not race fresh
 	// admissions for the promoted instance's attention.
@@ -552,7 +575,7 @@ func (u *Unit) failover(detect time.Duration) {
 		resync.Attr("spawn_error", serr.Error())
 	}
 	resync.End()
-	downtime := detect + time.Since(start)
+	downtime := detect + (u.sup.clock() - start)
 	promoted := u.active
 	u.mu.Unlock()
 
@@ -588,13 +611,13 @@ func (u *Unit) failover(detect time.Duration) {
 // AwaitRecovery blocks until at least n failovers completed (or the
 // timeout elapses).
 func (u *Unit) AwaitRecovery(n uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := u.sup.clock() + timeout
 	for u.recoveries.Load() < n {
-		if time.Now().After(deadline) {
+		if u.sup.clock() > deadline {
 			return fmt.Errorf("supervisor: %s: %d/%d recoveries after %v",
 				u.cfg.Name, u.recoveries.Load(), n, timeout)
 		}
-		time.Sleep(200 * time.Microsecond)
+		u.sup.sleep(200 * time.Microsecond)
 	}
 	return nil
 }

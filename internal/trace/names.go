@@ -1,0 +1,81 @@
+package trace
+
+// LintNames is the registered-name table for every track, span and
+// event name the tree emits, enforced at each call site by the
+// metricnames analyzer (DESIGN §13). Entries are '*'-globs. Trace
+// post-processing (bench CSVs, the §4 latency breakdowns) selects spans
+// by these names, so a typo here splits a procedure from its readers;
+// add an entry (reviewed) before introducing a new span.
+var LintNames = []string{
+	// Tracks.
+	"supervisor",
+
+	// AMF control-plane procedures.
+	"amf.nas.decode",
+	"amf.registration.auth",
+	"amf.registration.context",
+	"amf.registration.confirm",
+	"amf.service.request",
+	"amf.session.establish",
+	"amf.session.activate",
+	"amf.idle.release",
+	"amf.paging.trigger",
+	"amf.ho.prepare",
+	"amf.ho.command",
+	"amf.ho.switch",
+
+	// SMF session procedures.
+	"smf.sm_context.create",
+	"smf.sm_context.update",
+	"smf.sm_context.release",
+	"smf.n4.report",
+
+	// Supervisor failover phases.
+	"supervisor.failover",
+	"supervisor.promote",
+	"supervisor.replay",
+	"supervisor.resync",
+
+	// SBI transport spans.
+	"sbi.invoke",
+	"sbi.encode",
+	"sbi.decode",
+	"sbi.http.do",
+	"sbi.transfer.shm",
+
+	// PFCP endpoint spans ("pfcp.request.<type>", "pfcp.handle.<type>").
+	"pfcp.request.*",
+	"pfcp.handle.*",
+	"pfcp.encode",
+	"pfcp.resp.encode",
+	"pfcp.rx.decode",
+	"pfcp.retransmit",
+	"pfcp.tx.shm",
+	"pfcp.tx.syscall",
+	"pfcp.wait",
+
+	// NGAP codec spans.
+	"ngap.encode",
+	"ngap.decode",
+
+	// ONVM switch spans.
+	"onvm.deliver",
+	"onvm.egress",
+
+	// UPF / kernel-path datapath spans.
+	"upf.classify",
+	"upf.buffer",
+	"kern.classify",
+	"kern.buffer",
+	"kern.gtp.encode",
+	"kern.gtp.decode",
+	"kern.syscall.tx",
+
+	// Overload controller transition events ("fault.<kind>" are the
+	// injector's firing events).
+	"overload.tighten",
+	"overload.relax",
+	"overload.recovery_enter",
+	"overload.recovery_exit",
+	"fault.*",
+}

@@ -24,6 +24,10 @@ type UPFC struct {
 	drains []func(*SessCtx) // buffer-release hooks installed by UPF-U
 
 	ctrl atomic.Pointer[overload.Controller]
+	// clock supplies monotonic elapsed time for the establishment-latency
+	// samples fed to the overload controller (injectable; same idiom as
+	// UPFU.nowNano).
+	clock func() time.Duration
 }
 
 // SetOverload installs (or, with nil, removes) the admission controller
@@ -43,11 +47,17 @@ func (c *UPFC) SetOverload(ctrl *overload.Controller) {
 // mode); it may be nil for tests that drive the handler directly.
 func NewUPFC(state *State, n3IP pkt.Addr, ep pfcp.Endpoint) *UPFC {
 	c := &UPFC{state: state, n3IP: n3IP, ep: ep}
+	base := time.Now()
+	c.clock = func() time.Duration { return time.Since(base) }
 	if ep != nil {
 		ep.SetHandler(c.Handle)
 	}
 	return c
 }
+
+// SetClock replaces the monotonic clock behind overload latency samples
+// (simulated-time harnesses inject theirs before traffic starts).
+func (c *UPFC) SetClock(clock func() time.Duration) { c.clock = clock }
 
 // OnDrain registers a hook invoked when a session's buffer must be
 // released (FAR flipped from buffer to forward). UPF-U registers its
@@ -93,9 +103,9 @@ func (c *UPFC) Handle(seid uint64, req pfcp.Message) (pfcp.Message, error) {
 			if !ctrl.Admit(overload.ClassSession) {
 				return &pfcp.SessionEstablishmentResponse{Cause: pfcp.CauseCongestion}, nil
 			}
-			start := time.Now()
+			start := c.clock()
 			resp, err := c.establish(m)
-			ctrl.Observe(time.Since(start))
+			ctrl.Observe(c.clock() - start)
 			ctrl.Release(overload.ClassSession)
 			return resp, err
 		}
