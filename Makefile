@@ -5,7 +5,7 @@ GOFMT ?= gofmt
 # specific interleaving: make check CHAOS_SEEDS="12345"
 CHAOS_SEEDS ?= 1902 7 42
 
-.PHONY: all build test check lint staticcheck chaos trace-smoke recovery-smoke scale-smoke storm-smoke
+.PHONY: all build test check lint staticcheck chaos trace-smoke recovery-smoke scale-smoke storm-smoke soak-smoke
 
 all: build
 
@@ -33,6 +33,7 @@ check:
 	done
 	$(MAKE) scale-smoke
 	$(MAKE) storm-smoke
+	$(MAKE) soak-smoke
 
 # Repo-local invariant analyzers (DESIGN §13): determinism, replaysafe,
 # nomutexhold, metricnames. Zero diagnostics required; escape hatches
@@ -80,6 +81,19 @@ storm-smoke:
 	$(GO) test -race -count=1 -run 'TestStormWithCrashZeroAdmittedLoss' ./internal/core
 	$(GO) test -count=1 -run 'TestNone' -bench 'BenchmarkAdmitRelease' -benchmem ./internal/overload
 	L25GC_STORM_UES=4000 L25GC_STORM_BASE=2000 $(GO) run ./cmd/bench5gc -exp storm
+
+# Continuous-telemetry gate: the sampler/flight/sketch/pipeline unit
+# tests under the race detector, the -benchmem proof that the
+# always-on flight recorder's record path is allocation-free, the
+# streaming-telemetry deadlock regression + flight-dump-on-crash +
+# sampler-name tests in internal/core, then a shrunk mixed-workload
+# soak end to end (registrations, handovers, paging, data traffic and
+# a mid-run SMF crash, with bounded-resource assertions).
+soak-smoke:
+	$(GO) test -race -count=1 ./internal/telemetry
+	$(GO) test -count=1 -run 'TestNone' -bench 'BenchmarkFlightRecord' -benchmem ./internal/telemetry
+	$(GO) test -race -count=1 -run 'TestConcurrentControlWithStreamingTelemetry|TestFlightDumpOnCrashMidWorkload|TestSamplerReadsOnlyRegisteredNames' ./internal/core
+	L25GC_SOAK_UES=12 L25GC_SOAK_ROUNDS=4 L25GC_SOAK_OPS=48 L25GC_SOAK_WORKERS=6 $(GO) run ./cmd/bench5gc -exp soak
 
 # Sharded-switch scaling gate: the multi-worker per-flow FIFO invariant
 # under the race detector, then the scale experiment end to end (every

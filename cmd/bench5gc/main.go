@@ -66,10 +66,14 @@ func main() {
 	}
 	if *benchOut != "" {
 		doc := map[string]any{
-			"goVersion":   runtime.Version(),
-			"goMaxProcs":  runtime.GOMAXPROCS(0),
-			"generatedAt": time.Now().UTC().Format(time.RFC3339),
-			"experiments": summary,
+			// schemaVersion makes checked-in BENCH_<n>.json files
+			// comparable across PRs: bump it when the envelope (not an
+			// experiment's payload) changes shape.
+			"schemaVersion": bench.SchemaVersion,
+			"goVersion":     runtime.Version(),
+			"goMaxProcs":    runtime.GOMAXPROCS(0),
+			"generatedAt":   time.Now().UTC().Format(time.RFC3339),
+			"experiments":   summary,
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

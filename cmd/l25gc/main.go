@@ -20,6 +20,7 @@ import (
 	"l25gc/internal/nf/udr"
 	"l25gc/internal/pkt"
 	"l25gc/internal/ranue"
+	"l25gc/internal/telemetry"
 	"l25gc/internal/trace"
 )
 
@@ -32,8 +33,9 @@ func main() {
 	resilience := flag.Bool("resilience", false, "arm the §3.5 supervisor over the AMF and SMF (checkpointed units with frozen standbys)")
 	overloadCtl := flag.Bool("overload", false, "arm per-NF admission control (priority-classed shedding with NAS/SBI/PFCP pushback)")
 	switchWorkers := flag.Int("switch-workers", 0, "descriptor-switch workers in the NF manager (0 = min(GOMAXPROCS, 4))")
+	flightDump := flag.String("flight-dump", "", "arm the telemetry pipeline and write an on-demand flight-recorder dump (JSON) here at the end of the run (implies -trace)")
 	flag.Parse()
-	if *traceOut != "" {
+	if *traceOut != "" || *flightDump != "" {
 		*doTrace = true
 	}
 
@@ -65,10 +67,14 @@ func main() {
 		tr = trace.New()
 		reg = metrics.NewRegistry()
 	}
+	var tel *telemetry.Pipeline
+	if *flightDump != "" {
+		tel = telemetry.New(telemetry.Config{SampleInterval: 100 * time.Millisecond})
+	}
 	c, err := core.New(core.Config{
 		Mode: m, ClsAlgo: *cls, Subscribers: subs, Tracer: tr, Metrics: reg,
 		Resilience: *resilience, SwitchWorkers: *switchWorkers,
-		Overload: *overloadCtl,
+		Overload: *overloadCtl, Telemetry: tel,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "core start: %v\n", err)
@@ -152,6 +158,15 @@ func main() {
 		exitOn(tr.WriteChrome(f))
 		exitOn(f.Close())
 		fmt.Printf("\nChrome trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *flightDump != "" {
+		d := tel.DumpNow("cli.flight-dump")
+		f, err := os.Create(*flightDump)
+		exitOn(err)
+		exitOn(d.WriteJSON(f))
+		exitOn(f.Close())
+		fmt.Printf("flight-recorder dump (%d events, %d samples) written to %s\n",
+			len(d.Events), len(d.Samples), *flightDump)
 	}
 }
 

@@ -13,6 +13,12 @@ import (
 	"l25gc/internal/metrics"
 )
 
+// SchemaVersion is the version of the -bench-out JSON envelope
+// ({schemaVersion, goVersion, goMaxProcs, generatedAt, experiments});
+// bump it when the envelope (not an experiment's payload) changes shape
+// so checked-in BENCH_<n>.json files stay comparable.
+const SchemaVersion = 1
+
 // Result is one regenerated experiment.
 type Result struct {
 	ID    string // "fig6", "table1", ...
@@ -66,6 +72,7 @@ func Experiments() []Experiment {
 		{"scale", "Descriptor-switch scaling: throughput vs switch workers", Scale},
 		{"trace", "Traced session establishment: per-stage transport breakdown", Trace},
 		{"storm", "Registration storm: overload control vs uncontrolled collapse", Storm},
+		{"soak", "Mixed-workload soak: resource and per-stage latency series over time", Soak},
 	}
 }
 

@@ -1,0 +1,550 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"l25gc/internal/core"
+	"l25gc/internal/faults"
+	"l25gc/internal/metrics"
+	"l25gc/internal/overload"
+	"l25gc/internal/pkt"
+	"l25gc/internal/ranue"
+	"l25gc/internal/telemetry"
+	"l25gc/internal/trace"
+)
+
+// The soak experiment answers the question the point-in-time benches
+// cannot: does the core hold its resource envelope and latency profile
+// over a sustained mixed workload — registrations, handovers, paging
+// cycles, bidirectional data traffic — with a seeded mid-run NF crash
+// thrown in? It runs the full observability pipeline: a streaming
+// tracer (constant memory no matter how long the run) feeding the
+// telemetry flight recorder and per-stage quantile sketches, manual
+// sampling at round boundaries so the sample series is a function of
+// the op schedule, not the host timer.
+//
+// Determinism contract: the op schedule is a pure function of the seed
+// (hash checked by regenerating it), and the sample series STRUCTURE
+// (number of phases/samples, ops per round, which UE does what) is
+// seed-stable; the measured values (heap bytes, latencies) are of
+// course host-dependent.
+
+// Soak scale knobs; `make soak-smoke` shrinks them via environment.
+const (
+	soakUEsDefault     = 48
+	soakRoundsDefault  = 8
+	soakOpsDefault     = 160 // per steady round
+	soakWorkersDefault = 16
+	soakGNBs           = 2
+)
+
+// Steady-round op kinds.
+const (
+	soakOpUL   = iota // uplink burst
+	soakOpDL          // downlink packet from the DN
+	soakOpHO          // N2 handover to the other gNB
+	soakOpPage        // idle → DL wake → paging → reconnect cycle
+)
+
+// soakOp is one scheduled operation on one UE.
+type soakOp struct {
+	kind int
+	ue   int
+}
+
+// soakSchedule builds the full deterministic plan: rounds × ops, each
+// op assigned a kind (weighted) and a UE, from a private seeded source.
+func soakSchedule(seed int64, ues, rounds, ops int) [][]soakOp {
+	rng := rand.New(rand.NewSource(seed))
+	plan := make([][]soakOp, rounds)
+	for r := range plan {
+		round := make([]soakOp, ops)
+		for i := range round {
+			k := soakOpUL
+			switch p := rng.Intn(100); {
+			case p < 55:
+				k = soakOpUL
+			case p < 75:
+				k = soakOpDL
+			case p < 90:
+				k = soakOpHO
+			default:
+				k = soakOpPage
+			}
+			round[i] = soakOp{kind: k, ue: rng.Intn(ues)}
+		}
+		plan[r] = round
+	}
+	return plan
+}
+
+// soakHash fingerprints a schedule (and its parameters); regenerating
+// the schedule from the same seed must reproduce it exactly.
+func soakHash(seed int64, ues int, plan [][]soakOp) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", seed, ues)
+	for _, round := range plan {
+		for _, op := range round {
+			fmt.Fprintf(h, ":%d.%d", op.kind, op.ue)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// soakSeries is one named resource series across the sample sequence.
+type soakSeries struct {
+	Name string    `json:"name"`
+	TSec []float64 `json:"tSec"`
+	V    []float64 `json:"v"`
+}
+
+// soakStageSeries is one watched stage's windowed percentile series:
+// element i covers the ops between sample i-1 and sample i.
+type soakStageSeries struct {
+	Stage string    `json:"stage"`
+	Count []float64 `json:"count"`
+	P50Us []float64 `json:"p50Us"`
+	P99Us []float64 `json:"p99Us"`
+}
+
+// soakJSON is the machine-readable summary for BENCH_8.json.
+type soakJSON struct {
+	UEs          int    `json:"ues"`
+	Rounds       int    `json:"rounds"`
+	OpsPerRound  int    `json:"opsPerRound"`
+	Workers      int    `json:"workers"`
+	Seed         int64  `json:"seed"`
+	ScheduleHash string `json:"scheduleHash"`
+
+	Samples    int               `json:"samples"`
+	Resources  []soakSeries      `json:"resources"`
+	Stages     []soakStageSeries `json:"stages"`
+	OpErrors   int64             `json:"opErrors"`
+	BrokenUEs  int               `json:"brokenUEs"`
+	OpsTotal   int               `json:"opsTotal"`
+	ElapsedSec float64           `json:"elapsedSec"`
+
+	Recoveries       uint64 `json:"recoveries"`
+	FlightDumps      uint64 `json:"flightDumps"`
+	FlightDumpReason string `json:"flightDumpReason"`
+	FlightDumpEvents int    `json:"flightDumpEvents"`
+
+	HeapFirstMB   float64 `json:"heapPostGCFirstMB"`
+	HeapLastMB    float64 `json:"heapPostGCLastMB"`
+	GoroutineMax  float64 `json:"goroutineMax"`
+	PoolInUseLast float64 `json:"poolInUseLast"`
+}
+
+// soakWatchStages are the span names whose latency distributions the
+// sampler tracks as windowed p50/p99 series (fed by the streaming
+// tracer's observer, summarized by the quantile sketches).
+var soakWatchStages = []string{"onvm.deliver", "upf.classify", "sbi.invoke", "ngap.encode"}
+
+// Soak runs the deterministic multi-phase mixed workload and asserts
+// the bounded-resource invariants: post-GC heap and goroutine count
+// must return to (near) their early-run levels at every round boundary,
+// packet-pool occupancy must return to idle at quiesce, and the seeded
+// mid-run SMF crash must leave a flight-recorder dump holding the
+// preceding window's spans and events.
+func Soak() (*Result, error) {
+	ues := stormEnvInt("L25GC_SOAK_UES", soakUEsDefault)
+	rounds := stormEnvInt("L25GC_SOAK_ROUNDS", soakRoundsDefault)
+	ops := stormEnvInt("L25GC_SOAK_OPS", soakOpsDefault)
+	workers := stormEnvInt("L25GC_SOAK_WORKERS", soakWorkersDefault)
+	if rounds < 2 {
+		rounds = 2
+	}
+	if workers > ues {
+		workers = ues
+	}
+	seed := stormSeed()
+
+	// Determinism gate: the schedule must be a pure function of the seed.
+	plan := soakSchedule(seed, ues, rounds, ops)
+	hash := soakHash(seed, ues, plan)
+	if again := soakHash(seed, ues, soakSchedule(seed, ues, rounds, ops)); again != hash {
+		return nil, fmt.Errorf("soak: schedule not deterministic: %s vs %s", hash, again)
+	}
+
+	base := time.Now()
+	clk := func() time.Duration { return time.Since(base) }
+	tr := trace.NewStreaming(clk)
+	reg := metrics.NewRegistry()
+	tel := telemetry.New(telemetry.Config{
+		// Manual sampling only: SampleNow at round boundaries keeps the
+		// series structure a function of the schedule.
+		SampleInterval: 0,
+		FlightCapacity: 4096,
+		WatchStages:    soakWatchStages,
+		Clock:          clk,
+	})
+	inj := faults.New(seed)
+	inj.SetTracer(trace.NewTrack(tr, "fault.injector"))
+
+	c, err := core.New(core.Config{
+		Mode: core.ModeL25GC, Subscribers: benchSubscribers(ues),
+		Tracer: tr, Metrics: reg, Telemetry: tel,
+		Resilience: true, FaultInjector: inj,
+		Overload: true,
+		// The soak is a resource-envelope test, not an overload-pressure
+		// test: the controllers stay armed (their gauges feed the sample
+		// series and their recovery events the flight dump), but the p99
+		// admission target is lenient enough that the steady mixed
+		// workload is never shed — the default 50ms target would tighten
+		// on ordinary concurrent handover/paging latency and silently
+		// drop HandoverRequired messages, stranding UEs in 5s timeouts.
+		OverloadConfig: overload.Config{TargetP99: 2 * time.Second, Seed: seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+	sup := c.Supervisor()
+
+	gnbs := make([]*ranue.GNB, soakGNBs)
+	for i := range gnbs {
+		g, err := ranue.NewGNB(uint32(i+1), pkt.AddrFrom(10, 100, 2, byte(i+1)), c.N2Addr(), c)
+		if err != nil {
+			return nil, err
+		}
+		defer g.Close()
+		gnbs[i] = g
+	}
+	c.SetN6Sink(func([]byte) {})
+	dn := pkt.AddrFrom(1, 1, 1, 2)
+
+	// --- phase: ramp (register + establish every UE) ---
+	type soakUE struct {
+		ue  *ranue.UE
+		gnb int
+	}
+	sues := make([]*soakUE, ues)
+	var opErrs atomic.Int64
+	start := time.Now()
+	if err := soakParallel(workers, ues, func(i int) error {
+		su := &soakUE{ue: ranue.NewUE(fmt.Sprintf("imsi-20893000000000%d", i+1),
+			[]byte("0123456789abcdef"), []byte("fedcba9876543210")), gnb: i % soakGNBs}
+		if _, _, err := su.ue.RegisterWithRetry(gnbs[su.gnb], 128); err != nil {
+			return fmt.Errorf("UE %d register: %w", i, err)
+		}
+		if _, _, err := su.ue.EstablishSessionWithRetry(uint32(i%15+1), "internet", 128); err != nil {
+			return fmt.Errorf("UE %d session: %w", i, err)
+		}
+		sues[i] = su
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	tel.SampleNow() // sample 0: end of ramp
+
+	// --- phase: steady rounds, seeded SMF crash halfway ---
+	// A UE whose op fails (the realistic case: its page was swallowed by
+	// the SMF failover window, stranding it in idle — the UPF sends ONE
+	// downlink-data report per buffering episode, so no retry can revive
+	// it) is marked broken: its remaining ops and its drain deregistration
+	// are skipped, and the acceptance gate bounds how many may break.
+	// L25GC_SOAK_CRASH=0 disables the mid-run crash (the sampler-overhead
+	// measurement wants a fault-free run); the flight-dump acceptance is
+	// then skipped.
+	crashRound := rounds / 2
+	if stormEnvInt("L25GC_SOAK_CRASH", 1) == 0 {
+		crashRound = -1
+	}
+	var recovered uint64
+	broken := make([]atomic.Bool, ues)
+	var errMu sync.Mutex
+	var errSample []string
+	failUE := func(i int, err error) {
+		broken[i].Store(true)
+		opErrs.Add(1)
+		errMu.Lock()
+		if len(errSample) < 5 {
+			errSample = append(errSample, fmt.Sprintf("UE %d: %v", i, err))
+		}
+		errMu.Unlock()
+	}
+	doOp := func(op soakOp) error {
+		su := sues[op.ue]
+		switch op.kind {
+		case soakOpUL:
+			return su.ue.SendUplink(dn, 40000, 9000, []byte("soak-ul"))
+		case soakOpDL:
+			buf := make([]byte, 96)
+			n, err := pkt.BuildUDPv4(buf, dn, su.ue.IP(), 9000, 40000, 0, []byte("soak-dl"))
+			if err != nil {
+				return err
+			}
+			return c.InjectDL(buf[:n])
+		case soakOpHO:
+			su.gnb = 1 - su.gnb
+			_, err := su.ue.Handover(gnbs[su.gnb])
+			return err
+		default: // soakOpPage
+			if err := su.ue.GoIdle(); err != nil {
+				return err
+			}
+			buf := make([]byte, 96)
+			n, err := pkt.BuildUDPv4(buf, dn, su.ue.IP(), 9000, 40000, 0, []byte("wake"))
+			if err != nil {
+				return err
+			}
+			if err := c.InjectDL(buf[:n]); err != nil {
+				return err
+			}
+			_, err = su.ue.AwaitPagingAndReconnect(10 * time.Second)
+			return err
+		}
+	}
+	runOps := func(round []soakOp, keep func(soakOp) bool) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each worker owns the UEs with index ≡ w (mod workers), so
+				// per-UE op order follows the schedule exactly.
+				for _, op := range round {
+					if op.ue%workers != w || !keep(op) || broken[op.ue].Load() {
+						continue
+					}
+					if err := doOp(op); err != nil {
+						failUE(op.ue, err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	all := func(soakOp) bool { return true }
+	isData := func(op soakOp) bool { return op.kind == soakOpUL || op.kind == soakOpDL }
+	for r := 0; r < rounds; r++ {
+		if r == crashRound {
+			// The paper's headline resilience claim: the data plane keeps
+			// forwarding while the control plane fails over. Crash the SMF,
+			// run the round's UL/DL ops CONCURRENTLY with the failover
+			// (they ride the UPF and never touch the crashed NF), and only
+			// then resume the control-plane ops — whose 5s UE timeouts
+			// would otherwise all expire inside the seconds-long
+			// detect+promote+replay window.
+			inj.Crash(fmt.Sprintf("smf.g%d", sup.Unit("smf").Gen()))
+			runOps(plan[r], isData)
+			if err := sup.Unit("smf").AwaitRecovery(1, 20*time.Second); err != nil {
+				return nil, fmt.Errorf("soak: SMF failover never completed: %v", err)
+			}
+			recovered = 1
+			runOps(plan[r], func(op soakOp) bool { return !isData(op) })
+		} else {
+			runOps(plan[r], all)
+		}
+		runtime.GC()
+		tel.SampleNow() // sample r+1: end of round r
+	}
+
+	// --- phase: drain ---
+	if err := soakParallel(workers, ues, func(i int) error {
+		if broken[i].Load() {
+			return nil
+		}
+		if err := sues[i].ue.Deregister(); err != nil {
+			failUE(i, fmt.Errorf("deregister: %w", err))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	time.Sleep(100 * time.Millisecond) // let in-flight descriptors settle
+	runtime.GC()
+	tel.SampleNow() // final sample: quiesced
+	elapsed := time.Since(start)
+
+	// --- series extraction ---
+	samples := tel.Sampler.Samples()
+	wantSamples := rounds + 2
+	if len(samples) != wantSamples {
+		return nil, fmt.Errorf("soak: sample series has %d samples, schedule demands %d",
+			len(samples), wantSamples)
+	}
+	get := func(s telemetry.Sample, key string) float64 { return s.Values[key] }
+	series := func(name, key string) soakSeries {
+		out := soakSeries{Name: name}
+		for _, s := range samples {
+			out.TSec = append(out.TSec, s.At.Seconds())
+			out.V = append(out.V, get(s, key))
+		}
+		return out
+	}
+	heap := series("heap_bytes", "telemetry.heap_bytes")
+	gor := series("goroutines", "telemetry.goroutines")
+	pool := series("pool_in_use", "onvm.pool.in_use")
+	var stages []soakStageSeries
+	for _, st := range soakWatchStages {
+		ss := soakStageSeries{Stage: st}
+		for _, s := range samples {
+			basek := "telemetry.stage." + st
+			ss.Count = append(ss.Count, get(s, basek+".count"))
+			ss.P50Us = append(ss.P50Us, get(s, basek+".p50_us"))
+			ss.P99Us = append(ss.P99Us, get(s, basek+".p99_us"))
+		}
+		stages = append(stages, ss)
+	}
+
+	// --- acceptance: bounded resources across phases ---
+	// Post-GC levels at the first steady-round boundary are the baseline;
+	// the run fails if the final boundary shows unbounded growth.
+	mb := func(b float64) float64 { return b / (1 << 20) }
+	heapFirst, heapLast := heap.V[1], heap.V[len(heap.V)-1]
+	if heapLast > heapFirst*2+48*(1<<20) {
+		return nil, fmt.Errorf("soak: post-GC heap grew from %.1fMB to %.1fMB across phases (leak)",
+			mb(heapFirst), mb(heapLast))
+	}
+	gorFirst, gorLast := gor.V[1], gor.V[len(gor.V)-1]
+	if gorLast > gorFirst+64 {
+		return nil, fmt.Errorf("soak: goroutines grew from %.0f to %.0f across phases (leak)",
+			gorFirst, gorLast)
+	}
+	if last := pool.V[len(pool.V)-1]; last > 64 {
+		return nil, fmt.Errorf("soak: packet pool still holds %.0f buffers at quiesce (leak)", last)
+	}
+	totalOps := rounds * ops
+	brokenUEs := 0
+	for i := range broken {
+		if broken[i].Load() {
+			brokenUEs++
+		}
+	}
+	if limit := maxInt(2, ues/10); brokenUEs > limit {
+		return nil, fmt.Errorf("soak: %d of %d UEs broke mid-run (limit %d); first errors: %s",
+			brokenUEs, ues, limit, strings.Join(errSample, "; "))
+	}
+
+	// --- acceptance: the crash left a flight-recorder dump ---
+	dump := tel.LastDump()
+	dumpReason, dumpEvents := "", 0
+	if dump != nil {
+		dumpReason, dumpEvents = dump.Reason, len(dump.Events)
+	}
+	if crashRound >= 0 {
+		if tel.Dumps() == 0 || dump == nil {
+			return nil, fmt.Errorf("soak: SMF crash produced no flight-recorder dump")
+		}
+		if !strings.HasPrefix(dump.Reason, "supervisor.promote") {
+			return nil, fmt.Errorf("soak: last dump reason %q, want supervisor.promote.*", dump.Reason)
+		}
+		var sawSpan, sawRecoveryEvent bool
+		for _, ev := range dump.Events {
+			if ev.Kind == telemetry.KindSpan {
+				sawSpan = true
+			}
+			if ev.Name == "overload.recovery_enter" || ev.Name == "supervisor.replay" {
+				sawRecoveryEvent = true
+			}
+		}
+		if !sawSpan || !sawRecoveryEvent {
+			return nil, fmt.Errorf("soak: dump missing preceding-window records (spans=%v recovery=%v, %d events)",
+				sawSpan, sawRecoveryEvent, len(dump.Events))
+		}
+	}
+
+	// --- report ---
+	tab := metrics.NewTable("sample", "phase", "t", "heapMB", "goroutines", "pool", "deliver p99", "sbi p99")
+	phaseName := func(i int) string {
+		switch {
+		case i == 0:
+			return "ramp"
+		case i == len(samples)-1:
+			return "drain"
+		case i-1 == crashRound:
+			return fmt.Sprintf("round %d (crash)", i-1)
+		default:
+			return fmt.Sprintf("round %d", i-1)
+		}
+	}
+	us := func(v float64) string { return fmt.Sprintf("%.0fµs", v) }
+	for i := range samples {
+		tab.Row(i, phaseName(i), fmt.Sprintf("%.2fs", heap.TSec[i]),
+			fmt.Sprintf("%.1f", mb(heap.V[i])), int(gor.V[i]), int(pool.V[i]),
+			us(stages[0].P99Us[i]), us(stages[2].P99Us[i]))
+	}
+
+	js := soakJSON{
+		UEs: ues, Rounds: rounds, OpsPerRound: ops, Workers: workers,
+		Seed: seed, ScheduleHash: hash,
+		Samples:   len(samples),
+		Resources: []soakSeries{heap, gor, pool},
+		Stages:    stages,
+		OpErrors:  opErrs.Load(),
+		BrokenUEs: brokenUEs, OpsTotal: totalOps,
+		ElapsedSec: elapsed.Seconds(),
+		Recoveries: recovered, FlightDumps: tel.Dumps(),
+		FlightDumpReason: dumpReason, FlightDumpEvents: dumpEvents,
+		HeapFirstMB: mb(heapFirst), HeapLastMB: mb(heapLast),
+		GoroutineMax: maxOf(gor.V), PoolInUseLast: pool.V[len(pool.V)-1],
+	}
+	return &Result{
+		ID:    "soak",
+		Title: "Mixed-workload soak: resource and per-stage latency series over time",
+		Table: tab,
+		Notes: []string{
+			fmt.Sprintf("%d UEs, %d steady rounds × %d mixed ops (UL/DL/handover/paging), SMF crash in round %d; %d op errors, %d UEs broken; %.1fs.",
+				ues, rounds, ops, crashRound, opErrs.Load(), brokenUEs, elapsed.Seconds()),
+			fmt.Sprintf("schedule hash %s (seed %d, regeneration-checked); %d samples at op-schedule boundaries.",
+				hash, seed, len(samples)),
+			fmt.Sprintf("bounded resources: post-GC heap %.1f→%.1fMB, goroutines %.0f→%.0f, pool in_use %0.f at quiesce.",
+				mb(heapFirst), mb(heapLast), gorFirst, gorLast, pool.V[len(pool.V)-1]),
+			fmt.Sprintf("flight recorder: %d dump(s), last %q with %d events from the pre-crash window.",
+				tel.Dumps(), dumpReason, dumpEvents),
+		},
+		JSON: js,
+	}, nil
+}
+
+// soakParallel runs fn(i) for i in [0,n) over `workers` goroutines with
+// deterministic index ownership (worker w handles i ≡ w mod workers),
+// returning the first error.
+func soakParallel(workers, n int, fn func(i int) error) error {
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if err := fn(i); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxOf(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -14,6 +14,8 @@ import (
 	"l25gc/internal/overload"
 	"l25gc/internal/pkt"
 	"l25gc/internal/ranue"
+	"l25gc/internal/telemetry"
+	"l25gc/internal/trace"
 )
 
 // The storm experiment drives a mass-registration event — every device
@@ -117,6 +119,24 @@ func stormRun(total, workers int, withOverload bool, seed int64) (*stormStats, e
 		cfg.Overload = true
 		cfg.OverloadConfig = stormOverloadCfg
 		cfg.OverloadConfig.Seed = seed
+	}
+	// L25GC_STORM_TELEMETRY=1 arms the registry + periodic sampler (the
+	// sampler-overhead comparison in EXPERIMENTS.md: goodput on vs off
+	// must stay within noise); =2 additionally arms the streaming tracer
+	// so every span feeds the flight recorder and stage sketches, which
+	// prices the whole always-on pipeline rather than just the sampler.
+	if mode := stormEnvInt("L25GC_STORM_TELEMETRY", 0); mode != 0 {
+		base := time.Now()
+		clk := func() time.Duration { return time.Since(base) }
+		if mode >= 2 {
+			cfg.Tracer = trace.NewStreaming(clk)
+		}
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Telemetry = telemetry.New(telemetry.Config{
+			SampleInterval: 100 * time.Millisecond,
+			WatchStages:    soakWatchStages,
+			Clock:          clk,
+		})
 	}
 	c, err := core.New(cfg)
 	if err != nil {

@@ -39,6 +39,7 @@ import (
 	"l25gc/internal/pktbuf"
 	"l25gc/internal/sbi"
 	"l25gc/internal/supervisor"
+	"l25gc/internal/telemetry"
 	"l25gc/internal/trace"
 	"l25gc/internal/upf"
 )
@@ -102,6 +103,15 @@ type Config struct {
 	// and the liveness probe for the supervised units (targets "amf.gN",
 	// "smf.gN"). Nil arms protection without a failure source.
 	FaultInjector *faults.Injector
+
+	// Telemetry, when non-nil, binds the continuous pipeline to this
+	// unit: the pipeline becomes the Tracer's span observer (spans and
+	// events stream into its flight recorder and stage sketches), the
+	// Metrics registry becomes its sampling source, and the automatic
+	// dump triggers arm — a supervisor promote or an overload
+	// recovery-mode entry snapshots the flight ring. The sampler's
+	// goroutine (if periodic) stops with the core.
+	Telemetry *telemetry.Pipeline
 
 	// Overload arms per-NF admission control: the AMF's N2 ingress, the
 	// SMF's SBI ingress, and the UPF-C's N4 establishment path each get a
@@ -185,12 +195,31 @@ func (c *Core) start() error {
 	tr, reg := cfg.Tracer, cfg.Metrics
 	track := func(name string) *trace.Track { return trace.NewTrack(tr, name) }
 
+	// --- telemetry pipeline ---
+	// Bound first so every later registration (gauges, tracks) is already
+	// observable; the periodic sampler starts once and stops with the
+	// core's closers (goroutine-leak tests cover this).
+	tel := cfg.Telemetry
+	if tel != nil {
+		tel.Bind(tr, reg)
+		tel.Start()
+		c.closers = append(c.closers, tel.Stop)
+	}
+
 	// --- overload controllers ---
 	if cfg.Overload {
 		mk := func(nf string) *overload.Controller {
 			ctl := overload.New(nf, cfg.OverloadConfig)
 			ctl.SetTracer(track("overload." + nf))
 			ctl.ExportMetrics(reg, "overload."+nf)
+			if tel != nil {
+				nf := nf
+				ctl.SetRecoveryHook(func(entering bool) {
+					if entering {
+						tel.DumpNow("overload.recovery." + nf)
+					}
+				})
+			}
 			ctl.Start(0) // package-default tick
 			c.closers = append(c.closers, ctl.Stop)
 			return ctl
@@ -422,7 +451,13 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 	ausfConn, udmConnAmf, pcfConnAmf, udmConnSmf, pcfConnSmf sbi.Conn,
 	smfN4 pfcp.Endpoint) error {
 	cfg := c.cfg
-	c.sup = supervisor.New(supervisor.Config{Tracer: cfg.Tracer, Metrics: cfg.Metrics})
+	supCfg := supervisor.Config{Tracer: cfg.Tracer, Metrics: cfg.Metrics}
+	if tel := cfg.Telemetry; tel != nil {
+		supCfg.OnRecovery = func(unit string, stats supervisor.RecoveryStats) {
+			tel.DumpNow("supervisor.promote." + unit)
+		}
+	}
+	c.sup = supervisor.New(supCfg)
 	c.closers = append(c.closers, c.sup.Close)
 
 	// The SMF's paging conn resolves lazily: the AMF unit registers after

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"l25gc/internal/resilience"
+	"l25gc/internal/testutil"
 )
 
 // recorder is a Backend capturing deliveries.
@@ -31,6 +32,7 @@ func (r *recorder) count() int {
 }
 
 func TestIngressGoesToPrimary(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	p, s := &recorder{}, &recorder{}
 	l := New(p, s, 0)
 	for i := 0; i < 5; i++ {
@@ -50,6 +52,7 @@ func TestIngressGoesToPrimary(t *testing.T) {
 }
 
 func TestFailoverReplaysAfterCheckpoint(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	p, s := &recorder{}, &recorder{}
 	l := New(p, s, 0)
 	// 6 messages; checkpoint covers the first 4.
@@ -79,6 +82,7 @@ func TestFailoverReplaysAfterCheckpoint(t *testing.T) {
 }
 
 func TestFailoverWithoutStandby(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	l := New(&recorder{}, nil, 0)
 	if _, err := l.Failover(0); err != ErrNoStandby {
 		t.Fatalf("err = %v", err)
@@ -86,6 +90,7 @@ func TestFailoverWithoutStandby(t *testing.T) {
 }
 
 func TestAffinityStickyAndBalanced(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	a := NewAffinity(3)
 	u1 := a.UnitFor("imsi-1")
 	u2 := a.UnitFor("imsi-2")

@@ -102,6 +102,10 @@ func (h *Histogram) Mean() time.Duration {
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.percentileLocked(p)
+}
+
+func (h *Histogram) percentileLocked(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -114,6 +118,42 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		idx = len(h.samples) - 1
 	}
 	return h.samples[idx]
+}
+
+// P50 returns the median.
+func (h *Histogram) P50() time.Duration { return h.Percentile(50) }
+
+// P90 returns the 90th percentile.
+func (h *Histogram) P90() time.Duration { return h.Percentile(90) }
+
+// P99 returns the 99th percentile.
+func (h *Histogram) P99() time.Duration { return h.Percentile(99) }
+
+// P999 returns the 99.9th percentile.
+func (h *Histogram) P999() time.Duration { return h.Percentile(99.9) }
+
+// Stats summarizes the histogram under a single lock acquisition, so
+// every field describes the same sample set even while writers keep
+// observing concurrently. Snapshot readers (the registry, the telemetry
+// sampler) must use this instead of stringing Count/Mean/Percentile
+// calls together, which would each see a different population.
+func (h *Histogram) Stats() HistStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HistStats{Count: len(h.samples), Min: h.min, Max: h.max}
+	if st.Count == 0 {
+		return st
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	st.Mean = sum / time.Duration(st.Count)
+	st.P50 = h.percentileLocked(50)
+	st.P90 = h.percentileLocked(90)
+	st.P99 = h.percentileLocked(99)
+	st.P999 = h.percentileLocked(99.9)
+	return st
 }
 
 // Min returns the smallest sample (0 with no samples) without sorting.

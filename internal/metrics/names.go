@@ -14,6 +14,8 @@ var LintNames = []string{
 	"supervisor.*.replay_depth",
 	"supervisor.*.detect",
 	"supervisor.*.downtime",
+	"supervisor.*.generation",
+	"supervisor.*.log_depth",
 
 	// SBI transport + retry/breaker counters ("sbi.<service>.*").
 	"sbi.*.invokes",
@@ -53,6 +55,8 @@ var LintNames = []string{
 	"onvm.workers",
 	"onvm.worker*.switched",
 	"onvm.worker*.dropped",
+	"onvm.pool.size",
+	"onvm.pool.in_use",
 	// Packet-pool overflow drops carry the pool's security-domain
 	// prefix, which is unit-chosen ("l25gc", "amf", ...).
 	"*.ring_overflow_drops",
@@ -61,6 +65,7 @@ var LintNames = []string{
 	"overload.*.admit.*",
 	"overload.*.shed.*",
 	"overload.*.depth_hw.*",
+	"overload.*.depth.*",
 	"overload.*.level",
 	"overload.*.tightens",
 	"overload.*.relaxes",
@@ -73,4 +78,13 @@ var LintNames = []string{
 	"rtt",
 	"cwnd",
 	"goodput",
+
+	// Continuous-telemetry pipeline: runtime probes
+	// (telemetry.heap_bytes, telemetry.goroutines, ...), the dump
+	// counter, and per-watched-stage windowed quantile series
+	// ("telemetry.stage.<span>.*"). The sampler additionally derives
+	// ".count"/".p50_us"/".p99_us"/".mean_us" keys from registered
+	// histogram names; TestSamplerReadsOnlyRegisteredNames strips those
+	// suffixes before checking this table.
+	"telemetry.*",
 }

@@ -103,11 +103,13 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// HistStats is a histogram summary inside a Snapshot.
+// HistStats is a histogram summary inside a Snapshot. All fields are
+// computed under one histogram lock (Histogram.Stats), so they describe
+// a single consistent sample population.
 type HistStats struct {
-	Count          int
-	Mean, P50, P99 time.Duration
-	Min, Max       time.Duration
+	Count                     int
+	Mean, P50, P90, P99, P999 time.Duration
+	Min, Max                  time.Duration
 }
 
 // Snapshot is a point-in-time reading of every registered metric.
@@ -139,11 +141,7 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Counters[name] = v
 	}
 	for name, h := range r.hists {
-		snap.Histograms[name] = HistStats{
-			Count: h.Count(), Mean: h.Mean(),
-			P50: h.Percentile(50), P99: h.Percentile(99),
-			Min: h.Min(), Max: h.Max(),
-		}
+		snap.Histograms[name] = h.Stats()
 	}
 	return snap
 }

@@ -3,9 +3,12 @@ package netsim
 import (
 	"testing"
 	"time"
+
+	"l25gc/internal/testutil"
 )
 
 func TestSimEventOrdering(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	s := NewSim()
 	var order []int
 	s.At(3*time.Millisecond, func() { order = append(order, 3) })
@@ -25,6 +28,7 @@ func TestSimEventOrdering(t *testing.T) {
 }
 
 func TestSimRunHorizon(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	s := NewSim()
 	fired := false
 	s.At(2*time.Second, func() { fired = true })
@@ -39,6 +43,7 @@ func TestSimRunHorizon(t *testing.T) {
 }
 
 func TestLinkSerializationAndDelay(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	s := NewSim()
 	var arrivals []time.Duration
 	// 8 Mbit/s, 10 ms delay: a 1000-byte packet serializes in 1 ms.
@@ -60,6 +65,7 @@ func TestLinkSerializationAndDelay(t *testing.T) {
 }
 
 func TestLinkDropTail(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	s := NewSim()
 	got := 0
 	l := NewLink(s, 1e3, 0, 2, func(p Packet) { got++ }) // very slow link
@@ -73,6 +79,7 @@ func TestLinkDropTail(t *testing.T) {
 }
 
 func TestTCPTransferCompletes(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	sim := NewSim()
 	cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 100, CoreBufCap: 3000}
 	p := NewTCPPath(sim, 0, cfg, 1<<20) // 1 MiB
@@ -92,6 +99,7 @@ func TestTCPTransferCompletes(t *testing.T) {
 }
 
 func TestTCPNoLossWithAmpleQueue(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	sim := NewSim()
 	// Unbounded bottleneck queue: nothing can drop, so a clean transfer
 	// must complete with zero retransmissions and zero timeouts.
@@ -108,6 +116,7 @@ func TestTCPNoLossWithAmpleQueue(t *testing.T) {
 }
 
 func TestTCPRTTReflectsPath(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	sim := NewSim()
 	cfg := PathConfig{BottleneckBps: 100e6, RTT: 50 * time.Millisecond, QueueCap: 1000, CoreBufCap: 100}
 	p := NewTCPPath(sim, 0, cfg, 256<<10)
@@ -126,6 +135,7 @@ func TestTCPRTTReflectsPath(t *testing.T) {
 // shorter than min-RTO causes no timeouts; one longer than min-RTO causes
 // spurious retransmissions and cwnd collapse.
 func TestHandoverShortVsLong(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	run := func(hoDur time.Duration) *Reno {
 		sim := NewSim()
 		cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
@@ -164,6 +174,7 @@ func TestHandoverShortVsLong(t *testing.T) {
 // the 3GPP reattach blacks the path out for hundreds of milliseconds and
 // drops every packet in flight, collapsing TCP goodput.
 func TestBlackoutVsBuffering(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	run := func(mode string) (*TCPPath, int64) {
 		sim := NewSim()
 		cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
@@ -204,6 +215,7 @@ func TestBlackoutVsBuffering(t *testing.T) {
 // the same page over the same bottleneck loads faster when handovers
 // complete in 96 ms (L²5GC) than in 463 ms (free5GC).
 func TestPageLoadFasterWithShortHandovers(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	resources := []int64{15 << 20, 15 << 20, 2 << 20, 1 << 20, 512 << 10, 512 << 10}
 	cfg := PathConfig{BottleneckBps: 30e6, RTT: 20 * time.Millisecond, QueueCap: 200, CoreBufCap: 5000}
 	hoTimes := []time.Duration{2 * time.Second, 5 * time.Second, 8 * time.Second}
@@ -217,6 +229,7 @@ func TestPageLoadFasterWithShortHandovers(t *testing.T) {
 }
 
 func TestCoreBoxInOrderRelease(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	sim := NewSim()
 	var got []int64
 	c := NewCoreBox(sim, 10, func(p Packet) { got = append(got, p.Seq) })
@@ -241,6 +254,7 @@ func TestCoreBoxInOrderRelease(t *testing.T) {
 }
 
 func TestCoreBoxCapacity(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	sim := NewSim()
 	c := NewCoreBox(sim, 2, func(Packet) {})
 	c.StartBuffering()

@@ -356,6 +356,17 @@ func (m *Manager) ExportMetrics(reg *metrics.Registry, prefix string) {
 		reg.RegisterGauge(fmt.Sprintf("%s.worker%d.switched", prefix, w.id), w.switched.Load)
 		reg.RegisterGauge(fmt.Sprintf("%s.worker%d.dropped", prefix, w.id), w.dropped.Load)
 	}
+	// Packet-pool occupancy levels: size is fixed, in_use = size - avail
+	// is the instantaneous occupancy the telemetry sampler tracks for the
+	// soak's bounded-pool invariant (a leak shows as in_use never
+	// returning to zero at quiesce).
+	reg.RegisterGauge(prefix+".pool.size", func() uint64 { return uint64(m.pool.Size()) })
+	reg.RegisterGauge(prefix+".pool.in_use", func() uint64 {
+		if n := m.pool.Size() - m.pool.Avail(); n > 0 {
+			return uint64(n)
+		}
+		return 0
+	})
 }
 
 func (m *Manager) switchedTotal() uint64 {

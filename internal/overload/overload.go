@@ -159,6 +159,10 @@ type Controller struct {
 
 	tracec atomic.Pointer[trace.Track]
 
+	// recoveryHook, when set, observes recovery-mode transitions (the
+	// telemetry pipeline triggers a flight-recorder dump from it).
+	recoveryHook atomic.Pointer[func(entering bool)]
+
 	loopMu sync.Mutex
 	stop   chan struct{}
 	done   chan struct{}
@@ -420,7 +424,26 @@ func (c *Controller) EnterRecovery() {
 		if tk := c.tracec.Load(); tk != nil {
 			tk.Event("overload.recovery_enter", "nf", c.name)
 		}
+		if h := c.recoveryHook.Load(); h != nil {
+			(*h)(true)
+		}
 	}
+}
+
+// SetRecoveryHook installs fn, called with entering=true when the
+// controller transitions into recovery mode (the first of possibly
+// stacked EnterRecovery calls) and entering=false when the last
+// ExitRecovery restores normal admission. Nil-safe; nil fn removes the
+// hook.
+func (c *Controller) SetRecoveryHook(fn func(entering bool)) {
+	if c == nil {
+		return
+	}
+	if fn == nil {
+		c.recoveryHook.Store(nil)
+		return
+	}
+	c.recoveryHook.Store(&fn)
 }
 
 // ExitRecovery restores feedback-driven admission.
@@ -431,6 +454,9 @@ func (c *Controller) ExitRecovery() {
 	if c.recovery.Add(-1) == 0 {
 		if tk := c.tracec.Load(); tk != nil {
 			tk.Event("overload.recovery_exit", "nf", c.name)
+		}
+		if h := c.recoveryHook.Load(); h != nil {
+			(*h)(false)
 		}
 	}
 }
@@ -496,6 +522,12 @@ func (c *Controller) ExportMetrics(reg *metrics.Registry, prefix string) {
 		reg.RegisterGauge(prefix+".shed."+cl.Name(), c.sheds[cl].Load)
 		reg.RegisterGauge(prefix+".depth_hw."+cl.Name(), func() uint64 {
 			return uint64(c.highWater[cl].Load())
+		})
+		// Instantaneous in-flight depth: unlike the cumulative counters
+		// this can go down, so the telemetry sampler reads it as a level,
+		// not a rate.
+		reg.RegisterGauge(prefix+".depth."+cl.Name(), func() uint64 {
+			return uint64(c.depth[cl].Load())
 		})
 	}
 	reg.RegisterGauge(prefix+".level", func() uint64 { return uint64(c.Level()) })

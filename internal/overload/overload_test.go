@@ -3,12 +3,15 @@ package overload
 import (
 	"testing"
 	"time"
+
+	"l25gc/internal/testutil"
 )
 
 // TestDrainNeverShed is the core priority invariant: at every shed level,
 // in recovery mode, and at 100% queue pressure on every other class,
 // drain work (deregistration, UE context release) is still admitted.
 func TestDrainNeverShed(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	c := New("t", Config{Caps: [NumClasses]int64{
 		ClassDrain: 1, ClassEmergency: 1, ClassSession: 1, ClassRegistration: 1,
 	}})
@@ -41,6 +44,7 @@ func TestDrainNeverShed(t *testing.T) {
 // TestShedOrder checks that levels shed exactly in priority order:
 // registration first, then session, then emergency; drain never.
 func TestShedOrder(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	c := New("t", Config{})
 	type want struct {
 		reg, sess, emg bool
@@ -73,6 +77,7 @@ func TestShedOrder(t *testing.T) {
 // never exceeds the cap, rejected admissions do not consume depth, and
 // the high-water mark records the peak.
 func TestDepthCapAndHighWater(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	c := New("t", Config{Caps: [NumClasses]int64{ClassRegistration: 3}})
 	for i := 0; i < 3; i++ {
 		if !c.Admit(ClassRegistration) {
@@ -112,6 +117,7 @@ func TestDepthCapAndHighWater(t *testing.T) {
 // TestFeedbackTightenRelax drives the p99 loop directly: a hot window
 // tightens one level per tick, calm windows relax after HoldTicks.
 func TestFeedbackTightenRelax(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	c := New("t", Config{TargetP99: 10 * time.Millisecond, MinSamples: 4, HoldTicks: 2})
 	feed := func(d time.Duration) {
 		for i := 0; i < 8; i++ {
@@ -151,6 +157,7 @@ func TestFeedbackTightenRelax(t *testing.T) {
 // identical backoff sequences; the advice grows with the shed level and
 // respects the cap.
 func TestBackoffDeterministic(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	mk := func(seed int64) *Controller {
 		return New("t", Config{BackoffBase: 100 * time.Millisecond, Seed: seed})
 	}
@@ -187,6 +194,7 @@ func TestBackoffDeterministic(t *testing.T) {
 // TestRecoveryStacks: nested EnterRecovery calls require matching exits
 // before admission re-opens.
 func TestRecoveryStacks(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	c := New("t", Config{})
 	c.EnterRecovery()
 	c.EnterRecovery()
@@ -208,6 +216,7 @@ func TestRecoveryStacks(t *testing.T) {
 // allocations — the property that keeps the gate safe to run on every
 // ingress message of a storm.
 func TestAdmitAllocFree(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	c := New("t", Config{Caps: [NumClasses]int64{ClassRegistration: 64}})
 	allocs := testing.AllocsPerRun(10000, func() {
 		if c.Admit(ClassRegistration) {
@@ -232,6 +241,7 @@ func TestAdmitAllocFree(t *testing.T) {
 // TestNilControllerAdmitsEverything: a nil *Controller is the disabled
 // gate; every method must be safe and permissive.
 func TestNilControllerAdmitsEverything(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	var c *Controller
 	if !c.Admit(ClassRegistration) {
 		t.Fatal("nil controller shed work")

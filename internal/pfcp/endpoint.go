@@ -54,6 +54,67 @@ type injectorConf struct {
 	rx  faults.Point
 }
 
+// reqQueue serializes inbound *request* dispatch on a dedicated worker
+// goroutine so the receive loop — which also completes pending Request
+// waiters — is never parked behind a handler. Without this split the
+// association head-of-line deadlocks: an NF that issues a synchronous
+// Request while holding its supervisor unit lock can only make progress
+// once the response is delivered, but if the peer's unsolicited request
+// (e.g. a Session Report racing a modification) arrived first, the
+// single-threaded receive loop is stuck in that handler's ingress tap
+// waiting for the very same lock, and the response sits behind it
+// unread until the retry budget burns out. Requests still run strictly
+// in arrival order; only their execution is decoupled from the reader.
+type reqQueue[T any] struct {
+	mu   sync.Mutex
+	q    []T
+	wake chan struct{}
+	done <-chan struct{}
+}
+
+// newReqQueue starts the worker; it drains until done closes. Queued
+// entries remaining at close time are dropped — the peer's
+// retransmission loop covers them, exactly as for a datagram lost in
+// flight.
+func newReqQueue[T any](done <-chan struct{}, run func(T)) *reqQueue[T] {
+	rq := &reqQueue[T]{wake: make(chan struct{}, 1), done: done}
+	go rq.loop(run)
+	return rq
+}
+
+// push enqueues one request; it never blocks and is safe from injector
+// timer goroutines.
+func (rq *reqQueue[T]) push(v T) {
+	rq.mu.Lock()
+	rq.q = append(rq.q, v)
+	rq.mu.Unlock()
+	select {
+	case rq.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (rq *reqQueue[T]) loop(run func(T)) {
+	for {
+		select {
+		case <-rq.done:
+			return
+		case <-rq.wake:
+		}
+		for {
+			rq.mu.Lock()
+			if len(rq.q) == 0 {
+				rq.mu.Unlock()
+				break
+			}
+			v := rq.q[0]
+			rq.q = rq.q[1:]
+			rq.mu.Unlock()
+			run(v)
+		}
+	}
+}
+
 // --- UDP endpoint (kernel path / free5GC baseline) ---
 
 // UDPEndpoint speaks PFCP over a kernel UDP socket.
@@ -70,12 +131,20 @@ type UDPEndpoint struct {
 	pending map[uint32]chan Message
 
 	respCache *respCache[[]byte]
+	reqs      *reqQueue[udpRequest]
 
 	retransmits atomic.Uint64
 	timeouts    atomic.Uint64
 
 	closed atomic.Bool
 	done   chan struct{}
+}
+
+// udpRequest is one parsed inbound request awaiting serial dispatch.
+type udpRequest struct {
+	hdr  Header
+	msg  Message
+	from *net.UDPAddr
 }
 
 // NewUDPEndpoint listens on addr ("127.0.0.1:0" for an ephemeral port).
@@ -94,6 +163,7 @@ func NewUDPEndpoint(addr string) (*UDPEndpoint, error) {
 		respCache: newRespCache[[]byte](),
 		done:      make(chan struct{}),
 	}
+	e.reqs = newReqQueue(e.done, e.handleRequest)
 	go e.readLoop()
 	return e, nil
 }
@@ -265,9 +335,8 @@ func (e *UDPEndpoint) readLoop() {
 }
 
 // handleDatagram dispatches one received PFCP message: responses complete
-// pending requests; requests run the handler, with retransmissions (same
-// sequence number) answered from the response cache instead of re-running
-// non-idempotent handlers.
+// pending requests inline — the read path must never wait on a handler —
+// while requests are handed to the serial dispatch worker.
 func (e *UDPEndpoint) handleDatagram(data []byte, from *net.UDPAddr) {
 	tk := e.tracec.Load()
 	dec := tk.Start("pfcp.rx.decode")
@@ -288,26 +357,34 @@ func (e *UDPEndpoint) handleDatagram(data []byte, from *net.UDPAddr) {
 		}
 		return
 	}
-	if cached, ok := e.respCache.get(hdr.Seq); ok {
-		e.send(cached, from)
+	e.reqs.push(udpRequest{hdr: hdr, msg: msg, from: from})
+}
+
+// handleRequest runs one inbound request on the dispatch worker, with
+// retransmissions (same sequence number) answered from the response
+// cache instead of re-running non-idempotent handlers.
+func (e *UDPEndpoint) handleRequest(r udpRequest) {
+	if cached, ok := e.respCache.get(r.hdr.Seq); ok {
+		e.send(cached, r.from)
 		return
 	}
 	hp := e.handler.Load()
 	if hp == nil {
 		return
 	}
-	hs := tk.Start("pfcp.handle." + MsgName(hdr.MsgType))
-	resp, err := (*hp)(hdr.SEID, msg)
+	tk := e.tracec.Load()
+	hs := tk.Start("pfcp.handle." + MsgName(r.hdr.MsgType))
+	resp, err := (*hp)(r.hdr.SEID, r.msg)
 	hs.End()
 	if err != nil || resp == nil {
 		return
 	}
 	enc := tk.Start("pfcp.resp.encode")
-	wire := Marshal(resp, hdr.SEID, hdr.HasSEID, hdr.Seq)
+	wire := Marshal(resp, r.hdr.SEID, r.hdr.HasSEID, r.hdr.Seq)
 	enc.End()
-	e.respCache.put(hdr.Seq, wire)
+	e.respCache.put(r.hdr.Seq, wire)
 	tx := tk.Start("pfcp.tx.syscall")
-	e.send(wire, from)
+	e.send(wire, r.from)
 	tx.End()
 }
 
@@ -355,6 +432,7 @@ type MemEndpoint struct {
 	pending map[uint32]chan Message
 
 	respCache *respCache[memFrame]
+	reqs      *reqQueue[memFrame]
 
 	retransmits atomic.Uint64
 	timeouts    atomic.Uint64
@@ -372,6 +450,8 @@ func NewMemPair(ringSize int) (*MemEndpoint, *MemEndpoint) {
 		respCache: newRespCache[memFrame](), done: make(chan struct{})}
 	b := &MemEndpoint{out: ba, in: ab, pending: make(map[uint32]chan Message),
 		respCache: newRespCache[memFrame](), done: make(chan struct{})}
+	a.reqs = newReqQueue(a.done, a.handleRequest)
+	b.reqs = newReqQueue(b.done, b.handleRequest)
 	go a.recvLoop()
 	go b.recvLoop()
 	return a, b
@@ -516,8 +596,9 @@ func (e *MemEndpoint) recvLoop() {
 	}
 }
 
-// handleFrame dispatches one received descriptor, deduplicating
-// retransmitted requests through the response cache.
+// handleFrame dispatches one received descriptor: responses complete
+// pending requests inline — the receive loop must never wait on a
+// handler — while requests go to the serial dispatch worker.
 func (e *MemEndpoint) handleFrame(f memFrame) {
 	if f.isResp {
 		e.mu.Lock()
@@ -531,6 +612,12 @@ func (e *MemEndpoint) handleFrame(f memFrame) {
 		}
 		return
 	}
+	e.reqs.push(f)
+}
+
+// handleRequest runs one inbound request on the dispatch worker,
+// deduplicating retransmissions through the response cache.
+func (e *MemEndpoint) handleRequest(f memFrame) {
 	if cached, ok := e.respCache.get(f.seq); ok {
 		e.send(cached)
 		return

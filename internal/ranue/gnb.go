@@ -121,6 +121,22 @@ func (g *GNB) byRan(id uint64) *attachment {
 	return g.byRanUeID[id]
 }
 
+// bindAmfUeID records the AMF-assigned UE ID on an attachment and
+// returns its UE, all under the lock: the UE pointer is nil while a
+// handover-target attachment awaits the UE's arrival, and amfUeID is
+// written concurrently with completeArrival.
+func (g *GNB) bindAmfUeID(ranUeID, amfUeID uint64) *UE {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	at := g.byRanUeID[ranUeID]
+	if at == nil {
+		return nil
+	}
+	at.amfUeID = amfUeID
+	g.byAmfUeID[amfUeID] = at
+	return at.ue
+}
+
 // n2Loop dispatches NGAP messages from the AMF.
 func (g *GNB) n2Loop() {
 	defer g.wg.Done()
@@ -137,21 +153,13 @@ func (g *GNB) n2Loop() {
 				close(g.setupDone)
 			}
 		case *ngap.DownlinkNASTransport:
-			if at := g.byRan(m.RanUeID); at != nil {
-				at.amfUeID = m.AmfUeID
-				g.mu.Lock()
-				g.byAmfUeID[m.AmfUeID] = at
-				g.mu.Unlock()
-				at.ue.deliverNAS(m.NasPdu)
+			if ue := g.bindAmfUeID(m.RanUeID, m.AmfUeID); ue != nil {
+				ue.deliverNAS(m.NasPdu)
 			}
 		case *ngap.InitialContextSetupRequest:
-			if at := g.byRan(m.RanUeID); at != nil {
-				at.amfUeID = m.AmfUeID
-				g.mu.Lock()
-				g.byAmfUeID[m.AmfUeID] = at
-				g.mu.Unlock()
+			if ue := g.bindAmfUeID(m.RanUeID, m.AmfUeID); ue != nil {
 				g.conn.Send(&ngap.InitialContextSetupResponse{RanUeID: m.RanUeID, AmfUeID: m.AmfUeID})
-				at.ue.deliverNAS(m.NasPdu)
+				ue.deliverNAS(m.NasPdu)
 			}
 		case *ngap.PDUSessionResourceSetupRequest:
 			g.handleResourceSetup(m)
@@ -168,13 +176,19 @@ func (g *GNB) n2Loop() {
 		case *ngap.HandoverRequest:
 			g.handleHandoverRequest(m)
 		case *ngap.HandoverCommand:
-			if at := g.byRan(m.RanUeID); at != nil {
-				at.ue.deliverHandoverCommand(m.TargetGnbID)
+			g.mu.Lock()
+			var ue *UE
+			if at := g.byRanUeID[m.RanUeID]; at != nil {
+				ue = at.ue
+			}
+			g.mu.Unlock()
+			if ue != nil {
+				ue.deliverHandoverCommand(m.TargetGnbID)
 			}
 		case *ngap.UEContextReleaseCommand:
 			g.mu.Lock()
-			at := g.byRanUeID[m.RanUeID]
-			if at != nil {
+			var ue *UE
+			if at := g.byRanUeID[m.RanUeID]; at != nil {
 				delete(g.byRanUeID, m.RanUeID)
 				delete(g.byAmfUeID, at.amfUeID)
 				if at.dlTEID != 0 {
@@ -182,11 +196,14 @@ func (g *GNB) n2Loop() {
 				}
 				// The UE stays camped on the cell for paging; it only
 				// leaves the camped set when it hands over away (uncamp).
+				// at.ue is nil when a release races a handover arrival
+				// (the attachment is pre-created, the UE binds later).
+				ue = at.ue
 			}
 			g.mu.Unlock()
 			g.conn.Send(&ngap.UEContextReleaseComplete{RanUeID: m.RanUeID})
-			if at != nil {
-				at.ue.deliverRelease()
+			if ue != nil {
+				ue.deliverRelease()
 			}
 		}
 	}

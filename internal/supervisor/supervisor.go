@@ -160,14 +160,20 @@ type Config struct {
 	// Sleep, when non-nil, implements injected ingress delays and
 	// recovery polling; nil defaults to time.Sleep.
 	Sleep func(time.Duration)
+	// OnRecovery, when non-nil, is called after every completed failover
+	// with the promoted unit's name and measurements. The telemetry
+	// pipeline hangs its flight-recorder dump trigger here; the hook runs
+	// on the failover goroutine with no unit lock held.
+	OnRecovery func(unit string, stats RecoveryStats)
 }
 
 // Supervisor orchestrates failure resiliency across registered units.
 type Supervisor struct {
-	track *trace.Track
-	reg   *metrics.Registry
-	clock func() time.Duration
-	sleep func(time.Duration)
+	track      *trace.Track
+	reg        *metrics.Registry
+	clock      func() time.Duration
+	sleep      func(time.Duration)
+	onRecovery func(unit string, stats RecoveryStats)
 
 	mu    sync.Mutex
 	units map[string]*Unit
@@ -186,12 +192,13 @@ func New(cfg Config) *Supervisor {
 		sleep = time.Sleep
 	}
 	return &Supervisor{
-		track: trace.NewTrack(cfg.Tracer, "supervisor"),
-		reg:   cfg.Metrics,
-		clock: clock,
-		sleep: sleep,
-		units: make(map[string]*Unit),
-		stopC: make(chan struct{}),
+		track:      trace.NewTrack(cfg.Tracer, "supervisor"),
+		reg:        cfg.Metrics,
+		clock:      clock,
+		sleep:      sleep,
+		onRecovery: cfg.OnRecovery,
+		units:      make(map[string]*Unit),
+		stopC:      make(chan struct{}),
 	}
 }
 
@@ -270,6 +277,17 @@ func (s *Supervisor) exportMetrics(u *Unit) {
 	})
 	s.reg.RegisterHistogram(p+".detect", u.detectHist)
 	s.reg.RegisterHistogram(p+".downtime", u.downtimeHist)
+	// Continuous-telemetry levels: the active generation number (steps on
+	// every promote) and the packet-log depth across classes (bounded by
+	// ReleaseUpTo; unbounded growth means checkpoints stopped landing).
+	s.reg.RegisterGauge(p+".generation", func() uint64 { return uint64(u.Gen()) })
+	s.reg.RegisterGauge(p+".log_depth", func() uint64 {
+		var total int
+		for _, d := range u.log.Depth() {
+			total += d
+		}
+		return uint64(total)
+	})
 }
 
 // Unit returns a registered unit by name (nil if absent).
@@ -586,15 +604,19 @@ func (u *Unit) failover(detect time.Duration) {
 		c.Close()
 	}
 
-	u.lastMu.Lock()
-	u.last = RecoveryStats{
+	stats := RecoveryStats{
 		Gen: u.gen, Detect: detect, Downtime: downtime,
 		Replayed: len(replay), Errors: replayErrs,
 	}
+	u.lastMu.Lock()
+	u.last = stats
 	u.lastMu.Unlock()
 	u.detectHist.Observe(detect)
 	u.downtimeHist.Observe(downtime)
 	u.recoveries.Add(1)
+	if u.sup.onRecovery != nil {
+		u.sup.onRecovery(u.cfg.Name, stats)
+	}
 
 	root.Attr("promoted", u.cfg.Name+".g"+strconv.Itoa(u.gen))
 	root.End()

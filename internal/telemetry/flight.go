@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds in the flight ring.
+const (
+	KindSpan  uint8 = iota // At..End is a completed span
+	KindEvent              // At is an instant event
+)
+
+// Event is one fixed-size flight-recorder record: a completed span or an
+// instant event, stamped with a global sequence number so a dump can be
+// ordered even after the ring laps.
+type Event struct {
+	Seq   uint64        `json:"seq"`
+	Track string        `json:"track"`
+	Name  string        `json:"name"`
+	At    time.Duration `json:"atNs"`
+	End   time.Duration `json:"endNs,omitempty"` // zero for instant events
+	Kind  uint8         `json:"kind"`
+}
+
+// flightSlot is one ring slot. state is a per-slot spinlock (0 free,
+// 1 held): CAS acquire / store release give the race detector (and the
+// memory model) the happens-before edges a seqlock would lack, while
+// keeping the record path lock-order-free and allocation-free.
+type flightSlot struct {
+	state atomic.Uint32
+	seq   uint64 // ticket+1 of the stored event; 0 = empty
+	ev    Event
+}
+
+// FlightRecorder is the always-on, fixed-size, lock-free ring of recent
+// spans and events. Writers take a global ticket and overwrite their
+// slot; lapped history is the design (the ring answers "what was the
+// system doing just before X", not "everything that happened"). The
+// record path performs two atomic ops and a struct copy: no allocation,
+// no shared lock, so it stays on even at data-plane rates.
+type FlightRecorder struct {
+	slots []flightSlot
+	mask  uint64
+	seq   atomic.Uint64
+}
+
+// DefaultFlightCapacity is the ring size when the config leaves it zero.
+const DefaultFlightCapacity = 4096
+
+// NewFlightRecorder creates a ring holding the last `capacity` records
+// (rounded up to a power of two; <=0 picks DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &FlightRecorder{slots: make([]flightSlot, n), mask: uint64(n - 1)}
+}
+
+// RecordSpan records a completed span. Nil-safe, 0 allocs.
+func (f *FlightRecorder) RecordSpan(track, name string, start, end time.Duration) {
+	f.record(track, name, start, end, KindSpan)
+}
+
+// RecordEvent records an instant event. Nil-safe, 0 allocs.
+func (f *FlightRecorder) RecordEvent(track, name string, at time.Duration) {
+	f.record(track, name, at, 0, KindEvent)
+}
+
+func (f *FlightRecorder) record(track, name string, at, end time.Duration, kind uint8) {
+	if f == nil {
+		return
+	}
+	seq := f.seq.Add(1) - 1
+	s := &f.slots[seq&f.mask]
+	for !s.state.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+	// Two writers a full lap apart can race to the same slot; the later
+	// ticket wins so a dump never shows older data shadowing newer.
+	if seq+1 > s.seq {
+		s.seq = seq + 1
+		s.ev = Event{Seq: seq, Track: track, Name: name, At: at, End: end, Kind: kind}
+	}
+	s.state.Store(0)
+}
+
+// Recorded reports how many records have ever been written (not how many
+// the ring still holds).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Events copies the ring's surviving records in sequence order — the
+// dump path. Writers keep running; each slot is copied under its own
+// spinlock, so the result is per-record consistent and globally ordered
+// by ticket.
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	evs := make([]Event, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		for !s.state.CompareAndSwap(0, 1) {
+			runtime.Gosched()
+		}
+		if s.seq > 0 {
+			evs = append(evs, s.ev)
+		}
+		s.state.Store(0)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	return evs
+}
+
+// Dump is one flight-recorder dump: the ring contents at the trigger
+// instant plus the tail of the telemetry sample series — the "what was
+// the system doing in the seconds before this" artifact.
+type Dump struct {
+	Reason  string        `json:"reason"`
+	At      time.Duration `json:"atNs"`
+	Events  []Event       `json:"events"`
+	Samples []Sample      `json:"samples"`
+}
+
+// WriteJSON renders the dump as one indented JSON document.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

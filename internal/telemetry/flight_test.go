@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"l25gc/internal/testutil"
+)
+
+func TestFlightRecorderOrdering(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		f.RecordEvent("tk", fmt.Sprintf("ev%d", i), time.Duration(i))
+	}
+	evs := f.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) || ev.Name != fmt.Sprintf("ev%d", i) {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+		if ev.Kind != KindEvent {
+			t.Fatalf("event %d kind = %d, want KindEvent", i, ev.Kind)
+		}
+	}
+}
+
+// When the ring laps, only the newest `capacity` records survive, still
+// in ticket order.
+func TestFlightRecorderLapping(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := NewFlightRecorder(8)
+	const total = 100
+	for i := 0; i < total; i++ {
+		f.RecordSpan("tk", "span", time.Duration(i), time.Duration(i+1))
+	}
+	if got := f.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	evs := f.Events()
+	if len(evs) != 8 {
+		t.Fatalf("got %d surviving events, want ring size 8", len(evs))
+	}
+	for i, ev := range evs {
+		want := uint64(total - 8 + i)
+		if ev.Seq != want {
+			t.Fatalf("survivor %d has seq %d, want %d (newest window)", i, ev.Seq, want)
+		}
+	}
+}
+
+// Capacity rounds up to a power of two.
+func TestFlightRecorderCapacityRounding(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := NewFlightRecorder(5)
+	if len(f.slots) != 8 {
+		t.Fatalf("capacity 5 gave %d slots, want 8", len(f.slots))
+	}
+	f = NewFlightRecorder(0)
+	if len(f.slots) != DefaultFlightCapacity {
+		t.Fatalf("capacity 0 gave %d slots, want %d", len(f.slots), DefaultFlightCapacity)
+	}
+}
+
+// Concurrent writers and a concurrent reader: no torn records (every
+// copied event is internally consistent) and no lost tickets. Run with
+// -race this doubles as the memory-model check for the per-slot locks.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := NewFlightRecorder(64)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent dumper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range f.Events() {
+				if ev.Kind == KindSpan && ev.End != ev.At+1 {
+					panic(fmt.Sprintf("torn record: %+v", ev))
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				at := time.Duration(w*perWriter + i)
+				f.RecordSpan("tk", "span", at, at+1)
+			}
+		}(w)
+	}
+	// The ticket counter shows when every write landed; then the dumper
+	// can stop.
+	for f.Recorded() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := f.Recorded(); got != writers*perWriter {
+		t.Fatalf("Recorded() = %d, want %d", got, writers*perWriter)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("got %d surviving events, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("dump not strictly ordered at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var f *FlightRecorder
+	f.RecordSpan("tk", "s", 0, 1)
+	f.RecordEvent("tk", "e", 0)
+	if f.Events() != nil || f.Recorded() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestDumpWriteJSON(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := NewFlightRecorder(8)
+	f.RecordSpan("onvm", "onvm.deliver", 10, 25)
+	d := &Dump{Reason: "test", At: 100, Events: f.Events()}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Dump
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("dump JSON does not round-trip: %v", err)
+	}
+	if back.Reason != "test" || len(back.Events) != 1 || back.Events[0].Name != "onvm.deliver" {
+		t.Fatalf("round-tripped dump mismatch: %+v", back)
+	}
+}
+
+// The record path must not allocate: the flight recorder is always on,
+// including under data-plane load.
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlightRecorder(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RecordSpan("onvm", "onvm.deliver", time.Duration(i), time.Duration(i+10))
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		f.RecordSpan("onvm", "onvm.deliver", 1, 2)
+	}); a != 0 {
+		b.Fatalf("record path allocates %.1f allocs/op, want 0", a)
+	}
+}

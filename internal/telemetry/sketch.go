@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Sketch is a streaming quantile sketch over durations: a fixed array of
+// log-spaced buckets (16 sub-buckets per octave, ~6% relative error)
+// updated with one atomic add per observation. The span observer feeds
+// watched stages through it on the hot path — no locks, no allocation,
+// no retained samples — and the sampler reads windowed quantiles by
+// diffing bucket counts between ticks.
+type Sketch struct {
+	counts [SketchBuckets]atomic.Uint64
+}
+
+// Bucket layout: values below 2^sketchSubBits map 1:1 (exact); above,
+// each octave splits into 2^sketchSubBits sub-buckets, so the bucket
+// index is monotone in the value and the representative (lower-bound)
+// value is recoverable from the index alone.
+const (
+	sketchSubBits    = 4
+	sketchSubBuckets = 1 << sketchSubBits
+
+	// SketchBuckets bounds the index for any uint64 nanosecond count:
+	// the largest exponent (63) lands at (63-4)*16+31 = 975.
+	SketchBuckets = 1024
+)
+
+// sketchBucket maps a duration to its bucket index.
+func sketchBucket(d time.Duration) int {
+	v := uint64(d)
+	if v < sketchSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	idx := (exp-sketchSubBits)*sketchSubBuckets + int(v>>(uint(exp)-sketchSubBits))
+	if idx >= SketchBuckets {
+		return SketchBuckets - 1
+	}
+	return idx
+}
+
+// sketchValue returns the lower bound of bucket idx — the deterministic
+// representative the quantile reader reports.
+func sketchValue(idx int) time.Duration {
+	if idx < 2*sketchSubBuckets {
+		return time.Duration(idx)
+	}
+	block := idx >> sketchSubBits
+	sub := idx & (sketchSubBuckets - 1)
+	return time.Duration(uint64(sketchSubBuckets|sub) << uint(block-1))
+}
+
+// Observe records one duration. Nil-safe, lock-free, allocation-free.
+func (s *Sketch) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.counts[sketchBucket(d)].Add(1)
+}
+
+// SketchCounts is a point-in-time copy of a sketch's buckets. Copies
+// subtract to form windows; quantiles read from either.
+type SketchCounts [SketchBuckets]uint64
+
+// Counts copies the current bucket counts.
+func (s *Sketch) Counts() SketchCounts {
+	var c SketchCounts
+	if s == nil {
+		return c
+	}
+	for i := range s.counts {
+		c[i] = s.counts[i].Load()
+	}
+	return c
+}
+
+// Sub returns the window c-prev (observations recorded between the two
+// copies, assuming prev was taken earlier from the same sketch).
+func (c *SketchCounts) Sub(prev *SketchCounts) SketchCounts {
+	var out SketchCounts
+	for i := range c {
+		if c[i] >= prev[i] {
+			out[i] = c[i] - prev[i]
+		}
+	}
+	return out
+}
+
+// Total returns the number of observations in the window.
+func (c *SketchCounts) Total() uint64 {
+	var n uint64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the window, as the
+// lower bound of the bucket holding the rank — 0 with no observations.
+func (c *SketchCounts) Quantile(q float64) time.Duration {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i, v := range c {
+		seen += v
+		if seen >= rank {
+			return sketchValue(i)
+		}
+	}
+	return sketchValue(SketchBuckets - 1)
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"l25gc/internal/testutil"
+)
+
+// The bucket mapping must be monotone and self-consistent: a value's
+// bucket lower bound can never exceed the value, and bucket indexes
+// never decrease as values grow.
+func TestSketchBucketMonotone(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	prevIdx := -1
+	for _, v := range []time.Duration{
+		0, 1, 2, 15, 16, 17, 31, 32, 100,
+		time.Microsecond, 1500, 10 * time.Microsecond, 123 * time.Microsecond,
+		time.Millisecond, 7 * time.Millisecond, time.Second, time.Hour,
+		1<<62 - 1,
+	} {
+		idx := sketchBucket(v)
+		if idx < prevIdx {
+			t.Fatalf("bucket index regressed at %v: %d < %d", v, idx, prevIdx)
+		}
+		prevIdx = idx
+		if lb := sketchValue(idx); lb > v {
+			t.Fatalf("bucket %d lower bound %v exceeds member value %v", idx, lb, v)
+		}
+	}
+}
+
+// Small values (below one sub-bucket span) map exactly.
+func TestSketchExactSmallValues(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	for v := time.Duration(0); v < 2*sketchSubBuckets; v++ {
+		if got := sketchValue(sketchBucket(v)); got != v {
+			t.Fatalf("value %d: round-trip gave %d, want exact", v, got)
+		}
+	}
+}
+
+// Quantiles over a known uniform distribution must land within the
+// sketch's relative-error bound (one sub-bucket, ~1/16 ≈ 6%).
+func TestSketchQuantileAccuracy(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var sk Sketch
+	const n = 100_000
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		sk.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+	}
+	c := sk.Counts()
+	if c.Total() != n {
+		t.Fatalf("total %d, want %d", c.Total(), n)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5 * time.Millisecond},
+		{0.90, 9 * time.Millisecond},
+		{0.99, 9900 * time.Microsecond},
+	} {
+		got := c.Quantile(tc.q)
+		lo := tc.want - tc.want/8 // one sub-bucket of slack plus sampling noise
+		hi := tc.want + tc.want/8
+		if got < lo || got > hi {
+			t.Fatalf("q%.2f = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+}
+
+// Windowed reads (Sub between two copies) must reflect only the
+// observations recorded in between.
+func TestSketchWindow(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var sk Sketch
+	for i := 0; i < 100; i++ {
+		sk.Observe(time.Millisecond)
+	}
+	base := sk.Counts()
+	for i := 0; i < 50; i++ {
+		sk.Observe(time.Second)
+	}
+	cur := sk.Counts()
+	win := cur.Sub(&base)
+	if win.Total() != 50 {
+		t.Fatalf("window total %d, want 50", win.Total())
+	}
+	// Everything in the window is ~1s; even the p1 must be far above 1ms.
+	if q := win.Quantile(0.01); q < 500*time.Millisecond {
+		t.Fatalf("window p1 = %v, contaminated by pre-window observations", q)
+	}
+}
+
+func TestSketchQuantileEdgeCases(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var empty SketchCounts
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty sketch quantile = %v, want 0", q)
+	}
+	var sk Sketch
+	sk.Observe(42 * time.Microsecond)
+	c := sk.Counts()
+	lo, hi := c.Quantile(0.0001), c.Quantile(1.0)
+	if lo != hi {
+		t.Fatalf("single observation: q0.0001=%v q1=%v, want identical", lo, hi)
+	}
+	sk.Observe(-time.Second) // negative clamps to zero, must not panic
+	c = sk.Counts()
+	if got := c.Total(); got != 2 {
+		t.Fatalf("total after negative observe = %d, want 2", got)
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"l25gc/internal/metrics"
+	"l25gc/internal/testutil"
+	"l25gc/internal/trace"
+)
+
+// End-to-end through the trace seam: spans closed on a streaming tracer
+// flow through the observer into the flight ring and the watched
+// sketches, and DumpNow captures them with the trailing samples.
+func TestPipelineObservesStreamingTracer(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	clk := &testClock{}
+	p := New(Config{WatchStages: []string{"onvm.deliver"}, Clock: clk.fn()})
+	tr := trace.NewStreaming(clk.fn())
+	reg := metrics.NewRegistry()
+	p.Bind(tr, reg)
+	defer p.Stop()
+
+	tk := trace.NewTrack(tr, "onvm")
+	clk.now = 10 * time.Microsecond
+	sp := tk.Start("onvm.deliver")
+	clk.now = 30 * time.Microsecond
+	sp.End()
+	tk.Event("onvm.backpressure")
+
+	evs := p.Flight.Events()
+	if len(evs) != 2 {
+		t.Fatalf("flight ring holds %d records, want span+event", len(evs))
+	}
+	if evs[0].Kind != KindSpan || evs[0].Name != "onvm.deliver" || evs[0].End != 30*time.Microsecond {
+		t.Fatalf("span record mismatch: %+v", evs[0])
+	}
+	if evs[1].Kind != KindEvent || evs[1].Name != "onvm.backpressure" {
+		t.Fatalf("event record mismatch: %+v", evs[1])
+	}
+
+	smp := p.SampleNow()
+	if got := smp.Values[stagePrefix+"onvm.deliver.count"]; got != 1 {
+		t.Fatalf("watched stage window count = %v, want 1", got)
+	}
+	// The dump counter is itself a registered gauge, so dumps appear in
+	// later samples.
+	d := p.DumpNow("test.reason")
+	if d.Reason != "test.reason" || len(d.Events) < 2 || len(d.Samples) != 1 {
+		t.Fatalf("dump mismatch: reason=%q events=%d samples=%d", d.Reason, len(d.Events), len(d.Samples))
+	}
+	if p.LastDump() != d || p.Dumps() != 1 {
+		t.Fatal("LastDump/Dumps out of sync with DumpNow")
+	}
+	if got := p.SampleNow().Values["telemetry.dumps"]; got != 1 {
+		t.Fatalf("telemetry.dumps gauge sampled as %v, want 1", got)
+	}
+	// The dump records its own trigger marker in the ring.
+	var marker bool
+	for _, ev := range p.Flight.Events() {
+		if ev.Name == "flight.dump" {
+			marker = true
+		}
+	}
+	if !marker {
+		t.Fatal("DumpNow left no flight.dump marker in the ring")
+	}
+}
+
+func TestPipelineOnDumpHook(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var got []string
+	p := New(Config{OnDump: func(d *Dump) { got = append(got, d.Reason) }})
+	p.DumpNow("a")
+	p.DumpNow("b")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("OnDump observed %v, want [a b]", got)
+	}
+}
+
+// A nil pipeline is valid everywhere — the disabled-path idiom the core
+// relies on.
+func TestPipelineNilSafe(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var p *Pipeline
+	p.Bind(nil, nil)
+	p.Start()
+	p.Stop()
+	if p.DumpNow("x") != nil || p.LastDump() != nil || p.Dumps() != 0 {
+		t.Fatal("nil pipeline must be inert")
+	}
+	if s := p.SampleNow(); s.Values != nil {
+		t.Fatal("nil pipeline SampleNow must return a zero sample")
+	}
+}
+
+// Stop detaches the observer: spans closed afterwards must not reach
+// the flight ring (the pipeline never outlives its unit).
+func TestPipelineStopDetaches(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	clk := &testClock{}
+	p := New(Config{Clock: clk.fn()})
+	tr := trace.NewStreaming(clk.fn())
+	p.Bind(tr, metrics.NewRegistry())
+	tk := trace.NewTrack(tr, "onvm")
+	tk.Start("onvm.deliver").End()
+	p.Stop()
+	tk.Start("onvm.deliver").End()
+	if got := p.Flight.Recorded(); got != 1 {
+		t.Fatalf("flight ring recorded %d, want 1 (post-Stop span leaked in)", got)
+	}
+}

@@ -7,8 +7,9 @@ package trace
 // by these names, so a typo here splits a procedure from its readers;
 // add an entry (reviewed) before introducing a new span.
 var LintNames = []string{
-	// Tracks.
+	// Tracks ("telemetry" carries the pipeline's dump markers).
 	"supervisor",
+	"telemetry",
 
 	// AMF control-plane procedures.
 	"amf.nas.decode",
@@ -78,4 +79,8 @@ var LintNames = []string{
 	"overload.recovery_enter",
 	"overload.recovery_exit",
 	"fault.*",
+
+	// Telemetry pipeline markers: one per flight-recorder dump, so the
+	// dump trigger is visible in the trace and in the next dump's ring.
+	"flight.dump",
 }

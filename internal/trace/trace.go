@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"l25gc/internal/metrics"
@@ -61,10 +62,31 @@ type eventRec struct {
 	attrs  [maxAttrs]attr
 }
 
+// SpanObserver receives completed spans and instant events as they
+// close. The telemetry flight recorder and quantile sketches hang off
+// this hook, so a tracer can feed a continuous pipeline without anyone
+// walking its retained records. Implementations are called on the hot
+// path (under no tracer lock) and must be cheap and allocation-free.
+type SpanObserver interface {
+	ObserveSpan(track, name string, start, end time.Duration)
+	ObserveEvent(track, name string, at time.Duration)
+}
+
+// observerBox wraps the observer so the tracer can publish it through
+// one atomic pointer (interface values cannot be stored atomically).
+type observerBox struct{ o SpanObserver }
+
 // Tracer collects spans and instant events. A nil *Tracer is a valid
 // disabled tracer at every entry point.
 type Tracer struct {
 	clock func() time.Duration
+
+	// streaming tracers do not retain records: spans/events flow to the
+	// observer only, so an always-on soak can trace for minutes without
+	// growing memory. Set at construction, read on every span path.
+	streaming bool
+
+	obs atomic.Pointer[observerBox]
 
 	mu     sync.Mutex
 	spans  []spanRec
@@ -93,11 +115,47 @@ func NewWithClock(now func() time.Duration) *Tracer {
 	}
 }
 
+// NewStreaming returns a tracer that retains nothing: every closed span
+// and instant event goes to the installed SpanObserver and is then
+// forgotten. Memory stays constant no matter how long the run, which is
+// what a minutes-long soak needs from an always-on tracer. Breakdown and
+// WriteChrome see no records on a streaming tracer; per-span Attr values
+// are dropped (observer records are fixed-size).
+func NewStreaming(now func() time.Duration) *Tracer {
+	return &Tracer{clock: now, streaming: true}
+}
+
+// SetObserver installs (or, with nil, removes) the observer fed by every
+// span End and instant event. Safe to call concurrently with tracing.
+func (t *Tracer) SetObserver(o SpanObserver) {
+	if t == nil {
+		return
+	}
+	if o == nil {
+		t.obs.Store(nil)
+		return
+	}
+	t.obs.Store(&observerBox{o: o})
+}
+
+// observer returns the installed observer or nil.
+func (t *Tracer) observer() SpanObserver {
+	if b := t.obs.Load(); b != nil {
+		return b.o
+	}
+	return nil
+}
+
 // Span is a handle to one started span. The zero Span (and any span from a
-// nil tracer) is disabled: End, Attr, Child and Event are no-ops.
+// nil tracer) is disabled: End, Attr, Child and Event are no-ops. The
+// handle carries its identity (track, name, start) inline so a streaming
+// tracer can close spans without ever storing a record.
 type Span struct {
-	t   *Tracer
-	idx int32
+	t     *Tracer
+	idx   int32 // index into t.spans; -1 on a streaming tracer
+	track string
+	name  string
+	start time.Duration
 }
 
 // Start opens a root span on track. Nil-safe.
@@ -110,11 +168,14 @@ func (t *Tracer) startSpan(track, name string, parent int32) Span {
 		return Span{}
 	}
 	now := t.clock()
-	t.mu.Lock()
-	idx := int32(len(t.spans))
-	t.spans = append(t.spans, spanRec{track: track, name: name, parent: parent, start: now})
-	t.mu.Unlock()
-	return Span{t: t, idx: idx}
+	idx := int32(-1)
+	if !t.streaming {
+		t.mu.Lock()
+		idx = int32(len(t.spans))
+		t.spans = append(t.spans, spanRec{track: track, name: name, parent: parent, start: now})
+		t.mu.Unlock()
+	}
+	return Span{t: t, idx: idx, track: track, name: name, start: now}
 }
 
 // Event records an instant event on track. Attrs are key/value pairs
@@ -125,14 +186,19 @@ func (t *Tracer) Event(track, name string, attrs ...string) {
 		return
 	}
 	now := t.clock()
-	rec := eventRec{track: track, name: name, at: now}
-	for i := 0; i+1 < len(attrs) && rec.nattrs < maxAttrs; i += 2 {
-		rec.attrs[rec.nattrs] = attr{k: attrs[i], v: attrs[i+1]}
-		rec.nattrs++
+	if !t.streaming {
+		rec := eventRec{track: track, name: name, at: now}
+		for i := 0; i+1 < len(attrs) && rec.nattrs < maxAttrs; i += 2 {
+			rec.attrs[rec.nattrs] = attr{k: attrs[i], v: attrs[i+1]}
+			rec.nattrs++
+		}
+		t.mu.Lock()
+		t.events = append(t.events, rec)
+		t.mu.Unlock()
 	}
-	t.mu.Lock()
-	t.events = append(t.events, rec)
-	t.mu.Unlock()
+	if o := t.observer(); o != nil {
+		o.ObserveEvent(track, name, now)
+	}
 }
 
 // Child opens a sub-span on the same track.
@@ -140,10 +206,7 @@ func (s Span) Child(name string) Span {
 	if s.t == nil {
 		return Span{}
 	}
-	s.t.mu.Lock()
-	track := s.t.spans[s.idx].track
-	s.t.mu.Unlock()
-	return s.t.startSpan(track, name, s.idx)
+	return s.t.startSpan(s.track, name, s.idx)
 }
 
 // End closes the span at the current clock reading.
@@ -152,18 +215,27 @@ func (s Span) End() {
 		return
 	}
 	now := s.t.clock()
-	s.t.mu.Lock()
-	rec := &s.t.spans[s.idx]
-	if !rec.done {
+	if s.idx >= 0 {
+		s.t.mu.Lock()
+		rec := &s.t.spans[s.idx]
+		if rec.done {
+			s.t.mu.Unlock()
+			return
+		}
 		rec.end = now
 		rec.done = true
+		s.t.mu.Unlock()
 	}
-	s.t.mu.Unlock()
+	if o := s.t.observer(); o != nil {
+		o.ObserveSpan(s.track, s.name, s.start, now)
+	}
 }
 
 // Attr attaches a key/value attribute (bounded; extras are dropped).
+// Attributes live in the retained record, so a streaming tracer drops
+// them: its observer records are fixed-size by design.
 func (s Span) Attr(k, v string) {
-	if s.t == nil {
+	if s.t == nil || s.idx < 0 {
 		return
 	}
 	s.t.mu.Lock()
@@ -180,10 +252,7 @@ func (s Span) Event(name string, attrs ...string) {
 	if s.t == nil {
 		return
 	}
-	s.t.mu.Lock()
-	track := s.t.spans[s.idx].track
-	s.t.mu.Unlock()
-	s.t.Event(track, name, attrs...)
+	s.t.Event(s.track, name, attrs...)
 }
 
 // Enabled reports whether the span records anything (false for the zero

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"l25gc/internal/testutil"
 )
 
 // simClock is a hand-cranked clock for deterministic span timing.
@@ -20,6 +22,7 @@ func newSimTracer() (*Tracer, *simClock) {
 }
 
 func TestNilTracerIsInert(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	var tr *Tracer
 	sp := tr.Start("track", "root")
 	if sp.Enabled() {
@@ -47,6 +50,7 @@ func TestNilTracerIsInert(t *testing.T) {
 }
 
 func TestNilTrackIsInert(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	var tk *Track
 	sp := tk.Start("x")
 	if sp.Enabled() {
@@ -63,6 +67,7 @@ func TestNilTrackIsInert(t *testing.T) {
 }
 
 func TestSpanTimingAndParent(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr, c := newSimTracer()
 	root := tr.Start("cp", "proc")
 	c.advance(10 * time.Millisecond)
@@ -93,6 +98,7 @@ func TestSpanTimingAndParent(t *testing.T) {
 }
 
 func TestDoubleEndKeepsFirst(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr, c := newSimTracer()
 	sp := tr.Start("t", "s")
 	c.advance(time.Millisecond)
@@ -107,6 +113,7 @@ func TestDoubleEndKeepsFirst(t *testing.T) {
 }
 
 func TestAttrsBounded(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr, _ := newSimTracer()
 	sp := tr.Start("t", "s")
 	for i := 0; i < maxAttrs+3; i++ {
@@ -121,6 +128,7 @@ func TestAttrsBounded(t *testing.T) {
 }
 
 func TestWriteChromeShape(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr, c := newSimTracer()
 	sp := tr.Start("pfcp.smf", "pfcp.request.session_establishment")
 	sp.Attr("seid", "0x101")
@@ -165,6 +173,7 @@ func TestWriteChromeShape(t *testing.T) {
 }
 
 func TestOpenSpansExportAtNow(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr, c := newSimTracer()
 	tr.Start("t", "open") // never ended
 	c.advance(3 * time.Millisecond)
@@ -188,6 +197,7 @@ func TestOpenSpansExportAtNow(t *testing.T) {
 }
 
 func TestBreakdownCoverageAndStages(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr, c := newSimTracer()
 	root := tr.Start("cp", "proc")
 	a := root.Child("stage.a")
@@ -231,6 +241,7 @@ func TestBreakdownCoverageAndStages(t *testing.T) {
 }
 
 func TestBreakdownPicksLastCompletedRoot(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr, c := newSimTracer()
 	first := tr.Start("t", "proc")
 	c.advance(time.Millisecond)
@@ -249,6 +260,7 @@ func TestBreakdownPicksLastCompletedRoot(t *testing.T) {
 }
 
 func TestConcurrentSpans(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr := New()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -278,6 +290,7 @@ func TestConcurrentSpans(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	tr := New()
 	tr.Start("t", "s").End()
 	tr.Event("t", "e")
