@@ -5,7 +5,7 @@ GOFMT ?= gofmt
 # specific interleaving: make check CHAOS_SEEDS="12345"
 CHAOS_SEEDS ?= 1902 7 42
 
-.PHONY: all build test check lint staticcheck chaos trace-smoke recovery-smoke scale-smoke storm-smoke soak-smoke
+.PHONY: all build test check lint staticcheck chaos trace-smoke recovery-smoke scale-smoke storm-smoke soak-smoke partition-smoke fuzz-smoke
 
 all: build
 
@@ -34,6 +34,7 @@ check:
 	$(MAKE) scale-smoke
 	$(MAKE) storm-smoke
 	$(MAKE) soak-smoke
+	$(MAKE) partition-smoke
 
 # Repo-local invariant analyzers (DESIGN §13): determinism, replaysafe,
 # nomutexhold, metricnames. Zero diagnostics required; escape hatches
@@ -94,6 +95,31 @@ soak-smoke:
 	$(GO) test -count=1 -run 'TestNone' -bench 'BenchmarkFlightRecord' -benchmem ./internal/telemetry
 	$(GO) test -race -count=1 -run 'TestConcurrentControlWithStreamingTelemetry|TestFlightDumpOnCrashMidWorkload|TestSamplerReadsOnlyRegisteredNames' ./internal/core
 	L25GC_SOAK_UES=12 L25GC_SOAK_ROUNDS=4 L25GC_SOAK_OPS=48 L25GC_SOAK_WORKERS=6 $(GO) run ./cmd/bench5gc -exp soak
+
+# Partition-tolerance gate: the PFCP association state machine and
+# endpoint-close/leak tests under the race detector, the UPF-side
+# association/audit handling, the four N4-partition chaos scenarios
+# (heal+reconcile zero divergence, one-way/timed partitions, UPF
+# restart mid-load, partition overlapping an SMF failover), then a
+# shrunk partition experiment end to end (detect, degraded-mode
+# goodput, journal replay, orphan purge, restart rebuild — fails on
+# any SMF/UPF SEID divergence).
+partition-smoke:
+	$(GO) test -race -count=1 -run 'TestAssociation|TestEndpointClose|TestUDPEndpointClose' ./internal/pfcp
+	$(GO) test -race -count=1 -run 'TestAssociationSetup|TestHeartbeatCarries|TestSessionSetAudit' ./internal/upf
+	$(GO) test -race -count=1 -run 'TestChaosPartition|TestChaosOneWay|TestChaosUPFRestart' ./internal/faults
+	L25GC_PART_UES=6 L25GC_PART_WINDOW_MS=120 $(GO) run ./cmd/bench5gc -exp partition
+
+# Time-boxed native fuzzing of the three wire-format decoders that
+# parse attacker-adjacent input (PFCP TLVs off N4, NAS PDUs off N2,
+# NGAP frames off the gNB link). Each corpus is seeded from marshal
+# round trips plus malformed prefixes; the property is "never panic,
+# and anything accepted re-marshals cleanly". Not part of `make
+# check` (wall-clock cost); run before touching codec code.
+fuzz-smoke:
+	$(GO) test -run 'FuzzNone' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/pfcp
+	$(GO) test -run 'FuzzNone' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/nas
+	$(GO) test -run 'FuzzNone' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/ngap
 
 # Sharded-switch scaling gate: the multi-worker per-flow FIFO invariant
 # under the race detector, then the scale experiment end to end (every

@@ -34,6 +34,7 @@ func main() {
 	overloadCtl := flag.Bool("overload", false, "arm per-NF admission control (priority-classed shedding with NAS/SBI/PFCP pushback)")
 	switchWorkers := flag.Int("switch-workers", 0, "descriptor-switch workers in the NF manager (0 = min(GOMAXPROCS, 4))")
 	flightDump := flag.String("flight-dump", "", "arm the telemetry pipeline and write an on-demand flight-recorder dump (JSON) here at the end of the run (implies -trace)")
+	n4assoc := flag.Bool("n4assoc", false, "arm the PFCP association lifecycle on N4 (SMF heartbeats, path-down detection, degraded mode, post-heal reconciliation)")
 	flag.Parse()
 	if *traceOut != "" || *flightDump != "" {
 		*doTrace = true
@@ -75,6 +76,7 @@ func main() {
 		Mode: m, ClsAlgo: *cls, Subscribers: subs, Tracer: tr, Metrics: reg,
 		Resilience: *resilience, SwitchWorkers: *switchWorkers,
 		Overload: *overloadCtl, Telemetry: tel,
+		N4Assoc: *n4assoc, N4HeartbeatInterval: 50 * time.Millisecond,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "core start: %v\n", err)
@@ -86,6 +88,10 @@ func main() {
 	}
 	if *overloadCtl {
 		fmt.Println("overload control armed: per-NF admission with priority shedding and backoff pushback")
+	}
+	if *n4assoc {
+		fmt.Printf("N4 association armed: state %s toward %s (50ms heartbeats)\n",
+			c.N4Association().State(), c.N4Association().PeerNodeID())
 	}
 	c.AMF.Logf = func(format string, args ...any) {
 		fmt.Printf("  | "+format+"\n", args...)

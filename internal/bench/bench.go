@@ -73,6 +73,7 @@ func Experiments() []Experiment {
 		{"trace", "Traced session establishment: per-stage transport breakdown", Trace},
 		{"storm", "Registration storm: overload control vs uncontrolled collapse", Storm},
 		{"soak", "Mixed-workload soak: resource and per-stage latency series over time", Soak},
+		{"partition", "N4 partition: detection, degraded-mode goodput, post-heal reconciliation", Partition},
 	}
 }
 

@@ -9,8 +9,8 @@ import (
 
 func TestCatalogueIntegrity(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("catalogue has %d experiments, want 20 (every table+figure, plus recovery, trace, scale, storm and soak)", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("catalogue has %d experiments, want 21 (every table+figure, plus recovery, trace, scale, storm, soak and partition)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -28,7 +28,7 @@ func TestCatalogueIntegrity(t *testing.T) {
 	}
 	for _, want := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"pdrupdate", "fig12", "table1", "table2", "smartbuf", "fig15", "fig16", "fig17",
-		"recovery", "ablation", "trace", "scale", "storm", "soak"} {
+		"recovery", "ablation", "trace", "scale", "storm", "soak", "partition"} {
 		if !seen[want] {
 			t.Fatalf("missing experiment %q", want)
 		}
@@ -36,7 +36,7 @@ func TestCatalogueIntegrity(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown ID should not resolve")
 	}
-	if len(IDs()) != 20 {
+	if len(IDs()) != 21 {
 		t.Fatal("IDs() incomplete")
 	}
 }

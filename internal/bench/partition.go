@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"l25gc/internal/core"
+	"l25gc/internal/faults"
+	"l25gc/internal/metrics"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/ranue"
+	"l25gc/internal/sbi"
+)
+
+// The partition experiment quantifies the N4 association layer's four
+// robustness figures: how fast a control-plane partition is detected
+// (heartbeat misses, each carrying the full T1/N1 retransmission
+// budget), how much data-plane goodput established sessions keep while
+// the path is down (the degraded-mode guarantee: the answer should be
+// "all of it"), how long post-heal reconciliation takes, and how much
+// state it moves (sessions rebuilt after a UPF restart, orphans purged,
+// journaled intents replayed). A divergence between the SMF and UPF
+// SEID tables at any settle point fails the experiment.
+
+// Partition scale knobs; `make partition-smoke` shrinks via environment.
+const (
+	partUEsDefault    = 12
+	partWindowMsDflt  = 300 // goodput measurement window
+	partOrphans       = 2   // stale UPF sessions planted for the purge phase
+	partReleaseWhile  = 2   // sessions released (journaled) during the partition
+	partRejectProbes  = 3   // establishment attempts while down
+	partDetectMissCap = 2   // MissThreshold
+)
+
+// partitionJSON is the machine-readable summary for BENCH_9.json.
+type partitionJSON struct {
+	UEs         int   `json:"ues"`
+	Seed        int64 `json:"seed"`
+	MissThresh  int   `json:"missThreshold"`
+	RetryT1Ms   int   `json:"retryT1Ms"`
+	RetryN1     int   `json:"retryN1"`
+	WindowMs    int   `json:"goodputWindowMs"`
+	OrphansSown int   `json:"orphansPlanted"`
+
+	// Phase 1: detection.
+	DetectMs     float64 `json:"detectMs"`     // association's own first-miss→down measure
+	DetectWallMs float64 `json:"detectWallMs"` // partition instant → observed Down
+
+	// Phase 2: degraded mode.
+	BaselinePps       float64 `json:"baselineGoodputPps"`
+	DegradedPps       float64 `json:"degradedGoodputPps"`
+	RejectedWhileDown uint64  `json:"rejectedWhileDown"`
+	RejectMeanMs      float64 `json:"rejectMeanMs"` // pushback latency, not a retry budget
+	JournaledIntents  int     `json:"journaledIntents"`
+
+	// Phase 3: heal + reconcile (purge orphans, replay journal).
+	ReconcileMs float64 `json:"reconcileMs"`
+	Purged      int     `json:"purged"`
+	Replayed    int     `json:"replayed"`
+
+	// Phase 4: UPF restart + rebuild reconciliation.
+	RestartReconcileMs float64 `json:"restartReconcileMs"`
+	Rebuilt            int     `json:"rebuilt"`
+	PostRestartPps     float64 `json:"postRestartGoodputPps"`
+
+	SMFSessions int `json:"smfSessions"`
+	UPFSessions int `json:"upfSessions"`
+	Divergence  int `json:"divergenceAfterHeal"` // must be 0
+}
+
+// Partition runs the four phases against one L²5GC-mode core.
+func Partition() (*Result, error) {
+	ues := stormEnvInt("L25GC_PART_UES", partUEsDefault)
+	windowMs := stormEnvInt("L25GC_PART_WINDOW_MS", partWindowMsDflt)
+	seed := stormSeed()
+	retry := pfcp.RetryConfig{T1: 30 * time.Millisecond, N1: 1, Backoff: 1}
+
+	inj := faults.New(seed)
+	c, err := core.New(core.Config{
+		Mode: core.ModeL25GC, Subscribers: benchSubscribers(ues),
+		FaultInjector: inj,
+		N4Assoc:       true, N4MissThreshold: partDetectMissCap,
+		N4Retry: retry, // manual Ticks: the bench drives the cadence
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+	a := c.N4Association()
+	if a.State() != pfcp.AssocUp {
+		return nil, fmt.Errorf("partition: association %v at start", a.State())
+	}
+
+	g, err := ranue.NewGNB(1, pkt.AddrFrom(10, 100, 0, 10), c.N2Addr(), c)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	ueList := make([]*ranue.UE, ues)
+	for i := range ueList {
+		ue := ranue.NewUE(fmt.Sprintf("imsi-20893000000000%d", i+1),
+			[]byte("0123456789abcdef"), []byte("fedcba9876543210"))
+		if _, err := ue.Register(g); err != nil {
+			return nil, fmt.Errorf("UE %d register: %w", i, err)
+		}
+		if _, err := ue.EstablishSession(5, "internet"); err != nil {
+			return nil, fmt.Errorf("UE %d session: %w", i, err)
+		}
+		ueList[i] = ue
+	}
+
+	var delivered atomic.Int64
+	c.SetN6Sink(func([]byte) { delivered.Add(1) })
+	dn := pkt.AddrFrom(1, 1, 1, 1)
+	window := time.Duration(windowMs) * time.Millisecond
+
+	// goodput pumps uplinks round-robin for the window and returns
+	// delivered packets/sec (waits a settle beat for in-flight frames).
+	goodput := func() (float64, error) {
+		start := delivered.Load()
+		t0 := time.Now()
+		for time.Since(t0) < window {
+			for _, ue := range ueList {
+				if err := ue.SendUplink(dn, 40000, 9000, []byte("part-goodput")); err != nil {
+					return 0, err
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(50 * time.Millisecond)
+		n := delivered.Load() - start
+		return float64(n) / window.Seconds(), nil
+	}
+
+	out := &partitionJSON{
+		UEs: ues, Seed: seed, MissThresh: partDetectMissCap,
+		RetryT1Ms: int(retry.T1 / time.Millisecond), RetryN1: retry.N1,
+		WindowMs: windowMs, OrphansSown: partOrphans,
+	}
+
+	// --- phase 0: baseline goodput ---
+	if out.BaselinePps, err = goodput(); err != nil {
+		return nil, err
+	}
+
+	// --- phase 1: partition + detection ---
+	inj.Partition("pfcp.smf")
+	inj.Partition("pfcp.upf")
+	t0 := time.Now()
+	for a.State() != pfcp.AssocDown {
+		a.Tick()
+		if time.Since(t0) > 10*time.Second {
+			return nil, fmt.Errorf("partition: down not detected")
+		}
+	}
+	out.DetectWallMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	out.DetectMs = float64(a.LastDetectLatency()) / float64(time.Millisecond)
+
+	// --- phase 2: degraded mode ---
+	// Established sessions keep forwarding.
+	if out.DegradedPps, err = goodput(); err != nil {
+		return nil, err
+	}
+	// New establishments get immediate backoff pushback.
+	var rejectTotal time.Duration
+	for i := 0; i < partRejectProbes; i++ {
+		r0 := time.Now()
+		if _, err := ueList[i].EstablishSession(uint32(6+i), "internet"); err == nil {
+			return nil, fmt.Errorf("partition: establishment admitted while down")
+		}
+		rejectTotal += time.Since(r0)
+	}
+	out.RejectMeanMs = float64(rejectTotal) / float64(partRejectProbes) / float64(time.Millisecond)
+	out.RejectedWhileDown = c.SMF.RejectedWhileDown()
+	// Releases journal as pending intents.
+	for i := 0; i < partReleaseWhile; i++ {
+		ref := fmt.Sprintf("smctx-imsi-20893000000000%d-5", i+1)
+		if _, err := c.SMF.Handle(sbi.OpReleaseSmContext, &sbi.SmContextReleaseRequest{SmContextRef: ref}); err != nil {
+			return nil, fmt.Errorf("partition: release while down: %w", err)
+		}
+	}
+	out.JournaledIntents = c.SMF.JournalLen()
+	// Plant orphans: sessions a previous SMF incarnation left at the UPF
+	// (delivered via direct UPF-C handling — the partition blocks only
+	// the endpoint transport).
+	for i := 0; i < partOrphans; i++ {
+		seid := uint64(90001 + i)
+		est := &pfcp.SessionEstablishmentRequest{NodeID: "smf.stale", CPSEID: seid,
+			UEIP: pkt.AddrFrom(10, 77, 0, byte(i+1))}
+		if _, err := c.UPFC.Handle(seid, est); err != nil {
+			return nil, fmt.Errorf("partition: planting orphan: %w", err)
+		}
+	}
+
+	// --- phase 3: heal + reconcile ---
+	inj.Heal("pfcp.smf")
+	inj.Heal("pfcp.upf")
+	for a.State() != pfcp.AssocUp {
+		a.Tick()
+	}
+	rec := c.SMF.LastReconcile()
+	if rec == nil {
+		return nil, fmt.Errorf("partition: no reconcile stats after heal")
+	}
+	out.ReconcileMs = float64(rec.Duration) / float64(time.Millisecond)
+	out.Purged, out.Replayed = rec.Purged, rec.Replayed
+
+	// --- phase 4: UPF restart + rebuild ---
+	c.UPFState.Reset()
+	c.UPFC.SetRecoveryTimestamp(c.UPFC.RecoveryTimestamp() + 1)
+	for a.State() != pfcp.AssocDown {
+		a.Tick()
+	}
+	for a.State() != pfcp.AssocUp {
+		a.Tick()
+	}
+	rec = c.SMF.LastReconcile()
+	out.RestartReconcileMs = float64(rec.Duration) / float64(time.Millisecond)
+	out.Rebuilt = rec.Rebuilt
+
+	// Post-restart goodput over the surviving sessions (the released
+	// ones are gone on both sides).
+	ueList = ueList[partReleaseWhile:]
+	if out.PostRestartPps, err = goodput(); err != nil {
+		return nil, err
+	}
+
+	// --- acceptance: zero divergence ---
+	ours, theirs := c.SMF.SEIDs(), c.UPFState.SEIDs()
+	out.SMFSessions, out.UPFSessions = len(ours), len(theirs)
+	if len(ours) == len(theirs) {
+		for i := range ours {
+			if ours[i] != theirs[i] {
+				out.Divergence++
+			}
+		}
+	} else {
+		out.Divergence = len(ours) + len(theirs)
+	}
+	if out.Divergence != 0 {
+		return nil, fmt.Errorf("partition: SEID tables diverged after heal: SMF %v, UPF %v", ours, theirs)
+	}
+
+	t := metrics.NewTable("phase", "figure", "value")
+	t.Row("detect", "first-miss → down", fmt.Sprintf("%.1f ms", out.DetectMs))
+	t.Row("detect", "partition → down (wall)", fmt.Sprintf("%.1f ms", out.DetectWallMs))
+	t.Row("degraded", "baseline goodput", fmt.Sprintf("%.0f pkt/s", out.BaselinePps))
+	t.Row("degraded", "goodput while down", fmt.Sprintf("%.0f pkt/s", out.DegradedPps))
+	t.Row("degraded", "establishments rejected", fmt.Sprintf("%d (mean %.1f ms pushback)", out.RejectedWhileDown, out.RejectMeanMs))
+	t.Row("degraded", "intents journaled", fmt.Sprintf("%d", out.JournaledIntents))
+	t.Row("reconcile", "heal reconcile", fmt.Sprintf("%.1f ms (%d purged, %d replayed)", out.ReconcileMs, out.Purged, out.Replayed))
+	t.Row("reconcile", "restart reconcile", fmt.Sprintf("%.1f ms (%d rebuilt)", out.RestartReconcileMs, out.Rebuilt))
+	t.Row("reconcile", "post-restart goodput", fmt.Sprintf("%.0f pkt/s", out.PostRestartPps))
+	t.Row("accept", "SEID divergence", fmt.Sprintf("%d (SMF %d / UPF %d sessions)", out.Divergence, out.SMFSessions, out.UPFSessions))
+
+	return &Result{
+		ID:    "partition",
+		Title: "N4 partition: detection, degraded-mode goodput, post-heal reconciliation",
+		Table: t,
+		Notes: []string{
+			fmt.Sprintf("%d UEs, seed %d; heartbeat budget T1=%dms N1=%d, miss threshold %d",
+				ues, seed, out.RetryT1Ms, out.RetryN1, out.MissThresh),
+			"degraded mode forwards established sessions and journals deletions; reconciliation replays them after heal",
+			"UPF restart rebuilds every session with its original TEID: UE tunnels revive with zero RAN signalling",
+		},
+		JSON: out,
+	}, nil
+}

@@ -20,6 +20,8 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"l25gc/internal/codec"
 	"l25gc/internal/faults"
@@ -125,6 +127,28 @@ type Config struct {
 	// package defaults. Its Seed makes reject/backoff schedules
 	// reproducible under a chaos seed.
 	OverloadConfig overload.Config
+
+	// N4Assoc arms the PFCP association lifecycle on N4: the SMF drives
+	// AssociationSetup + heartbeats toward the UPF, declares the path
+	// down after N4MissThreshold consecutive heartbeat failures (each
+	// already carrying the full T1/N1 retransmission budget), rejects
+	// new establishments with SBI 503 + Retry-After while down, journals
+	// deletions/modifications as pending intents, and reconciles the two
+	// SEID tables after the path heals. Association down triggers a
+	// telemetry flight dump when Telemetry is bound.
+	N4Assoc bool
+	// N4HeartbeatInterval is the live heartbeat cadence; 0 leaves the
+	// association in manual-Tick mode (deterministic harnesses drive
+	// SMF.Association().Tick() themselves).
+	N4HeartbeatInterval time.Duration
+	// N4MissThreshold overrides down detection (default 2 missed
+	// heartbeat exchanges).
+	N4MissThreshold int
+	// N4Retry overrides the SMF endpoint's T1/N1 retransmission profile
+	// (zero value keeps pfcp.DefaultRetry). Heartbeats ride the same
+	// budget, so this also sets the path-down detection latency:
+	// MissThreshold × (T1 × (N1+1)) in the worst case.
+	N4Retry pfcp.RetryConfig
 }
 
 // Core is one running 5GC unit.
@@ -151,6 +175,12 @@ type Core struct {
 	mgr  *onvm.Manager          // shared-memory modes
 	kupf *kernelpath.KernelUPF  // kernel mode
 	sup  *supervisor.Supervisor // resilience mode
+
+	// Active generation's N4 association + SMF (supervised mode spawns
+	// one association per SMF generation; these track the ticking one so
+	// metrics registered once read across failovers).
+	n4assoc atomic.Pointer[pfcp.Association]
+	n4smf   atomic.Pointer[smf.SMF]
 
 	mu       sync.Mutex
 	gnbSinks map[pkt.Addr]func(frame []byte)
@@ -264,6 +294,13 @@ func (c *Core) start() error {
 		c.closers = append(c.closers, func() { smfEP.Close() })
 		smfEP.SetTracer(track("pfcp.smf"))
 		smfEP.ExportMetrics(reg, "pfcp.smf")
+		if cfg.FaultInjector != nil {
+			smfEP.SetInjector(cfg.FaultInjector, "pfcp.smf")
+			upfEP.SetInjector(cfg.FaultInjector, "pfcp.upf")
+		}
+		if cfg.N4Retry.T1 > 0 {
+			smfEP.SetRetry(cfg.N4Retry)
+		}
 		if err := smfEP.Connect(upfEP.Addr()); err != nil {
 			return err
 		}
@@ -279,6 +316,13 @@ func (c *Core) start() error {
 		smfEP.ExportMetrics(reg, "pfcp.smf")
 		upfEP.SetTracer(track("pfcp.upf"))
 		upfEP.ExportMetrics(reg, "pfcp.upf")
+		if cfg.FaultInjector != nil {
+			smfEP.SetInjector(cfg.FaultInjector, "pfcp.smf")
+			upfEP.SetInjector(cfg.FaultInjector, "pfcp.upf")
+		}
+		if cfg.N4Retry.T1 > 0 {
+			smfEP.SetRetry(cfg.N4Retry)
+		}
 		c.UPFC = upf.NewUPFC(c.UPFState, upfN3IP, upfEP)
 		c.UPFU = upf.NewUPFU(c.UPFState, c.UPFC)
 		c.UPFU.SetTracer(track("upf"))
@@ -388,6 +432,17 @@ func (c *Core) start() error {
 	})
 	c.SMF.SetTracer(track("smf"))
 	c.SMF.SetOverload(c.OverloadSMF)
+	if cfg.N4Assoc {
+		a := c.newN4Assoc(c.SMF, smfN4, track, "smf.l25gc")
+		c.n4assoc.Store(a)
+		c.n4smf.Store(c.SMF)
+		c.exportN4AssocMetrics(reg)
+		// Best-effort initial setup: a failure leaves the association
+		// probing (ticker or manual Ticks) rather than failing the core.
+		_ = a.Setup()
+		a.Start()
+		c.closers = append(c.closers, a.Stop)
+	}
 	// Admission runs at the transport boundary (not inside Handle): in
 	// resilience mode replay re-enters Handle, and replayed work must
 	// never be re-admitted. The plain path has no replay, so the wrapper
@@ -417,6 +472,95 @@ func (c *Core) start() error {
 
 	return c.startDN()
 }
+
+// newN4Assoc builds one SMF instance's association state machine over
+// the (shared) N4 endpoint and attaches it to the SMF for degraded-mode
+// gating and snapshot persistence. Reconciliation is the OnUp hook, so a
+// heal never advertises Up before the SEID tables agree; association
+// down snapshots the telemetry flight ring.
+func (c *Core) newN4Assoc(s *smf.SMF, ep pfcp.Endpoint, track func(string) *trace.Track, nodeID string) *pfcp.Association {
+	cfg := c.cfg
+	a := pfcp.NewAssociation(ep, pfcp.AssocConfig{
+		NodeID:            nodeID,
+		RecoveryTimestamp: 1,
+		HeartbeatInterval: cfg.N4HeartbeatInterval,
+		MissThreshold:     cfg.N4MissThreshold,
+		OnUp:              s.Reconcile,
+		OnDown: func(reason string) {
+			if tel := cfg.Telemetry; tel != nil {
+				tel.DumpNow("pfcp.assoc.down")
+			}
+		},
+	})
+	a.SetTracer(track("pfcp.smf"))
+	s.SetAssociation(a)
+	return a
+}
+
+// exportN4AssocMetrics registers the pfcp.assoc.* family exactly once,
+// reading through the ACTIVE generation's association and SMF — in
+// supervised mode each generation spawns its own association, and
+// registering per generation would sum retired instances' counters.
+func (c *Core) exportN4AssocMetrics(reg *metrics.Registry) {
+	counter := func(f func(pfcp.AssocCounters) uint64) func() uint64 {
+		return func() uint64 {
+			if a := c.n4assoc.Load(); a != nil {
+				return f(a.Counters())
+			}
+			return 0
+		}
+	}
+	reg.RegisterGauge("pfcp.assoc.state", func() uint64 {
+		if a := c.n4assoc.Load(); a != nil {
+			return uint64(a.State())
+		}
+		return 0
+	})
+	reg.RegisterGauge("pfcp.assoc.heartbeat.ok",
+		counter(func(s pfcp.AssocCounters) uint64 { return s.HeartbeatOK }))
+	reg.RegisterGauge("pfcp.assoc.heartbeat.miss",
+		counter(func(s pfcp.AssocCounters) uint64 { return s.HeartbeatMiss }))
+	reg.RegisterGauge("pfcp.assoc.down.total",
+		counter(func(s pfcp.AssocCounters) uint64 { return s.Downs }))
+	reg.RegisterGauge("pfcp.assoc.up.total",
+		counter(func(s pfcp.AssocCounters) uint64 { return s.Ups }))
+	reg.RegisterGauge("pfcp.assoc.peer.restarts",
+		counter(func(s pfcp.AssocCounters) uint64 { return s.PeerRestarts }))
+	reg.RegisterGauge("pfcp.assoc.setup.fail",
+		counter(func(s pfcp.AssocCounters) uint64 { return s.SetupFails }))
+	reg.RegisterGauge("pfcp.assoc.rejected_down", func() uint64 {
+		if s := c.n4smf.Load(); s != nil {
+			return s.RejectedWhileDown()
+		}
+		return 0
+	})
+	reg.RegisterGauge("pfcp.assoc.journal", func() uint64 {
+		if s := c.n4smf.Load(); s != nil {
+			return uint64(s.JournalLen())
+		}
+		return 0
+	})
+	reg.RegisterGauge("pfcp.assoc.reconcile.rebuilt", func() uint64 {
+		if s := c.n4smf.Load(); s != nil {
+			if r := s.LastReconcile(); r != nil {
+				return uint64(r.Rebuilt)
+			}
+		}
+		return 0
+	})
+	reg.RegisterGauge("pfcp.assoc.reconcile.purged", func() uint64 {
+		if s := c.n4smf.Load(); s != nil {
+			if r := s.LastReconcile(); r != nil {
+				return uint64(r.Purged)
+			}
+		}
+		return 0
+	})
+}
+
+// N4Association returns the active SMF generation's association state
+// machine (nil unless Config.N4Assoc).
+func (c *Core) N4Association() *pfcp.Association { return c.n4assoc.Load() }
 
 // startDN opens the free5GC-mode DN-side socket (no-op in the
 // shared-memory modes).
@@ -485,13 +629,27 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 			s.SetTracer(track("smf"))
 			s.SetOverload(c.OverloadSMF)
 			supervisor.AttachSMF(su, s)
-			return supervisor.NewSMFInstance(s, nil), nil
+			var closer func() error
+			if cfg.N4Assoc {
+				a := c.newN4Assoc(s, smfN4, track,
+					fmt.Sprintf("smf.l25gc.g%d", gen))
+				closer = func() error { a.Stop(); return nil }
+			}
+			return supervisor.NewSMFInstance(s, closer), nil
 		},
 		// Generations share smfN4; the active one must hold its inbound
 		// handler or session reports (paging triggers) would land on the
-		// empty standby.
+		// empty standby. Likewise only the active generation's
+		// association heartbeats — the standby's stays in manual mode
+		// until promotion, and the retired one is stopped via its closer.
 		OnPromote: func(active supervisor.Instance) {
-			active.(*supervisor.SMFInstance).S.BindN4()
+			s := active.(*supervisor.SMFInstance).S
+			s.BindN4()
+			if a := s.Association(); a != nil {
+				c.n4assoc.Store(a)
+				c.n4smf.Store(s)
+				a.Start()
+			}
 		},
 	})
 	if err != nil {
@@ -523,6 +681,14 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 	amfUnit = aUnit
 	amfUnitMu.Unlock()
 	c.AMF = aUnit.Active().(*supervisor.AMFInstance).A
+	if cfg.N4Assoc {
+		c.exportN4AssocMetrics(cfg.Metrics)
+		// Best-effort initial setup on the active generation (OnPromote
+		// already ran at registration and stored it).
+		if a := c.n4assoc.Load(); a != nil {
+			_ = a.Setup()
+		}
+	}
 	return nil
 }
 

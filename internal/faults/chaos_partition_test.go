@@ -1,0 +1,441 @@
+// N4 partition chaos: the PFCP association layer under control-plane
+// partitions — symmetric, asymmetric (one direction only), timed, and
+// overlapping an SMF failover — plus a UPF restart under load. The
+// acceptance bar is the ISSUE's: the data plane forwards for established
+// sessions throughout every partition, new work is rejected with backoff
+// pushback rather than queued against a dead path, and after heal the
+// SMF and UPF SEID tables reconcile to byte-equality with zero
+// admitted-session loss.
+package faults_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"l25gc/internal/core"
+	"l25gc/internal/faults"
+	"l25gc/internal/nf/smf"
+	"l25gc/internal/nf/udr"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/ranue"
+	"l25gc/internal/sbi"
+	"l25gc/internal/supervisor"
+	"l25gc/internal/upf"
+)
+
+// partitionCore builds an L²5GC-mode core with the association layer in
+// manual-Tick mode (deterministic: the test drives every heartbeat) and
+// the injector wired through both N4 endpoints.
+func partitionCore(t *testing.T, seed int64, ues int, resilience bool) (*core.Core, *faults.Injector) {
+	t.Helper()
+	inj := faults.New(seed)
+	subs := make([]udr.Subscriber, ues)
+	for i := range subs {
+		subs[i] = udr.Subscriber{
+			Supi: fmt.Sprintf("imsi-20893000000000%d", i+1),
+			K:    []byte("0123456789abcdef"), Opc: []byte("fedcba9876543210"),
+			Dnn: "internet", Sst: 1,
+		}
+	}
+	c, err := core.New(core.Config{
+		Mode: core.ModeL25GC, Subscribers: subs,
+		FaultInjector: inj, Resilience: resilience,
+		N4Assoc: true, N4MissThreshold: 2, // manual ticks: interval 0
+		// Chaos-fast detection: a missed heartbeat costs ~100ms instead
+		// of the default multi-second T1/N1 budget.
+		N4Retry: pfcp.RetryConfig{T1: 50 * time.Millisecond, N1: 1, Backoff: 1},
+	})
+	if err != nil {
+		t.Fatalf("core: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c, inj
+}
+
+// attachAndEstablish registers `ues` UEs at one gNB and establishes a
+// session for the first `sessions` of them.
+func attachAndEstablish(t *testing.T, c *core.Core, ues, sessions int) (*ranue.GNB, []*ranue.UE) {
+	t.Helper()
+	g, err := ranue.NewGNB(1, pkt.AddrFrom(10, 100, 0, 10), c.N2Addr(), c)
+	if err != nil {
+		t.Fatalf("gNB: %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+	out := make([]*ranue.UE, ues)
+	for i := 0; i < ues; i++ {
+		ue := ranue.NewUE(fmt.Sprintf("imsi-20893000000000%d", i+1),
+			[]byte("0123456789abcdef"), []byte("fedcba9876543210"))
+		if _, err := ue.Register(g); err != nil {
+			t.Fatalf("UE %d register: %v", i, err)
+		}
+		if i < sessions {
+			if _, err := ue.EstablishSession(5, "internet"); err != nil {
+				t.Fatalf("UE %d session: %v", i, err)
+			}
+		}
+		out[i] = ue
+	}
+	return g, out
+}
+
+// partitionN4 blackholes both directions of the N4 path.
+func partitionN4(inj *faults.Injector) {
+	inj.Partition("pfcp.smf")
+	inj.Partition("pfcp.upf")
+}
+
+func healN4(inj *faults.Injector) {
+	inj.Heal("pfcp.smf")
+	inj.Heal("pfcp.upf")
+}
+
+// tickDown drives manual heartbeats until the association declares Down
+// (MissThreshold 2 needs exactly two ticks under a full partition).
+func tickDown(t *testing.T, a *pfcp.Association) {
+	t.Helper()
+	a.Tick()
+	a.Tick()
+	if a.State() != pfcp.AssocDown {
+		t.Fatalf("association %v after %d missed heartbeats", a.State(), a.Misses())
+	}
+}
+
+// awaitDeliveries polls until the N6 counter reaches want.
+func awaitDeliveries(t *testing.T, ctr *atomic.Int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for ctr.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := ctr.Load(); got < want {
+		t.Fatalf("%s: %d of %d uplinks reached N6", what, got, want)
+	}
+}
+
+// sameSEIDs asserts the SMF and UPF session tables agree exactly.
+func sameSEIDs(t *testing.T, s *smf.SMF, st *upf.State, when string) {
+	t.Helper()
+	ours, theirs := s.SEIDs(), st.SEIDs()
+	if len(ours) != len(theirs) {
+		t.Fatalf("%s: SMF has %v, UPF has %v", when, ours, theirs)
+	}
+	for i := range ours {
+		if ours[i] != theirs[i] {
+			t.Fatalf("%s: SEID tables diverge: SMF %v, UPF %v", when, ours, theirs)
+		}
+	}
+}
+
+// TestChaosPartitionHealReconcileZeroDivergence is the headline partition
+// scenario: a long symmetric N4 partition under mixed workload. While
+// down, established sessions forward on the data plane, a new
+// establishment is rejected with backoff pushback, and a release is
+// journaled as a pending intent. After heal, one probe Tick reconciles:
+// the journaled deletion replays against the UPF, the tables converge to
+// equality, and the rejected UE establishes successfully.
+func TestChaosPartitionHealReconcileZeroDivergence(t *testing.T) {
+	seed := chaosSeed(1902)
+	c, inj := partitionCore(t, seed, 4, false)
+	_, ues := attachAndEstablish(t, c, 4, 3)
+
+	a := c.N4Association()
+	if a.State() != pfcp.AssocUp {
+		t.Fatalf("association %v before partition", a.State())
+	}
+	var delivered atomic.Int64
+	c.SetN6Sink(func([]byte) { delivered.Add(1) })
+	dn := pkt.AddrFrom(1, 1, 1, 1)
+
+	partitionN4(inj)
+	tickDown(t, a)
+
+	// Invariant 1: the partition is control-plane only — every established
+	// session keeps forwarding while the association is down.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3; i++ {
+			if err := ues[i].SendUplink(dn, 40000, 9000, []byte("during-partition")); err != nil {
+				t.Fatalf("uplink during partition: %v", err)
+			}
+		}
+	}
+	awaitDeliveries(t, &delivered, 9, "during partition")
+
+	// Invariant 2: new establishments are rejected immediately with a
+	// backoff (not stalled through a doomed PFCP retry budget).
+	start := time.Now()
+	_, err := ues[3].EstablishSession(5, "internet")
+	if err == nil {
+		t.Fatal("establishment succeeded across a partitioned N4")
+	}
+	if _, ok := ranue.AsBackoff(err); !ok {
+		t.Fatalf("degraded-mode rejection is not a typed backoff: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("degraded rejection took %v; must not ride the N4 retry budget", d)
+	}
+	if c.SMF.RejectedWhileDown() == 0 {
+		t.Fatal("rejected_down counter did not move")
+	}
+
+	// Invariant 3: a release while down applies locally at once and is
+	// journaled; the UPF keeps the session until reconciliation.
+	rel, err := c.SMF.Handle(sbi.OpReleaseSmContext, &sbi.SmContextReleaseRequest{
+		SmContextRef: "smctx-imsi-208930000000003-5",
+	})
+	if err != nil {
+		t.Fatalf("release while down: %v", err)
+	}
+	if st := rel.(*sbi.SmContextReleaseResponse).Status; st != 200 {
+		t.Fatalf("release status %d", st)
+	}
+	if n := c.SMF.JournalLen(); n != 1 {
+		t.Fatalf("journal holds %d intents, want 1", n)
+	}
+	if s, u := c.SMF.Sessions(), c.UPFState.Sessions(); s != 2 || u != 3 {
+		t.Fatalf("mid-partition sessions SMF=%d UPF=%d, want 2/3 (divergence is pending, not lost)", s, u)
+	}
+
+	// Heal: a single probe Tick re-associates and reconciles before Up.
+	healN4(inj)
+	a.Tick()
+	if a.State() != pfcp.AssocUp {
+		t.Fatalf("association %v after heal+probe", a.State())
+	}
+	sameSEIDs(t, c.SMF, c.UPFState, "post-heal")
+	if n := c.SMF.JournalLen(); n != 0 {
+		t.Fatalf("journal not drained after reconcile: %d", n)
+	}
+	rec := c.SMF.LastReconcile()
+	if rec == nil || rec.Replayed != 1 {
+		t.Fatalf("reconcile stats %+v, want 1 replayed intent", rec)
+	}
+
+	// Zero admitted-session loss: the survivors still forward, and the
+	// UE rejected during the partition now establishes cleanly.
+	before := delivered.Load()
+	for i := 0; i < 2; i++ {
+		if err := ues[i].SendUplink(dn, 40000, 9000, []byte("after-heal")); err != nil {
+			t.Fatalf("uplink after heal: %v", err)
+		}
+	}
+	awaitDeliveries(t, &delivered, before+2, "after heal")
+	if _, _, err := ues[3].EstablishSessionWithRetry(5, "internet", 5); err != nil {
+		t.Fatalf("establishment after heal: %v", err)
+	}
+	sameSEIDs(t, c.SMF, c.UPFState, "after post-heal establishment")
+}
+
+// TestChaosOneWayPartitionDetected covers asymmetric partitions: in the
+// rx-only case the SMF's heartbeats reach the UPF (its handler runs) but
+// the responses never come back — a half-open path the association must
+// still declare down. The tx-only case drops the requests outright. Both
+// heal back to Up through a fresh probe.
+func TestChaosOneWayPartitionDetected(t *testing.T) {
+	seed := chaosSeed(7)
+	state := upf.NewState("ps", 0)
+	upfc := upf.NewUPFC(state, pkt.AddrFrom(10, 100, 0, 2), nil)
+	smfEP, upfEP := pfcp.NewMemPair(64)
+	t.Cleanup(func() { smfEP.Close(); upfEP.Close() })
+	var heartbeatsSeen atomic.Int32
+	upfEP.SetHandler(func(seid uint64, req pfcp.Message) (pfcp.Message, error) {
+		if _, ok := req.(*pfcp.HeartbeatRequest); ok {
+			heartbeatsSeen.Add(1)
+		}
+		return upfc.Handle(seid, req)
+	})
+	smfEP.SetRetry(pfcp.RetryConfig{T1: 40 * time.Millisecond, N1: 1, Backoff: 1})
+	inj := faults.New(seed)
+	smfEP.SetInjector(inj, "chaos1w.smf")
+	upfEP.SetInjector(inj, "chaos1w.upf")
+	a := pfcp.NewAssociation(smfEP, pfcp.AssocConfig{
+		NodeID: "smf.chaos1w", RecoveryTimestamp: 1, MissThreshold: 2,
+	})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	// Half-open, rx side: responses are lost at the SMF's receiver.
+	inj.PartitionDirected("chaos1w.smf", faults.DirRx)
+	seen := heartbeatsSeen.Load()
+	tickDown(t, a)
+	if heartbeatsSeen.Load() <= seen {
+		t.Fatal("rx-only partition blocked the requests too; scenario is not asymmetric")
+	}
+	inj.Heal("chaos1w.smf")
+	a.Tick()
+	if a.State() != pfcp.AssocUp {
+		t.Fatalf("association %v after rx-partition heal", a.State())
+	}
+
+	// Tx side: requests never leave the SMF.
+	inj.PartitionDirected("chaos1w.smf", faults.DirTx)
+	seen = heartbeatsSeen.Load()
+	tickDown(t, a)
+	if heartbeatsSeen.Load() != seen {
+		t.Fatal("tx-only partition leaked requests through")
+	}
+	inj.Heal("chaos1w.smf")
+	a.Tick()
+	if a.State() != pfcp.AssocUp {
+		t.Fatalf("association %v after tx-partition heal", a.State())
+	}
+
+	// Timed partition: the rule heals itself; detection must land inside
+	// the window (two missed exchanges ≈ 160ms of retry budget, so the
+	// 800ms window leaves slack for a loaded machine), and the
+	// association recovers on a later probe with no scenario goroutine
+	// babysitting the injector.
+	inj.PartitionFor("chaos1w.smf", faults.DirBoth, 800*time.Millisecond)
+	downBy := time.Now().Add(700 * time.Millisecond)
+	for a.State() != pfcp.AssocDown && time.Now().Before(downBy) {
+		a.Tick()
+	}
+	if a.State() != pfcp.AssocDown {
+		t.Fatal("association never declared down inside the timed partition window")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.State() != pfcp.AssocUp && time.Now().Before(deadline) {
+		a.Tick()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if a.State() != pfcp.AssocUp {
+		t.Fatal("association never recovered from a timed partition")
+	}
+}
+
+// TestChaosUPFRestartMidLoad restarts the UPF under traffic: its session
+// table is wiped and its RecoveryTimestamp bumped. The next heartbeat
+// exchange must detect the new incarnation (down: peer-restart), and the
+// re-setup's reconciliation must rebuild every admitted session with its
+// ORIGINAL UL TEID — the UE-side tunnels come back alive without any
+// RAN signalling.
+func TestChaosUPFRestartMidLoad(t *testing.T) {
+	seed := chaosSeed(42)
+	c, _ := partitionCore(t, seed, 3, false)
+	_, ues := attachAndEstablish(t, c, 3, 3)
+	a := c.N4Association()
+	var delivered atomic.Int64
+	c.SetN6Sink(func([]byte) { delivered.Add(1) })
+	dn := pkt.AddrFrom(1, 1, 1, 1)
+
+	for _, ue := range ues {
+		if err := ue.SendUplink(dn, 40000, 9000, []byte("pre-restart")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitDeliveries(t, &delivered, 3, "before restart")
+
+	// The restart: forwarding state is gone, the incarnation changes.
+	// Traffic is still being offered (mid-load); it blackholes at the UPF
+	// until reconciliation rebuilds the bindings.
+	c.UPFState.Reset()
+	c.UPFC.SetRecoveryTimestamp(c.UPFC.RecoveryTimestamp() + 1)
+	for _, ue := range ues {
+		_ = ue.SendUplink(dn, 40000, 9000, []byte("during-restart"))
+	}
+
+	a.Tick() // heartbeat succeeds but carries the new timestamp
+	if a.State() != pfcp.AssocDown {
+		t.Fatalf("association %v; restart went undetected", a.State())
+	}
+	if a.Counters().PeerRestarts != 1 {
+		t.Fatalf("restarts = %d", a.Counters().PeerRestarts)
+	}
+	a.Tick() // probe: fresh setup + restart-aware reconcile
+	if a.State() != pfcp.AssocUp {
+		t.Fatalf("association %v after restart reconcile", a.State())
+	}
+	sameSEIDs(t, c.SMF, c.UPFState, "post-restart")
+	rec := c.SMF.LastReconcile()
+	if rec == nil || rec.Rebuilt != 3 {
+		t.Fatalf("reconcile stats %+v, want 3 rebuilt", rec)
+	}
+
+	// The rebuilt sessions carry the original TEIDs: the UEs' tunnels
+	// work again with no re-registration, no re-establishment.
+	before := delivered.Load()
+	for _, ue := range ues {
+		if err := ue.SendUplink(dn, 40000, 9000, []byte("post-restart")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitDeliveries(t, &delivered, before+3, "after restart reconcile")
+}
+
+// TestChaosPartitionOverlapsSMFFailover crashes the supervised SMF while
+// the N4 path is partitioned: the promoted generation must inherit the
+// Down association state and the intent journal through the resilience
+// snapshot, keep refusing new work, and run the reconciliation itself
+// once the partition heals — divergence zero even though the SMF that
+// journaled the intent no longer exists.
+func TestChaosPartitionOverlapsSMFFailover(t *testing.T) {
+	seed := chaosSeed(1902)
+	c, inj := partitionCore(t, seed, 3, true)
+	_, ues := attachAndEstablish(t, c, 3, 2)
+	smfUnit := c.Supervisor().Unit("smf")
+	activeSMF := func() *smf.SMF {
+		return smfUnit.Active().(*supervisor.SMFInstance).S
+	}
+	g0 := activeSMF()
+
+	partitionN4(inj)
+	tickDown(t, c.N4Association())
+
+	// Journal an intent on generation 0, then kill it mid-partition. The
+	// release goes through the unit conn — the supervised ingress — so it
+	// is counter-stamped and the post-apply checkpoint captures the
+	// journal entry (a direct Handle call would bypass output commit and
+	// the intent would not survive the failover).
+	if _, err := smfUnit.Conn().Invoke(sbi.OpReleaseSmContext, &sbi.SmContextReleaseRequest{
+		SmContextRef: "smctx-imsi-208930000000002-5",
+	}); err != nil {
+		t.Fatalf("release while down: %v", err)
+	}
+	if n := g0.JournalLen(); n != 1 {
+		t.Fatalf("journal on g0 = %d", n)
+	}
+	inj.Crash("smf.g0")
+	if err := smfUnit.AwaitRecovery(1, 10*time.Second); err != nil {
+		t.Fatalf("SMF failover during partition: %v", err)
+	}
+	g1 := activeSMF()
+	if g1 == g0 {
+		t.Fatal("promotion did not switch generations")
+	}
+
+	// The snapshot carried both halves of degraded mode across failover.
+	if n := g1.JournalLen(); n != 1 {
+		t.Fatalf("journal after failover = %d, want 1 (lost in snapshot)", n)
+	}
+	a := c.N4Association()
+	if a != g1.Association() {
+		t.Fatal("core does not track the promoted generation's association")
+	}
+	if a.State() != pfcp.AssocDown {
+		t.Fatalf("promoted association %v, want Down inherited from snapshot", a.State())
+	}
+	if _, err := ues[2].EstablishSession(5, "internet"); err == nil {
+		t.Fatal("promoted SMF admitted a session while the partition holds")
+	}
+
+	// Heal: the PROMOTED generation reconciles and converges the tables.
+	healN4(inj)
+	a.Tick()
+	if a.State() != pfcp.AssocUp {
+		t.Fatalf("association %v after heal", a.State())
+	}
+	sameSEIDs(t, g1, c.UPFState, "post-failover heal")
+	if n := g1.JournalLen(); n != 0 {
+		t.Fatalf("journal not drained by promoted generation: %d", n)
+	}
+	if n := c.UPFState.Sessions(); n != 1 {
+		t.Fatalf("UPF sessions = %d, want 1 (journaled delete must have replayed)", n)
+	}
+	if _, _, err := ues[2].EstablishSessionWithRetry(5, "internet", 5); err != nil {
+		t.Fatalf("establishment after heal: %v", err)
+	}
+	sameSEIDs(t, g1, c.UPFState, "after post-heal establishment")
+}

@@ -89,6 +89,41 @@ func (k Kind) String() string {
 // exactly or by prefix with a trailing "*" ("pfcp.*").
 type Point string
 
+// Direction scopes a partition to one transmission direction, modelling
+// asymmetric link failures: a DirTx partition blackholes only the
+// target's ".tx" points (it can hear but not speak — its peers see
+// requests answered by silence), DirRx only ".rx" points. DirBoth (the
+// zero value) is the classic symmetric partition.
+type Direction uint8
+
+const (
+	DirBoth Direction = iota
+	DirTx
+	DirRx
+)
+
+// String renders the direction for trace attributes.
+func (d Direction) String() string {
+	switch d {
+	case DirTx:
+		return "tx"
+	case DirRx:
+		return "rx"
+	}
+	return "both"
+}
+
+// blocks reports whether a partition with this direction blackholes p.
+func (d Direction) blocks(p Point) bool {
+	switch d {
+	case DirTx:
+		return strings.HasSuffix(string(p), ".tx")
+	case DirRx:
+		return strings.HasSuffix(string(p), ".rx")
+	}
+	return true
+}
+
 // Rule arms one fault at matching points.
 type Rule struct {
 	// Point to match: exact name, or prefix glob ending in "*".
@@ -109,6 +144,13 @@ type Rule struct {
 	HoldFor int
 	// Target names the component for Crash / Freeze / Partition.
 	Target string
+	// Dir scopes a Partition rule to one direction (DirBoth, DirTx,
+	// DirRx); ignored for other kinds.
+	Dir Direction
+	// Heal, when positive on a Partition rule, schedules the partition
+	// to auto-heal that long after it fires (timed partitions without a
+	// scenario goroutine babysitting the injector).
+	Heal time.Duration
 }
 
 // held is a reorder-held message awaiting release.
@@ -149,7 +191,7 @@ type Injector struct {
 	points      map[Point]*pointState
 	crashed     map[string]bool
 	frozen      map[string]bool
-	partitioned map[string]bool
+	partitioned map[string]Direction
 	onCrash     map[string][]func()
 	stats       map[statKey]uint64
 }
@@ -161,7 +203,7 @@ func New(seed int64) *Injector {
 		points:      make(map[Point]*pointState),
 		crashed:     make(map[string]bool),
 		frozen:      make(map[string]bool),
-		partitioned: make(map[string]bool),
+		partitioned: make(map[string]Direction),
 		onCrash:     make(map[string][]func()),
 		stats:       make(map[statKey]uint64),
 	}
@@ -321,7 +363,7 @@ func (i *Injector) Decide(p Point, data []byte) Action {
 		case Freeze:
 			i.frozen[r.Target] = true
 		case Partition:
-			i.partitioned[r.Target] = true
+			i.partitionLocked(r.Target, r.Dir, r.Heal)
 		}
 	}
 	// A partitioned prefix or a dead/frozen component blackholes the point.
@@ -348,7 +390,12 @@ func (i *Injector) Decide(p Point, data []byte) Action {
 
 // blockedLocked reports whether p falls under a partition, crash or freeze.
 func (i *Injector) blockedLocked(p Point) bool {
-	for _, set := range []map[string]bool{i.partitioned, i.crashed, i.frozen} {
+	for prefix, dir := range i.partitioned {
+		if strings.HasPrefix(string(p), prefix) && dir.blocks(p) {
+			return true
+		}
+	}
+	for _, set := range []map[string]bool{i.crashed, i.frozen} {
 		for prefix := range set {
 			if strings.HasPrefix(string(p), prefix) {
 				return true
@@ -356,6 +403,16 @@ func (i *Injector) blockedLocked(p Point) bool {
 		}
 	}
 	return false
+}
+
+// partitionLocked installs a partition (optionally directed and timed);
+// callers hold i.mu.
+func (i *Injector) partitionLocked(prefix string, d Direction, heal time.Duration) {
+	i.partitioned[prefix] = d
+	if heal > 0 {
+		//l25gc:allow determinism scheduled heal is wall-time fault machinery, same as injected delivery delay: the seed fixes that the partition fires, not when the heal timer lands
+		time.AfterFunc(heal, func() { i.Heal(prefix) })
+	}
 }
 
 // corrupt flips 1-3 deterministic bytes of data in place.
@@ -528,7 +585,31 @@ func (i *Injector) Partition(prefix string) {
 		return
 	}
 	i.mu.Lock()
-	i.partitioned[prefix] = true
+	i.partitionLocked(prefix, DirBoth, 0)
+	i.mu.Unlock()
+}
+
+// PartitionDirected blackholes prefix in one direction only: DirTx stops
+// the component's sends (its peers hear silence), DirRx its receives
+// (it talks into the void) — the one-way link failures real networks
+// produce. DirBoth is equivalent to Partition.
+func (i *Injector) PartitionDirected(prefix string, d Direction) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.partitionLocked(prefix, d, 0)
+	i.mu.Unlock()
+}
+
+// PartitionFor installs a partition that auto-heals after heal elapses,
+// so timed-partition scenarios need no babysitting goroutine.
+func (i *Injector) PartitionFor(prefix string, d Direction, heal time.Duration) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.partitionLocked(prefix, d, heal)
 	i.mu.Unlock()
 }
 

@@ -30,6 +30,11 @@ var LintNames = []string{
 	"pfcp.*.retransmits",
 	"pfcp.*.timeouts",
 
+	// N4 association lifecycle: state machine gauges, heartbeat/path
+	// outcomes, degraded-mode rejections, intent-journal depth and
+	// reconciliation figures ("pfcp.assoc.*").
+	"pfcp.assoc.*",
+
 	// UPF-U datapath and session-table gauges.
 	"upf.ul_fwd",
 	"upf.dl_fwd",

@@ -1,0 +1,37 @@
+package nas
+
+import "testing"
+
+// FuzzDecode hands arbitrary PDUs to the NAS decoder. The AMF decodes
+// these straight off N2 (attacker-adjacent input), so Unmarshal must
+// never panic, and anything it accepts must re-marshal cleanly.
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		&RegistrationRequest{Suci: "imsi-208930000000001"},
+		&AuthenticationResponse{},
+		&SecurityModeComplete{},
+		&PDUSessionEstablishmentRequest{PduSessionID: 5, Dnn: "internet"},
+		&ServiceRequest{},
+		&DeregistrationRequest{},
+	}
+	for _, m := range seeds {
+		pdu, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pdu)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add([]byte{0x01, 0x0a, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, pdu []byte) {
+		m, err := Unmarshal(pdu)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(m); err != nil {
+			t.Fatalf("re-marshal of accepted PDU failed: %v (type %d)", err, m.NASType())
+		}
+	})
+}

@@ -11,6 +11,7 @@ package smf
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +53,8 @@ type smContext struct {
 	qfi          uint8
 	buffering    bool
 	idle         bool
+	mbrUL        uint64 // policy MBRs retained so reconciliation can
+	mbrDL        uint64 // rebuild the QER without a fresh PCF round trip
 }
 
 // Config parameterizes the SMF.
@@ -83,6 +86,23 @@ type SMF struct {
 	// the overload controller; injectable so replayed session creation
 	// observes the same durations the live run did.
 	clock func() time.Duration
+
+	// assoc is the N4 association toward the UPF (nil when the
+	// deployment runs without the association layer). While it reports
+	// Down the SMF operates in degraded mode: see assoc.go.
+	assoc atomic.Pointer[pfcp.Association]
+	// journal holds intents deferred while the association is down,
+	// replayed in sequence order by reconcile. Guarded by jmu, persisted
+	// in the resilience snapshot.
+	jmu        sync.Mutex
+	journal    []journalEntry
+	journalSeq uint64
+	// pendingAssoc carries an association snapshot restored before
+	// SetAssociation ran (supervised spawn order), applied at attach.
+	pendingAssoc *pfcp.AssocSnapshot
+
+	rejectedDown atomic.Uint64
+	lastRec      atomic.Pointer[ReconcileStats]
 }
 
 // SetOverload installs the SMF's overload controller. The SMF does NOT
@@ -181,6 +201,13 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 		start := s.clock()
 		defer func() { ctrl.Observe(s.clock() - start) }()
 	}
+	// Degraded mode: while the N4 association is down, new establishments
+	// are rejected up front with the same Retry-After pushback the
+	// CauseCongestion path uses — the UE backs off instead of burning a
+	// full PFCP retry budget against a partitioned UPF.
+	if err := s.rejectIfAssocDown(); err != nil {
+		return nil, err
+	}
 	// Subscription and policy lookups (SBI round trips the paper counts in
 	// the session establishment event).
 	if _, err := s.udm.Invoke(sbi.OpGetSMSubscriptionData, &sbi.SubscriptionDataRequest{Supi: r.Supi, Dnn: r.Dnn}); err != nil {
@@ -202,42 +229,11 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 		ref:  fmt.Sprintf("smctx-%s-%d", r.Supi, r.PduSessionID),
 		supi: r.Supi, pduSessionID: r.PduSessionID,
 		seid: seid, ueIP: ueIP, qfi: qfi,
+		mbrUL: pol.MbrUL, mbrDL: pol.MbrDL,
 	}
 
-	est := &pfcp.SessionEstablishmentRequest{
-		NodeID: s.cfg.NodeID, CPSEID: seid, UEIP: ueIP,
-		CreatePDRs: []*rules.PDR{
-			{
-				ID: pdrUL, Precedence: 32,
-				PDI: rules.PDI{
-					SourceInterface: rules.IfAccess,
-					HasTEID:         true, TEID: 0, // UPF chooses
-					UEIP: ueIP, HasUEIP: true,
-					QFI: qfi, HasQFI: true,
-				},
-				OuterHeaderRemoval: true, FARID: farUL, QERID: qerID,
-			},
-			{
-				ID: pdrDL, Precedence: 32,
-				PDI: rules.PDI{
-					SourceInterface: rules.IfCore,
-					UEIP:            ueIP, HasUEIP: true,
-					QFI: qfi, HasQFI: true,
-				},
-				FARID: farDL, QERID: qerID, BARID: barID,
-			},
-		},
-		CreateFARs: []*rules.FAR{
-			{ID: farUL, Action: rules.FARForward, DestInterface: rules.IfCore},
-			s.dlFAR(ctx, r.GnbTunnelAddr, r.GnbTunnelTEID),
-		},
-		CreateQERs: []*rules.QER{{
-			ID: qerID, QFI: qfi,
-			ULMbrKbps: pol.MbrUL, DLMbrKbps: pol.MbrDL,
-			GateUL: true, GateDL: true,
-		}},
-		CreateBARs: []*rules.BAR{{ID: barID, SuggestedPkts: s.cfg.BufferPkts}},
-	}
+	est := s.buildEstablishment(ctx, 0, // TEID 0: UPF chooses
+		s.dlFAR(ctx, r.GnbTunnelAddr, r.GnbTunnelTEID))
 	resp, err := s.n4.Request(seid, true, est)
 	if err != nil {
 		return nil, fmt.Errorf("smf: N4 establishment: %w", err)
@@ -275,6 +271,48 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 		SmContextRef: ctx.ref, Status: 201,
 		UeIPv4: ueIP.String(), UpfTEID: ctx.upfTEID, UpfAddr: ctx.upfAddr,
 	}, nil
+}
+
+// buildEstablishment renders the canonical two-PDR session layout for ctx
+// as a PFCP establishment request. teid 0 lets the UPF choose the UL
+// F-TEID (initial creation); a non-zero teid pins the previously
+// allocated value, which is how post-heal reconciliation rebuilds a
+// session without changing the data-plane tunnel the gNB is using.
+func (s *SMF) buildEstablishment(ctx *smContext, teid uint32, dl *rules.FAR) *pfcp.SessionEstablishmentRequest {
+	return &pfcp.SessionEstablishmentRequest{
+		NodeID: s.cfg.NodeID, CPSEID: ctx.seid, UEIP: ctx.ueIP,
+		CreatePDRs: []*rules.PDR{
+			{
+				ID: pdrUL, Precedence: 32,
+				PDI: rules.PDI{
+					SourceInterface: rules.IfAccess,
+					HasTEID:         true, TEID: teid,
+					UEIP: ctx.ueIP, HasUEIP: true,
+					QFI: ctx.qfi, HasQFI: true,
+				},
+				OuterHeaderRemoval: true, FARID: farUL, QERID: qerID,
+			},
+			{
+				ID: pdrDL, Precedence: 32,
+				PDI: rules.PDI{
+					SourceInterface: rules.IfCore,
+					UEIP:            ctx.ueIP, HasUEIP: true,
+					QFI: ctx.qfi, HasQFI: true,
+				},
+				FARID: farDL, QERID: qerID, BARID: barID,
+			},
+		},
+		CreateFARs: []*rules.FAR{
+			{ID: farUL, Action: rules.FARForward, DestInterface: rules.IfCore},
+			dl,
+		},
+		CreateQERs: []*rules.QER{{
+			ID: qerID, QFI: ctx.qfi,
+			ULMbrKbps: ctx.mbrUL, DLMbrKbps: ctx.mbrDL,
+			GateUL: true, GateDL: true,
+		}},
+		CreateBARs: []*rules.BAR{{ID: barID, SuggestedPkts: s.cfg.BufferPkts}},
+	}
 }
 
 // dlFAR builds the initial DL forwarding rule: forward when the gNB tunnel
@@ -358,6 +396,14 @@ func (s *SMF) updateSmContext(r *sbi.SmContextUpdateRequest) (codec.Message, err
 	}
 
 	if len(mod.UpdateFARs) > 0 || len(mod.UpdatePDRs) > 0 {
+		if s.assocDown() {
+			// Degraded mode: the context above already reflects the new
+			// FAR state; journal a sync intent and let reconciliation
+			// push it to the UPF after the heal instead of blocking the
+			// control procedure on a dead path.
+			s.journalIntent(ctx.seid, intentSync)
+			return resp, nil
+		}
 		//l25gc:allow nomutexhold ctx.mu is a per-session leaf lock held across N4 on purpose: it orders FAR updates toward the UPF during handover
 		n4resp, err := s.n4.Request(ctx.seid, true, mod)
 		if err != nil {
@@ -389,8 +435,14 @@ func (s *SMF) releaseSmContext(r *sbi.SmContextReleaseRequest) (codec.Message, e
 }
 
 func (s *SMF) releaseLocked(ctx *smContext) (codec.Message, error) {
-	if _, err := s.n4.Request(ctx.seid, true, &pfcp.SessionDeletionRequest{}); err != nil {
-		return nil, fmt.Errorf("smf: N4 deletion: %w", err)
+	if s.assocDown() {
+		// Degraded mode: drop the context now (the UE is gone either
+		// way) and journal the UPF-side deletion for post-heal replay.
+		s.journalIntent(ctx.seid, intentDelete)
+	} else {
+		if _, err := s.n4.Request(ctx.seid, true, &pfcp.SessionDeletionRequest{}); err != nil {
+			return nil, fmt.Errorf("smf: N4 deletion: %w", err)
+		}
 	}
 	s.mu.Lock()
 	delete(s.byRef, ctx.ref)
@@ -404,6 +456,20 @@ func (s *SMF) Sessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.byRef)
+}
+
+// SEIDs returns the CP SEIDs of every active SM context in ascending
+// order — the SMF half of the divergence check reconciliation tests run
+// against upf.State.SEIDs().
+func (s *SMF) SEIDs() []uint64 {
+	s.mu.Lock()
+	out := make([]uint64, 0, len(s.bySEID))
+	for seid := range s.bySEID {
+		out = append(out, seid)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // parseAddr converts dotted-quad text into an Addr (zero on error).

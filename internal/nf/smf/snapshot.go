@@ -30,12 +30,21 @@ type smRecord struct {
 	Qfi          uint8  `json:"qfi,omitempty"`
 	Buffering    bool   `json:"buffering,omitempty"`
 	Idle         bool   `json:"idle,omitempty"`
+	MbrUL        uint64 `json:"mbrUl,omitempty"`
+	MbrDL        uint64 `json:"mbrDl,omitempty"`
 }
 
 type smfSnapshot struct {
 	NextIP   uint32     `json:"nextIp"`
 	NextSEID uint64     `json:"nextSeid"`
 	Contexts []smRecord `json:"contexts,omitempty"`
+	// Partition-tolerance state (PR 9): a standby promoted while the N4
+	// path is down must wake up in degraded mode, still holding the
+	// deferred intents — otherwise the failover silently forgets that
+	// reconciliation is owed.
+	Assoc      *pfcp.AssocSnapshot `json:"assoc,omitempty"`
+	Journal    []journalEntry      `json:"journal,omitempty"`
+	JournalSeq uint64              `json:"journalSeq,omitempty"`
 }
 
 // Snapshot implements resilience.Snapshotter.
@@ -51,6 +60,16 @@ func (s *SMF) Snapshot() ([]byte, error) {
 	snap := smfSnapshot{NextIP: s.nextIP.Load(), NextSEID: s.seid.Load()}
 	s.mu.Unlock()
 
+	if a := s.assoc.Load(); a != nil {
+		as := a.Snapshot()
+		snap.Assoc = &as
+	}
+	s.jmu.Lock()
+	snap.Journal = append([]journalEntry(nil), s.journal...)
+	snap.JournalSeq = s.journalSeq
+	s.jmu.Unlock()
+	sort.Slice(snap.Journal, func(i, j int) bool { return snap.Journal[i].Seq < snap.Journal[j].Seq })
+
 	for _, c := range ctxs {
 		c.mu.Lock()
 		snap.Contexts = append(snap.Contexts, smRecord{
@@ -59,6 +78,7 @@ func (s *SMF) Snapshot() ([]byte, error) {
 			UpfTEID: c.upfTEID, UpfAddr: c.upfAddr,
 			GnbTEID: c.gnbTEID, GnbAddr: c.gnbAddr.String(),
 			Qfi: c.qfi, Buffering: c.buffering, Idle: c.idle,
+			MbrUL: c.mbrUL, MbrDL: c.mbrDL,
 		})
 		c.mu.Unlock()
 	}
@@ -84,12 +104,24 @@ func (s *SMF) Restore(b []byte) error {
 			upfTEID: r.UpfTEID, upfAddr: r.UpfAddr,
 			gnbTEID: r.GnbTEID, gnbAddr: parseAddr(r.GnbAddr),
 			qfi: r.Qfi, buffering: r.Buffering, idle: r.Idle,
+			mbrUL: r.MbrUL, mbrDL: r.MbrDL,
 		}
 		s.byRef[c.ref] = c
 		s.bySEID[c.seid] = c
 	}
 	s.nextIP.Store(snap.NextIP)
 	s.seid.Store(snap.NextSEID)
+	s.jmu.Lock()
+	s.journal = append([]journalEntry(nil), snap.Journal...)
+	s.journalSeq = snap.JournalSeq
+	s.jmu.Unlock()
+	if snap.Assoc != nil {
+		if a := s.assoc.Load(); a != nil {
+			a.Restore(*snap.Assoc)
+		} else {
+			s.pendingAssoc = snap.Assoc // applied by SetAssociation
+		}
+	}
 	return nil
 }
 

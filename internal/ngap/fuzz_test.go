@@ -1,0 +1,35 @@
+package ngap
+
+import "testing"
+
+// FuzzDecode hands arbitrary frames to the NGAP decoder. N2 frames come
+// from the (simulated) RAN — the untrusted edge — so Unmarshal must never
+// panic, and anything it accepts must re-marshal cleanly.
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		&NGSetupRequest{GnbID: 1, GnbName: "gnb-1"},
+		&InitialUEMessage{RanUeID: 7, NasPdu: []byte{0x01, 0x02}},
+		&UplinkNASTransport{RanUeID: 7, AmfUeID: 9, NasPdu: []byte{0x03}},
+		&InitialContextSetupResponse{RanUeID: 7, AmfUeID: 9},
+	}
+	for _, m := range seeds {
+		b, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xee})
+	f.Add([]byte{0x02, 0x12, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(m); err != nil {
+			t.Fatalf("re-marshal of accepted frame failed: %v (type %d)", err, m.NGAPType())
+		}
+	})
+}

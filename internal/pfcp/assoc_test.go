@@ -1,0 +1,393 @@
+package pfcp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"l25gc/internal/faults"
+	"l25gc/internal/testutil"
+)
+
+// fakeUPF is a minimal association responder: it answers setup and
+// heartbeat with its own (mutable) recovery timestamp, the behaviour
+// upf.UPFC implements for real (which pfcp cannot import).
+type fakeUPF struct {
+	ts    atomic.Uint32
+	seids func() []uint64
+}
+
+func (f *fakeUPF) handler() Handler {
+	return func(seid uint64, req Message) (Message, error) {
+		switch req.(type) {
+		case *HeartbeatRequest:
+			return &HeartbeatResponse{RecoveryTimestamp: f.ts.Load()}, nil
+		case *AssociationSetupRequest:
+			return &AssociationSetupResponse{
+				NodeID: "upf.test", Cause: CauseAccepted,
+				RecoveryTimestamp: f.ts.Load(),
+			}, nil
+		case *SessionSetAuditRequest:
+			var s []uint64
+			if f.seids != nil {
+				s = f.seids()
+			}
+			return &SessionSetAuditResponse{Cause: CauseAccepted, SEIDs: s}, nil
+		}
+		return nil, nil
+	}
+}
+
+// assocPair wires an Association over a mem pair against a fakeUPF with
+// a chaos-fast retry profile.
+func assocPair(t *testing.T, cfg AssocConfig) (*Association, *MemEndpoint, *fakeUPF, *faults.Injector) {
+	t.Helper()
+	smf, upf := NewMemPair(64)
+	t.Cleanup(func() { smf.Close(); upf.Close() })
+	f := &fakeUPF{}
+	f.ts.Store(1)
+	upf.SetHandler(f.handler())
+	smf.SetRetry(RetryConfig{T1: 20 * time.Millisecond, N1: 1, Backoff: 1})
+	inj := faults.New(11)
+	smf.SetInjector(inj, "pfcp.smf")
+	upf.SetInjector(inj, "pfcp.upf")
+	cfg.NodeID = "smf.test"
+	if cfg.RecoveryTimestamp == 0 {
+		cfg.RecoveryTimestamp = 7
+	}
+	a := NewAssociation(smf, cfg)
+	return a, smf, f, inj
+}
+
+func TestAssociationSetupThenHeartbeats(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	a, _, _, _ := assocPair(t, AssocConfig{MissThreshold: 2})
+	if a.State() != AssocIdle {
+		t.Fatalf("initial state %v", a.State())
+	}
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if a.State() != AssocUp || a.PeerNodeID() != "upf.test" {
+		t.Fatalf("state %v peer %q after setup", a.State(), a.PeerNodeID())
+	}
+	for i := 0; i < 3; i++ {
+		a.Tick()
+	}
+	if c := a.Counters(); c.HeartbeatOK != 3 || c.HeartbeatMiss != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	if a.State() != AssocUp {
+		t.Fatalf("state %v after healthy heartbeats", a.State())
+	}
+}
+
+func TestAssociationMissThresholdDeclaresDown(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var downReason atomic.Value
+	a, _, _, inj := assocPair(t, AssocConfig{
+		MissThreshold: 2,
+		OnDown:        func(r string) { downReason.Store(r) },
+	})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	inj.Partition("pfcp.smf")
+
+	a.Tick() // miss 1
+	if a.State() != AssocUp || a.Misses() != 1 {
+		t.Fatalf("state %v misses %d after first miss", a.State(), a.Misses())
+	}
+	a.Tick() // miss 2 -> threshold
+	if a.State() != AssocDown {
+		t.Fatalf("state %v after threshold misses", a.State())
+	}
+	if r, _ := downReason.Load().(string); r != "heartbeat-timeout" {
+		t.Fatalf("down reason %q", r)
+	}
+	if c := a.Counters(); c.Downs != 1 || c.HeartbeatMiss != 2 {
+		t.Fatalf("counters %+v", c)
+	}
+	if a.LastDetectLatency() <= 0 {
+		t.Fatal("detect latency not recorded")
+	}
+
+	// Heal: the next Tick probes with a fresh setup and brings it up.
+	inj.Heal("pfcp.smf")
+	a.Tick()
+	if a.State() != AssocUp {
+		t.Fatalf("state %v after heal+probe", a.State())
+	}
+	if c := a.Counters(); c.Ups != 2 { // initial setup + post-heal probe
+		t.Fatalf("ups = %d", c.Ups)
+	}
+}
+
+// TestAssociationLateHeartbeatResponseDoesNotFlap is the no-flap
+// invariant: a heartbeat response that arrives AFTER the path was
+// declared down must not bring the association back up — only a fresh
+// AssociationSetup (with reconciliation) may.
+func TestAssociationLateHeartbeatResponseDoesNotFlap(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	a, smf, _, inj := assocPair(t, AssocConfig{MissThreshold: 1})
+	smf.SetRetry(RetryConfig{T1: 30 * time.Millisecond, N1: 0, Backoff: 1})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	// Delay the UPF's responses far beyond the retry budget: the
+	// heartbeat request is handled, but its response lands only after the
+	// path has been declared down.
+	inj.Add(faults.Rule{Point: "pfcp.upf.tx", Kind: faults.Delay, Delay: 150 * time.Millisecond, Count: 1})
+
+	a.Tick() // times out at ~30ms -> down (threshold 1)
+	if a.State() != AssocDown {
+		t.Fatalf("state %v after timed-out heartbeat", a.State())
+	}
+	ups := a.Counters().Ups
+	time.Sleep(250 * time.Millisecond) // late response arrives and must be ignored
+	if a.State() != AssocDown {
+		t.Fatal("late heartbeat response flapped the association up")
+	}
+	if a.Counters().Ups != ups {
+		t.Fatal("up transition recorded without a fresh setup")
+	}
+	// A fresh setup is the only way back up.
+	if err := a.Setup(); err != nil {
+		t.Fatalf("fresh setup: %v", err)
+	}
+	if a.State() != AssocUp {
+		t.Fatalf("state %v after fresh setup", a.State())
+	}
+}
+
+// TestAssociationHeartbeatRetransmitDedup drives a heartbeat whose first
+// transmission is dropped: the T1/N1 machinery must recover it, the
+// responder must answer the retransmission from its dedup cache, and the
+// association must record a single clean exchange (no miss).
+func TestAssociationHeartbeatRetransmitDedup(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	smf, upf := NewMemPair(64)
+	t.Cleanup(func() { smf.Close(); upf.Close() })
+	f := &fakeUPF{}
+	f.ts.Store(1)
+	var calls atomic.Int32
+	inner := f.handler()
+	upf.SetHandler(func(seid uint64, req Message) (Message, error) {
+		if _, ok := req.(*HeartbeatRequest); ok {
+			calls.Add(1)
+		}
+		return inner(seid, req)
+	})
+	smf.SetRetry(RetryConfig{T1: 25 * time.Millisecond, N1: 3, Backoff: 1})
+	// Drop the first heartbeat REQUEST frame, then the first heartbeat
+	// RESPONSE frame: the first recovery is a straight retransmission,
+	// the second must be answered from the responder's dedup cache
+	// without re-running the handler.
+	inj := faults.New(13).
+		Add(faults.Rule{Point: "pfcp.smf.tx", Kind: faults.Drop, Count: 1, After: 1}).
+		Add(faults.Rule{Point: "pfcp.upf.tx", Kind: faults.Drop, Count: 1, After: 1})
+	smf.SetInjector(inj, "pfcp.smf")
+	upf.SetInjector(inj, "pfcp.upf")
+
+	a := NewAssociation(smf, AssocConfig{NodeID: "smf.test", RecoveryTimestamp: 7, MissThreshold: 2})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	a.Tick() // dropped request -> retransmit
+	a.Tick() // dropped response -> retransmit answered from cache
+	if c := a.Counters(); c.HeartbeatOK != 2 || c.HeartbeatMiss != 0 {
+		t.Fatalf("counters %+v; retransmission did not recover the exchanges", c)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("heartbeat handler ran %d times, want 2 (dedup must absorb the retransmit)", calls.Load())
+	}
+	if rtx, _ := smf.Stats(); rtx < 2 {
+		t.Fatalf("retransmits = %d, want >= 2", rtx)
+	}
+}
+
+func TestAssociationPeerRestartDetection(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var reasons []string
+	var restartedAtSetup atomic.Bool
+	a, _, f, _ := assocPair(t, AssocConfig{
+		MissThreshold: 2,
+		OnDown:        func(r string) { reasons = append(reasons, r) },
+		OnUp: func(restarted bool) error {
+			restartedAtSetup.Store(restarted)
+			return nil
+		},
+	})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if restartedAtSetup.Load() {
+		t.Fatal("first setup must not report a restart")
+	}
+	a.Tick()
+	if a.State() != AssocUp {
+		t.Fatalf("state %v", a.State())
+	}
+
+	f.ts.Store(2) // UPF "restarts": new incarnation, new timestamp
+	a.Tick()
+	if a.State() != AssocDown {
+		t.Fatalf("state %v; changed RecoveryTimestamp must down the association", a.State())
+	}
+	if len(reasons) != 1 || reasons[0] != "peer-restart" {
+		t.Fatalf("down reasons %v", reasons)
+	}
+	a.Tick() // probe: fresh setup against the new incarnation
+	if a.State() != AssocUp {
+		t.Fatalf("state %v after re-setup", a.State())
+	}
+	if !restartedAtSetup.Load() {
+		t.Fatal("OnUp must see peerRestarted=true after a restart-triggered down")
+	}
+	if c := a.Counters(); c.PeerRestarts != 1 {
+		t.Fatalf("restarts = %d", c.PeerRestarts)
+	}
+}
+
+func TestAssociationOnUpErrorKeepsDown(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	fail := atomic.Bool{}
+	fail.Store(true)
+	a, _, _, _ := assocPair(t, AssocConfig{
+		MissThreshold: 1,
+		OnUp: func(bool) error {
+			if fail.Load() {
+				return errFakeReconcile
+			}
+			return nil
+		},
+	})
+	if err := a.Setup(); err == nil {
+		t.Fatal("setup must surface the reconcile error")
+	}
+	if a.State() != AssocIdle {
+		t.Fatalf("state %v; failed reconcile must not advertise Up", a.State())
+	}
+	fail.Store(false)
+	a.Tick() // retries the whole setup+reconcile
+	if a.State() != AssocUp {
+		t.Fatalf("state %v after reconcile recovered", a.State())
+	}
+}
+
+var errFakeReconcile = &fakeError{"reconcile backlog"}
+
+type fakeError struct{ s string }
+
+func (e *fakeError) Error() string { return e.s }
+
+func TestAssociationSnapshotRestore(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	a, _, _, inj := assocPair(t, AssocConfig{MissThreshold: 1})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	inj.Partition("pfcp.smf")
+	a.Tick()
+	if a.State() != AssocDown {
+		t.Fatalf("state %v", a.State())
+	}
+	snap := a.Snapshot()
+
+	b, _, _, _ := assocPair(t, AssocConfig{MissThreshold: 1})
+	b.Restore(snap)
+	if b.State() != AssocDown || b.PeerNodeID() != "upf.test" {
+		t.Fatalf("restored state %v peer %q", b.State(), b.PeerNodeID())
+	}
+	// The restored incarnation recovers exactly like the original would:
+	// probe setup (its own injector is unpartitioned).
+	b.Tick()
+	if b.State() != AssocUp {
+		t.Fatalf("restored assoc state %v after probe", b.State())
+	}
+}
+
+func TestAssociationStartStopTicker(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	a, _, _, _ := assocPair(t, AssocConfig{
+		MissThreshold:     2,
+		HeartbeatInterval: 5 * time.Millisecond,
+	})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	a.Start()
+	a.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Counters().HeartbeatOK < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.Counters().HeartbeatOK < 3 {
+		t.Fatal("ticker did not drive heartbeats")
+	}
+	a.Stop()
+	a.Stop() // idempotent
+}
+
+// TestEndpointCloseJoinsDispatchWorker is the PR 9 shutdown fix: Close
+// must stop the reqQueue dispatch worker and cancel retransmit timers so
+// nothing outlives the endpoint (the leak check is the assertion).
+func TestEndpointCloseJoinsDispatchWorker(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	smf, upf := NewMemPair(256)
+	block := make(chan struct{})
+	var handled atomic.Int32
+	upf.SetHandler(func(seid uint64, req Message) (Message, error) {
+		handled.Add(1)
+		<-block
+		return &HeartbeatResponse{}, nil
+	})
+	smf.SetRetry(RetryConfig{T1: time.Hour, N1: 0, Backoff: 1})
+
+	// Park one request in the handler and queue several more behind it.
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := smf.Request(0, false, &HeartbeatRequest{})
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for handled.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if handled.Load() == 0 {
+		t.Fatal("no request reached the handler")
+	}
+
+	// Closing the requester side cancels every in-flight Request (and its
+	// hour-long retransmit timer) immediately.
+	smf.Close()
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("Request survived endpoint Close")
+		}
+	}
+	close(block) // release the parked handler; upf.Close joins its worker
+	upf.Close()
+	// Queued-but-undispatched requests must NOT run after Close returns.
+	if n := handled.Load(); n > 1 {
+		t.Fatalf("%d handlers ran; Close must drop still-queued requests", n)
+	}
+}
+
+func TestUDPEndpointCloseJoinsWorker(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	smf, upf := udpPair(t)
+	upf.SetHandler(echoHandler(t))
+	smf.SetRetry(fastRetry())
+	if _, err := smf.Request(0, false, &HeartbeatRequest{RecoveryTimestamp: 3}); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	// Explicit double-close: idempotent, and the cleanup close is a no-op.
+	if err := smf.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	smf.Close()
+	upf.Close()
+}

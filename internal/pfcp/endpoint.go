@@ -66,10 +66,11 @@ type injectorConf struct {
 // unread until the retry budget burns out. Requests still run strictly
 // in arrival order; only their execution is decoupled from the reader.
 type reqQueue[T any] struct {
-	mu   sync.Mutex
-	q    []T
-	wake chan struct{}
-	done <-chan struct{}
+	mu      sync.Mutex
+	q       []T
+	wake    chan struct{}
+	done    <-chan struct{}
+	stopped chan struct{}
 }
 
 // newReqQueue starts the worker; it drains until done closes. Queued
@@ -77,10 +78,16 @@ type reqQueue[T any] struct {
 // retransmission loop covers them, exactly as for a datagram lost in
 // flight.
 func newReqQueue[T any](done <-chan struct{}, run func(T)) *reqQueue[T] {
-	rq := &reqQueue[T]{wake: make(chan struct{}, 1), done: done}
+	rq := &reqQueue[T]{wake: make(chan struct{}, 1), done: done,
+		stopped: make(chan struct{})}
 	go rq.loop(run)
 	return rq
 }
+
+// join blocks until the worker goroutine has exited (i.e. done closed and
+// the in-flight handler, if any, returned). Endpoint Close calls this so
+// no queued handler outlives the endpoint.
+func (rq *reqQueue[T]) join() { <-rq.stopped }
 
 // push enqueues one request; it never blocks and is safe from injector
 // timer goroutines.
@@ -95,6 +102,7 @@ func (rq *reqQueue[T]) push(v T) {
 }
 
 func (rq *reqQueue[T]) loop(run func(T)) {
+	defer close(rq.stopped)
 	for {
 		select {
 		case <-rq.done:
@@ -102,6 +110,14 @@ func (rq *reqQueue[T]) loop(run func(T)) {
 		case <-rq.wake:
 		}
 		for {
+			// Re-check done between entries: once the endpoint closes,
+			// still-queued requests are dropped rather than dispatched into
+			// handlers whose endpoint is tearing down under them.
+			select {
+			case <-rq.done:
+				return
+			default:
+			}
 			rq.mu.Lock()
 			if len(rq.q) == 0 {
 				rq.mu.Unlock()
@@ -388,11 +404,15 @@ func (e *UDPEndpoint) handleRequest(r udpRequest) {
 	tx.End()
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint: it cancels every in-flight Request waiter
+// (their retransmit timers stop via the done channel) and joins the
+// dispatch worker so no queued handler runs after Close returns.
 func (e *UDPEndpoint) Close() error {
 	if e.closed.CompareAndSwap(false, true) {
 		close(e.done)
-		return e.conn.Close()
+		err := e.conn.Close()
+		e.reqs.join()
+		return err
 	}
 	return nil
 }
@@ -400,6 +420,7 @@ func (e *UDPEndpoint) Close() error {
 func isResponse(t uint8) bool {
 	switch t {
 	case MsgHeartbeatResponse, MsgAssociationSetupResponse,
+		MsgSessionSetAuditResp,
 		MsgSessionEstablishmentResp, MsgSessionModificationResp,
 		MsgSessionDeletionResp, MsgSessionReportResp:
 		return true
@@ -637,11 +658,14 @@ func (e *MemEndpoint) handleRequest(f memFrame) {
 	e.send(rf)
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint: waiters abort via done, the inbound mailbox
+// unblocks the receive loop, and the dispatch worker is joined so no
+// queued handler outlives the endpoint.
 func (e *MemEndpoint) Close() error {
 	e.closeOnce.Do(func() {
 		close(e.done)
 		e.in.Close()
+		e.reqs.join()
 	})
 	return nil
 }

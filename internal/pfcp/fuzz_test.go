@@ -1,0 +1,64 @@
+package pfcp
+
+import (
+	"testing"
+
+	"l25gc/internal/pkt"
+	"l25gc/internal/rules"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire-format parser. Parse must
+// never panic — the UDP N4 path hands it raw datagrams — and any message
+// it accepts must survive a re-encode/re-decode round trip (the responder
+// re-marshals parsed requests on the retransmit-dedup path).
+func FuzzDecode(f *testing.F) {
+	seeds := []struct {
+		m       Message
+		seid    uint64
+		hasSEID bool
+	}{
+		{&HeartbeatRequest{RecoveryTimestamp: 7}, 0, false},
+		{&HeartbeatResponse{RecoveryTimestamp: 7}, 0, false},
+		{&AssociationSetupRequest{NodeID: "smf.l25gc", RecoveryTimestamp: 3}, 0, false},
+		{&AssociationSetupResponse{NodeID: "upf.l25gc", Cause: CauseAccepted, RecoveryTimestamp: 9}, 0, false},
+		{&SessionSetAuditRequest{NodeID: "smf.l25gc"}, 0, false},
+		{&SessionSetAuditResponse{Cause: CauseAccepted, SEIDs: []uint64{3, 7, 9}}, 0, false},
+		{&SessionEstablishmentRequest{
+			NodeID: "smf", CPSEID: 5, UEIP: pkt.AddrFrom(10, 60, 0, 1),
+			CreatePDRs: []*rules.PDR{{
+				ID: 1, Precedence: 32, FARID: 1,
+				PDI: rules.PDI{SourceInterface: rules.IfAccess, HasTEID: true},
+			}},
+			CreateFARs: []*rules.FAR{{ID: 1, Action: rules.FARForward, DestInterface: rules.IfCore}},
+		}, 5, true},
+		{&SessionModificationRequest{
+			UpdateFARs: []*rules.FAR{{ID: 2, Action: rules.FARBuffer, DestInterface: rules.IfAccess}},
+		}, 9, true},
+		{&SessionDeletionRequest{}, 9, true},
+		{&SessionReportRequest{ReportType: ReportDLDR, PDRID: 2}, 9, true},
+	}
+	for _, s := range seeds {
+		f.Add(Marshal(s.m, s.seid, s.hasSEID, 1))
+	}
+	f.Add([]byte{0x20})                         // version-only byte
+	f.Add([]byte{0x21, 0x01, 0x00, 0x00})       // S bit set, truncated SEID
+	f.Add([]byte{0x20, 0xff, 0xff, 0xff, 0xff}) // unknown type, absurd length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, m, err := Parse(data)
+		if err != nil || m == nil {
+			return
+		}
+		rt := Marshal(m, h.SEID, h.HasSEID, h.Seq)
+		h2, m2, err := Parse(rt)
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v (type %d)", err, h.MsgType)
+		}
+		if h2.MsgType != h.MsgType || h2.SEID != h.SEID || h2.Seq != h.Seq {
+			t.Fatalf("header drifted across round trip: %+v vs %+v", h, h2)
+		}
+		if m2.PFCPType() != m.PFCPType() {
+			t.Fatalf("message type drifted: %d vs %d", m.PFCPType(), m2.PFCPType())
+		}
+	})
+}

@@ -13,6 +13,12 @@ const (
 	MsgHeartbeatResponse        uint8 = 2
 	MsgAssociationSetupRequest  uint8 = 5
 	MsgAssociationSetupResponse uint8 = 6
+	// Session-set audit occupies the 16/17 node-message codepoints
+	// (TS 29.244 reserves this range for session-set procedures). It is
+	// the reconciliation primitive after a healed N4 partition: the CP
+	// asks the UP which CP-SEIDs it holds and diffs against its own table.
+	MsgSessionSetAuditReq       uint8 = 16
+	MsgSessionSetAuditResp      uint8 = 17
 	MsgSessionEstablishmentReq  uint8 = 50
 	MsgSessionEstablishmentResp uint8 = 51
 	MsgSessionModificationReq   uint8 = 52
@@ -35,6 +41,10 @@ func MsgName(t uint8) string {
 		return "association_setup"
 	case MsgAssociationSetupResponse:
 		return "association_setup_resp"
+	case MsgSessionSetAuditReq:
+		return "session_set_audit"
+	case MsgSessionSetAuditResp:
+		return "session_set_audit_resp"
 	case MsgSessionEstablishmentReq:
 		return "session_establishment"
 	case MsgSessionEstablishmentResp:
@@ -154,6 +164,10 @@ func parseBody(t uint8, body []byte) (Message, error) {
 		return parseAssociationSetupRequest(body)
 	case MsgAssociationSetupResponse:
 		return parseAssociationSetupResponse(body)
+	case MsgSessionSetAuditReq:
+		return parseSessionSetAuditRequest(body)
+	case MsgSessionSetAuditResp:
+		return parseSessionSetAuditResponse(body)
 	case MsgSessionEstablishmentReq:
 		return parseSessionEstablishmentRequest(body)
 	case MsgSessionEstablishmentResp:
@@ -230,15 +244,22 @@ func parseHeartbeatResponse(b []byte) (*HeartbeatResponse, error) {
 
 // --- Association setup ---
 
-// AssociationSetupRequest establishes the SMF↔UPF association.
+// AssociationSetupRequest establishes the SMF↔UPF association. The
+// RecoveryTimestamp identifies the sender's incarnation: a peer that
+// later presents a newer one has restarted, and every session toward its
+// previous incarnation is stale (TS 29.244 §6.2.6).
 type AssociationSetupRequest struct {
-	NodeID string
+	NodeID            string
+	RecoveryTimestamp uint32
 }
 
 // PFCPType implements Message.
 func (*AssociationSetupRequest) PFCPType() uint8 { return MsgAssociationSetupRequest }
 
-func (m *AssociationSetupRequest) encodeBody(w *ieWriter) { w.putStr(ieNodeID, m.NodeID) }
+func (m *AssociationSetupRequest) encodeBody(w *ieWriter) {
+	w.putStr(ieNodeID, m.NodeID)
+	w.putU32(ieRecoveryTimestamp, m.RecoveryTimestamp)
+}
 
 func parseAssociationSetupRequest(b []byte) (*AssociationSetupRequest, error) {
 	m := &AssociationSetupRequest{}
@@ -251,16 +272,23 @@ func parseAssociationSetupRequest(b []byte) (*AssociationSetupRequest, error) {
 		if !ok {
 			return m, nil
 		}
-		if t == ieNodeID {
+		switch t {
+		case ieNodeID:
 			m.NodeID = string(v)
+		case ieRecoveryTimestamp:
+			if m.RecoveryTimestamp, err = u32(v); err != nil {
+				return nil, err
+			}
 		}
 	}
 }
 
-// AssociationSetupResponse acknowledges an association.
+// AssociationSetupResponse acknowledges an association, carrying the
+// responder's own incarnation stamp.
 type AssociationSetupResponse struct {
-	NodeID string
-	Cause  uint8
+	NodeID            string
+	Cause             uint8
+	RecoveryTimestamp uint32
 }
 
 // PFCPType implements Message.
@@ -269,6 +297,7 @@ func (*AssociationSetupResponse) PFCPType() uint8 { return MsgAssociationSetupRe
 func (m *AssociationSetupResponse) encodeBody(w *ieWriter) {
 	w.putStr(ieNodeID, m.NodeID)
 	w.putU8(ieCause, m.Cause)
+	w.putU32(ieRecoveryTimestamp, m.RecoveryTimestamp)
 }
 
 func parseAssociationSetupResponse(b []byte) (*AssociationSetupResponse, error) {
@@ -289,6 +318,84 @@ func parseAssociationSetupResponse(b []byte) (*AssociationSetupResponse, error) 
 			if m.Cause, err = u8(v); err != nil {
 				return nil, err
 			}
+		case ieRecoveryTimestamp:
+			if m.RecoveryTimestamp, err = u32(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// --- Session-set audit (post-partition reconciliation) ---
+
+// SessionSetAuditRequest asks the peer to enumerate the CP-SEIDs of every
+// PFCP session it holds. The reconciler diffs the answer against the
+// SMF's own SEID table to find sessions to rebuild and orphans to purge.
+type SessionSetAuditRequest struct {
+	NodeID string
+}
+
+// PFCPType implements Message.
+func (*SessionSetAuditRequest) PFCPType() uint8 { return MsgSessionSetAuditReq }
+
+func (m *SessionSetAuditRequest) encodeBody(w *ieWriter) { w.putStr(ieNodeID, m.NodeID) }
+
+func parseSessionSetAuditRequest(b []byte) (*SessionSetAuditRequest, error) {
+	m := &SessionSetAuditRequest{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		if t == ieNodeID {
+			m.NodeID = string(v)
+		}
+	}
+}
+
+// SessionSetAuditResponse lists the responder's CP-SEIDs in ascending
+// order (sorted by the responder, so the audit walk is deterministic).
+type SessionSetAuditResponse struct {
+	Cause uint8
+	SEIDs []uint64
+}
+
+// PFCPType implements Message.
+func (*SessionSetAuditResponse) PFCPType() uint8 { return MsgSessionSetAuditResp }
+
+func (m *SessionSetAuditResponse) encodeBody(w *ieWriter) {
+	w.putU8(ieCause, m.Cause)
+	for _, s := range m.SEIDs {
+		w.putU64(ieFSEID, s)
+	}
+}
+
+func parseSessionSetAuditResponse(b []byte) (*SessionSetAuditResponse, error) {
+	m := &SessionSetAuditResponse{}
+	r := ieReader{b}
+	for {
+		t, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return m, nil
+		}
+		switch t {
+		case ieCause:
+			if m.Cause, err = u8(v); err != nil {
+				return nil, err
+			}
+		case ieFSEID:
+			s, err := u64(v)
+			if err != nil {
+				return nil, err
+			}
+			m.SEIDs = append(m.SEIDs, s)
 		}
 	}
 }

@@ -47,6 +47,9 @@ var LintNames = []string{
 	// PFCP endpoint spans ("pfcp.request.<type>", "pfcp.handle.<type>").
 	"pfcp.request.*",
 	"pfcp.handle.*",
+	// N4 association transition events ("pfcp.assoc.up"/".down"; the
+	// down event doubles as a telemetry dump reason).
+	"pfcp.assoc.*",
 	"pfcp.encode",
 	"pfcp.resp.encode",
 	"pfcp.rx.decode",

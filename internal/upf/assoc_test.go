@@ -1,0 +1,85 @@
+package upf
+
+import (
+	"testing"
+
+	"l25gc/internal/pfcp"
+	"l25gc/internal/testutil"
+)
+
+func TestAssociationSetupRecordsPeerAndAnswersOwnTimestamp(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	_, c, _, _ := newUPF(t)
+	resp, err := c.Handle(0, &pfcp.AssociationSetupRequest{
+		NodeID: "smf.test", RecoveryTimestamp: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := resp.(*pfcp.AssociationSetupResponse)
+	if ar.Cause != pfcp.CauseAccepted || ar.NodeID != "upf.l25gc" {
+		t.Fatalf("setup response %+v", ar)
+	}
+	if ar.RecoveryTimestamp != c.RecoveryTimestamp() {
+		t.Fatalf("setup response TS %d, UPF TS %d", ar.RecoveryTimestamp, c.RecoveryTimestamp())
+	}
+	if c.PeerNodeID() != "smf.test" {
+		t.Fatalf("peer node id %q", c.PeerNodeID())
+	}
+}
+
+// TestHeartbeatCarriesOwnRecoveryTimestamp pins the restart-visibility
+// fix: the heartbeat response must advertise the UPF's OWN recovery
+// timestamp (not echo the requester's), and bumping it — the restart
+// simulation hook — must show through so the SMF can detect the new
+// incarnation.
+func TestHeartbeatCarriesOwnRecoveryTimestamp(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	_, c, _, _ := newUPF(t)
+	hb := func() uint32 {
+		resp, err := c.Handle(0, &pfcp.HeartbeatRequest{RecoveryTimestamp: 9999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.(*pfcp.HeartbeatResponse).RecoveryTimestamp
+	}
+	before := hb()
+	if before == 9999 {
+		t.Fatal("heartbeat echoed the requester's timestamp; restarts would be invisible")
+	}
+	c.SetRecoveryTimestamp(before + 1)
+	if after := hb(); after != before+1 {
+		t.Fatalf("heartbeat TS %d after restart bump, want %d", after, before+1)
+	}
+}
+
+func TestSessionSetAuditListsSEIDs(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	_, c, _, _ := newUPF(t)
+	audit := func() []uint64 {
+		resp, err := c.Handle(0, &pfcp.SessionSetAuditRequest{NodeID: "smf.test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar := resp.(*pfcp.SessionSetAuditResponse)
+		if ar.Cause != pfcp.CauseAccepted {
+			t.Fatalf("audit cause %d", ar.Cause)
+		}
+		return ar.SEIDs
+	}
+	if got := audit(); len(got) != 0 {
+		t.Fatalf("audit on empty UPF returned %v", got)
+	}
+	mustEstablish(t, c, 7)
+	mustEstablish(t, c, 3)
+	got := audit()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("audit SEIDs %v, want ascending [3 7]", got)
+	}
+	if _, err := c.Handle(3, &pfcp.SessionDeletionRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := audit(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("audit after delete %v, want [7]", got)
+	}
+}

@@ -13,6 +13,7 @@ package upf
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -278,6 +279,20 @@ func (s *State) Sessions() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.bySEID)
+}
+
+// SEIDs returns every installed session's CP SEID in ascending order —
+// the deterministic audit view the post-heal reconciliation diffs against
+// the SMF's table.
+func (s *State) SEIDs() []uint64 {
+	s.mu.RLock()
+	out := make([]uint64, 0, len(s.bySEID))
+	for seid := range s.bySEID {
+		out = append(out, seid)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // BufferDepth returns the total number of DL packets currently parked in

@@ -28,6 +28,17 @@ type UPFC struct {
 	// samples fed to the overload controller (injectable; same idiom as
 	// UPFU.nowNano).
 	clock func() time.Duration
+
+	// recoveryTS is this UPF incarnation's recovery timestamp, advertised
+	// in heartbeat and association responses; a restarted UPF advertises a
+	// new value so the SMF knows its session table is empty.
+	recoveryTS atomic.Uint32
+	// peerNodeID/peerTS track the CP function that last associated, so a
+	// restarted SMF (new RecoveryTimestamp) is visible in metrics.
+	assocMu    sync.Mutex
+	peerNodeID string
+	peerTS     uint32
+	assocs     atomic.Uint64
 }
 
 // SetOverload installs (or, with nil, removes) the admission controller
@@ -49,10 +60,25 @@ func NewUPFC(state *State, n3IP pkt.Addr, ep pfcp.Endpoint) *UPFC {
 	c := &UPFC{state: state, n3IP: n3IP, ep: ep}
 	base := time.Now()
 	c.clock = func() time.Duration { return time.Since(base) }
+	c.recoveryTS.Store(1)
 	if ep != nil {
 		ep.SetHandler(c.Handle)
 	}
 	return c
+}
+
+// SetRecoveryTimestamp installs this incarnation's recovery timestamp
+// (deterministic harnesses inject epoch numbers; a UPF restart bumps it).
+func (c *UPFC) SetRecoveryTimestamp(ts uint32) { c.recoveryTS.Store(ts) }
+
+// RecoveryTimestamp returns the advertised recovery timestamp.
+func (c *UPFC) RecoveryTimestamp() uint32 { return c.recoveryTS.Load() }
+
+// PeerNodeID returns the Node ID of the last CP function that associated.
+func (c *UPFC) PeerNodeID() string {
+	c.assocMu.Lock()
+	defer c.assocMu.Unlock()
+	return c.peerNodeID
 }
 
 // SetClock replaces the monotonic clock behind overload latency samples
@@ -95,9 +121,29 @@ func (c *UPFC) ReportDL(ctx *SessCtx, pdrID uint32) error {
 func (c *UPFC) Handle(seid uint64, req pfcp.Message) (pfcp.Message, error) {
 	switch m := req.(type) {
 	case *pfcp.HeartbeatRequest:
-		return &pfcp.HeartbeatResponse{RecoveryTimestamp: m.RecoveryTimestamp}, nil
+		// Answer with our OWN recovery timestamp (TS 29.244 §6.2.2): the
+		// requester compares it against the value it saw at setup to
+		// detect a UPF restart. Echoing the requester's timestamp (the
+		// old behaviour) made restarts invisible.
+		return &pfcp.HeartbeatResponse{RecoveryTimestamp: c.recoveryTS.Load()}, nil
 	case *pfcp.AssociationSetupRequest:
-		return &pfcp.AssociationSetupResponse{NodeID: "upf.l25gc", Cause: pfcp.CauseAccepted}, nil
+		c.assocMu.Lock()
+		c.peerNodeID = m.NodeID
+		c.peerTS = m.RecoveryTimestamp
+		c.assocMu.Unlock()
+		c.assocs.Add(1)
+		return &pfcp.AssociationSetupResponse{
+			NodeID:            "upf.l25gc",
+			Cause:             pfcp.CauseAccepted,
+			RecoveryTimestamp: c.recoveryTS.Load(),
+		}, nil
+	case *pfcp.SessionSetAuditRequest:
+		// Post-heal reconciliation: report every SEID we hold, sorted, so
+		// the SMF can diff its table against ours deterministically.
+		return &pfcp.SessionSetAuditResponse{
+			Cause: pfcp.CauseAccepted,
+			SEIDs: c.state.SEIDs(),
+		}, nil
 	case *pfcp.SessionEstablishmentRequest:
 		if ctrl := c.ctrl.Load(); ctrl != nil {
 			if !ctrl.Admit(overload.ClassSession) {
