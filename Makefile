@@ -71,17 +71,29 @@ recovery-smoke:
 	$(GO) run ./cmd/bench5gc -exp recovery
 	$(GO) run ./examples/failover
 
-# Overload-control gate: priority-shedding invariants and the
-# allocation-free admission fast path under the race detector, the
-# -benchmem proof of 0 allocs/op on that path, the storm+crash chaos
-# test (zero admitted-session loss across a mid-storm SMF failover),
-# then a smoke-sized registration storm end to end (4k UEs vs a 2k-UE
-# uncontrolled baseline at the same 2048-worker offered concurrency).
+# Overload-control + sharded-state gate: priority-shedding invariants
+# and the allocation-free admission fast path under the race detector,
+# the -benchmem proofs of 0 allocs/op on the admit path and the pooled
+# NGAP/SBI message paths, the striped-allocator unit tests, the churn
+# regression suite (10k register->deregister cycles with zero stale
+# index entries, sorted IP-pool reuse, allocator re-seeding across
+# restores at different shard counts, and the -race hammer with a
+# concurrent snapshotter), the storm+crash chaos test (zero
+# admitted-session loss across a mid-storm SMF failover), then a
+# smoke-sized registration storm end to end (4k UEs vs a 2k-UE
+# uncontrolled baseline at the same 2048-worker offered concurrency),
+# including the shrunk 1-shard-vs-N-shard sweep on the uncontrolled
+# path (the >=3x goodput gate asserts on machines with >=4 cores).
 storm-smoke:
-	$(GO) test -race -count=1 ./internal/overload
+	$(GO) test -race -count=1 ./internal/overload ./internal/nfid
 	$(GO) test -race -count=1 -run 'TestStormWithCrashZeroAdmittedLoss' ./internal/core
+	$(GO) test -race -count=1 -short -run 'TestChurn|TestRestoreReseedsAllocator' ./internal/nf/amf
+	$(GO) test -race -count=1 -run 'TestSMFIPFreeListSortedReuse|TestSMFRestoreReseedsAllocators|TestSMFPendingFreeParksUntilReconcile' ./internal/nf/smf
+	$(GO) test -race -count=1 -run 'TestBindTEID' ./internal/upf
 	$(GO) test -count=1 -run 'TestNone' -bench 'BenchmarkAdmitRelease' -benchmem ./internal/overload
-	L25GC_STORM_UES=4000 L25GC_STORM_BASE=2000 $(GO) run ./cmd/bench5gc -exp storm
+	$(GO) test -count=1 -run 'TestSendSteadyStateAllocs|TestAppendMarshalAllocs' -bench 'BenchmarkConnSend' -benchmem ./internal/ngap
+	$(GO) test -count=1 -run 'TestShmInvokeSteadyStateAllocs' -bench 'BenchmarkShmInvoke' -benchmem ./internal/sbi
+	L25GC_STORM_UES=4000 L25GC_STORM_BASE=2000 L25GC_STORM_SWEEP=2000 $(GO) run ./cmd/bench5gc -exp storm
 
 # Continuous-telemetry gate: the sampler/flight/sketch/pipeline unit
 # tests under the race detector, the -benchmem proof that the

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"l25gc/internal/core"
@@ -35,6 +36,7 @@ func main() {
 	switchWorkers := flag.Int("switch-workers", 0, "descriptor-switch workers in the NF manager (0 = min(GOMAXPROCS, 4))")
 	flightDump := flag.String("flight-dump", "", "arm the telemetry pipeline and write an on-demand flight-recorder dump (JSON) here at the end of the run (implies -trace)")
 	n4assoc := flag.Bool("n4assoc", false, "arm the PFCP association lifecycle on N4 (SMF heartbeats, path-down detection, degraded mode, post-heal reconciliation)")
+	nfShards := flag.Int("nf-shards", runtime.GOMAXPROCS(0), "AMF/SMF UE-state shards (per-shard maps, locks and ID allocators; 1 = legacy single-lock layout)")
 	flag.Parse()
 	if *traceOut != "" || *flightDump != "" {
 		*doTrace = true
@@ -75,7 +77,7 @@ func main() {
 	c, err := core.New(core.Config{
 		Mode: m, ClsAlgo: *cls, Subscribers: subs, Tracer: tr, Metrics: reg,
 		Resilience: *resilience, SwitchWorkers: *switchWorkers,
-		Overload: *overloadCtl, Telemetry: tel,
+		Overload: *overloadCtl, Telemetry: tel, NFShards: *nfShards,
 		N4Assoc: *n4assoc, N4HeartbeatInterval: 50 * time.Millisecond,
 	})
 	if err != nil {

@@ -107,14 +107,15 @@ func (s *stormStats) goodput() float64 {
 
 // stormRun offers `total` registrations at fixed worker concurrency,
 // with session-establishment and deregistration churn mixed in. The
-// same workload runs controlled (withOverload) and uncontrolled.
-func stormRun(total, workers int, withOverload bool, seed int64) (*stormStats, error) {
+// same workload runs controlled (withOverload) and uncontrolled;
+// `shards` stripes the AMF/SMF UE state (1 = legacy single-lock layout).
+func stormRun(total, workers int, withOverload bool, shards int, seed int64) (*stormStats, error) {
 	st := &stormStats{
 		offered:  total,
 		regHist:  metrics.NewHistogram(),
 		sessHist: metrics.NewHistogram(),
 	}
-	cfg := core.Config{Mode: core.ModeL25GC, Subscribers: benchSubscribers(total)}
+	cfg := core.Config{Mode: core.ModeL25GC, Subscribers: benchSubscribers(total), NFShards: shards}
 	if withOverload {
 		cfg.Overload = true
 		cfg.OverloadConfig = stormOverloadCfg
@@ -275,6 +276,21 @@ type stormJSON struct {
 	HeapPeakMB       float64 `json:"heapPeakMB"`
 	AdmitAllocsPerOp float64 `json:"admitAllocsPerOp"`
 	Seed             int64   `json:"seed"`
+
+	NFShards     int              `json:"nfShards"`
+	ShardSweep   []stormShardJSON `json:"shardSweep,omitempty"`
+	ShardSpeedup float64          `json:"shardSpeedup,omitempty"`
+}
+
+// stormShardJSON is one leg of the shard sweep: the same uncontrolled
+// registration storm at a fixed shard count.
+type stormShardJSON struct {
+	Shards        int     `json:"shards"`
+	Attached      int64   `json:"attached"`
+	ElapsedSec    float64 `json:"elapsedSec"`
+	GoodputPerSec float64 `json:"goodputRegsPerSec"`
+	RegP50Ms      float64 `json:"regP50Ms"`
+	RegP99Ms      float64 `json:"regP99Ms"`
 }
 
 // admitAllocsPerOp measures the admission fast path's allocation count
@@ -306,15 +322,38 @@ func Storm() (*Result, error) {
 	if workers > total {
 		workers = total
 	}
+	shards := stormEnvInt("L25GC_STORM_SHARDS", runtime.GOMAXPROCS(0))
 	seed := stormSeed()
 
-	ctl, err := stormRun(total, workers, true, seed)
+	ctl, err := stormRun(total, workers, true, shards, seed)
 	if err != nil {
 		return nil, fmt.Errorf("storm (overload): %w", err)
 	}
-	base, err := stormRun(baseTotal, workers, false, seed)
+	base, err := stormRun(baseTotal, workers, false, shards, seed)
 	if err != nil {
 		return nil, fmt.Errorf("storm (baseline): %w", err)
+	}
+
+	// Shard sweep: the same uncontrolled storm with the state layer as
+	// the only variable — legacy single-lock layout vs one shard per
+	// core. This is where the global-lock convoy shows up: admission
+	// control would cap concurrency at the gate and mask it.
+	sweepTotal := stormEnvInt("L25GC_STORM_SWEEP", baseTotal)
+	sweepShards := runtime.GOMAXPROCS(0)
+	if sweepShards < 2 {
+		sweepShards = 2
+	}
+	sweep1, err := stormRun(sweepTotal, workers, false, 1, seed)
+	if err != nil {
+		return nil, fmt.Errorf("storm (sweep 1-shard): %w", err)
+	}
+	sweepN, err := stormRun(sweepTotal, workers, false, sweepShards, seed)
+	if err != nil {
+		return nil, fmt.Errorf("storm (sweep %d-shard): %w", sweepShards, err)
+	}
+	shardSpeedup := 0.0
+	if g := sweep1.goodput(); g > 0 {
+		shardSpeedup = sweepN.goodput() / g
 	}
 
 	// --- acceptance checks ---
@@ -359,6 +398,24 @@ func Storm() (*Result, error) {
 	if allocs >= 1 {
 		return nil, fmt.Errorf("storm: admission fast path allocates (%.2f allocs/op)", allocs)
 	}
+	// The sharding acceptance bar — >=3x admitted-registration goodput
+	// over the single-shard layout at equal-or-better p99 — only means
+	// anything when shards can actually run in parallel; below 4 cores
+	// the sweep is recorded but not gated (same reasoning as the relaxed
+	// minImprove above). The 5% p99 tolerance absorbs percentile noise
+	// on runs short enough for CI.
+	sweepP99 := sweepN.regHist.Percentile(99)
+	sweep1P99 := sweep1.regHist.Percentile(99)
+	if runtime.GOMAXPROCS(0) >= 4 {
+		if shardSpeedup < 3.0 {
+			return nil, fmt.Errorf("storm: %d-shard goodput is only %.2fx the 1-shard baseline (want >=3x)",
+				sweepShards, shardSpeedup)
+		}
+		if float64(sweepP99) > float64(sweep1P99)*1.05 {
+			return nil, fmt.Errorf("storm: %d-shard reg p99 %v regressed past 1-shard %v",
+				sweepShards, sweepP99, sweep1P99)
+		}
+	}
 
 	tab := metrics.NewTable("run", "UEs", "attached", "rejects", "reg p50", "reg p99", "goodput/s", "heap peak")
 	tab.Row("overload", ctl.offered, ctl.attached, ctl.rejects,
@@ -367,6 +424,12 @@ func Storm() (*Result, error) {
 	tab.Row("baseline", base.offered, base.attached, base.rejects,
 		base.regHist.Percentile(50), baseP99,
 		fmt.Sprintf("%.0f", base.goodput()), fmt.Sprintf("%dMB", base.heapPeak>>20))
+	tab.Row("sweep 1-shard", sweep1.offered, sweep1.attached, sweep1.rejects,
+		sweep1.regHist.Percentile(50), sweep1P99,
+		fmt.Sprintf("%.0f", sweep1.goodput()), fmt.Sprintf("%dMB", sweep1.heapPeak>>20))
+	tab.Row(fmt.Sprintf("sweep %d-shard", sweepShards), sweepN.offered, sweepN.attached, sweepN.rejects,
+		sweepN.regHist.Percentile(50), sweepP99,
+		fmt.Sprintf("%.0f", sweepN.goodput()), fmt.Sprintf("%dMB", sweepN.heapPeak>>20))
 
 	return &Result{
 		ID:    "storm",
@@ -379,6 +442,9 @@ func Storm() (*Result, error) {
 				ctl.rejects, ctl.regHighWater, stormOverloadCfg.Caps[overload.ClassRegistration]),
 			fmt.Sprintf("controlled p99 %v vs uncontrolled %v at the same concurrency: %.1fx better; admission fast path %.2f allocs/op.",
 				p99, baseP99, improvement, allocs),
+			fmt.Sprintf("shard sweep (%d UEs, uncontrolled): %d shards sustain %.2fx the 1-shard goodput (%.0f vs %.0f regs/s) at p99 %v vs %v on %d core(s); the >=3x gate asserts at >=4 cores.",
+				sweepTotal, sweepShards, shardSpeedup, sweepN.goodput(), sweep1.goodput(),
+				sweepP99, sweep1P99, runtime.GOMAXPROCS(0)),
 		},
 		JSON: stormJSON{
 			OfferedUEs: ctl.offered, Workers: workers,
@@ -396,6 +462,16 @@ func Storm() (*Result, error) {
 			HeapPeakMB:       float64(ctl.heapPeak) / (1 << 20),
 			AdmitAllocsPerOp: allocs,
 			Seed:             seed,
+			NFShards:         shards,
+			ShardSweep: []stormShardJSON{
+				{Shards: 1, Attached: sweep1.attached, ElapsedSec: sweep1.elapsed.Seconds(),
+					GoodputPerSec: sweep1.goodput(),
+					RegP50Ms:      ms(sweep1.regHist.Percentile(50)), RegP99Ms: ms(sweep1P99)},
+				{Shards: sweepShards, Attached: sweepN.attached, ElapsedSec: sweepN.elapsed.Seconds(),
+					GoodputPerSec: sweepN.goodput(),
+					RegP50Ms:      ms(sweepN.regHist.Percentile(50)), RegP99Ms: ms(sweepP99)},
+			},
+			ShardSpeedup: shardSpeedup,
 		},
 	}, nil
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Kind enumerates field types supported by schemas.
@@ -46,6 +47,15 @@ type Field struct {
 // Message is any SBI payload that exposes a schema.
 type Message interface {
 	Schema() []Field
+}
+
+// FieldAppender is an optional Message refinement for hot-path types:
+// AppendSchema appends the message's fields to fs, letting encoders
+// reuse one pooled scratch slice across calls instead of allocating a
+// fresh schema per message. Types implementing it conventionally define
+// Schema as AppendSchema(nil), keeping one source of truth.
+type FieldAppender interface {
+	AppendSchema(fs []Field) []Field
 }
 
 // Codec serializes schema-described messages.
@@ -92,9 +102,40 @@ const (
 )
 
 // Marshal implements Codec.
-func (Proto) Marshal(m Message) ([]byte, error) {
-	b := make([]byte, 0, 128)
-	for _, f := range m.Schema() {
+func (p Proto) Marshal(m Message) ([]byte, error) {
+	return p.AppendMarshal(make([]byte, 0, 128), m)
+}
+
+// fieldScratch recycles schema slices for FieldAppender messages so the
+// append-marshal path performs zero allocations in steady state.
+var fieldScratch = sync.Pool{
+	New: func() any {
+		fs := make([]Field, 0, 16)
+		return &fs
+	},
+}
+
+// AppendMarshal encodes m appended to dst and returns the extended
+// slice — the allocation-free spelling hot paths use with pooled
+// buffers (Marshal is AppendMarshal into a fresh slice). Messages
+// implementing FieldAppender avoid even the schema-slice allocation.
+func (Proto) AppendMarshal(dst []byte, m Message) ([]byte, error) {
+	var (
+		fields  []Field
+		scratch *[]Field
+	)
+	if fa, ok := m.(FieldAppender); ok {
+		scratch = fieldScratch.Get().(*[]Field)
+		fields = fa.AppendSchema((*scratch)[:0])
+		defer func() {
+			*scratch = fields[:0]
+			fieldScratch.Put(scratch)
+		}()
+	} else {
+		fields = m.Schema()
+	}
+	b := dst
+	for _, f := range fields {
 		switch f.Kind {
 		case KindUint32:
 			b = appendKey(b, f.Tag, wireVarint)

@@ -84,6 +84,11 @@ type Config struct {
 	// manager. 0 picks min(GOMAXPROCS, 4); flows are sharded across workers
 	// with per-flow FIFO order preserved.
 	SwitchWorkers int
+	// NFShards stripes the AMF and SMF UE/session state (maps, locks, ID
+	// allocators) across this many shards keyed by UE-ID hash. 0 means 1
+	// shard, which preserves the legacy single-lock ID sequences bit for
+	// bit; cmd/l25gc defaults the flag to GOMAXPROCS.
+	NFShards int
 
 	// Tracer, when non-nil, threads span tracks through every traced
 	// component (control-plane procedures, PFCP stages, data-plane hot
@@ -424,7 +429,7 @@ func (c *Core) start() error {
 	c.SMF = smf.New(smf.Config{
 		NodeID: "smf.l25gc", UPFN3IP: upfN3IP,
 		UEPoolBase: pkt.AddrFrom(10, 60, 0, 1),
-		BufferPkts: cfg.BufferPkts,
+		BufferPkts: cfg.BufferPkts, Shards: cfg.NFShards,
 	}, udmConnSmf, pcfConnSmf, smfN4, func() sbi.Conn {
 		amfConnMu.Lock()
 		defer amfConnMu.Unlock()
@@ -454,6 +459,7 @@ func (c *Core) start() error {
 
 	c.AMF, err = amf.New(amf.Config{
 		Name: "amf.l25gc", Guami: "5G:mnc093.mcc208", Addr: "127.0.0.1:0",
+		Shards: cfg.NFShards,
 	}, ausfConn, udmConnAmf, pcfConnAmf, smfConn)
 	if err != nil {
 		return err
@@ -617,7 +623,7 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 			s := smf.New(smf.Config{
 				NodeID: fmt.Sprintf("smf.l25gc.g%d", gen), UPFN3IP: upfN3IP,
 				UEPoolBase: pkt.AddrFrom(10, 60, 0, 1),
-				BufferPkts: cfg.BufferPkts,
+				BufferPkts: cfg.BufferPkts, Shards: cfg.NFShards,
 			}, udmConnSmf, pcfConnSmf, smfN4, func() sbi.Conn {
 				amfUnitMu.Lock()
 				defer amfUnitMu.Unlock()
@@ -664,6 +670,7 @@ func (c *Core) startSupervised(track func(string) *trace.Track,
 			a, err := amf.New(amf.Config{
 				Name:  fmt.Sprintf("amf.l25gc.g%d", gen),
 				Guami: "5G:mnc093.mcc208", Addr: "127.0.0.1:0",
+				Shards: cfg.NFShards,
 			}, ausfConn, udmConnAmf, pcfConnAmf, smfUnit.Conn())
 			if err != nil {
 				return nil, err

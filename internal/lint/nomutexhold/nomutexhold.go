@@ -22,7 +22,10 @@
 // Calls into other functions of the same package are NOT traversed —
 // the rule is about what a critical section does directly, and the
 // repo's intentional "apply under the unit lock" pattern (supervisor
-// ingress) relies on helpers being analyzed in their own frame.
+// ingress) relies on helpers being analyzed in their own frame. The one
+// exception is same-package lockXxx/unlockXxx helper pairs (the sharded
+// state's lockShard/lockIdxPair idiom): those open and close a region
+// for the logical lock named by the suffix, just like Lock/Unlock.
 // Intentional non-blocking sends to buffered channels use
 // //l25gc:allow nomutexhold <reason>.
 package nomutexhold
@@ -89,7 +92,7 @@ func (c *checker) stmt(s ast.Stmt, held map[string]bool) {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
 		if call, ok := s.X.(*ast.CallExpr); ok {
-			if holder, kind := lockCall(c.pass.Pkg.Info, call); holder != "" {
+			if holder, kind := lockCall(c.pass.Pkg, call); holder != "" {
 				switch kind {
 				case lockAcquire:
 					held[holder] = true
@@ -101,7 +104,7 @@ func (c *checker) stmt(s ast.Stmt, held map[string]bool) {
 		}
 		c.expr(s.X, held)
 	case *ast.DeferStmt:
-		if holder, kind := lockCall(c.pass.Pkg.Info, s.Call); holder != "" && kind == lockRelease {
+		if holder, kind := lockCall(c.pass.Pkg, s.Call); holder != "" && kind == lockRelease {
 			c.deferred = append(c.deferred, holder)
 			return
 		}
@@ -250,21 +253,41 @@ const (
 // lockCall recognizes x.Lock/RLock/Unlock/RUnlock where the method's
 // receiver is sync.Mutex or sync.RWMutex (including promoted fields),
 // returning the canonical holder expression.
-func lockCall(info *types.Info, call *ast.CallExpr) (string, lockKind) {
+//
+// It also recognizes same-package lock helpers: sharded state wraps its
+// per-shard mutex acquisition in lockXxx/unlockXxx methods (the AMF's
+// lockShard/unlockShard and the two-shard ordered lockIdxPair/
+// unlockIdxPair, the SMF's shard equivalents). A call to s.lockIdxPair
+// opens a critical section on the logical holder "s.IdxPair" that the
+// matching s.unlockIdxPair closes, so the discipline applies between
+// them exactly as it does between Lock and Unlock.
+func lockCall(pkg *analysis.Package, call *ast.CallExpr) (string, lockKind) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", lockNone
 	}
-	fn := analysis.Callee(info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+	fn := analysis.Callee(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
 		return "", lockNone
 	}
-	holder := types.ExprString(sel.X)
-	switch fn.Name() {
-	case "Lock", "RLock":
-		return holder, lockAcquire
-	case "Unlock", "RUnlock":
-		return holder, lockRelease
+	name := fn.Name()
+	if fn.Pkg().Path() == "sync" {
+		holder := types.ExprString(sel.X)
+		switch name {
+		case "Lock", "RLock":
+			return holder, lockAcquire
+		case "Unlock", "RUnlock":
+			return holder, lockRelease
+		}
+		return "", lockNone
+	}
+	if fn.Pkg() == pkg.Types {
+		if rest, ok := strings.CutPrefix(name, "lock"); ok && rest != "" {
+			return types.ExprString(sel.X) + "." + rest, lockAcquire
+		}
+		if rest, ok := strings.CutPrefix(name, "unlock"); ok && rest != "" {
+			return types.ExprString(sel.X) + "." + rest, lockRelease
+		}
 	}
 	return "", lockNone
 }

@@ -1,0 +1,75 @@
+// Golden input for the same-package lockXxx/unlockXxx helper
+// recognition: the sharded-state idiom wraps per-shard mutex
+// acquisition in helper methods, and the critical section between a
+// lock helper and its unlock twin obeys the same discipline as a bare
+// Lock/Unlock pair.
+package nomutexhold
+
+import (
+	"sync"
+	"time"
+)
+
+type sharded struct {
+	shards []sync.Mutex
+	ch     chan int
+}
+
+func (s *sharded) lockIdxPair(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	s.shards[i].Lock()
+	if i != j {
+		s.shards[j].Lock()
+	}
+}
+
+func (s *sharded) unlockIdxPair(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	if i != j {
+		s.shards[j].Unlock()
+	}
+	s.shards[i].Unlock()
+}
+
+func (s *sharded) badHelperRegion(i, j int) {
+	s.lockIdxPair(i, j)
+	s.ch <- 1                    // want "channel send while holding s.IdxPair"
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep while holding s.IdxPair"
+	s.unlockIdxPair(i, j)
+	s.ch <- 2 // released: fine
+}
+
+func (s *sharded) deferredHelperHold(i, j int) {
+	s.lockIdxPair(i, j)
+	defer s.unlockIdxPair(i, j)
+	s.ch <- 1 // want "channel send while holding s.IdxPair"
+}
+
+func (s *sharded) helperTrySend(i, j int) {
+	s.lockIdxPair(i, j)
+	defer s.unlockIdxPair(i, j)
+	select {
+	case s.ch <- 1: // non-blocking try-send: fine
+	default:
+	}
+}
+
+// lockstep is not a lock helper pair — "lock" must be a strict prefix
+// with a non-empty suffix, and there is no matching unlock twin; but
+// the prefix rule still opens a region, so name methods carefully.
+func (s *sharded) lockFree() {}
+
+func (s *sharded) unlockFree() {}
+
+func (s *sharded) pairedNoOpHelpers() {
+	s.lockFree()
+	defer s.unlockFree()
+	select {
+	case s.ch <- 1: // try-send under the (no-op) helper region: fine
+	default:
+	}
+}

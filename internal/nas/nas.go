@@ -104,11 +104,13 @@ var nasCodec = codec.Proto{}
 
 // Marshal encodes a NAS message into a PDU.
 func Marshal(m Message) ([]byte, error) {
-	body, err := nasCodec.Marshal(m)
-	if err != nil {
-		return nil, err
-	}
-	return append([]byte{byte(m.NASType())}, body...), nil
+	return AppendMarshal(make([]byte, 0, 64), m)
+}
+
+// AppendMarshal encodes a NAS PDU appended to dst — the allocation-free
+// spelling the AMF's pooled downlink path uses.
+func AppendMarshal(dst []byte, m Message) ([]byte, error) {
+	return nasCodec.AppendMarshal(append(dst, byte(m.NASType())), m)
 }
 
 // Unmarshal decodes a NAS PDU.
@@ -177,12 +179,15 @@ type RegistrationRequest struct {
 func (*RegistrationRequest) NASType() MsgType { return MsgRegistrationRequest }
 
 // Schema implements codec.Message.
-func (m *RegistrationRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindString, Ptr: &m.Suci},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Capabilities},
-		{Tag: 3, Kind: codec.KindBool, Ptr: &m.FollowOnReq},
-	}
+func (m *RegistrationRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *RegistrationRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.Suci},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Capabilities},
+		codec.Field{Tag: 3, Kind: codec.KindBool, Ptr: &m.FollowOnReq},
+	)
 }
 
 // AuthenticationRequest carries the 5G-AKA challenge to the UE.
@@ -195,11 +200,14 @@ type AuthenticationRequest struct {
 func (*AuthenticationRequest) NASType() MsgType { return MsgAuthenticationRequest }
 
 // Schema implements codec.Message.
-func (m *AuthenticationRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindBytes, Ptr: &m.Rand},
-		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.Autn},
-	}
+func (m *AuthenticationRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *AuthenticationRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindBytes, Ptr: &m.Rand},
+		codec.Field{Tag: 2, Kind: codec.KindBytes, Ptr: &m.Autn},
+	)
 }
 
 // AuthenticationResponse returns the UE's RES*.
@@ -211,8 +219,11 @@ type AuthenticationResponse struct {
 func (*AuthenticationResponse) NASType() MsgType { return MsgAuthenticationResponse }
 
 // Schema implements codec.Message.
-func (m *AuthenticationResponse) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindBytes, Ptr: &m.ResStar}}
+func (m *AuthenticationResponse) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *AuthenticationResponse) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindBytes, Ptr: &m.ResStar})
 }
 
 // SecurityModeCommand selects NAS security algorithms.
@@ -225,11 +236,14 @@ type SecurityModeCommand struct {
 func (*SecurityModeCommand) NASType() MsgType { return MsgSecurityModeCommand }
 
 // Schema implements codec.Message.
-func (m *SecurityModeCommand) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.CipherAlg},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.IntegrityAlg},
-	}
+func (m *SecurityModeCommand) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *SecurityModeCommand) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.CipherAlg},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.IntegrityAlg},
+	)
 }
 
 // SecurityModeComplete acknowledges the security mode.
@@ -241,8 +255,11 @@ type SecurityModeComplete struct {
 func (*SecurityModeComplete) NASType() MsgType { return MsgSecurityModeComplete }
 
 // Schema implements codec.Message.
-func (m *SecurityModeComplete) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.IMEISV}}
+func (m *SecurityModeComplete) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *SecurityModeComplete) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.IMEISV})
 }
 
 // RegistrationAccept completes registration.
@@ -256,12 +273,15 @@ type RegistrationAccept struct {
 func (*RegistrationAccept) NASType() MsgType { return MsgRegistrationAccept }
 
 // Schema implements codec.Message.
-func (m *RegistrationAccept) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti},
-		{Tag: 2, Kind: codec.KindString, Ptr: &m.TaiList},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.AllowedSst},
-	}
+func (m *RegistrationAccept) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *RegistrationAccept) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti},
+		codec.Field{Tag: 2, Kind: codec.KindString, Ptr: &m.TaiList},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.AllowedSst},
+	)
 }
 
 // RegistrationComplete acknowledges the accept.
@@ -273,8 +293,11 @@ type RegistrationComplete struct {
 func (*RegistrationComplete) NASType() MsgType { return MsgRegistrationComplete }
 
 // Schema implements codec.Message.
-func (m *RegistrationComplete) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindBool, Ptr: &m.Ack}}
+func (m *RegistrationComplete) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *RegistrationComplete) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindBool, Ptr: &m.Ack})
 }
 
 // PDUSessionEstablishmentRequest asks for a data session.
@@ -288,12 +311,15 @@ type PDUSessionEstablishmentRequest struct {
 func (*PDUSessionEstablishmentRequest) NASType() MsgType { return MsgPDUSessionEstablishmentRequest }
 
 // Schema implements codec.Message.
-func (m *PDUSessionEstablishmentRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
-		{Tag: 2, Kind: codec.KindString, Ptr: &m.Dnn},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.SscMode},
-	}
+func (m *PDUSessionEstablishmentRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *PDUSessionEstablishmentRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		codec.Field{Tag: 2, Kind: codec.KindString, Ptr: &m.Dnn},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.SscMode},
+	)
 }
 
 // PDUSessionEstablishmentAccept returns the session parameters.
@@ -309,14 +335,17 @@ type PDUSessionEstablishmentAccept struct {
 func (*PDUSessionEstablishmentAccept) NASType() MsgType { return MsgPDUSessionEstablishmentAccept }
 
 // Schema implements codec.Message.
-func (m *PDUSessionEstablishmentAccept) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
-		{Tag: 2, Kind: codec.KindString, Ptr: &m.UeIPv4},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.Qfi},
-		{Tag: 4, Kind: codec.KindUint64, Ptr: &m.SessAmbrUL},
-		{Tag: 5, Kind: codec.KindUint64, Ptr: &m.SessAmbrDL},
-	}
+func (m *PDUSessionEstablishmentAccept) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *PDUSessionEstablishmentAccept) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		codec.Field{Tag: 2, Kind: codec.KindString, Ptr: &m.UeIPv4},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.Qfi},
+		codec.Field{Tag: 4, Kind: codec.KindUint64, Ptr: &m.SessAmbrUL},
+		codec.Field{Tag: 5, Kind: codec.KindUint64, Ptr: &m.SessAmbrDL},
+	)
 }
 
 // ServiceRequest transitions an idle UE back to connected (paging answer).
@@ -329,11 +358,14 @@ type ServiceRequest struct {
 func (*ServiceRequest) NASType() MsgType { return MsgServiceRequest }
 
 // Schema implements codec.Message.
-func (m *ServiceRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
-	}
+func (m *ServiceRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *ServiceRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+	)
 }
 
 // ServiceAccept confirms the idle->active transition.
@@ -345,8 +377,11 @@ type ServiceAccept struct {
 func (*ServiceAccept) NASType() MsgType { return MsgServiceAccept }
 
 // Schema implements codec.Message.
-func (m *ServiceAccept) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID}}
+func (m *ServiceAccept) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *ServiceAccept) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID})
 }
 
 // DeregistrationRequest detaches the UE.
@@ -358,8 +393,11 @@ type DeregistrationRequest struct {
 func (*DeregistrationRequest) NASType() MsgType { return MsgDeregistrationRequest }
 
 // Schema implements codec.Message.
-func (m *DeregistrationRequest) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti}}
+func (m *DeregistrationRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *DeregistrationRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti})
 }
 
 // ConfigurationUpdate pushes new UE configuration.
@@ -371,8 +409,11 @@ type ConfigurationUpdate struct {
 func (*ConfigurationUpdate) NASType() MsgType { return MsgConfigurationUpdate }
 
 // Schema implements codec.Message.
-func (m *ConfigurationUpdate) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti}}
+func (m *ConfigurationUpdate) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *ConfigurationUpdate) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti})
 }
 
 // RegistrationReject refuses a registration attempt; BackoffMs is the
@@ -386,11 +427,14 @@ type RegistrationReject struct {
 func (*RegistrationReject) NASType() MsgType { return MsgRegistrationReject }
 
 // Schema implements codec.Message.
-func (m *RegistrationReject) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Cause},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
-	}
+func (m *RegistrationReject) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *RegistrationReject) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Cause},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
+	)
 }
 
 // PDUSessionEstablishmentReject refuses a session request with a backoff
@@ -405,12 +449,15 @@ type PDUSessionEstablishmentReject struct {
 func (*PDUSessionEstablishmentReject) NASType() MsgType { return MsgPDUSessionEstablishmentReject }
 
 // Schema implements codec.Message.
-func (m *PDUSessionEstablishmentReject) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Cause},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
-	}
+func (m *PDUSessionEstablishmentReject) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *PDUSessionEstablishmentReject) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.Cause},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
+	)
 }
 
 // ServiceReject refuses an idle→connected transition with a backoff timer.
@@ -423,9 +470,12 @@ type ServiceReject struct {
 func (*ServiceReject) NASType() MsgType { return MsgServiceReject }
 
 // Schema implements codec.Message.
-func (m *ServiceReject) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Cause},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
-	}
+func (m *ServiceReject) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *ServiceReject) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.Cause},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.BackoffMs},
+	)
 }

@@ -15,6 +15,7 @@ import (
 
 	"l25gc/internal/codec"
 	"l25gc/internal/nas"
+	"l25gc/internal/nfid"
 	"l25gc/internal/ngap"
 	"l25gc/internal/overload"
 	"l25gc/internal/sbi"
@@ -115,6 +116,10 @@ type Config struct {
 	Name  string
 	Guami string
 	Addr  string // N2 listen address ("127.0.0.1:0" for ephemeral)
+	// Shards is the UE-state shard count (DESIGN §16). <=1 keeps the
+	// single-shard layout, whose allocation sequence is byte-identical to
+	// the historical global-counter one.
+	Shards int
 }
 
 // AMF is the access-and-mobility NF.
@@ -127,19 +132,21 @@ type AMF struct {
 
 	ln net.Listener
 
-	mu        sync.Mutex
-	gnbs      map[uint32]*gnbConn
-	ues       map[uint64]*ueContext // amfUeID
-	uesBySupi map[string]*ueContext
-	uesByGuti map[string]*ueContext
-	hoTunnels map[uint64]hoTunnel // amfUeID -> pending HO target tunnel
+	gmu  sync.Mutex
+	gnbs map[uint32]*gnbConn
 
-	nextUeID atomic.Uint64
-	closed   atomic.Bool
-	wg       sync.WaitGroup
-	tracec   atomic.Pointer[trace.Track]
-	tap      atomic.Pointer[IngressTap]
-	ctrl     atomic.Pointer[overload.Controller]
+	// Per-UE state, sharded by fmix64(ID) (shard.go): ueShards holds the
+	// primary amfUeID table plus pending-HO tunnels, idxShards the
+	// SUPI/GUTI/(gnbID,ranUeID) lookup indexes.
+	ueShards  []*ueShard
+	idxShards []*idxShard
+	ueAlloc   *nfid.Alloc
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	tracec atomic.Pointer[trace.Track]
+	tap    atomic.Pointer[IngressTap]
+	ctrl   atomic.Pointer[overload.Controller]
 	// clock supplies monotonic elapsed time for latency samples fed to
 	// the overload controller; injectable so replayed registrations
 	// observe the same durations the live run did.
@@ -172,13 +179,16 @@ func New(cfg Config, ausf, udm, pcf, smf sbi.Conn) (*AMF, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	a := &AMF{
 		cfg: cfg, ausf: ausf, udm: udm, pcf: pcf, smf: smf, ln: ln,
 		gnbs:      make(map[uint32]*gnbConn),
-		ues:       make(map[uint64]*ueContext),
-		uesBySupi: make(map[string]*ueContext),
-		uesByGuti: make(map[string]*ueContext),
-		hoTunnels: make(map[uint64]hoTunnel),
+		ueShards:  newUeShards(shards),
+		idxShards: newIdxShards(shards),
+		ueAlloc:   nfid.New(0, shards),
 		Logf:      func(string, ...any) {},
 	}
 	base := time.Now()
@@ -206,11 +216,11 @@ func (a *AMF) Close() error {
 		return nil
 	}
 	a.ln.Close()
-	a.mu.Lock()
+	a.gmu.Lock()
 	for _, g := range a.gnbs {
 		g.closeConn()
 	}
-	a.mu.Unlock()
+	a.gmu.Unlock()
 	a.wg.Wait()
 	return nil
 }
@@ -285,8 +295,8 @@ func (a *AMF) DeliverNGAP(gnbID uint32, wire []byte) error {
 // first sight (replayed traffic can reference a gNB that has not yet
 // re-attached to this replica).
 func (a *AMF) gnbByID(id uint32) *gnbConn {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.gmu.Lock()
+	defer a.gmu.Unlock()
 	g := a.gnbs[id]
 	if g == nil {
 		g = &gnbConn{id: id}
@@ -300,14 +310,14 @@ func (a *AMF) gnbByID(id uint32) *gnbConn {
 // is created. conn is nil when the NGSetup itself is a replay — a replica
 // must never clobber a live binding with a dead one.
 func (a *AMF) bindGnb(id uint32, name string, conn *ngap.Conn) *gnbConn {
-	a.mu.Lock()
+	a.gmu.Lock()
 	g := a.gnbs[id]
 	if g == nil {
 		g = &gnbConn{id: id}
 		a.gnbs[id] = g
 	}
 	g.name = name
-	a.mu.Unlock()
+	a.gmu.Unlock()
 	if conn != nil {
 		g.setConn(conn)
 	}
@@ -347,9 +357,111 @@ func (a *AMF) dispatch(conn *ngap.Conn, g *gnbConn, msg ngap.Message) *gnbConn {
 }
 
 func (a *AMF) ueByAmfID(id uint64) *ueContext {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ues[id]
+	sh := a.ueShardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ues[id]
+}
+
+// lookupRan resolves a UE by its RAN-side coordinates — the index that
+// replaced the old O(n) scan over the whole UE table on every PDU session
+// resource response.
+func (a *AMF) lookupRan(k ranKey) *ueContext {
+	sh := a.idxShards[a.ranShardIdx(k)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.byRan[k]
+}
+
+// bindRan indexes ue under (gnbID, ranUeID). If a different context was
+// already bound there, that context is a superseded attachment of the same
+// RAN identity (a re-registration without deregistration) — it is dropped
+// whole, which is the stale-entry leak fix: before the byRan index existed
+// such contexts sat in the UE table forever.
+func (a *AMF) bindRan(ue *ueContext, k ranKey) {
+	sh := a.idxShards[a.ranShardIdx(k)]
+	sh.mu.Lock()
+	old := sh.byRan[k]
+	sh.byRan[k] = ue
+	sh.mu.Unlock()
+	if old != nil && old != ue {
+		a.releaseReg(old)
+		a.dropUE(old)
+	}
+}
+
+// rebindRan moves ue's byRan entry from its old coordinates to new ones
+// (service request from a new cell, handover to the target cell). Both
+// shards are taken in ascending index order per the lock-order rule; the
+// old entry is removed only if it still points at ue.
+func (a *AMF) rebindRan(ue *ueContext, oldK, newK ranKey) {
+	if oldK == newK {
+		a.bindRan(ue, newK)
+		return
+	}
+	oi, ni := a.ranShardIdx(oldK), a.ranShardIdx(newK)
+	a.lockIdxPair(oi, ni)
+	if a.idxShards[oi].byRan[oldK] == ue {
+		delete(a.idxShards[oi].byRan, oldK)
+	}
+	old := a.idxShards[ni].byRan[newK]
+	a.idxShards[ni].byRan[newK] = ue
+	a.unlockIdxPair(oi, ni)
+	if old != nil && old != ue {
+		a.releaseReg(old)
+		a.dropUE(old)
+	}
+}
+
+// ranKeyOf reads ue's current RAN coordinates under its leaf lock.
+func ranKeyOf(ue *ueContext) ranKey {
+	ue.mu.Lock()
+	defer ue.mu.Unlock()
+	k := ranKey{ranUeID: ue.ranUeID}
+	if ue.gnb != nil {
+		k.gnbID = ue.gnb.id
+	}
+	return k
+}
+
+// dropUE removes ue and every secondary-index entry that still points at
+// it — primary table, pending HO tunnel, SUPI/GUTI pair, byRan. All
+// deletes are identity-guarded so dropping a superseded context never
+// evicts its replacement. This is the one cleanup path shared by
+// deregistration, failed registrations (which previously leaked their
+// table entry), and supersession.
+func (a *AMF) dropUE(ue *ueContext) {
+	ue.mu.Lock()
+	supi, guti := ue.supi, ue.guti
+	ue.mu.Unlock()
+	k := ranKeyOf(ue)
+
+	sh := a.ueShardOf(ue.amfUeID)
+	sh.mu.Lock()
+	if sh.ues[ue.amfUeID] == ue {
+		delete(sh.ues, ue.amfUeID)
+		delete(sh.hoTunnels, ue.amfUeID)
+	}
+	sh.mu.Unlock()
+
+	if supi != "" || guti != "" {
+		si, gi := a.supiShardIdx(supi), a.gutiShardIdx(guti)
+		a.lockIdxPair(si, gi)
+		if supi != "" && a.idxShards[si].bySupi[supi] == ue {
+			delete(a.idxShards[si].bySupi, supi)
+		}
+		if guti != "" && a.idxShards[gi].byGuti[guti] == ue {
+			delete(a.idxShards[gi].byGuti, guti)
+		}
+		a.unlockIdxPair(si, gi)
+	}
+
+	rsh := a.idxShards[a.ranShardIdx(k)]
+	rsh.mu.Lock()
+	if rsh.byRan[k] == ue {
+		delete(rsh.byRan, k)
+	}
+	rsh.mu.Unlock()
 }
 
 // --- registration ---
@@ -378,8 +490,15 @@ func (a *AMF) handleInitialUE(g *gnbConn, m *ngap.InitialUEMessage) {
 func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationRequest) {
 	sp := a.tracec.Load().Start("amf.registration.auth")
 	defer sp.End()
+	k := ranKey{ranUeID: ranUeID}
+	if g != nil {
+		k.gnbID = g.id
+	}
 	ue := &ueContext{
-		amfUeID: a.nextUeID.Add(1),
+		// The allocation stripe is derived from the RAN coordinates, so
+		// concurrent registrations across gNBs spread over stripes instead
+		// of serializing on one counter.
+		amfUeID: a.ueAlloc.Next(k.hash()),
 		ranUeID: ranUeID,
 		gnb:     g,
 		suci:    r.Suci,
@@ -392,9 +511,11 @@ func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationR
 		ue.regPending = true
 		ue.regStart = a.clock()
 	}
-	a.mu.Lock()
-	a.ues[ue.amfUeID] = ue
-	a.mu.Unlock()
+	sh := a.ueShardOf(ue.amfUeID)
+	sh.mu.Lock()
+	sh.ues[ue.amfUeID] = ue
+	sh.mu.Unlock()
+	a.bindRan(ue, k)
 
 	resp, err := a.ausf.Invoke(sbi.OpUEAuthenticationsPost, &sbi.AuthenticationRequest{
 		SuciOrSupi: r.Suci, ServingNetworkName: a.cfg.Guami,
@@ -402,12 +523,20 @@ func (a *AMF) startRegistration(g *gnbConn, ranUeID uint64, r *nas.RegistrationR
 	if err != nil {
 		a.Logf("amf: AUSF authentication failed: %v", err)
 		a.releaseReg(ue)
+		a.dropUE(ue)
 		return
 	}
 	ar := resp.(*sbi.AuthenticationResponse)
+	// The UE is already published in the shard map, so a concurrent
+	// snapshotter may be reading it: every field write from here on
+	// happens under ue.mu (the AUSF/UDM round trips stay outside it).
+	ue.mu.Lock()
 	ue.authCtxID = ar.AuthCtxID
-	pdu, _ := nas.Marshal(&nas.AuthenticationRequest{Rand: ar.Rand, Autn: ar.Autn})
+	ue.mu.Unlock()
+	bp := nasBuf()
+	pdu, _ := nas.AppendMarshal(*bp, &nas.AuthenticationRequest{Rand: ar.Rand, Autn: ar.Autn})
 	g.send(&ngap.DownlinkNASTransport{RanUeID: ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	putNASBuf(bp, pdu)
 }
 
 func (a *AMF) handleUplinkNAS(g *gnbConn, m *ngap.UplinkNASTransport) {
@@ -451,18 +580,24 @@ func (a *AMF) continueAuth(ue *ueContext, n *nas.AuthenticationResponse) {
 	if err != nil {
 		a.Logf("amf: auth confirm failed: %v", err)
 		a.releaseReg(ue)
+		a.dropUE(ue)
 		return
 	}
 	cr := resp.(*sbi.AuthConfirmResponse)
 	if cr.AuthResult != "AUTHENTICATION_SUCCESS" {
 		a.Logf("amf: authentication rejected for %s", ue.suci)
 		a.releaseReg(ue)
+		a.dropUE(ue)
 		return
 	}
+	ue.mu.Lock()
 	ue.supi = cr.Supi
 	ue.state = regSecurityPending
-	pdu, _ := nas.Marshal(&nas.SecurityModeCommand{CipherAlg: 1, IntegrityAlg: 2})
+	ue.mu.Unlock()
+	bp := nasBuf()
+	pdu, _ := nas.AppendMarshal(*bp, &nas.SecurityModeCommand{CipherAlg: 1, IntegrityAlg: 2})
 	ue.gnb.send(&ngap.DownlinkNASTransport{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	putNASBuf(bp, pdu)
 }
 
 func (a *AMF) completeRegistration(ue *ueContext) {
@@ -474,11 +609,13 @@ func (a *AMF) completeRegistration(ue *ueContext) {
 	}); err != nil {
 		a.Logf("amf: UECM registration failed: %v", err)
 		a.releaseReg(ue)
+		a.dropUE(ue)
 		return
 	}
 	if _, err := a.udm.Invoke(sbi.OpGetAMSubscriptionData, &sbi.SubscriptionDataRequest{Supi: ue.supi}); err != nil {
 		a.Logf("amf: AM subscription failed: %v", err)
 		a.releaseReg(ue)
+		a.dropUE(ue)
 		return
 	}
 	if _, err := a.pcf.Invoke(sbi.OpAMPolicyCreate, &sbi.AMPolicyCreateRequest{
@@ -486,17 +623,26 @@ func (a *AMF) completeRegistration(ue *ueContext) {
 	}); err != nil {
 		a.Logf("amf: AM policy failed: %v", err)
 		a.releaseReg(ue)
+		a.dropUE(ue)
 		return
 	}
 	sum := sha256.Sum256([]byte(ue.supi))
+	ue.mu.Lock()
 	ue.guti = fmt.Sprintf("5g-guti-%x", sum[:6])
 	ue.state = regDone
-	a.mu.Lock()
-	a.uesBySupi[ue.supi] = ue
-	a.uesByGuti[ue.guti] = ue
-	a.mu.Unlock()
-	pdu, _ := nas.Marshal(&nas.RegistrationAccept{Guti: ue.guti, TaiList: "tai-1", AllowedSst: 1})
+	ue.mu.Unlock()
+	// SUPI and GUTI index entries appear together under the ordered
+	// two-shard lock; a re-registration simply overwrites (the previous
+	// context, if any, is dropped by the byRan supersede path).
+	si, gi := a.supiShardIdx(ue.supi), a.gutiShardIdx(ue.guti)
+	a.lockIdxPair(si, gi)
+	a.idxShards[si].bySupi[ue.supi] = ue
+	a.idxShards[gi].byGuti[ue.guti] = ue
+	a.unlockIdxPair(si, gi)
+	bp := nasBuf()
+	pdu, _ := nas.AppendMarshal(*bp, &nas.RegistrationAccept{Guti: ue.guti, TaiList: "tai-1", AllowedSst: 1})
 	ue.gnb.send(&ngap.InitialContextSetupRequest{RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu})
+	putNASBuf(bp, pdu)
 	a.releaseReg(ue)
 	a.Logf("amf: UE %s registered as %s", ue.supi, ue.guti)
 }
@@ -524,13 +670,15 @@ func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequ
 			if ms == 0 {
 				ms = 1
 			}
-			pdu, _ := nas.Marshal(&nas.PDUSessionEstablishmentReject{
+			bp := nasBuf()
+			pdu, _ := nas.AppendMarshal(*bp, &nas.PDUSessionEstablishmentReject{
 				PduSessionID: n.PduSessionID,
 				Cause:        nas.CauseInsufficientResources, BackoffMs: ms,
 			})
 			ue.gnb.send(&ngap.DownlinkNASTransport{
 				RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, NasPdu: pdu,
 			})
+			putNASBuf(bp, pdu)
 		}
 		return
 	}
@@ -542,25 +690,23 @@ func (a *AMF) establishSession(ue *ueContext, n *nas.PDUSessionEstablishmentRequ
 	ue.upfAddr = sm.UpfAddr
 	ue.mu.Unlock()
 
-	pdu, _ := nas.Marshal(&nas.PDUSessionEstablishmentAccept{
+	bp := nasBuf()
+	pdu, _ := nas.AppendMarshal(*bp, &nas.PDUSessionEstablishmentAccept{
 		PduSessionID: n.PduSessionID, UeIPv4: sm.UeIPv4, Qfi: 9,
 	})
 	ue.gnb.send(&ngap.PDUSessionResourceSetupRequest{
 		RanUeID: ue.ranUeID, AmfUeID: ue.amfUeID, PduSessionID: n.PduSessionID,
 		UpfTEID: sm.UpfTEID, UpfAddr: sm.UpfAddr, Qfi: 9, NasPdu: pdu,
 	})
+	putNASBuf(bp, pdu)
 }
 
 func (a *AMF) handleSessionResourceResponse(g *gnbConn, m *ngap.PDUSessionResourceSetupResponse) {
-	var ue *ueContext
-	a.mu.Lock()
-	for _, u := range a.ues {
-		if u.gnb == g && u.ranUeID == m.RanUeID {
-			ue = u
-			break
-		}
+	k := ranKey{ranUeID: m.RanUeID}
+	if g != nil {
+		k.gnbID = g.id
 	}
-	a.mu.Unlock()
+	ue := a.lookupRan(k)
 	if ue == nil {
 		a.Logf("amf: resource response for unknown RAN UE %d", m.RanUeID)
 		return
@@ -592,11 +738,10 @@ func (a *AMF) deregister(ue *ueContext, ranUeID uint64) {
 			a.Logf("amf: SM release failed: %v", err)
 		}
 	}
-	a.mu.Lock()
-	delete(a.ues, ue.amfUeID)
-	delete(a.uesBySupi, ue.supi)
-	delete(a.uesByGuti, ue.guti)
-	a.mu.Unlock()
+	// Primary entry, SUPI/GUTI indexes, pending HO tunnel, and byRan
+	// entry all drop together — deregistration must leave no stale
+	// secondary-index entries behind.
+	a.dropUE(ue)
 	if g != nil {
 		g.send(&ngap.UEContextReleaseCommand{RanUeID: ranUeID, AmfUeID: ue.amfUeID})
 	}
@@ -637,9 +782,10 @@ func (a *AMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 		sp := a.tracec.Load().Start("amf.paging.trigger")
 		defer sp.End()
 		r := req.(*sbi.N1N2MessageTransferRequest)
-		a.mu.Lock()
-		ue := a.uesBySupi[r.Supi]
-		a.mu.Unlock()
+		ish := a.idxShards[a.supiShardIdx(r.Supi)]
+		ish.mu.Lock()
+		ue := ish.bySupi[r.Supi]
+		ish.mu.Unlock()
 		if ue == nil {
 			return &sbi.N1N2MessageTransferResponse{Cause: "UE_NOT_FOUND"}, nil
 		}
@@ -662,15 +808,17 @@ func (a *AMF) Handle(op sbi.OpID, req codec.Message) (codec.Message, error) {
 }
 
 func (a *AMF) handleServiceRequest(g *gnbConn, ranUeID uint64, n *nas.ServiceRequest) {
-	a.mu.Lock()
-	ue := a.uesByGuti[n.Guti]
-	a.mu.Unlock()
+	ish := a.idxShards[a.gutiShardIdx(n.Guti)]
+	ish.mu.Lock()
+	ue := ish.byGuti[n.Guti]
+	ish.mu.Unlock()
 	if ue == nil {
 		a.Logf("amf: service request for unknown GUTI %s", n.Guti)
 		return
 	}
 	sp := a.tracec.Load().Start("amf.service.request")
 	defer sp.End()
+	oldK := ranKeyOf(ue)
 	ue.mu.Lock()
 	ue.gnb = g
 	ue.ranUeID = ranUeID
@@ -678,13 +826,20 @@ func (a *AMF) handleServiceRequest(g *gnbConn, ranUeID uint64, n *nas.ServiceReq
 	upfTEID, upfAddr := ue.upfTEID, ue.upfAddr
 	sessID := ue.pduSessionID
 	ue.mu.Unlock()
+	newK := ranKey{ranUeID: ranUeID}
+	if g != nil {
+		newK.gnbID = g.id
+	}
+	a.rebindRan(ue, oldK, newK)
 	// Re-establish the RAN-side tunnel; the gNB answers with its DL TEID
 	// and handleSessionResourceResponse re-activates the UPF path.
-	pdu, _ := nas.Marshal(&nas.ServiceAccept{PduSessionID: sessID})
+	bp := nasBuf()
+	pdu, _ := nas.AppendMarshal(*bp, &nas.ServiceAccept{PduSessionID: sessID})
 	g.send(&ngap.PDUSessionResourceSetupRequest{
 		RanUeID: ranUeID, AmfUeID: ue.amfUeID, PduSessionID: sessID,
 		UpfTEID: upfTEID, UpfAddr: upfAddr, Qfi: 9, NasPdu: pdu,
 	})
+	putNASBuf(bp, pdu)
 }
 
 // --- N2 handover ---
@@ -694,9 +849,9 @@ func (a *AMF) handleHandoverRequired(g *gnbConn, m *ngap.HandoverRequired) {
 	if ue == nil {
 		return
 	}
-	a.mu.Lock()
+	a.gmu.Lock()
 	target := a.gnbs[m.TargetGnbID]
-	a.mu.Unlock()
+	a.gmu.Unlock()
 	if target == nil {
 		a.Logf("amf: handover to unknown gNB %d", m.TargetGnbID)
 		return
@@ -729,6 +884,7 @@ func (a *AMF) handleHandoverRequestAck(g *gnbConn, m *ngap.HandoverRequestAck) {
 	}
 	sp := a.tracec.Load().Start("amf.ho.command")
 	defer sp.End()
+	oldK := ranKeyOf(ue)
 	ue.mu.Lock()
 	src := ue.hoSrcGnb
 	srcRanUeID := ue.hoSrcRanUeID
@@ -737,9 +893,16 @@ func (a *AMF) handleHandoverRequestAck(g *gnbConn, m *ngap.HandoverRequestAck) {
 	// Stash the target tunnel for the completion step.
 	targetTEID, targetAddr := m.GnbTEID, m.GnbAddr
 	ue.mu.Unlock()
-	a.mu.Lock()
-	a.hoTunnels[ue.amfUeID] = hoTunnel{teid: targetTEID, addr: targetAddr}
-	a.mu.Unlock()
+	newK := ranKey{ranUeID: m.NewRanUeID}
+	if g != nil {
+		newK.gnbID = g.id
+	}
+	a.rebindRan(ue, oldK, newK)
+	// The tunnel stash lives in the UE's own shard (same key, same lock).
+	sh := a.ueShardOf(ue.amfUeID)
+	sh.mu.Lock()
+	sh.hoTunnels[ue.amfUeID] = hoTunnel{teid: targetTEID, addr: targetAddr}
+	sh.mu.Unlock()
 	if src != nil {
 		src.send(&ngap.HandoverCommand{RanUeID: srcRanUeID, TargetGnbID: g.id})
 	}
@@ -752,10 +915,11 @@ func (a *AMF) handleHandoverNotify(g *gnbConn, m *ngap.HandoverNotify) {
 	}
 	sp := a.tracec.Load().Start("amf.ho.switch")
 	defer sp.End()
-	a.mu.Lock()
-	tun := a.hoTunnels[ue.amfUeID]
-	delete(a.hoTunnels, ue.amfUeID)
-	a.mu.Unlock()
+	sh := a.ueShardOf(ue.amfUeID)
+	sh.mu.Lock()
+	tun := sh.hoTunnels[ue.amfUeID]
+	delete(sh.hoTunnels, ue.amfUeID)
+	sh.mu.Unlock()
 	// Path switch: flip the UPF's DL FAR to the target gNB; buffered
 	// packets drain in order toward the new cell.
 	if _, err := a.smf.Invoke(sbi.OpUpdateSmContext, &sbi.SmContextUpdateRequest{

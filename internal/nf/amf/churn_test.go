@@ -1,0 +1,334 @@
+// Churn and hammer tests for the sharded UE state: full
+// register→establish→deregister cycles must leave zero residue in any
+// shard or secondary index, the UE-IP free list must actually recycle,
+// restored allocators must resume above everything they restored, and
+// all of it must hold under concurrent mutation with a snapshotter
+// racing the churn (the million-UE-storm shape of §5.4, shrunk to CI
+// scale).
+package amf_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"l25gc/internal/nas"
+	"l25gc/internal/nf/amf"
+	"l25gc/internal/nf/udm"
+	"l25gc/internal/ngap"
+	"l25gc/internal/testutil"
+)
+
+// dialGnbLong is dialGnb with a caller-chosen deadline: churn runs push
+// thousands of procedures through one connection and outlive the default
+// 20s budget under the race detector.
+func dialGnbLong(t *testing.T, addr string, id uint32, deadline time.Duration) *rawGnb {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial gNB %d: %v", id, err)
+	}
+	c.SetDeadline(time.Now().Add(deadline))
+	g := &rawGnb{t: t, id: id, conn: ngap.NewConn(c)}
+	t.Cleanup(func() { g.conn.Close() })
+	g.send(&ngap.NGSetupRequest{GnbID: id, GnbName: "gnb-churn", Tac: 1})
+	if resp := recvMsg[*ngap.NGSetupResponse](g); !resp.Accepted {
+		t.Fatalf("gNB %d: NGSetup rejected", id)
+	}
+	return g
+}
+
+// registerUE walks one UE through registration and returns its IDs.
+func registerUE(t *testing.T, g *rawGnb, ranUeID uint64, supi string) (amfUeID uint64, guti string) {
+	t.Helper()
+	pdu, _ := nas.Marshal(&nas.RegistrationRequest{Suci: supi, Capabilities: 0xf})
+	g.send(&ngap.InitialUEMessage{RanUeID: ranUeID, NasPdu: pdu})
+	chal, amfUeID := recvNAS(g, nas.MsgAuthenticationRequest)
+	sendNAS(g, ranUeID, amfUeID, &nas.AuthenticationResponse{
+		ResStar: udm.DeriveRes(testK, chal.(*nas.AuthenticationRequest).Rand),
+	})
+	recvNAS(g, nas.MsgSecurityModeCommand)
+	sendNAS(g, ranUeID, amfUeID, &nas.SecurityModeComplete{IMEISV: "imeisv-" + supi})
+	acc, _ := recvNAS(g, nas.MsgRegistrationAccept)
+	guti = acc.(*nas.RegistrationAccept).Guti
+	if guti == "" {
+		t.Fatalf("UE %s: registered without GUTI", supi)
+	}
+	sendNAS(g, ranUeID, amfUeID, &nas.RegistrationComplete{Ack: true})
+	return amfUeID, guti
+}
+
+// establishSession sets up the PDU session and returns the UE IP the SMF
+// allocated — the observable the free-list reuse assertions key on.
+func establishSession(t *testing.T, g *rawGnb, ranUeID, amfUeID uint64, gnbTEID uint32) string {
+	t.Helper()
+	sendNAS(g, ranUeID, amfUeID, &nas.PDUSessionEstablishmentRequest{
+		PduSessionID: 5, Dnn: "internet", SscMode: 1,
+	})
+	acc, _ := recvNAS(g, nas.MsgPDUSessionEstablishmentAccept)
+	g.send(&ngap.PDUSessionResourceSetupResponse{
+		RanUeID: ranUeID, PduSessionID: 5, GnbTEID: gnbTEID, GnbAddr: "192.168.1.9",
+	})
+	return acc.(*nas.PDUSessionEstablishmentAccept).UeIPv4
+}
+
+// deregisterUE detaches the UE and waits for the release command, so the
+// whole cycle is synchronous from the test's point of view.
+func deregisterUE(t *testing.T, g *rawGnb, ranUeID, amfUeID uint64, guti string) {
+	t.Helper()
+	sendNAS(g, ranUeID, amfUeID, &nas.DeregistrationRequest{Guti: guti})
+	recvMsg[*ngap.UEContextReleaseCommand](g)
+}
+
+func churnUEs(t *testing.T) int {
+	if v := os.Getenv("L25GC_CHURN_UES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad L25GC_CHURN_UES=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 500
+	}
+	return 10000
+}
+
+// TestChurnNoStaleState runs full register→establish→deregister cycles
+// at 10k UEs (L25GC_CHURN_UES to override, 500 under -short) and asserts
+// the two bugs the global locks used to hide stay fixed: every map —
+// primary and secondary index alike — converges back to zero
+// cardinality, and the SMF's UE-IP free list recycles instead of
+// marching through the pool.
+func TestChurnNoStaleState(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	n := churnUEs(t)
+	m := newMesh(t)
+	m.provision(2, n) // imsi-2 .. imsi-<n+1>; imsi-1 is pre-provisioned
+	a, err := amf.New(amf.Config{
+		Name: "amf-churn", Guami: "guami-1", Addr: "127.0.0.1:0", Shards: 4,
+	}, m.ausf, m.udm, m.pcf, m.smf)
+	if err != nil {
+		t.Fatalf("amf.New: %v", err)
+	}
+	defer a.Close()
+	g := dialGnbLong(t, a.N2Addr(), 1, 10*time.Minute)
+
+	ips := make(map[string]int)
+	for i := 0; i < n; i++ {
+		supi := fmt.Sprintf("imsi-%d", i+2)
+		ranUeID := uint64(i + 1)
+		amfUeID, guti := registerUE(t, g, ranUeID, supi)
+		ip := establishSession(t, g, ranUeID, amfUeID, uint32(0x4000+i))
+		if ip == "" {
+			t.Fatalf("UE %s: session accepted without an IP", supi)
+		}
+		ips[ip]++
+		deregisterUE(t, g, ranUeID, amfUeID, guti)
+	}
+
+	// Sequential churn must ride the free list: every cycle reuses the
+	// one released address instead of consuming a fresh one.
+	if len(ips) != 1 {
+		t.Fatalf("sequential churn consumed %d distinct UE IPs, want 1 (free list not reused): %v", len(ips), ips)
+	}
+	if c := (amf.Cardinalities{}); a.Cardinalities() != c {
+		t.Fatalf("stale AMF state after full churn: %+v", a.Cardinalities())
+	}
+	if s := m.smfNF.Sessions(); s != 0 {
+		t.Fatalf("smf sessions = %d after full churn, want 0", s)
+	}
+	if free := m.smfNF.FreeIPs(); free != 1 {
+		t.Fatalf("smf free list holds %d entries after full churn, want 1", free)
+	}
+}
+
+// TestRestoreReseedsAllocator restores a mid-storm checkpoint into a
+// replica with a *different* shard count and keeps registering: the
+// striped UE-ID allocator must resume strictly above everything in the
+// checkpoint, or a new UE silently overwrites a restored one.
+func TestRestoreReseedsAllocator(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	m := newMesh(t)
+	m.provision(2, 8)
+	primary, err := amf.New(amf.Config{
+		Name: "amf-seed", Guami: "guami-1", Addr: "127.0.0.1:0", Shards: 2,
+	}, m.ausf, m.udm, m.pcf, m.smf)
+	if err != nil {
+		t.Fatalf("amf.New: %v", err)
+	}
+	g := dialGnbLong(t, primary.N2Addr(), 1, time.Minute)
+
+	seen := make(map[uint64]string)
+	for i := 0; i < 5; i++ {
+		supi := fmt.Sprintf("imsi-%d", i+1)
+		amfUeID, _ := registerUE(t, g, uint64(i+1), supi)
+		if prev, dup := seen[amfUeID]; dup {
+			t.Fatalf("amfUeID %#x assigned to both %s and %s", amfUeID, prev, supi)
+		}
+		seen[amfUeID] = supi
+	}
+	snap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	primary.Close()
+
+	replica, err := amf.New(amf.Config{
+		Name: "amf-reseed", Guami: "guami-1", Addr: "127.0.0.1:0", Shards: 4,
+	}, m.ausf, m.udm, m.pcf, m.smf)
+	if err != nil {
+		t.Fatalf("amf.New: %v", err)
+	}
+	defer replica.Close()
+	if err := replica.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := replica.Cardinalities().Ues; got != 5 {
+		t.Fatalf("replica restored %d UEs, want 5", got)
+	}
+
+	// Registrations continue on the replica mid-storm. Any allocator
+	// that restarted from its zero point would hand out an ID already
+	// owned by a restored UE and the cardinality would stall.
+	g2 := dialGnbLong(t, replica.N2Addr(), 1, time.Minute)
+	for i := 5; i < 8; i++ {
+		supi := fmt.Sprintf("imsi-%d", i+1)
+		amfUeID, _ := registerUE(t, g2, uint64(i+1), supi)
+		if prev, dup := seen[amfUeID]; dup {
+			t.Fatalf("post-restore amfUeID %#x collides with restored UE %s", amfUeID, prev)
+		}
+		seen[amfUeID] = supi
+	}
+	if got := replica.Cardinalities().Ues; got != 8 {
+		t.Fatalf("replica holds %d UEs after post-restore registrations, want 8", got)
+	}
+}
+
+// TestChurnHammer races concurrent registration/session/handover/detach
+// cycles across shards against a snapshotter loop, then proves nothing
+// was lost, duplicated, or left dangling: cardinalities match the UEs
+// deliberately left registered, snapshots are byte-deterministic, and a
+// restore round-trips to the identical encoding. Run under -race this is
+// the lock-order proof for the two-shard handover path.
+func TestChurnHammer(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	const workers = 4
+	cycles := 8
+	if testing.Short() {
+		cycles = 3
+	}
+	m := newMesh(t)
+	m.provision(100, workers*cycles+workers)
+	a, err := amf.New(amf.Config{
+		Name: "amf-hammer", Guami: "guami-1", Addr: "127.0.0.1:0", Shards: 4,
+	}, m.ausf, m.udm, m.pcf, m.smf)
+	if err != nil {
+		t.Fatalf("amf.New: %v", err)
+	}
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	// Snapshotter races the churn: it must never deadlock against the
+	// two-shard handover lock order and never observe a torn state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := a.Snapshot(); err != nil {
+				t.Errorf("snapshot during churn: %v", err)
+				return
+			}
+		}
+	}()
+
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := dialGnbLong(t, a.N2Addr(), uint32(100+2*w), 5*time.Minute)
+			dst := dialGnbLong(t, a.N2Addr(), uint32(101+2*w), 5*time.Minute)
+			for c := 0; c < cycles; c++ {
+				supi := fmt.Sprintf("imsi-%d", 100+w*cycles+c)
+				srcRan := uint64(1000*w + 2*c + 1)
+				dstRan := uint64(1000*w + 2*c + 2)
+				amfUeID, guti := registerUE(t, src, srcRan, supi)
+				establishSession(t, src, srcRan, amfUeID, uint32(0x5000+w*cycles+c))
+				// N2 handover src→dst: the cross-shard path.
+				src.send(&ngap.HandoverRequired{RanUeID: srcRan, AmfUeID: amfUeID, TargetGnbID: uint32(101 + 2*w), Cause: "radio"})
+				recvMsg[*ngap.HandoverRequest](dst)
+				dst.send(&ngap.HandoverRequestAck{
+					AmfUeID: amfUeID, NewRanUeID: dstRan, GnbTEID: uint32(0x6000 + w*cycles + c), GnbAddr: "192.168.1.10",
+				})
+				recvMsg[*ngap.HandoverCommand](src)
+				dst.send(&ngap.HandoverNotify{AmfUeID: amfUeID, RanUeID: dstRan})
+				recvMsg[*ngap.UEContextReleaseCommand](src)
+				deregisterUE(t, dst, dstRan, amfUeID, guti)
+			}
+			// Leave one UE registered per worker so the final snapshot
+			// has real state to prove determinism on.
+			supi := fmt.Sprintf("imsi-%d", 100+workers*cycles+w)
+			ranUeID := uint64(1000*w + 999)
+			amfUeID, _ := registerUE(t, src, ranUeID, supi)
+			establishSession(t, src, ranUeID, amfUeID, uint32(0x7000+w))
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-errc
+	}
+	close(done)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	card := a.Cardinalities()
+	if card.Ues != workers || card.BySupi != workers || card.ByGuti != workers ||
+		card.ByRan != workers || card.HoTunnels != 0 {
+		t.Fatalf("hammer left wrong residue, want %d registered UEs and nothing else: %+v", workers, card)
+	}
+	if s := m.smfNF.Sessions(); s != workers {
+		t.Fatalf("smf sessions = %d after hammer, want %d", s, workers)
+	}
+
+	snap1, err := a.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	snap2, _ := a.Snapshot()
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatal("quiesced snapshot is not byte-deterministic")
+	}
+	// Restore round trip: the replica must re-encode the identical bytes
+	// even at a different shard count (shard layout is memory-only).
+	replica, err := amf.New(amf.Config{
+		Name: "amf-hammer-replica", Guami: "guami-1", Addr: "127.0.0.1:0", Shards: 2,
+	}, m.ausf, m.udm, m.pcf, m.smf)
+	if err != nil {
+		t.Fatalf("amf.New: %v", err)
+	}
+	defer replica.Close()
+	if err := replica.Restore(snap1); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	snap3, err := replica.Snapshot()
+	if err != nil {
+		t.Fatalf("replica snapshot: %v", err)
+	}
+	if !bytes.Equal(snap1, snap3) {
+		t.Fatal("snapshot does not round-trip byte-identically through restore at a different shard count")
+	}
+}

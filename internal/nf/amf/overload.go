@@ -89,6 +89,7 @@ func (a *AMF) sendShedReject(conn *ngap.Conn, g *gnbConn, msg ngap.Message, back
 	if ms == 0 {
 		ms = 1
 	}
+	bp := nasBuf()
 	var (
 		pdu     []byte
 		ranUeID uint64
@@ -99,11 +100,11 @@ func (a *AMF) sendShedReject(conn *ngap.Conn, g *gnbConn, msg ngap.Message, back
 		ranUeID = m.RanUeID
 		switch nt {
 		case nas.MsgRegistrationRequest:
-			pdu, _ = nas.Marshal(&nas.RegistrationReject{
+			pdu, _ = nas.AppendMarshal(*bp, &nas.RegistrationReject{
 				Cause: nas.CauseCongestion, BackoffMs: ms,
 			})
 		case nas.MsgServiceRequest:
-			pdu, _ = nas.Marshal(&nas.ServiceReject{
+			pdu, _ = nas.AppendMarshal(*bp, &nas.ServiceReject{
 				Cause: nas.CauseCongestion, BackoffMs: ms,
 			})
 		}
@@ -115,14 +116,16 @@ func (a *AMF) sendShedReject(conn *ngap.Conn, g *gnbConn, msg ngap.Message, back
 				sessID = req.PduSessionID
 			}
 		}
-		pdu, _ = nas.Marshal(&nas.PDUSessionEstablishmentReject{
+		pdu, _ = nas.AppendMarshal(*bp, &nas.PDUSessionEstablishmentReject{
 			PduSessionID: sessID, Cause: nas.CauseInsufficientResources, BackoffMs: ms,
 		})
 	}
 	if pdu == nil {
+		putNASBuf(bp, *bp)
 		a.Logf("amf: shed %T without NAS pushback", msg)
 		return
 	}
+	defer putNASBuf(bp, pdu)
 	down := &ngap.DownlinkNASTransport{RanUeID: ranUeID, AmfUeID: amfUeID, NasPdu: pdu}
 	var err error
 	if g != nil {

@@ -1,0 +1,24 @@
+package amf
+
+import "sync"
+
+// nasPool recycles downlink NAS PDU buffers on the registration and
+// session-establishment hot paths. A PDU built here is embedded in an
+// NGAP message and copied into the connection's frame buffer by
+// ngap.Conn.Send before the send returns, so the buffer is reusable the
+// moment the send call completes — nothing downstream retains it.
+var nasPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+func nasBuf() *[]byte { return nasPool.Get().(*[]byte) }
+
+// putNASBuf recycles bp, adopting the (possibly re-grown) backing array
+// of the encoded PDU.
+func putNASBuf(bp *[]byte, used []byte) {
+	*bp = used[:0]
+	nasPool.Put(bp)
+}

@@ -1,0 +1,137 @@
+package amf
+
+import (
+	"sync"
+
+	"l25gc/internal/nfid"
+	"l25gc/internal/ring"
+)
+
+// Sharded UE state (DESIGN §16). The AMF's per-UE tables are split into N
+// independent shards so a registration storm contends on N mutexes instead
+// of one. Two shard families exist:
+//
+//   - ueShard holds the primary amfUeID→ueContext map and the pending-HO
+//     tunnel stash (keyed by amfUeID, so a UE and its HO tunnel always
+//     share one shard and one lock);
+//   - idxShard holds the secondary lookup indexes: SUPI, GUTI, and the
+//     (gnbID, ranUeID) index that replaced the old O(n) scan on PDU
+//     session resource responses.
+//
+// Lock-order rule: ueShard.mu before idxShard.mu; within one family,
+// ascending shard index (lockIdxPair). ueContext.mu is a leaf. The gnbs
+// table keeps its own mutex (a.gmu), taken alone.
+
+// ueShard is one slice of the primary UE table.
+type ueShard struct {
+	mu        sync.Mutex
+	ues       map[uint64]*ueContext
+	hoTunnels map[uint64]hoTunnel
+}
+
+// ranKey identifies a UE by its RAN-side coordinates.
+type ranKey struct {
+	gnbID   uint32
+	ranUeID uint64
+}
+
+// idxShard is one slice of the secondary indexes.
+type idxShard struct {
+	mu     sync.Mutex
+	bySupi map[string]*ueContext
+	byGuti map[string]*ueContext
+	byRan  map[ranKey]*ueContext
+}
+
+func newUeShards(n int) []*ueShard {
+	s := make([]*ueShard, n)
+	for i := range s {
+		s[i] = &ueShard{
+			ues:       make(map[uint64]*ueContext),
+			hoTunnels: make(map[uint64]hoTunnel),
+		}
+	}
+	return s
+}
+
+func newIdxShards(n int) []*idxShard {
+	s := make([]*idxShard, n)
+	for i := range s {
+		s[i] = &idxShard{
+			bySupi: make(map[string]*ueContext),
+			byGuti: make(map[string]*ueContext),
+			byRan:  make(map[ranKey]*ueContext),
+		}
+	}
+	return s
+}
+
+func (k ranKey) hash() uint64 {
+	return ring.Fmix64(uint64(k.gnbID)) ^ k.ranUeID
+}
+
+func (a *AMF) ueShardOf(amfUeID uint64) *ueShard {
+	return a.ueShards[ring.Fmix64(amfUeID)%uint64(len(a.ueShards))]
+}
+
+func (a *AMF) idxShardIdx(hash uint64) int {
+	return int(ring.Fmix64(hash) % uint64(len(a.idxShards)))
+}
+
+func (a *AMF) supiShardIdx(supi string) int { return a.idxShardIdx(nfid.StrHash(supi)) }
+func (a *AMF) gutiShardIdx(guti string) int { return a.idxShardIdx(nfid.StrHash(guti)) }
+func (a *AMF) ranShardIdx(k ranKey) int     { return a.idxShardIdx(k.hash()) }
+
+// lockIdxPair acquires two index shards in ascending index order — the
+// deterministic two-shard lock-order rule for cross-index operations
+// (SUPI+GUTI pair insert/delete, byRan rebind). i == j locks once.
+func (a *AMF) lockIdxPair(i, j int) {
+	if j < i {
+		i, j = j, i
+	}
+	a.idxShards[i].mu.Lock()
+	if j != i {
+		a.idxShards[j].mu.Lock()
+	}
+}
+
+// unlockIdxPair releases what lockIdxPair acquired.
+func (a *AMF) unlockIdxPair(i, j int) {
+	if j < i {
+		i, j = j, i
+	}
+	if j != i {
+		a.idxShards[j].mu.Unlock()
+	}
+	a.idxShards[i].mu.Unlock()
+}
+
+// Cardinalities reports the sizes of the primary table and every
+// secondary index — the leak audit surface: after a full
+// register→deregister cycle all five must converge to zero.
+type Cardinalities struct {
+	Ues, BySupi, ByGuti, ByRan, HoTunnels int
+}
+
+// Cardinalities sums map sizes across shards (shards locked one at a
+// time in index order; the result is exact only on a quiesced AMF).
+func (a *AMF) Cardinalities() Cardinalities {
+	var c Cardinalities
+	for _, sh := range a.ueShards {
+		sh.mu.Lock()
+		c.Ues += len(sh.ues)
+		c.HoTunnels += len(sh.hoTunnels)
+		sh.mu.Unlock()
+	}
+	for _, sh := range a.idxShards {
+		sh.mu.Lock()
+		c.BySupi += len(sh.bySupi)
+		c.ByGuti += len(sh.byGuti)
+		c.ByRan += len(sh.byRan)
+		sh.mu.Unlock()
+	}
+	return c
+}
+
+// Shards reports the configured shard count.
+func (a *AMF) Shards() int { return len(a.ueShards) }

@@ -5,6 +5,8 @@ package amf
 import (
 	"encoding/json"
 	"sort"
+
+	"l25gc/internal/ring"
 )
 
 // The AMF's snapshot is the §3.5.2 control-plane checkpoint: every UE
@@ -66,24 +68,32 @@ type amfSnapshot struct {
 }
 
 // Snapshot implements resilience.Snapshotter with a deterministic
-// encoding of the full mobility-management state.
+// encoding of the full mobility-management state. Shards are visited in
+// index order (one lock at a time) and the collected records are sorted
+// by ID, so identical state encodes to identical bytes regardless of the
+// shard count or map iteration order. NextUeID persists the allocator's
+// high-water mark — at one shard exactly the legacy counter value.
 func (a *AMF) Snapshot() ([]byte, error) {
-	a.mu.Lock()
-	snap := amfSnapshot{NextUeID: a.nextUeID.Load()}
+	snap := amfSnapshot{NextUeID: a.ueAlloc.HighWater()}
+	a.gmu.Lock()
 	for _, g := range a.gnbs {
 		snap.Gnbs = append(snap.Gnbs, gnbRecord{ID: g.id, Name: g.name})
 	}
-	ues := make([]*ueContext, 0, len(a.ues))
-	for _, ue := range a.ues {
-		ues = append(ues, ue)
+	a.gmu.Unlock()
+	var ues []*ueContext
+	for _, sh := range a.ueShards {
+		sh.mu.Lock()
+		for _, ue := range sh.ues {
+			ues = append(ues, ue)
+		}
+		for id, t := range sh.hoTunnels {
+			snap.HoTunnels = append(snap.HoTunnels, hoTunnelRecord{AmfUeID: id, TEID: t.teid, Addr: t.addr})
+		}
+		sh.mu.Unlock()
 	}
 	// Deterministic per-UE lock order for the marshal loop below (the
 	// final record sort alone would leave the locking order map-random).
 	sort.Slice(ues, func(i, j int) bool { return ues[i].amfUeID < ues[j].amfUeID })
-	for id, t := range a.hoTunnels {
-		snap.HoTunnels = append(snap.HoTunnels, hoTunnelRecord{AmfUeID: id, TEID: t.teid, Addr: t.addr})
-	}
-	a.mu.Unlock()
 
 	for _, ue := range ues {
 		ue.mu.Lock()
@@ -118,14 +128,17 @@ func (a *AMF) Snapshot() ([]byte, error) {
 // Restore implements resilience.Snapshotter: the AMF's state becomes the
 // snapshot's. gNB records already attached to this instance keep their
 // live connections; everything else is detached until the RAN re-binds.
+// The ID allocator is re-seeded strictly above both the persisted
+// high-water mark and the largest restored UE ID, so a promoted replica
+// can never hand out an amfUeID colliding with restored state — even when
+// its shard count differs from the snapshotting instance's.
 func (a *AMF) Restore(b []byte) error {
 	var snap amfSnapshot
 	if err := json.Unmarshal(b, &snap); err != nil {
 		return err
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
 
+	a.gmu.Lock()
 	for _, gr := range snap.Gnbs {
 		g := a.gnbs[gr.ID]
 		if g == nil {
@@ -143,9 +156,10 @@ func (a *AMF) Restore(b []byte) error {
 		return g
 	}
 
-	a.ues = make(map[uint64]*ueContext, len(snap.Ues))
-	a.uesBySupi = make(map[string]*ueContext)
-	a.uesByGuti = make(map[string]*ueContext)
+	shards := len(a.ueShards)
+	ueShards := newUeShards(shards)
+	idxShards := newIdxShards(shards)
+	hw := snap.NextUeID
 	for _, rec := range snap.Ues {
 		ue := &ueContext{
 			amfUeID: rec.AmfUeID, ranUeID: rec.RanUeID,
@@ -165,18 +179,41 @@ func (a *AMF) Restore(b []byte) error {
 		if rec.HasHoTarget {
 			ue.hoTarget = resolve(rec.HoTargetID)
 		}
-		a.ues[ue.amfUeID] = ue
+		if ue.amfUeID > hw {
+			hw = ue.amfUeID
+		}
+		ueShards[ring.Fmix64(ue.amfUeID)%uint64(shards)].ues[ue.amfUeID] = ue
 		if ue.supi != "" {
-			a.uesBySupi[ue.supi] = ue
+			idxShards[a.supiShardIdx(ue.supi)].bySupi[ue.supi] = ue
 		}
 		if ue.guti != "" {
-			a.uesByGuti[ue.guti] = ue
+			idxShards[a.gutiShardIdx(ue.guti)].byGuti[ue.guti] = ue
+		}
+		if rec.HasGnb {
+			k := ranKey{gnbID: rec.GnbID, ranUeID: rec.RanUeID}
+			idxShards[a.ranShardIdx(k)].byRan[k] = ue
 		}
 	}
-	a.hoTunnels = make(map[uint64]hoTunnel, len(snap.HoTunnels))
 	for _, tr := range snap.HoTunnels {
-		a.hoTunnels[tr.AmfUeID] = hoTunnel{teid: tr.TEID, addr: tr.Addr}
+		sh := ueShards[ring.Fmix64(tr.AmfUeID)%uint64(shards)]
+		sh.hoTunnels[tr.AmfUeID] = hoTunnel{teid: tr.TEID, addr: tr.Addr}
 	}
-	a.nextUeID.Store(snap.NextUeID)
+	// Swap the rebuilt maps in shard by shard under each shard's lock —
+	// the shard slices themselves are immutable after New.
+	for i, sh := range a.ueShards {
+		sh.mu.Lock()
+		sh.ues = ueShards[i].ues
+		sh.hoTunnels = ueShards[i].hoTunnels
+		sh.mu.Unlock()
+	}
+	for i, sh := range a.idxShards {
+		sh.mu.Lock()
+		sh.bySupi = idxShards[i].bySupi
+		sh.byGuti = idxShards[i].byGuti
+		sh.byRan = idxShards[i].byRan
+		sh.mu.Unlock()
+	}
+	a.ueAlloc.Seed(hw)
+	a.gmu.Unlock()
 	return nil
 }

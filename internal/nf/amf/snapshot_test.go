@@ -9,6 +9,7 @@ package amf_test
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -51,6 +52,18 @@ type mesh struct {
 	ausf, udm, pcf, smf sbi.Conn
 	smfNF               *smf.SMF
 	upfState            *upf.State
+	subs                *udr.UDR
+}
+
+// provision adds n subscribers imsi-<from>..imsi-<from+n-1> for churn and
+// hammer tests that need a population beyond the default imsi-1.
+func (m *mesh) provision(from, n int) {
+	for i := 0; i < n; i++ {
+		m.subs.Provision(udr.Subscriber{
+			Supi: fmt.Sprintf("imsi-%d", from+i), K: testK, Opc: testOpc,
+			Dnn: "internet", AmbrUL: 1e9, AmbrDL: 2e9, Sst: 1, Sd: "010203",
+		})
+	}
 }
 
 func newMesh(t *testing.T) *mesh {
@@ -76,7 +89,7 @@ func newMesh(t *testing.T) *mesh {
 	return &mesh{
 		ausf: directConn{au.Handle}, udm: directConn{um.Handle},
 		pcf: directConn{pc.Handle}, smf: directConn{s.Handle},
-		smfNF: s, upfState: st,
+		smfNF: s, upfState: st, subs: u,
 	}
 }
 

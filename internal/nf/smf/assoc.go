@@ -75,10 +75,10 @@ type ReconcileStats struct {
 // association snapshot restored before this call is applied now.
 func (s *SMF) SetAssociation(a *pfcp.Association) {
 	s.assoc.Store(a)
-	s.mu.Lock()
+	s.pamu.Lock()
 	pending := s.pendingAssoc
 	s.pendingAssoc = nil
-	s.mu.Unlock()
+	s.pamu.Unlock()
 	if a != nil && pending != nil {
 		a.Restore(*pending)
 	}
@@ -204,18 +204,28 @@ func (s *SMF) Reconcile(peerRestarted bool) error {
 	// Stable view of our table and journal. New establishments cannot
 	// race in (the association is still Down, so createSmContext rejects)
 	// and intents journaled after this point keep their entries: only the
-	// sequence numbers captured here are cleared at the end.
-	s.mu.Lock()
-	ours := make([]*smContext, 0, len(s.bySEID))
-	for _, c := range s.bySEID {
-		ours = append(ours, c)
-	}
-	s.mu.Unlock()
-	sort.Slice(ours, func(i, j int) bool { return ours[i].seid < ours[j].seid })
+	// sequence numbers captured here are cleared at the end. Shards are
+	// visited in index order and the result is SEID-sorted, so the pass
+	// is deterministic.
+	ours := s.allSessions()
 	s.jmu.Lock()
 	intents := append([]journalEntry(nil), s.journal...)
 	s.jmu.Unlock()
 	sort.Slice(intents, func(i, j int) bool { return intents[i].Seq < intents[j].Seq })
+
+	// Addresses parked while the path was down become reusable only once
+	// this pass has replayed the deletions that still referenced them at
+	// the UPF (and purged any half-created orphans). Capture them now; on
+	// failure they park again and the retried pass re-captures them.
+	pendingIPs := s.ipa.takePending()
+	reconciled := false
+	defer func() {
+		if reconciled {
+			s.ipa.freeAll(pendingIPs)
+		} else {
+			s.ipa.retainPending(pendingIPs)
+		}
+	}()
 	pendingDelete := make(map[uint64]bool)
 	for _, in := range intents {
 		if in.Kind == intentDelete {
@@ -228,14 +238,12 @@ func (s *SMF) Reconcile(peerRestarted bool) error {
 	// 1) Purge orphans: sessions the UPF holds that we no longer track —
 	// unless a journaled delete already owns that SEID (step 3 will send
 	// it). ar.SEIDs is sorted by the UPF, so the pass is deterministic.
-	s.mu.Lock()
 	orphans := make([]uint64, 0)
 	for _, seid := range ar.SEIDs {
-		if s.bySEID[seid] == nil && !pendingDelete[seid] {
+		if s.sessionBySEID(seid) == nil && !pendingDelete[seid] {
 			orphans = append(orphans, seid)
 		}
 	}
-	s.mu.Unlock()
 	for _, seid := range orphans {
 		if _, err := s.n4.Request(seid, true, &pfcp.SessionDeletionRequest{}); err != nil {
 			return fmt.Errorf("smf: reconcile purge %#x: %w", seid, err)
@@ -287,9 +295,7 @@ func (s *SMF) Reconcile(peerRestarted bool) error {
 				return fmt.Errorf("smf: reconcile delete %#x rejected", in.SEID)
 			}
 		case intentSync:
-			s.mu.Lock()
-			ctx := s.bySEID[in.SEID]
-			s.mu.Unlock()
+			ctx := s.sessionBySEID(in.SEID)
 			if ctx == nil {
 				break // released after journaling; deletion handled above
 			}
@@ -320,5 +326,6 @@ func (s *SMF) Reconcile(peerRestarted bool) error {
 
 	stats.Duration = s.clock() - start
 	s.lastRec.Store(&stats)
+	reconciled = true
 	return nil
 }

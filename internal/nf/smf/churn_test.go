@@ -1,0 +1,256 @@
+// Churn tests for the SMF's sharded session tables and the UE-IP
+// allocator's reclamation paths: released addresses must come back in
+// deterministic sorted order, addresses released while N4 is down must
+// park until reconciliation replays the owed deletions, and a restored
+// replica's allocators must resume strictly above everything in the
+// checkpoint at any shard count.
+package smf_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"l25gc/internal/nf/pcf"
+	"l25gc/internal/nf/smf"
+	"l25gc/internal/nf/udm"
+	"l25gc/internal/nf/udr"
+	"l25gc/internal/pfcp"
+	"l25gc/internal/pkt"
+	"l25gc/internal/sbi"
+	"l25gc/internal/testutil"
+	"l25gc/internal/upf"
+)
+
+// smfMesh is the SMF neighborhood for churn tests: subscribers in the
+// UDR, a live UPF behind N4, and the endpoint pair to attach an
+// association to.
+type smfMesh struct {
+	udmC, pcfC sbi.Conn
+	smfEP      pfcp.Endpoint
+	upfState   *upf.State
+}
+
+func newSMFMesh(t *testing.T, subscribers int) *smfMesh {
+	t.Helper()
+	u := udr.New()
+	for i := 1; i <= subscribers; i++ {
+		u.Provision(udr.Subscriber{
+			Supi: fmt.Sprintf("imsi-%d", i), K: []byte("0123456789abcdef"), Opc: []byte("fedcba9876543210"),
+			Dnn: "internet", AmbrUL: 1e9, AmbrDL: 2e9, Sst: 1, Sd: "010203",
+		})
+	}
+	um := udm.New(directConn{u.Handle})
+	pc := pcf.New(pcf.Policy{RfspIndex: 1, MbrUL: 1e6, MbrDL: 1e6, Default5QI: 9})
+	smfEP, upfEP := pfcp.NewMemPair(256)
+	t.Cleanup(func() { smfEP.Close(); upfEP.Close() })
+	st := upf.NewState("ps", 64)
+	upf.NewUPFC(st, pkt.Addr{192, 168, 0, 1}, upfEP)
+	return &smfMesh{
+		udmC: directConn{um.Handle}, pcfC: directConn{pc.Handle},
+		smfEP: smfEP, upfState: st,
+	}
+}
+
+func (m *smfMesh) newSMF(shards int) *smf.SMF {
+	return smf.New(smf.Config{
+		NodeID: "smf-churn", UPFN3IP: pkt.Addr{192, 168, 0, 1},
+		UEPoolBase: pkt.Addr{10, 60, 0, 1}, Shards: shards,
+	}, m.udmC, m.pcfC, m.smfEP, func() sbi.Conn { return nil })
+}
+
+// createSession establishes a PDU session for supi and returns (ref, ip).
+func createSession(t *testing.T, s *smf.SMF, supi string, teid uint32) (string, string) {
+	t.Helper()
+	resp, err := s.Handle(sbi.OpPostSmContexts, &sbi.SmContextCreateRequest{
+		Supi: supi, PduSessionID: 5, Dnn: "internet", Sst: 1, Sd: "010203",
+		GnbTunnelAddr: "192.168.1.1", GnbTunnelTEID: teid,
+	})
+	if err != nil {
+		t.Fatalf("create SM context %s: %v", supi, err)
+	}
+	cr := resp.(*sbi.SmContextCreateResponse)
+	return cr.SmContextRef, cr.UeIPv4
+}
+
+func releaseSession(t *testing.T, s *smf.SMF, ref string) {
+	t.Helper()
+	resp, err := s.Handle(sbi.OpReleaseSmContext, &sbi.SmContextReleaseRequest{SmContextRef: ref})
+	if err != nil {
+		t.Fatalf("release %s: %v", ref, err)
+	}
+	if st := resp.(*sbi.SmContextReleaseResponse).Status; st != 200 {
+		t.Fatalf("release %s status %d", ref, st)
+	}
+}
+
+// TestSMFIPFreeListSortedReuse churns sessions through the pool and
+// asserts the free list hands addresses back lowest-first — the
+// deterministic reuse the snapshot byte-stability depends on — instead
+// of marching the pool pointer forward forever.
+func TestSMFIPFreeListSortedReuse(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	m := newSMFMesh(t, 8)
+	s := m.newSMF(4)
+
+	refs := make(map[string]string) // supi -> ref
+	for i := 1; i <= 4; i++ {
+		supi := fmt.Sprintf("imsi-%d", i)
+		ref, ip := createSession(t, s, supi, uint32(0x9000+i))
+		if want := fmt.Sprintf("10.60.0.%d", i); ip != want {
+			t.Fatalf("%s got IP %s, want %s", supi, ip, want)
+		}
+		refs[supi] = ref
+	}
+
+	// Release out of order: 3 then 1. The free list must still hand the
+	// lowest address out first.
+	releaseSession(t, s, refs["imsi-3"])
+	releaseSession(t, s, refs["imsi-1"])
+	if free := s.FreeIPs(); free != 2 {
+		t.Fatalf("free list holds %d, want 2", free)
+	}
+	_, ip5 := createSession(t, s, "imsi-5", 0x9005)
+	if ip5 != "10.60.0.1" {
+		t.Fatalf("first reuse got %s, want 10.60.0.1 (sorted order)", ip5)
+	}
+	_, ip6 := createSession(t, s, "imsi-6", 0x9006)
+	if ip6 != "10.60.0.3" {
+		t.Fatalf("second reuse got %s, want 10.60.0.3", ip6)
+	}
+	// Free list drained: the next allocation extends the pool.
+	_, ip7 := createSession(t, s, "imsi-7", 0x9007)
+	if ip7 != "10.60.0.5" {
+		t.Fatalf("pool extension got %s, want 10.60.0.5", ip7)
+	}
+}
+
+// TestSMFRestoreReseedsAllocators restores a mid-churn checkpoint — free
+// list populated, pool pointer advanced — into a replica with a
+// different shard count and keeps allocating: SEIDs and UE IPs must
+// never collide with restored sessions, and the snapshot must round-trip
+// byte-identically.
+func TestSMFRestoreReseedsAllocators(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	m := newSMFMesh(t, 8)
+	primary := m.newSMF(1)
+
+	refs := make(map[string]string)
+	ips := make(map[string]string)
+	seids := make(map[uint64]bool)
+	for i := 1; i <= 4; i++ {
+		supi := fmt.Sprintf("imsi-%d", i)
+		refs[supi], ips[supi] = createSession(t, primary, supi, uint32(0x9100+i))
+	}
+	// Free 10.60.0.2 so the checkpoint carries a non-empty free list.
+	releaseSession(t, primary, refs["imsi-2"])
+
+	snap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	replica := m.newSMF(4)
+	if err := replica.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	resnap, err := replica.Snapshot()
+	if err != nil {
+		t.Fatalf("replica snapshot: %v", err)
+	}
+	if !bytes.Equal(snap, resnap) {
+		t.Fatal("SMF snapshot does not round-trip byte-identically at a different shard count")
+	}
+	for _, seid := range replica.SEIDs() {
+		seids[seid] = true
+	}
+
+	// Mid-storm continuation on the replica: the freed address comes
+	// back first, then the pool extends above the restored high-water —
+	// never into an address a restored session still holds.
+	_, ip := createSession(t, replica, "imsi-5", 0x9105)
+	if ip != "10.60.0.2" {
+		t.Fatalf("replica first alloc got %s, want freed 10.60.0.2", ip)
+	}
+	_, ip = createSession(t, replica, "imsi-6", 0x9106)
+	if ip != "10.60.0.5" {
+		t.Fatalf("replica pool extension got %s, want 10.60.0.5", ip)
+	}
+	// New SEIDs must be disjoint from every restored one.
+	for _, seid := range replica.SEIDs() {
+		if seids[seid] {
+			delete(seids, seid)
+		} else if seid <= 0x104 {
+			t.Fatalf("replica allocated SEID %#x colliding with restored range", seid)
+		}
+	}
+	if replica.Sessions() != 5 {
+		t.Fatalf("replica sessions = %d, want 5", replica.Sessions())
+	}
+}
+
+// TestSMFPendingFreeParksUntilReconcile releases a session while the N4
+// association is down: the address must park (not rejoin the free list)
+// until the post-heal reconciliation replays the owed UPF deletion, and
+// only then become allocatable again.
+func TestSMFPendingFreeParksUntilReconcile(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	m := newSMFMesh(t, 4)
+	s := m.newSMF(2)
+	a := pfcp.NewAssociation(m.smfEP, pfcp.AssocConfig{
+		NodeID: "smf-churn", RecoveryTimestamp: 1, MissThreshold: 2,
+		OnUp: func(peerRestarted bool) error { return s.Reconcile(peerRestarted) },
+	})
+	if err := a.Setup(); err != nil {
+		t.Fatalf("association setup: %v", err)
+	}
+	s.SetAssociation(a)
+
+	ref1, ip1 := createSession(t, s, "imsi-1", 0x9201)
+	createSession(t, s, "imsi-2", 0x9202)
+	if ip1 != "10.60.0.1" {
+		t.Fatalf("imsi-1 got %s", ip1)
+	}
+
+	a.MarkDown("test-partition")
+	// Release while down: applies locally, journals the deletion, and
+	// parks the address — the UPF still forwards for it.
+	releaseSession(t, s, ref1)
+	if n := s.JournalLen(); n != 1 {
+		t.Fatalf("journal holds %d intents, want 1", n)
+	}
+	if free, pending := s.FreeIPs(), s.PendingFreeIPs(); free != 0 || pending != 1 {
+		t.Fatalf("while down: free=%d pending=%d, want 0/1 (address must park)", free, pending)
+	}
+	// New establishment is pushed back, so the parked address cannot be
+	// handed to anyone while the UPF still owns it.
+	_, err := s.Handle(sbi.OpPostSmContexts, &sbi.SmContextCreateRequest{
+		Supi: "imsi-3", PduSessionID: 5, Dnn: "internet", Sst: 1, Sd: "010203",
+		GnbTunnelAddr: "192.168.1.1", GnbTunnelTEID: 0x9203,
+	})
+	var se *sbi.StatusError
+	if !errors.As(err, &se) || se.Code != sbi.StatusServiceUnavailable {
+		t.Fatalf("create while down: got %v, want 503 pushback", err)
+	}
+
+	// Heal: the probe re-associates and OnUp reconciles — the journaled
+	// deletion replays at the UPF, then the parked address is released.
+	a.Tick()
+	if a.State() != pfcp.AssocUp {
+		t.Fatalf("association %v after heal probe", a.State())
+	}
+	if n := s.JournalLen(); n != 0 {
+		t.Fatalf("journal not drained after reconcile: %d", n)
+	}
+	if free, pending := s.FreeIPs(), s.PendingFreeIPs(); free != 1 || pending != 0 {
+		t.Fatalf("after reconcile: free=%d pending=%d, want 1/0", free, pending)
+	}
+	// And the recycled address is allocatable again.
+	_, ip3 := createSession(t, s, "imsi-3", 0x9203)
+	if ip3 != ip1 {
+		t.Fatalf("post-heal alloc got %s, want recycled %s", ip3, ip1)
+	}
+	if s.Sessions() != 2 {
+		t.Fatalf("sessions = %d, want 2", s.Sessions())
+	}
+}

@@ -1,0 +1,269 @@
+package smf
+
+import (
+	"sort"
+	"sync"
+
+	"l25gc/internal/nfid"
+	"l25gc/internal/ring"
+)
+
+// Sharded session state (DESIGN §16). The SMF's PDU-session tables are
+// split into N independent shards so session-establishment storms contend
+// on N mutexes instead of one:
+//
+//   - sessShard holds the SEID→smContext map (the N4-facing index);
+//   - refShard holds the SM-context-reference→smContext map (the
+//     SBI-facing index).
+//
+// The two families are only ever locked one at a time (inserts and
+// identity-guarded deletes need no cross-family atomicity: a context is
+// published to callers only after both inserts, and removal tolerates a
+// reader finding the context in one index mid-teardown — smContext.released
+// makes teardown idempotent). Lock order: smContext.mu may be held while a
+// shard lock is taken (teardown removes the context from the indexes under
+// ctx.mu), but no path holds a shard lock while acquiring smContext.mu —
+// lookups drop the shard lock before locking the context — so the order
+// stays acyclic.
+
+// sessShard is one slice of the SEID index.
+type sessShard struct {
+	mu     sync.Mutex
+	bySEID map[uint64]*smContext
+}
+
+// refShard is one slice of the SM-context-reference index.
+type refShard struct {
+	mu    sync.Mutex
+	byRef map[string]*smContext
+}
+
+func newSessShards(n int) []*sessShard {
+	s := make([]*sessShard, n)
+	for i := range s {
+		s[i] = &sessShard{bySEID: make(map[uint64]*smContext)}
+	}
+	return s
+}
+
+func newRefShards(n int) []*refShard {
+	s := make([]*refShard, n)
+	for i := range s {
+		s[i] = &refShard{byRef: make(map[string]*smContext)}
+	}
+	return s
+}
+
+func (s *SMF) sessShardOf(seid uint64) *sessShard {
+	return s.sessShards[ring.Fmix64(seid)%uint64(len(s.sessShards))]
+}
+
+func (s *SMF) refShardOf(ref string) *refShard {
+	return s.refShards[ring.Fmix64(nfid.StrHash(ref))%uint64(len(s.refShards))]
+}
+
+// sessionBySEID looks a context up by its CP SEID.
+func (s *SMF) sessionBySEID(seid uint64) *smContext {
+	sh := s.sessShardOf(seid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.bySEID[seid]
+}
+
+// sessionByRef looks a context up by its SM-context reference.
+func (s *SMF) sessionByRef(ref string) *smContext {
+	sh := s.refShardOf(ref)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.byRef[ref]
+}
+
+// insertSession publishes ctx in both indexes (one lock at a time; the
+// caller hands the ref to the AMF only after this returns).
+func (s *SMF) insertSession(ctx *smContext) {
+	sh := s.sessShardOf(ctx.seid)
+	sh.mu.Lock()
+	sh.bySEID[ctx.seid] = ctx
+	sh.mu.Unlock()
+	rh := s.refShardOf(ctx.ref)
+	rh.mu.Lock()
+	rh.byRef[ctx.ref] = ctx
+	rh.mu.Unlock()
+}
+
+// removeSession drops ctx from both indexes (identity-guarded, so a
+// concurrent re-create of the same ref/SEID is never collateral damage).
+func (s *SMF) removeSession(ctx *smContext) {
+	rh := s.refShardOf(ctx.ref)
+	rh.mu.Lock()
+	if rh.byRef[ctx.ref] == ctx {
+		delete(rh.byRef, ctx.ref)
+	}
+	rh.mu.Unlock()
+	sh := s.sessShardOf(ctx.seid)
+	sh.mu.Lock()
+	if sh.bySEID[ctx.seid] == ctx {
+		delete(sh.bySEID, ctx.seid)
+	}
+	sh.mu.Unlock()
+}
+
+// allSessions snapshots every context, visiting shards in index order and
+// returning the result sorted by SEID — the deterministic iteration the
+// snapshotter and reconciliation build on.
+func (s *SMF) allSessions() []*smContext {
+	var out []*smContext
+	for _, sh := range s.sessShards {
+		sh.mu.Lock()
+		for _, c := range sh.bySEID {
+			out = append(out, c)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seid < out[j].seid })
+	return out
+}
+
+// ipAlloc is the UE address allocator: a monotonic high-water counter
+// plus a sorted free-list so addresses released by churn are reused
+// lowest-first (deterministic) instead of leaking forever. Addresses
+// released while the N4 association is down park on pendingFree until
+// the journaled UPF-side deletion has replayed — reusing such an address
+// earlier could alias two sessions' DL PDRs at a UPF that still holds
+// the old session.
+type ipAlloc struct {
+	mu          sync.Mutex
+	next        uint32 // next never-used address (monotonic region)
+	free        []uint32
+	pendingFree []uint32
+}
+
+func newIPAlloc(base uint32) *ipAlloc {
+	return &ipAlloc{next: base}
+}
+
+// alloc returns the lowest free address, falling back to the monotonic
+// counter when the free-list is empty.
+func (al *ipAlloc) alloc() uint32 {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if len(al.free) > 0 {
+		v := al.free[0]
+		al.free = al.free[1:]
+		return v
+	}
+	v := al.next
+	al.next++
+	return v
+}
+
+// release returns v to the pool; deferred parks it on pendingFree (UPF
+// deletion still owed) instead of the reusable free-list.
+func (al *ipAlloc) release(v uint32, deferred bool) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if deferred {
+		al.pendingFree = append(al.pendingFree, v)
+		return
+	}
+	al.insertFree(v)
+}
+
+// insertFree adds v to the sorted free-list. Caller holds al.mu.
+func (al *ipAlloc) insertFree(v uint32) {
+	i := sort.Search(len(al.free), func(i int) bool { return al.free[i] >= v })
+	if i < len(al.free) && al.free[i] == v {
+		return // already free — tolerate duplicate releases
+	}
+	al.free = append(al.free, 0)
+	copy(al.free[i+1:], al.free[i:])
+	al.free[i] = v
+}
+
+// takePending removes and returns the parked addresses. Reconciliation
+// captures them before replaying the journal and either frees them
+// (success) or parks them again (the pass failed and will rerun).
+func (al *ipAlloc) takePending() []uint32 {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	p := al.pendingFree
+	al.pendingFree = nil
+	return p
+}
+
+// freeAll moves previously taken pending addresses to the free-list.
+func (al *ipAlloc) freeAll(vs []uint32) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	for _, v := range vs {
+		al.insertFree(v)
+	}
+}
+
+// retainPending parks previously taken addresses again.
+func (al *ipAlloc) retainPending(vs []uint32) {
+	if len(vs) == 0 {
+		return
+	}
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	al.pendingFree = append(vs, al.pendingFree...)
+}
+
+// snapshot returns (highWater, free, pendingFree) for the snapshotter:
+// highWater is the last address the monotonic region handed out — at a
+// fresh allocator base-1, exactly the legacy counter encoding.
+func (al *ipAlloc) snapshot() (uint32, []uint32, []uint32) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	free := append([]uint32(nil), al.free...)
+	pending := append([]uint32(nil), al.pendingFree...)
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	return al.next - 1, free, pending
+}
+
+// restore rebuilds the allocator from snapshot state. inUse guards
+// against a free-list entry that also appears as a live session (a
+// corrupt or cross-version snapshot must not double-allocate); the
+// monotonic region resumes strictly above both the persisted high-water
+// mark and every in-use address.
+func (al *ipAlloc) restore(highWater uint32, free, pending []uint32, inUse map[uint32]bool) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	next := highWater + 1
+	for v := range inUse {
+		if v >= next {
+			next = v + 1
+		}
+	}
+	al.next = next
+	al.free = al.free[:0]
+	for _, v := range free {
+		if !inUse[v] && v < next {
+			al.insertFree(v)
+		}
+	}
+	al.pendingFree = al.pendingFree[:0]
+	for _, v := range pending {
+		if !inUse[v] && v < next {
+			al.pendingFree = append(al.pendingFree, v)
+		}
+	}
+}
+
+// FreeIPs reports the reusable free-list size (tests, bench).
+func (s *SMF) FreeIPs() int {
+	s.ipa.mu.Lock()
+	defer s.ipa.mu.Unlock()
+	return len(s.ipa.free)
+}
+
+// PendingFreeIPs reports addresses awaiting post-heal reclamation.
+func (s *SMF) PendingFreeIPs() int {
+	s.ipa.mu.Lock()
+	defer s.ipa.mu.Unlock()
+	return len(s.ipa.pendingFree)
+}
+
+// Shards reports the configured shard count.
+func (s *SMF) Shards() int { return len(s.sessShards) }

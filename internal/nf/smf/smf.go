@@ -11,7 +11,6 @@ package smf
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,6 +18,7 @@ import (
 	"time"
 
 	"l25gc/internal/codec"
+	"l25gc/internal/nfid"
 	"l25gc/internal/overload"
 	"l25gc/internal/pfcp"
 	"l25gc/internal/pkt"
@@ -55,6 +55,10 @@ type smContext struct {
 	idle         bool
 	mbrUL        uint64 // policy MBRs retained so reconciliation can
 	mbrDL        uint64 // rebuild the QER without a fresh PCF round trip
+	// released makes teardown idempotent: two concurrent releases can
+	// both fetch the context before either removes it from the indexes,
+	// and only the first may journal the deletion and free the UE IP.
+	released bool
 }
 
 // Config parameterizes the SMF.
@@ -63,6 +67,7 @@ type Config struct {
 	UPFN3IP    pkt.Addr // UPF N3 address advertised to gNBs
 	UEPoolBase pkt.Addr // first UE address (e.g. 10.60.0.1)
 	BufferPkts uint16   // suggested UPF buffering (BAR)
+	Shards     int      // session-table shards (0 or 1: unsharded)
 }
 
 // SMF is the session management NF.
@@ -74,11 +79,12 @@ type SMF struct {
 	amf func() sbi.Conn // lazy: AMF may start after the SMF
 	n4  pfcp.Endpoint
 
-	mu     sync.Mutex
-	byRef  map[string]*smContext
-	bySEID map[uint64]*smContext
-	nextIP atomic.Uint32
-	seid   atomic.Uint64
+	// Sharded session tables and striped allocators (see shard.go).
+	sessShards []*sessShard
+	refShards  []*refShard
+	ipa        *ipAlloc
+	seidAlloc  *nfid.Alloc
+
 	tracec atomic.Pointer[trace.Track]
 	n4tap  atomic.Pointer[N4Tap]
 	ctrl   atomic.Pointer[overload.Controller]
@@ -99,6 +105,8 @@ type SMF struct {
 	journalSeq uint64
 	// pendingAssoc carries an association snapshot restored before
 	// SetAssociation ran (supervised spawn order), applied at attach.
+	// Guarded by pamu.
+	pamu         sync.Mutex
 	pendingAssoc *pfcp.AssocSnapshot
 
 	rejectedDown atomic.Uint64
@@ -124,15 +132,19 @@ func New(cfg Config, udm, pcf sbi.Conn, n4 pfcp.Endpoint, amf func() sbi.Conn) *
 	if cfg.BufferPkts == 0 {
 		cfg.BufferPkts = 3000
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	s := &SMF{
 		cfg: cfg, udm: udm, pcf: pcf, amf: amf, n4: n4,
-		byRef:  make(map[string]*smContext),
-		bySEID: make(map[uint64]*smContext),
+		sessShards: newSessShards(shards),
+		refShards:  newRefShards(shards),
+		ipa:        newIPAlloc(cfg.UEPoolBase.Uint32()),
+		seidAlloc:  nfid.New(0x100, shards),
 	}
 	base := time.Now()
 	s.clock = func() time.Duration { return time.Since(base) }
-	s.nextIP.Store(cfg.UEPoolBase.Uint32() - 1)
-	s.seid.Store(0x100)
 	if n4 != nil {
 		n4.SetHandler(s.tappedN4)
 	}
@@ -156,9 +168,7 @@ func (s *SMF) handleN4(seid uint64, req pfcp.Message) (pfcp.Message, error) {
 	if !ok {
 		return nil, fmt.Errorf("smf: unexpected N4 request type %d", req.PFCPType())
 	}
-	s.mu.Lock()
-	ctx := s.bySEID[seid]
-	s.mu.Unlock()
+	ctx := s.sessionBySEID(seid)
 	if ctx == nil {
 		return &pfcp.SessionReportResponse{Cause: pfcp.CauseSessionNotFound}, nil
 	}
@@ -221,8 +231,11 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 	}
 	pol := polResp.(*sbi.SMPolicyCreateResponse)
 
-	ueIP := pkt.AddrFromUint32(s.nextIP.Add(1))
-	seid := s.seid.Add(1)
+	ueIP32 := s.ipa.alloc()
+	ueIP := pkt.AddrFromUint32(ueIP32)
+	// SEIDs stripe by SUPI so one subscriber's sessions share a stripe and
+	// a storm of distinct subscribers never contends on one counter.
+	seid := s.seidAlloc.Next(nfid.StrHash(r.Supi))
 	qfi := uint8(pol.Default5QI)
 
 	ctx := &smContext{
@@ -236,10 +249,17 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 		s.dlFAR(ctx, r.GnbTunnelAddr, r.GnbTunnelTEID))
 	resp, err := s.n4.Request(seid, true, est)
 	if err != nil {
+		// Transport failure: the UPF may or may not hold the half-created
+		// session, so the address parks on pendingFree until a post-heal
+		// reconciliation has purged any orphan.
+		s.ipa.release(ueIP32, true)
 		return nil, fmt.Errorf("smf: N4 establishment: %w", err)
 	}
 	er, ok := resp.(*pfcp.SessionEstablishmentResponse)
 	if ok && er.Cause == pfcp.CauseCongestion {
+		// The UPF definitively rejected — the address is immediately
+		// reusable (same for the rejection path below).
+		s.ipa.release(ueIP32, false)
 		// N4 throttling: translate the UPF's congestion cause into SBI
 		// pushback so the AMF (and the UE behind it) backs off instead
 		// of hammering a saturated user plane.
@@ -253,6 +273,7 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 		}
 	}
 	if !ok || er.Cause != pfcp.CauseAccepted {
+		s.ipa.release(ueIP32, false)
 		return nil, fmt.Errorf("smf: UPF rejected session (cause %v)", er)
 	}
 	for _, c := range er.CreatedPDRs {
@@ -262,10 +283,7 @@ func (s *SMF) createSmContext(r *sbi.SmContextCreateRequest) (codec.Message, err
 		}
 	}
 
-	s.mu.Lock()
-	s.byRef[ctx.ref] = ctx
-	s.bySEID[seid] = ctx
-	s.mu.Unlock()
+	s.insertSession(ctx)
 
 	return &sbi.SmContextCreateResponse{
 		SmContextRef: ctx.ref, Status: 201,
@@ -333,9 +351,7 @@ func (s *SMF) dlFAR(ctx *smContext, gnbAddr string, gnbTEID uint32) *rules.FAR {
 func (s *SMF) updateSmContext(r *sbi.SmContextUpdateRequest) (codec.Message, error) {
 	sp := s.tracec.Load().Start("smf.sm_context.update")
 	defer sp.End()
-	s.mu.Lock()
-	ctx := s.byRef[r.SmContextRef]
-	s.mu.Unlock()
+	ctx := s.sessionByRef(r.SmContextRef)
 	if ctx == nil {
 		return nil, fmt.Errorf("smf: unknown SM context %q", r.SmContextRef)
 	}
@@ -419,9 +435,7 @@ func (s *SMF) updateSmContext(r *sbi.SmContextUpdateRequest) (codec.Message, err
 func (s *SMF) releaseSmContext(r *sbi.SmContextReleaseRequest) (codec.Message, error) {
 	sp := s.tracec.Load().Start("smf.sm_context.release")
 	defer sp.End()
-	s.mu.Lock()
-	ctx := s.byRef[r.SmContextRef]
-	s.mu.Unlock()
+	ctx := s.sessionByRef(r.SmContextRef)
 	if ctx == nil {
 		return &sbi.SmContextReleaseResponse{Status: 404}, nil
 	}
@@ -435,7 +449,12 @@ func (s *SMF) releaseSmContext(r *sbi.SmContextReleaseRequest) (codec.Message, e
 }
 
 func (s *SMF) releaseLocked(ctx *smContext) (codec.Message, error) {
-	if s.assocDown() {
+	if ctx.released {
+		// A concurrent release already tore this context down.
+		return &sbi.SmContextUpdateResponse{Status: 200}, nil
+	}
+	down := s.assocDown()
+	if down {
 		// Degraded mode: drop the context now (the UE is gone either
 		// way) and journal the UPF-side deletion for post-heal replay.
 		s.journalIntent(ctx.seid, intentDelete)
@@ -444,31 +463,34 @@ func (s *SMF) releaseLocked(ctx *smContext) (codec.Message, error) {
 			return nil, fmt.Errorf("smf: N4 deletion: %w", err)
 		}
 	}
-	s.mu.Lock()
-	delete(s.byRef, ctx.ref)
-	delete(s.bySEID, ctx.seid)
-	s.mu.Unlock()
+	ctx.released = true
+	s.removeSession(ctx)
+	// Reclaim the UE address: immediately reusable when the UPF confirmed
+	// the deletion, deferred until post-heal replay when it was journaled.
+	s.ipa.release(ctx.ueIP.Uint32(), down)
 	return &sbi.SmContextUpdateResponse{Status: 200}, nil
 }
 
 // Sessions reports the number of active SM contexts.
 func (s *SMF) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.byRef)
+	n := 0
+	for _, sh := range s.refShards {
+		sh.mu.Lock()
+		n += len(sh.byRef)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SEIDs returns the CP SEIDs of every active SM context in ascending
 // order — the SMF half of the divergence check reconciliation tests run
 // against upf.State.SEIDs().
 func (s *SMF) SEIDs() []uint64 {
-	s.mu.Lock()
-	out := make([]uint64, 0, len(s.bySEID))
-	for seid := range s.bySEID {
-		out = append(out, seid)
+	ctxs := s.allSessions()
+	out := make([]uint64, len(ctxs))
+	for i, c := range ctxs {
+		out[i] = c.seid
 	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"sort"
 
+	"l25gc/internal/nfid"
 	"l25gc/internal/pfcp"
+	"l25gc/internal/ring"
 )
 
 // The SMF's snapshot is its half of the §3.5.2 control-plane checkpoint:
@@ -38,6 +40,13 @@ type smfSnapshot struct {
 	NextIP   uint32     `json:"nextIp"`
 	NextSEID uint64     `json:"nextSeid"`
 	Contexts []smRecord `json:"contexts,omitempty"`
+	// IP-pool reclamation state (PR 10): released addresses awaiting
+	// reuse, and addresses parked until a post-heal reconciliation
+	// replays the journaled UPF-side deletions that still reference
+	// them. Both omit when empty, keeping pre-free-list snapshots
+	// byte-identical.
+	FreeIPs        []uint32 `json:"freeIps,omitempty"`
+	PendingFreeIPs []uint32 `json:"pendingFreeIps,omitempty"`
 	// Partition-tolerance state (PR 9): a standby promoted while the N4
 	// path is down must wake up in degraded mode, still holding the
 	// deferred intents — otherwise the failover silently forgets that
@@ -47,18 +56,20 @@ type smfSnapshot struct {
 	JournalSeq uint64              `json:"journalSeq,omitempty"`
 }
 
-// Snapshot implements resilience.Snapshotter.
+// Snapshot implements resilience.Snapshotter. Shards are visited in
+// index order and the collected contexts are SEID-sorted (allSessions),
+// so identical state encodes to identical bytes regardless of the shard
+// count; NextIP/NextSEID persist the allocators' high-water marks — at
+// one shard exactly the legacy counter values.
 func (s *SMF) Snapshot() ([]byte, error) {
-	s.mu.Lock()
-	ctxs := make([]*smContext, 0, len(s.byRef))
-	for _, c := range s.byRef {
-		ctxs = append(ctxs, c)
+	// allSessions' SEID order doubles as the deterministic per-context
+	// lock order for the marshal loop below.
+	ctxs := s.allSessions()
+	ipHW, freeIPs, pendingIPs := s.ipa.snapshot()
+	snap := smfSnapshot{
+		NextIP: ipHW, NextSEID: s.seidAlloc.HighWater(),
+		FreeIPs: freeIPs, PendingFreeIPs: pendingIPs,
 	}
-	// Deterministic per-context lock order for the marshal loop below
-	// (ref is immutable after creation, so the unlocked read is safe).
-	sort.Slice(ctxs, func(i, j int) bool { return ctxs[i].ref < ctxs[j].ref })
-	snap := smfSnapshot{NextIP: s.nextIP.Load(), NextSEID: s.seid.Load()}
-	s.mu.Unlock()
 
 	if a := s.assoc.Load(); a != nil {
 		as := a.Snapshot()
@@ -82,21 +93,25 @@ func (s *SMF) Snapshot() ([]byte, error) {
 		})
 		c.mu.Unlock()
 	}
-	sort.Slice(snap.Contexts, func(i, j int) bool { return snap.Contexts[i].SEID < snap.Contexts[j].SEID })
 	return json.Marshal(snap)
 }
 
 // Restore implements resilience.Snapshotter: the SMF's session table and
-// allocators become the snapshot's.
+// allocators become the snapshot's. The SEID allocator is re-seeded
+// strictly above both the persisted high-water mark and the largest
+// restored SEID, and the IP allocator resumes above every in-use
+// address, so a promoted replica can never hand out colliding IDs —
+// even when its shard count differs from the snapshotting instance's.
 func (s *SMF) Restore(b []byte) error {
 	var snap smfSnapshot
 	if err := json.Unmarshal(b, &snap); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.byRef = make(map[string]*smContext, len(snap.Contexts))
-	s.bySEID = make(map[uint64]*smContext, len(snap.Contexts))
+	shards := len(s.sessShards)
+	sessShards := newSessShards(shards)
+	refShards := newRefShards(shards)
+	inUse := make(map[uint32]bool, len(snap.Contexts))
+	maxSeid := snap.NextSEID
 	for _, r := range snap.Contexts {
 		c := &smContext{
 			ref: r.Ref, supi: r.Supi, pduSessionID: r.PduSessionID,
@@ -106,11 +121,27 @@ func (s *SMF) Restore(b []byte) error {
 			qfi: r.Qfi, buffering: r.Buffering, idle: r.Idle,
 			mbrUL: r.MbrUL, mbrDL: r.MbrDL,
 		}
-		s.byRef[c.ref] = c
-		s.bySEID[c.seid] = c
+		sessShards[ring.Fmix64(c.seid)%uint64(shards)].bySEID[c.seid] = c
+		refShards[ring.Fmix64(nfid.StrHash(c.ref))%uint64(shards)].byRef[c.ref] = c
+		inUse[c.ueIP.Uint32()] = true
+		if c.seid > maxSeid {
+			maxSeid = c.seid
+		}
 	}
-	s.nextIP.Store(snap.NextIP)
-	s.seid.Store(snap.NextSEID)
+	// Swap the rebuilt maps in shard by shard under each shard's lock —
+	// the shard slices themselves are immutable after New.
+	for i, sh := range s.sessShards {
+		sh.mu.Lock()
+		sh.bySEID = sessShards[i].bySEID
+		sh.mu.Unlock()
+	}
+	for i, sh := range s.refShards {
+		sh.mu.Lock()
+		sh.byRef = refShards[i].byRef
+		sh.mu.Unlock()
+	}
+	s.ipa.restore(snap.NextIP, snap.FreeIPs, snap.PendingFreeIPs, inUse)
+	s.seidAlloc.Seed(maxSeid)
 	s.jmu.Lock()
 	s.journal = append([]journalEntry(nil), snap.Journal...)
 	s.journalSeq = snap.JournalSeq
@@ -119,7 +150,9 @@ func (s *SMF) Restore(b []byte) error {
 		if a := s.assoc.Load(); a != nil {
 			a.Restore(*snap.Assoc)
 		} else {
+			s.pamu.Lock()
 			s.pendingAssoc = snap.Assoc // applied by SetAssociation
+			s.pamu.Unlock()
 		}
 	}
 	return nil

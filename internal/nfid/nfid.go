@@ -1,0 +1,99 @@
+// Package nfid provides the striped ID allocator and string-hash helpers
+// shared by the sharded NF state layers (internal/nf/amf, internal/nf/smf).
+//
+// Alloc hands IDs out of N disjoint residue classes: stripe k of N yields
+// base + seq*N + k with a per-stripe atomic sequence, so allocation never
+// contends across stripes and IDs of different stripes can never collide.
+// At N=1 the sequence is exactly the legacy single-counter one (base+1,
+// base+2, ...), which keeps snapshot bytes and test-pinned IDs identical
+// for unsharded configurations.
+package nfid
+
+import "sync/atomic"
+
+// Alloc is a striped monotonic ID allocator.
+type Alloc struct {
+	base uint64
+	// floor is the exact high-water a Seed installed: HighWater reports
+	// it verbatim until a stripe allocates past it, so a restored
+	// snapshot re-encodes the identical value at any stripe count.
+	floor   atomic.Uint64
+	stripes []stripe
+}
+
+// stripe pads each sequence to its own cache line. seed is the sequence
+// baseline a Seed installed; only values above it count as allocations.
+type stripe struct {
+	seq  atomic.Uint64
+	seed atomic.Uint64
+	_    [48]byte
+}
+
+// New returns an allocator over n stripes (clamped to >= 1) whose first
+// ID at one stripe is base+1.
+func New(base uint64, n int) *Alloc {
+	if n < 1 {
+		n = 1
+	}
+	al := &Alloc{base: base, stripes: make([]stripe, n)}
+	al.floor.Store(base)
+	return al
+}
+
+// Next allocates from stripe k (reduced modulo the stripe count).
+func (al *Alloc) Next(k uint64) uint64 {
+	n := uint64(len(al.stripes))
+	k %= n
+	return al.base + al.stripes[k].seq.Add(1)*n + k
+}
+
+// HighWater returns the largest ID handed out so far, or base when none
+// has been — the single value snapshots persist (legacy `next` semantics
+// at one stripe).
+func (al *Alloc) HighWater() uint64 {
+	n := uint64(len(al.stripes))
+	hw := al.floor.Load()
+	for k := range al.stripes {
+		if s := al.stripes[k].seq.Load(); s > al.stripes[k].seed.Load() {
+			if id := al.base + s*n + uint64(k); id > hw {
+				hw = id
+			}
+		}
+	}
+	return hw
+}
+
+// Seed resets every stripe so all future IDs are strictly greater than
+// h — the restore-side re-seeding that keeps a promoted replica from
+// handing out IDs colliding with restored state, even when its stripe
+// count differs from the snapshotting instance's. Until something
+// allocates past it, HighWater reports exactly h, so snapshot→restore→
+// snapshot round-trips byte-identically. Seed is a restore-time
+// operation; callers quiesce allocation around it.
+func (al *Alloc) Seed(h uint64) {
+	if h < al.base {
+		h = al.base
+	}
+	al.floor.Store(h)
+	n := uint64(len(al.stripes))
+	q := (h - al.base) / n
+	for k := range al.stripes {
+		al.stripes[k].seq.Store(q)
+		al.stripes[k].seed.Store(q)
+	}
+}
+
+// StrHash is FNV-1a 64 over s. Callers finalize the result through
+// ring.Fmix64 at the shard-selection site.
+func StrHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package nfid
+
+import (
+	"sync"
+	"testing"
+)
+
+// At one stripe the allocator must reproduce the legacy single-counter
+// sequence exactly: base+1, base+2, ... — snapshot bytes and test-pinned
+// IDs depend on it.
+func TestLegacySequenceAtOneStripe(t *testing.T) {
+	al := New(0x100, 1)
+	for want := uint64(0x101); want <= 0x110; want++ {
+		if got := al.Next(12345); got != want {
+			t.Fatalf("Next = %#x, want %#x", got, want)
+		}
+	}
+	if hw := al.HighWater(); hw != 0x110 {
+		t.Fatalf("HighWater = %#x, want 0x110", hw)
+	}
+}
+
+// Stripes allocate from disjoint residue classes: no two stripes can ever
+// produce the same ID, with or without contention.
+func TestStripesNeverCollide(t *testing.T) {
+	const stripes, perStripe = 7, 1000
+	al := New(0, stripes)
+	var (
+		mu   sync.Mutex
+		seen = make(map[uint64]bool, stripes*perStripe)
+		wg   sync.WaitGroup
+	)
+	for k := 0; k < stripes; k++ {
+		wg.Add(1)
+		go func(k uint64) {
+			defer wg.Done()
+			ids := make([]uint64, 0, perStripe)
+			for i := 0; i < perStripe; i++ {
+				ids = append(ids, al.Next(k))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate ID %#x", id)
+				}
+				seen[id] = true
+				if id%stripes != k%stripes {
+					t.Errorf("ID %#x escaped residue class %d", id, k)
+				}
+			}
+		}(uint64(k))
+	}
+	wg.Wait()
+	if len(seen) != stripes*perStripe {
+		t.Fatalf("allocated %d unique IDs, want %d", len(seen), stripes*perStripe)
+	}
+}
+
+// HighWater returns base before any allocation, and the max ID after.
+func TestHighWater(t *testing.T) {
+	al := New(1000, 4)
+	if hw := al.HighWater(); hw != 1000 {
+		t.Fatalf("fresh HighWater = %d, want base 1000", hw)
+	}
+	var max uint64
+	for k := uint64(0); k < 4; k++ {
+		for i := 0; i < int(k)+1; i++ {
+			if id := al.Next(k); id > max {
+				max = id
+			}
+		}
+	}
+	if hw := al.HighWater(); hw != max {
+		t.Fatalf("HighWater = %d, want %d", hw, max)
+	}
+}
+
+// Seed guarantees every future ID is strictly above the seed value, for
+// any stripe count — including one that differs from the allocator that
+// produced the seed (the cross-shard-count restore case).
+func TestSeedStrictlyAbove(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		al := New(0x100, n)
+		const h = 0x100 + 57
+		al.Seed(h)
+		for k := uint64(0); k < uint64(n)*2; k++ {
+			if id := al.Next(k); id <= h {
+				t.Fatalf("n=%d stripe %d: Next = %#x, not above seed %#x", n, k, id, h)
+			}
+		}
+	}
+	// Seeding below base must not wrap.
+	al := New(0x100, 2)
+	al.Seed(5)
+	if id := al.Next(0); id <= 0x100 {
+		t.Fatalf("Next after low seed = %#x, want > base", id)
+	}
+}

@@ -67,11 +67,13 @@ var ngapCodec = codec.Proto{}
 
 // Marshal encodes type+body.
 func Marshal(m Message) ([]byte, error) {
-	body, err := ngapCodec.Marshal(m)
-	if err != nil {
-		return nil, err
-	}
-	return append([]byte{byte(m.NGAPType())}, body...), nil
+	return AppendMarshal(make([]byte, 0, 128), m)
+}
+
+// AppendMarshal encodes type+body appended to dst — the allocation-free
+// spelling Conn.Send uses with its pooled frame buffers.
+func AppendMarshal(dst []byte, m Message) ([]byte, error) {
+	return ngapCodec.AppendMarshal(append(dst, byte(m.NGAPType())), m)
 }
 
 // Unmarshal decodes type+body.
@@ -146,12 +148,15 @@ type NGSetupRequest struct {
 func (*NGSetupRequest) NGAPType() MsgType { return MsgNGSetupRequest }
 
 // Schema implements codec.Message.
-func (m *NGSetupRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint32, Ptr: &m.GnbID},
-		{Tag: 2, Kind: codec.KindString, Ptr: &m.GnbName},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.Tac},
-	}
+func (m *NGSetupRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *NGSetupRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint32, Ptr: &m.GnbID},
+		codec.Field{Tag: 2, Kind: codec.KindString, Ptr: &m.GnbName},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.Tac},
+	)
 }
 
 // NGSetupResponse acknowledges the gNB.
@@ -164,11 +169,14 @@ type NGSetupResponse struct {
 func (*NGSetupResponse) NGAPType() MsgType { return MsgNGSetupResponse }
 
 // Schema implements codec.Message.
-func (m *NGSetupResponse) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindString, Ptr: &m.AmfName},
-		{Tag: 2, Kind: codec.KindBool, Ptr: &m.Accepted},
-	}
+func (m *NGSetupResponse) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *NGSetupResponse) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.AmfName},
+		codec.Field{Tag: 2, Kind: codec.KindBool, Ptr: &m.Accepted},
+	)
 }
 
 // InitialUEMessage carries the first NAS PDU of a UE (registration or
@@ -182,11 +190,14 @@ type InitialUEMessage struct {
 func (*InitialUEMessage) NGAPType() MsgType { return MsgInitialUEMessage }
 
 // Schema implements codec.Message.
-func (m *InitialUEMessage) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindBytes, Ptr: &m.NasPdu},
-	}
+func (m *InitialUEMessage) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *InitialUEMessage) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	)
 }
 
 // DownlinkNASTransport carries a NAS PDU toward the UE.
@@ -200,12 +211,15 @@ type DownlinkNASTransport struct {
 func (*DownlinkNASTransport) NGAPType() MsgType { return MsgDownlinkNASTransport }
 
 // Schema implements codec.Message.
-func (m *DownlinkNASTransport) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
-	}
+func (m *DownlinkNASTransport) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *DownlinkNASTransport) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	)
 }
 
 // UplinkNASTransport carries a NAS PDU from the UE.
@@ -219,12 +233,15 @@ type UplinkNASTransport struct {
 func (*UplinkNASTransport) NGAPType() MsgType { return MsgUplinkNASTransport }
 
 // Schema implements codec.Message.
-func (m *UplinkNASTransport) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
-	}
+func (m *UplinkNASTransport) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *UplinkNASTransport) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	)
 }
 
 // InitialContextSetupRequest creates the UE context at the gNB.
@@ -238,12 +255,15 @@ type InitialContextSetupRequest struct {
 func (*InitialContextSetupRequest) NGAPType() MsgType { return MsgInitialContextSetupRequest }
 
 // Schema implements codec.Message.
-func (m *InitialContextSetupRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
-	}
+func (m *InitialContextSetupRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *InitialContextSetupRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 3, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	)
 }
 
 // InitialContextSetupResponse acknowledges context creation.
@@ -256,11 +276,14 @@ type InitialContextSetupResponse struct {
 func (*InitialContextSetupResponse) NGAPType() MsgType { return MsgInitialContextSetupResponse }
 
 // Schema implements codec.Message.
-func (m *InitialContextSetupResponse) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-	}
+func (m *InitialContextSetupResponse) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *InitialContextSetupResponse) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+	)
 }
 
 // PDUSessionResourceSetupRequest installs the session's N3 tunnel at the
@@ -279,16 +302,19 @@ type PDUSessionResourceSetupRequest struct {
 func (*PDUSessionResourceSetupRequest) NGAPType() MsgType { return MsgPDUSessionResourceSetupRequest }
 
 // Schema implements codec.Message.
-func (m *PDUSessionResourceSetupRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
-		{Tag: 4, Kind: codec.KindUint32, Ptr: &m.UpfTEID},
-		{Tag: 5, Kind: codec.KindString, Ptr: &m.UpfAddr},
-		{Tag: 6, Kind: codec.KindUint32, Ptr: &m.Qfi},
-		{Tag: 7, Kind: codec.KindBytes, Ptr: &m.NasPdu},
-	}
+func (m *PDUSessionResourceSetupRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *PDUSessionResourceSetupRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		codec.Field{Tag: 4, Kind: codec.KindUint32, Ptr: &m.UpfTEID},
+		codec.Field{Tag: 5, Kind: codec.KindString, Ptr: &m.UpfAddr},
+		codec.Field{Tag: 6, Kind: codec.KindUint32, Ptr: &m.Qfi},
+		codec.Field{Tag: 7, Kind: codec.KindBytes, Ptr: &m.NasPdu},
+	)
 }
 
 // PDUSessionResourceSetupResponse returns the gNB's DL tunnel endpoint.
@@ -303,13 +329,16 @@ type PDUSessionResourceSetupResponse struct {
 func (*PDUSessionResourceSetupResponse) NGAPType() MsgType { return MsgPDUSessionResourceSetupResponse }
 
 // Schema implements codec.Message.
-func (m *PDUSessionResourceSetupResponse) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.GnbTEID},
-		{Tag: 4, Kind: codec.KindString, Ptr: &m.GnbAddr},
-	}
+func (m *PDUSessionResourceSetupResponse) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *PDUSessionResourceSetupResponse) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.GnbTEID},
+		codec.Field{Tag: 4, Kind: codec.KindString, Ptr: &m.GnbAddr},
+	)
 }
 
 // HandoverRequired is the source gNB's request to move the UE.
@@ -324,13 +353,16 @@ type HandoverRequired struct {
 func (*HandoverRequired) NGAPType() MsgType { return MsgHandoverRequired }
 
 // Schema implements codec.Message.
-func (m *HandoverRequired) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.TargetGnbID},
-		{Tag: 4, Kind: codec.KindString, Ptr: &m.Cause},
-	}
+func (m *HandoverRequired) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *HandoverRequired) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.TargetGnbID},
+		codec.Field{Tag: 4, Kind: codec.KindString, Ptr: &m.Cause},
+	)
 }
 
 // HandoverRequest asks the target gNB to admit the UE.
@@ -345,13 +377,16 @@ type HandoverRequest struct {
 func (*HandoverRequest) NGAPType() MsgType { return MsgHandoverRequest }
 
 // Schema implements codec.Message.
-func (m *HandoverRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.UpfTEID},
-		{Tag: 4, Kind: codec.KindString, Ptr: &m.UpfAddr},
-	}
+func (m *HandoverRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *HandoverRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.PduSessionID},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.UpfTEID},
+		codec.Field{Tag: 4, Kind: codec.KindString, Ptr: &m.UpfAddr},
+	)
 }
 
 // HandoverRequestAck returns the target gNB's admission and DL tunnel.
@@ -366,13 +401,16 @@ type HandoverRequestAck struct {
 func (*HandoverRequestAck) NGAPType() MsgType { return MsgHandoverRequestAck }
 
 // Schema implements codec.Message.
-func (m *HandoverRequestAck) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.NewRanUeID},
-		{Tag: 3, Kind: codec.KindUint32, Ptr: &m.GnbTEID},
-		{Tag: 4, Kind: codec.KindString, Ptr: &m.GnbAddr},
-	}
+func (m *HandoverRequestAck) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *HandoverRequestAck) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.NewRanUeID},
+		codec.Field{Tag: 3, Kind: codec.KindUint32, Ptr: &m.GnbTEID},
+		codec.Field{Tag: 4, Kind: codec.KindString, Ptr: &m.GnbAddr},
+	)
 }
 
 // HandoverCommand tells the source gNB (and UE) to execute the handover.
@@ -385,11 +423,14 @@ type HandoverCommand struct {
 func (*HandoverCommand) NGAPType() MsgType { return MsgHandoverCommand }
 
 // Schema implements codec.Message.
-func (m *HandoverCommand) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint32, Ptr: &m.TargetGnbID},
-	}
+func (m *HandoverCommand) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *HandoverCommand) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint32, Ptr: &m.TargetGnbID},
+	)
 }
 
 // HandoverNotify reports UE arrival at the target gNB.
@@ -402,11 +443,14 @@ type HandoverNotify struct {
 func (*HandoverNotify) NGAPType() MsgType { return MsgHandoverNotify }
 
 // Schema implements codec.Message.
-func (m *HandoverNotify) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-	}
+func (m *HandoverNotify) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *HandoverNotify) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+	)
 }
 
 // Paging wakes an idle UE.
@@ -418,8 +462,11 @@ type Paging struct {
 func (*Paging) NGAPType() MsgType { return MsgPaging }
 
 // Schema implements codec.Message.
-func (m *Paging) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti}}
+func (m *Paging) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *Paging) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindString, Ptr: &m.Guti})
 }
 
 // UEContextReleaseRequest starts an idle transition (gNB-initiated).
@@ -433,12 +480,15 @@ type UEContextReleaseRequest struct {
 func (*UEContextReleaseRequest) NGAPType() MsgType { return MsgUEContextReleaseRequest }
 
 // Schema implements codec.Message.
-func (m *UEContextReleaseRequest) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-		{Tag: 3, Kind: codec.KindString, Ptr: &m.Cause},
-	}
+func (m *UEContextReleaseRequest) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *UEContextReleaseRequest) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+		codec.Field{Tag: 3, Kind: codec.KindString, Ptr: &m.Cause},
+	)
 }
 
 // UEContextReleaseCommand confirms the release.
@@ -451,11 +501,14 @@ type UEContextReleaseCommand struct {
 func (*UEContextReleaseCommand) NGAPType() MsgType { return MsgUEContextReleaseCommand }
 
 // Schema implements codec.Message.
-func (m *UEContextReleaseCommand) Schema() []codec.Field {
-	return []codec.Field{
-		{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
-		{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
-	}
+func (m *UEContextReleaseCommand) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *UEContextReleaseCommand) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs,
+		codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID},
+		codec.Field{Tag: 2, Kind: codec.KindUint64, Ptr: &m.AmfUeID},
+	)
 }
 
 // UEContextReleaseComplete finishes the release.
@@ -467,8 +520,11 @@ type UEContextReleaseComplete struct {
 func (*UEContextReleaseComplete) NGAPType() MsgType { return MsgUEContextReleaseComplete }
 
 // Schema implements codec.Message.
-func (m *UEContextReleaseComplete) Schema() []codec.Field {
-	return []codec.Field{{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID}}
+func (m *UEContextReleaseComplete) Schema() []codec.Field { return m.AppendSchema(nil) }
+
+// AppendSchema implements codec.FieldAppender.
+func (m *UEContextReleaseComplete) AppendSchema(fs []codec.Field) []codec.Field {
+	return append(fs, codec.Field{Tag: 1, Kind: codec.KindUint64, Ptr: &m.RanUeID})
 }
 
 // --- transport ---
@@ -501,24 +557,37 @@ func Dial(addr string) (*Conn, error) {
 }
 
 // Send writes one NGAP message as a frame. Safe for concurrent use.
+// framePool recycles Send's frame buffers: the header and body are
+// assembled in one pooled slice and written with a single syscall, so a
+// steady-state Send allocates nothing and never interleaves frames.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
 func (c *Conn) Send(m Message) error {
+	bp := framePool.Get().(*[]byte)
+	defer func() {
+		*bp = (*bp)[:0]
+		framePool.Put(bp)
+	}()
 	sp := c.tracec.Load().Start("ngap.encode")
-	b, err := Marshal(m)
+	// Reserve the 4-byte length header, append-marshal behind it.
+	buf, err := AppendMarshal(append(*bp, 0, 0, 0, 0), m)
 	sp.End()
 	if err != nil {
 		return err
 	}
-	if len(b) > maxFrame {
+	*bp = buf[:0]
+	if len(buf)-4 > maxFrame {
 		return ErrTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	c.wm.Lock()
 	defer c.wm.Unlock()
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = c.c.Write(b)
+	_, err = c.c.Write(buf)
 	return err
 }
 

@@ -31,9 +31,11 @@ func NewSharded[T any](n, capacity int) *Sharded[T] {
 // Shards returns the number of shards.
 func (s *Sharded[T]) Shards() int { return len(s.shards) }
 
-// fmix64 is the MurmurHash3 64-bit finalizer: a full-avalanche bijection
-// that decorrelates every output bit from the input bits.
-func fmix64(h uint64) uint64 {
+// Fmix64 is the MurmurHash3 64-bit finalizer: a full-avalanche bijection
+// that decorrelates every output bit from the input bits. Exported so the
+// NF state shards (internal/nf/amf, internal/nf/smf) pick home shards with
+// the same mixing discipline the descriptor switch uses.
+func Fmix64(h uint64) uint64 {
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
@@ -41,6 +43,9 @@ func fmix64(h uint64) uint64 {
 	h ^= h >> 33
 	return h
 }
+
+// fmix64 is kept as the package-internal spelling.
+func fmix64(h uint64) uint64 { return Fmix64(h) }
 
 // ShardOf maps a flow hash to its home shard. The mapping is stable for the
 // lifetime of the Sharded set: equal hashes always land on the same shard.

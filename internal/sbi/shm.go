@@ -154,6 +154,27 @@ func (c *ShmConn) ExportMetrics(reg *metrics.Registry, prefix string) {
 	reg.RegisterGauge(prefix+".errors", c.errs.Load)
 }
 
+// waiter carries one in-flight Invoke's response channel and timeout
+// timer so the per-call hot path allocates neither. Recycled only after
+// a completed round trip: a timed-out Invoke abandons its waiter, since
+// a racing late response may still land in the channel — capacity 1
+// guarantees that delivery never blocks the consumer loop, and the
+// abandoned waiter simply falls to the GC instead of poisoning a reuse.
+type waiter struct {
+	ch    chan shmFrame
+	timer *time.Timer
+}
+
+var waiterPool = sync.Pool{
+	New: func() any {
+		w := &waiter{ch: make(chan shmFrame, 1), timer: time.NewTimer(time.Hour)}
+		if !w.timer.Stop() {
+			<-w.timer.C
+		}
+		return w
+	},
+}
+
 // Invoke implements Conn.
 func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 	c.invokes.Add(1)
@@ -161,9 +182,9 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 	root.Attr("op", op.Name())
 	defer root.End()
 	seq := c.seq.Add(1)
-	ch := make(chan shmFrame, 1)
+	w := waiterPool.Get().(*waiter)
 	c.mu.Lock()
-	c.pending[seq] = ch
+	c.pending[seq] = w.ch
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
@@ -182,16 +203,29 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 		if serr != nil {
 			tx.End()
 			c.errs.Add(1)
+			waiterPool.Put(w) // nothing was sent; no late delivery possible
 			return nil, serr
 		}
 	} else if err := c.out.Send(frame); err != nil {
 		tx.End()
 		c.errs.Add(1)
+		waiterPool.Put(w)
 		return nil, err
 	}
 	tx.End()
+	w.timer.Reset(time.Duration(c.timeout.Load()))
 	select {
-	case f := <-ch:
+	case f := <-w.ch:
+		if !w.timer.Stop() {
+			<-w.timer.C
+		}
+		if f.seq != seq {
+			// Defensive: a frame from an abandoned incarnation of this
+			// channel; treat as lost and drop the waiter with it.
+			c.errs.Add(1)
+			return nil, fmt.Errorf("sbi: shm invoke %s got stale response", op.Name())
+		}
+		waiterPool.Put(w)
 		if f.status != 0 {
 			c.errs.Add(1)
 			return nil, &StatusError{
@@ -205,7 +239,7 @@ func (c *ShmConn) Invoke(op OpID, req codec.Message) (codec.Message, error) {
 			return nil, fmt.Errorf("sbi: producer error: %s", f.err)
 		}
 		return f.msg, nil
-	case <-time.After(time.Duration(c.timeout.Load())):
+	case <-w.timer.C:
 		c.errs.Add(1)
 		return nil, fmt.Errorf("sbi: shm invoke %s timed out", op.Name())
 	}

@@ -1,0 +1,59 @@
+package sbi
+
+import (
+	"testing"
+
+	"l25gc/internal/codec"
+	"l25gc/internal/testutil"
+)
+
+// The pooled-waiter Invoke path must not allocate in steady state: the
+// descriptor frame travels by value through the mailbox, the response
+// channel and timeout timer are recycled, and no marshal happens at all.
+// This is the shm half of the -benchmem gate the NGAP frame pool has.
+func TestShmInvokeSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race detector drops a fraction of Pool.Puts by design; the alloc gate runs raceless in storm-smoke")
+	}
+	resp := &NFDiscoveryResponse{Addrs: "upf-1"}
+	conn, srv := NewShmPair(64, func(op OpID, req codec.Message) (codec.Message, error) {
+		return resp, nil
+	})
+	defer srv.Close()
+	defer conn.Close()
+	req := &NFDiscoveryRequest{TargetNfType: "UPF"}
+	// Warm the waiter pool and the pending map.
+	for i := 0; i < 8; i++ {
+		if _, err := conn.Invoke(OpNFDiscover, req); err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := conn.Invoke(OpNFDiscover, req); err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+	})
+	// The producer goroutine's reply frame write is counted against this
+	// goroutine by AllocsPerRun only if it allocates — it must not. Allow
+	// zero: every structure on the round trip is pooled or by-value.
+	if allocs > 0 {
+		t.Fatalf("shm Invoke allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+func BenchmarkShmInvoke(b *testing.B) {
+	resp := &NFDiscoveryResponse{Addrs: "upf-1"}
+	conn, srv := NewShmPair(64, func(op OpID, req codec.Message) (codec.Message, error) {
+		return resp, nil
+	})
+	defer srv.Close()
+	defer conn.Close()
+	req := &NFDiscoveryRequest{TargetNfType: "UPF"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Invoke(OpNFDiscover, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is active. The
+// sync.Pool-backed 0-allocs/op gates skip under it: the detector
+// deliberately drops a fraction of Pool.Puts (poolRaceHit), so pooled
+// paths allocate under -race by design, not by regression. The alloc
+// gates run raceless in make storm-smoke.
+const RaceEnabled = true

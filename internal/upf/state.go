@@ -223,11 +223,20 @@ func (s *State) CreateSession(cpSEID uint64, ueIP pkt.Addr) (*SessCtx, error) {
 	return ctx, nil
 }
 
-// BindTEID indexes the session under a local UL TEID.
+// BindTEID indexes the session under a local UL TEID. Pinned binds (a
+// post-heal rebuild re-installing a TEID allocated by a previous UPF
+// incarnation) raise the allocator's floor so a later AllocTEID can
+// never hand the same TEID out again.
 func (s *State) BindTEID(teid uint32, ctx *SessCtx) {
 	s.mu.Lock()
 	s.ul[teid] = ctx
 	s.mu.Unlock()
+	for {
+		cur := s.teidNext.Load()
+		if teid <= cur || s.teidNext.CompareAndSwap(cur, teid) {
+			return
+		}
+	}
 }
 
 // Session returns the session for a CP SEID.

@@ -1,0 +1,70 @@
+package upf
+
+import (
+	"sync"
+	"testing"
+
+	"l25gc/internal/pkt"
+)
+
+// TestBindTEIDRaisesAllocatorFloor pins the restore/replay collision bug:
+// a pinned bind (reconciliation re-establishing a session with its
+// original UL TEID) must raise the allocator past the bound value, or a
+// later AllocTEID hands the same TEID to a second session and uplink
+// classification silently merges the two tunnels.
+func TestBindTEIDRaisesAllocatorFloor(t *testing.T) {
+	st := NewState("ps", 0)
+	ctx, err := st.CreateSession(0x101, pkt.Addr{10, 60, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.BindTEID(0x2000, ctx)
+	if teid := st.AllocTEID(); teid <= 0x2000 {
+		t.Fatalf("AllocTEID after BindTEID(0x2000) returned %#x, want > 0x2000", teid)
+	}
+	// Binding below the current floor must not lower it.
+	st.BindTEID(0x10, ctx)
+	if teid := st.AllocTEID(); teid <= 0x2000 {
+		t.Fatalf("AllocTEID after low re-bind returned %#x; floor regressed", teid)
+	}
+}
+
+// Concurrent pinned binds and fresh allocations must never collide — the
+// CAS-max loop in BindTEID races AllocTEID's fetch-add.
+func TestBindTEIDConcurrentNoCollision(t *testing.T) {
+	st := NewState("ps", 0)
+	ctx, err := st.CreateSession(0x102, pkt.Addr{10, 60, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	var wg sync.WaitGroup
+	allocated := make([][]uint32, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if w == 0 {
+					st.BindTEID(uint32(0x3000+i*8), ctx)
+				} else {
+					allocated[w] = append(allocated[w], st.AllocTEID())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint32]bool)
+	for _, ts := range allocated {
+		for _, teid := range ts {
+			if seen[teid] {
+				t.Fatalf("AllocTEID handed out %#x twice", teid)
+			}
+			seen[teid] = true
+		}
+	}
+	floor := st.AllocTEID()
+	if floor <= 0x3000+(n-1)*8 {
+		t.Fatalf("final allocator value %#x not above highest pinned bind", floor)
+	}
+}
